@@ -1,0 +1,67 @@
+//! Microbenchmarks of the cache models.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use horus_cache::{CacheGeometry, CacheHierarchy, HierarchyConfig, SetAssocCache};
+
+fn bench_set_assoc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("set_assoc");
+    g.bench_function("insert_evict_stream", |b| {
+        let mut cache = SetAssocCache::new(CacheGeometry::new("b", 256 * 1024, 8));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            cache.insert(black_box(i * 64), [i as u8; 64], true)
+        })
+    });
+    g.bench_function("lookup_hit", |b| {
+        let mut cache = SetAssocCache::new(CacheGeometry::new("b", 256 * 1024, 8));
+        for i in 0..4096u64 {
+            cache.insert(i * 64, [0; 64], false);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            cache.lookup(black_box(i * 64)).copied()
+        })
+    });
+    g.bench_function("lookup_miss", |b| {
+        let mut cache = SetAssocCache::new(CacheGeometry::new("b", 256 * 1024, 8));
+        let mut i = 1u64 << 32;
+        b.iter(|| {
+            i += 64;
+            cache.lookup(black_box(i)).is_some()
+        })
+    });
+    g.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let cfg = HierarchyConfig {
+        l1_bytes: 16 * 1024,
+        l1_ways: 2,
+        l2_bytes: 64 * 1024,
+        l2_ways: 4,
+        llc_bytes: 256 * 1024,
+        llc_ways: 8,
+    };
+    let mut g = c.benchmark_group("hierarchy");
+    g.bench_function("write_spill_chain", |b| {
+        let mut h = CacheHierarchy::new(&cfg);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            h.write(black_box(((i * 16448) % (1 << 30)) & !63), [i as u8; 64])
+        })
+    });
+    g.bench_function("drain_order_5k_lines", |b| {
+        let mut h = CacheHierarchy::new(&cfg);
+        for i in 0..cfg.total_lines() {
+            h.level_mut(2).insert((i * 257) << 6, [1; 64], true);
+        }
+        b.iter(|| black_box(h.drain_order()).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_set_assoc, bench_hierarchy);
+criterion_main!(benches);

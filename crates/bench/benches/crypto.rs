@@ -1,0 +1,52 @@
+//! Microbenchmarks of the cryptographic substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use horus_crypto::{otp, Aes128, Cmac};
+
+fn bench_aes(c: &mut Criterion) {
+    let aes = Aes128::new(&[0x2b; 16]);
+    let block = [0x5a_u8; 16];
+    let mut g = c.benchmark_group("aes128");
+    g.throughput(Throughput::Bytes(16));
+    g.bench_function("encrypt_block", |b| {
+        b.iter(|| aes.encrypt_block(black_box(&block)))
+    });
+    g.bench_function("decrypt_block", |b| {
+        let ct = aes.encrypt_block(&block);
+        b.iter(|| aes.decrypt_block(black_box(&ct)))
+    });
+    g.bench_function("key_schedule", |b| {
+        b.iter(|| Aes128::new(black_box(&[0x2b; 16])))
+    });
+    g.finish();
+}
+
+fn bench_cmac(c: &mut Criterion) {
+    let cmac = Cmac::new(&[0x77; 16]);
+    let mut g = c.benchmark_group("cmac");
+    for len in [64usize, 80] {
+        let msg = vec![0xab_u8; len];
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_function(format!("mac64_{len}B"), |b| {
+            b.iter(|| cmac.mac64(black_box(&msg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_otp(c: &mut Criterion) {
+    let aes = Aes128::new(&[0x11; 16]);
+    let data = [0xcd_u8; 64];
+    let mut g = c.benchmark_group("ctr_mode");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("one_time_pad", |b| {
+        b.iter(|| otp::one_time_pad(&aes, black_box(0x4000), 9))
+    });
+    g.bench_function("encrypt_block_ctr", |b| {
+        b.iter(|| otp::encrypt_block_ctr(&aes, black_box(0x4000), 9, &data))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_aes, bench_cmac, bench_otp);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! End-to-end drain benchmarks: one full worst-case drain per scheme on
+//! the scaled-down bench configuration, plus the MAC-coalescing ablation
+//! (Horus-SLM vs Horus-DLM).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use horus_bench::{bench_config, paper_fill};
+use horus_core::{DrainScheme, SecureEpdSystem};
+use horus_workload::fill_hierarchy;
+
+fn bench_drain_schemes(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut g = c.benchmark_group("drain");
+    g.sample_size(10);
+    for scheme in DrainScheme::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(scheme), &scheme, |b, &s| {
+            b.iter_with_setup(
+                || {
+                    let mut sys = SecureEpdSystem::for_scheme(cfg.clone(), s);
+                    fill_hierarchy(sys.hierarchy_mut(), paper_fill(), cfg.data_bytes, cfg.seed);
+                    sys
+                },
+                |mut sys| sys.crash_and_drain(s),
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_drain_and_recover(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut g = c.benchmark_group("drain_recover_cycle");
+    g.sample_size(10);
+    for scheme in [DrainScheme::HorusSlm, DrainScheme::HorusDlm] {
+        g.bench_with_input(BenchmarkId::from_parameter(scheme), &scheme, |b, &s| {
+            b.iter_with_setup(
+                || {
+                    let mut sys = SecureEpdSystem::for_scheme(cfg.clone(), s);
+                    fill_hierarchy(sys.hierarchy_mut(), paper_fill(), cfg.data_bytes, cfg.seed);
+                    sys
+                },
+                |mut sys| {
+                    sys.crash_and_drain(s);
+                    sys.recover().expect("clean vault")
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_drain_schemes, bench_drain_and_recover);
+criterion_main!(benches);

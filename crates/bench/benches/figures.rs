@@ -1,0 +1,32 @@
+//! End-to-end figure pipelines at bench scale: how long the whole
+//! experiment harness takes per figure (the repro binaries run the same
+//! code at the paper's Table I scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use horus_bench::{bench_config, figures, paper_fill, run_all_schemes};
+use horus_energy::DrainEnergyModel;
+
+fn bench_scheme_comparison(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig11_13_all_schemes", |b| {
+        b.iter(|| run_all_schemes(&cfg, paper_fill()))
+    });
+    g.bench_function("tab2_energy", |b| {
+        let model = DrainEnergyModel::paper_default();
+        b.iter(|| {
+            run_all_schemes(&cfg, paper_fill())
+                .iter()
+                .map(|r| model.drain_energy(r).total_j)
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("table1_render", |b| {
+        b.iter(|| figures::table1(&cfg).render())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheme_comparison);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Microbenchmarks of the metadata engine, including the lazy-vs-eager
+//! ablation and the metadata-cache-size sensitivity that DESIGN.md calls
+//! out.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use horus_metadata::{MetadataCacheConfig, MetadataEngine, Platform, UpdateScheme};
+use horus_nvm::AddressMap;
+use horus_sim::Cycles;
+
+fn map() -> AddressMap {
+    AddressMap::new(64 << 20, 1024, 256)
+}
+
+fn bench_counter_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counter_path");
+    for scheme in [UpdateScheme::Lazy, UpdateScheme::Eager] {
+        g.bench_with_input(
+            BenchmarkId::new("increment_hit", scheme),
+            &scheme,
+            |b, &s| {
+                let mut e =
+                    MetadataEngine::new(map(), s, MetadataCacheConfig::paper_default(), &[7; 16]);
+                let mut p = Platform::paper_default();
+                e.increment_counter(&mut p, 0, Cycles::ZERO).unwrap();
+                b.iter(|| {
+                    e.increment_counter(&mut p, black_box(64), Cycles::ZERO)
+                        .unwrap()
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("increment_miss_stream", scheme),
+            &scheme,
+            |b, &s| {
+                let mut e =
+                    MetadataEngine::new(map(), s, MetadataCacheConfig::paper_default(), &[7; 16]);
+                let mut p = Platform::paper_default();
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    let addr = (i * 4096) % (64 << 20);
+                    e.increment_counter(&mut p, black_box(addr), Cycles::ZERO)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_cache_size_sensitivity(c: &mut Criterion) {
+    // Smaller metadata caches -> more misses and cascades per op.
+    let mut g = c.benchmark_group("metadata_cache_size");
+    g.sample_size(20);
+    for kb in [16u64, 64, 256] {
+        let caches = MetadataCacheConfig {
+            counter_cache_bytes: kb * 1024,
+            mac_cache_bytes: kb * 1024,
+            tree_cache_bytes: kb * 1024,
+            ways: 8,
+            policy: horus_cache::ReplacementPolicy::Lru,
+        };
+        g.bench_function(BenchmarkId::from_parameter(format!("{kb}KB")), |b| {
+            let mut e = MetadataEngine::new(map(), UpdateScheme::Lazy, caches, &[7; 16]);
+            let mut p = Platform::paper_default();
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let addr = (i * 4096) % (64 << 20);
+                e.increment_counter(&mut p, black_box(addr), Cycles::ZERO)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_flush(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flush_after_drain");
+    g.sample_size(10);
+    for scheme in [UpdateScheme::Lazy, UpdateScheme::Eager] {
+        g.bench_with_input(BenchmarkId::from_parameter(scheme), &scheme, |b, &s| {
+            b.iter_with_setup(
+                || {
+                    let mut e = MetadataEngine::new(
+                        map(),
+                        s,
+                        MetadataCacheConfig {
+                            counter_cache_bytes: 32 * 1024,
+                            mac_cache_bytes: 32 * 1024,
+                            tree_cache_bytes: 32 * 1024,
+                            ways: 8,
+                            policy: horus_cache::ReplacementPolicy::Lru,
+                        },
+                        &[7; 16],
+                    );
+                    let mut p = Platform::paper_default();
+                    for i in 0..512u64 {
+                        e.increment_counter(&mut p, i * 4096, Cycles::ZERO).unwrap();
+                    }
+                    (e, p)
+                },
+                |(mut e, mut p)| e.flush_after_drain(&mut p, Cycles::ZERO),
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_counter_paths,
+    bench_cache_size_sensitivity,
+    bench_flush
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Stride-sensitivity ablation (DESIGN.md #4): the baseline's drain cost
+//! grows with crash-content sparsity while Horus is oblivious to it.
+//! Criterion measures harness wall time; the interesting *simulated*
+//! metrics are asserted as invariants so a regression in obliviousness
+//! fails the bench run loudly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use horus_bench::bench_config;
+use horus_core::{DrainScheme, SecureEpdSystem};
+use horus_workload::{fill_hierarchy, FillPattern};
+
+fn drain_requests(scheme: DrainScheme, stride: u64) -> u64 {
+    let cfg = bench_config();
+    let mut sys = SecureEpdSystem::for_scheme(cfg.clone(), scheme);
+    fill_hierarchy(
+        sys.hierarchy_mut(),
+        FillPattern::StridedSparse { min_stride: stride },
+        cfg.data_bytes,
+        cfg.seed,
+    );
+    let r = sys.crash_and_drain(scheme);
+    r.reads + r.writes
+}
+
+fn bench_stride_sweep(c: &mut Criterion) {
+    // Invariant check before timing anything.
+    let strides = [256u64, 4 * 1024, 64 * 1024];
+    let horus: Vec<u64> = strides
+        .iter()
+        .map(|s| drain_requests(DrainScheme::HorusSlm, *s))
+        .collect();
+    assert!(
+        horus.windows(2).all(|w| w[0] == w[1]),
+        "Horus must be stride-oblivious: {horus:?}"
+    );
+    let lazy: Vec<u64> = strides
+        .iter()
+        .map(|s| drain_requests(DrainScheme::BaseLazy, *s))
+        .collect();
+    assert!(
+        lazy.windows(2).all(|w| w[0] <= w[1]),
+        "baseline requests must grow with stride: {lazy:?}"
+    );
+
+    let cfg = bench_config();
+    let mut g = c.benchmark_group("stride_sweep");
+    g.sample_size(10);
+    for stride in strides {
+        for scheme in [DrainScheme::BaseLazy, DrainScheme::HorusSlm] {
+            g.bench_with_input(
+                BenchmarkId::new(scheme.name(), format!("{stride}B")),
+                &(scheme, stride),
+                |b, &(s, st)| {
+                    b.iter_with_setup(
+                        || {
+                            let mut sys = SecureEpdSystem::for_scheme(cfg.clone(), s);
+                            fill_hierarchy(
+                                sys.hierarchy_mut(),
+                                FillPattern::StridedSparse { min_stride: st },
+                                cfg.data_bytes,
+                                cfg.seed,
+                            );
+                            sys
+                        },
+                        |mut sys| sys.crash_and_drain(s),
+                    )
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stride_sweep);
+criterion_main!(benches);

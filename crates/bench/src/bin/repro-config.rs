@@ -1,0 +1,10 @@
+//! Reproduces Table I: the simulated system configuration.
+
+use horus_bench::figures;
+use horus_core::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::paper_default();
+    println!("Table I — simulation configuration\n");
+    println!("{}", figures::table1(&cfg).render());
+}

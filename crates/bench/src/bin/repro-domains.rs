@@ -1,0 +1,112 @@
+//! Ablation: the persistence-domain design space the paper situates
+//! itself in (§I, §II-A, §VI related work).
+//!
+//! Compares, for the same durable-store workload:
+//!
+//! * **ADR** — every persist pays the full secure write path plus strict
+//!   metadata persistence (the Dolos problem);
+//! * **BBB** — a small battery-backed buffer absorbs bursts;
+//! * **EPD** — persists are free, but the crash drain is the whole
+//!   hierarchy — priced here with both the Base-LU and Horus-SLM drain.
+//!
+//! The pay-off matrix is the paper's thesis: EPD gives DRAM-like
+//! persists, and Horus is what makes its battery affordable.
+
+use horus_bench::table;
+use horus_core::{DrainScheme, PersistenceDomain, SecureEpdSystem, SystemConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Row {
+    name: String,
+    mean_persist: f64,
+    stalls: u64,
+    crash_writes: u64,
+    crash_ms: f64,
+}
+
+fn persist_workload(sys: &mut SecureEpdSystem, n: u64) {
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..n {
+        let addr = rng.gen_range(0..1u64 << 17) * 64; // 8 MB hot region
+        sys.persist(addr, [0xAB; 64]).expect("persist");
+    }
+}
+
+fn run(domain: PersistenceDomain, drain: Option<DrainScheme>, n: u64) -> Row {
+    let cfg = SystemConfig {
+        domain,
+        ..SystemConfig::with_llc_bytes(4 << 20)
+    };
+    let mut sys = match drain {
+        Some(s) => SecureEpdSystem::for_scheme(cfg, s),
+        None => SecureEpdSystem::new(cfg),
+    };
+    persist_workload(&mut sys, n);
+    let stats = sys.persist_stats();
+    let (crash_writes, crash_ms) = match drain {
+        Some(scheme) => {
+            let r = sys.crash_and_drain(scheme);
+            (r.writes, r.seconds * 1e3)
+        }
+        None => {
+            let before = sys.platform().nvm.total_writes();
+            let residual = sys.crash_power_loss();
+            (
+                sys.platform().nvm.total_writes() - before,
+                residual.0 as f64 / 4e6, // cycles -> ms at 4 GHz
+            )
+        }
+    };
+    Row {
+        name: match drain {
+            Some(s) => format!("{domain}+{s}"),
+            None => domain.to_string(),
+        },
+        mean_persist: stats.mean_latency(),
+        stalls: stats.buffer_stalls,
+        crash_writes,
+        crash_ms,
+    }
+}
+
+fn main() {
+    let n = 20_000;
+    println!("persistence-domain design space over {n} durable stores:\n");
+    let rows = vec![
+        run(PersistenceDomain::AdrOnly, None, n),
+        run(PersistenceDomain::Bbb { buffer_lines: 64 }, None, n),
+        run(PersistenceDomain::Bbb { buffer_lines: 1024 }, None, n),
+        run(PersistenceDomain::Epd, Some(DrainScheme::BaseLazy), n),
+        run(PersistenceDomain::Epd, Some(DrainScheme::HorusSlm), n),
+    ];
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.0}", r.mean_persist),
+                r.stalls.to_string(),
+                r.crash_writes.to_string(),
+                format!("{:.2}", r.crash_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "system",
+                "persist latency (cyc)",
+                "buffer stalls",
+                "crash writes",
+                "hold-up (ms)"
+            ],
+            &table_rows,
+        )
+    );
+    println!("ADR pays per store; BBB pays a small battery and stalls under bursts;");
+    println!("EPD pays only at crash time — and the gap between the baseline drain and");
+    println!("Horus widens to ~10x on the provisioning-relevant worst case (repro-fig06),");
+    println!("where the hierarchy is full of metadata-unfriendly sparse dirty lines.");
+}

@@ -1,0 +1,137 @@
+//! Fault-injection campaign: random single-bit flips across the vault
+//! and the run-time metadata, with detection statistics.
+//!
+//! The security tests prove *specific* attacks are caught; this campaign
+//! samples the space randomly (seeded) — every injected corruption of
+//! protected state must surface as a verification failure, never as
+//! silently wrong data.
+
+use horus_bench::table;
+use horus_core::{DrainScheme, SecureEpdSystem, SystemConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Flips one random bit in one random block of `[base, base+blocks)`.
+fn flip_random(sys: &mut SecureEpdSystem, rng: &mut StdRng, base: u64, blocks: u64) -> u64 {
+    let addr = base + rng.gen_range(0..blocks) * 64;
+    let byte = rng.gen_range(0..64);
+    let bit = rng.gen_range(0..8u8);
+    let mut b = sys.attacker_nvm().read_block(addr);
+    b[byte] ^= 1 << bit;
+    sys.attacker_nvm().write_block(addr, b);
+    addr
+}
+
+fn drained_system(scheme: DrainScheme) -> SecureEpdSystem {
+    let mut sys = SecureEpdSystem::new(SystemConfig::small_test());
+    for i in 0..64u64 {
+        sys.write(i * 16448, [(i as u8).wrapping_mul(7).wrapping_add(3); 64])
+            .expect("write");
+    }
+    sys.crash_and_drain(scheme);
+    sys
+}
+
+fn chv_campaign(scheme: DrainScheme, trials: u32, seed: u64) -> (u32, u32) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut detected = 0;
+    let mut benign = 0;
+    for _ in 0..trials {
+        let mut sys = drained_system(scheme);
+        let layout = sys.chv_layout().expect("layout");
+        let n = sys.episode().expect("episode").blocks;
+        let used = layout.blocks_used(n);
+        let base = sys.map().chv_base();
+        flip_random(&mut sys, &mut rng, base, used);
+        match sys.recover() {
+            Err(_) => detected += 1,
+            Ok(_) => {
+                // A flip can land in the unused tail of a partially
+                // filled address/MAC block — bits no entry depends on.
+                // That is benign by construction, not a miss; verify the
+                // restored data to prove it.
+                let ok = (0..64u64).all(|i| {
+                    sys.read(i * 16448)
+                        .map(|b| b[0] == (i as u8).wrapping_mul(7).wrapping_add(3))
+                        == Ok(true)
+                });
+                assert!(
+                    ok,
+                    "undetected corruption changed restored data — a real miss"
+                );
+                benign += 1;
+            }
+        }
+    }
+    (detected, benign)
+}
+
+fn runtime_campaign(trials: u32, seed: u64) -> (u32, u32) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut detected = 0;
+    let mut benign = 0;
+    for _ in 0..trials {
+        let mut sys = SecureEpdSystem::new(SystemConfig::small_test());
+        for i in 0..256u64 {
+            sys.write(i * 4096, [9; 64]).expect("write");
+        }
+        // Corrupt one written data block that lives only in NVM.
+        let candidates: Vec<u64> = (0..256u64)
+            .map(|i| i * 4096)
+            .filter(|a| {
+                sys.platform().nvm.device().is_written(*a)
+                    && sys.hierarchy().llc().peek(*a).is_none()
+            })
+            .collect();
+        let victim = candidates[rng.gen_range(0..candidates.len())];
+        let byte = rng.gen_range(0..64);
+        let bit = rng.gen_range(0..8u8);
+        let mut b = sys.attacker_nvm().read_block(victim);
+        b[byte] ^= 1 << bit;
+        sys.attacker_nvm().write_block(victim, b);
+        match sys.read(victim) {
+            Err(_) => detected += 1,
+            Ok(data) => {
+                assert_eq!(data, [9; 64], "undetected corruption returned wrong data");
+                benign += 1;
+            }
+        }
+    }
+    (detected, benign)
+}
+
+fn main() {
+    let trials = 200;
+    println!("random single-bit fault injection, {trials} trials per target:\n");
+    let mut rows = Vec::new();
+    for (name, (detected, benign)) in [
+        (
+            "CHV after Horus-SLM drain",
+            chv_campaign(DrainScheme::HorusSlm, trials, 1),
+        ),
+        (
+            "CHV after Horus-DLM drain",
+            chv_campaign(DrainScheme::HorusDlm, trials, 2),
+        ),
+        ("run-time data in NVM", runtime_campaign(trials, 3)),
+    ] {
+        rows.push(vec![
+            name.to_owned(),
+            detected.to_string(),
+            benign.to_string(),
+            format!(
+                "{:.1}%",
+                100.0 * f64::from(detected) / f64::from(detected + benign)
+            ),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(
+            &["target", "detected", "benign (unused bits)", "detection"],
+            &rows
+        )
+    );
+    println!("every flip was either detected or provably benign (landed in bits no");
+    println!("verified entry depends on); no trial ever returned corrupted data.");
+}

@@ -1,0 +1,11 @@
+//! Reproduces Figure 11: normalized draining cycles across schemes.
+
+use horus_bench::figures;
+use horus_core::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::paper_default();
+    let cmp = figures::scheme_comparison(&cfg);
+    println!("Figure 11 — draining time (paper: Base-LU 4.5x, Base-EU 5.1x vs Horus; Horus 1.7x non-secure)\n");
+    println!("{}", cmp.render_fig11());
+}

@@ -1,0 +1,11 @@
+//! Reproduces Figure 12: breakdown of memory writes during the drain.
+
+use horus_bench::figures;
+use horus_core::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::paper_default();
+    let cmp = figures::scheme_comparison(&cfg);
+    println!("Figure 12 — breakdown of memory writes\n");
+    println!("{}", cmp.render_fig12());
+}

@@ -1,0 +1,10 @@
+//! Reproduces Figure 14: memory requests vs LLC size, normalized to
+//! Base-LU.
+
+use horus_bench::figures;
+
+fn main() {
+    let sweep = figures::llc_sweep(&[8, 16, 32]);
+    println!("Figure 14 — memory requests vs LLC size (paper: >=7.0x reduction)\n");
+    println!("{}", sweep.render_fig14());
+}

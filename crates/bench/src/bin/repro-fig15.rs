@@ -1,0 +1,10 @@
+//! Reproduces Figure 15: MAC calculations vs LLC size, normalized to
+//! Base-LU.
+
+use horus_bench::figures;
+
+fn main() {
+    let sweep = figures::llc_sweep(&[8, 16, 32]);
+    println!("Figure 15 — MAC calculations vs LLC size (paper: >=5.8x reduction)\n");
+    println!("{}", sweep.render_fig15());
+}

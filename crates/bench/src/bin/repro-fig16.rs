@@ -1,0 +1,9 @@
+//! Reproduces Figure 16: Horus recovery time vs LLC size.
+
+use horus_bench::figures;
+
+fn main() {
+    let f = figures::figure16(&[8, 16, 32, 64, 128]);
+    println!("Figure 16 — recovery time (paper: 0.51 s SLM / 0.48 s DLM at 128 MB)\n");
+    println!("{}", f.render());
+}

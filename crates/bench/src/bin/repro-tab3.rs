@@ -1,0 +1,11 @@
+//! Reproduces Table III: hold-up battery volume.
+
+use horus_bench::figures;
+use horus_core::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::paper_default();
+    let t = figures::energy_tables(&cfg);
+    println!("Table III — battery volume (paper: >=4.4x reduction)\n");
+    println!("{}", t.render_table3());
+}

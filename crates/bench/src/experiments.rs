@@ -1,0 +1,77 @@
+//! Shared experiment drivers.
+
+use horus_core::{DrainReport, DrainScheme, RecoveryReport, SecureEpdSystem, SystemConfig};
+use horus_workload::{fill_hierarchy, FillPattern};
+
+/// The paper's worst-case fill (§V-A): dirty lines at least 16 KiB
+/// apart.
+#[must_use]
+pub fn paper_fill() -> FillPattern {
+    FillPattern::StridedSparse {
+        min_stride: 16 * 1024,
+    }
+}
+
+/// A scaled-down configuration for Criterion benchmarks: the same
+/// semantics as Table I with a ~5 K-line hierarchy so a full drain fits
+/// in a bench iteration.
+#[must_use]
+pub fn bench_config() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.hierarchy = horus_cache::HierarchyConfig {
+        l1_bytes: 16 * 1024,
+        l1_ways: 2,
+        l2_bytes: 64 * 1024,
+        l2_ways: 4,
+        llc_bytes: 256 * 1024,
+        llc_ways: 8,
+    };
+    cfg.metadata_caches = horus_metadata::MetadataCacheConfig {
+        counter_cache_bytes: 32 * 1024,
+        mac_cache_bytes: 32 * 1024,
+        tree_cache_bytes: 32 * 1024,
+        ways: 8,
+        policy: horus_cache::ReplacementPolicy::Lru,
+    };
+    cfg.data_bytes = 1 << 30;
+    cfg
+}
+
+/// Builds a system for `scheme`, installs the crash-time snapshot, and
+/// drains. Returns the drain report.
+#[must_use]
+pub fn drain_once(cfg: &SystemConfig, scheme: DrainScheme, pattern: FillPattern) -> DrainReport {
+    let mut sys = SecureEpdSystem::for_scheme(cfg.clone(), scheme);
+    fill_hierarchy(sys.hierarchy_mut(), pattern, cfg.data_bytes, cfg.seed);
+    sys.crash_and_drain(scheme)
+}
+
+/// Drains and then recovers, returning both reports.
+#[must_use]
+pub fn drain_and_recover(
+    cfg: &SystemConfig,
+    scheme: DrainScheme,
+    pattern: FillPattern,
+) -> (DrainReport, RecoveryReport) {
+    let mut sys = SecureEpdSystem::for_scheme(cfg.clone(), scheme);
+    fill_hierarchy(sys.hierarchy_mut(), pattern, cfg.data_bytes, cfg.seed);
+    let dr = sys.crash_and_drain(scheme);
+    let rec = sys.recover().expect("untampered CHV must verify");
+    (dr, rec)
+}
+
+/// Runs all five schemes over the same crash snapshot pattern, one
+/// thread per scheme (systems are fully independent).
+#[must_use]
+pub fn run_all_schemes(cfg: &SystemConfig, pattern: FillPattern) -> Vec<DrainReport> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = DrainScheme::ALL
+            .iter()
+            .map(|s| scope.spawn(move || drain_once(cfg, *s, pattern)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scheme run panicked"))
+            .collect()
+    })
+}

@@ -1,0 +1,12 @@
+//! Experiment harness regenerating every table and figure of the Horus
+//! paper. See `DESIGN.md` for the experiment index and `EXPERIMENTS.md`
+//! for paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+
+pub mod chart;
+pub mod experiments;
+pub mod figures;
+pub mod table;
+
+pub use experiments::*;

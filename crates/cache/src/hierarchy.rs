@@ -1,0 +1,400 @@
+//! The L1/L2/LLC processor cache hierarchy.
+//!
+//! In an EPD (eADR) system the whole hierarchy is inside the persistence
+//! domain: on power failure, every dirty line must reach NVM. This module
+//! models the hierarchy's *contents* — the set of dirty lines at crash
+//! time — plus a simple run-time access path used by the examples and
+//! tests. The drain engines in `horus-core` consume
+//! [`CacheHierarchy::drain_order`].
+
+use crate::set_assoc::{CacheGeometry, EvictedLine, SetAssocCache};
+use crate::Block;
+
+/// Sizes and associativities of the three levels.
+///
+/// The default is the paper's Table I configuration: 64 KB 2-way L1,
+/// 2 MB 8-way L2, 16 MB 16-way inclusive LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 data cache size in bytes.
+    pub l1_bytes: u64,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L2 cache size in bytes.
+    pub l2_bytes: u64,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// Last-level cache size in bytes.
+    pub llc_bytes: u64,
+    /// LLC associativity.
+    pub llc_ways: usize,
+}
+
+impl HierarchyConfig {
+    /// The paper's Table I hierarchy.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            l1_bytes: 64 * 1024,
+            l1_ways: 2,
+            l2_bytes: 2 * 1024 * 1024,
+            l2_ways: 8,
+            llc_bytes: 16 * 1024 * 1024,
+            llc_ways: 16,
+        }
+    }
+
+    /// The Table I hierarchy with a different LLC size (the Figures 14-16
+    /// sensitivity sweeps use 8 MB .. 128 MB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llc_bytes` does not produce a power-of-two set count
+    /// with 16 ways.
+    #[must_use]
+    pub fn with_llc_bytes(llc_bytes: u64) -> Self {
+        let mut cfg = Self::paper_default();
+        cfg.llc_bytes = llc_bytes;
+        // Validate eagerly so misconfigurations fail at build time, not
+        // mid-experiment.
+        let _ = CacheGeometry::new("LLC", cfg.llc_bytes, cfg.llc_ways);
+        cfg
+    }
+
+    /// Total number of cache lines across all three levels — the worst
+    /// case number of blocks an EPD drain must flush.
+    ///
+    /// For the paper default this is 295 936, the block count quoted in
+    /// Figure 6.
+    #[must_use]
+    pub fn total_lines(&self) -> u64 {
+        (self.l1_bytes + self.l2_bytes + self.llc_bytes) / crate::BLOCK_SIZE as u64
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The three-level cache hierarchy.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    llc: SetAssocCache,
+}
+
+impl CacheHierarchy {
+    /// Builds an empty hierarchy from `config`.
+    #[must_use]
+    pub fn new(config: &HierarchyConfig) -> Self {
+        Self {
+            l1: SetAssocCache::new(CacheGeometry::new("L1", config.l1_bytes, config.l1_ways)),
+            l2: SetAssocCache::new(CacheGeometry::new("L2", config.l2_bytes, config.l2_ways)),
+            llc: SetAssocCache::new(CacheGeometry::new("LLC", config.llc_bytes, config.llc_ways)),
+        }
+    }
+
+    /// The L1 cache.
+    #[must_use]
+    pub fn l1(&self) -> &SetAssocCache {
+        &self.l1
+    }
+
+    /// The L2 cache.
+    #[must_use]
+    pub fn l2(&self) -> &SetAssocCache {
+        &self.l2
+    }
+
+    /// The last-level cache.
+    #[must_use]
+    pub fn llc(&self) -> &SetAssocCache {
+        &self.llc
+    }
+
+    /// Mutable access to a level by index (0 = L1, 1 = L2, 2 = LLC), used
+    /// by workload generators installing a crash-time snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > 2`.
+    pub fn level_mut(&mut self, level: usize) -> &mut SetAssocCache {
+        match level {
+            0 => &mut self.l1,
+            1 => &mut self.l2,
+            2 => &mut self.llc,
+            _ => panic!("cache level {level} out of range (0..=2)"),
+        }
+    }
+
+    /// The levels in drain order (L1 first, as upper levels hold the
+    /// newest versions).
+    #[must_use]
+    pub fn levels(&self) -> [&SetAssocCache; 3] {
+        [&self.l1, &self.l2, &self.llc]
+    }
+
+    /// A run-time write: allocates in L1, spilling evictions down the
+    /// hierarchy; returns any dirty line evicted from the LLC (which the
+    /// memory controller must write to NVM).
+    pub fn write(&mut self, addr: u64, data: Block) -> Option<EvictedLine> {
+        let mut spilled = self.l1.insert(addr, data, true);
+        if let Some(v) = spilled {
+            spilled = self.l2.insert(v.addr, v.data, v.dirty);
+        } else {
+            return None;
+        }
+        if let Some(v) = spilled {
+            let out = self.llc.insert(v.addr, v.data, v.dirty);
+            return out.filter(|l| l.dirty);
+        }
+        None
+    }
+
+    /// Fills a block read from memory into L1 in clean state, spilling
+    /// evictions down the hierarchy; returns any dirty line evicted from
+    /// the LLC.
+    pub fn fill(&mut self, addr: u64, data: Block) -> Option<EvictedLine> {
+        let mut spilled = self.l1.insert(addr, data, false);
+        if let Some(v) = spilled {
+            spilled = self.l2.insert(v.addr, v.data, v.dirty);
+        } else {
+            return None;
+        }
+        if let Some(v) = spilled {
+            let out = self.llc.insert(v.addr, v.data, v.dirty);
+            return out.filter(|l| l.dirty);
+        }
+        None
+    }
+
+    /// A run-time read: returns the block if any level holds it (L1 wins),
+    /// without modelling fills.
+    pub fn read(&mut self, addr: u64) -> Option<Block> {
+        if let Some(b) = self.l1.lookup(addr) {
+            return Some(*b);
+        }
+        if let Some(b) = self.l2.lookup(addr) {
+            return Some(*b);
+        }
+        self.llc.lookup(addr).copied()
+    }
+
+    /// Total dirty lines across all levels, counting each address once
+    /// (the upper level owns the newest version).
+    #[must_use]
+    pub fn dirty_unique(&self) -> u64 {
+        self.drain_order().len() as u64
+    }
+
+    /// The crash-time drain list: every dirty line in the hierarchy in
+    /// hardware walk order (L1 sets, then L2, then LLC), deduplicated so
+    /// each address appears once with its newest data.
+    ///
+    /// This is exactly the stream of blocks the EPD back-up power must
+    /// push to NVM.
+    #[must_use]
+    pub fn drain_order(&self) -> Vec<(u64, Block)> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for level in self.levels() {
+            for (addr, data, dirty) in level.iter() {
+                if dirty && seen.insert(addr) {
+                    out.push((addr, *data));
+                }
+            }
+        }
+        out
+    }
+
+    /// Empties every level (e.g. after a completed drain: the hierarchy
+    /// has lost power).
+    pub fn clear(&mut self) {
+        self.l1.clear();
+        self.l2.clear();
+        self.llc.clear();
+    }
+
+    /// Installs a recovered block into the LLC in dirty state — the
+    /// recovery path of Horus (§IV-C.3: "place them back in the LLC in
+    /// dirty state"). Returns a dirty LLC victim if recovery overflows a
+    /// set, which the caller must write back through the run-time path.
+    pub fn restore_dirty(&mut self, addr: u64, data: Block) -> Option<EvictedLine> {
+        self.llc.insert(addr, data, true).filter(|l| l.dirty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheHierarchy {
+        CacheHierarchy::new(&HierarchyConfig {
+            l1_bytes: 4 * 64,
+            l1_ways: 2,
+            l2_bytes: 8 * 64,
+            l2_ways: 2,
+            llc_bytes: 16 * 64,
+            llc_ways: 2,
+        })
+    }
+
+    fn blk(v: u8) -> Block {
+        [v; 64]
+    }
+
+    #[test]
+    fn paper_default_block_count_matches_figure6() {
+        assert_eq!(HierarchyConfig::paper_default().total_lines(), 295_936);
+    }
+
+    #[test]
+    fn with_llc_bytes_scales() {
+        let cfg = HierarchyConfig::with_llc_bytes(8 * 1024 * 1024);
+        assert_eq!(cfg.llc_bytes, 8 * 1024 * 1024);
+        assert_eq!(cfg.l1_bytes, 64 * 1024);
+    }
+
+    #[test]
+    fn write_allocates_in_l1() {
+        let mut h = tiny();
+        assert!(h.write(0, blk(1)).is_none());
+        assert!(h.l1().is_dirty(0));
+        assert_eq!(h.read(0), Some(blk(1)));
+    }
+
+    #[test]
+    fn eviction_spills_down() {
+        let mut h = tiny();
+        // L1: 2 sets x 2 ways. Fill set 0 (stride = 2 sets * 64 = 128).
+        h.write(0, blk(1));
+        h.write(128, blk(2));
+        h.write(256, blk(3)); // evicts LRU (0) into L2
+        assert!(!h.l1().contains(0));
+        assert!(h.l2().contains(0));
+        assert_eq!(h.read(0), Some(blk(1)));
+    }
+
+    #[test]
+    fn drain_order_dedups_upper_level_wins() {
+        let mut h = tiny();
+        h.level_mut(2).insert(0, blk(9), true); // stale LLC copy
+        h.level_mut(0).insert(0, blk(1), true); // newest in L1
+        let drained = h.drain_order();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0], (0, blk(1)));
+    }
+
+    #[test]
+    fn drain_order_skips_clean_lines() {
+        let mut h = tiny();
+        h.level_mut(2).insert(0, blk(1), false);
+        h.level_mut(2).insert(64, blk(2), true);
+        let drained = h.drain_order();
+        assert_eq!(drained, vec![(64, blk(2))]);
+        assert_eq!(h.dirty_unique(), 1);
+    }
+
+    #[test]
+    fn clear_empties_all_levels() {
+        let mut h = tiny();
+        h.write(0, blk(1));
+        h.level_mut(2).insert(64, blk(2), true);
+        h.clear();
+        assert!(h.drain_order().is_empty());
+    }
+
+    #[test]
+    fn restore_dirty_fills_llc() {
+        let mut h = tiny();
+        assert!(h.restore_dirty(0, blk(7)).is_none());
+        assert!(h.llc().is_dirty(0));
+        assert_eq!(h.drain_order(), vec![(0, blk(7))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_level_index() {
+        let mut h = tiny();
+        let _ = h.level_mut(3);
+    }
+
+    #[test]
+    fn llc_dirty_eviction_surfaces() {
+        let mut h = tiny();
+        // Force enough writes mapping to one LLC set to overflow the
+        // whole hierarchy path. LLC: 8 sets x 2 ways => stride 512.
+        let mut spills = 0;
+        for i in 0..32u64 {
+            if h.write(i * 512, blk(i as u8)).is_some() {
+                spills += 1;
+            }
+        }
+        assert!(spills > 0, "expected dirty LLC evictions");
+    }
+}
+
+#[cfg(test)]
+mod fill_tests {
+    use super::*;
+
+    fn tiny() -> CacheHierarchy {
+        CacheHierarchy::new(&HierarchyConfig {
+            l1_bytes: 4 * 64,
+            l1_ways: 2,
+            l2_bytes: 8 * 64,
+            l2_ways: 2,
+            llc_bytes: 16 * 64,
+            llc_ways: 2,
+        })
+    }
+
+    #[test]
+    fn fill_installs_clean_in_l1() {
+        let mut h = tiny();
+        assert!(h.fill(0, [4; 64]).is_none());
+        assert!(h.l1().contains(0));
+        assert!(!h.l1().is_dirty(0));
+        assert!(h.drain_order().is_empty(), "clean fills are not drained");
+    }
+
+    #[test]
+    fn fill_spills_preserve_dirtiness() {
+        let mut h = tiny();
+        // Dirty write, then enough clean fills in the same L1 set to push
+        // it down: its dirty bit must survive the journey.
+        h.write(0, [9; 64]);
+        for i in 1..=8u64 {
+            h.fill(i * 128, [0; 64]); // L1 set 0 (2 sets, stride 128)
+        }
+        assert!(!h.l1().is_dirty(0) || h.l1().contains(0));
+        let drained = h.drain_order();
+        assert_eq!(
+            drained,
+            vec![(0, [9; 64])],
+            "the dirty line is still drainable"
+        );
+    }
+
+    #[test]
+    fn fill_returns_dirty_llc_victims_only() {
+        let mut h = tiny();
+        let mut victims = 0;
+        // Alternate dirty writes and clean fills on one conflict chain.
+        for i in 0..64u64 {
+            let addr = i * 1024; // LLC set-conflicting stride (8 sets)
+            if i % 2 == 0 {
+                if h.write(addr, [1; 64]).is_some() {
+                    victims += 1;
+                }
+            } else if let Some(v) = h.fill(addr, [2; 64]) {
+                assert!(v.dirty, "fill must only surface dirty victims");
+                victims += 1;
+            }
+        }
+        assert!(victims > 0, "conflict chain must overflow the hierarchy");
+    }
+}

@@ -1,0 +1,77 @@
+//! Cache models for the Horus secure-EPD reproduction.
+//!
+//! Two layers:
+//!
+//! * [`SetAssocCache`] — a generic set-associative, write-back, LRU cache
+//!   of 64-byte blocks. It is used both for the processor caches and for
+//!   the security-metadata caches (counter / MAC / Merkle-tree caches of
+//!   the paper's Table I).
+//! * [`CacheHierarchy`] — the three-level L1/L2/LLC hierarchy whose dirty
+//!   contents must be drained to NVM when power fails (the paper's
+//!   64 KB L1, 2 MB L2, 16 MB inclusive LLC by default).
+//!
+//! The caches are *functional*: they hold real block bytes, so the drain
+//! engines in `horus-core` encrypt and MAC actual data.
+//!
+//! # Example
+//!
+//! ```
+//! use horus_cache::{CacheGeometry, SetAssocCache};
+//!
+//! let mut c = SetAssocCache::new(CacheGeometry::new("L1", 64 * 1024, 2));
+//! assert_eq!(c.capacity_lines(), 1024);
+//! c.insert(0x40, [7u8; 64], true);
+//! assert_eq!(c.lookup(0x40), Some(&[7u8; 64]));
+//! assert_eq!(c.hits(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hierarchy;
+pub mod set_assoc;
+
+pub use hierarchy::{CacheHierarchy, HierarchyConfig};
+pub use set_assoc::{CacheGeometry, EvictedLine, ReplacementPolicy, SetAssocCache};
+
+/// Size in bytes of a cache block throughout the system.
+pub const BLOCK_SIZE: usize = 64;
+
+/// Log2 of [`BLOCK_SIZE`], for address arithmetic.
+pub const BLOCK_SHIFT: u32 = 6;
+
+/// A 64-byte cache block.
+pub type Block = [u8; BLOCK_SIZE];
+
+/// Returns `addr` aligned down to a block boundary.
+///
+/// ```
+/// assert_eq!(horus_cache::block_align(0x47), 0x40);
+/// assert_eq!(horus_cache::block_align(0x40), 0x40);
+/// ```
+#[must_use]
+pub fn block_align(addr: u64) -> u64 {
+    addr & !(BLOCK_SIZE as u64 - 1)
+}
+
+/// Whether `addr` is block-aligned.
+#[must_use]
+pub fn is_block_aligned(addr: u64) -> bool {
+    addr.is_multiple_of(BLOCK_SIZE as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_helpers() {
+        assert_eq!(block_align(0), 0);
+        assert_eq!(block_align(63), 0);
+        assert_eq!(block_align(64), 64);
+        assert_eq!(block_align(130), 128);
+        assert!(is_block_aligned(0));
+        assert!(is_block_aligned(128));
+        assert!(!is_block_aligned(1));
+    }
+}

@@ -1,0 +1,659 @@
+//! A generic set-associative, write-back cache with LRU replacement.
+
+use crate::{is_block_aligned, Block, BLOCK_SHIFT, BLOCK_SIZE};
+
+/// Victim-selection policy for a set-associative cache.
+///
+/// The metadata caches' replacement behaviour directly shapes the
+/// baseline drain cost (every victim may trigger a write-back plus a
+/// lazy tree update), so the policy is an ablation knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently-used line (the default).
+    #[default]
+    Lru,
+    /// Evict the oldest-inserted line, ignoring reuse.
+    Fifo,
+    /// Evict a pseudo-random line (deterministic xorshift stream seeded
+    /// by the given value).
+    Random(u64),
+}
+
+impl std::fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplacementPolicy::Lru => write!(f, "LRU"),
+            ReplacementPolicy::Fifo => write!(f, "FIFO"),
+            ReplacementPolicy::Random(seed) => write!(f, "random({seed})"),
+        }
+    }
+}
+
+/// Static geometry of a cache: total size, associativity, and name.
+///
+/// ```
+/// use horus_cache::CacheGeometry;
+/// let g = CacheGeometry::new("LLC", 16 * 1024 * 1024, 16);
+/// assert_eq!(g.num_lines(), 262_144);
+/// assert_eq!(g.num_sets(), 16_384);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    name: &'static str,
+    size_bytes: u64,
+    ways: usize,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size is not a multiple of the block size, if
+    /// `ways` is zero or does not divide the line count, or if the
+    /// resulting set count is not a power of two (required for index
+    /// extraction).
+    #[must_use]
+    pub fn new(name: &'static str, size_bytes: u64, ways: usize) -> Self {
+        assert!(
+            size_bytes > 0 && size_bytes.is_multiple_of(BLOCK_SIZE as u64),
+            "size must be a positive multiple of {BLOCK_SIZE}"
+        );
+        assert!(ways > 0, "associativity must be positive");
+        let lines = size_bytes / BLOCK_SIZE as u64;
+        assert!(
+            lines.is_multiple_of(ways as u64),
+            "ways must divide the line count"
+        );
+        let sets = lines / ways as u64;
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two (got {sets})"
+        );
+        Self {
+            name,
+            size_bytes,
+            ways,
+        }
+    }
+
+    /// The cache's display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Associativity (lines per set).
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total number of 64-byte lines.
+    #[must_use]
+    pub fn num_lines(&self) -> u64 {
+        self.size_bytes / BLOCK_SIZE as u64
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn num_sets(&self) -> u64 {
+        self.num_lines() / self.ways as u64
+    }
+
+    /// The set an address maps to.
+    #[must_use]
+    pub fn set_of(&self, addr: u64) -> u64 {
+        (addr >> BLOCK_SHIFT) & (self.num_sets() - 1)
+    }
+}
+
+/// A line evicted from a cache (or popped during a drain walk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// The block-aligned address the line held.
+    pub addr: u64,
+    /// The line's data.
+    pub data: Block,
+    /// Whether the line was dirty (needs writing back).
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    addr: u64,
+    data: Block,
+    dirty: bool,
+    last_use: u64,
+    inserted: u64,
+}
+
+/// A set-associative write-back cache of 64-byte blocks with LRU
+/// replacement.
+///
+/// Addresses must be block-aligned. The cache is functional (it stores
+/// real bytes); hit/miss statistics accumulate until
+/// [`reset_stats`](Self::reset_stats).
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geom: CacheGeometry,
+    policy: ReplacementPolicy,
+    sets: Vec<Vec<Line>>,
+    tick: u64,
+    rng: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty LRU cache with the given geometry.
+    #[must_use]
+    pub fn new(geom: CacheGeometry) -> Self {
+        Self::with_policy(geom, ReplacementPolicy::Lru)
+    }
+
+    /// Creates an empty cache with an explicit replacement policy.
+    #[must_use]
+    pub fn with_policy(geom: CacheGeometry, policy: ReplacementPolicy) -> Self {
+        let sets = (0..geom.num_sets())
+            .map(|_| Vec::with_capacity(geom.ways()))
+            .collect();
+        let rng = match policy {
+            ReplacementPolicy::Random(seed) => seed | 1,
+            _ => 1,
+        };
+        Self {
+            geom,
+            policy,
+            sets,
+            tick: 0,
+            rng,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The replacement policy in force.
+    #[must_use]
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
+    fn victim_index(&mut self, set: usize) -> usize {
+        let lines = &self.sets[set];
+        match self.policy {
+            ReplacementPolicy::Lru => {
+                lines
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.last_use)
+                    .expect("non-empty")
+                    .0
+            }
+            ReplacementPolicy::Fifo => {
+                lines
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.inserted)
+                    .expect("non-empty")
+                    .0
+            }
+            ReplacementPolicy::Random(_) => {
+                // xorshift64*
+                let mut x = self.rng;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                self.rng = x;
+                (x.wrapping_mul(0x2545_f491_4f6c_dd1d) % lines.len() as u64) as usize
+            }
+        }
+    }
+
+    /// The cache's geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    /// Total line capacity.
+    #[must_use]
+    pub fn capacity_lines(&self) -> u64 {
+        self.geom.num_lines()
+    }
+
+    /// Number of currently valid lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the cache holds no lines.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(Vec::is_empty)
+    }
+
+    /// Lookup hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Clears hit/miss statistics (contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    fn assert_aligned(addr: u64) {
+        assert!(
+            is_block_aligned(addr),
+            "address {addr:#x} is not block-aligned"
+        );
+    }
+
+    fn set_index(&self, addr: u64) -> usize {
+        self.geom.set_of(addr) as usize
+    }
+
+    /// Looks up `addr`, counting a hit or miss and refreshing LRU state.
+    pub fn lookup(&mut self, addr: u64) -> Option<&Block> {
+        Self::assert_aligned(addr);
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(addr);
+        match self.sets[set].iter().position(|l| l.addr == addr) {
+            Some(idx) => {
+                self.hits += 1;
+                let line = &mut self.sets[set][idx];
+                line.last_use = tick;
+                Some(&self.sets[set][idx].data)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Reads `addr` without touching statistics or LRU state.
+    #[must_use]
+    pub fn peek(&self, addr: u64) -> Option<&Block> {
+        Self::assert_aligned(addr);
+        let set = self.set_index(addr);
+        self.sets[set]
+            .iter()
+            .find(|l| l.addr == addr)
+            .map(|l| &l.data)
+    }
+
+    /// Whether the line at `addr` is present and dirty.
+    #[must_use]
+    pub fn is_dirty(&self, addr: u64) -> bool {
+        Self::assert_aligned(addr);
+        let set = self.set_index(addr);
+        self.sets[set].iter().any(|l| l.addr == addr && l.dirty)
+    }
+
+    /// Whether `addr` is cached (no statistics recorded).
+    #[must_use]
+    pub fn contains(&self, addr: u64) -> bool {
+        self.peek(addr).is_some()
+    }
+
+    /// Inserts (or overwrites) the line at `addr`, returning the evicted
+    /// victim if the set was full.
+    ///
+    /// On overwrite the dirty bit accumulates (`dirty |= new`), matching
+    /// write-back semantics where a clean fill over a dirty line cannot
+    /// lose the pending write-back.
+    pub fn insert(&mut self, addr: u64, data: Block, dirty: bool) -> Option<EvictedLine> {
+        Self::assert_aligned(addr);
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(addr);
+        let ways = self.geom.ways();
+        let lines = &mut self.sets[set];
+        if let Some(line) = lines.iter_mut().find(|l| l.addr == addr) {
+            line.data = data;
+            line.dirty |= dirty;
+            line.last_use = tick;
+            return None;
+        }
+        let victim = if lines.len() == ways {
+            let idx = self.victim_index(set);
+            let v = self.sets[set].swap_remove(idx);
+            Some(EvictedLine {
+                addr: v.addr,
+                data: v.data,
+                dirty: v.dirty,
+            })
+        } else {
+            None
+        };
+        self.sets[set].push(Line {
+            addr,
+            data,
+            dirty,
+            last_use: tick,
+            inserted: tick,
+        });
+        victim
+    }
+
+    /// Writes `data` to the line at `addr` if present, marking it dirty.
+    /// Returns whether the line was present.
+    pub fn write_hit(&mut self, addr: u64, data: Block) -> bool {
+        Self::assert_aligned(addr);
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(addr);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.addr == addr) {
+            line.data = data;
+            line.dirty = true;
+            line.last_use = tick;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Clears the dirty bit of the line at `addr` (it has been written
+    /// back). Returns whether the line was present.
+    pub fn mark_clean(&mut self, addr: u64) -> bool {
+        Self::assert_aligned(addr);
+        let set = self.set_index(addr);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.addr == addr) {
+            line.dirty = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes the line at `addr`, returning it if it was present.
+    pub fn invalidate(&mut self, addr: u64) -> Option<EvictedLine> {
+        Self::assert_aligned(addr);
+        let set = self.set_index(addr);
+        let lines = &mut self.sets[set];
+        let idx = lines.iter().position(|l| l.addr == addr)?;
+        let v = lines.swap_remove(idx);
+        Some(EvictedLine {
+            addr: v.addr,
+            data: v.data,
+            dirty: v.dirty,
+        })
+    }
+
+    /// Iterates every valid line in set order (the order a hardware drain
+    /// walk visits the arrays), as `(addr, &data, dirty)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Block, bool)> {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().map(|l| (l.addr, &l.data, l.dirty)))
+    }
+
+    /// Iterates only the dirty lines, in set order.
+    pub fn dirty_lines(&self) -> impl Iterator<Item = (u64, &Block)> {
+        self.iter().filter(|(_, _, d)| *d).map(|(a, b, _)| (a, b))
+    }
+
+    /// Number of dirty lines.
+    #[must_use]
+    pub fn dirty_count(&self) -> u64 {
+        self.iter().filter(|(_, _, d)| *d).count() as u64
+    }
+
+    /// Empties the cache (statistics are kept).
+    pub fn clear(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache {
+        // 4 sets x 2 ways.
+        SetAssocCache::new(CacheGeometry::new("t", 8 * 64, 2))
+    }
+
+    fn blk(v: u8) -> Block {
+        [v; BLOCK_SIZE]
+    }
+
+    #[test]
+    fn geometry_math() {
+        let g = CacheGeometry::new("L2", 2 * 1024 * 1024, 8);
+        assert_eq!(g.num_lines(), 32_768);
+        assert_eq!(g.num_sets(), 4_096);
+        assert_eq!(g.ways(), 8);
+        assert_eq!(g.set_of(0), 0);
+        assert_eq!(g.set_of(64), 1);
+        assert_eq!(g.set_of(64 * 4096), 0);
+        assert_eq!(g.name(), "L2");
+        assert_eq!(g.size_bytes(), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        let _ = CacheGeometry::new("bad", 3 * 64, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_ways_rejected() {
+        let _ = CacheGeometry::new("bad", 64, 0);
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut c = small();
+        assert_eq!(c.lookup(0), None);
+        c.insert(0, blk(1), false);
+        assert_eq!(c.lookup(0), Some(&blk(1)));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        c.reset_stats();
+        assert_eq!(c.hits(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block-aligned")]
+    fn misaligned_rejected() {
+        let mut c = small();
+        let _ = c.lookup(1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small();
+        // Set 0 gets addresses 0 and 4*64*... (4 sets => stride 256).
+        c.insert(0, blk(1), true);
+        c.insert(256, blk(2), false);
+        // Touch the first line so 256 becomes LRU.
+        let _ = c.lookup(0);
+        let evicted = c.insert(512, blk(3), false).expect("set full");
+        assert_eq!(evicted.addr, 256);
+        assert!(!evicted.dirty);
+        assert!(c.contains(0) && c.contains(512));
+    }
+
+    #[test]
+    fn dirty_eviction_carries_data() {
+        let mut c = small();
+        c.insert(0, blk(9), true);
+        c.insert(256, blk(2), false);
+        let _ = c.lookup(256);
+        // 0 is now LRU and dirty.
+        let evicted = c.insert(512, blk(3), false).expect("set full");
+        assert_eq!(
+            evicted,
+            EvictedLine {
+                addr: 0,
+                data: blk(9),
+                dirty: true
+            }
+        );
+    }
+
+    #[test]
+    fn overwrite_accumulates_dirty() {
+        let mut c = small();
+        c.insert(0, blk(1), true);
+        assert!(c.insert(0, blk(2), false).is_none());
+        assert!(c.is_dirty(0));
+        assert_eq!(c.peek(0), Some(&blk(2)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn write_hit_and_mark_clean() {
+        let mut c = small();
+        assert!(!c.write_hit(0, blk(5)));
+        c.insert(0, blk(1), false);
+        assert!(c.write_hit(0, blk(5)));
+        assert!(c.is_dirty(0));
+        assert!(c.mark_clean(0));
+        assert!(!c.is_dirty(0));
+        assert!(!c.mark_clean(64));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = small();
+        c.insert(0, blk(1), true);
+        let line = c.invalidate(0).expect("present");
+        assert!(line.dirty);
+        assert!(!c.contains(0));
+        assert!(c.invalidate(0).is_none());
+    }
+
+    #[test]
+    fn iteration_and_dirty_count() {
+        let mut c = small();
+        c.insert(0, blk(1), true);
+        c.insert(64, blk(2), false);
+        c.insert(128, blk(3), true);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.dirty_count(), 2);
+        let dirty: Vec<u64> = c.dirty_lines().map(|(a, _)| a).collect();
+        assert_eq!(dirty, vec![0, 128]);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn fills_to_capacity_without_eviction() {
+        let mut c = small();
+        for i in 0..8u64 {
+            assert!(c.insert(i * 64, blk(i as u8), true).is_none(), "line {i}");
+        }
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.dirty_count(), 8);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut c = small();
+        c.insert(0, blk(1), false);
+        let _ = c.peek(0);
+        let _ = c.peek(64);
+        assert_eq!(c.hits() + c.misses(), 0);
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+
+    fn blk(v: u8) -> Block {
+        [v; BLOCK_SIZE]
+    }
+
+    // One set (2 ways) caches so victim choice is easy to observe.
+    fn cache(policy: ReplacementPolicy) -> SetAssocCache {
+        SetAssocCache::with_policy(CacheGeometry::new("t", 2 * 64, 2), policy)
+    }
+
+    #[test]
+    fn fifo_ignores_reuse() {
+        let mut c = cache(ReplacementPolicy::Fifo);
+        c.insert(0, blk(1), false);
+        c.insert(64, blk(2), false);
+        // Touch the oldest line: LRU would now spare it, FIFO must not.
+        let _ = c.lookup(0);
+        let victim = c.insert(64 * 2, blk(3), false).expect("set full");
+        assert_eq!(victim.addr, 0, "FIFO evicts the oldest insertion");
+    }
+
+    #[test]
+    fn lru_respects_reuse() {
+        let mut c = cache(ReplacementPolicy::Lru);
+        c.insert(0, blk(1), false);
+        c.insert(64, blk(2), false);
+        let _ = c.lookup(0);
+        let victim = c.insert(128, blk(3), false).expect("set full");
+        assert_eq!(victim.addr, 64, "LRU spares the reused line");
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut c = cache(ReplacementPolicy::Random(seed));
+            let mut victims = Vec::new();
+            for i in 0..20u64 {
+                if let Some(v) = c.insert(i * 64, blk(i as u8), false) {
+                    victims.push(v.addr);
+                }
+            }
+            victims
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should diverge");
+    }
+
+    #[test]
+    fn policy_accessors_and_display() {
+        assert_eq!(
+            cache(ReplacementPolicy::Fifo).policy(),
+            ReplacementPolicy::Fifo
+        );
+        assert_eq!(ReplacementPolicy::default(), ReplacementPolicy::Lru);
+        assert_eq!(ReplacementPolicy::Lru.to_string(), "LRU");
+        assert_eq!(ReplacementPolicy::Random(3).to_string(), "random(3)");
+    }
+
+    #[test]
+    fn overwrite_never_consults_policy() {
+        // Overwriting a present line must not evict under any policy.
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random(1),
+        ] {
+            let mut c = cache(policy);
+            c.insert(0, blk(1), false);
+            c.insert(64, blk(2), false);
+            assert!(c.insert(0, blk(9), true).is_none(), "{policy}");
+            assert_eq!(c.len(), 2);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! The on-chip drain counter registers (paper §IV-C.1).
+//!
+//! Horus protects the CHV without any in-memory counters or tree: a
+//! persistent, monotonically increasing **drain counter** (DC) provides a
+//! unique initialization vector for every block ever flushed to the CHV,
+//! across all draining episodes. The **ephemeral drain counter** (eDC)
+//! counts the blocks of the *current* episode and is cleared on recovery,
+//! so the DC value used for the block at CHV position `i` is always
+//! recoverable as `DC - eDC + i`.
+
+use serde::{Deserialize, Serialize};
+
+/// The DC/eDC register pair.
+///
+/// ```
+/// use horus_core::DrainCounters;
+/// let mut dc = DrainCounters::new();
+/// assert_eq!(dc.allocate(), 1);
+/// assert_eq!(dc.allocate(), 2);
+/// assert_eq!(dc.for_position(0), 1);
+/// assert_eq!(dc.for_position(1), 2);
+/// dc.clear_ephemeral();
+/// assert_eq!(dc.allocate(), 3, "DC keeps increasing across episodes");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DrainCounters {
+    dc: u64,
+    edc: u64,
+}
+
+impl DrainCounters {
+    /// Fresh registers (first boot).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The persistent drain counter: total blocks ever flushed.
+    #[must_use]
+    pub fn dc(&self) -> u64 {
+        self.dc
+    }
+
+    /// The ephemeral drain counter: blocks flushed in the current (most
+    /// recent, unrecovered) episode.
+    #[must_use]
+    pub fn edc(&self) -> u64 {
+        self.edc
+    }
+
+    /// Allocates the next drain-counter value for a flush operation.
+    /// Never returns the same value twice in the lifetime of the system.
+    pub fn allocate(&mut self) -> u64 {
+        self.dc += 1;
+        self.edc += 1;
+        self.dc
+    }
+
+    /// The DC value that was used for the block at CHV position `pos` of
+    /// the current episode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is not within the current episode.
+    #[must_use]
+    pub fn for_position(&self, pos: u64) -> u64 {
+        assert!(
+            pos < self.edc,
+            "position {pos} beyond the {} drained blocks",
+            self.edc
+        );
+        self.dc - self.edc + pos + 1
+    }
+
+    /// Clears the ephemeral counter after a successful recovery.
+    pub fn clear_ephemeral(&mut self) {
+        self.edc = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_never_repeat_across_episodes() {
+        let mut r = DrainCounters::new();
+        let mut seen = std::collections::HashSet::new();
+        for _episode in 0..5 {
+            for _ in 0..10 {
+                assert!(seen.insert(r.allocate()), "drain counter value repeated");
+            }
+            r.clear_ephemeral();
+        }
+        assert_eq!(r.dc(), 50);
+        assert_eq!(r.edc(), 0);
+    }
+
+    #[test]
+    fn position_mapping_is_exact() {
+        let mut r = DrainCounters::new();
+        // First episode: 3 blocks; recover; second episode: 4 blocks.
+        let e1: Vec<u64> = (0..3).map(|_| r.allocate()).collect();
+        for (i, v) in e1.iter().enumerate() {
+            assert_eq!(r.for_position(i as u64), *v);
+        }
+        r.clear_ephemeral();
+        let e2: Vec<u64> = (0..4).map(|_| r.allocate()).collect();
+        for (i, v) in e2.iter().enumerate() {
+            assert_eq!(r.for_position(i as u64), *v);
+        }
+        assert_eq!(e2[0], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn out_of_episode_position_panics() {
+        let mut r = DrainCounters::new();
+        r.allocate();
+        let _ = r.for_position(1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Measurement reports produced by drains and recoveries.
+
+use horus_sim::Stats;
+use serde::{Deserialize, Serialize};
+
+/// Everything measured about one draining episode — the raw material for
+/// the paper's Figures 6 and 11–13 and Tables II–III.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct DrainReport {
+    /// The drain scheme, as a display string (`"Base-LU"` etc.).
+    pub scheme: String,
+    /// Dirty hierarchy blocks flushed.
+    pub flushed_blocks: u64,
+    /// Metadata-cache blocks flushed (via the CHV for Horus, in place or
+    /// to the shadow region for the baselines).
+    pub metadata_blocks: u64,
+    /// Draining time in core cycles — the quantity the EPD hold-up
+    /// budget must cover.
+    pub cycles: u64,
+    /// Draining time in seconds.
+    pub seconds: f64,
+    /// Total NVM reads during the drain.
+    pub reads: u64,
+    /// Total NVM writes during the drain.
+    pub writes: u64,
+    /// Total MAC computations during the drain.
+    pub mac_ops: u64,
+    /// Total one-time pads generated during the drain.
+    pub otp_ops: u64,
+    /// The full counter breakdown (`mem.read.*`, `mem.write.*`,
+    /// `macop.*`, `aesop.*`).
+    pub stats: Stats,
+}
+
+impl DrainReport {
+    /// Total memory requests (reads + writes) — the paper's Figure 6 /
+    /// Figure 14 metric.
+    #[must_use]
+    pub fn memory_requests(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Memory writes grouped into the paper's Figure 12 categories:
+    /// `(data, metadata evictions, CHV MAC+address, metadata flush)`.
+    #[must_use]
+    pub fn write_breakdown(&self) -> WriteBreakdown {
+        let s = &self.stats;
+        WriteBreakdown {
+            data: s.get("mem.write.data") + s.get("mem.write.chv_data"),
+            metadata_evictions: s.get("mem.write.counter_evict")
+                + s.get("mem.write.tree_evict")
+                + s.get("mem.write.mac_evict"),
+            chv_protection: s.get("mem.write.chv_mac") + s.get("mem.write.chv_addr"),
+            metadata_flush: s.get("mem.write.meta_flush")
+                + s.get("mem.write.shadow")
+                + s.get("mem.write.chv_meta"),
+        }
+    }
+
+    /// MAC computations grouped into the paper's Figure 13 categories:
+    /// `(verification, tree update, data MACs, tree/cache protection)`.
+    #[must_use]
+    pub fn mac_breakdown(&self) -> MacBreakdown {
+        let s = &self.stats;
+        MacBreakdown {
+            verify: s.get("macop.verify_counter") + s.get("macop.verify_tree"),
+            tree_update: s.get("macop.update_tree"),
+            data: s.get("macop.data_mac") + s.get("macop.chv_entry"),
+            protect: s.get("macop.small_tree") + s.get("macop.chv_l2"),
+        }
+    }
+}
+
+/// The Figure 12 write categories.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+pub struct WriteBreakdown {
+    /// Flushed data blocks (in place or into the CHV).
+    pub data: u64,
+    /// Dirty metadata blocks evicted by drain-time security operations.
+    pub metadata_evictions: u64,
+    /// CHV MAC and address blocks.
+    pub chv_protection: u64,
+    /// The final metadata-cache flush.
+    pub metadata_flush: u64,
+}
+
+impl WriteBreakdown {
+    /// Sum of all categories.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.data + self.metadata_evictions + self.chv_protection + self.metadata_flush
+    }
+}
+
+/// The Figure 13 MAC-computation categories.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+pub struct MacBreakdown {
+    /// Verification of counters and tree nodes fetched from NVM.
+    pub verify: u64,
+    /// Merkle-tree updates (eager path updates, lazy eviction updates).
+    pub tree_update: u64,
+    /// MACs over the flushed data blocks themselves.
+    pub data: u64,
+    /// Protection of the flushed metadata / second-level CHV MACs.
+    pub protect: u64,
+}
+
+impl MacBreakdown {
+    /// Sum of all categories.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.verify + self.tree_update + self.data + self.protect
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdowns_partition_reasonably() {
+        let mut stats = Stats::new();
+        stats.add("mem.write.data", 10);
+        stats.add("mem.write.chv_mac", 2);
+        stats.add("mem.write.counter_evict", 3);
+        stats.add("mem.write.meta_flush", 1);
+        stats.add("macop.verify_tree", 5);
+        stats.add("macop.chv_entry", 7);
+        let r = DrainReport {
+            scheme: "test".into(),
+            flushed_blocks: 10,
+            metadata_blocks: 1,
+            cycles: 100,
+            seconds: 1e-6,
+            reads: 4,
+            writes: 16,
+            mac_ops: 12,
+            otp_ops: 10,
+            stats,
+        };
+        assert_eq!(r.memory_requests(), 20);
+        let wb = r.write_breakdown();
+        assert_eq!(wb.data, 10);
+        assert_eq!(wb.metadata_evictions, 3);
+        assert_eq!(wb.chv_protection, 2);
+        assert_eq!(wb.metadata_flush, 1);
+        assert_eq!(wb.total(), 16);
+        let mb = r.mac_breakdown();
+        assert_eq!(mb.verify, 5);
+        assert_eq!(mb.data, 7);
+        assert_eq!(mb.total(), 12);
+    }
+}

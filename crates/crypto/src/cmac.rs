@@ -1,0 +1,253 @@
+//! AES-CMAC message authentication (RFC 4493 / NIST SP 800-38B).
+//!
+//! The secure memory controller stores a truncated 64-bit MAC ([`Mac64`])
+//! per protected block; eight of them fit in one 64-byte memory block,
+//! which is what makes the Horus MAC-coalescing scheme (§IV-C.2) possible.
+
+use crate::aes::{Aes128, AesBlock, AES_BLOCK_SIZE};
+
+/// A 64-bit (8-byte) truncated MAC as stored in memory.
+///
+/// Full 128-bit CMAC tags are computed internally and truncated to the
+/// first 8 bytes, matching the per-block MAC budget used by secure-memory
+/// designs (8 MACs per 64-byte MAC block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Mac64(pub [u8; 8]);
+
+impl Mac64 {
+    /// The all-zero MAC, used as the initial value of coalescing registers.
+    pub const ZERO: Mac64 = Mac64([0; 8]);
+
+    /// Returns the MAC as a little-endian `u64` (handy for hashing MACs
+    /// into higher tree levels).
+    #[must_use]
+    pub fn as_u64(self) -> u64 {
+        u64::from_le_bytes(self.0)
+    }
+}
+
+impl From<u64> for Mac64 {
+    fn from(v: u64) -> Self {
+        Mac64(v.to_le_bytes())
+    }
+}
+
+impl std::fmt::Display for Mac64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.as_u64())
+    }
+}
+
+/// An AES-CMAC instance with precomputed subkeys.
+///
+/// ```
+/// use horus_crypto::cmac::Cmac;
+/// let cmac = Cmac::new(&[0x2b; 16]);
+/// let tag = cmac.mac64(b"hello world");
+/// assert_eq!(tag, Cmac::new(&[0x2b; 16]).mac64(b"hello world"));
+/// assert_ne!(tag, cmac.mac64(b"hello worle"));
+/// ```
+#[derive(Clone)]
+pub struct Cmac {
+    aes: Aes128,
+    k1: AesBlock,
+    k2: AesBlock,
+}
+
+impl std::fmt::Debug for Cmac {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cmac").field("key", &"<redacted>").finish()
+    }
+}
+
+/// Doubling in GF(2^128) with the CMAC polynomial (left shift, conditional
+/// XOR with 0x87 in the last byte).
+fn dbl(block: &AesBlock) -> AesBlock {
+    let mut out = [0u8; AES_BLOCK_SIZE];
+    let mut carry = 0u8;
+    for i in (0..AES_BLOCK_SIZE).rev() {
+        out[i] = (block[i] << 1) | carry;
+        carry = block[i] >> 7;
+    }
+    if carry != 0 {
+        out[AES_BLOCK_SIZE - 1] ^= 0x87;
+    }
+    out
+}
+
+impl Cmac {
+    /// Creates a CMAC instance, deriving the two RFC 4493 subkeys.
+    #[must_use]
+    pub fn new(key: &[u8; 16]) -> Self {
+        let aes = Aes128::new(key);
+        let l = aes.encrypt_block(&[0u8; 16]);
+        let k1 = dbl(&l);
+        let k2 = dbl(&k1);
+        Self { aes, k1, k2 }
+    }
+
+    /// Computes the full 128-bit CMAC tag of `msg`.
+    #[must_use]
+    pub fn mac(&self, msg: &[u8]) -> AesBlock {
+        let n = msg.len().div_ceil(AES_BLOCK_SIZE).max(1);
+        let complete = msg.len() == n * AES_BLOCK_SIZE && !msg.is_empty();
+        let mut x = [0u8; AES_BLOCK_SIZE];
+        for i in 0..n - 1 {
+            for j in 0..AES_BLOCK_SIZE {
+                x[j] ^= msg[i * AES_BLOCK_SIZE + j];
+            }
+            x = self.aes.encrypt_block(&x);
+        }
+        let mut last = [0u8; AES_BLOCK_SIZE];
+        let tail = &msg[(n - 1) * AES_BLOCK_SIZE..];
+        if complete {
+            last.copy_from_slice(tail);
+            for (l, k) in last.iter_mut().zip(self.k1.iter()) {
+                *l ^= k;
+            }
+        } else {
+            last[..tail.len()].copy_from_slice(tail);
+            last[tail.len()] = 0x80;
+            for (l, k) in last.iter_mut().zip(self.k2.iter()) {
+                *l ^= k;
+            }
+        }
+        for j in 0..AES_BLOCK_SIZE {
+            x[j] ^= last[j];
+        }
+        self.aes.encrypt_block(&x)
+    }
+
+    /// Computes the truncated 64-bit MAC of `msg` stored by the memory
+    /// controller.
+    #[must_use]
+    pub fn mac64(&self, msg: &[u8]) -> Mac64 {
+        let full = self.mac(msg);
+        let mut out = [0u8; 8];
+        out.copy_from_slice(&full[..8]);
+        Mac64(out)
+    }
+
+    /// Verifies that `tag` is the truncated MAC of `msg`, in constant time.
+    #[must_use]
+    pub fn verify64(&self, msg: &[u8], tag: Mac64) -> bool {
+        crate::ct_eq(&self.mac64(msg).0, &tag.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: [u8; 16] = [
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
+    ];
+
+    // RFC 4493 test vectors.
+    #[test]
+    fn rfc4493_subkeys() {
+        let cmac = Cmac::new(&KEY);
+        let k1 = [
+            0xfb, 0xee, 0xd6, 0x18, 0x35, 0x71, 0x33, 0x66, 0x7c, 0x85, 0xe0, 0x8f, 0x72, 0x36,
+            0xa8, 0xde,
+        ];
+        let k2 = [
+            0xf7, 0xdd, 0xac, 0x30, 0x6a, 0xe2, 0x66, 0xcc, 0xf9, 0x0b, 0xc1, 0x1e, 0xe4, 0x6d,
+            0x51, 0x3b,
+        ];
+        assert_eq!(cmac.k1, k1);
+        assert_eq!(cmac.k2, k2);
+    }
+
+    #[test]
+    fn rfc4493_empty_message() {
+        let cmac = Cmac::new(&KEY);
+        let expected = [
+            0xbb, 0x1d, 0x69, 0x29, 0xe9, 0x59, 0x37, 0x28, 0x7f, 0xa3, 0x7d, 0x12, 0x9b, 0x75,
+            0x67, 0x46,
+        ];
+        assert_eq!(cmac.mac(b""), expected);
+    }
+
+    #[test]
+    fn rfc4493_16_byte_message() {
+        let cmac = Cmac::new(&KEY);
+        let msg = [
+            0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
+            0x17, 0x2a,
+        ];
+        let expected = [
+            0x07, 0x0a, 0x16, 0xb4, 0x6b, 0x4d, 0x41, 0x44, 0xf7, 0x9b, 0xdd, 0x9d, 0xd0, 0x4a,
+            0x28, 0x7c,
+        ];
+        assert_eq!(cmac.mac(&msg), expected);
+    }
+
+    #[test]
+    fn rfc4493_40_byte_message() {
+        let cmac = Cmac::new(&KEY);
+        let msg = [
+            0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
+            0x17, 0x2a, 0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03, 0xac, 0x9c, 0x9e, 0xb7, 0x6f, 0xac,
+            0x45, 0xaf, 0x8e, 0x51, 0x30, 0xc8, 0x1c, 0x46, 0xa3, 0x5c, 0xe4, 0x11,
+        ];
+        let expected = [
+            0xdf, 0xa6, 0x67, 0x47, 0xde, 0x9a, 0xe6, 0x30, 0x30, 0xca, 0x32, 0x61, 0x14, 0x97,
+            0xc8, 0x27,
+        ];
+        assert_eq!(cmac.mac(&msg), expected);
+    }
+
+    #[test]
+    fn rfc4493_64_byte_message() {
+        let cmac = Cmac::new(&KEY);
+        let msg = [
+            0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
+            0x17, 0x2a, 0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03, 0xac, 0x9c, 0x9e, 0xb7, 0x6f, 0xac,
+            0x45, 0xaf, 0x8e, 0x51, 0x30, 0xc8, 0x1c, 0x46, 0xa3, 0x5c, 0xe4, 0x11, 0xe5, 0xfb,
+            0xc1, 0x19, 0x1a, 0x0a, 0x52, 0xef, 0xf6, 0x9f, 0x24, 0x45, 0xdf, 0x4f, 0x9b, 0x17,
+            0xad, 0x2b, 0x41, 0x7b, 0xe6, 0x6c, 0x37, 0x10,
+        ];
+        let expected = [
+            0x51, 0xf0, 0xbe, 0xbf, 0x7e, 0x3b, 0x9d, 0x92, 0xfc, 0x49, 0x74, 0x17, 0x79, 0x36,
+            0x3c, 0xfe,
+        ];
+        assert_eq!(cmac.mac(&msg), expected);
+    }
+
+    #[test]
+    fn mac64_is_truncation() {
+        let cmac = Cmac::new(&KEY);
+        let msg = b"some message bytes";
+        let full = cmac.mac(msg);
+        assert_eq!(cmac.mac64(msg).0, full[..8]);
+    }
+
+    #[test]
+    fn verify64_accepts_and_rejects() {
+        let cmac = Cmac::new(&KEY);
+        let tag = cmac.mac64(b"payload");
+        assert!(cmac.verify64(b"payload", tag));
+        assert!(!cmac.verify64(b"payloae", tag));
+        assert!(!cmac.verify64(b"payload", Mac64::from(tag.as_u64() ^ 1)));
+    }
+
+    #[test]
+    fn mac64_display_and_u64_roundtrip() {
+        let m = Mac64::from(0x0123_4567_89ab_cdefu64);
+        assert_eq!(m.as_u64(), 0x0123_4567_89ab_cdef);
+        assert_eq!(format!("{m}"), "0123456789abcdef");
+    }
+
+    #[test]
+    fn length_extension_padding_distinct() {
+        // A message and the same message with the 0x80 pad byte appended
+        // must MAC differently (the k1/k2 domain separation).
+        let cmac = Cmac::new(&KEY);
+        let short = [0xAAu8; 15];
+        let mut padded = [0xAAu8; 16];
+        padded[15] = 0x80;
+        assert_ne!(cmac.mac(&short), cmac.mac(&padded));
+    }
+}

@@ -1,0 +1,99 @@
+//! Cryptographic primitives for the Horus secure-EPD memory system.
+//!
+//! This crate implements, from scratch, the primitives a secure memory
+//! controller uses (see the Horus paper, §II-B):
+//!
+//! * [`aes::Aes128`] — the AES-128 block cipher (FIPS-197), used as the
+//!   pad-generation engine for counter-mode encryption and as the core of
+//!   the MAC.
+//! * [`otp`] — counter-mode encryption (CME): a one-time pad is generated
+//!   by encrypting `address || counter` and XOR'ed with the plaintext, so
+//!   decryption latency can be overlapped with the data fetch.
+//! * [`cmac::Cmac`] — AES-CMAC (RFC 4493) message authentication, with the
+//!   truncated 64-bit [`Mac64`] form stored in memory by the secure
+//!   controller.
+//!
+//! Everything here is *functional*: the simulated memory really is
+//! encrypted and MAC'ed, so integrity-violation tests in the higher layers
+//! detect real tampering rather than flags. Timing (AES = 40 cycles,
+//! hash = 160 cycles in the paper's Table I) is modelled separately by the
+//! simulation engine; this crate is purely about values.
+//!
+//! # Example
+//!
+//! ```
+//! use horus_crypto::{Aes128, otp::encrypt_block_ctr, cmac::Cmac};
+//!
+//! let key = Aes128::new(&[0x2b; 16]);
+//! let plain = [0xAB_u8; 64];
+//! // Encrypt a 64-byte cache block with (address, counter) as the IV.
+//! let cipher = encrypt_block_ctr(&key, 0x8000, 7, &plain);
+//! let plain_again = encrypt_block_ctr(&key, 0x8000, 7, &cipher);
+//! assert_eq!(plain, plain_again);
+//!
+//! let mac = Cmac::new(&[0x77; 16]).mac64(&cipher);
+//! assert_eq!(mac, Cmac::new(&[0x77; 16]).mac64(&cipher));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod cmac;
+pub mod otp;
+
+pub use aes::Aes128;
+pub use cmac::{Cmac, Mac64};
+
+/// Size in bytes of a cache block / memory block throughout the system.
+pub const BLOCK_SIZE: usize = 64;
+
+/// A 64-byte data block, the unit of all memory traffic.
+pub type DataBlock = [u8; BLOCK_SIZE];
+
+/// Constant-time equality comparison of two byte slices.
+///
+/// Returns `false` if the lengths differ. The comparison examines every
+/// byte regardless of where the first mismatch occurs, so an attacker
+/// timing the verification step learns nothing about the mismatch
+/// position.
+///
+/// ```
+/// assert!(horus_crypto::ct_eq(b"abc", b"abc"));
+/// assert!(!horus_crypto::ct_eq(b"abc", b"abd"));
+/// assert!(!horus_crypto::ct_eq(b"abc", b"ab"));
+/// ```
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ct_eq_equal() {
+        assert!(ct_eq(&[], &[]));
+        assert!(ct_eq(&[1, 2, 3], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn ct_eq_unequal_content() {
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!ct_eq(&[0], &[1]));
+    }
+
+    #[test]
+    fn ct_eq_unequal_length() {
+        assert!(!ct_eq(&[1, 2], &[1, 2, 3]));
+        assert!(!ct_eq(&[1, 2, 3], &[]));
+    }
+}

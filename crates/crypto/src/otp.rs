@@ -1,0 +1,139 @@
+//! Counter-mode encryption (CME) for 64-byte memory blocks.
+//!
+//! As in the paper's Figure 2, the encryption engine never sees the data:
+//! it encrypts `address || counter || lane` to produce a one-time pad
+//! (OTP) that is XOR'ed with the plaintext/ciphertext. Temporal uniqueness
+//! comes from the counter (incremented per write), spatial uniqueness from
+//! including the address in the seed.
+//!
+//! A 64-byte block needs four AES blocks of pad; the `lane` byte
+//! distinguishes them.
+
+use crate::aes::{Aes128, AesBlock};
+use crate::{DataBlock, BLOCK_SIZE};
+
+/// Number of 16-byte AES pads per 64-byte memory block.
+pub const PADS_PER_BLOCK: usize = BLOCK_SIZE / 16;
+
+/// Builds the AES input seeding one pad lane: `address (8B) || counter
+/// (7B) || lane (1B)`.
+///
+/// The counter is truncated to 56 bits, which mirrors real split-counter
+/// designs where the concatenated (major, minor) counter is bounded; the
+/// public API takes a full `u64` for convenience and the truncation is an
+/// internal layout choice (counters in this system are far below 2^56).
+fn seed(address: u64, counter: u64, lane: u8) -> AesBlock {
+    let mut s = [0u8; 16];
+    s[..8].copy_from_slice(&address.to_le_bytes());
+    s[8..15].copy_from_slice(&counter.to_le_bytes()[..7]);
+    s[15] = lane;
+    s
+}
+
+/// Generates the 64-byte one-time pad for `(address, counter)`.
+///
+/// ```
+/// use horus_crypto::{Aes128, otp::one_time_pad};
+/// let key = Aes128::new(&[1; 16]);
+/// let a = one_time_pad(&key, 0x1000, 5);
+/// let b = one_time_pad(&key, 0x1000, 6);
+/// assert_ne!(a, b, "bumping the counter must change the pad");
+/// ```
+#[must_use]
+pub fn one_time_pad(key: &Aes128, address: u64, counter: u64) -> DataBlock {
+    let mut pad = [0u8; BLOCK_SIZE];
+    for lane in 0..PADS_PER_BLOCK {
+        let chunk = key.encrypt_block(&seed(address, counter, lane as u8));
+        pad[lane * 16..(lane + 1) * 16].copy_from_slice(&chunk);
+    }
+    pad
+}
+
+/// Encrypts (or decrypts — the operation is an involution) a 64-byte block
+/// in counter mode with `(address, counter)` as the initialization vector.
+#[must_use]
+pub fn encrypt_block_ctr(key: &Aes128, address: u64, counter: u64, block: &DataBlock) -> DataBlock {
+    let pad = one_time_pad(key, address, counter);
+    let mut out = [0u8; BLOCK_SIZE];
+    for i in 0..BLOCK_SIZE {
+        out[i] = block[i] ^ pad[i];
+    }
+    out
+}
+
+/// Decrypts a block encrypted by [`encrypt_block_ctr`]. Provided for call
+/// sites where the direction matters for readability; the operation is the
+/// same XOR.
+#[must_use]
+pub fn decrypt_block_ctr(key: &Aes128, address: u64, counter: u64, block: &DataBlock) -> DataBlock {
+    encrypt_block_ctr(key, address, counter, block)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> Aes128 {
+        Aes128::new(&[0x5c; 16])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let k = key();
+        let pt: DataBlock = core::array::from_fn(|i| i as u8);
+        let ct = encrypt_block_ctr(&k, 0xdead_beef, 42, &pt);
+        assert_ne!(ct, pt);
+        assert_eq!(decrypt_block_ctr(&k, 0xdead_beef, 42, &ct), pt);
+    }
+
+    #[test]
+    fn spatial_uniqueness() {
+        // Same plaintext + counter at two addresses yields two ciphertexts.
+        let k = key();
+        let pt = [0u8; BLOCK_SIZE];
+        let a = encrypt_block_ctr(&k, 0x1000, 1, &pt);
+        let b = encrypt_block_ctr(&k, 0x1040, 1, &pt);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn temporal_uniqueness() {
+        // Same plaintext + address across two counters yields two
+        // ciphertexts — the property the drain counter provides in Horus.
+        let k = key();
+        let pt = [0u8; BLOCK_SIZE];
+        let a = encrypt_block_ctr(&k, 0x1000, 1, &pt);
+        let b = encrypt_block_ctr(&k, 0x1000, 2, &pt);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pad_lanes_are_distinct() {
+        let pad = one_time_pad(&key(), 7, 9);
+        for i in 0..PADS_PER_BLOCK {
+            for j in (i + 1)..PADS_PER_BLOCK {
+                assert_ne!(pad[i * 16..(i + 1) * 16], pad[j * 16..(j + 1) * 16]);
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_counter_garbles() {
+        let k = key();
+        let pt: DataBlock = core::array::from_fn(|i| (i * 3) as u8);
+        let ct = encrypt_block_ctr(&k, 0x40, 10, &pt);
+        assert_ne!(decrypt_block_ctr(&k, 0x40, 11, &ct), pt);
+    }
+
+    #[test]
+    fn counter_truncation_boundary() {
+        // Counters equal mod 2^56 produce the same pad (documented layout);
+        // counters differing below that bound never collide.
+        let k = key();
+        let a = one_time_pad(&k, 0, 1);
+        let b = one_time_pad(&k, 0, 1 + (1u64 << 56));
+        assert_eq!(a, b);
+        let c = one_time_pad(&k, 0, 2);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the cryptographic primitives.
+
+use horus_crypto::{ct_eq, otp, Aes128, Cmac, Mac64};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn aes_roundtrip_any_key_any_block(
+        key in prop::array::uniform16(any::<u8>()),
+        pt in prop::array::uniform16(any::<u8>()),
+    ) {
+        let aes = Aes128::new(&key);
+        let ct = aes.encrypt_block(&pt);
+        prop_assert_eq!(aes.decrypt_block(&ct), pt);
+    }
+
+    #[test]
+    fn aes_is_a_permutation(
+        key in prop::array::uniform16(any::<u8>()),
+        a in prop::array::uniform16(any::<u8>()),
+        b in prop::array::uniform16(any::<u8>()),
+    ) {
+        prop_assume!(a != b);
+        let aes = Aes128::new(&key);
+        prop_assert_ne!(aes.encrypt_block(&a), aes.encrypt_block(&b));
+    }
+
+    #[test]
+    fn cmac_agrees_with_itself_and_rejects_prefixes(
+        key in prop::array::uniform16(any::<u8>()),
+        msg in prop::collection::vec(any::<u8>(), 1..200),
+    ) {
+        let cmac = Cmac::new(&key);
+        let tag = cmac.mac64(&msg);
+        prop_assert_eq!(Cmac::new(&key).mac64(&msg), tag);
+        // A strict prefix must not collide (the CMAC padding/domain
+        // separation property).
+        let prefix = &msg[..msg.len() - 1];
+        prop_assert_ne!(cmac.mac64(prefix), tag);
+    }
+
+    #[test]
+    fn cmac_keys_separate(
+        k1 in prop::array::uniform16(any::<u8>()),
+        k2 in prop::array::uniform16(any::<u8>()),
+        msg in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        prop_assume!(k1 != k2);
+        prop_assert_ne!(Cmac::new(&k1).mac64(&msg), Cmac::new(&k2).mac64(&msg));
+    }
+
+    #[test]
+    fn otp_pads_unique_over_counter_and_address(
+        key in prop::array::uniform16(any::<u8>()),
+        addr1 in (0u64..1 << 35).prop_map(|a| a & !63),
+        addr2 in (0u64..1 << 35).prop_map(|a| a & !63),
+        c1 in 0u64..1 << 50,
+        c2 in 0u64..1 << 50,
+    ) {
+        let aes = Aes128::new(&key);
+        prop_assume!((addr1, c1) != (addr2, c2));
+        prop_assert_ne!(
+            otp::one_time_pad(&aes, addr1, c1),
+            otp::one_time_pad(&aes, addr2, c2),
+            "distinct (address, counter) seeds must give distinct pads"
+        );
+    }
+
+    #[test]
+    fn ct_eq_matches_plain_equality(
+        a in prop::collection::vec(any::<u8>(), 0..40),
+        b in prop::collection::vec(any::<u8>(), 0..40),
+    ) {
+        prop_assert_eq!(ct_eq(&a, &b), a == b);
+    }
+
+    #[test]
+    fn mac64_u64_roundtrip(v in any::<u64>()) {
+        prop_assert_eq!(Mac64::from(v).as_u64(), v);
+    }
+}

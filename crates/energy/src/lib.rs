@@ -1,0 +1,202 @@
+//! Drain-energy and battery-sizing models (paper §V-G, Tables II–III).
+//!
+//! In an eADR-style EPD system the whole platform stays powered while
+//! the cache hierarchy drains, so drain energy is dominated by
+//! *processor* energy — i.e. by draining **time** — plus the per-access
+//! NVM energies. The paper models the processor with McPAT; this crate
+//! substitutes a constant platform power (the behaviour McPAT's numbers
+//! reduce to over a fixed-work drain window), with per-access PCM
+//! energies of 531.8 nJ/write and 5.5 nJ/read from Hoseinzadeh et al.,
+//! as in the paper.
+//!
+//! Battery volume follows the paper's BBB-style estimate: a super-
+//! capacitor stores ~1e-4 Wh/cm³ and a lithium thin-film battery
+//! ~1e-2 Wh/cm³.
+//!
+//! # Example
+//!
+//! ```
+//! use horus_energy::{Battery, DrainEnergyModel};
+//! use horus_core::{DrainScheme, SecureEpdSystem, SystemConfig};
+//!
+//! let mut sys = SecureEpdSystem::new(SystemConfig::small_test());
+//! sys.write(0, [1u8; 64]).unwrap();
+//! let report = sys.crash_and_drain(DrainScheme::HorusSlm);
+//! let energy = DrainEnergyModel::paper_default().drain_energy(&report);
+//! let volume = Battery::super_capacitor().volume_cm3(energy.total_j);
+//! assert!(volume > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use horus_core::DrainReport;
+use serde::{Deserialize, Serialize};
+
+/// Energy parameters for the drain window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DrainEnergyModel {
+    /// Average platform (processor + uncore) power while draining, in
+    /// watts. The paper's McPAT-derived processor energies correspond to
+    /// a constant-power drain; 170 W reproduces Table II's magnitudes
+    /// for a single-socket server part.
+    pub processor_watts: f64,
+    /// Energy of one NVM write, in nanojoules (paper: 531.8 nJ).
+    pub nvm_write_nj: f64,
+    /// Energy of one NVM read, in nanojoules (paper: 5.5 nJ).
+    pub nvm_read_nj: f64,
+}
+
+impl DrainEnergyModel {
+    /// The paper's parameters.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            processor_watts: 170.0,
+            nvm_write_nj: 531.8,
+            nvm_read_nj: 5.5,
+        }
+    }
+
+    /// Computes the Table II energy breakdown for one drain.
+    #[must_use]
+    pub fn drain_energy(&self, report: &DrainReport) -> EnergyBreakdown {
+        let processor_j = self.processor_watts * report.seconds;
+        let write_j = report.writes as f64 * self.nvm_write_nj * 1e-9;
+        let read_j = report.reads as f64 * self.nvm_read_nj * 1e-9;
+        EnergyBreakdown {
+            scheme: report.scheme.clone(),
+            processor_j,
+            write_j,
+            read_j,
+            total_j: processor_j + write_j + read_j,
+        }
+    }
+}
+
+impl Default for DrainEnergyModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// The drain scheme's name.
+    pub scheme: String,
+    /// Processor energy in joules.
+    pub processor_j: f64,
+    /// NVM write energy in joules.
+    pub write_j: f64,
+    /// NVM read energy in joules.
+    pub read_j: f64,
+    /// Total drain energy in joules.
+    pub total_j: f64,
+}
+
+/// A back-up energy source technology (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    /// Technology name.
+    pub name: &'static str,
+    /// Usable energy density in watt-hours per cm³.
+    pub energy_density_wh_cm3: f64,
+}
+
+impl Battery {
+    /// Super-capacitor bank: 1e-4 Wh/cm³.
+    #[must_use]
+    pub fn super_capacitor() -> Self {
+        Self {
+            name: "SuperCap",
+            energy_density_wh_cm3: 1e-4,
+        }
+    }
+
+    /// Lithium thin-film battery: 1e-2 Wh/cm³.
+    #[must_use]
+    pub fn lithium_thin_film() -> Self {
+        Self {
+            name: "Li-thin",
+            energy_density_wh_cm3: 1e-2,
+        }
+    }
+
+    /// The volume required to hold `energy_j` joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy_j` is negative or not finite.
+    #[must_use]
+    pub fn volume_cm3(&self, energy_j: f64) -> f64 {
+        assert!(
+            energy_j.is_finite() && energy_j >= 0.0,
+            "energy must be non-negative"
+        );
+        (energy_j / 3600.0) / self.energy_density_wh_cm3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horus_sim::Stats;
+
+    fn report(seconds: f64, reads: u64, writes: u64) -> DrainReport {
+        DrainReport {
+            scheme: "test".into(),
+            flushed_blocks: writes,
+            metadata_blocks: 0,
+            cycles: (seconds * 4e9) as u64,
+            seconds,
+            reads,
+            writes,
+            mac_ops: 0,
+            otp_ops: 0,
+            stats: Stats::new(),
+        }
+    }
+
+    #[test]
+    fn energy_breakdown_arithmetic() {
+        let m = DrainEnergyModel {
+            processor_watts: 100.0,
+            nvm_write_nj: 500.0,
+            nvm_read_nj: 5.0,
+        };
+        let e = m.drain_energy(&report(0.01, 1_000_000, 2_000_000));
+        assert!((e.processor_j - 1.0).abs() < 1e-12);
+        assert!((e.write_j - 1.0).abs() < 1e-12);
+        assert!((e.read_j - 0.005).abs() < 1e-12);
+        assert!((e.total_j - 2.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table3_battery_formula_matches_paper() {
+        // The paper's Base-LU row: 11.07 J -> 30.7 cm^3 SuperCap,
+        // 0.31 cm^3 Li-thin.
+        let sc = Battery::super_capacitor().volume_cm3(11.07);
+        assert!((sc - 30.75).abs() < 0.1, "{sc}");
+        let li = Battery::lithium_thin_film().volume_cm3(11.07);
+        assert!((li - 0.3075).abs() < 0.001, "{li}");
+    }
+
+    #[test]
+    fn zero_energy_zero_volume() {
+        assert_eq!(Battery::super_capacitor().volume_cm3(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_energy_rejected() {
+        let _ = Battery::super_capacitor().volume_cm3(-1.0);
+    }
+
+    #[test]
+    fn processor_energy_dominates_for_long_drains() {
+        let m = DrainEnergyModel::paper_default();
+        let e = m.drain_energy(&report(0.05, 1_500_000, 1_500_000));
+        assert!(e.processor_j > e.write_j + e.read_j);
+    }
+}

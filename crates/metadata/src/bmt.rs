@@ -1,0 +1,285 @@
+//! The Bonsai Merkle Tree (paper §II-B, Figure 4).
+//!
+//! The BMT protects only the encryption counters; data blocks carry their
+//! own MACs. Each 64-byte tree node holds eight 8-byte child MACs, giving
+//! the 8-ary tree of Table I. The root is held on-chip.
+//!
+//! The tree is *sparse*: memory starts zeroed, so every untouched subtree
+//! at a given level has the same "default node" value, computed once at
+//! construction. The authoritative node contents live in the NVM device
+//! (written by the metadata engine); this type is the calculator — node
+//! encoding, MAC computation, default values — plus the on-chip root
+//! register.
+
+use horus_crypto::{Cmac, Mac64};
+use horus_nvm::Block;
+
+/// The eight child MACs held by one tree node.
+pub type NodeEntries = [Mac64; 8];
+
+/// Encodes eight child MACs into a 64-byte node block.
+#[must_use]
+pub fn encode_node(entries: &NodeEntries) -> Block {
+    let mut out = [0u8; 64];
+    for (i, m) in entries.iter().enumerate() {
+        out[i * 8..(i + 1) * 8].copy_from_slice(&m.0);
+    }
+    out
+}
+
+/// Decodes a 64-byte node block into its eight child MACs.
+#[must_use]
+pub fn decode_node(block: &Block) -> NodeEntries {
+    core::array::from_fn(|i| {
+        let mut m = [0u8; 8];
+        m.copy_from_slice(&block[i * 8..(i + 1) * 8]);
+        Mac64(m)
+    })
+}
+
+/// The Bonsai Merkle Tree calculator and on-chip root register.
+///
+/// Level numbering matches the NVM layout
+/// ([`AddressMap`](horus_nvm::AddressMap)): level 0 nodes are the parents
+/// of counter blocks; the highest stored level has a single node whose
+/// MAC is the on-chip root.
+///
+/// ```
+/// use horus_metadata::Bmt;
+/// let bmt = Bmt::new(&[0x11; 16], 256);
+/// assert_eq!(bmt.levels(), 3); // 256 -> 32 -> 4 -> 1
+/// // A fresh tree's root verifies the all-default top node.
+/// let top = bmt.default_node(2);
+/// assert_eq!(bmt.node_mac(&top), bmt.root());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bmt {
+    cmac: Cmac,
+    level_nodes: Vec<u64>,
+    default_nodes: Vec<Block>,
+    root: Mac64,
+}
+
+impl Bmt {
+    /// Builds the tree geometry and default values for `counter_blocks`
+    /// leaves, keyed by `tree_key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counter_blocks` is zero.
+    #[must_use]
+    pub fn new(tree_key: &[u8; 16], counter_blocks: u64) -> Self {
+        assert!(
+            counter_blocks > 0,
+            "tree must cover at least one counter block"
+        );
+        let cmac = Cmac::new(tree_key);
+
+        let mut level_nodes = Vec::new();
+        let mut n = counter_blocks.div_ceil(8);
+        loop {
+            level_nodes.push(n);
+            if n == 1 {
+                break;
+            }
+            n = n.div_ceil(8);
+        }
+
+        // Default chain: zeroed counter block -> default level-0 node -> ...
+        let mut default_nodes = Vec::with_capacity(level_nodes.len());
+        let mut child_mac = cmac.mac64(&[0u8; 64]);
+        for _ in 0..level_nodes.len() {
+            let node = encode_node(&[child_mac; 8]);
+            child_mac = cmac.mac64(&node);
+            default_nodes.push(node);
+        }
+        let root = child_mac;
+        Self {
+            cmac,
+            level_nodes,
+            default_nodes,
+            root,
+        }
+    }
+
+    /// Number of stored node levels (level 0 = parents of counter
+    /// blocks).
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.level_nodes.len()
+    }
+
+    /// Node count at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    #[must_use]
+    pub fn nodes_at(&self, level: usize) -> u64 {
+        self.level_nodes[level]
+    }
+
+    /// The default (all-zero-subtree) node value at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    #[must_use]
+    pub fn default_node(&self, level: usize) -> Block {
+        self.default_nodes[level]
+    }
+
+    /// MAC of a counter block or tree node — the value stored in the
+    /// parent's entry slot (or the root register for the top node).
+    #[must_use]
+    pub fn node_mac(&self, bytes: &Block) -> Mac64 {
+        self.cmac.mac64(bytes)
+    }
+
+    /// The on-chip root register.
+    #[must_use]
+    pub fn root(&self) -> Mac64 {
+        self.root
+    }
+
+    /// Updates the on-chip root register (top node changed).
+    pub fn set_root(&mut self, root: Mac64) {
+        self.root = root;
+    }
+
+    /// The `(parent_index, slot)` of child `index` one level down.
+    #[must_use]
+    pub fn parent_of(index: u64) -> (u64, usize) {
+        (index / 8, (index % 8) as usize)
+    }
+
+    /// Recomputes the root from authoritative storage, for invariant
+    /// checks in tests (linear in tree size — use small maps).
+    ///
+    /// `read_counter(i)` and `read_node(level, i)` return the stored
+    /// bytes, or `None` where storage was never written (defaults apply).
+    #[must_use]
+    pub fn recompute_root(
+        &self,
+        counter_blocks: u64,
+        mut read_counter: impl FnMut(u64) -> Option<Block>,
+        mut read_node: impl FnMut(usize, u64) -> Option<Block>,
+    ) -> Mac64 {
+        // Level 0 is rebuilt from the counter blocks; deeper levels from
+        // the stored nodes of the level below (which is the authoritative
+        // content the parent MACs cover).
+        let mut macs: Vec<Mac64> = (0..counter_blocks)
+            .map(|i| self.node_mac(&read_counter(i).unwrap_or([0u8; 64])))
+            .collect();
+        for level in 0..self.levels() {
+            let nodes = self.nodes_at(level) as usize;
+            let mut next = Vec::with_capacity(nodes);
+            for idx in 0..nodes {
+                let stored = read_node(level, idx as u64).unwrap_or(self.default_nodes[level]);
+                // The stored node must itself be consistent with its
+                // children; recompute what it should contain.
+                let mut entries = decode_node(&stored);
+                for (slot, e) in entries.iter_mut().enumerate() {
+                    if let Some(m) = macs.get(idx * 8 + slot) {
+                        *e = *m;
+                    }
+                }
+                next.push(self.node_mac(&encode_node(&entries)));
+            }
+            macs = next;
+        }
+        macs[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bmt() -> Bmt {
+        Bmt::new(&[0xAA; 16], 256)
+    }
+
+    #[test]
+    fn geometry() {
+        let t = bmt();
+        assert_eq!(t.levels(), 3);
+        assert_eq!(t.nodes_at(0), 32);
+        assert_eq!(t.nodes_at(1), 4);
+        assert_eq!(t.nodes_at(2), 1);
+    }
+
+    #[test]
+    fn single_counter_block_tree() {
+        let t = Bmt::new(&[1; 16], 1);
+        assert_eq!(t.levels(), 1);
+        assert_eq!(t.nodes_at(0), 1);
+    }
+
+    #[test]
+    fn node_roundtrip() {
+        let entries: NodeEntries = core::array::from_fn(|i| Mac64::from(i as u64 * 7 + 1));
+        assert_eq!(decode_node(&encode_node(&entries)), entries);
+    }
+
+    #[test]
+    fn default_chain_is_consistent() {
+        let t = bmt();
+        // Each level's default node holds eight MACs of the level below's
+        // default.
+        let zero_mac = t.node_mac(&[0u8; 64]);
+        assert_eq!(decode_node(&t.default_node(0)), [zero_mac; 8]);
+        let l0_mac = t.node_mac(&t.default_node(0));
+        assert_eq!(decode_node(&t.default_node(1)), [l0_mac; 8]);
+        assert_eq!(t.root(), t.node_mac(&t.default_node(2)));
+    }
+
+    #[test]
+    fn parent_math() {
+        assert_eq!(Bmt::parent_of(0), (0, 0));
+        assert_eq!(Bmt::parent_of(7), (0, 7));
+        assert_eq!(Bmt::parent_of(8), (1, 0));
+        assert_eq!(Bmt::parent_of(65), (8, 1));
+    }
+
+    #[test]
+    fn root_register_updates() {
+        let mut t = bmt();
+        let new_root = Mac64::from(42);
+        t.set_root(new_root);
+        assert_eq!(t.root(), new_root);
+    }
+
+    #[test]
+    fn recompute_root_of_fresh_tree_matches() {
+        let t = bmt();
+        let root = t.recompute_root(256, |_| None, |_, _| None);
+        assert_eq!(root, t.root());
+    }
+
+    #[test]
+    fn recompute_root_detects_counter_change() {
+        let t = bmt();
+        let mut tampered = [0u8; 64];
+        tampered[5] = 1;
+        let root = t.recompute_root(
+            256,
+            |i| if i == 3 { Some(tampered) } else { None },
+            |_, _| None,
+        );
+        assert_ne!(root, t.root());
+    }
+
+    #[test]
+    fn different_keys_different_roots() {
+        let a = Bmt::new(&[1; 16], 64);
+        let b = Bmt::new(&[2; 16], 64);
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_leaves_rejected() {
+        let _ = Bmt::new(&[0; 16], 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Split encryption counters (paper §II-B).
+//!
+//! The state-of-the-art split-counter layout packs, into one 64-byte
+//! block, a 64-bit *major* counter shared by a 4 KB page and 64 *minor*
+//! 7-bit counters, one per 64-byte data block. A data block's encryption
+//! counter is the concatenation `major || minor`; when a minor counter
+//! overflows, the major counter is incremented and the whole page must be
+//! re-encrypted (every sibling's effective counter changed).
+
+use horus_nvm::Block;
+
+/// Maximum value of a 7-bit minor counter.
+pub const MINOR_MAX: u8 = 127;
+
+/// Number of minor counters in a block (one 4 KB page of 64 B blocks).
+pub const MINORS: usize = 64;
+
+/// The outcome of incrementing a minor counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Increment {
+    /// The minor counter advanced; the new full counter is given.
+    Advanced(u64),
+    /// The minor counter overflowed: the major counter was incremented,
+    /// all minors were reset, and this slot now reads 1. Every *other*
+    /// block in the page must be re-encrypted with its new full counter.
+    /// The new full counter for the written slot is given.
+    Overflowed(u64),
+}
+
+impl Increment {
+    /// The full counter to encrypt the written block with, regardless of
+    /// overflow.
+    #[must_use]
+    pub fn counter(self) -> u64 {
+        match self {
+            Increment::Advanced(c) | Increment::Overflowed(c) => c,
+        }
+    }
+
+    /// Whether the increment overflowed the minor counter.
+    #[must_use]
+    pub fn overflowed(self) -> bool {
+        matches!(self, Increment::Overflowed(_))
+    }
+}
+
+/// A split-counter block: one major + 64 minor counters.
+///
+/// ```
+/// use horus_metadata::CounterBlock;
+/// let mut cb = CounterBlock::new();
+/// assert_eq!(cb.counter(3), 0);
+/// cb.increment(3);
+/// assert_eq!(cb.counter(3), 1);
+/// let bytes = cb.to_block();
+/// assert_eq!(CounterBlock::from_block(&bytes), cb);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterBlock {
+    major: u64,
+    minors: [u8; MINORS],
+}
+
+impl Default for CounterBlock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CounterBlock {
+    /// A fresh block: all counters zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            major: 0,
+            minors: [0; MINORS],
+        }
+    }
+
+    /// The major counter.
+    #[must_use]
+    pub fn major(&self) -> u64 {
+        self.major
+    }
+
+    /// The minor counter of `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 64`.
+    #[must_use]
+    pub fn minor(&self, slot: usize) -> u8 {
+        self.minors[slot]
+    }
+
+    /// The full encryption counter of `slot`: `major << 7 | minor`.
+    #[must_use]
+    pub fn counter(&self, slot: usize) -> u64 {
+        (self.major << 7) | u64::from(self.minors[slot])
+    }
+
+    /// Increments the minor counter of `slot`, handling overflow per the
+    /// split-counter scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 64`.
+    pub fn increment(&mut self, slot: usize) -> Increment {
+        if self.minors[slot] == MINOR_MAX {
+            self.major += 1;
+            self.minors = [0; MINORS];
+            self.minors[slot] = 1;
+            Increment::Overflowed(self.counter(slot))
+        } else {
+            self.minors[slot] += 1;
+            Increment::Advanced(self.counter(slot))
+        }
+    }
+
+    /// Serializes to the 64-byte memory layout: major (8 B little-endian)
+    /// followed by the 64 minors bit-packed 7 bits each (56 B).
+    #[must_use]
+    pub fn to_block(&self) -> Block {
+        let mut out = [0u8; 64];
+        out[..8].copy_from_slice(&self.major.to_le_bytes());
+        for (i, &m) in self.minors.iter().enumerate() {
+            let v = m & 0x7f;
+            let bit = 7 * i;
+            let (byte, off) = (bit / 8, (bit % 8) as u32);
+            out[8 + byte] |= v << off;
+            if off > 1 {
+                out[8 + byte + 1] |= v >> (8 - off);
+            }
+        }
+        out
+    }
+
+    /// Parses the 64-byte memory layout written by
+    /// [`to_block`](Self::to_block).
+    #[must_use]
+    pub fn from_block(block: &Block) -> Self {
+        let major = u64::from_le_bytes(block[..8].try_into().expect("8-byte slice"));
+        let mut minors = [0u8; MINORS];
+        for (i, m) in minors.iter_mut().enumerate() {
+            let bit = 7 * i;
+            let (byte, off) = (bit / 8, (bit % 8) as u32);
+            let mut v = block[8 + byte] >> off;
+            if off > 1 {
+                v |= block[8 + byte + 1] << (8 - off);
+            }
+            *m = v & 0x7f;
+        }
+        Self { major, minors }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_block_is_zero() {
+        let cb = CounterBlock::new();
+        assert_eq!(cb.major(), 0);
+        for s in 0..MINORS {
+            assert_eq!(cb.counter(s), 0);
+        }
+        assert_eq!(cb.to_block(), [0u8; 64]);
+    }
+
+    #[test]
+    fn increment_advances() {
+        let mut cb = CounterBlock::new();
+        let inc = cb.increment(0);
+        assert_eq!(inc, Increment::Advanced(1));
+        assert_eq!(inc.counter(), 1);
+        assert!(!inc.overflowed());
+        assert_eq!(cb.minor(0), 1);
+        assert_eq!(cb.minor(1), 0);
+    }
+
+    #[test]
+    fn counter_concatenates_major_minor() {
+        let mut cb = CounterBlock::new();
+        for _ in 0..5 {
+            cb.increment(7);
+        }
+        assert_eq!(cb.counter(7), 5);
+        // Force an overflow to bump the major counter.
+        for _ in 0..(MINOR_MAX as usize - 5) {
+            cb.increment(7);
+        }
+        assert_eq!(cb.minor(7), MINOR_MAX);
+        let inc = cb.increment(7);
+        assert!(inc.overflowed());
+        assert_eq!(cb.major(), 1);
+        assert_eq!(cb.counter(7), (1 << 7) | 1);
+        assert_eq!(inc.counter(), (1 << 7) | 1);
+        // Siblings were reset.
+        assert_eq!(cb.minor(6), 0);
+    }
+
+    #[test]
+    fn overflow_resets_all_minors() {
+        let mut cb = CounterBlock::new();
+        cb.increment(3);
+        cb.increment(9);
+        for _ in 0..=MINOR_MAX as usize {
+            cb.increment(0);
+        }
+        assert_eq!(cb.major(), 1);
+        assert_eq!(cb.minor(3), 0);
+        assert_eq!(cb.minor(9), 0);
+        assert_eq!(cb.minor(0), 1);
+    }
+
+    #[test]
+    fn counters_never_repeat_across_overflow() {
+        // The full counter sequence for a slot must be strictly
+        // increasing even across an overflow.
+        let mut cb = CounterBlock::new();
+        let mut last = cb.counter(0);
+        for _ in 0..300 {
+            let c = cb.increment(0).counter();
+            assert!(c > last, "counter repeated or regressed: {c} after {last}");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn block_roundtrip_exhaustive_slots() {
+        let mut cb = CounterBlock::new();
+        for s in 0..MINORS {
+            for _ in 0..(s % 7) + 1 {
+                cb.increment(s);
+            }
+        }
+        cb.major = 0x0123_4567_89ab_cdef;
+        let block = cb.to_block();
+        assert_eq!(CounterBlock::from_block(&block), cb);
+    }
+
+    #[test]
+    fn packing_is_dense() {
+        // Slot 63 set to 127 must land in the last byte.
+        let mut cb = CounterBlock::new();
+        cb.minors[63] = 127;
+        let block = cb.to_block();
+        assert_ne!(block[63], 0);
+        assert_eq!(CounterBlock::from_block(&block).minor(63), 127);
+    }
+
+    #[test]
+    fn distinct_slots_do_not_interfere() {
+        let mut cb = CounterBlock::new();
+        cb.minors = core::array::from_fn(|i| (i as u8).wrapping_mul(37) & 0x7f);
+        let rt = CounterBlock::from_block(&cb.to_block());
+        assert_eq!(rt, cb);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_slot_panics() {
+        let cb = CounterBlock::new();
+        let _ = cb.minor(64);
+    }
+}

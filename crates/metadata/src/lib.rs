@@ -1,0 +1,35 @@
+//! Security metadata for the Horus secure-EPD reproduction.
+//!
+//! A counter-mode secure memory controller (paper §II-B) maintains three
+//! kinds of metadata, all modelled functionally here:
+//!
+//! * [`counter::CounterBlock`] — split encryption counters: one 64-bit
+//!   major counter plus 64 seven-bit minor counters per 64-byte block,
+//!   covering a 4 KB data page;
+//! * [`bmt::Bmt`] — the 8-ary Bonsai Merkle Tree over the counter blocks,
+//!   with an on-chip root; implemented sparsely (untouched subtrees share
+//!   per-level default nodes) so a 32 GB tree costs nothing to set up;
+//! * data MACs, stored eight to a block in the MAC region.
+//!
+//! [`engine::MetadataEngine`] ties these to the metadata caches of
+//! Table I (256 KB counter / 512 KB MAC / 256 KB tree caches) and
+//! implements both **lazy** and **eager** tree-update schemes (§II-C),
+//! including the cascading evict-update-fetch behaviour that makes the
+//! baseline secure EPD drain so expensive (§III).
+//!
+//! [`platform::Platform`] bundles the timed NVM with the AES and hash
+//! engine timing models, and owns the `macop.*` / `aesop.*` accounting
+//! used to reproduce the paper's Figure 13.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bmt;
+pub mod counter;
+pub mod engine;
+pub mod platform;
+
+pub use bmt::Bmt;
+pub use counter::CounterBlock;
+pub use engine::{IntegrityError, MetadataCacheConfig, MetadataEngine, UpdateScheme};
+pub use platform::{CryptoTimingConfig, Platform};

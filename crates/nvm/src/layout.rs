@@ -1,0 +1,386 @@
+//! The physical address map of the secure NVM.
+//!
+//! A secure memory controller reserves part of the NVM for security
+//! metadata. The map below mirrors the organization assumed by the paper
+//! (§II-B, Table I):
+//!
+//! * **Data** — the OS-visible memory (32 GB by default).
+//! * **Counters** — one 64-byte split-counter block per 4 KB data page
+//!   (64-bit major counter + 64 seven-bit minor counters).
+//! * **MACs** — one 8-byte MAC per data block, eight per 64-byte MAC
+//!   block.
+//! * **BMT** — the 8-ary Bonsai Merkle Tree over the counter blocks,
+//!   stored level by level; the root lives on-chip.
+//! * **CHV** — the Horus cache-hierarchy vault (§IV-C), a reserved log
+//!   the drain engine streams into.
+//! * **Shadow** — the reserved region the baseline lazy scheme flushes
+//!   its metadata-cache contents into (the Anubis-style final step).
+
+use crate::BLOCK_SIZE;
+
+/// Bytes of data covered by one counter block (64 minor counters x 64 B).
+pub const COUNTER_COVERAGE: u64 = 4096;
+
+/// Data blocks covered by one MAC block (8 x 8-byte MACs).
+pub const MACS_PER_BLOCK: u64 = 8;
+
+/// Arity of the Bonsai Merkle Tree (8 x 8-byte child MACs per node).
+pub const BMT_ARITY: u64 = 8;
+
+/// Which region of the physical map an address falls in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// OS-visible data.
+    Data,
+    /// Encryption-counter blocks.
+    Counter,
+    /// Data-MAC blocks.
+    Mac,
+    /// A Bonsai-Merkle-tree level (0 = leaf-parent level).
+    Bmt(usize),
+    /// The Horus cache-hierarchy vault.
+    Chv,
+    /// The metadata-cache shadow region.
+    Shadow,
+    /// Beyond the mapped space.
+    Unmapped,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Extent {
+    base: u64,
+    blocks: u64,
+}
+
+impl Extent {
+    fn bytes(&self) -> u64 {
+        self.blocks * BLOCK_SIZE as u64
+    }
+    fn end(&self) -> u64 {
+        self.base + self.bytes()
+    }
+    fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+}
+
+/// The complete physical address map.
+///
+/// ```
+/// use horus_nvm::AddressMap;
+/// let map = AddressMap::paper_default();
+/// // One counter block serves the whole 4 KB page.
+/// assert_eq!(map.counter_block_addr(0x0000), map.counter_block_addr(0x0fc0));
+/// assert_ne!(map.counter_block_addr(0x0000), map.counter_block_addr(0x1000));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressMap {
+    data: Extent,
+    counters: Extent,
+    macs: Extent,
+    bmt_levels: Vec<Extent>,
+    chv: Extent,
+    shadow: Extent,
+}
+
+impl AddressMap {
+    /// Builds a map for `data_bytes` of protected memory with a CHV of
+    /// `chv_blocks` and a metadata shadow region of `shadow_blocks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_bytes` is not a positive multiple of the counter
+    /// coverage (4 KB), or if either reserved region is empty.
+    #[must_use]
+    pub fn new(data_bytes: u64, chv_blocks: u64, shadow_blocks: u64) -> Self {
+        assert!(
+            data_bytes > 0 && data_bytes.is_multiple_of(COUNTER_COVERAGE),
+            "data size must be a positive multiple of {COUNTER_COVERAGE}"
+        );
+        assert!(chv_blocks > 0, "CHV must be non-empty");
+        assert!(shadow_blocks > 0, "shadow region must be non-empty");
+        let bs = BLOCK_SIZE as u64;
+        let data = Extent {
+            base: 0,
+            blocks: data_bytes / bs,
+        };
+        let counter_blocks = data_bytes / COUNTER_COVERAGE;
+        let counters = Extent {
+            base: data.end(),
+            blocks: counter_blocks,
+        };
+        let mac_blocks = data.blocks.div_ceil(MACS_PER_BLOCK);
+        let macs = Extent {
+            base: counters.end(),
+            blocks: mac_blocks,
+        };
+
+        let mut bmt_levels = Vec::new();
+        let mut cursor = macs.end();
+        let mut nodes = counter_blocks.div_ceil(BMT_ARITY);
+        loop {
+            bmt_levels.push(Extent {
+                base: cursor,
+                blocks: nodes,
+            });
+            cursor += nodes * bs;
+            if nodes == 1 {
+                break;
+            }
+            nodes = nodes.div_ceil(BMT_ARITY);
+        }
+
+        let chv = Extent {
+            base: cursor,
+            blocks: chv_blocks,
+        };
+        let shadow = Extent {
+            base: chv.end(),
+            blocks: shadow_blocks,
+        };
+        Self {
+            data,
+            counters,
+            macs,
+            bmt_levels,
+            chv,
+            shadow,
+        }
+    }
+
+    /// The paper's configuration: 32 GB PCM, a CHV sized for the Table I
+    /// hierarchy (with headroom for larger LLC sweeps), and a shadow
+    /// region covering the metadata caches.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        // CHV sized by the paper's formula (1.25x cache + 1.125x metadata
+        // cache) for the largest swept LLC (128 MB) so every experiment
+        // fits: ~131 MB of hierarchy -> 2.2M lines; round up generously.
+        Self::new(32 << 30, 4 << 20, 64 << 10)
+    }
+
+    /// Total bytes of mapped physical space.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.shadow.end()
+    }
+
+    /// Size of the data region in bytes.
+    #[must_use]
+    pub fn data_bytes(&self) -> u64 {
+        self.data.bytes()
+    }
+
+    /// Number of data blocks.
+    #[must_use]
+    pub fn data_blocks(&self) -> u64 {
+        self.data.blocks
+    }
+
+    /// Number of counter blocks (= BMT leaves).
+    #[must_use]
+    pub fn counter_blocks(&self) -> u64 {
+        self.counters.blocks
+    }
+
+    /// Number of stored BMT levels (level 0 is the leaf-parent level; the
+    /// highest stored level has a single node whose MAC-of-MACs is the
+    /// on-chip root).
+    #[must_use]
+    pub fn bmt_levels(&self) -> usize {
+        self.bmt_levels.len()
+    }
+
+    /// Node count of a BMT level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    #[must_use]
+    pub fn bmt_level_nodes(&self, level: usize) -> u64 {
+        self.bmt_levels[level].blocks
+    }
+
+    fn assert_data(&self, data_addr: u64) {
+        assert!(
+            self.data.contains(data_addr),
+            "address {data_addr:#x} outside the data region"
+        );
+    }
+
+    /// Index of the counter block covering `data_addr`.
+    #[must_use]
+    pub fn counter_index(&self, data_addr: u64) -> u64 {
+        self.assert_data(data_addr);
+        data_addr / COUNTER_COVERAGE
+    }
+
+    /// Physical address of the counter block covering `data_addr`.
+    #[must_use]
+    pub fn counter_block_addr(&self, data_addr: u64) -> u64 {
+        self.counters.base + self.counter_index(data_addr) * BLOCK_SIZE as u64
+    }
+
+    /// The minor-counter slot (0..64) of `data_addr` within its counter
+    /// block.
+    #[must_use]
+    pub fn counter_slot(&self, data_addr: u64) -> usize {
+        self.assert_data(data_addr);
+        ((data_addr / BLOCK_SIZE as u64) % 64) as usize
+    }
+
+    /// Physical address of the MAC block covering `data_addr`.
+    #[must_use]
+    pub fn mac_block_addr(&self, data_addr: u64) -> u64 {
+        self.assert_data(data_addr);
+        self.macs.base + (data_addr / (MACS_PER_BLOCK * BLOCK_SIZE as u64)) * BLOCK_SIZE as u64
+    }
+
+    /// The MAC slot (0..8) of `data_addr` within its MAC block.
+    #[must_use]
+    pub fn mac_slot(&self, data_addr: u64) -> usize {
+        self.assert_data(data_addr);
+        ((data_addr / BLOCK_SIZE as u64) % MACS_PER_BLOCK) as usize
+    }
+
+    /// Physical address of BMT node `index` at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` or `index` is out of range.
+    #[must_use]
+    pub fn bmt_node_addr(&self, level: usize, index: u64) -> u64 {
+        let ext = &self.bmt_levels[level];
+        assert!(
+            index < ext.blocks,
+            "BMT level {level} has {} nodes, asked for {index}",
+            ext.blocks
+        );
+        ext.base + index * BLOCK_SIZE as u64
+    }
+
+    /// Base address of the cache-hierarchy vault.
+    #[must_use]
+    pub fn chv_base(&self) -> u64 {
+        self.chv.base
+    }
+
+    /// Capacity of the CHV in blocks.
+    #[must_use]
+    pub fn chv_blocks(&self) -> u64 {
+        self.chv.blocks
+    }
+
+    /// Base address of the metadata-cache shadow region.
+    #[must_use]
+    pub fn shadow_base(&self) -> u64 {
+        self.shadow.base
+    }
+
+    /// Capacity of the shadow region in blocks.
+    #[must_use]
+    pub fn shadow_blocks(&self) -> u64 {
+        self.shadow.blocks
+    }
+
+    /// Classifies an address.
+    #[must_use]
+    pub fn region_of(&self, addr: u64) -> Region {
+        if self.data.contains(addr) {
+            Region::Data
+        } else if self.counters.contains(addr) {
+            Region::Counter
+        } else if self.macs.contains(addr) {
+            Region::Mac
+        } else if let Some(l) = self.bmt_levels.iter().position(|e| e.contains(addr)) {
+            Region::Bmt(l)
+        } else if self.chv.contains(addr) {
+            Region::Chv
+        } else if self.shadow.contains(addr) {
+            Region::Shadow
+        } else {
+            Region::Unmapped
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> AddressMap {
+        // 1 MB data => 256 counter blocks => BMT levels 32, 4, 1.
+        AddressMap::new(1 << 20, 128, 16)
+    }
+
+    #[test]
+    fn region_sizes() {
+        let m = small();
+        assert_eq!(m.data_blocks(), 16_384);
+        assert_eq!(m.counter_blocks(), 256);
+        assert_eq!(m.bmt_levels(), 3);
+        assert_eq!(m.bmt_level_nodes(0), 32);
+        assert_eq!(m.bmt_level_nodes(1), 4);
+        assert_eq!(m.bmt_level_nodes(2), 1);
+        assert_eq!(m.chv_blocks(), 128);
+        assert_eq!(m.shadow_blocks(), 16);
+    }
+
+    #[test]
+    fn regions_are_disjoint_and_ordered() {
+        let m = small();
+        assert_eq!(m.region_of(0), Region::Data);
+        assert_eq!(m.region_of(m.counter_block_addr(0)), Region::Counter);
+        assert_eq!(m.region_of(m.mac_block_addr(0)), Region::Mac);
+        assert_eq!(m.region_of(m.bmt_node_addr(0, 0)), Region::Bmt(0));
+        assert_eq!(m.region_of(m.bmt_node_addr(2, 0)), Region::Bmt(2));
+        assert_eq!(m.region_of(m.chv_base()), Region::Chv);
+        assert_eq!(m.region_of(m.shadow_base()), Region::Shadow);
+        assert_eq!(m.region_of(m.total_bytes()), Region::Unmapped);
+    }
+
+    #[test]
+    fn counter_mapping() {
+        let m = small();
+        assert_eq!(m.counter_index(0), 0);
+        assert_eq!(m.counter_index(4095), 0);
+        assert_eq!(m.counter_index(4096), 1);
+        assert_eq!(m.counter_slot(0), 0);
+        assert_eq!(m.counter_slot(64), 1);
+        assert_eq!(m.counter_slot(63 * 64), 63);
+        assert_eq!(m.counter_slot(64 * 64), 0);
+    }
+
+    #[test]
+    fn mac_mapping() {
+        let m = small();
+        assert_eq!(m.mac_block_addr(0), m.mac_block_addr(7 * 64));
+        assert_ne!(m.mac_block_addr(0), m.mac_block_addr(8 * 64));
+        assert_eq!(m.mac_slot(0), 0);
+        assert_eq!(m.mac_slot(7 * 64), 7);
+        assert_eq!(m.mac_slot(8 * 64), 0);
+    }
+
+    #[test]
+    fn paper_default_dimensions() {
+        let m = AddressMap::paper_default();
+        assert_eq!(m.data_bytes(), 32 << 30);
+        assert_eq!(m.counter_blocks(), (32 << 30) / 4096);
+        // 8M counter blocks -> 1M, 128K, 16K, 2K, 256, 32, 4, 1.
+        assert_eq!(m.bmt_levels(), 8);
+        assert_eq!(m.bmt_level_nodes(7), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the data region")]
+    fn counter_of_metadata_address_panics() {
+        let m = small();
+        let _ = m.counter_block_addr(m.counter_block_addr(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn unaligned_data_size_rejected() {
+        let _ = AddressMap::new(1000, 1, 1);
+    }
+}

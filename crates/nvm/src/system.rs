@@ -1,0 +1,241 @@
+//! The timed NVM front end: functional device + bank timing + accounting.
+
+use crate::wear::WearTracker;
+use crate::{Block, NvmDevice, BLOCK_SIZE};
+use horus_sim::{Completion, Cycles, Frequency, SlotBankSet, Stats};
+
+/// PCM device and channel parameters.
+///
+/// Defaults are the paper's Table I: 150 ns reads, 500 ns writes, one
+/// DDR-based PCM channel modelled with 16 independent banks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NvmConfig {
+    /// Read latency in nanoseconds.
+    pub read_ns: f64,
+    /// Write latency in nanoseconds.
+    pub write_ns: f64,
+    /// Number of independently-timed banks.
+    pub banks: usize,
+    /// The core clock used to express latencies in cycles.
+    pub frequency: Frequency,
+}
+
+impl NvmConfig {
+    /// The paper's Table I memory configuration.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            read_ns: 150.0,
+            write_ns: 500.0,
+            banks: 16,
+            frequency: Frequency::ghz(4),
+        }
+    }
+}
+
+impl Default for NvmConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The timed, accounted NVM system.
+///
+/// Every access names a request *kind* (e.g. `"data"`, `"counter"`,
+/// `"tree"`, `"chv_data"`); counts accumulate under `mem.read.<kind>` /
+/// `mem.write.<kind>` so experiment harnesses can reproduce the request
+/// breakdowns of the paper's Figures 6 and 12 directly from the registry.
+#[derive(Debug, Clone)]
+pub struct NvmSystem {
+    config: NvmConfig,
+    device: NvmDevice,
+    banks: SlotBankSet,
+    read_latency: Cycles,
+    write_latency: Cycles,
+    stats: Stats,
+    wear: WearTracker,
+}
+
+impl NvmSystem {
+    /// Creates a zeroed NVM system.
+    #[must_use]
+    pub fn new(config: NvmConfig) -> Self {
+        let read_latency = config.frequency.ns_to_cycles(config.read_ns);
+        let write_latency = config.frequency.ns_to_cycles(config.write_ns);
+        Self {
+            config,
+            device: NvmDevice::new(),
+            banks: SlotBankSet::new("pcm-bank", config.banks, write_latency),
+            read_latency,
+            write_latency,
+            stats: Stats::new(),
+            wear: WearTracker::new(),
+        }
+    }
+
+    /// The configuration this system was built with.
+    #[must_use]
+    pub fn config(&self) -> &NvmConfig {
+        &self.config
+    }
+
+    /// Read latency in cycles.
+    #[must_use]
+    pub fn read_latency(&self) -> Cycles {
+        self.read_latency
+    }
+
+    /// Write latency in cycles.
+    #[must_use]
+    pub fn write_latency(&self) -> Cycles {
+        self.write_latency
+    }
+
+    /// The accounting registry (`mem.read.*` / `mem.write.*`).
+    #[must_use]
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Direct access to the functional store, bypassing timing and
+    /// accounting. Used by attackers (who do not pay the controller's
+    /// costs) and by test setup.
+    pub fn device_mut(&mut self) -> &mut NvmDevice {
+        &mut self.device
+    }
+
+    /// Read-only access to the functional store.
+    #[must_use]
+    pub fn device(&self) -> &NvmDevice {
+        &self.device
+    }
+
+    /// Timed read of the block at `addr`, attributed to `kind`.
+    pub fn read(&mut self, addr: u64, kind: &str, ready: Cycles) -> (Block, Completion) {
+        let completion = self.banks.issue_addr_for(addr, ready, self.read_latency);
+        self.stats.incr(&format!("mem.read.{kind}"));
+        (self.device.read_block(addr), completion)
+    }
+
+    /// Timed write of `data` to `addr`, attributed to `kind`.
+    pub fn write(&mut self, addr: u64, data: Block, kind: &str, ready: Cycles) -> Completion {
+        let completion = self.banks.issue_addr_for(addr, ready, self.write_latency);
+        self.stats.incr(&format!("mem.write.{kind}"));
+        self.wear.record(addr);
+        self.device.write_block(addr, data);
+        completion
+    }
+
+    /// Total reads issued.
+    #[must_use]
+    pub fn total_reads(&self) -> u64 {
+        self.stats.sum_prefix("mem.read.")
+    }
+
+    /// Total writes issued.
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.stats.sum_prefix("mem.write.")
+    }
+
+    /// Total memory requests (reads + writes).
+    #[must_use]
+    pub fn total_requests(&self) -> u64 {
+        self.total_reads() + self.total_writes()
+    }
+
+    /// The completion time of the latest operation across all banks.
+    #[must_use]
+    pub fn busy_until(&self) -> Cycles {
+        self.banks.busy_until()
+    }
+
+    /// Device-lifetime wear statistics (survives
+    /// [`reset_timing`](Self::reset_timing) — wear is not per-episode).
+    #[must_use]
+    pub fn wear(&self) -> &WearTracker {
+        &self.wear
+    }
+
+    /// Resets device-lifetime wear statistics (a fresh device).
+    pub fn reset_wear(&mut self) {
+        self.wear.reset();
+    }
+
+    /// Resets timing state and accounting, keeping memory *contents* — a
+    /// new measurement episode over the same persistent data (e.g. the
+    /// recovery that follows a drain).
+    pub fn reset_timing(&mut self) {
+        self.banks.reset();
+        self.stats.clear();
+    }
+
+    /// Bytes of traffic implied by the recorded requests.
+    #[must_use]
+    pub fn traffic_bytes(&self) -> u64 {
+        self.total_requests() * BLOCK_SIZE as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_from_table1() {
+        let nvm = NvmSystem::new(NvmConfig::paper_default());
+        assert_eq!(nvm.read_latency(), Cycles(600));
+        assert_eq!(nvm.write_latency(), Cycles(2000));
+    }
+
+    #[test]
+    fn functional_roundtrip_with_accounting() {
+        let mut nvm = NvmSystem::new(NvmConfig::paper_default());
+        let w = nvm.write(0, [9u8; 64], "data", Cycles(0));
+        assert_eq!(w.done, Cycles(2000));
+        let (b, r) = nvm.read(0, "counter", w.done);
+        assert_eq!(b, [9u8; 64]);
+        assert_eq!(r.done, Cycles(2600));
+        assert_eq!(nvm.stats().get("mem.write.data"), 1);
+        assert_eq!(nvm.stats().get("mem.read.counter"), 1);
+        assert_eq!(nvm.total_requests(), 2);
+        assert_eq!(nvm.traffic_bytes(), 128);
+    }
+
+    #[test]
+    fn banks_parallelize() {
+        let mut nvm = NvmSystem::new(NvmConfig {
+            banks: 4,
+            ..NvmConfig::paper_default()
+        });
+        // Four writes to four consecutive blocks land on four banks.
+        let dones: Vec<_> = (0..4)
+            .map(|i| nvm.write(i * 64, [0u8; 64], "data", Cycles(0)).done)
+            .collect();
+        assert!(dones.iter().all(|d| *d == Cycles(2000)));
+        // A fifth to bank 0 serializes.
+        assert_eq!(
+            nvm.write(4 * 64, [0u8; 64], "data", Cycles(0)).done,
+            Cycles(4000)
+        );
+    }
+
+    #[test]
+    fn reset_timing_keeps_contents() {
+        let mut nvm = NvmSystem::new(NvmConfig::paper_default());
+        nvm.write(0, [5u8; 64], "data", Cycles(0));
+        nvm.reset_timing();
+        assert_eq!(nvm.total_requests(), 0);
+        assert_eq!(nvm.busy_until(), Cycles::ZERO);
+        let (b, _) = nvm.read(0, "data", Cycles(0));
+        assert_eq!(b, [5u8; 64]);
+    }
+
+    #[test]
+    fn device_access_bypasses_accounting() {
+        let mut nvm = NvmSystem::new(NvmConfig::paper_default());
+        nvm.device_mut().write_block(64, [1u8; 64]);
+        assert_eq!(nvm.total_requests(), 0);
+        assert_eq!(nvm.device().read_block(64), [1u8; 64]);
+    }
+}

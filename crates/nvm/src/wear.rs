@@ -1,0 +1,177 @@
+//! PCM write-endurance tracking.
+//!
+//! Phase-change memory cells endure a bounded number of writes, which is
+//! why the paper counts every extra metadata write as harm beyond the
+//! battery (§II-D: "these updates can lead to significant increase in
+//! the number of memory writes (and hence premature wear-out)"). The
+//! tracker records per-block write counts so experiments can compare not
+//! just *how many* writes a drain scheme issues but *where it
+//! concentrates them* — e.g. Horus re-writes the same CHV region every
+//! episode, while the baselines spray the metadata regions.
+
+use horus_sim::Histogram;
+use std::collections::HashMap;
+
+/// Per-block write counts for the whole device.
+#[derive(Debug, Clone, Default)]
+pub struct WearTracker {
+    per_block: HashMap<u64, u64>,
+    total: u64,
+}
+
+impl WearTracker {
+    /// A fresh (unworn) device.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one write to the block at `addr`.
+    pub fn record(&mut self, addr: u64) {
+        *self.per_block.entry(addr).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total writes ever recorded.
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct blocks ever written.
+    #[must_use]
+    pub fn blocks_touched(&self) -> u64 {
+        self.per_block.len() as u64
+    }
+
+    /// The worst-case (most-written) block's write count — the cell that
+    /// dies first under no wear levelling.
+    #[must_use]
+    pub fn max_wear(&self) -> u64 {
+        self.per_block.values().copied().max().unwrap_or(0)
+    }
+
+    /// Mean writes per touched block.
+    #[must_use]
+    pub fn mean_wear(&self) -> f64 {
+        if self.per_block.is_empty() {
+            0.0
+        } else {
+            self.total as f64 / self.per_block.len() as f64
+        }
+    }
+
+    /// Write count of a specific block.
+    #[must_use]
+    pub fn wear_of(&self, addr: u64) -> u64 {
+        self.per_block.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// The `n` most-written blocks, hottest first (ties broken by
+    /// address for determinism).
+    #[must_use]
+    pub fn hottest(&self, n: usize) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.per_block.iter().map(|(a, c)| (*a, *c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Distribution of per-block write counts.
+    #[must_use]
+    pub fn histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for c in self.per_block.values() {
+            h.record(*c);
+        }
+        h
+    }
+
+    /// Sums the writes that landed in `[base, base + blocks*64)` — used
+    /// to attribute wear to address-map regions.
+    #[must_use]
+    pub fn writes_in_range(&self, base: u64, blocks: u64) -> u64 {
+        let end = base + blocks * 64;
+        self.per_block
+            .iter()
+            .filter(|(a, _)| **a >= base && **a < end)
+            .map(|(_, c)| *c)
+            .sum()
+    }
+
+    /// Forgets all recorded wear (a fresh device, not a new episode —
+    /// wear is device-lifetime state).
+    pub fn reset(&mut self) {
+        self.per_block.clear();
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_tracker_is_zero() {
+        let w = WearTracker::new();
+        assert_eq!(w.total_writes(), 0);
+        assert_eq!(w.blocks_touched(), 0);
+        assert_eq!(w.max_wear(), 0);
+        assert_eq!(w.mean_wear(), 0.0);
+        assert!(w.hottest(5).is_empty());
+    }
+
+    #[test]
+    fn records_accumulate_per_block() {
+        let mut w = WearTracker::new();
+        for _ in 0..5 {
+            w.record(0);
+        }
+        w.record(64);
+        assert_eq!(w.total_writes(), 6);
+        assert_eq!(w.blocks_touched(), 2);
+        assert_eq!(w.max_wear(), 5);
+        assert_eq!(w.wear_of(0), 5);
+        assert_eq!(w.wear_of(64), 1);
+        assert_eq!(w.wear_of(128), 0);
+        assert_eq!(w.mean_wear(), 3.0);
+    }
+
+    #[test]
+    fn hottest_orders_deterministically() {
+        let mut w = WearTracker::new();
+        w.record(64);
+        w.record(64);
+        w.record(0);
+        w.record(0);
+        w.record(128);
+        assert_eq!(w.hottest(2), vec![(0, 2), (64, 2)]);
+        assert_eq!(w.hottest(10).len(), 3);
+    }
+
+    #[test]
+    fn range_attribution() {
+        let mut w = WearTracker::new();
+        w.record(0);
+        w.record(64);
+        w.record(1024);
+        assert_eq!(w.writes_in_range(0, 2), 2);
+        assert_eq!(w.writes_in_range(0, 17), 3);
+        assert_eq!(w.writes_in_range(1024, 1), 1);
+    }
+
+    #[test]
+    fn histogram_and_reset() {
+        let mut w = WearTracker::new();
+        for i in 0..10u64 {
+            for _ in 0..=i {
+                w.record(i * 64);
+            }
+        }
+        let h = w.histogram();
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max(), Some(10));
+        w.reset();
+        assert_eq!(w.total_writes(), 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the physical address map.
+
+use horus_nvm::{AddressMap, Region};
+use proptest::prelude::*;
+
+fn arb_map() -> impl Strategy<Value = AddressMap> {
+    // Data sizes from 64 KB to 256 MB in 4 KB multiples.
+    (16u64..65_536, 1u64..2_048, 1u64..512)
+        .prop_map(|(pages, chv, shadow)| AddressMap::new(pages * 4096, chv, shadow))
+}
+
+proptest! {
+    /// Every data block maps to exactly one counter block/slot and one
+    /// MAC block/slot, and the mappings are consistent with coverage.
+    #[test]
+    fn metadata_mappings_are_consistent(map in arb_map(), blk in 0u64..1 << 20) {
+        let addr = (blk * 64) % map.data_bytes();
+        let cb = map.counter_block_addr(addr);
+        prop_assert_eq!(map.region_of(cb), Region::Counter);
+        // All 64 blocks of the page share the counter block.
+        let page = addr & !4095;
+        for i in 0..64u64 {
+            prop_assert_eq!(map.counter_block_addr(page + i * 64), cb);
+        }
+        prop_assert_eq!(map.counter_slot(addr) as u64, (addr / 64) % 64);
+        let mb = map.mac_block_addr(addr);
+        prop_assert_eq!(map.region_of(mb), Region::Mac);
+        prop_assert_eq!(map.mac_slot(addr) as u64, (addr / 64) % 8);
+    }
+
+    /// Regions partition the mapped space: every block belongs to
+    /// exactly one region and regions appear in layout order.
+    #[test]
+    fn regions_partition_the_space(map in arb_map()) {
+        let total_blocks = map.total_bytes() / 64;
+        // Sample a spread of blocks rather than every one (maps can be
+        // millions of blocks).
+        let step = (total_blocks / 500).max(1);
+        let mut last_rank = 0u8;
+        for b in (0..total_blocks).step_by(step as usize) {
+            let rank = match map.region_of(b * 64) {
+                Region::Data => 1,
+                Region::Counter => 2,
+                Region::Mac => 3,
+                Region::Bmt(_) => 4,
+                Region::Chv => 5,
+                Region::Shadow => 6,
+                Region::Unmapped => 7,
+            };
+            prop_assert!(rank >= last_rank, "regions out of order at block {}", b);
+            last_rank = rank;
+        }
+        prop_assert_eq!(map.region_of(map.total_bytes()), Region::Unmapped);
+    }
+
+    /// BMT level sizes shrink by the arity until a single node.
+    #[test]
+    fn bmt_levels_shrink_by_arity(map in arb_map()) {
+        let mut expected = map.counter_blocks().div_ceil(8);
+        for level in 0..map.bmt_levels() {
+            prop_assert_eq!(map.bmt_level_nodes(level), expected);
+            expected = expected.div_ceil(8);
+        }
+        prop_assert_eq!(map.bmt_level_nodes(map.bmt_levels() - 1), 1);
+    }
+
+    /// Node addresses are dense and in-range per level.
+    #[test]
+    fn bmt_node_addresses_in_region(map in arb_map()) {
+        for level in 0..map.bmt_levels() {
+            let n = map.bmt_level_nodes(level);
+            for idx in [0, n / 2, n - 1] {
+                let a = map.bmt_node_addr(level, idx);
+                prop_assert_eq!(map.region_of(a), Region::Bmt(level));
+            }
+        }
+    }
+}

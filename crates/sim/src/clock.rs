@@ -1,0 +1,218 @@
+//! Simulation time base.
+//!
+//! All timing in the simulator is expressed in core clock [`Cycles`]; the
+//! paper's Table I gives device latencies in nanoseconds (PCM read 150 ns,
+//! write 500 ns) and engine latencies in cycles (AES 40, hash 160), so
+//! [`Frequency`] converts between the two.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// A duration or instant measured in core clock cycles.
+///
+/// `Cycles` is used both as a point in simulated time and as a duration;
+/// arithmetic panics on overflow in debug builds like plain `u64`.
+///
+/// ```
+/// use horus_sim::Cycles;
+/// assert_eq!(Cycles(40) + Cycles(160), Cycles(200));
+/// assert_eq!(Cycles(200) * 3, Cycles(600));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles — the simulation epoch.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Returns the later of two instants.
+    #[must_use]
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two instants.
+    #[must_use]
+    pub fn min(self, other: Cycles) -> Cycles {
+        Cycles(self.0.min(other.0))
+    }
+
+    /// Saturating subtraction: the duration from `other` to `self`, or
+    /// zero if `other` is later.
+    #[must_use]
+    pub fn saturating_sub(self, other: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+/// A clock frequency, used to convert between nanoseconds and [`Cycles`].
+///
+/// ```
+/// use horus_sim::Frequency;
+/// let f = Frequency::ghz(4);
+/// assert_eq!(f.ns_to_cycles(500.0).0, 2000);
+/// assert!((f.cycles_to_ns(horus_sim::Cycles(2000)) - 500.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Frequency {
+    hz: f64,
+}
+
+impl Frequency {
+    /// Creates a frequency of `n` gigahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn ghz(n: u64) -> Self {
+        assert!(n > 0, "frequency must be positive");
+        Self { hz: n as f64 * 1e9 }
+    }
+
+    /// Creates a frequency from hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is not strictly positive and finite.
+    #[must_use]
+    pub fn from_hz(hz: f64) -> Self {
+        assert!(hz.is_finite() && hz > 0.0, "frequency must be positive");
+        Self { hz }
+    }
+
+    /// The frequency in hertz.
+    #[must_use]
+    pub fn hz(self) -> f64 {
+        self.hz
+    }
+
+    /// Converts a duration in nanoseconds to cycles, rounding up (a device
+    /// busy for 1.1 cycles occupies 2).
+    #[must_use]
+    pub fn ns_to_cycles(self, ns: f64) -> Cycles {
+        Cycles((ns * self.hz / 1e9).ceil() as u64)
+    }
+
+    /// Converts cycles to nanoseconds.
+    #[must_use]
+    pub fn cycles_to_ns(self, c: Cycles) -> f64 {
+        c.0 as f64 * 1e9 / self.hz
+    }
+
+    /// Converts cycles to seconds.
+    #[must_use]
+    pub fn cycles_to_seconds(self, c: Cycles) -> f64 {
+        c.0 as f64 / self.hz
+    }
+}
+
+impl Default for Frequency {
+    /// The paper's 4 GHz core clock.
+    fn default() -> Self {
+        Frequency::ghz(4)
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} GHz", self.hz / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_arithmetic() {
+        let mut c = Cycles(10);
+        c += Cycles(5);
+        assert_eq!(c, Cycles(15));
+        c -= Cycles(3);
+        assert_eq!(c, Cycles(12));
+        assert_eq!(c - Cycles(2), Cycles(10));
+        assert_eq!(Cycles(3) * 4, Cycles(12));
+        assert_eq!(Cycles(5).max(Cycles(9)), Cycles(9));
+        assert_eq!(Cycles(5).min(Cycles(9)), Cycles(5));
+        assert_eq!(Cycles(5).saturating_sub(Cycles(9)), Cycles::ZERO);
+        assert_eq!(Cycles(9).saturating_sub(Cycles(5)), Cycles(4));
+    }
+
+    #[test]
+    fn cycles_sum() {
+        let total: Cycles = [Cycles(1), Cycles(2), Cycles(3)].into_iter().sum();
+        assert_eq!(total, Cycles(6));
+    }
+
+    #[test]
+    fn frequency_conversions() {
+        let f = Frequency::ghz(4);
+        assert_eq!(f.ns_to_cycles(150.0), Cycles(600));
+        assert_eq!(f.ns_to_cycles(500.0), Cycles(2000));
+        // Rounds up.
+        assert_eq!(f.ns_to_cycles(0.1), Cycles(1));
+        assert!((f.cycles_to_seconds(Cycles(4_000_000_000)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_rejected() {
+        let _ = Frequency::ghz(0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Cycles(7)), "7 cycles");
+        assert_eq!(format!("{}", Frequency::ghz(4)), "4.000 GHz");
+    }
+}

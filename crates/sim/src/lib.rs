@@ -1,0 +1,52 @@
+//! Discrete-event simulation substrate for the Horus reproduction.
+//!
+//! The paper evaluates Horus on gem5; this crate is the from-scratch
+//! equivalent substrate: a small, deterministic timing model consisting of
+//!
+//! * [`clock`] — the [`clock::Cycles`] time base and
+//!   [`clock::Frequency`] conversions between wall-clock
+//!   nanoseconds and core cycles (the paper's core runs at 4 GHz);
+//! * [`resource`] — pipelined hardware resources ([`resource::Resource`])
+//!   with a latency and an initiation interval, and banked groups of
+//!   them ([`resource::BankSet`])
+//!   used to model PCM banks, AES engines and hash engines;
+//! * [`queue`] — a deterministic [`queue::EventQueue`] for
+//!   callers that need full event-driven control;
+//! * [`stats`] — a [`stats::Stats`] registry of named counters and
+//!   power-of-two [`stats::Histogram`]s, used by every layer to
+//!   report the breakdowns shown in the paper's figures.
+//!
+//! The drain engines in `horus-core` drive these resources operation by
+//! operation; the completion time of the last operation is the draining
+//! time that defines the EPD hold-up budget.
+//!
+//! # Example
+//!
+//! ```
+//! use horus_sim::clock::{Cycles, Frequency};
+//! use horus_sim::resource::Resource;
+//!
+//! // A 4 GHz core and an NVM write port: 500 ns latency, one write
+//! // accepted every 500 ns.
+//! let f = Frequency::ghz(4);
+//! let lat = f.ns_to_cycles(500.0);
+//! let mut port = Resource::new("nvm-write", lat, lat);
+//! let first = port.issue(Cycles(0));
+//! let second = port.issue(Cycles(0));
+//! assert_eq!(first.done, lat);
+//! assert_eq!(second.done, Cycles(2 * lat.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod queue;
+pub mod resource;
+pub mod schedule;
+pub mod stats;
+
+pub use clock::{Cycles, Frequency};
+pub use resource::{BankSet, Completion, Resource};
+pub use schedule::{SlotBankSet, SlotResource};
+pub use stats::{Histogram, Stats};

@@ -1,0 +1,196 @@
+//! A deterministic discrete-event queue.
+//!
+//! Most of the drain-path timing is handled by chaining
+//! [`Resource`](crate::resource::Resource) completions, but components
+//! that need explicit future events (e.g. the memory controller's
+//! write-pending queue draining in the background, or recovery prefetch)
+//! use this queue. Events at the same timestamp pop in insertion order, so
+//! simulations are fully deterministic.
+
+use crate::clock::Cycles;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event queue ordered by time, FIFO within a timestamp.
+///
+/// ```
+/// use horus_sim::{Cycles, queue::EventQueue};
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycles(10), "b");
+/// q.schedule(Cycles(5), "a");
+/// q.schedule(Cycles(10), "c");
+/// assert_eq!(q.pop(), Some((Cycles(5), "a")));
+/// assert_eq!(q.pop(), Some((Cycles(10), "b")));
+/// assert_eq!(q.pop(), Some((Cycles(10), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: Cycles,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: Cycles,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need earliest-first; ties
+        // break by insertion sequence.
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Cycles::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event.
+    #[must_use]
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the current time — events cannot
+    /// be scheduled in the past.
+    pub fn schedule(&mut self, time: Cycles, event: E) {
+        assert!(time >= self.now, "cannot schedule an event in the past");
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` `delay` cycles after the current time.
+    pub fn schedule_in(&mut self, delay: Cycles, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        self.heap.pop().map(|e| {
+            self.now = e.time;
+            (e.time, e.event)
+        })
+    }
+
+    /// The timestamp of the next event without popping it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|e| e.time)
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(30), 3);
+        q.schedule(Cycles(10), 1);
+        q.schedule(Cycles(20), 2);
+        assert_eq!(q.pop(), Some((Cycles(10), 1)));
+        assert_eq!(q.pop(), Some((Cycles(20), 2)));
+        assert_eq!(q.pop(), Some((Cycles(30), 3)));
+    }
+
+    #[test]
+    fn fifo_within_timestamp() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Cycles(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycles(5), i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(7), ());
+        assert_eq!(q.now(), Cycles::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Cycles(7));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(10), "first");
+        q.pop();
+        q.schedule_in(Cycles(5), "second");
+        assert_eq!(q.pop(), Some((Cycles(15), "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn past_scheduling_rejected() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(10), ());
+        q.pop();
+        q.schedule(Cycles(5), ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Cycles(1), ());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(Cycles(1)));
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

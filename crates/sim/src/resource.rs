@@ -1,0 +1,338 @@
+//! Pipelined hardware resource models.
+//!
+//! A [`Resource`] models a hardware unit with a *latency* (time from issue
+//! to completion) and an *initiation interval* (minimum spacing between
+//! issues — 1 cycle for a fully pipelined AES engine, equal to the latency
+//! for an unpipelined PCM bank). A [`BankSet`] groups several identical
+//! resources with address interleaving, modelling bank-level parallelism
+//! in the memory device.
+//!
+//! Issuing returns a [`Completion`] with the actual start and finish time;
+//! callers chain completions to express data dependencies (e.g. "the MAC
+//! computation starts when the ciphertext is ready").
+
+use crate::clock::Cycles;
+
+/// The outcome of issuing an operation to a [`Resource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// When the resource actually accepted the operation (≥ the request
+    /// time if the resource was busy).
+    pub start: Cycles,
+    /// When the result is available.
+    pub done: Cycles,
+}
+
+/// A pipelined hardware unit with fixed latency and initiation interval.
+///
+/// ```
+/// use horus_sim::{Cycles, Resource};
+/// // Fully pipelined hash engine: 160-cycle latency, 1 op/cycle.
+/// let mut hash = Resource::new("sha", Cycles(160), Cycles(1));
+/// assert_eq!(hash.issue(Cycles(0)).done, Cycles(160));
+/// assert_eq!(hash.issue(Cycles(0)).done, Cycles(161));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Resource {
+    name: &'static str,
+    latency: Cycles,
+    interval: Cycles,
+    next_issue: Cycles,
+    busy_until: Cycles,
+    ops: u64,
+}
+
+impl Resource {
+    /// Creates a resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero — a zero initiation interval would
+    /// mean infinite throughput and silently hide modelling mistakes.
+    #[must_use]
+    pub fn new(name: &'static str, latency: Cycles, interval: Cycles) -> Self {
+        assert!(
+            interval.0 > 0,
+            "initiation interval must be at least 1 cycle"
+        );
+        Self {
+            name,
+            latency,
+            interval,
+            next_issue: Cycles::ZERO,
+            busy_until: Cycles::ZERO,
+            ops: 0,
+        }
+    }
+
+    /// Creates an unpipelined resource (interval = latency), such as a PCM
+    /// bank that cannot overlap operations.
+    #[must_use]
+    pub fn unpipelined(name: &'static str, latency: Cycles) -> Self {
+        Self::new(name, latency, latency.max(Cycles(1)))
+    }
+
+    /// The resource's display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The per-operation latency.
+    #[must_use]
+    pub fn latency(&self) -> Cycles {
+        self.latency
+    }
+
+    /// Number of operations issued so far.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// The time at which the last issued operation completes.
+    #[must_use]
+    pub fn busy_until(&self) -> Cycles {
+        self.busy_until
+    }
+
+    /// Issues an operation that is ready at `ready`; returns when it
+    /// starts and completes.
+    pub fn issue(&mut self, ready: Cycles) -> Completion {
+        let start = ready.max(self.next_issue);
+        let done = start + self.latency;
+        self.next_issue = start + self.interval;
+        self.busy_until = self.busy_until.max(done);
+        self.ops += 1;
+        Completion { start, done }
+    }
+
+    /// Issues an operation with a per-operation latency, occupying the
+    /// resource for the whole duration (used by memory banks whose read
+    /// and write latencies differ).
+    pub fn issue_for(&mut self, ready: Cycles, latency: Cycles) -> Completion {
+        let start = ready.max(self.next_issue);
+        let done = start + latency;
+        self.next_issue = done;
+        self.busy_until = self.busy_until.max(done);
+        self.ops += 1;
+        Completion { start, done }
+    }
+
+    /// Resets occupancy and operation counts (a new simulation episode).
+    pub fn reset(&mut self) {
+        self.next_issue = Cycles::ZERO;
+        self.busy_until = Cycles::ZERO;
+        self.ops = 0;
+    }
+}
+
+/// A group of identical [`Resource`]s selected by address interleaving,
+/// modelling banked memory devices.
+///
+/// Addresses map to banks by block index modulo the number of banks, the
+/// usual low-order interleaving.
+///
+/// ```
+/// use horus_sim::{BankSet, Cycles};
+/// let mut banks = BankSet::unpipelined("pcm", 4, Cycles(2000));
+/// // Two writes to different banks overlap fully.
+/// let a = banks.issue_addr(0x0000, Cycles(0));
+/// let b = banks.issue_addr(0x0040, Cycles(0));
+/// assert_eq!(a.done, b.done);
+/// // A third write hitting bank 0 again serializes.
+/// let c = banks.issue_addr(0x0100, Cycles(0));
+/// assert_eq!(c.done, Cycles(4000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BankSet {
+    banks: Vec<Resource>,
+    block_shift: u32,
+}
+
+impl BankSet {
+    /// Block size assumed for address→bank interleaving (64 B).
+    pub const BLOCK_SHIFT: u32 = 6;
+
+    /// Creates `n` unpipelined banks with the given per-op latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn unpipelined(name: &'static str, n: usize, latency: Cycles) -> Self {
+        assert!(n > 0, "bank set must contain at least one bank");
+        Self {
+            banks: vec![Resource::unpipelined(name, latency); n],
+            block_shift: Self::BLOCK_SHIFT,
+        }
+    }
+
+    /// Number of banks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Whether the set is empty (never true — construction requires ≥ 1).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.banks.is_empty()
+    }
+
+    /// The bank index an address maps to.
+    ///
+    /// The block index is XOR-folded before the modulo — the bank-address
+    /// hashing real memory controllers use so strided streams (which are
+    /// exactly what metadata regions produce) still spread across banks.
+    #[must_use]
+    pub fn bank_of(&self, address: u64) -> usize {
+        let idx = address >> self.block_shift;
+        let folded = idx ^ (idx >> 4) ^ (idx >> 8) ^ (idx >> 12) ^ (idx >> 16) ^ (idx >> 24);
+        (folded % self.banks.len() as u64) as usize
+    }
+
+    /// Issues an operation on the bank owning `address`.
+    pub fn issue_addr(&mut self, address: u64, ready: Cycles) -> Completion {
+        let bank = self.bank_of(address);
+        self.banks[bank].issue(ready)
+    }
+
+    /// Issues an operation with an explicit latency on the bank owning
+    /// `address` (reads and writes have different PCM latencies but share
+    /// the bank).
+    pub fn issue_addr_for(&mut self, address: u64, ready: Cycles, latency: Cycles) -> Completion {
+        let bank = self.bank_of(address);
+        self.banks[bank].issue_for(ready, latency)
+    }
+
+    /// Issues on an explicit bank index (for round-robin scheduling of
+    /// sequential streams).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn issue_bank(&mut self, bank: usize, ready: Cycles) -> Completion {
+        self.banks[bank].issue(ready)
+    }
+
+    /// Total operations across all banks.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.banks.iter().map(Resource::ops).sum()
+    }
+
+    /// Completion time of the last operation across all banks.
+    #[must_use]
+    pub fn busy_until(&self) -> Cycles {
+        self.banks
+            .iter()
+            .map(Resource::busy_until)
+            .max()
+            .unwrap_or(Cycles::ZERO)
+    }
+
+    /// Resets all banks.
+    pub fn reset(&mut self) {
+        for b in &mut self.banks {
+            b.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_resource_overlaps() {
+        let mut r = Resource::new("aes", Cycles(40), Cycles(1));
+        let a = r.issue(Cycles(0));
+        let b = r.issue(Cycles(0));
+        let c = r.issue(Cycles(100));
+        assert_eq!(
+            a,
+            Completion {
+                start: Cycles(0),
+                done: Cycles(40)
+            }
+        );
+        assert_eq!(
+            b,
+            Completion {
+                start: Cycles(1),
+                done: Cycles(41)
+            }
+        );
+        // Ready later than the pipeline frees: starts at ready time.
+        assert_eq!(
+            c,
+            Completion {
+                start: Cycles(100),
+                done: Cycles(140)
+            }
+        );
+        assert_eq!(r.ops(), 3);
+        assert_eq!(r.busy_until(), Cycles(140));
+    }
+
+    #[test]
+    fn unpipelined_resource_serializes() {
+        let mut r = Resource::unpipelined("bank", Cycles(2000));
+        let a = r.issue(Cycles(0));
+        let b = r.issue(Cycles(0));
+        assert_eq!(a.done, Cycles(2000));
+        assert_eq!(b.start, Cycles(2000));
+        assert_eq!(b.done, Cycles(4000));
+    }
+
+    #[test]
+    #[should_panic(expected = "initiation interval")]
+    fn zero_interval_rejected() {
+        let _ = Resource::new("bad", Cycles(10), Cycles(0));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut r = Resource::unpipelined("bank", Cycles(10));
+        r.issue(Cycles(0));
+        r.reset();
+        assert_eq!(r.ops(), 0);
+        assert_eq!(r.issue(Cycles(0)).start, Cycles(0));
+    }
+
+    #[test]
+    fn bank_interleaving() {
+        let banks = BankSet::unpipelined("pcm", 8, Cycles(100));
+        assert_eq!(banks.bank_of(0x0000), 0);
+        assert_eq!(banks.bank_of(0x0040), 1);
+        assert_eq!(banks.bank_of(0x0040 * 8), 0);
+        assert_eq!(banks.len(), 8);
+        assert!(!banks.is_empty());
+    }
+
+    #[test]
+    fn banks_parallelize_distinct_addresses() {
+        let mut banks = BankSet::unpipelined("pcm", 4, Cycles(1000));
+        let done: Vec<_> = (0..4)
+            .map(|i| banks.issue_addr(i * 64, Cycles(0)).done)
+            .collect();
+        assert!(done.iter().all(|d| *d == Cycles(1000)));
+        assert_eq!(banks.ops(), 4);
+        assert_eq!(banks.busy_until(), Cycles(1000));
+    }
+
+    #[test]
+    fn same_bank_conflict_serializes() {
+        let mut banks = BankSet::unpipelined("pcm", 4, Cycles(1000));
+        banks.issue_addr(0, Cycles(0));
+        let second = banks.issue_addr(4 * 64, Cycles(0));
+        assert_eq!(second.start, Cycles(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn empty_bank_set_rejected() {
+        let _ = BankSet::unpipelined("pcm", 0, Cycles(1));
+    }
+}

@@ -1,0 +1,391 @@
+//! Named counters and histograms.
+//!
+//! Every layer of the simulator records what it did into a [`Stats`]
+//! registry — memory reads/writes by request type, MAC computations by
+//! purpose, cache hits/misses — and the experiment harness reads these
+//! back to print the breakdowns shown in the paper's Figures 6, 12 and 13.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A registry of named monotonic counters.
+///
+/// Keys are static strings so call sites stay cheap and typo-resistant
+/// constants can be shared; the registry is ordered so reports are
+/// deterministic.
+///
+/// ```
+/// use horus_sim::Stats;
+/// let mut s = Stats::new();
+/// s.add("mem.write.data", 3);
+/// s.incr("mem.write.data");
+/// assert_eq!(s.get("mem.write.data"), 4);
+/// assert_eq!(s.get("never.touched"), 0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Stats {
+    counters: BTreeMap<String, u64>,
+}
+
+impl Stats {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter `key`, creating it at zero if absent.
+    pub fn add(&mut self, key: &str, n: u64) {
+        *self.counters.entry(key.to_owned()).or_insert(0) += n;
+    }
+
+    /// Increments the counter `key` by one.
+    pub fn incr(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Reads a counter; absent counters read as zero.
+    #[must_use]
+    pub fn get(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Sums every counter whose name starts with `prefix`.
+    ///
+    /// ```
+    /// use horus_sim::Stats;
+    /// let mut s = Stats::new();
+    /// s.add("mem.write.data", 2);
+    /// s.add("mem.write.mac", 3);
+    /// s.add("mem.read.counter", 5);
+    /// assert_eq!(s.sum_prefix("mem.write."), 5);
+    /// assert_eq!(s.sum_prefix("mem."), 10);
+    /// ```
+    #[must_use]
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Iterates `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merges another registry into this one, summing shared counters.
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Removes every counter.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+    }
+
+    /// Number of distinct counters.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no counter has been touched.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k:<40} {v:>14}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> Extend<(&'a str, u64)> for Stats {
+    fn extend<T: IntoIterator<Item = (&'a str, u64)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.add(k, v);
+        }
+    }
+}
+
+impl<'a> FromIterator<(&'a str, u64)> for Stats {
+    fn from_iter<T: IntoIterator<Item = (&'a str, u64)>>(iter: T) -> Self {
+        let mut s = Stats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// A power-of-two bucketed histogram of `u64` samples.
+///
+/// Bucket `i` counts samples in `[2^(i-1), 2^i)`, with bucket 0 counting
+/// zero and one. Used to characterize e.g. metadata-cache reuse distances
+/// and queueing delays.
+///
+/// ```
+/// use horus_sim::Histogram;
+/// let mut h = Histogram::new();
+/// h.record(0);
+/// h.record(1);
+/// h.record(1000);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.max(), Some(1000));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: Option<u64>,
+    max: Option<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_index(sample: u64) -> usize {
+        if sample <= 1 {
+            0
+        } else {
+            (64 - (sample - 1).leading_zeros()) as usize
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        let idx = Self::bucket_index(sample);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += u128::from(sample);
+        self.min = Some(self.min.map_or(sample, |m| m.min(sample)));
+        self.max = Some(self.max.map_or(sample, |m| m.max(sample)));
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded samples, or `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Smallest recorded sample.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest recorded sample.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// The bucket counts, index `i` covering `[2^(i-1), 2^i)`.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// An upper bound on the `q`-quantile (0.0..=1.0): the inclusive
+    /// upper edge `2^i` of the power-of-two bucket containing that rank,
+    /// or `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    ///
+    /// ```
+    /// use horus_sim::Histogram;
+    /// let mut h = Histogram::new();
+    /// for v in [1u64, 2, 3, 100] {
+    ///     h.record(v);
+    /// }
+    /// assert_eq!(h.quantile_bound(0.5), Some(2)); // rank 2 is the sample 2
+    /// assert_eq!(h.quantile_bound(1.0), Some(128)); // 100 in (64, 128]
+    /// ```
+    #[must_use]
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return Some(1u64 << i);
+            }
+        }
+        Some(1u64 << self.buckets.len())
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "count={} mean={:.1} min={:?} max={:?}",
+            self.count,
+            self.mean().unwrap_or(0.0),
+            self.min,
+            self.max
+        )?;
+        for (i, b) in self.buckets.iter().enumerate() {
+            if *b > 0 {
+                // Bucket 0 holds {0, 1}; bucket i holds (2^(i-1), 2^i].
+                let lo = if i == 0 { 0 } else { (1u64 << (i - 1)) + 1 };
+                let hi = 1u64 << i;
+                writeln!(f, "  [{lo:>12}, {hi:>12}] {b}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.incr("a");
+        s.add("a", 4);
+        s.incr("b");
+        assert_eq!(s.get("a"), 5);
+        assert_eq!(s.get("b"), 1);
+        assert_eq!(s.get("missing"), 0);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn prefix_sums() {
+        let mut s = Stats::new();
+        s.add("x.1", 1);
+        s.add("x.2", 2);
+        s.add("y.1", 4);
+        assert_eq!(s.sum_prefix("x."), 3);
+        assert_eq!(s.sum_prefix(""), 7);
+        assert_eq!(s.sum_prefix("z."), 0);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = Stats::new();
+        a.add("k", 1);
+        let mut b = Stats::new();
+        b.add("k", 2);
+        b.add("only-b", 3);
+        a.merge(&b);
+        assert_eq!(a.get("k"), 3);
+        assert_eq!(a.get("only-b"), 3);
+    }
+
+    #[test]
+    fn iteration_is_ordered() {
+        let s: Stats = [("b", 2u64), ("a", 1), ("c", 3)].into_iter().collect();
+        let keys: Vec<_> = s.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = Stats::new();
+        s.incr("a");
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let mut s = Stats::new();
+        s.add("k", 7);
+        assert!(format!("{s}").contains('k'));
+        let h = Histogram::new();
+        assert!(format!("{h}").contains("count=0"));
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(5), 3);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(1025), 11);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), None);
+        for v in [2u64, 4, 6] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean(), Some(4.0));
+        assert_eq!(h.min(), Some(2));
+        assert_eq!(h.max(), Some(6));
+        assert!(h.buckets().iter().sum::<u64>() == 3);
+    }
+}
+
+#[cfg(test)]
+mod quantile_tests {
+    use super::*;
+
+    #[test]
+    fn quantile_bounds_track_the_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // The 50th percentile of 1..=1000 is ~500, bucketed into [512, 1024).
+        assert_eq!(h.quantile_bound(0.5), Some(512));
+        assert_eq!(h.quantile_bound(0.0), Some(1));
+        assert_eq!(h.quantile_bound(1.0), Some(1024));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        assert_eq!(Histogram::new().quantile_bound(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn out_of_range_quantile_panics() {
+        let mut h = Histogram::new();
+        h.record(1);
+        let _ = h.quantile_bound(1.5);
+    }
+}

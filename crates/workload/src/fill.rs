@@ -1,0 +1,254 @@
+//! Crash-time cache-content generators.
+
+use horus_cache::{Block, CacheHierarchy, BLOCK_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How the hierarchy is filled with dirty lines at crash time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillPattern {
+    /// The paper's worst case (§V-A): consecutive lines at least
+    /// `min_stride` bytes apart in physical address. The generator uses
+    /// the smallest odd block stride ≥ `min_stride`, so consecutive
+    /// lines also cycle through all cache sets (a power-of-two stride
+    /// would alias to a single set and could not fill the caches).
+    StridedSparse {
+        /// Minimum byte distance between consecutive lines (paper:
+        /// 16 KiB).
+        min_stride: u64,
+    },
+    /// Consecutive blocks from `base` — maximal metadata locality, the
+    /// baseline's best case.
+    DenseSequential {
+        /// Starting physical address (block-aligned).
+        base: u64,
+    },
+    /// Seeded uniform-random distinct block addresses.
+    UniformRandom {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// Deterministic pseudo-random contents for the block at `addr`:
+/// recovery tests recompute the expected bytes from `(seed, addr)` alone.
+#[must_use]
+pub fn block_data(seed: u64, addr: u64) -> Block {
+    // splitmix64 per 8-byte lane.
+    let mut out = [0u8; BLOCK_SIZE];
+    for lane in 0..8u64 {
+        let mut z = seed ^ addr.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (lane << 56);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        out[lane as usize * 8..(lane as usize + 1) * 8].copy_from_slice(&z.to_le_bytes());
+    }
+    out
+}
+
+/// Fills **every line of every level** with a distinct dirty block — the
+/// worst case the EPD hold-up budget must be provisioned for — and
+/// returns the `(address, data)` pairs installed.
+///
+/// # Panics
+///
+/// Panics if `data_bytes` cannot host the pattern (e.g. the stride walks
+/// past the data region), or if a strided/dense fill unexpectedly causes
+/// an eviction (an internal invariant: these patterns are constructed to
+/// fill sets exactly).
+pub fn fill_hierarchy(
+    hierarchy: &mut CacheHierarchy,
+    pattern: FillPattern,
+    data_bytes: u64,
+    seed: u64,
+) -> Vec<(u64, Block)> {
+    let total: u64 = hierarchy.levels().iter().map(|c| c.capacity_lines()).sum();
+    let mut installed = Vec::with_capacity(total as usize);
+
+    match pattern {
+        FillPattern::StridedSparse { min_stride } => {
+            let mut k = min_stride.div_ceil(BLOCK_SIZE as u64) | 1; // odd block stride
+            let max_k = (data_bytes / BLOCK_SIZE as u64) / total;
+            assert!(
+                max_k >= 1,
+                "data region too small for {total} strided lines"
+            );
+            if k > max_k {
+                // Shrink to fit the data region, keeping the stride odd
+                // (the paper itself derives the stride as memory size /
+                // hierarchy size).
+                k = (max_k | 1).max(1);
+                if k > max_k {
+                    k -= 2;
+                }
+                assert!(k >= 1, "data region too small for a sparse fill");
+            }
+            let mut g = 0u64;
+            for level in 0..3 {
+                let cache = hierarchy.level_mut(level);
+                for _ in 0..cache.capacity_lines() {
+                    let addr = g * k * BLOCK_SIZE as u64;
+                    assert!(addr < data_bytes, "stride walked out of the data region");
+                    let data = block_data(seed, addr);
+                    let evicted = cache.insert(addr, data, true);
+                    assert!(evicted.is_none(), "strided fill must not evict (g={g})");
+                    installed.push((addr, data));
+                    g += 1;
+                }
+            }
+        }
+        FillPattern::DenseSequential { base } => {
+            assert!(base % BLOCK_SIZE as u64 == 0, "base must be block-aligned");
+            let mut g = 0u64;
+            for level in 0..3 {
+                let cache = hierarchy.level_mut(level);
+                for _ in 0..cache.capacity_lines() {
+                    let addr = base + g * BLOCK_SIZE as u64;
+                    assert!(
+                        addr < data_bytes,
+                        "dense fill walked out of the data region"
+                    );
+                    let data = block_data(seed, addr);
+                    let evicted = cache.insert(addr, data, true);
+                    assert!(evicted.is_none(), "dense fill must not evict (g={g})");
+                    installed.push((addr, data));
+                    g += 1;
+                }
+            }
+        }
+        FillPattern::UniformRandom { seed: rseed } => {
+            let mut rng = StdRng::seed_from_u64(rseed);
+            let blocks = data_bytes / BLOCK_SIZE as u64;
+            let mut used = std::collections::HashSet::new();
+            for level in 0..3 {
+                let cache = hierarchy.level_mut(level);
+                let capacity = cache.capacity_lines();
+                let ways = cache.geometry().ways() as u32;
+                let mut set_fill = vec![0u32; cache.geometry().num_sets() as usize];
+                let mut filled = 0u64;
+                let mut attempts = 0u64;
+                while filled < capacity {
+                    attempts += 1;
+                    assert!(
+                        attempts < capacity * 1000,
+                        "random fill could not place {capacity} lines"
+                    );
+                    let addr = rng.gen_range(0..blocks) * BLOCK_SIZE as u64;
+                    if !used.insert(addr) {
+                        continue;
+                    }
+                    // Rejection-sample full sets so the fill is exact.
+                    let set = cache.geometry().set_of(addr) as usize;
+                    if set_fill[set] >= ways {
+                        used.remove(&addr);
+                        continue;
+                    }
+                    set_fill[set] += 1;
+                    let data = block_data(seed, addr);
+                    let evicted = cache.insert(addr, data, true);
+                    assert!(evicted.is_none(), "random fill must not evict");
+                    installed.push((addr, data));
+                    filled += 1;
+                }
+            }
+        }
+    }
+    installed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horus_cache::HierarchyConfig;
+
+    fn tiny() -> CacheHierarchy {
+        CacheHierarchy::new(&HierarchyConfig {
+            l1_bytes: 8 * 64,
+            l1_ways: 2,
+            l2_bytes: 16 * 64,
+            l2_ways: 2,
+            llc_bytes: 64 * 64,
+            llc_ways: 4,
+        })
+    }
+
+    #[test]
+    fn strided_fill_fills_everything() {
+        let mut h = tiny();
+        let lines = fill_hierarchy(
+            &mut h,
+            FillPattern::StridedSparse { min_stride: 16384 },
+            32 << 20,
+            1,
+        );
+        assert_eq!(lines.len(), 88);
+        assert_eq!(h.dirty_unique(), 88);
+        // All addresses distinct and >= 16 KB apart in generation order.
+        for w in lines.windows(2) {
+            assert!(w[1].0 - w[0].0 >= 16384, "{:#x} then {:#x}", w[0].0, w[1].0);
+        }
+    }
+
+    #[test]
+    fn strided_fill_shrinks_stride_to_fit() {
+        let mut h = tiny();
+        // 88 lines x 16 KiB would need 1.4 MB; give only 1 MB.
+        let lines = fill_hierarchy(
+            &mut h,
+            FillPattern::StridedSparse { min_stride: 16384 },
+            1 << 20,
+            1,
+        );
+        assert_eq!(lines.len(), 88);
+        assert!(lines.iter().all(|(a, _)| *a < (1 << 20)));
+    }
+
+    #[test]
+    fn dense_fill_is_contiguous() {
+        let mut h = tiny();
+        let lines = fill_hierarchy(
+            &mut h,
+            FillPattern::DenseSequential { base: 4096 },
+            1 << 20,
+            2,
+        );
+        assert_eq!(lines.len(), 88);
+        assert_eq!(lines[0].0, 4096);
+        assert_eq!(lines[87].0, 4096 + 87 * 64);
+    }
+
+    #[test]
+    fn random_fill_is_deterministic_and_exact() {
+        let mut h1 = tiny();
+        let a = fill_hierarchy(&mut h1, FillPattern::UniformRandom { seed: 7 }, 1 << 24, 3);
+        let mut h2 = tiny();
+        let b = fill_hierarchy(&mut h2, FillPattern::UniformRandom { seed: 7 }, 1 << 24, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 88);
+        let distinct: std::collections::HashSet<u64> = a.iter().map(|(x, _)| *x).collect();
+        assert_eq!(distinct.len(), 88);
+    }
+
+    #[test]
+    fn block_data_is_deterministic_and_addr_sensitive() {
+        assert_eq!(block_data(1, 64), block_data(1, 64));
+        assert_ne!(block_data(1, 64), block_data(1, 128));
+        assert_ne!(block_data(1, 64), block_data(2, 64));
+    }
+
+    #[test]
+    fn installed_matches_drain_order_contents() {
+        let mut h = tiny();
+        let lines = fill_hierarchy(
+            &mut h,
+            FillPattern::StridedSparse { min_stride: 16384 },
+            32 << 20,
+            9,
+        );
+        let drained: std::collections::HashMap<u64, Block> = h.drain_order().into_iter().collect();
+        assert_eq!(drained.len(), lines.len());
+        for (addr, data) in lines {
+            assert_eq!(drained[&addr], data);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Workload generation for the Horus secure-EPD reproduction.
+//!
+//! The paper's evaluation does not run SPEC workloads: it studies the
+//! *worst-case* drain, so what matters is the crash-time content of the
+//! cache hierarchy. [`fill`] installs such snapshots:
+//!
+//! * [`FillPattern::StridedSparse`] — the paper's methodology (§V-A):
+//!   dirty lines at least 16 KB apart, destroying all spatial locality
+//!   in the security-metadata caches (the baseline's nightmare; Horus is
+//!   oblivious to it);
+//! * [`FillPattern::DenseSequential`] — maximal locality, the baseline's
+//!   best case (used by the stride-sensitivity ablation);
+//! * [`FillPattern::UniformRandom`] — seeded random block addresses.
+//!
+//! [`trace`] additionally generates run-time access traces for the
+//! examples and run-time experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fill;
+pub mod trace;
+pub mod tracefile;
+
+pub use fill::{block_data, fill_hierarchy, FillPattern};
+pub use trace::{AccessTrace, Op, TraceConfig};
+pub use tracefile::{parse_trace, render_trace, ParseTraceError, TraceOp};

@@ -1,0 +1,203 @@
+//! Run-time access traces for examples and run-time experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One memory operation in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Store the given value pattern at the address.
+    Write {
+        /// Block-aligned physical address.
+        addr: u64,
+        /// Byte pattern filling the 64-byte block.
+        value: u8,
+    },
+    /// Load the block at the address.
+    Read {
+        /// Block-aligned physical address.
+        addr: u64,
+    },
+}
+
+impl Op {
+    /// The operation's address.
+    #[must_use]
+    pub fn addr(&self) -> u64 {
+        match self {
+            Op::Write { addr, .. } | Op::Read { addr } => *addr,
+        }
+    }
+}
+
+/// Parameters for synthetic run-time traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Number of operations to generate.
+    pub ops: usize,
+    /// Fraction of writes in `[0, 1]`.
+    pub write_fraction: f64,
+    /// Size of the hot working set in blocks.
+    pub working_set_blocks: u64,
+    /// Probability that an access hits the hot set (temporal locality).
+    pub locality: f64,
+    /// Total addressable blocks.
+    pub total_blocks: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            ops: 10_000,
+            write_fraction: 0.5,
+            working_set_blocks: 1024,
+            locality: 0.9,
+            total_blocks: 1 << 20,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated trace of memory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessTrace {
+    ops: Vec<Op>,
+}
+
+impl AccessTrace {
+    /// Generates a trace from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fractions are outside `[0, 1]` or the block counts are
+    /// zero.
+    #[must_use]
+    pub fn generate(config: &TraceConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.write_fraction),
+            "write_fraction in [0,1]"
+        );
+        assert!((0.0..=1.0).contains(&config.locality), "locality in [0,1]");
+        assert!(
+            config.working_set_blocks > 0 && config.total_blocks > 0,
+            "non-empty address space"
+        );
+        assert!(
+            config.working_set_blocks <= config.total_blocks,
+            "working set fits"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let ops = (0..config.ops)
+            .map(|_| {
+                let hot = rng.gen_bool(config.locality);
+                let block = if hot {
+                    rng.gen_range(0..config.working_set_blocks)
+                } else {
+                    rng.gen_range(0..config.total_blocks)
+                };
+                let addr = block * 64;
+                if rng.gen_bool(config.write_fraction) {
+                    Op::Write {
+                        addr,
+                        value: rng.gen(),
+                    }
+                } else {
+                    Op::Read { addr }
+                }
+            })
+            .collect();
+        Self { ops }
+    }
+
+    /// The operations in order.
+    #[must_use]
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of write operations.
+    #[must_use]
+    pub fn writes(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, Op::Write { .. }))
+            .count()
+    }
+}
+
+impl<'a> IntoIterator for &'a AccessTrace {
+    type Item = &'a Op;
+    type IntoIter = std::slice::Iter<'a, Op>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let cfg = TraceConfig::default();
+        assert_eq!(AccessTrace::generate(&cfg), AccessTrace::generate(&cfg));
+    }
+
+    #[test]
+    fn respects_write_fraction_extremes() {
+        let all_writes = AccessTrace::generate(&TraceConfig {
+            write_fraction: 1.0,
+            ops: 100,
+            ..Default::default()
+        });
+        assert_eq!(all_writes.writes(), 100);
+        let all_reads = AccessTrace::generate(&TraceConfig {
+            write_fraction: 0.0,
+            ops: 100,
+            ..Default::default()
+        });
+        assert_eq!(all_reads.writes(), 0);
+    }
+
+    #[test]
+    fn locality_concentrates_addresses() {
+        let hot = AccessTrace::generate(&TraceConfig {
+            locality: 1.0,
+            working_set_blocks: 8,
+            ops: 500,
+            ..Default::default()
+        });
+        assert!(hot.ops().iter().all(|o| o.addr() < 8 * 64));
+    }
+
+    #[test]
+    fn addresses_are_block_aligned() {
+        let t = AccessTrace::generate(&TraceConfig::default());
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), t.ops().len());
+        assert!(t.ops().iter().all(|o| o.addr() % 64 == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "write_fraction")]
+    fn bad_fraction_rejected() {
+        let _ = AccessTrace::generate(&TraceConfig {
+            write_fraction: 1.5,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,251 @@
+//! A plain-text trace format, so externally generated workloads can
+//! drive the simulator (`horus-cli trace --file …`).
+//!
+//! One operation per line:
+//!
+//! ```text
+//! # comment (also after '#' on a line)
+//! W <addr> <byte>     store <byte> repeated across the block
+//! R <addr>            load
+//! P <addr> <byte>     durable store (persist)
+//! ```
+//!
+//! Addresses accept decimal or `0x…` hex and must be 64-byte aligned.
+
+use crate::trace::Op;
+use std::fmt::Write as _;
+
+/// A trace operation including durable stores (the plain [`Op`] carries
+/// only loads and stores).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// A volatile store.
+    Write {
+        /// Block-aligned address.
+        addr: u64,
+        /// Fill byte.
+        value: u8,
+    },
+    /// A load.
+    Read {
+        /// Block-aligned address.
+        addr: u64,
+    },
+    /// A durable store (goes through the persistence domain).
+    Persist {
+        /// Block-aligned address.
+        addr: u64,
+        /// Fill byte.
+        value: u8,
+    },
+}
+
+impl From<Op> for TraceOp {
+    fn from(op: Op) -> Self {
+        match op {
+            Op::Write { addr, value } => TraceOp::Write { addr, value },
+            Op::Read { addr } => TraceOp::Read { addr },
+        }
+    }
+}
+
+/// A parse failure, with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn parse_u64(token: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = token
+        .strip_prefix("0x")
+        .or_else(|| token.strip_prefix("0X"))
+    {
+        u64::from_str_radix(hex, 16)
+    } else {
+        token.parse()
+    };
+    parsed.map_err(|_| format!("invalid number '{token}'"))
+}
+
+fn parse_addr(token: &str) -> Result<u64, String> {
+    let addr = parse_u64(token)?;
+    if addr % 64 != 0 {
+        return Err(format!("address {addr:#x} is not 64-byte aligned"));
+    }
+    Ok(addr)
+}
+
+fn parse_byte(token: &str) -> Result<u8, String> {
+    let v = parse_u64(token)?;
+    u8::try_from(v).map_err(|_| format!("value {v} does not fit a byte"))
+}
+
+/// Parses a text trace.
+///
+/// # Errors
+///
+/// [`ParseTraceError`] naming the first malformed line.
+///
+/// ```
+/// use horus_workload::tracefile::{parse_trace, TraceOp};
+/// let ops = parse_trace("W 0x40 7\nR 64 # re-read it\n").unwrap();
+/// assert_eq!(ops, vec![
+///     TraceOp::Write { addr: 0x40, value: 7 },
+///     TraceOp::Read { addr: 64 },
+/// ]);
+/// ```
+pub fn parse_trace(text: &str) -> Result<Vec<TraceOp>, ParseTraceError> {
+    let mut ops = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut tokens = content.split_whitespace();
+        let op = tokens.next().expect("non-empty line has a token");
+        let err = |message: String| ParseTraceError { line, message };
+        let mut need = |what: &str| {
+            tokens.next().ok_or_else(|| ParseTraceError {
+                line,
+                message: format!("missing {what}"),
+            })
+        };
+        let parsed = match op {
+            "W" | "w" => {
+                let addr = parse_addr(need("address")?).map_err(err)?;
+                let value = parse_byte(need("value")?).map_err(err)?;
+                TraceOp::Write { addr, value }
+            }
+            "R" | "r" => TraceOp::Read {
+                addr: parse_addr(need("address")?).map_err(err)?,
+            },
+            "P" | "p" => {
+                let addr = parse_addr(need("address")?).map_err(err)?;
+                let value = parse_byte(need("value")?).map_err(err)?;
+                TraceOp::Persist { addr, value }
+            }
+            other => {
+                return Err(ParseTraceError {
+                    line,
+                    message: format!("unknown op '{other}' (expected W, R or P)"),
+                })
+            }
+        };
+        if let Some(extra) = tokens.next() {
+            return Err(ParseTraceError {
+                line,
+                message: format!("trailing token '{extra}'"),
+            });
+        }
+        ops.push(parsed);
+    }
+    Ok(ops)
+}
+
+/// Renders operations in the text format parsed by [`parse_trace`].
+#[must_use]
+pub fn render_trace(ops: &[TraceOp]) -> String {
+    let mut out = String::new();
+    for op in ops {
+        match op {
+            TraceOp::Write { addr, value } => {
+                let _ = writeln!(out, "W {addr:#x} {value}");
+            }
+            TraceOp::Read { addr } => {
+                let _ = writeln!(out, "R {addr:#x}");
+            }
+            TraceOp::Persist { addr, value } => {
+                let _ = writeln!(out, "P {addr:#x} {value}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{AccessTrace, TraceConfig};
+
+    #[test]
+    fn parses_all_ops_and_comments() {
+        let ops = parse_trace("# header\nW 0x40 255\nR 128   # inline comment\nP 0x1000 0\n\n  \n")
+            .expect("valid trace");
+        assert_eq!(
+            ops,
+            vec![
+                TraceOp::Write {
+                    addr: 0x40,
+                    value: 255
+                },
+                TraceOp::Read { addr: 128 },
+                TraceOp::Persist {
+                    addr: 0x1000,
+                    value: 0
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn roundtrip_render_parse() {
+        let trace = AccessTrace::generate(&TraceConfig {
+            ops: 200,
+            ..Default::default()
+        });
+        let ops: Vec<TraceOp> = trace.ops().iter().map(|o| TraceOp::from(*o)).collect();
+        let text = render_trace(&ops);
+        assert_eq!(parse_trace(&text).expect("roundtrip"), ops);
+    }
+
+    #[test]
+    fn rejects_unaligned_address() {
+        let err = parse_trace("W 65 1").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("aligned"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_value() {
+        let err = parse_trace("R 64\nW 64 300").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("byte"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_op_and_trailing_tokens() {
+        assert!(parse_trace("X 64")
+            .unwrap_err()
+            .message
+            .contains("unknown op"));
+        assert!(parse_trace("R 64 7")
+            .unwrap_err()
+            .message
+            .contains("trailing"));
+        assert!(parse_trace("W 64")
+            .unwrap_err()
+            .message
+            .contains("missing value"));
+    }
+
+    #[test]
+    fn error_display_names_the_line() {
+        let err = parse_trace("R 64\nR sixty-four").unwrap_err();
+        assert_eq!(
+            format!("{err}"),
+            "trace line 2: invalid number 'sixty-four'"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Sizes the EPD hold-up battery across LLC sizes and drain schemes —
+//! the capacity-planning question behind the paper's Tables II/III and
+//! its observation that bigger caches make naive secure EPD unshippable.
+//!
+//! Run with: `cargo run --release --example battery_sizing`
+
+use horus::core::{DrainScheme, SecureEpdSystem, SystemConfig};
+use horus::prelude::*;
+
+fn main() {
+    let model = DrainEnergyModel::paper_default();
+    let supercap = Battery::super_capacitor();
+    let lithium = Battery::lithium_thin_film();
+    let fill = FillPattern::StridedSparse {
+        min_stride: 16 * 1024,
+    };
+
+    println!(
+        "{:<8} {:<11} {:>10} {:>11} {:>14} {:>12}",
+        "LLC", "scheme", "energy", "SuperCap", "Li-thin-film", "hold-up"
+    );
+    for mb in [4u64, 8, 16] {
+        let cfg = SystemConfig::with_llc_bytes(mb << 20);
+        for scheme in [
+            DrainScheme::NonSecure,
+            DrainScheme::BaseLazy,
+            DrainScheme::HorusDlm,
+        ] {
+            let mut sys = SecureEpdSystem::for_scheme(cfg.clone(), scheme);
+            fill_hierarchy(sys.hierarchy_mut(), fill, cfg.data_bytes, cfg.seed);
+            let report = sys.crash_and_drain(scheme);
+            let e = model.drain_energy(&report);
+            println!(
+                "{:<8} {:<11} {:>8.2} J {:>7.2} cm3 {:>10.4} cm3 {:>9.2} ms",
+                format!("{mb} MB"),
+                report.scheme,
+                e.total_j,
+                supercap.volume_cm3(e.total_j),
+                lithium.volume_cm3(e.total_j),
+                report.seconds * 1e3,
+            );
+        }
+        println!();
+    }
+    println!("the baseline's battery grows ~4-5x faster with LLC size than Horus's —");
+    println!("exactly the scaling problem that motivates decoupling the drain from");
+    println!("the main security metadata.");
+}

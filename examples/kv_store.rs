@@ -1,0 +1,125 @@
+//! A tiny crash-consistent key-value store on top of the secure EPD
+//! system — the application class (key-value stores, databases) the
+//! paper's introduction motivates EPD with.
+//!
+//! The store keeps a fixed-capacity hash index; every `put` is a single
+//! `persist` into the persistence domain. With eADR semantics a put is
+//! durable the moment it is issued, so the store needs **no write-ahead
+//! log and no flush/fence pairs** — and, with Horus underneath, the
+//! platform's hold-up battery stays small.
+//!
+//! Run with: `cargo run --release --example kv_store`
+
+use horus::core::{DrainScheme, SecureEpdSystem, SystemConfig};
+use horus::metadata::IntegrityError;
+
+/// Keys and values are fixed-size for simplicity: 8-byte key, 48-byte
+/// value, one 64-byte block per slot (key | value | valid tag).
+struct KvStore {
+    sys: SecureEpdSystem,
+    slots: u64,
+    base: u64,
+}
+
+const VALUE_LEN: usize = 48;
+
+impl KvStore {
+    fn new(slots: u64) -> Self {
+        assert!(slots.is_power_of_two(), "slot count must be a power of two");
+        Self {
+            sys: SecureEpdSystem::new(SystemConfig::small_test()),
+            slots,
+            base: 0x10_000,
+        }
+    }
+
+    fn slot_addr(&self, key: u64, probe: u64) -> u64 {
+        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32;
+        self.base + ((h + probe) % self.slots) * 64
+    }
+
+    fn encode(key: u64, value: &[u8]) -> [u8; 64] {
+        let mut block = [0u8; 64];
+        block[..8].copy_from_slice(&key.to_le_bytes());
+        block[8..8 + value.len()].copy_from_slice(value);
+        block[63] = 1; // valid tag
+        block
+    }
+
+    /// Durable insert (linear probing; panics when full — it's a demo).
+    fn put(&mut self, key: u64, value: &[u8]) -> Result<(), IntegrityError> {
+        assert!(value.len() <= VALUE_LEN, "value too large");
+        for probe in 0..self.slots {
+            let addr = self.slot_addr(key, probe);
+            let block = self.sys.read(addr)?;
+            let occupied = block[63] == 1;
+            let same_key = u64::from_le_bytes(block[..8].try_into().expect("8 bytes")) == key;
+            if !occupied || same_key {
+                self.sys.persist(addr, Self::encode(key, value))?;
+                return Ok(());
+            }
+        }
+        panic!("store full");
+    }
+
+    fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>, IntegrityError> {
+        for probe in 0..self.slots {
+            let addr = self.slot_addr(key, probe);
+            let block = self.sys.read(addr)?;
+            if block[63] != 1 {
+                return Ok(None);
+            }
+            if u64::from_le_bytes(block[..8].try_into().expect("8 bytes")) == key {
+                return Ok(Some(block[8..8 + VALUE_LEN].to_vec()));
+            }
+        }
+        Ok(None)
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut kv = KvStore::new(256);
+
+    println!("inserting 100 records (each put = one durable store, no log, no fences)…");
+    for k in 0..100u64 {
+        let value = format!("value-for-key-{k}");
+        kv.put(k, value.as_bytes())?;
+    }
+    // Overwrite a few — still single persists.
+    for k in 0..10u64 {
+        kv.put(k, format!("updated-{k}").as_bytes())?;
+    }
+
+    // Power fails mid-operation. The EPD battery drains the hierarchy
+    // through the Horus vault.
+    let drain = kv.sys.crash_and_drain(DrainScheme::HorusSlm);
+    println!(
+        "power failure: {} dirty blocks vaulted in {:.3} ms ({} writes, {} MACs)",
+        drain.flushed_blocks,
+        drain.seconds * 1e3,
+        drain.writes,
+        drain.mac_ops
+    );
+
+    // Reboot: verify + restore.
+    let rec = kv.sys.recover()?;
+    println!(
+        "rebooted: {} blocks restored in {:.3} ms\n",
+        rec.restored_blocks,
+        rec.seconds * 1e3
+    );
+
+    // Every record survived, including the overwrites.
+    for k in 0..100u64 {
+        let got = kv.get(k)?.expect("record survived the crash");
+        let expected = if k < 10 {
+            format!("updated-{k}")
+        } else {
+            format!("value-for-key-{k}")
+        };
+        assert_eq!(&got[..expected.len()], expected.as_bytes(), "key {k}");
+    }
+    println!("all 100 records verified after crash + recovery.");
+    println!("lookups of absent keys still work: {:?}", kv.get(999)?);
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Exercises the run-time secure-memory path (no crash involved): a
+//! synthetic key-value-store-like trace runs against the encrypted,
+//! integrity-protected NVM, showing counter-cache behaviour, Merkle-tree
+//! traffic, and a split-counter overflow with page re-encryption.
+//!
+//! Run with: `cargo run --release --example runtime_secure_memory`
+
+use horus::core::{SecureEpdSystem, SystemConfig};
+use horus::workload::{AccessTrace, Op, TraceConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sys = SecureEpdSystem::new(SystemConfig::small_test());
+
+    // A hot/cold mix: 85% of accesses hit a 256-block working set.
+    let trace = AccessTrace::generate(&TraceConfig {
+        ops: 20_000,
+        write_fraction: 0.6,
+        working_set_blocks: 256,
+        locality: 0.85,
+        total_blocks: 64 * 1024, // 4 MB of the protected space
+        seed: 2026,
+    });
+
+    println!(
+        "running {} operations ({} writes)…",
+        trace.len(),
+        trace.writes()
+    );
+    let mut shadow = std::collections::HashMap::new();
+    for op in &trace {
+        match *op {
+            Op::Write { addr, value } => {
+                sys.write(addr, [value; 64])?;
+                shadow.insert(addr, value);
+            }
+            Op::Read { addr } => {
+                let got = sys.read(addr)?;
+                match shadow.get(&addr) {
+                    Some(v) => assert_eq!(got, [*v; 64], "read mismatch at {addr:#x}"),
+                    // Never-written blocks read as verified zeros.
+                    None => assert_eq!(got, [0u8; 64], "uninit read at {addr:#x}"),
+                }
+            }
+        }
+    }
+
+    let stats = sys.platform().merged_stats();
+    println!("\nrun-time secure-memory traffic:");
+    for key in [
+        "mem.write.data",
+        "mem.read.data",
+        "mem.read.counter",
+        "mem.read.tree",
+        "mem.read.mac",
+        "mem.write.counter_evict",
+        "mem.write.tree_evict",
+        "mem.write.mac_evict",
+        "macop.verify_counter",
+        "macop.verify_tree",
+        "macop.verify_data",
+        "macop.data_mac",
+        "macop.update_tree",
+    ] {
+        println!("  {key:<26} {:>10}", stats.get(key));
+    }
+    println!(
+        "  counter cache: {} hits / {} misses",
+        sys.metadata().counter_cache().hits(),
+        sys.metadata().counter_cache().misses()
+    );
+
+    // Hammer one block enough times to overflow its 7-bit minor counter:
+    // the whole 4 KB page must be transparently re-encrypted.
+    println!("\nhammering one block 200 times to force a minor-counter overflow…");
+    for round in 0..200u8 {
+        sys.write(0x200_000, [round; 64])?;
+        // Push it out of the hierarchy so each round writes to NVM.
+        for i in 0..512u64 {
+            sys.write(0x300_000 + i * 16448, [0u8; 64])?;
+        }
+    }
+    let reencrypted = sys.platform().nvm.stats().get("mem.write.reenc");
+    println!("  page re-encryption writes: {reencrypted}");
+    assert!(reencrypted > 0, "expected at least one overflow");
+    assert_eq!(
+        sys.read(0x200_000)?,
+        [199; 64],
+        "data survives re-encryption"
+    );
+    println!("  hammered block still reads back correctly through verification.");
+    Ok(())
+}

@@ -1,0 +1,373 @@
+//! `horus-cli` — drive the secure-EPD simulator from the command line.
+//!
+//! ```text
+//! horus-cli config
+//! horus-cli drain   --scheme horus-slm [--llc-mb 16] [--stride 16384] [--json]
+//! horus-cli recover --scheme horus-dlm [--llc-mb 8] [--write-through]
+//! horus-cli attack  --kind splice [--scheme horus-slm]
+//! horus-cli sweep   --llc 8,16,32 [--json]
+//! ```
+
+use horus::core::{
+    attack, DrainScheme, PersistenceDomain, RecoveryMode, SecureEpdSystem, SystemConfig,
+};
+use horus::energy::{Battery, DrainEnergyModel};
+use horus::workload::{fill_hierarchy, parse_trace, FillPattern, TraceOp};
+use std::process::ExitCode;
+
+fn parse_scheme(s: &str) -> Result<DrainScheme, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "ns" | "non-secure" | "nonsecure" => Ok(DrainScheme::NonSecure),
+        "base-lu" | "lazy" => Ok(DrainScheme::BaseLazy),
+        "base-eu" | "eager" => Ok(DrainScheme::BaseEager),
+        "horus-slm" | "slm" => Ok(DrainScheme::HorusSlm),
+        "horus-dlm" | "dlm" => Ok(DrainScheme::HorusDlm),
+        other => Err(format!(
+            "unknown scheme '{other}' (ns, base-lu, base-eu, horus-slm, horus-dlm)"
+        )),
+    }
+}
+
+/// Minimal flag parser: `--key value` pairs plus boolean `--flag`s.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(argv: &[String], booleans: &[&str]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = argv.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if booleans.contains(&name) {
+                    flags.push((name.to_owned(), None));
+                } else {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("--{name} requires a value"))?
+                        .clone();
+                    flags.push((name.to_owned(), Some(v)));
+                }
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Self { positional, flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+}
+
+fn build(llc_mb: u64, stride: u64, scheme: DrainScheme) -> SecureEpdSystem {
+    let cfg = SystemConfig::with_llc_bytes(llc_mb << 20);
+    let mut sys = SecureEpdSystem::for_scheme(cfg.clone(), scheme);
+    fill_hierarchy(
+        sys.hierarchy_mut(),
+        FillPattern::StridedSparse { min_stride: stride },
+        cfg.data_bytes,
+        cfg.seed,
+    );
+    sys
+}
+
+fn cmd_config() -> Result<(), String> {
+    let cfg = SystemConfig::paper_default();
+    let summary = horus::core::config::ConfigSummary::of(&cfg);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+fn cmd_drain(args: &Args) -> Result<(), String> {
+    let scheme = parse_scheme(args.get("scheme").unwrap_or("horus-slm"))?;
+    let llc_mb: u64 = args
+        .get("llc-mb")
+        .unwrap_or("8")
+        .parse()
+        .map_err(|e| format!("--llc-mb: {e}"))?;
+    let stride: u64 = args
+        .get("stride")
+        .unwrap_or("16384")
+        .parse()
+        .map_err(|e| format!("--stride: {e}"))?;
+    let mut sys = build(llc_mb, stride, scheme);
+    let report = sys.crash_and_drain(scheme);
+    if args.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        let energy = DrainEnergyModel::paper_default().drain_energy(&report);
+        println!("scheme          {}", report.scheme);
+        println!(
+            "flushed blocks  {} (+{} metadata)",
+            report.flushed_blocks, report.metadata_blocks
+        );
+        println!(
+            "memory          {} reads, {} writes",
+            report.reads, report.writes
+        );
+        println!("MAC ops         {}", report.mac_ops);
+        println!(
+            "drain time      {:.3} ms ({} cycles)",
+            report.seconds * 1e3,
+            report.cycles
+        );
+        println!("energy          {:.3} J", energy.total_j);
+        println!(
+            "battery         {:.2} cm^3 SuperCap / {:.4} cm^3 Li-thin",
+            Battery::super_capacitor().volume_cm3(energy.total_j),
+            Battery::lithium_thin_film().volume_cm3(energy.total_j)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_recover(args: &Args) -> Result<(), String> {
+    let scheme = parse_scheme(args.get("scheme").unwrap_or("horus-slm"))?;
+    if !scheme.is_horus() && scheme != DrainScheme::BaseLazy && scheme != DrainScheme::BaseEager {
+        return Err("recover needs a secure scheme".into());
+    }
+    let llc_mb: u64 = args
+        .get("llc-mb")
+        .unwrap_or("8")
+        .parse()
+        .map_err(|e| format!("--llc-mb: {e}"))?;
+    let mut sys = build(llc_mb, 16384, scheme);
+    let drain = sys.crash_and_drain(scheme);
+    let mode = if args.has("write-through") {
+        RecoveryMode::WriteThrough
+    } else {
+        RecoveryMode::RefillLlc
+    };
+    let rec = sys.recover_with(mode).map_err(|e| e.to_string())?;
+    if args.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rec).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "drained         {} blocks in {:.3} ms",
+            drain.flushed_blocks + drain.metadata_blocks,
+            drain.seconds * 1e3
+        );
+        println!(
+            "recovered       {} blocks in {:.3} ms ({mode})",
+            rec.restored_blocks,
+            rec.seconds * 1e3
+        );
+        println!("reads / MACs    {} / {}", rec.reads, rec.mac_ops);
+    }
+    Ok(())
+}
+
+fn cmd_attack(args: &Args) -> Result<(), String> {
+    let scheme = parse_scheme(args.get("scheme").unwrap_or("horus-slm"))?;
+    if !scheme.is_horus() {
+        return Err("attacks target the Horus vault; pick horus-slm or horus-dlm".into());
+    }
+    let kind = args.get("kind").unwrap_or("data").to_owned();
+    let mut sys = SecureEpdSystem::new(SystemConfig::small_test());
+    for i in 0..64u64 {
+        sys.write(i * 16448, [i as u8 + 1; 64])
+            .map_err(|e| e.to_string())?;
+    }
+    sys.crash_and_drain(scheme);
+    match kind.as_str() {
+        "data" => attack::tamper_data(&mut sys, 5),
+        "address" => attack::tamper_address(&mut sys, 9),
+        "mac" => attack::tamper_mac(&mut sys, 3),
+        "splice" => attack::splice_entries(&mut sys, 2, 11),
+        "truncate" => {
+            let n = sys.episode().expect("episode").blocks;
+            attack::truncate_chv(&mut sys, n - 3);
+        }
+        "replay" => {
+            let snap = attack::snapshot_chv(&sys);
+            sys.recover().map_err(|e| e.to_string())?;
+            for i in 0..64u64 {
+                sys.write(i * 16448, [0xEE; 64])
+                    .map_err(|e| e.to_string())?;
+            }
+            sys.crash_and_drain(scheme);
+            attack::replay_chv(&mut sys, &snap);
+        }
+        other => {
+            return Err(format!(
+                "unknown attack '{other}' (data, address, mac, splice, truncate, replay)"
+            ))
+        }
+    }
+    match sys.recover() {
+        Err(e) => {
+            println!("attack '{kind}' on {scheme}: DETECTED ({e})");
+            Ok(())
+        }
+        Ok(_) => Err(format!("attack '{kind}' went UNDETECTED — this is a bug")),
+    }
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let llcs: Vec<u64> = args
+        .get("llc")
+        .unwrap_or("8,16")
+        .split(',')
+        .map(|v| v.trim().parse::<u64>().map_err(|e| format!("--llc: {e}")))
+        .collect::<Result<_, _>>()?;
+    let mut rows = Vec::new();
+    for mb in &llcs {
+        for scheme in DrainScheme::ALL {
+            let mut sys = build(*mb, 16384, scheme);
+            let r = sys.crash_and_drain(scheme);
+            rows.push((
+                *mb,
+                r.scheme.clone(),
+                r.reads + r.writes,
+                r.mac_ops,
+                r.seconds * 1e3,
+            ));
+        }
+    }
+    if args.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "{:>6} {:<11} {:>12} {:>12} {:>10}",
+            "LLC", "scheme", "requests", "MACs", "time(ms)"
+        );
+        for (mb, scheme, reqs, macs, ms) in rows {
+            println!("{mb:>4}MB {scheme:<11} {reqs:>12} {macs:>12} {ms:>10.2}");
+        }
+    }
+    Ok(())
+}
+
+fn parse_domain(s: &str) -> Result<PersistenceDomain, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "epd" | "eadr" => Ok(PersistenceDomain::Epd),
+        "adr" => Ok(PersistenceDomain::AdrOnly),
+        other => {
+            if let Some(lines) = other.strip_prefix("bbb:") {
+                let buffer_lines = lines.parse().map_err(|e| format!("bbb buffer size: {e}"))?;
+                Ok(PersistenceDomain::Bbb { buffer_lines })
+            } else {
+                Err(format!("unknown domain '{other}' (epd, adr, bbb:<lines>)"))
+            }
+        }
+    }
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let path = args.get("file").ok_or("trace needs --file <path>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let ops = parse_trace(&text).map_err(|e| e.to_string())?;
+    let domain = parse_domain(args.get("domain").unwrap_or("epd"))?;
+    let cfg = SystemConfig {
+        domain,
+        ..SystemConfig::with_llc_bytes(4 << 20)
+    };
+    let mut sys = SecureEpdSystem::new(cfg);
+    let mut reads = 0u64;
+    let mut writes = 0u64;
+    let mut persists = 0u64;
+    for (i, op) in ops.iter().enumerate() {
+        let r = match *op {
+            TraceOp::Write { addr, value } => {
+                writes += 1;
+                sys.write(addr, [value; 64])
+            }
+            TraceOp::Read { addr } => {
+                reads += 1;
+                sys.read(addr).map(|_| ())
+            }
+            TraceOp::Persist { addr, value } => {
+                persists += 1;
+                sys.persist(addr, [value; 64]).map(|_| ())
+            }
+        };
+        r.map_err(|e| format!("op {} ({op:?}): {e}", i + 1))?;
+    }
+    println!(
+        "replayed {} ops ({reads} R / {writes} W / {persists} P) on {domain}",
+        ops.len()
+    );
+    let stats = sys.platform().merged_stats();
+    println!(
+        "NVM: {} reads, {} writes",
+        stats.sum_prefix("mem.read."),
+        stats.sum_prefix("mem.write.")
+    );
+    println!("MAC ops: {}", stats.sum_prefix("macop."));
+    if persists > 0 {
+        println!(
+            "persist latency: {:.0} cycles mean ({} stalls)",
+            sys.persist_stats().mean_latency(),
+            sys.persist_stats().buffer_stalls
+        );
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: horus-cli <config|drain|recover|attack|sweep|trace> [options]
+  config                          print the Table I configuration as JSON
+  drain   --scheme S [--llc-mb N] [--stride B] [--json]
+  recover --scheme S [--llc-mb N] [--write-through] [--json]
+  attack  --kind K [--scheme S]   K: data address mac splice truncate replay
+  sweep   --llc 8,16,32 [--json]
+  trace   --file <path> [--domain epd|adr|bbb:<lines>]
+schemes: ns base-lu base-eu horus-slm horus-dlm";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(&argv, &["json", "write-through"]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cmd = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("help");
+    let result = match cmd {
+        "config" => cmd_config(),
+        "drain" => cmd_drain(&args),
+        "recover" => cmd_recover(&args),
+        "attack" => cmd_attack(&args),
+        "sweep" => cmd_sweep(&args),
+        "trace" => cmd_trace(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

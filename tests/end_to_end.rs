@@ -1,0 +1,219 @@
+//! Cross-crate integration tests: full crash/drain/recover cycles per
+//! scheme, with the workload generators installing the crash state.
+
+use horus::core::{DrainScheme, SecureEpdSystem, SystemConfig};
+use horus::prelude::*;
+
+fn crashed(scheme: DrainScheme, pattern: FillPattern) -> (SecureEpdSystem, Vec<(u64, [u8; 64])>) {
+    let cfg = SystemConfig::small_test();
+    let mut sys = SecureEpdSystem::for_scheme(cfg.clone(), scheme);
+    let installed = fill_hierarchy(sys.hierarchy_mut(), pattern, cfg.data_bytes, cfg.seed);
+    (sys, installed)
+}
+
+fn sparse() -> FillPattern {
+    FillPattern::StridedSparse {
+        min_stride: 16 * 1024,
+    }
+}
+
+#[test]
+fn every_scheme_drains_the_full_worst_case() {
+    let expected = SystemConfig::small_test().hierarchy.total_lines();
+    for scheme in DrainScheme::ALL {
+        let (mut sys, installed) = crashed(scheme, sparse());
+        assert_eq!(installed.len() as u64, expected);
+        let report = sys.crash_and_drain(scheme);
+        assert_eq!(report.flushed_blocks, expected, "{scheme}");
+        assert_eq!(report.scheme, scheme.name());
+        // The stats breakdown accounts for every write.
+        assert_eq!(report.write_breakdown().total(), report.writes, "{scheme}");
+        assert_eq!(report.mac_breakdown().total(), report.mac_ops, "{scheme}");
+        assert!(report.cycles > 0);
+    }
+}
+
+#[test]
+fn horus_roundtrip_restores_every_line_verbatim() {
+    for scheme in [DrainScheme::HorusSlm, DrainScheme::HorusDlm] {
+        let (mut sys, installed) = crashed(scheme, sparse());
+        sys.crash_and_drain(scheme);
+        sys.recover().expect("clean vault");
+        for (addr, data) in &installed {
+            assert_eq!(
+                sys.read(*addr).expect("verifies"),
+                *data,
+                "{scheme} addr {addr:#x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_roundtrip_restores_every_line_verbatim() {
+    for scheme in [DrainScheme::BaseLazy, DrainScheme::BaseEager] {
+        let (mut sys, installed) = crashed(scheme, sparse());
+        sys.crash_and_drain(scheme);
+        sys.recover().expect("recovery");
+        for (addr, data) in &installed {
+            assert_eq!(
+                sys.read(*addr).expect("verifies"),
+                *data,
+                "{scheme} addr {addr:#x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn eager_drain_leaves_a_root_verifiable_tree() {
+    let (mut sys, _) = crashed(DrainScheme::BaseEager, sparse());
+    sys.crash_and_drain(DrainScheme::BaseEager);
+    // Recompute the root from NVM contents alone: it must match the
+    // on-chip register (the whole point of the eager scheme).
+    let map = sys.map().clone();
+    let engine = sys.metadata();
+    let dev = sys.platform().nvm.device();
+    let recomputed = engine.bmt().recompute_root(
+        map.counter_blocks(),
+        |i| {
+            let a = map.counter_block_addr(0) + i * 64;
+            dev.is_written(a).then(|| dev.read_block(a))
+        },
+        |l, i| {
+            let a = map.bmt_node_addr(l, i);
+            dev.is_written(a).then(|| dev.read_block(a))
+        },
+    );
+    assert_eq!(recomputed, engine.root());
+}
+
+#[test]
+fn horus_is_oblivious_to_crash_content_locality() {
+    // The same hierarchy size drained under Horus costs the same number
+    // of operations whether the content is sparse, dense, or random —
+    // while the baseline degrades with sparsity. (Paper §V-A.)
+    let patterns = [
+        sparse(),
+        FillPattern::DenseSequential { base: 0 },
+        FillPattern::UniformRandom { seed: 11 },
+    ];
+    let mut horus_requests = Vec::new();
+    let mut baseline_requests = Vec::new();
+    for pattern in patterns {
+        let (mut sys, _) = crashed(DrainScheme::HorusSlm, pattern);
+        let r = sys.crash_and_drain(DrainScheme::HorusSlm);
+        // Metadata-cache content varies slightly; compare the hierarchy
+        // stream itself.
+        horus_requests.push(r.stats.get("mem.write.chv_data"));
+        let (mut sys, _) = crashed(DrainScheme::BaseLazy, pattern);
+        let r = sys.crash_and_drain(DrainScheme::BaseLazy);
+        baseline_requests.push(r.memory_requests());
+    }
+    assert!(
+        horus_requests.iter().all(|r| *r == horus_requests[0]),
+        "Horus must be content-oblivious: {horus_requests:?}"
+    );
+    let dense = baseline_requests[1];
+    let sparse_reqs = baseline_requests[0];
+    assert!(
+        sparse_reqs > dense * 2,
+        "baseline must degrade with sparsity: sparse {sparse_reqs} vs dense {dense}"
+    );
+}
+
+#[test]
+fn drain_reports_are_serializable() {
+    let (mut sys, _) = crashed(DrainScheme::HorusDlm, sparse());
+    let report = sys.crash_and_drain(DrainScheme::HorusDlm);
+    let json = serde_json::to_string(&report).expect("serialize");
+    assert!(json.contains("Horus-DLM"));
+    let back: horus::core::DrainReport = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, report);
+}
+
+#[test]
+fn three_crash_cycles_in_a_row() {
+    let cfg = SystemConfig::small_test();
+    let mut sys = SecureEpdSystem::new(cfg);
+    for round in 0..3u64 {
+        for i in 0..32u64 {
+            sys.write(i * 16448, [round as u8 + 1; 64]).expect("write");
+        }
+        let dr = sys.crash_and_drain(DrainScheme::HorusSlm);
+        assert!(dr.flushed_blocks >= 32, "round {round}");
+        sys.recover().expect("recover");
+    }
+    for i in 0..32u64 {
+        assert_eq!(sys.read(i * 16448).expect("read"), [3u8; 64]);
+    }
+}
+
+#[test]
+fn empty_hierarchy_drains_to_nothing() {
+    for scheme in DrainScheme::ALL {
+        let mut sys = SecureEpdSystem::for_scheme(SystemConfig::small_test(), scheme);
+        let report = sys.crash_and_drain(scheme);
+        assert_eq!(report.flushed_blocks, 0, "{scheme}");
+        assert_eq!(report.stats.get("mem.write.data"), 0, "{scheme}");
+        assert_eq!(report.stats.get("mem.write.chv_data"), 0, "{scheme}");
+        // Empty Horus episodes still recover (to nothing).
+        if scheme.is_horus() {
+            let rec = sys.recover().expect("empty vault verifies");
+            assert_eq!(rec.restored_blocks, 0);
+        }
+    }
+}
+
+#[test]
+fn recovering_twice_reports_no_episode() {
+    let mut sys = SecureEpdSystem::new(SystemConfig::small_test());
+    sys.write(0, [1; 64]).expect("write");
+    sys.crash_and_drain(DrainScheme::HorusSlm);
+    sys.recover().expect("first");
+    assert_eq!(
+        sys.recover().unwrap_err(),
+        horus::core::RecoveryError::NoEpisode
+    );
+}
+
+#[test]
+fn dlm_supergroup_boundaries_roundtrip() {
+    // 63 / 64 / 65 drained blocks straddle the DLM supergroup boundary
+    // (64 entries per MAC block); all must survive exactly.
+    for n in [63u64, 64, 65] {
+        let mut sys = SecureEpdSystem::new(SystemConfig::small_test());
+        // The hierarchy holds 88 lines; install via the workload helper
+        // to control the exact count.
+        for i in 0..n {
+            // The test LLC holds exactly 64 lines at this stride; spill
+            // the remainder into L2 so nothing is silently evicted.
+            let level = if i < 64 { 2 } else { 1 };
+            let evicted =
+                sys.hierarchy_mut()
+                    .level_mut(level)
+                    .insert(i * 16448, [i as u8 + 1; 64], true);
+            assert!(evicted.is_none(), "install must not evict (i={i})");
+        }
+        let dr = sys.crash_and_drain(DrainScheme::HorusDlm);
+        assert_eq!(dr.flushed_blocks, n);
+        sys.recover().expect("verifies");
+        for i in 0..n {
+            assert_eq!(
+                sys.read(i * 16448).expect("read"),
+                [i as u8 + 1; 64],
+                "n={n} i={i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn system_is_send() {
+    // Experiment harnesses fan systems out across threads; the whole
+    // stack must stay Send (no interior Rc/RefCell creeping in).
+    fn assert_send<T: Send>() {}
+    assert_send::<SecureEpdSystem>();
+    assert_send::<horus::core::DrainReport>();
+    assert_send::<horus::metadata::Platform>();
+}
