@@ -1,187 +1,54 @@
 //! Runs every experiment and writes `EXPERIMENTS.md` (paper-vs-measured
 //! for each table and figure).
 //!
-//! Usage: `cargo run --release -p horus-bench --bin repro-all [--quick]`
+//! Usage: `cargo run --release -p horus-bench --bin repro-all --
+//! [--jobs N] [--cache-dir DIR] [--no-cache] [--progress] [--quick]`
 //!
-//! `--quick` shrinks the LLC sweeps (useful while iterating); the full
-//! run takes a few minutes.
+//! Experiment points run on the `horus-harness` worker pool and are
+//! memoized in the result cache, so a repeated invocation is pure cache
+//! hits and completes in seconds. `--quick` shrinks the LLC sweeps
+//! (useful while iterating); a cold full run takes a few minutes.
+//!
+//! Exits non-zero when any headline claim's measured value deviates
+//! from the paper's value beyond its stated tolerance.
 
-use horus_bench::figures;
-use horus_core::{DrainScheme, SystemConfig};
-use std::fmt::Write as _;
+use horus_bench::cli::HarnessArgs;
+use horus_bench::repro_all::{self, ReproPlan};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = SystemConfig::paper_default();
+    let args = HarnessArgs::parse_or_exit();
+    let harness = args.harness();
+    let plan = if args.quick {
+        ReproPlan::quick()
+    } else {
+        ReproPlan::full()
+    };
     let started = std::time::Instant::now();
 
-    let mut md = String::new();
-    let _ = writeln!(
-        md,
-        "# EXPERIMENTS — paper vs. measured\n\n\
-         Generated by `cargo run --release -p horus-bench --bin repro-all`{}.\n\n\
-         Every table/figure of the Horus paper (MICRO 2022) reproduced on this\n\
-         repository's from-scratch simulator. Absolute numbers differ from the\n\
-         paper (gem5 + McPAT testbed vs. this discrete-event model); the claims\n\
-         are about *shape*: who wins, by roughly what factor, and where the\n\
-         crossovers are. Paper claims are quoted inline.\n",
-        if quick { " (--quick)" } else { "" }
+    let out = repro_all::run(&harness, &plan);
+    std::fs::write("EXPERIMENTS.md", &out.markdown).expect("write EXPERIMENTS.md");
+    println!("{}", out.markdown);
+
+    let (executed, cache_hits) = harness.totals();
+    eprintln!(
+        "wrote EXPERIMENTS.md: {executed} simulations executed, {cache_hits} cache hits, \
+         {:.1} s wall clock ({} workers)",
+        started.elapsed().as_secs_f64(),
+        harness.jobs()
     );
 
-    eprintln!("[1/8] Table I…");
-    let _ = writeln!(md, "## Table I — simulation configuration\n");
-    let _ = writeln!(md, "```\n{}```\n", figures::table1(&cfg).render());
-
-    eprintln!("[2/8] Figure 6 (motivation)…");
-    let f6 = figures::figure6(&cfg);
-    let _ = writeln!(
-        md,
-        "## Figure 6 — memory requests to flush the hierarchy\n\n\
-         **Paper:** secure EPD needs **10.3x** (lazy) / **9.5x** (eager) more\n\
-         memory accesses than non-secure EPD for 295 936 flushed blocks.\n\n\
-         **Measured:**\n\n```\n{}```\n",
-        f6.render()
-    );
-
-    eprintln!("[3/8] Figures 11-13 (scheme comparison)…");
-    let cmp = figures::scheme_comparison(&cfg);
-    let _ = writeln!(
-        md,
-        "## Figure 11 — normalized draining time\n\n\
-         **Paper:** Base-LU/EU take 4.5x/5.1x longer than Horus; secure\n\
-         baselines are 8.6x non-secure, Horus only 1.7x.\n\n\
-         **Measured:**\n\n```\n{}```\n",
-        cmp.render_fig11()
-    );
-    let _ = writeln!(
-        md,
-        "## Figure 12 — breakdown of memory writes\n\n\
-         **Paper:** baseline writes are dominated by integrity-tree metadata\n\
-         evictions; Horus-DLM writes 8x fewer CHV MAC blocks than Horus-SLM;\n\
-         the final metadata flush is negligible everywhere.\n\n\
-         **Measured:**\n\n```\n{}```\n",
-        cmp.render_fig12()
-    );
-    let _ = writeln!(
-        md,
-        "## Figure 13 — breakdown of MAC calculations\n\n\
-         **Paper:** Base-EU computes the most MACs (tree updates); Base-LU's\n\
-         are dominated by verification; Horus reduces MACs 7.8x, and\n\
-         Horus-DLM computes 1.125x Horus-SLM.\n\n\
-         **Measured:**\n\n```\n{}```\n",
-        cmp.render_fig13()
-    );
-
-    let sweep_sizes: &[u64] = if quick { &[8, 16] } else { &[8, 16, 32] };
-    eprintln!("[4/8] Figures 14-15 (LLC sweep {sweep_sizes:?} MB)…");
-    let sweep = figures::llc_sweep(sweep_sizes);
-    let _ = writeln!(
-        md,
-        "## Figure 14 — memory requests vs LLC size (normalized to Base-LU)\n\n\
-         **Paper:** both Horus schemes achieve at least a **7.0x** reduction\n\
-         in memory requests vs Base-LU at 8/16/32 MB.\n\n\
-         **Measured:**\n\n```\n{}```\n",
-        sweep.render_fig14()
-    );
-    let _ = writeln!(
-        md,
-        "## Figure 15 — MAC calculations vs LLC size (normalized to Base-LU)\n\n\
-         **Paper:** at least a **5.8x** reduction vs Base-LU.\n\n\
-         **Measured:**\n\n```\n{}```\n",
-        sweep.render_fig15()
-    );
-
-    let rec_sizes: &[u64] = if quick {
-        &[8, 16]
-    } else {
-        &[8, 16, 32, 64, 128]
-    };
-    eprintln!("[5/8] Figure 16 (recovery sweep {rec_sizes:?} MB)…");
-    let f16 = figures::figure16(rec_sizes);
-    let _ = writeln!(
-        md,
-        "## Figure 16 — recovery time\n\n\
-         **Paper:** recovery stays small even at 128 MB LLC: **0.51 s**\n\
-         (Horus-SLM) and **0.48 s** (Horus-DLM); linear in LLC size; DLM\n\
-         slightly faster (fewer MAC-block reads).\n\n\
-         **Measured** (serial read-back, as the paper's estimate assumes):\n\n```\n{}```\n",
-        f16.render()
-    );
-
-    eprintln!("[6/8] Tables II-III (energy & battery)…");
-    let energy = figures::energy_tables(&cfg);
-    let _ = writeln!(
-        md,
-        "## Table II — drain energy\n\n\
-         **Paper:** Base-LU 11.07 J, Base-EU 12.39 J, Horus-SLM 2.45 J,\n\
-         Horus-DLM 2.38 J; processor energy dominates.\n\n\
-         **Measured** (constant 170 W platform power substituting McPAT):\n\n```\n{}```\n",
-        energy.render_table2()
-    );
-    let _ = writeln!(
-        md,
-        "## Table III — hold-up battery volume\n\n\
-         **Paper:** Base-LU 30.7 / Base-EU 34.4 vs Horus 6.6-6.8 cm^3\n\
-         SuperCap (>=4.4x smaller); Li-thin 0.31-0.34 vs 0.07 cm^3.\n\n\
-         **Measured:**\n\n```\n{}```\n",
-        energy.render_table3()
-    );
-
-    eprintln!("[7/8] headline summary…");
-    let ns = cmp
-        .reports
-        .iter()
-        .find(|r| r.scheme == DrainScheme::NonSecure.name())
-        .unwrap();
-    let lu = cmp
-        .reports
-        .iter()
-        .find(|r| r.scheme == DrainScheme::BaseLazy.name())
-        .unwrap();
-    let eu = cmp
-        .reports
-        .iter()
-        .find(|r| r.scheme == DrainScheme::BaseEager.name())
-        .unwrap();
-    let slm = cmp
-        .reports
-        .iter()
-        .find(|r| r.scheme == DrainScheme::HorusSlm.name())
-        .unwrap();
-    let _ = writeln!(
-        md,
-        "## Headline claims\n\n\
-         | claim | paper | measured |\n|---|---|---|\n\
-         | Base-LU memory accesses vs non-secure | 10.3x | {:.1}x |\n\
-         | Base-EU memory accesses vs non-secure | 9.5x | {:.1}x |\n\
-         | Horus memory-request reduction vs Base-LU | 8x | {:.1}x |\n\
-         | Horus MAC-calculation reduction vs Base-LU | 7.8x | {:.1}x |\n\
-         | Base-LU drain time vs Horus | 4.5x | {:.1}x |\n\
-         | Base-EU drain time vs Horus | 5.1x | {:.1}x |\n\
-         | Horus drain time vs non-secure | 1.7x | {:.1}x |\n\
-         | Horus-DLM MACs vs Horus-SLM | 1.125x | {:.3}x |\n",
-        lu.memory_requests() as f64 / ns.memory_requests() as f64,
-        eu.memory_requests() as f64 / ns.memory_requests() as f64,
-        lu.memory_requests() as f64 / slm.memory_requests() as f64,
-        lu.mac_ops as f64 / slm.mac_ops as f64,
-        lu.cycles as f64 / slm.cycles as f64,
-        eu.cycles as f64 / slm.cycles as f64,
-        slm.cycles as f64 / ns.cycles as f64,
-        cmp.reports
-            .iter()
-            .find(|r| r.scheme == DrainScheme::HorusDlm.name())
-            .unwrap()
-            .mac_ops as f64
-            / slm.mac_ops as f64,
-    );
-
-    let _ = writeln!(
-        md,
-        "_Total harness run time: {:.1} s._",
-        started.elapsed().as_secs_f64()
-    );
-
-    eprintln!("[8/8] writing EXPERIMENTS.md…");
-    std::fs::write("EXPERIMENTS.md", &md).expect("write EXPERIMENTS.md");
-    println!("{md}");
+    let failures = out.failures();
+    if !failures.is_empty() {
+        for c in &failures {
+            eprintln!(
+                "TOLERANCE FAILURE: {} — paper {:.prec$}x, measured {:.prec$}x, allowed ±{:.0}%",
+                c.claim,
+                c.paper,
+                c.measured,
+                c.tolerance * 100.0,
+                prec = c.precision,
+            );
+        }
+        std::process::exit(1);
+    }
 }

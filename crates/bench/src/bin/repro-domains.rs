@@ -73,7 +73,7 @@ fn run(domain: PersistenceDomain, drain: Option<DrainScheme>, n: u64) -> Row {
 fn main() {
     let n = 20_000;
     println!("persistence-domain design space over {n} durable stores:\n");
-    let rows = vec![
+    let rows = [
         run(PersistenceDomain::AdrOnly, None, n),
         run(PersistenceDomain::Bbb { buffer_lines: 64 }, None, n),
         run(PersistenceDomain::Bbb { buffer_lines: 1024 }, None, n),

@@ -1,11 +1,13 @@
 //! Reproduces Figure 6: breakdown of memory requests for flushing the
 //! cache hierarchy (non-secure vs the two secure baselines).
 
+use horus_bench::cli::HarnessArgs;
 use horus_bench::figures;
 use horus_core::SystemConfig;
 
 fn main() {
+    let args = HarnessArgs::parse_or_exit();
     let cfg = SystemConfig::paper_default();
     println!("Figure 6 — memory requests to flush the hierarchy (paper: 10.3x lazy, 9.5x eager)\n");
-    println!("{}", figures::figure6(&cfg).render());
+    println!("{}", figures::figure6(&args.harness(), &cfg).render());
 }

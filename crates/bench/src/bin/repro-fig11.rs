@@ -1,11 +1,13 @@
 //! Reproduces Figure 11: normalized draining cycles across schemes.
 
+use horus_bench::cli::HarnessArgs;
 use horus_bench::figures;
 use horus_core::SystemConfig;
 
 fn main() {
+    let args = HarnessArgs::parse_or_exit();
     let cfg = SystemConfig::paper_default();
-    let cmp = figures::scheme_comparison(&cfg);
+    let cmp = figures::scheme_comparison(&args.harness(), &cfg);
     println!("Figure 11 — draining time (paper: Base-LU 4.5x, Base-EU 5.1x vs Horus; Horus 1.7x non-secure)\n");
     println!("{}", cmp.render_fig11());
 }

@@ -1,11 +1,13 @@
 //! Reproduces Figure 12: breakdown of memory writes during the drain.
 
+use horus_bench::cli::HarnessArgs;
 use horus_bench::figures;
 use horus_core::SystemConfig;
 
 fn main() {
+    let args = HarnessArgs::parse_or_exit();
     let cfg = SystemConfig::paper_default();
-    let cmp = figures::scheme_comparison(&cfg);
+    let cmp = figures::scheme_comparison(&args.harness(), &cfg);
     println!("Figure 12 — breakdown of memory writes\n");
     println!("{}", cmp.render_fig12());
 }

@@ -1,11 +1,13 @@
 //! Reproduces Figure 13: breakdown of MAC calculations during the drain.
 
+use horus_bench::cli::HarnessArgs;
 use horus_bench::figures;
 use horus_core::SystemConfig;
 
 fn main() {
+    let args = HarnessArgs::parse_or_exit();
     let cfg = SystemConfig::paper_default();
-    let cmp = figures::scheme_comparison(&cfg);
+    let cmp = figures::scheme_comparison(&args.harness(), &cfg);
     println!(
         "Figure 13 — MAC calculations (paper: 7.8x reduction; Horus-DLM = 1.125x Horus-SLM)\n"
     );

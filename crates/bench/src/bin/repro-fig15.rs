@@ -1,10 +1,18 @@
 //! Reproduces Figure 15: MAC calculations vs LLC size, normalized to
 //! Base-LU.
 
+use horus_bench::cli::HarnessArgs;
 use horus_bench::figures;
+use horus_core::SystemConfig;
 
 fn main() {
-    let sweep = figures::llc_sweep(&[8, 16, 32]);
+    let args = HarnessArgs::parse_or_exit();
+    let sizes: &[u64] = if args.quick {
+        &[8 << 20, 16 << 20]
+    } else {
+        &[8 << 20, 16 << 20, 32 << 20]
+    };
+    let sweep = figures::llc_sweep(&args.harness(), &SystemConfig::paper_default(), sizes);
     println!("Figure 15 — MAC calculations vs LLC size (paper: >=5.8x reduction)\n");
     println!("{}", sweep.render_fig15());
 }

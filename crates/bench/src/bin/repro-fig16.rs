@@ -1,9 +1,17 @@
 //! Reproduces Figure 16: Horus recovery time vs LLC size.
 
+use horus_bench::cli::HarnessArgs;
 use horus_bench::figures;
+use horus_core::SystemConfig;
 
 fn main() {
-    let f = figures::figure16(&[8, 16, 32, 64, 128]);
+    let args = HarnessArgs::parse_or_exit();
+    let sizes: &[u64] = if args.quick {
+        &[8 << 20, 16 << 20]
+    } else {
+        &[8 << 20, 16 << 20, 32 << 20, 64 << 20, 128 << 20]
+    };
+    let f = figures::figure16(&args.harness(), &SystemConfig::paper_default(), sizes);
     println!("Figure 16 — recovery time (paper: 0.51 s SLM / 0.48 s DLM at 128 MB)\n");
     println!("{}", f.render());
 }

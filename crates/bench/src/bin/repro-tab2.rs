@@ -1,11 +1,13 @@
 //! Reproduces Table II: estimated energy cost of draining.
 
+use horus_bench::cli::HarnessArgs;
 use horus_bench::figures;
 use horus_core::SystemConfig;
 
 fn main() {
+    let args = HarnessArgs::parse_or_exit();
     let cfg = SystemConfig::paper_default();
-    let t = figures::energy_tables(&cfg);
+    let t = figures::energy_tables(&args.harness(), &cfg);
     println!("Table II — drain energy (paper: Base-LU 11.07 J, Base-EU 12.39 J, Horus ~2.4 J)\n");
     println!("{}", t.render_table2());
 }

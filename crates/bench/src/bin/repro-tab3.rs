@@ -1,11 +1,13 @@
 //! Reproduces Table III: hold-up battery volume.
 
+use horus_bench::cli::HarnessArgs;
 use horus_bench::figures;
 use horus_core::SystemConfig;
 
 fn main() {
+    let args = HarnessArgs::parse_or_exit();
     let cfg = SystemConfig::paper_default();
-    let t = figures::energy_tables(&cfg);
+    let t = figures::energy_tables(&args.harness(), &cfg);
     println!("Table III — battery volume (paper: >=4.4x reduction)\n");
     println!("{}", t.render_table3());
 }

@@ -1,0 +1,141 @@
+//! Shared command-line plumbing for the `repro-*` binaries.
+//!
+//! Every reproduction binary accepts the same orchestration flags:
+//!
+//! ```text
+//! --jobs N          worker threads (default: available parallelism)
+//! --cache-dir DIR   result-cache directory (default: target/horus-cache)
+//! --no-cache        bypass the result cache (always re-simulate)
+//! --progress        stream JSON-lines progress events to stderr
+//! --quick           shrink the sweeps (binaries that sweep)
+//! ```
+
+use horus_harness::{Harness, HarnessOptions, ProgressMode};
+use std::path::PathBuf;
+
+/// The harness-related flags common to all `repro-*` binaries.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessArgs {
+    /// `--jobs N`.
+    pub jobs: Option<usize>,
+    /// `--cache-dir DIR`.
+    pub cache_dir: Option<PathBuf>,
+    /// `--no-cache`.
+    pub no_cache: bool,
+    /// `--progress`.
+    pub progress: bool,
+    /// `--quick`.
+    pub quick: bool,
+}
+
+/// The usage string fragment for the shared flags.
+pub const HARNESS_USAGE: &str = "[--jobs N] [--cache-dir DIR] [--no-cache] [--progress] [--quick]";
+
+impl HarnessArgs {
+    /// Parses the process arguments; unknown flags are an error.
+    pub fn parse() -> Result<Self, String> {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument iterator (testable).
+    pub fn parse_from(argv: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut args = Self::default();
+        let mut it = argv.peekable();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--jobs" => {
+                    let v = it.next().ok_or("--jobs requires a value")?;
+                    args.jobs = Some(
+                        v.parse::<usize>()
+                            .map_err(|e| format!("--jobs {v}: {e}"))?
+                            .max(1),
+                    );
+                }
+                "--cache-dir" => {
+                    let v = it.next().ok_or("--cache-dir requires a value")?;
+                    args.cache_dir = Some(PathBuf::from(v));
+                }
+                "--no-cache" => args.no_cache = true,
+                "--progress" => args.progress = true,
+                "--quick" => args.quick = true,
+                other => return Err(format!("unknown flag '{other}' ({HARNESS_USAGE})")),
+            }
+        }
+        Ok(args)
+    }
+
+    /// Builds the harness these flags describe.
+    #[must_use]
+    pub fn harness(&self) -> Harness {
+        Harness::new(HarnessOptions {
+            jobs: self.jobs,
+            cache_dir: self.cache_dir.clone(),
+            no_cache: self.no_cache,
+            progress: if self.progress {
+                ProgressMode::JsonLines
+            } else {
+                ProgressMode::Silent
+            },
+        })
+    }
+
+    /// Parses the process arguments and exits with usage on error.
+    #[must_use]
+    pub fn parse_or_exit() -> Self {
+        match Self::parse() {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("error: {e}\nusage: {HARNESS_USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<HarnessArgs, String> {
+        HarnessArgs::parse_from(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(&[
+            "--jobs",
+            "8",
+            "--cache-dir",
+            "/tmp/x",
+            "--no-cache",
+            "--progress",
+            "--quick",
+        ])
+        .expect("valid");
+        assert_eq!(a.jobs, Some(8));
+        assert_eq!(a.cache_dir, Some(PathBuf::from("/tmp/x")));
+        assert!(a.no_cache && a.progress && a.quick);
+        assert_eq!(a.harness().jobs(), 8);
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        assert_eq!(parse(&["--jobs", "0"]).expect("valid").jobs, Some(1));
+    }
+
+    #[test]
+    fn rejects_unknown_and_valueless_flags() {
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--jobs", "many"]).is_err());
+    }
+
+    #[test]
+    fn defaults_are_cache_on_silent() {
+        let a = parse(&[]).expect("valid");
+        assert!(!a.no_cache && !a.progress && !a.quick);
+        let h = a.harness();
+        assert!(h.cache().is_some());
+        assert!(h.jobs() >= 1);
+    }
+}

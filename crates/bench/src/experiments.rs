@@ -1,6 +1,14 @@
 //! Shared experiment drivers.
+//!
+//! [`drain_once`] and [`drain_and_recover`] are the *serial reference
+//! path*: they run one simulation inline on the calling thread, with no
+//! pool and no cache. The harness's [`horus_harness::JobSpec::execute`]
+//! does exactly the same thing, which is what the determinism proptests
+//! pin down; Criterion benchmarks use these directly so iteration
+//! timing measures the simulator, not the orchestration.
 
 use horus_core::{DrainReport, DrainScheme, RecoveryReport, SecureEpdSystem, SystemConfig};
+use horus_harness::{Harness, JobSpec};
 use horus_workload::{fill_hierarchy, FillPattern};
 
 /// The paper's worst-case fill (§V-A): dirty lines at least 16 KiB
@@ -37,6 +45,16 @@ pub fn bench_config() -> SystemConfig {
     cfg
 }
 
+/// `base` with a different LLC size. For the Table I base this equals
+/// [`SystemConfig::with_llc_bytes`], so sweep points share cache keys
+/// with every other binary that touches the same configuration.
+#[must_use]
+pub fn config_at_llc(base: &SystemConfig, llc_bytes: u64) -> SystemConfig {
+    let mut cfg = base.clone();
+    cfg.hierarchy.llc_bytes = llc_bytes;
+    cfg
+}
+
 /// Builds a system for `scheme`, installs the crash-time snapshot, and
 /// drains. Returns the drain report.
 #[must_use]
@@ -60,18 +78,18 @@ pub fn drain_and_recover(
     (dr, rec)
 }
 
-/// Runs all five schemes over the same crash snapshot pattern, one
-/// thread per scheme (systems are fully independent).
+/// Runs all five schemes over the same crash snapshot pattern as one
+/// harness sweep, one worker per scheme (systems are fully
+/// independent). Uncached — callers that want memoization submit the
+/// specs to their own harness.
 #[must_use]
 pub fn run_all_schemes(cfg: &SystemConfig, pattern: FillPattern) -> Vec<DrainReport> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = DrainScheme::ALL
-            .iter()
-            .map(|s| scope.spawn(move || drain_once(cfg, *s, pattern)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("scheme run panicked"))
-            .collect()
-    })
+    let specs: Vec<JobSpec> = DrainScheme::ALL
+        .iter()
+        .map(|s| JobSpec::drain(cfg, *s, pattern))
+        .collect();
+    Harness::with_jobs(specs.len())
+        .run(&specs)
+        .drains()
+        .expect("scheme run panicked")
 }

@@ -1,15 +1,22 @@
 //! One driver per table/figure of the paper's evaluation.
 //!
-//! Each function runs the experiment and returns a result struct that
-//! knows how to render itself as the rows/series the paper reports. The
-//! `repro-*` binaries are thin wrappers; `repro-all` composes everything
-//! into `EXPERIMENTS.md`.
+//! Each function submits its experiment points to a
+//! [`horus_harness::Harness`] as [`JobSpec`]s — so every driver gets
+//! parallelism, panic isolation, and result memoization for free — and
+//! returns a result struct that knows how to render itself as the
+//! rows/series the paper reports. The `repro-*` binaries are thin
+//! wrappers; `repro-all` composes everything into `EXPERIMENTS.md`.
+//!
+//! Drivers that sweep the LLC take sizes in **bytes** and derive each
+//! point from a base configuration, so the same pipeline runs at the
+//! paper's Table I scale and at test scale.
 
-use crate::experiments::{drain_and_recover, drain_once, paper_fill, run_all_schemes};
+use crate::experiments::{config_at_llc, paper_fill};
 use crate::table;
 use horus_core::config::ConfigSummary;
 use horus_core::{DrainReport, DrainScheme, SystemConfig};
 use horus_energy::{Battery, DrainEnergyModel, EnergyBreakdown};
+use horus_harness::{Harness, JobSpec};
 use serde::Serialize;
 
 fn ratio(a: u64, b: u64) -> f64 {
@@ -21,6 +28,16 @@ fn find(reports: &[DrainReport], scheme: DrainScheme) -> &DrainReport {
         .iter()
         .find(|r| r.scheme == scheme.name())
         .expect("scheme present in report set")
+}
+
+/// "8 MB" / "512 KB" — the paper quotes LLC sizes in MB; test-scale
+/// sweeps use sub-MB sizes.
+fn size_label(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{} MB", bytes >> 20)
+    } else {
+        format!("{} KB", bytes >> 10)
+    }
 }
 
 /// Table I: the simulated configuration.
@@ -100,17 +117,20 @@ pub struct Figure6 {
 
 /// Runs Figure 6 (shares §III's motivation numbers).
 #[must_use]
-pub fn figure6(cfg: &SystemConfig) -> Figure6 {
-    let schemes = [
+pub fn figure6(harness: &Harness, cfg: &SystemConfig) -> Figure6 {
+    let specs: Vec<JobSpec> = [
         DrainScheme::NonSecure,
         DrainScheme::BaseEager,
         DrainScheme::BaseLazy,
-    ];
+    ]
+    .iter()
+    .map(|s| JobSpec::drain(cfg, *s, paper_fill()))
+    .collect();
     Figure6 {
-        reports: schemes
-            .iter()
-            .map(|s| drain_once(cfg, *s, paper_fill()))
-            .collect(),
+        reports: harness
+            .run(&specs)
+            .drains()
+            .expect("Figure 6 drain panicked"),
     }
 }
 
@@ -159,9 +179,16 @@ pub struct SchemeComparison {
 
 /// Runs the five-scheme comparison used by Figures 11, 12 and 13.
 #[must_use]
-pub fn scheme_comparison(cfg: &SystemConfig) -> SchemeComparison {
+pub fn scheme_comparison(harness: &Harness, cfg: &SystemConfig) -> SchemeComparison {
+    let specs: Vec<JobSpec> = DrainScheme::ALL
+        .iter()
+        .map(|s| JobSpec::drain(cfg, *s, paper_fill()))
+        .collect();
     SchemeComparison {
-        reports: run_all_schemes(cfg, paper_fill()),
+        reports: harness
+            .run(&specs)
+            .drains()
+            .expect("scheme-comparison drain panicked"),
     }
 }
 
@@ -324,25 +351,30 @@ pub struct LlcSweep {
     pub points: Vec<(u64, Vec<DrainReport>)>,
 }
 
-/// Runs the LLC sweep (paper: 8, 16, 32 MB); sizes run in parallel.
+/// Runs the LLC sweep (paper: 8, 16, 32 MB): one job per
+/// `(size, scheme)` point, all submitted in a single sweep.
 #[must_use]
-pub fn llc_sweep(sizes_mb: &[u64]) -> LlcSweep {
-    LlcSweep {
-        points: std::thread::scope(|scope| {
-            let handles: Vec<_> = sizes_mb
+pub fn llc_sweep(harness: &Harness, base: &SystemConfig, llc_bytes: &[u64]) -> LlcSweep {
+    let specs: Vec<JobSpec> = llc_bytes
+        .iter()
+        .flat_map(|bytes| {
+            let cfg = config_at_llc(base, *bytes);
+            DrainScheme::ALL
                 .iter()
-                .map(|mb| {
-                    scope.spawn(move || {
-                        let cfg = SystemConfig::with_llc_bytes(mb << 20);
-                        (*mb, run_all_schemes(&cfg, paper_fill()))
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("sweep point panicked"))
-                .collect()
-        }),
+                .map(move |s| JobSpec::drain(&cfg, *s, paper_fill()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let drains = harness
+        .run(&specs)
+        .drains()
+        .expect("LLC-sweep drain panicked");
+    LlcSweep {
+        points: llc_bytes
+            .iter()
+            .zip(drains.chunks(DrainScheme::ALL.len()))
+            .map(|(bytes, chunk)| (*bytes, chunk.to_vec()))
+            .collect(),
     }
 }
 
@@ -361,14 +393,14 @@ impl LlcSweep {
 
     fn render_metric(&self, what: &str, metric: impl Fn(&DrainReport) -> u64) -> String {
         let mut rows = Vec::new();
-        for (mb, reports) in &self.points {
+        for (bytes, reports) in &self.points {
             let lu = find(reports, DrainScheme::BaseLazy);
             for r in reports
                 .iter()
                 .filter(|r| r.scheme != DrainScheme::NonSecure.name())
             {
                 rows.push(vec![
-                    format!("{mb} MB"),
+                    size_label(*bytes),
                     r.scheme.clone(),
                     metric(r).to_string(),
                     format!("{:.3}", ratio(metric(r), metric(lu))),
@@ -382,38 +414,46 @@ impl LlcSweep {
 /// Figure 16: recovery time vs LLC size for the Horus schemes.
 #[derive(Debug, Clone, Serialize)]
 pub struct Figure16 {
-    /// `(llc_mb, scheme name, recovery seconds, restored blocks)`.
+    /// `(llc_bytes, scheme name, recovery seconds, restored blocks)`.
     pub points: Vec<(u64, String, f64, u64)>,
 }
 
-/// Runs the recovery-time sweep (paper: 8–128 MB); points run in
-/// parallel.
+/// Runs the recovery-time sweep (paper: 8–128 MB): one drain+recover
+/// job per `(size, scheme)` point.
 #[must_use]
-pub fn figure16(sizes_mb: &[u64]) -> Figure16 {
-    let points = std::thread::scope(|scope| {
-        let handles: Vec<_> = sizes_mb
+pub fn figure16(harness: &Harness, base: &SystemConfig, llc_bytes: &[u64]) -> Figure16 {
+    let pairs: Vec<(u64, DrainScheme)> = llc_bytes
+        .iter()
+        .flat_map(|bytes| {
+            [DrainScheme::HorusSlm, DrainScheme::HorusDlm].map(|scheme| (*bytes, scheme))
+        })
+        .collect();
+    let specs: Vec<JobSpec> = pairs
+        .iter()
+        .map(|(bytes, scheme)| {
+            JobSpec::drain_recover(&config_at_llc(base, *bytes), *scheme, paper_fill())
+        })
+        .collect();
+    let report = harness.run(&specs);
+    let results = report.results().expect("recovery point panicked");
+    Figure16 {
+        points: pairs
             .iter()
-            .flat_map(|mb| {
-                [DrainScheme::HorusSlm, DrainScheme::HorusDlm].map(|scheme| {
-                    scope.spawn(move || {
-                        let cfg = SystemConfig::with_llc_bytes(mb << 20);
-                        let (_, rec) = drain_and_recover(&cfg, scheme, paper_fill());
-                        (
-                            *mb,
-                            scheme.name().to_owned(),
-                            rec.seconds,
-                            rec.restored_blocks,
-                        )
-                    })
-                })
+            .zip(results)
+            .map(|((bytes, scheme), result)| {
+                let rec = result
+                    .recovery
+                    .as_ref()
+                    .expect("drain_recover jobs carry a recovery report");
+                (
+                    *bytes,
+                    scheme.name().to_owned(),
+                    rec.seconds,
+                    rec.restored_blocks,
+                )
             })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("recovery point panicked"))
-            .collect()
-    });
-    Figure16 { points }
+            .collect(),
+    }
 }
 
 impl Figure16 {
@@ -423,9 +463,9 @@ impl Figure16 {
         let rows = self
             .points
             .iter()
-            .map(|(mb, scheme, secs, blocks)| {
+            .map(|(bytes, scheme, secs, blocks)| {
                 vec![
-                    format!("{mb} MB"),
+                    size_label(*bytes),
                     scheme.clone(),
                     format!("{:.4} s", secs),
                     blocks.to_string(),
@@ -446,13 +486,22 @@ pub struct EnergyTables {
     pub energy: Vec<EnergyBreakdown>,
 }
 
-/// Runs the drain-energy estimation over the four secure schemes.
+/// Runs the drain-energy estimation over the four secure schemes. The
+/// drain specs are identical to the scheme comparison's, so with a
+/// result cache enabled these jobs are pure cache hits.
 #[must_use]
-pub fn energy_tables(cfg: &SystemConfig) -> EnergyTables {
-    let model = DrainEnergyModel::paper_default();
-    let energy = DrainScheme::SECURE
+pub fn energy_tables(harness: &Harness, cfg: &SystemConfig) -> EnergyTables {
+    let specs: Vec<JobSpec> = DrainScheme::SECURE
         .iter()
-        .map(|s| model.drain_energy(&drain_once(cfg, *s, paper_fill())))
+        .map(|s| JobSpec::drain(cfg, *s, paper_fill()))
+        .collect();
+    let model = DrainEnergyModel::paper_default();
+    let energy = harness
+        .run(&specs)
+        .drains()
+        .expect("energy drain panicked")
+        .iter()
+        .map(|r| model.drain_energy(r))
         .collect();
     EnergyTables { energy }
 }

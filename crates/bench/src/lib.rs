@@ -5,8 +5,10 @@
 #![forbid(unsafe_code)]
 
 pub mod chart;
+pub mod cli;
 pub mod experiments;
 pub mod figures;
+pub mod repro_all;
 pub mod table;
 
 pub use experiments::*;

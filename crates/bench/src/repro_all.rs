@@ -1,0 +1,344 @@
+//! The full-reproduction pipeline behind the `repro-all` binary.
+//!
+//! Living in the library (rather than the binary) so the integration
+//! tests can drive it: the acceptance contract is that the generated
+//! `EXPERIMENTS.md` markdown is **byte-identical** for any `--jobs`
+//! count, and that an immediately repeated invocation against a warm
+//! result cache re-executes zero simulations. To keep that true,
+//! nothing nondeterministic — wall-clock time, worker counts, cache-hit
+//! ratios — may be rendered into the markdown; such accounting goes to
+//! stderr in the binary instead.
+
+use crate::figures;
+use horus_core::{DrainScheme, SystemConfig};
+use horus_harness::Harness;
+use std::fmt::Write as _;
+
+/// Which experiment points to run: the paper's Table I scale for the
+/// binary, a miniature scale for tests exercising the same pipeline.
+#[derive(Debug, Clone)]
+pub struct ReproPlan {
+    /// Base configuration every experiment derives from.
+    pub base: SystemConfig,
+    /// LLC sizes (bytes) for the Figure 14/15 sweep.
+    pub sweep_llc: Vec<u64>,
+    /// LLC sizes (bytes) for the Figure 16 recovery sweep.
+    pub recovery_llc: Vec<u64>,
+    /// Suffix for the generated header (e.g. " (--quick)").
+    pub label: &'static str,
+}
+
+impl ReproPlan {
+    /// The paper's full evaluation: Table I base, 8–32 MB LLC sweep,
+    /// 8–128 MB recovery sweep.
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            base: SystemConfig::paper_default(),
+            sweep_llc: vec![8 << 20, 16 << 20, 32 << 20],
+            recovery_llc: vec![8 << 20, 16 << 20, 32 << 20, 64 << 20, 128 << 20],
+            label: "",
+        }
+    }
+
+    /// `--quick`: same base, shrunken sweeps (useful while iterating).
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            sweep_llc: vec![8 << 20, 16 << 20],
+            recovery_llc: vec![8 << 20, 16 << 20],
+            label: " (--quick)",
+            ..Self::full()
+        }
+    }
+
+    /// Test scale: the same pipeline over [`SystemConfig::small_test`]
+    /// so a full run takes milliseconds. The measured values are *not*
+    /// expected to match the paper's claims at this scale.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            base: SystemConfig::small_test(),
+            sweep_llc: vec![4 << 10, 8 << 10],
+            recovery_llc: vec![4 << 10, 8 << 10],
+            label: " (smoke plan)",
+        }
+    }
+}
+
+/// One headline claim with its reproduction tolerance.
+///
+/// Tolerances are deliberately claim-specific: request/MAC *counts* are
+/// structural (the simulator flushes the same block population the
+/// paper does, so they reproduce tightly), while drain-*time* ratios
+/// also fold in the timing model's divergence from the paper's gem5
+/// testbed and get more slack.
+#[derive(Debug, Clone)]
+pub struct ClaimCheck {
+    /// Human-readable claim, as worded in the headline table.
+    pub claim: &'static str,
+    /// The paper's value.
+    pub paper: f64,
+    /// This run's measured value.
+    pub measured: f64,
+    /// Maximum allowed relative deviation, e.g. `0.20` for ±20%.
+    pub tolerance: f64,
+    /// Decimal places when rendering the values.
+    pub precision: usize,
+}
+
+impl ClaimCheck {
+    /// Whether the measured value is within the stated tolerance of the
+    /// paper's value.
+    #[must_use]
+    pub fn within_tolerance(&self) -> bool {
+        ((self.measured - self.paper) / self.paper).abs() <= self.tolerance
+    }
+}
+
+/// Computes the headline-claim checks from the five-scheme comparison.
+#[must_use]
+pub fn claim_checks(cmp: &figures::SchemeComparison) -> Vec<ClaimCheck> {
+    let by = |scheme: DrainScheme| {
+        cmp.reports
+            .iter()
+            .find(|r| r.scheme == scheme.name())
+            .expect("scheme present in comparison")
+    };
+    let ns = by(DrainScheme::NonSecure);
+    let lu = by(DrainScheme::BaseLazy);
+    let eu = by(DrainScheme::BaseEager);
+    let slm = by(DrainScheme::HorusSlm);
+    let dlm = by(DrainScheme::HorusDlm);
+    let r = |a: u64, b: u64| a as f64 / b.max(1) as f64;
+    vec![
+        ClaimCheck {
+            claim: "Base-LU memory accesses vs non-secure",
+            paper: 10.3,
+            measured: r(lu.memory_requests(), ns.memory_requests()),
+            tolerance: 0.20,
+            precision: 1,
+        },
+        ClaimCheck {
+            claim: "Base-EU memory accesses vs non-secure",
+            paper: 9.5,
+            measured: r(eu.memory_requests(), ns.memory_requests()),
+            tolerance: 0.20,
+            precision: 1,
+        },
+        ClaimCheck {
+            claim: "Horus memory-request reduction vs Base-LU",
+            paper: 8.0,
+            measured: r(lu.memory_requests(), slm.memory_requests()),
+            tolerance: 0.20,
+            precision: 1,
+        },
+        ClaimCheck {
+            claim: "Horus MAC-calculation reduction vs Base-LU",
+            paper: 7.8,
+            measured: r(lu.mac_ops, slm.mac_ops),
+            tolerance: 0.20,
+            precision: 1,
+        },
+        ClaimCheck {
+            claim: "Base-LU drain time vs Horus",
+            paper: 4.5,
+            measured: r(lu.cycles, slm.cycles),
+            tolerance: 0.45,
+            precision: 1,
+        },
+        ClaimCheck {
+            claim: "Base-EU drain time vs Horus",
+            paper: 5.1,
+            measured: r(eu.cycles, slm.cycles),
+            tolerance: 0.45,
+            precision: 1,
+        },
+        ClaimCheck {
+            claim: "Horus drain time vs non-secure",
+            paper: 1.7,
+            measured: r(slm.cycles, ns.cycles),
+            tolerance: 0.45,
+            precision: 1,
+        },
+        ClaimCheck {
+            claim: "Horus-DLM MACs vs Horus-SLM",
+            paper: 1.125,
+            measured: r(dlm.mac_ops, slm.mac_ops),
+            tolerance: 0.05,
+            precision: 3,
+        },
+    ]
+}
+
+/// Everything a full reproduction produced.
+#[derive(Debug, Clone)]
+pub struct ReproAll {
+    /// The `EXPERIMENTS.md` content (deterministic — identical for any
+    /// worker count and for cached vs fresh runs).
+    pub markdown: String,
+    /// The headline-claim checks (rendered in the markdown; the binary
+    /// exits non-zero when any is out of tolerance).
+    pub checks: Vec<ClaimCheck>,
+}
+
+impl ReproAll {
+    /// The checks whose measured value is out of tolerance.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&ClaimCheck> {
+        self.checks
+            .iter()
+            .filter(|c| !c.within_tolerance())
+            .collect()
+    }
+}
+
+/// Runs every experiment of the plan on the harness and renders the
+/// `EXPERIMENTS.md` markdown. Phase progress goes to stderr; execution
+/// accounting is available from [`Harness::totals`] afterwards.
+#[must_use]
+pub fn run(harness: &Harness, plan: &ReproPlan) -> ReproAll {
+    let cfg = &plan.base;
+    let mut md = String::new();
+    let _ = writeln!(
+        md,
+        "# EXPERIMENTS — paper vs. measured\n\n\
+         Generated by `cargo run --release -p horus-bench --bin repro-all`{}.\n\n\
+         Every table/figure of the Horus paper (MICRO 2022) reproduced on this\n\
+         repository's from-scratch simulator. Absolute numbers differ from the\n\
+         paper (gem5 + McPAT testbed vs. this discrete-event model); the claims\n\
+         are about *shape*: who wins, by roughly what factor, and where the\n\
+         crossovers are. Paper claims are quoted inline.\n",
+        plan.label
+    );
+
+    eprintln!("[1/7] Table I…");
+    let _ = writeln!(md, "## Table I — simulation configuration\n");
+    let _ = writeln!(md, "```\n{}```\n", figures::table1(cfg).render());
+
+    eprintln!("[2/7] Figure 6 (motivation)…");
+    let f6 = figures::figure6(harness, cfg);
+    let _ = writeln!(
+        md,
+        "## Figure 6 — memory requests to flush the hierarchy\n\n\
+         **Paper:** secure EPD needs **10.3x** (lazy) / **9.5x** (eager) more\n\
+         memory accesses than non-secure EPD for 295 936 flushed blocks.\n\n\
+         **Measured:**\n\n```\n{}```\n",
+        f6.render()
+    );
+
+    eprintln!("[3/7] Figures 11-13 (scheme comparison)…");
+    let cmp = figures::scheme_comparison(harness, cfg);
+    let _ = writeln!(
+        md,
+        "## Figure 11 — normalized draining time\n\n\
+         **Paper:** Base-LU/EU take 4.5x/5.1x longer than Horus; secure\n\
+         baselines are 8.6x non-secure, Horus only 1.7x.\n\n\
+         **Measured:**\n\n```\n{}```\n",
+        cmp.render_fig11()
+    );
+    let _ = writeln!(
+        md,
+        "## Figure 12 — breakdown of memory writes\n\n\
+         **Paper:** baseline writes are dominated by integrity-tree metadata\n\
+         evictions; Horus-DLM writes 8x fewer CHV MAC blocks than Horus-SLM;\n\
+         the final metadata flush is negligible everywhere.\n\n\
+         **Measured:**\n\n```\n{}```\n",
+        cmp.render_fig12()
+    );
+    let _ = writeln!(
+        md,
+        "## Figure 13 — breakdown of MAC calculations\n\n\
+         **Paper:** Base-EU computes the most MACs (tree updates); Base-LU's\n\
+         are dominated by verification; Horus reduces MACs 7.8x, and\n\
+         Horus-DLM computes 1.125x Horus-SLM.\n\n\
+         **Measured:**\n\n```\n{}```\n",
+        cmp.render_fig13()
+    );
+
+    eprintln!(
+        "[4/7] Figures 14-15 (LLC sweep, {} sizes)…",
+        plan.sweep_llc.len()
+    );
+    let sweep = figures::llc_sweep(harness, cfg, &plan.sweep_llc);
+    let _ = writeln!(
+        md,
+        "## Figure 14 — memory requests vs LLC size (normalized to Base-LU)\n\n\
+         **Paper:** both Horus schemes achieve at least a **7.0x** reduction\n\
+         in memory requests vs Base-LU at 8/16/32 MB.\n\n\
+         **Measured:**\n\n```\n{}```\n",
+        sweep.render_fig14()
+    );
+    let _ = writeln!(
+        md,
+        "## Figure 15 — MAC calculations vs LLC size (normalized to Base-LU)\n\n\
+         **Paper:** at least a **5.8x** reduction vs Base-LU.\n\n\
+         **Measured:**\n\n```\n{}```\n",
+        sweep.render_fig15()
+    );
+
+    eprintln!(
+        "[5/7] Figure 16 (recovery sweep, {} sizes)…",
+        plan.recovery_llc.len()
+    );
+    let f16 = figures::figure16(harness, cfg, &plan.recovery_llc);
+    let _ = writeln!(
+        md,
+        "## Figure 16 — recovery time\n\n\
+         **Paper:** recovery stays small even at 128 MB LLC: **0.51 s**\n\
+         (Horus-SLM) and **0.48 s** (Horus-DLM); linear in LLC size; DLM\n\
+         slightly faster (fewer MAC-block reads).\n\n\
+         **Measured** (serial read-back, as the paper's estimate assumes):\n\n```\n{}```\n",
+        f16.render()
+    );
+
+    eprintln!("[6/7] Tables II-III (energy & battery)…");
+    let energy = figures::energy_tables(harness, cfg);
+    let _ = writeln!(
+        md,
+        "## Table II — drain energy\n\n\
+         **Paper:** Base-LU 11.07 J, Base-EU 12.39 J, Horus-SLM 2.45 J,\n\
+         Horus-DLM 2.38 J; processor energy dominates.\n\n\
+         **Measured** (constant 170 W platform power substituting McPAT):\n\n```\n{}```\n",
+        energy.render_table2()
+    );
+    let _ = writeln!(
+        md,
+        "## Table III — hold-up battery volume\n\n\
+         **Paper:** Base-LU 30.7 / Base-EU 34.4 vs Horus 6.6-6.8 cm^3\n\
+         SuperCap (>=4.4x smaller); Li-thin 0.31-0.34 vs 0.07 cm^3.\n\n\
+         **Measured:**\n\n```\n{}```\n",
+        energy.render_table3()
+    );
+
+    eprintln!("[7/7] headline summary…");
+    let checks = claim_checks(&cmp);
+    let _ = writeln!(
+        md,
+        "## Headline claims\n\n\
+         `repro-all` exits non-zero when a measured value leaves its\n\
+         tolerance band.\n\n\
+         | claim | paper | measured | tolerance | within |\n|---|---|---|---|---|"
+    );
+    for c in &checks {
+        let _ = writeln!(
+            md,
+            "| {} | {:.prec$}x | {:.prec$}x | ±{:.0}% | {} |",
+            c.claim,
+            c.paper,
+            c.measured,
+            c.tolerance * 100.0,
+            if c.within_tolerance() {
+                "yes"
+            } else {
+                "**NO**"
+            },
+            prec = c.precision,
+        );
+    }
+
+    ReproAll {
+        markdown: md,
+        checks,
+    }
+}

@@ -9,12 +9,13 @@
 
 use crate::set_assoc::{CacheGeometry, EvictedLine, SetAssocCache};
 use crate::Block;
+use serde::{Deserialize, Serialize};
 
 /// Sizes and associativities of the three levels.
 ///
 /// The default is the paper's Table I configuration: 64 KB 2-way L1,
 /// 2 MB 8-way L2, 16 MB 16-way inclusive LLC.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HierarchyConfig {
     /// L1 data cache size in bytes.
     pub l1_bytes: u64,

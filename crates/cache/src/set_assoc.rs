@@ -1,13 +1,14 @@
 //! A generic set-associative, write-back cache with LRU replacement.
 
 use crate::{is_block_aligned, Block, BLOCK_SHIFT, BLOCK_SIZE};
+use serde::{Deserialize, Serialize};
 
 /// Victim-selection policy for a set-associative cache.
 ///
 /// The metadata caches' replacement behaviour directly shapes the
 /// baseline drain cost (every victim may trigger a write-back plus a
 /// lazy tree update), so the policy is an ablation knob.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum ReplacementPolicy {
     /// Evict the least-recently-used line (the default).
     #[default]

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// sweeps build variants via [`SystemConfig::with_llc_bytes`]. All keys
 /// are derived deterministically from [`seed`](Self::seed) so experiments
 /// are reproducible.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
     /// The processor cache hierarchy to protect.
     pub hierarchy: HierarchyConfig,

@@ -1,0 +1,169 @@
+//! The on-disk result cache.
+//!
+//! One JSON file per finished job, named by the spec's content key:
+//! `<dir>/<key>.json`. Each file embeds the full spec alongside the
+//! result, so a (vanishingly unlikely) 64-bit key collision — or a
+//! hand-edited file — is detected at load time and treated as a miss
+//! rather than returning the wrong experiment's numbers.
+//!
+//! Writes go through a temp file and an atomic rename, so concurrent
+//! sweeps sharing a cache directory never observe half-written entries.
+//! All I/O errors degrade to cache misses: a broken cache can cost
+//! time, never correctness.
+
+use crate::job::{JobResult, JobSpec, FORMAT_VERSION};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// The default cache directory, relative to the working directory.
+pub const DEFAULT_CACHE_DIR: &str = "target/horus-cache";
+
+/// What one cache file holds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CacheEntry {
+    /// The result-format version the entry was written with.
+    format: u32,
+    /// The spec that produced the result (collision guard).
+    spec: JobSpec,
+    /// The memoized result.
+    result: JobResult,
+}
+
+/// A content-keyed store of finished job results.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The cache rooted at [`DEFAULT_CACHE_DIR`].
+    #[must_use]
+    pub fn default_location() -> Self {
+        Self::new(DEFAULT_CACHE_DIR)
+    }
+
+    /// The cache directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Looks up the memoized result for `spec`, verifying that the
+    /// stored spec actually matches (not just the key).
+    #[must_use]
+    pub fn load(&self, spec: &JobSpec) -> Option<JobResult> {
+        let text = std::fs::read_to_string(self.path_for(&spec.key())).ok()?;
+        let entry: CacheEntry = serde_json::from_str(&text).ok()?;
+        (entry.format == FORMAT_VERSION && entry.spec == *spec).then_some(entry.result)
+    }
+
+    /// Memoizes `result` for `spec`. Best-effort: failures (read-only
+    /// disk, full disk) are reported but do not fail the job.
+    pub fn store(&self, spec: &JobSpec, result: &JobResult) {
+        if let Err(e) = self.try_store(spec, result) {
+            eprintln!(
+                "horus-harness: cache store failed for {} in {}: {e}",
+                spec.key(),
+                self.dir.display()
+            );
+        }
+    }
+
+    fn try_store(&self, spec: &JobSpec, result: &JobResult) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let entry = CacheEntry {
+            format: FORMAT_VERSION,
+            spec: spec.clone(),
+            result: result.clone(),
+        };
+        let json = serde_json::to_string(&entry)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let key = spec.key();
+        let tmp = self
+            .dir
+            .join(format!("{key}.json.tmp-{}", std::process::id()));
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, self.path_for(&key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horus_core::{DrainScheme, SystemConfig};
+    use horus_workload::FillPattern;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static SERIAL: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "horus-cache-test-{tag}-{}-{}",
+            std::process::id(),
+            SERIAL.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn spec() -> JobSpec {
+        JobSpec::drain(
+            &SystemConfig::small_test(),
+            DrainScheme::NonSecure,
+            FillPattern::DenseSequential { base: 0 },
+        )
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let dir = scratch_dir("roundtrip");
+        let cache = ResultCache::new(&dir);
+        let spec = spec();
+        assert!(cache.load(&spec).is_none(), "empty cache must miss");
+        let result = spec.execute();
+        cache.store(&spec, &result);
+        assert_eq!(cache.load(&spec), Some(result));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn different_spec_misses_even_with_populated_dir() {
+        let dir = scratch_dir("miss");
+        let cache = ResultCache::new(&dir);
+        let spec = spec();
+        cache.store(&spec, &spec.execute());
+        let mut other = self::spec();
+        other.scheme = DrainScheme::HorusSlm;
+        assert!(cache.load(&other).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_read_as_misses() {
+        let dir = scratch_dir("corrupt");
+        let cache = ResultCache::new(&dir);
+        let spec = spec();
+        cache.store(&spec, &spec.execute());
+        let path = dir.join(format!("{}.json", spec.key()));
+        std::fs::write(&path, "{not json").expect("overwrite entry");
+        assert!(cache.load(&spec).is_none());
+        // A wrong-spec entry under the right key is also a miss.
+        let mut other = self::spec();
+        other.config.seed ^= 7;
+        let entry = CacheEntry {
+            format: FORMAT_VERSION,
+            spec: other,
+            result: spec.execute(),
+        };
+        std::fs::write(&path, serde_json::to_string(&entry).unwrap()).unwrap();
+        assert!(cache.load(&spec).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

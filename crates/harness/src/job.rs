@@ -1,0 +1,187 @@
+//! Job specifications and their content keys.
+//!
+//! A [`JobSpec`] is the complete, serializable description of one
+//! experiment point. Executing the same spec always produces the same
+//! [`JobResult`] (the simulator is deterministic and all randomness is
+//! seeded from the config), which is what makes content-keyed
+//! memoization sound: the key is a hash of the spec's canonical JSON
+//! encoding, so any change to any knob — scheme, fill pattern, LLC
+//! size, seed — yields a different key, while re-submitting the same
+//! point hits the cache.
+
+use horus_core::{DrainReport, DrainScheme, RecoveryReport, SecureEpdSystem, SystemConfig};
+use horus_workload::{fill_hierarchy, FillPattern};
+use serde::{Deserialize, Serialize};
+
+/// Bump when the meaning of a cached result changes (simulator model
+/// changes that keep the spec encoding identical). Mixed into the
+/// content key, so stale cache files are simply never looked up.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// One experiment point: drain (and optionally recover) one scheme over
+/// one crash snapshot of one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// The drain scheme under test.
+    pub scheme: DrainScheme,
+    /// How the hierarchy is filled at crash time.
+    pub pattern: FillPattern,
+    /// The full system configuration (includes the reproducibility
+    /// seed, so it fully determines the workload too).
+    pub config: SystemConfig,
+    /// Whether to run recovery after the drain and include its report.
+    pub recover: bool,
+}
+
+impl JobSpec {
+    /// A drain-only job.
+    #[must_use]
+    pub fn drain(config: &SystemConfig, scheme: DrainScheme, pattern: FillPattern) -> Self {
+        Self {
+            scheme,
+            pattern,
+            config: config.clone(),
+            recover: false,
+        }
+    }
+
+    /// A drain-then-recover job.
+    #[must_use]
+    pub fn drain_recover(config: &SystemConfig, scheme: DrainScheme, pattern: FillPattern) -> Self {
+        Self {
+            recover: true,
+            ..Self::drain(config, scheme, pattern)
+        }
+    }
+
+    /// The stable content key: FNV-1a over the canonical JSON encoding
+    /// of `(FORMAT_VERSION, spec)`, rendered as 16 hex digits.
+    ///
+    /// Struct fields serialize in declaration order and every config
+    /// type is plain data, so the encoding — and therefore the key —
+    /// is stable across runs and platforms. Key collisions are guarded
+    /// against at cache-load time by comparing the embedded spec.
+    #[must_use]
+    pub fn key(&self) -> String {
+        let encoded =
+            serde_json::to_string(&(FORMAT_VERSION, self)).expect("job specs always serialize");
+        format!("{:016x}", fnv1a_64(encoded.as_bytes()))
+    }
+
+    /// Runs the job: build the system, install the crash snapshot,
+    /// drain, and optionally recover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if recovery of the untampered vault fails — that is a
+    /// simulator bug, and the worker pool's panic isolation turns it
+    /// into a per-job failure rather than a dead sweep.
+    #[must_use]
+    pub fn execute(&self) -> JobResult {
+        let mut sys = SecureEpdSystem::for_scheme(self.config.clone(), self.scheme);
+        fill_hierarchy(
+            sys.hierarchy_mut(),
+            self.pattern,
+            self.config.data_bytes,
+            self.config.seed,
+        );
+        let drain = sys.crash_and_drain(self.scheme);
+        let recovery = if self.recover {
+            Some(sys.recover().expect("untampered vault must verify"))
+        } else {
+            None
+        };
+        JobResult { drain, recovery }
+    }
+}
+
+/// Everything a job measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// The draining episode's report.
+    pub drain: DrainReport,
+    /// The recovery report, when the spec asked for one.
+    pub recovery: Option<RecoveryReport>,
+}
+
+impl JobResult {
+    /// Total NVM requests across drain (the progress-stream metric).
+    #[must_use]
+    pub fn memory_ops(&self) -> u64 {
+        self.drain.memory_requests()
+    }
+}
+
+/// 64-bit FNV-1a: tiny, dependency-free, and stable across platforms.
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec::drain(
+            &SystemConfig::small_test(),
+            DrainScheme::HorusSlm,
+            FillPattern::StridedSparse { min_stride: 16384 },
+        )
+    }
+
+    #[test]
+    fn keys_are_stable_and_spec_sensitive() {
+        let a = spec();
+        assert_eq!(a.key(), a.key());
+        assert_eq!(a.key(), a.clone().key());
+        assert_eq!(a.key().len(), 16);
+
+        let mut other_scheme = spec();
+        other_scheme.scheme = DrainScheme::HorusDlm;
+        assert_ne!(a.key(), other_scheme.key());
+
+        let mut other_seed = spec();
+        other_seed.config.seed ^= 1;
+        assert_ne!(a.key(), other_seed.key());
+
+        let mut other_pattern = spec();
+        other_pattern.pattern = FillPattern::DenseSequential { base: 0 };
+        assert_ne!(a.key(), other_pattern.key());
+
+        let mut with_recovery = spec();
+        with_recovery.recover = true;
+        assert_ne!(a.key(), with_recovery.key());
+    }
+
+    #[test]
+    fn specs_roundtrip_through_json() {
+        let a = spec();
+        let json = serde_json::to_string(&a).expect("serialize");
+        let back: JobSpec = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, a);
+        assert_eq!(back.key(), a.key());
+    }
+
+    #[test]
+    fn execute_is_deterministic() {
+        let a = spec().execute();
+        let b = spec().execute();
+        assert_eq!(a, b);
+        assert!(a.drain.flushed_blocks > 0);
+        assert!(a.recovery.is_none());
+    }
+
+    #[test]
+    fn recover_jobs_carry_a_recovery_report() {
+        let mut s = spec();
+        s.recover = true;
+        let r = s.execute();
+        let rec = r.recovery.expect("recovery requested");
+        assert_eq!(rec.restored_blocks, r.drain.flushed_blocks);
+    }
+}

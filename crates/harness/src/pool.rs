@@ -1,0 +1,141 @@
+//! The ordered, panic-isolated worker pool.
+//!
+//! [`run_indexed`] runs `total` tasks on `threads` OS threads and
+//! returns one slot per task, *in task order* — the caller never sees
+//! completion-order nondeterminism. Each task runs under
+//! [`std::panic::catch_unwind`], so a diverging configuration (an
+//! assertion tripping deep in the simulator) surfaces as that task's
+//! `Err` while every other task still completes. This is the scheduler
+//! shape the whole harness is built on; the memoizing job layer in
+//! [`crate::sweep`] is a thin wrapper over it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `total` tasks on a pool of `threads` workers, returning results
+/// in task order. A panicking task yields `Err(panic message)`.
+///
+/// Work is distributed by an atomic ticket counter, so workers
+/// self-balance: a worker that draws a long job simply claims fewer
+/// tickets. `threads` is clamped to `1..=total` (zero asks for one
+/// worker; more workers than tasks would only idle).
+///
+/// ```
+/// use horus_harness::run_indexed;
+/// let out = run_indexed(8, 4, |i| {
+///     assert!(i != 5, "task 5 diverges");
+///     i * i
+/// });
+/// assert_eq!(out.len(), 8);
+/// assert_eq!(out[4], Ok(16));
+/// assert!(out[5].as_ref().unwrap_err().contains("diverges"));
+/// assert_eq!(out[7], Ok(49));
+/// ```
+pub fn run_indexed<T, F>(total: usize, threads: usize, task: F) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if total == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, total);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<T, String>>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                // `p.as_ref()`, not `&p`: a `&Box<dyn Any>` coerces to
+                // `&dyn Any` *as the Box*, which defeats the downcasts.
+                let outcome = catch_unwind(AssertUnwindSafe(|| task(i)))
+                    .map_err(|p| panic_message(p.as_ref()));
+                *slots[i].lock().expect("result slot poisoned") = Some(outcome);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("scope joined: every ticket was drawn and filled")
+        })
+        .collect()
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        // Tasks finish in scrambled order (later tasks are quicker), but
+        // the output is indexed by task.
+        let out = run_indexed(16, 4, |i| {
+            std::thread::sleep(std::time::Duration::from_micros(((16 - i) * 50) as u64));
+            i
+        });
+        assert_eq!(out, (0..16).map(Ok).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let hits = AtomicU64::new(0);
+        let out = run_indexed(100, 7, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        let distinct: HashSet<_> = out.into_iter().map(Result::unwrap).collect();
+        assert_eq!(distinct.len(), 100);
+    }
+
+    #[test]
+    fn a_panicking_task_does_not_kill_the_sweep() {
+        let out = run_indexed(10, 3, |i| {
+            assert!(i % 4 != 2, "task {i} diverged");
+            i + 1
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i % 4 == 2 {
+                assert!(r.as_ref().unwrap_err().contains("diverged"), "task {i}");
+            } else {
+                assert_eq!(*r, Ok(i + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn string_panics_are_captured() {
+        let out = run_indexed(1, 1, |_| -> usize { panic!("formatted {}", 42) });
+        assert_eq!(out[0].as_ref().unwrap_err(), "formatted 42");
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        assert!(run_indexed(0, 8, |i| i).is_empty());
+        assert_eq!(run_indexed(3, 0, |i| i), vec![Ok(0), Ok(1), Ok(2)]);
+        assert_eq!(run_indexed(2, 64, |i| i), vec![Ok(0), Ok(1)]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Structured progress reporting.
+//!
+//! The harness streams one JSON object per line to stderr (stdout stays
+//! clean for experiment output), so sweeps can be watched by humans or
+//! piped into `jq`/dashboards. Events carry jobs done/total, an ETA
+//! extrapolated from executed jobs, and per-job cycle and memory-op
+//! counts.
+
+use serde::Serialize;
+use std::io::Write;
+use std::time::Instant;
+
+/// How the harness reports progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProgressMode {
+    /// No progress output (the default; right for tests and libraries).
+    #[default]
+    Silent,
+    /// One JSON object per line on stderr.
+    JsonLines,
+}
+
+/// One progress event, serialized as a JSON line.
+///
+/// `event` is one of `sweep_start`, `job`, `job_panic`, `sweep_end`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProgressEvent {
+    /// Event kind.
+    pub event: &'static str,
+    /// Jobs finished so far (including this one).
+    pub done: usize,
+    /// Jobs submitted.
+    pub total: usize,
+    /// Finished jobs served from the result cache so far.
+    pub cached: usize,
+    /// Jobs that panicked so far.
+    pub panicked: usize,
+    /// Estimated seconds to completion (absent before any job
+    /// finishes and on terminal events).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub eta_s: Option<f64>,
+    /// Worker-thread count (on `sweep_start`).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub workers: Option<usize>,
+    /// Submission index of the job this event is about.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub job: Option<usize>,
+    /// The job's content key.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub key: Option<String>,
+    /// The job's scheme display name.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub scheme: Option<String>,
+    /// Whether the job was served from the cache.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub hit: Option<bool>,
+    /// Drain cycles the job measured.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub cycles: Option<u64>,
+    /// NVM requests the job measured.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub memory_ops: Option<u64>,
+    /// Panic message, for `job_panic` events.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub message: Option<String>,
+    /// Wall-clock seconds since the sweep started.
+    pub elapsed_s: f64,
+}
+
+impl ProgressEvent {
+    /// A bare event with every optional field empty.
+    #[must_use]
+    pub fn new(event: &'static str, total: usize) -> Self {
+        Self {
+            event,
+            done: 0,
+            total,
+            cached: 0,
+            panicked: 0,
+            eta_s: None,
+            workers: None,
+            job: None,
+            key: None,
+            scheme: None,
+            hit: None,
+            cycles: None,
+            memory_ops: None,
+            message: None,
+            elapsed_s: 0.0,
+        }
+    }
+}
+
+/// The emitter: counts, timing, and the output mode.
+#[derive(Debug)]
+pub struct Progress {
+    mode: ProgressMode,
+    started: Instant,
+}
+
+impl Progress {
+    /// Starts the sweep clock.
+    #[must_use]
+    pub fn start(mode: ProgressMode) -> Self {
+        Self {
+            mode,
+            started: Instant::now(),
+        }
+    }
+
+    /// Wall-clock seconds since [`Progress::start`].
+    #[must_use]
+    pub fn elapsed_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Extrapolated seconds remaining, from jobs done vs. total.
+    #[must_use]
+    pub fn eta_s(&self, done: usize, total: usize) -> Option<f64> {
+        if done == 0 || done >= total {
+            return None;
+        }
+        let per_job = self.elapsed_s() / done as f64;
+        Some(per_job * (total - done) as f64)
+    }
+
+    /// Emits one event (a no-op when silent).
+    ///
+    /// The line is written with a single `write_all`, so concurrent
+    /// workers never interleave partial lines.
+    pub fn emit(&self, mut event: ProgressEvent) {
+        if self.mode == ProgressMode::Silent {
+            return;
+        }
+        event.elapsed_s = self.elapsed_s();
+        if let Ok(mut line) = serde_json::to_string(&event) {
+            line.push('\n');
+            let _ = std::io::stderr().lock().write_all(line.as_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_extrapolates_linearly() {
+        let p = Progress::start(ProgressMode::Silent);
+        // No signal before the first completion or after the last.
+        assert_eq!(p.eta_s(0, 10), None);
+        assert_eq!(p.eta_s(10, 10), None);
+        // Halfway through, the remainder costs about what the first
+        // half did.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let eta = p.eta_s(5, 10).expect("mid-sweep ETA");
+        let elapsed = p.elapsed_s();
+        assert!(
+            (eta - elapsed).abs() < elapsed * 0.5,
+            "eta {eta} vs {elapsed}"
+        );
+    }
+
+    #[test]
+    fn events_serialize_compactly() {
+        let mut e = ProgressEvent::new("job", 8);
+        e.done = 3;
+        e.job = Some(2);
+        e.cycles = Some(1234);
+        let json = serde_json::to_string(&e).expect("serialize");
+        assert!(json.contains("\"event\":\"job\""));
+        assert!(json.contains("\"cycles\":1234"));
+        // Empty optionals are skipped, not nulled.
+        assert!(!json.contains("message"));
+        assert!(!json.contains("null"));
+    }
+
+    #[test]
+    fn silent_mode_emits_nothing_and_never_panics() {
+        let p = Progress::start(ProgressMode::Silent);
+        p.emit(ProgressEvent::new("sweep_start", 4));
+    }
+}

@@ -1,0 +1,390 @@
+//! The harness front end: memoized, parallel sweep execution.
+
+use crate::cache::ResultCache;
+use crate::job::{JobResult, JobSpec};
+use crate::pool::run_indexed;
+use crate::progress::{Progress, ProgressEvent, ProgressMode};
+use horus_sim::Stats;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// How a sweep should execute.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessOptions {
+    /// Worker threads; `None` uses [`std::thread::available_parallelism`].
+    pub jobs: Option<usize>,
+    /// Result-cache directory; `None` uses
+    /// [`crate::cache::DEFAULT_CACHE_DIR`].
+    pub cache_dir: Option<PathBuf>,
+    /// Disables the result cache entirely (always re-execute).
+    pub no_cache: bool,
+    /// Progress-event output mode.
+    pub progress: ProgressMode,
+}
+
+/// The orchestrator: owns the worker count, the result cache, and the
+/// progress sink. Cheap to build; every [`Harness::run`] call is an
+/// independent sweep.
+#[derive(Debug)]
+pub struct Harness {
+    jobs: usize,
+    cache: Option<ResultCache>,
+    progress: ProgressMode,
+    executed_total: AtomicUsize,
+    cache_hits_total: AtomicUsize,
+}
+
+impl Harness {
+    /// Builds a harness from options.
+    #[must_use]
+    pub fn new(options: HarnessOptions) -> Self {
+        let jobs = options.jobs.unwrap_or_else(default_parallelism).max(1);
+        let cache = if options.no_cache {
+            None
+        } else {
+            Some(match options.cache_dir {
+                Some(dir) => ResultCache::new(dir),
+                None => ResultCache::default_location(),
+            })
+        };
+        Self {
+            jobs,
+            cache,
+            progress: options.progress,
+            executed_total: AtomicUsize::new(0),
+            cache_hits_total: AtomicUsize::new(0),
+        }
+    }
+
+    /// A harness with `jobs` workers, no result cache, and silent
+    /// progress — the configuration tests and doctests want.
+    #[must_use]
+    pub fn with_jobs(jobs: usize) -> Self {
+        Self::new(HarnessOptions {
+            jobs: Some(jobs),
+            no_cache: true,
+            ..HarnessOptions::default()
+        })
+    }
+
+    /// The serial reference configuration: one worker, no cache.
+    /// `harness.run(specs)` with any worker count must equal
+    /// `Harness::serial().run(specs)` byte for byte.
+    #[must_use]
+    pub fn serial() -> Self {
+        Self::with_jobs(1)
+    }
+
+    /// Worker-thread count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The result cache, when enabled.
+    #[must_use]
+    pub fn cache(&self) -> Option<&ResultCache> {
+        self.cache.as_ref()
+    }
+
+    /// Lifetime accounting across every sweep this harness has run:
+    /// `(simulations executed, cache hits)`. A fully memoized session —
+    /// the repeat-invocation fast path — shows `executed == 0`.
+    #[must_use]
+    pub fn totals(&self) -> (usize, usize) {
+        (
+            self.executed_total.load(Ordering::Relaxed),
+            self.cache_hits_total.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Runs a sweep: every spec becomes one pool task; results are
+    /// memoized (when the cache is enabled) and returned in submission
+    /// order.
+    #[must_use]
+    pub fn run(&self, specs: &[JobSpec]) -> SweepReport {
+        let progress = Progress::start(self.progress);
+        let mut start = ProgressEvent::new("sweep_start", specs.len());
+        start.workers = Some(self.jobs);
+        progress.emit(start);
+
+        let done = AtomicUsize::new(0);
+        let cached = AtomicUsize::new(0);
+        let panicked = AtomicUsize::new(0);
+
+        let raw = run_indexed(specs.len(), self.jobs, |i| {
+            let spec = &specs[i];
+            let (result, hit) = match self.cache.as_ref().and_then(|c| c.load(spec)) {
+                Some(result) => (result, true),
+                None => {
+                    let result = spec.execute();
+                    if let Some(cache) = &self.cache {
+                        cache.store(spec, &result);
+                    }
+                    (result, false)
+                }
+            };
+            if hit {
+                cached.fetch_add(1, Ordering::Relaxed);
+            }
+            let now_done = done.fetch_add(1, Ordering::Relaxed) + 1;
+            let mut event = ProgressEvent::new("job", specs.len());
+            event.done = now_done;
+            event.cached = cached.load(Ordering::Relaxed);
+            event.panicked = panicked.load(Ordering::Relaxed);
+            event.eta_s = progress.eta_s(now_done, specs.len());
+            event.job = Some(i);
+            event.key = Some(spec.key());
+            event.scheme = Some(spec.scheme.name().to_owned());
+            event.hit = Some(hit);
+            event.cycles = Some(result.drain.cycles);
+            event.memory_ops = Some(result.memory_ops());
+            progress.emit(event);
+            (result, hit)
+        });
+
+        let outcomes: Vec<JobOutcome> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| match r {
+                Ok((result, cached)) => JobOutcome::Completed { result, cached },
+                Err(message) => {
+                    panicked.fetch_add(1, Ordering::Relaxed);
+                    let mut event = ProgressEvent::new("job_panic", specs.len());
+                    event.done = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    event.panicked = panicked.load(Ordering::Relaxed);
+                    event.job = Some(i);
+                    event.key = Some(specs[i].key());
+                    event.scheme = Some(specs[i].scheme.name().to_owned());
+                    event.message = Some(message.clone());
+                    progress.emit(event);
+                    JobOutcome::Panicked { message }
+                }
+            })
+            .collect();
+
+        let report = SweepReport {
+            cache_hits: outcomes
+                .iter()
+                .filter(|o| matches!(o, JobOutcome::Completed { cached: true, .. }))
+                .count(),
+            executed: outcomes
+                .iter()
+                .filter(|o| matches!(o, JobOutcome::Completed { cached: false, .. }))
+                .count(),
+            panicked: outcomes
+                .iter()
+                .filter(|o| matches!(o, JobOutcome::Panicked { .. }))
+                .count(),
+            elapsed: Duration::from_secs_f64(progress.elapsed_s()),
+            outcomes,
+        };
+        self.executed_total
+            .fetch_add(report.executed, Ordering::Relaxed);
+        self.cache_hits_total
+            .fetch_add(report.cache_hits, Ordering::Relaxed);
+
+        let mut end = ProgressEvent::new("sweep_end", specs.len());
+        end.done = specs.len();
+        end.cached = report.cache_hits;
+        end.panicked = report.panicked;
+        progress.emit(end);
+        report
+    }
+
+    /// Runs `total` arbitrary tasks on this harness's worker pool with
+    /// the same panic isolation as [`Harness::run`], but no memoization
+    /// — for experiment shapes that are not drain jobs (fault-injection
+    /// campaigns, wear sweeps).
+    pub fn run_tasks<T, F>(&self, total: usize, task: F) -> Vec<Result<T, String>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        run_indexed(total, self.jobs, task)
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new(HarnessOptions::default())
+    }
+}
+
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// What happened to one submitted job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobOutcome {
+    /// The job finished and produced a result.
+    Completed {
+        /// The measured (or memoized) result.
+        result: JobResult,
+        /// Whether it was served from the result cache.
+        cached: bool,
+    },
+    /// The job panicked; the rest of the sweep was unaffected.
+    Panicked {
+        /// The panic payload's message.
+        message: String,
+    },
+}
+
+/// A sweep's outcomes plus its execution accounting.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Per-job outcomes, in submission order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Jobs that actually ran a simulation.
+    pub executed: usize,
+    /// Jobs served from the result cache.
+    pub cache_hits: usize,
+    /// Jobs that panicked.
+    pub panicked: usize,
+    /// Wall-clock time of the sweep (not part of the deterministic
+    /// surface — never render it into reproducible artifacts).
+    pub elapsed: Duration,
+}
+
+impl SweepReport {
+    /// Number of submitted jobs.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// All results in submission order, or the first panic.
+    pub fn results(&self) -> Result<Vec<&JobResult>, HarnessError> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .map(|(i, o)| match o {
+                JobOutcome::Completed { result, .. } => Ok(result),
+                JobOutcome::Panicked { message } => Err(HarnessError::JobPanicked {
+                    job: i,
+                    message: message.clone(),
+                }),
+            })
+            .collect()
+    }
+
+    /// Cloned drain reports in submission order, or the first panic —
+    /// the shape the figure renderers consume.
+    pub fn drains(&self) -> Result<Vec<horus_core::DrainReport>, HarnessError> {
+        Ok(self
+            .results()?
+            .into_iter()
+            .map(|r| r.drain.clone())
+            .collect())
+    }
+
+    /// Folds every completed job's drain counter registry into one
+    /// total via the saturating [`Stats::merge`] (recovery reports
+    /// carry pre-reduced scalars, not a registry). Panicked jobs
+    /// contribute nothing. Deterministic for any worker count: merging
+    /// is order-insensitive and the fold runs in submission order
+    /// anyway.
+    #[must_use]
+    pub fn merged_stats(&self) -> Stats {
+        let mut total = Stats::new();
+        for outcome in &self.outcomes {
+            if let JobOutcome::Completed { result, .. } = outcome {
+                total.merge(&result.drain.stats);
+            }
+        }
+        total
+    }
+}
+
+/// Sweep-level failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HarnessError {
+    /// A job panicked and its result was required.
+    JobPanicked {
+        /// Submission index of the failed job.
+        job: usize,
+        /// The panic message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::JobPanicked { job, message } => {
+                write!(f, "job {job} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horus_core::{DrainScheme, SystemConfig};
+    use horus_workload::FillPattern;
+
+    fn specs() -> Vec<JobSpec> {
+        let cfg = SystemConfig::small_test();
+        DrainScheme::ALL
+            .iter()
+            .map(|s| JobSpec::drain(&cfg, *s, FillPattern::StridedSparse { min_stride: 16384 }))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_run() {
+        let specs = specs();
+        let serial = Harness::serial().run(&specs);
+        let harness = Harness::with_jobs(4);
+        let parallel = harness.run(&specs);
+        assert_eq!(serial.outcomes, parallel.outcomes);
+        assert_eq!(serial.merged_stats(), parallel.merged_stats());
+        assert_eq!(parallel.executed, specs.len());
+        assert_eq!(parallel.cache_hits, 0);
+        assert_eq!(harness.totals(), (specs.len(), 0));
+        let _ = harness.run(&specs);
+        assert_eq!(
+            harness.totals(),
+            (2 * specs.len(), 0),
+            "totals accumulate across sweeps"
+        );
+    }
+
+    #[test]
+    fn drains_preserve_submission_order() {
+        let report = Harness::with_jobs(3).run(&specs());
+        let drains = report.drains().expect("no panics");
+        let names: Vec<_> = drains.iter().map(|d| d.scheme.as_str()).collect();
+        assert_eq!(
+            names,
+            ["Non-Secure", "Base-LU", "Base-EU", "Horus-SLM", "Horus-DLM"]
+        );
+    }
+
+    #[test]
+    fn merged_stats_equal_manual_fold() {
+        let report = Harness::with_jobs(2).run(&specs());
+        let mut manual = Stats::new();
+        for r in report.results().expect("no panics") {
+            manual.merge(&r.drain.stats);
+        }
+        assert_eq!(report.merged_stats(), manual);
+    }
+
+    #[test]
+    fn empty_sweep_is_a_noop() {
+        let report = Harness::default().run(&[]);
+        assert_eq!(report.total(), 0);
+        assert_eq!(report.executed, 0);
+        assert!(report.merged_stats().is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Integration tests for the memoizing sweep path: a repeated sweep
+//! must be 100% cache hits with zero re-executed simulations, and the
+//! memoized results must be byte-identical to fresh ones.
+
+use horus_core::{DrainScheme, SystemConfig};
+use horus_harness::{Harness, HarnessOptions, JobSpec, ProgressMode};
+use horus_workload::FillPattern;
+use std::path::PathBuf;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("horus-harness-it-{tag}-{}", std::process::id()))
+}
+
+fn cached_harness(dir: &PathBuf, jobs: usize) -> Harness {
+    Harness::new(HarnessOptions {
+        jobs: Some(jobs),
+        cache_dir: Some(dir.clone()),
+        no_cache: false,
+        progress: ProgressMode::Silent,
+    })
+}
+
+fn sweep_specs() -> Vec<JobSpec> {
+    let mut specs = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let mut cfg = SystemConfig::small_test();
+        cfg.seed = seed;
+        for scheme in DrainScheme::ALL {
+            specs.push(JobSpec::drain(
+                &cfg,
+                scheme,
+                FillPattern::StridedSparse { min_stride: 16384 },
+            ));
+        }
+    }
+    specs
+}
+
+#[test]
+fn repeated_sweep_is_all_cache_hits_and_identical() {
+    let dir = scratch_dir("repeat");
+    let _ = std::fs::remove_dir_all(&dir);
+    let specs = sweep_specs();
+
+    let first = cached_harness(&dir, 4).run(&specs);
+    assert_eq!(
+        first.executed,
+        specs.len(),
+        "cold cache executes everything"
+    );
+    assert_eq!(first.cache_hits, 0);
+    assert_eq!(first.panicked, 0);
+
+    let second = cached_harness(&dir, 4).run(&specs);
+    assert_eq!(second.executed, 0, "warm cache re-executes nothing");
+    assert_eq!(second.cache_hits, specs.len());
+
+    // Memoized results are identical to fresh ones, and to a serial,
+    // cache-less reference run.
+    let reference = Harness::serial().run(&specs);
+    assert_eq!(
+        first.results().unwrap(),
+        second.results().unwrap(),
+        "cache round-trip changed a result"
+    );
+    assert_eq!(reference.results().unwrap(), second.results().unwrap());
+    assert_eq!(reference.merged_stats(), second.merged_stats());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn partial_cache_fills_in_only_the_gaps() {
+    let dir = scratch_dir("partial");
+    let _ = std::fs::remove_dir_all(&dir);
+    let specs = sweep_specs();
+
+    // Warm the cache with a prefix of the sweep (a resumed sweep).
+    let prefix = &specs[..4];
+    let warm = cached_harness(&dir, 2).run(prefix);
+    assert_eq!(warm.executed, 4);
+
+    let full = cached_harness(&dir, 4).run(&specs);
+    assert_eq!(full.cache_hits, 4, "the warmed prefix is reused");
+    assert_eq!(full.executed, specs.len() - 4);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn no_cache_mode_always_executes() {
+    let dir = scratch_dir("nocache");
+    let _ = std::fs::remove_dir_all(&dir);
+    let specs = sweep_specs();
+    let warm = cached_harness(&dir, 2).run(&specs);
+    assert_eq!(warm.executed, specs.len());
+
+    let bypass = Harness::new(HarnessOptions {
+        jobs: Some(2),
+        cache_dir: Some(dir.clone()),
+        no_cache: true,
+        progress: ProgressMode::Silent,
+    })
+    .run(&specs);
+    assert_eq!(bypass.cache_hits, 0);
+    assert_eq!(bypass.executed, specs.len());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

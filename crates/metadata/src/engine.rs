@@ -24,9 +24,10 @@ use horus_cache::{CacheGeometry, EvictedLine, ReplacementPolicy, SetAssocCache};
 use horus_crypto::Mac64;
 use horus_nvm::{AddressMap, Block, Region};
 use horus_sim::Cycles;
+use serde::{Deserialize, Serialize};
 
 /// How the Merkle tree is brought up to date (paper §II-C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum UpdateScheme {
     /// Update a parent only when a dirty child is evicted from the
     /// metadata cache. Fast at run time; the root is stale until all
@@ -47,7 +48,7 @@ impl std::fmt::Display for UpdateScheme {
 }
 
 /// Sizes of the three metadata caches (Table I defaults).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MetadataCacheConfig {
     /// Counter cache capacity in bytes (Table I: 256 KB).
     pub counter_cache_bytes: u64,

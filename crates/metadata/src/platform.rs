@@ -10,9 +10,10 @@
 
 use horus_nvm::{NvmConfig, NvmSystem};
 use horus_sim::{Completion, Cycles, SlotResource, Stats};
+use serde::{Deserialize, Serialize};
 
 /// Latency/throughput parameters of the on-chip crypto engines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CryptoTimingConfig {
     /// AES block-encryption latency (Table I: 40 cycles).
     pub aes_latency: Cycles,

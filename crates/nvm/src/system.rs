@@ -3,12 +3,13 @@
 use crate::wear::WearTracker;
 use crate::{Block, NvmDevice, BLOCK_SIZE};
 use horus_sim::{Completion, Cycles, Frequency, SlotBankSet, Stats};
+use serde::{Deserialize, Serialize};
 
 /// PCM device and channel parameters.
 ///
 /// Defaults are the paper's Table I: 150 ns reads, 500 ns writes, one
 /// DDR-based PCM channel modelled with 16 independent banks.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NvmConfig {
     /// Read latency in nanoseconds.
     pub read_ns: f64,

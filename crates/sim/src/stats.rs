@@ -76,10 +76,36 @@ impl Stats {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
-    /// Merges another registry into this one, summing shared counters.
+    /// Merges another registry into this one, saturating-summing shared
+    /// counters.
+    ///
+    /// This is the aggregation path the parallel experiment harness uses
+    /// to fold per-worker registries into sweep totals. Saturating
+    /// addition is associative and commutative, so the merged totals are
+    /// identical no matter how jobs were partitioned across workers —
+    /// and identical to what a serial run accumulates.
+    ///
+    /// ```
+    /// use horus_sim::Stats;
+    /// let mut a = Stats::new();
+    /// a.add("mem.write.data", 2);
+    /// let mut b = Stats::new();
+    /// b.add("mem.write.data", 3);
+    /// b.add("macop.verify_tree", 1);
+    /// a.merge(&b);
+    /// assert_eq!(a.get("mem.write.data"), 5);
+    /// assert_eq!(a.get("macop.verify_tree"), 1);
+    ///
+    /// // Near-overflow counters clamp instead of panicking.
+    /// let mut big = Stats::new();
+    /// big.add("mem.write.data", u64::MAX - 1);
+    /// big.merge(&b);
+    /// assert_eq!(big.get("mem.write.data"), u64::MAX);
+    /// ```
     pub fn merge(&mut self, other: &Stats) {
         for (k, v) in other.iter() {
-            self.add(k, v);
+            let slot = self.counters.entry(k.to_owned()).or_insert(0);
+            *slot = slot.saturating_add(v);
         }
     }
 
@@ -306,6 +332,40 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.get("k"), 3);
         assert_eq!(a.get("only-b"), 3);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_overflowing() {
+        let mut a = Stats::new();
+        a.add("k", u64::MAX - 1);
+        let mut b = Stats::new();
+        b.add("k", 5);
+        a.merge(&b);
+        assert_eq!(a.get("k"), u64::MAX);
+        // Merging more keeps the clamp.
+        a.merge(&b);
+        assert_eq!(a.get("k"), u64::MAX);
+    }
+
+    #[test]
+    fn merge_order_is_immaterial() {
+        let parts: Vec<Stats> = (0..4u64)
+            .map(|i| {
+                let mut s = Stats::new();
+                s.add("shared", i + 1);
+                s.add(if i % 2 == 0 { "even" } else { "odd" }, i);
+                s
+            })
+            .collect();
+        let mut fwd = Stats::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = Stats::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd, rev);
     }
 
     #[test]

@@ -3,9 +3,10 @@
 use horus_cache::{Block, CacheHierarchy, BLOCK_SIZE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// How the hierarchy is filled with dirty lines at crash time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FillPattern {
     /// The paper's worst case (§V-A): consecutive lines at least
     /// `min_stride` bytes apart in physical address. The generator uses

@@ -5,13 +5,18 @@
 //! horus-cli drain   --scheme horus-slm [--llc-mb 16] [--stride 16384] [--json]
 //! horus-cli recover --scheme horus-dlm [--llc-mb 8] [--write-through]
 //! horus-cli attack  --kind splice [--scheme horus-slm]
-//! horus-cli sweep   --llc 8,16,32 [--json]
+//! horus-cli sweep   --llc 8,16,32 [--jobs N] [--cache-dir DIR] [--no-cache] [--progress] [--json]
 //! ```
+//!
+//! `sweep` runs on the `horus-harness` worker pool: points execute in
+//! parallel (`--jobs`, default all cores) and results are memoized in
+//! the on-disk cache, so re-running a sweep is instant.
 
 use horus::core::{
     attack, DrainScheme, PersistenceDomain, RecoveryMode, SecureEpdSystem, SystemConfig,
 };
 use horus::energy::{Battery, DrainEnergyModel};
+use horus::harness::{Harness, HarnessOptions, JobSpec, ProgressMode};
 use horus::workload::{fill_hierarchy, parse_trace, FillPattern, TraceOp};
 use std::process::ExitCode;
 
@@ -230,20 +235,54 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         .split(',')
         .map(|v| v.trim().parse::<u64>().map_err(|e| format!("--llc: {e}")))
         .collect::<Result<_, _>>()?;
-    let mut rows = Vec::new();
-    for mb in &llcs {
-        for scheme in DrainScheme::ALL {
-            let mut sys = build(*mb, 16384, scheme);
-            let r = sys.crash_and_drain(scheme);
-            rows.push((
-                *mb,
+    let jobs = args
+        .get("jobs")
+        .map(|v| v.parse::<usize>().map_err(|e| format!("--jobs: {e}")))
+        .transpose()?;
+    let harness = Harness::new(HarnessOptions {
+        jobs,
+        cache_dir: args.get("cache-dir").map(std::path::PathBuf::from),
+        no_cache: args.has("no-cache"),
+        progress: if args.has("progress") {
+            ProgressMode::JsonLines
+        } else {
+            ProgressMode::Silent
+        },
+    });
+    let specs: Vec<JobSpec> = llcs
+        .iter()
+        .flat_map(|mb| {
+            let cfg = SystemConfig::with_llc_bytes(mb << 20);
+            DrainScheme::ALL
+                .iter()
+                .map(move |s| {
+                    JobSpec::drain(&cfg, *s, FillPattern::StridedSparse { min_stride: 16384 })
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let report = harness.run(&specs);
+    let drains = report.drains().map_err(|e| e.to_string())?;
+    let rows: Vec<(u64, String, u64, u64, f64)> = specs
+        .iter()
+        .zip(&drains)
+        .map(|(spec, r)| {
+            (
+                spec.config.hierarchy.llc_bytes >> 20,
                 r.scheme.clone(),
                 r.reads + r.writes,
                 r.mac_ops,
                 r.seconds * 1e3,
-            ));
-        }
-    }
+            )
+        })
+        .collect();
+    eprintln!(
+        "sweep: {} points, {} executed, {} cache hits ({} workers)",
+        report.total(),
+        report.executed,
+        report.cache_hits,
+        harness.jobs()
+    );
     if args.has("json") {
         println!(
             "{}",
@@ -332,13 +371,13 @@ const USAGE: &str = "usage: horus-cli <config|drain|recover|attack|sweep|trace> 
   drain   --scheme S [--llc-mb N] [--stride B] [--json]
   recover --scheme S [--llc-mb N] [--write-through] [--json]
   attack  --kind K [--scheme S]   K: data address mac splice truncate replay
-  sweep   --llc 8,16,32 [--json]
+  sweep   --llc 8,16,32 [--jobs N] [--cache-dir DIR] [--no-cache] [--progress] [--json]
   trace   --file <path> [--domain epd|adr|bbb:<lines>]
 schemes: ns base-lu base-eu horus-slm horus-dlm";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let args = match Args::parse(&argv, &["json", "write-through"]) {
+    let args = match Args::parse(&argv, &["json", "write-through", "no-cache", "progress"]) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");

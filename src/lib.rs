@@ -19,6 +19,7 @@
 //! | [`sim`] | `horus-sim` | cycles, slot-scheduled resources, event queue, statistics |
 //! | [`energy`] | `horus-energy` | drain energy and battery sizing (Tables II–III) |
 //! | [`workload`] | `horus-workload` | crash-snapshot generators and access traces |
+//! | [`harness`] | `horus-harness` | parallel, cache-aware experiment orchestration |
 //!
 //! # Quickstart
 //!
@@ -53,6 +54,7 @@ pub use horus_cache as cache;
 pub use horus_core as core;
 pub use horus_crypto as crypto;
 pub use horus_energy as energy;
+pub use horus_harness as harness;
 pub use horus_metadata as metadata;
 pub use horus_nvm as nvm;
 pub use horus_sim as sim;

@@ -4,7 +4,10 @@ use horus::cache::{CacheGeometry, SetAssocCache};
 use horus::core::chv::{ChvLayout, MacGranularity};
 use horus::core::{DrainScheme, SecureEpdSystem, SystemConfig};
 use horus::crypto::{otp, Aes128, Cmac};
+use horus::harness::{Harness, JobSpec};
 use horus::metadata::CounterBlock;
+use horus::sim::{Cycles, SlotResource};
+use horus::workload::FillPattern;
 use proptest::prelude::*;
 
 proptest! {
@@ -110,6 +113,59 @@ proptest! {
         prop_assert!(max < (1 << 20) + l.blocks_used(n) * 64 + 73 * 64);
     }
 
+    /// Exclusive slot-resource scheduling never double-books a slot —
+    /// every issued operation gets its own quantum-aligned start — and
+    /// `reset()` restores a pristine schedule: reissuing the identical
+    /// ready sequence reproduces the identical completions, and the
+    /// resource stays overlap-free when reused with a different one.
+    #[test]
+    fn slot_resource_exclusive_never_overlaps_across_reset_reuse(
+        quantum in 1u64..64,
+        readies_a in prop::collection::vec(0u64..10_000, 1..60),
+        readies_b in prop::collection::vec(0u64..10_000, 1..60),
+    ) {
+        // Latency <= quantum, so every op claims exactly one slot:
+        // distinct start times are exactly the no-overlap property.
+        let mut r = SlotResource::exclusive("pcm", Cycles(1), quantum);
+        let issue_all = |r: &mut SlotResource, readies: &[u64]| -> Vec<(u64, u64)> {
+            readies
+                .iter()
+                .map(|t| {
+                    let c = r.issue(Cycles(*t));
+                    (c.start.0, c.done.0)
+                })
+                .collect()
+        };
+
+        let first = issue_all(&mut r, &readies_a);
+        r.reset();
+        prop_assert_eq!(r.ops(), 0);
+        prop_assert_eq!(r.occupied_cycles(), 0);
+        let replay = issue_all(&mut r, &readies_a);
+        prop_assert_eq!(&first, &replay, "reset must restore a pristine schedule");
+        r.reset();
+        let second = issue_all(&mut r, &readies_b);
+
+        for (phase, readies) in [(&first, &readies_a), (&second, &readies_b)] {
+            let starts: std::collections::HashSet<u64> =
+                phase.iter().map(|(start, _)| *start).collect();
+            prop_assert_eq!(
+                starts.len(),
+                phase.len(),
+                "two exclusive ops were scheduled into the same slot"
+            );
+            for ((start, done), ready) in phase.iter().zip(readies.iter()) {
+                prop_assert_eq!(start % quantum, 0, "start is slot-aligned");
+                prop_assert!(start >= ready, "op started before it was ready");
+                prop_assert!(done > start);
+            }
+        }
+        // r was reset between phases, so its counters reflect only the
+        // most recent one.
+        prop_assert_eq!(r.ops(), second.len() as u64);
+        prop_assert_eq!(r.occupied_cycles(), second.len() as u64 * quantum);
+    }
+
     /// A set-associative cache behaves like a map: whatever lookup
     /// returns equals the last inserted/written value.
     #[test]
@@ -156,5 +212,52 @@ proptest! {
         for (blk, val) in &writes {
             prop_assert_eq!(sys.read(blk * 16448).expect("read"), [*val; 64]);
         }
+    }
+}
+
+proptest! {
+    // Each case runs every spec twice (serial + parallel); keep the
+    // case count small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The harness determinism contract: running a sweep with *any*
+    /// worker count produces outcomes, merged statistics, and rendered
+    /// reports byte-identical to the one-worker serial reference.
+    #[test]
+    fn harness_parallel_run_is_byte_identical_to_serial(
+        jobs in 2usize..9,
+        seeds in prop::collection::vec(0u64..1_000, 1..4),
+        recover in any::<bool>(),
+    ) {
+        let specs: Vec<JobSpec> = seeds
+            .iter()
+            .flat_map(|seed| {
+                let mut cfg = SystemConfig::small_test();
+                cfg.seed = *seed;
+                DrainScheme::ALL
+                    .iter()
+                    .map(|s| {
+                        let pattern = FillPattern::StridedSparse { min_stride: 16384 };
+                        if recover && s.is_horus() {
+                            JobSpec::drain_recover(&cfg, *s, pattern)
+                        } else {
+                            JobSpec::drain(&cfg, *s, pattern)
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        let serial = Harness::serial().run(&specs);
+        let parallel = Harness::with_jobs(jobs).run(&specs);
+
+        prop_assert_eq!(&serial.outcomes, &parallel.outcomes);
+        prop_assert_eq!(serial.merged_stats(), parallel.merged_stats());
+        // Byte-identical over the full serialized surface — the exact
+        // artifact a memoizing cache or report renderer would consume.
+        prop_assert_eq!(
+            serde_json::to_string(&serial.outcomes).expect("serialize"),
+            serde_json::to_string(&parallel.outcomes).expect("serialize")
+        );
     }
 }
