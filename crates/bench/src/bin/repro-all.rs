@@ -2,7 +2,8 @@
 //! for each table and figure).
 //!
 //! Usage: `cargo run --release -p horus-bench --bin repro-all --
-//! [--jobs N] [--cache-dir DIR] [--no-cache] [--progress] [--quick]`
+//! [--jobs N] [--cache-dir DIR] [--no-cache] [--progress] [--quick]
+//! [--trace-out FILE]`
 //!
 //! Experiment points run on the `horus-harness` worker pool and are
 //! memoized in the result cache, so a repeated invocation is pure cache
@@ -14,9 +15,11 @@
 
 use horus_bench::cli::HarnessArgs;
 use horus_bench::repro_all::{self, ReproPlan};
+use horus_core::{DrainScheme, SystemConfig};
 
 fn main() {
     let args = HarnessArgs::parse_or_exit();
+    args.trace_or_exit(&SystemConfig::paper_default(), DrainScheme::HorusSlm);
     let harness = args.harness();
     let plan = if args.quick {
         ReproPlan::quick()

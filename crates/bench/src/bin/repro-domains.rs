@@ -12,6 +12,7 @@
 //! The pay-off matrix is the paper's thesis: EPD gives DRAM-like
 //! persists, and Horus is what makes its battery affordable.
 
+use horus_bench::cli::HarnessArgs;
 use horus_bench::table;
 use horus_core::{DrainScheme, PersistenceDomain, SecureEpdSystem, SystemConfig};
 use rand::rngs::StdRng;
@@ -71,6 +72,7 @@ fn run(domain: PersistenceDomain, drain: Option<DrainScheme>, n: u64) -> Row {
 }
 
 fn main() {
+    let args = HarnessArgs::parse_or_exit();
     let n = 20_000;
     println!("persistence-domain design space over {n} durable stores:\n");
     let rows = [
@@ -109,4 +111,5 @@ fn main() {
     println!("EPD pays only at crash time — and the gap between the baseline drain and");
     println!("Horus widens to ~10x on the provisioning-relevant worst case (repro-fig06),");
     println!("where the hierarchy is full of metadata-unfriendly sparse dirty lines.");
+    args.trace_or_exit(&SystemConfig::small_test(), DrainScheme::HorusSlm);
 }

@@ -152,6 +152,7 @@ fn campaign(
 
 fn main() {
     let args = HarnessArgs::parse_or_exit();
+    args.trace_or_exit(&SystemConfig::small_test(), DrainScheme::HorusSlm);
     let harness = args.harness();
     let trials = 200;
     println!(

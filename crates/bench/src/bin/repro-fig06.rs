@@ -3,11 +3,12 @@
 
 use horus_bench::cli::HarnessArgs;
 use horus_bench::figures;
-use horus_core::SystemConfig;
+use horus_core::{DrainScheme, SystemConfig};
 
 fn main() {
     let args = HarnessArgs::parse_or_exit();
     let cfg = SystemConfig::paper_default();
     println!("Figure 6 — memory requests to flush the hierarchy (paper: 10.3x lazy, 9.5x eager)\n");
     println!("{}", figures::figure6(&args.harness(), &cfg).render());
+    args.trace_or_exit(&cfg, DrainScheme::BaseLazy);
 }

@@ -2,7 +2,7 @@
 
 use horus_bench::cli::HarnessArgs;
 use horus_bench::figures;
-use horus_core::SystemConfig;
+use horus_core::{DrainScheme, SystemConfig};
 
 fn main() {
     let args = HarnessArgs::parse_or_exit();
@@ -10,4 +10,5 @@ fn main() {
     let cmp = figures::scheme_comparison(&args.harness(), &cfg);
     println!("Figure 11 — draining time (paper: Base-LU 4.5x, Base-EU 5.1x vs Horus; Horus 1.7x non-secure)\n");
     println!("{}", cmp.render_fig11());
+    args.trace_or_exit(&cfg, DrainScheme::HorusSlm);
 }

@@ -2,7 +2,7 @@
 
 use horus_bench::cli::HarnessArgs;
 use horus_bench::figures;
-use horus_core::SystemConfig;
+use horus_core::{DrainScheme, SystemConfig};
 
 fn main() {
     let args = HarnessArgs::parse_or_exit();
@@ -10,4 +10,5 @@ fn main() {
     let cmp = figures::scheme_comparison(&args.harness(), &cfg);
     println!("Figure 12 — breakdown of memory writes\n");
     println!("{}", cmp.render_fig12());
+    args.trace_or_exit(&cfg, DrainScheme::HorusSlm);
 }

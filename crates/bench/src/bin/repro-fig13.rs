@@ -2,7 +2,7 @@
 
 use horus_bench::cli::HarnessArgs;
 use horus_bench::figures;
-use horus_core::SystemConfig;
+use horus_core::{DrainScheme, SystemConfig};
 
 fn main() {
     let args = HarnessArgs::parse_or_exit();
@@ -12,4 +12,5 @@ fn main() {
         "Figure 13 — MAC calculations (paper: 7.8x reduction; Horus-DLM = 1.125x Horus-SLM)\n"
     );
     println!("{}", cmp.render_fig13());
+    args.trace_or_exit(&cfg, DrainScheme::HorusSlm);
 }

@@ -3,7 +3,7 @@
 
 use horus_bench::cli::HarnessArgs;
 use horus_bench::figures;
-use horus_core::SystemConfig;
+use horus_core::{DrainScheme, SystemConfig};
 
 fn main() {
     let args = HarnessArgs::parse_or_exit();
@@ -15,4 +15,5 @@ fn main() {
     let sweep = figures::llc_sweep(&args.harness(), &SystemConfig::paper_default(), sizes);
     println!("Figure 14 — memory requests vs LLC size (paper: >=7.0x reduction)\n");
     println!("{}", sweep.render_fig14());
+    args.trace_or_exit(&SystemConfig::paper_default(), DrainScheme::HorusSlm);
 }

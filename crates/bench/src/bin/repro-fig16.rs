@@ -2,7 +2,7 @@
 
 use horus_bench::cli::HarnessArgs;
 use horus_bench::figures;
-use horus_core::SystemConfig;
+use horus_core::{DrainScheme, SystemConfig};
 
 fn main() {
     let args = HarnessArgs::parse_or_exit();
@@ -14,4 +14,5 @@ fn main() {
     let f = figures::figure16(&args.harness(), &SystemConfig::paper_default(), sizes);
     println!("Figure 16 — recovery time (paper: 0.51 s SLM / 0.48 s DLM at 128 MB)\n");
     println!("{}", f.render());
+    args.trace_or_exit(&SystemConfig::paper_default(), DrainScheme::HorusSlm);
 }

@@ -6,12 +6,14 @@
 //! is the whole flushed footprint), which is the deeper argument for
 //! Horus's approach of not touching the metadata at all.
 
+use horus_bench::cli::HarnessArgs;
 use horus_bench::{paper_fill, table};
 use horus_core::{DrainScheme, SecureEpdSystem, SystemConfig};
 use horus_metadata::MetadataCacheConfig;
 use horus_workload::fill_hierarchy;
 
 fn main() {
+    let args = HarnessArgs::parse_or_exit();
     println!("Base-LU drain vs metadata-cache capacity (8 MB LLC, worst-case fill)\n");
     let mut rows = Vec::new();
     for scale in [1u64, 4, 16] {
@@ -53,4 +55,8 @@ fn main() {
     );
     println!("even 16x larger metadata caches leave the baseline several times more");
     println!("expensive than Horus: the sparse worst case defeats caching by design.");
+    args.trace_or_exit(
+        &SystemConfig::with_llc_bytes(8 << 20),
+        DrainScheme::BaseLazy,
+    );
 }

@@ -7,8 +7,9 @@
 //! the same write-back stream and prints the per-write cost, plus how the
 //! metadata caches absorbed it.
 
+use horus_bench::cli::HarnessArgs;
 use horus_bench::table;
-use horus_core::{SecureEpdSystem, SystemConfig};
+use horus_core::{DrainScheme, SecureEpdSystem, SystemConfig};
 use horus_metadata::UpdateScheme;
 use horus_workload::{AccessTrace, Op, TraceConfig};
 
@@ -48,6 +49,7 @@ fn run(scheme: UpdateScheme, trace: &AccessTrace) -> Vec<String> {
 }
 
 fn main() {
+    let args = HarnessArgs::parse_or_exit();
     // A cache-hostile stream: mostly-cold writes so a large fraction of
     // stores become NVM write-backs.
     let trace = AccessTrace::generate(&TraceConfig {
@@ -86,4 +88,5 @@ fn main() {
     println!("the eager scheme pays a full path of tree-update MACs per write-back,");
     println!("which is exactly why EPD systems run lazy at run time — and why the");
     println!("baseline EPD drain then explodes (the tree is stale at crash time).");
+    args.trace_or_exit(&SystemConfig::small_test(), DrainScheme::HorusSlm);
 }

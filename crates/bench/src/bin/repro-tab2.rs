@@ -2,7 +2,7 @@
 
 use horus_bench::cli::HarnessArgs;
 use horus_bench::figures;
-use horus_core::SystemConfig;
+use horus_core::{DrainScheme, SystemConfig};
 
 fn main() {
     let args = HarnessArgs::parse_or_exit();
@@ -10,4 +10,5 @@ fn main() {
     let t = figures::energy_tables(&args.harness(), &cfg);
     println!("Table II — drain energy (paper: Base-LU 11.07 J, Base-EU 12.39 J, Horus ~2.4 J)\n");
     println!("{}", t.render_table2());
+    args.trace_or_exit(&cfg, DrainScheme::HorusSlm);
 }

@@ -2,7 +2,7 @@
 
 use horus_bench::cli::HarnessArgs;
 use horus_bench::figures;
-use horus_core::SystemConfig;
+use horus_core::{DrainScheme, SystemConfig};
 
 fn main() {
     let args = HarnessArgs::parse_or_exit();
@@ -10,4 +10,5 @@ fn main() {
     let t = figures::energy_tables(&args.harness(), &cfg);
     println!("Table III — battery volume (paper: >=4.4x reduction)\n");
     println!("{}", t.render_table3());
+    args.trace_or_exit(&cfg, DrainScheme::HorusSlm);
 }

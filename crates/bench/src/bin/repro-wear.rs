@@ -7,11 +7,13 @@
 //! wear those cells — the practical argument for rotating the CHV base
 //! (cheap, since the region is indexed from an on-chip register).
 
+use horus_bench::cli::HarnessArgs;
 use horus_bench::{paper_fill, table};
 use horus_core::{DrainScheme, SecureEpdSystem, SystemConfig};
 use horus_workload::fill_hierarchy;
 
 fn main() {
+    let args = HarnessArgs::parse_or_exit();
     let cfg = SystemConfig::with_llc_bytes(8 << 20);
     println!(
         "PCM wear by region after one worst-case drain ({} MB LLC)\n",
@@ -61,4 +63,5 @@ fn main() {
             &rows,
         )
     );
+    args.trace_or_exit(&cfg, DrainScheme::HorusSlm);
 }

@@ -8,9 +8,13 @@
 //! --no-cache        bypass the result cache (always re-simulate)
 //! --progress        stream JSON-lines progress events to stderr
 //! --quick           shrink the sweeps (binaries that sweep)
+//! --trace-out FILE  also write a Chrome-trace JSON of one probed drain
 //! ```
 
-use horus_harness::{Harness, HarnessOptions, ProgressMode};
+use horus_core::{DrainScheme, SystemConfig};
+use horus_harness::{Harness, HarnessOptions, JobSpec, ProgressMode};
+use horus_sim::chrome_trace_json;
+use horus_workload::FillPattern;
 use std::path::PathBuf;
 
 /// The harness-related flags common to all `repro-*` binaries.
@@ -26,10 +30,13 @@ pub struct HarnessArgs {
     pub progress: bool,
     /// `--quick`.
     pub quick: bool,
+    /// `--trace-out FILE`.
+    pub trace_out: Option<PathBuf>,
 }
 
 /// The usage string fragment for the shared flags.
-pub const HARNESS_USAGE: &str = "[--jobs N] [--cache-dir DIR] [--no-cache] [--progress] [--quick]";
+pub const HARNESS_USAGE: &str =
+    "[--jobs N] [--cache-dir DIR] [--no-cache] [--progress] [--quick] [--trace-out FILE]";
 
 impl HarnessArgs {
     /// Parses the process arguments; unknown flags are an error.
@@ -58,6 +65,10 @@ impl HarnessArgs {
                 "--no-cache" => args.no_cache = true,
                 "--progress" => args.progress = true,
                 "--quick" => args.quick = true,
+                "--trace-out" => {
+                    let v = it.next().ok_or("--trace-out requires a value")?;
+                    args.trace_out = Some(PathBuf::from(v));
+                }
                 other => return Err(format!("unknown flag '{other}' ({HARNESS_USAGE})")),
             }
         }
@@ -77,6 +88,58 @@ impl HarnessArgs {
                 ProgressMode::Silent
             },
         })
+    }
+
+    /// When `--trace-out FILE` was given, runs one probed worst-case
+    /// drain of `scheme` under `cfg` (shrunk to a 2 MB LLC under
+    /// `--quick`) and writes its Chrome-trace-event JSON to FILE —
+    /// loadable in Perfetto / `chrome://tracing`. A no-op otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when FILE cannot be written.
+    pub fn write_trace_if_requested(
+        &self,
+        cfg: &SystemConfig,
+        scheme: DrainScheme,
+    ) -> Result<(), String> {
+        let Some(path) = &self.trace_out else {
+            return Ok(());
+        };
+        let cfg = if self.quick {
+            SystemConfig::with_llc_bytes(2 << 20)
+        } else {
+            cfg.clone()
+        };
+        let spec = JobSpec::drain(
+            &cfg,
+            scheme,
+            FillPattern::StridedSparse { min_stride: 16384 },
+        );
+        let (result, trace) = spec.execute_traced();
+        let json = chrome_trace_json(&trace);
+        std::fs::write(path, json.as_bytes()).map_err(|e| format!("{}: {e}", path.display()))?;
+        let bounding = result
+            .drain
+            .critical_path
+            .as_ref()
+            .map_or("unknown", |cp| cp.bounding_resource.as_str());
+        eprintln!(
+            "trace: {} events from one {} drain -> {} (critical path bounded by {bounding})",
+            trace.len(),
+            result.drain.scheme,
+            path.display()
+        );
+        Ok(())
+    }
+
+    /// [`write_trace_if_requested`](Self::write_trace_if_requested),
+    /// exiting the process on I/O failure (for binary `main`s).
+    pub fn trace_or_exit(&self, cfg: &SystemConfig, scheme: DrainScheme) {
+        if let Err(e) = self.write_trace_if_requested(cfg, scheme) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
 
     /// Parses the process arguments and exits with usage on error.
@@ -116,6 +179,35 @@ mod tests {
         assert_eq!(a.cache_dir, Some(PathBuf::from("/tmp/x")));
         assert!(a.no_cache && a.progress && a.quick);
         assert_eq!(a.harness().jobs(), 8);
+    }
+
+    #[test]
+    fn trace_out_parses_and_writes_chrome_json() {
+        let a = parse(&["--trace-out", "/tmp/t.json", "--quick"]).expect("valid");
+        assert_eq!(a.trace_out, Some(PathBuf::from("/tmp/t.json")));
+        assert!(parse(&["--trace-out"]).is_err());
+
+        let dir = std::env::temp_dir().join("horus-trace-out-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("drain.json");
+        let args = HarnessArgs {
+            trace_out: Some(path.clone()),
+            quick: true,
+            ..HarnessArgs::default()
+        };
+        args.write_trace_if_requested(&SystemConfig::small_test(), DrainScheme::HorusSlm)
+            .expect("trace written");
+        let json = std::fs::read_to_string(&path).expect("read back");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("pcm-bank"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn no_trace_out_is_a_no_op() {
+        let args = parse(&[]).expect("valid");
+        args.write_trace_if_requested(&SystemConfig::small_test(), DrainScheme::NonSecure)
+            .expect("no-op");
     }
 
     #[test]

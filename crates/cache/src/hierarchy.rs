@@ -191,6 +191,24 @@ impl CacheHierarchy {
         self.drain_order().len() as u64
     }
 
+    /// Unique dirty lines contributed by each level in drain order
+    /// (`[L1, L2, LLC]`): a line shadowed by a dirty upper-level copy is
+    /// counted at the upper level, matching [`CacheHierarchy::drain_order`].
+    /// The probe layer reports these as per-level walk markers.
+    #[must_use]
+    pub fn dirty_per_level(&self) -> [u64; 3] {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = [0u64; 3];
+        for (i, level) in self.levels().into_iter().enumerate() {
+            for (addr, _, dirty) in level.iter() {
+                if dirty && seen.insert(addr) {
+                    out[i] += 1;
+                }
+            }
+        }
+        out
+    }
+
     /// The crash-time drain list: every dirty line in the hierarchy in
     /// hardware walk order (L1 sets, then L2, then LLC), deduplicated so
     /// each address appears once with its newest data.
@@ -297,6 +315,19 @@ mod tests {
         let drained = h.drain_order();
         assert_eq!(drained, vec![(64, blk(2))]);
         assert_eq!(h.dirty_unique(), 1);
+    }
+
+    #[test]
+    fn dirty_per_level_matches_drain_order() {
+        let mut h = tiny();
+        h.level_mut(0).insert(0, blk(1), true);
+        h.level_mut(1).insert(0, blk(2), true); // shadowed by L1
+        h.level_mut(1).insert(64, blk(3), true);
+        h.level_mut(2).insert(128, blk(4), true);
+        h.level_mut(2).insert(192, blk(5), false);
+        let per_level = h.dirty_per_level();
+        assert_eq!(per_level, [1, 1, 1]);
+        assert_eq!(per_level.iter().sum::<u64>(), h.dirty_unique());
     }
 
     #[test]

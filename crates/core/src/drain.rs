@@ -6,7 +6,8 @@ use crate::report::DrainReport;
 use crate::system::{Episode, SecureEpdSystem};
 use horus_metadata::UpdateScheme;
 use horus_nvm::Block;
-use horus_sim::Cycles;
+use horus_sim::trace::base_resource;
+use horus_sim::{critical_path, resource_usage, Cycles};
 use serde::{Deserialize, Serialize};
 
 /// The evaluated drain schemes.
@@ -117,6 +118,19 @@ impl SecureEpdSystem {
         let flushed = blocks.len() as u64;
         let mut metadata_blocks = 0u64;
 
+        // Walk markers: how many unique dirty lines each level
+        // contributes (instant markers at cycle 0 on the phase track).
+        if self.platform.probe_enabled() {
+            let per_level = self.hierarchy.dirty_per_level();
+            for (name, count) in ["L1", "L2", "LLC"].iter().zip(per_level) {
+                self.platform.record_phase(
+                    &format!("walk.{name}:{count}"),
+                    Cycles::ZERO,
+                    Cycles::ZERO,
+                );
+            }
+        }
+
         match scheme {
             DrainScheme::NonSecure => {
                 // Plain EPD: every dirty line is written in place, full
@@ -125,6 +139,8 @@ impl SecureEpdSystem {
                 for (addr, data) in &blocks {
                     self.platform.nvm.write(*addr, *data, "data", Cycles::ZERO);
                 }
+                let t = self.platform.busy_until();
+                self.platform.record_phase("drain.data", Cycles::ZERO, t);
             }
             DrainScheme::BaseLazy | DrainScheme::BaseEager => {
                 // Run-time secure path per flushed line (Figure 8-B).
@@ -135,7 +151,11 @@ impl SecureEpdSystem {
                 // Then flush the metadata caches (§IV-B).
                 metadata_blocks = self.count_metadata_lines(scheme);
                 let t = self.platform.busy_until();
+                self.platform.record_phase("drain.data", Cycles::ZERO, t);
                 self.engine.flush_after_drain(&mut self.platform, t);
+                let t_flush = self.platform.busy_until();
+                self.platform
+                    .record_phase("drain.metadata_flush", t, t_flush);
             }
             DrainScheme::HorusSlm | DrainScheme::HorusDlm => {
                 let mode = scheme.mac_granularity().expect("Horus scheme");
@@ -164,6 +184,9 @@ impl SecureEpdSystem {
                     let dc = self.counters.allocate();
                     t = writer.push(&mut self.platform, dc, *addr, data, "chv_data", t);
                 }
+                let t_data = self.platform.busy_until();
+                self.platform
+                    .record_phase("drain.data", Cycles::ZERO, t_data);
                 // Drain the dirty metadata-cache contents through the
                 // same vault (they are just more blocks to protect).
                 let meta: Vec<(u64, Block)> = self.dirty_metadata_lines();
@@ -172,7 +195,11 @@ impl SecureEpdSystem {
                     let dc = self.counters.allocate();
                     t = writer.push(&mut self.platform, dc, *addr, data, "chv_meta", t);
                 }
+                let t_meta = self.platform.busy_until();
+                self.platform.record_phase("drain.metadata", t_data, t_meta);
                 writer.finish(&mut self.platform, t);
+                let t_finish = self.platform.busy_until();
+                self.platform.record_phase("drain.finish", t_meta, t_finish);
             }
         }
 
@@ -200,7 +227,28 @@ impl SecureEpdSystem {
             chv_slot,
         });
 
-        let stats = self.platform.merged_stats();
+        let mut stats = self.platform.merged_stats();
+        // Probe post-processing: derive per-resource utilization and the
+        // critical path from the event stream, fold queueing delays into
+        // the stats histograms, and stash the full trace for export
+        // (recover_with's reset_timing would otherwise discard it).
+        let (utilization, critical_path) = if self.platform.probe_enabled() {
+            let events = self.platform.take_trace();
+            let resource_events: Vec<_> = events
+                .iter()
+                .filter(|e| e.track != "phase")
+                .cloned()
+                .collect();
+            for e in &resource_events {
+                stats.record_sample(&format!("queue.{}", base_resource(&e.track)), e.wait());
+            }
+            let usage = resource_usage(&resource_events, cycles.0);
+            let cp = critical_path(&resource_events, cycles.0);
+            self.episode_trace = Some(events);
+            (Some(usage), cp)
+        } else {
+            (None, None)
+        };
         DrainReport {
             scheme: scheme.name().to_owned(),
             flushed_blocks: flushed,
@@ -212,6 +260,8 @@ impl SecureEpdSystem {
             mac_ops: self.platform.total_mac_ops(),
             otp_ops: self.platform.total_otp_ops(),
             stats,
+            utilization,
+            critical_path,
         }
     }
 
@@ -358,6 +408,58 @@ mod tests {
     fn base_eu_on_lazy_engine_panics() {
         let mut s = filled_system(DrainScheme::BaseLazy);
         let _ = s.crash_and_drain(DrainScheme::BaseEager);
+    }
+
+    #[test]
+    fn probed_drain_matches_unprobed_and_attributes_resources() {
+        let mut plain = filled_system(DrainScheme::HorusSlm);
+        let r_plain = plain.crash_and_drain(DrainScheme::HorusSlm);
+        assert!(r_plain.utilization.is_none());
+        assert!(r_plain.critical_path.is_none());
+        assert!(plain.take_episode_trace().is_none());
+
+        let mut probed = filled_system(DrainScheme::HorusSlm);
+        probed.enable_probe();
+        let r = probed.crash_and_drain(DrainScheme::HorusSlm);
+        // The probe must not perturb timing or accounting.
+        assert_eq!(r.cycles, r_plain.cycles);
+        assert_eq!(r.writes, r_plain.writes);
+        assert_eq!(r.mac_ops, r_plain.mac_ops);
+        for (k, v) in r_plain.stats.iter() {
+            assert_eq!(r.stats.get(k), v, "counter {k}");
+        }
+        // Utilization covers banks, engines; queue histograms recorded.
+        let usage = r.utilization.as_ref().expect("probed report has usage");
+        assert!(usage.iter().any(|u| u.track.starts_with("pcm-bank[")));
+        assert!(usage.iter().any(|u| u.track == "hash"));
+        assert!(r.stats.histogram("queue.pcm-bank").is_some());
+        // Horus drains are PCM-bank bound (the paper's Figure 6 point:
+        // sequential CHV writes keep all banks busy while crypto hides).
+        let cp = r.critical_path.as_ref().expect("probed report has path");
+        assert_eq!(cp.bounding_resource, "pcm-bank");
+        assert_eq!(cp.total_cycles, r.cycles);
+        // The episode trace is exportable and includes phase markers.
+        let trace = probed.take_episode_trace().expect("trace stashed");
+        assert!(trace
+            .iter()
+            .any(|e| e.track == "phase" && e.name == "drain.data"));
+        assert!(trace.iter().any(|e| e.name.starts_with("walk.L1:")));
+        assert!(probed.take_episode_trace().is_none(), "take drains");
+    }
+
+    #[test]
+    fn probed_recovery_stashes_its_own_trace() {
+        let mut s = filled_system(DrainScheme::HorusSlm);
+        s.enable_probe();
+        s.crash_and_drain(DrainScheme::HorusSlm);
+        let drain_trace = s.take_episode_trace().expect("drain trace");
+        assert!(!drain_trace.is_empty());
+        s.recover().expect("verifies");
+        let rec_trace = s.take_episode_trace().expect("recovery trace");
+        assert!(rec_trace
+            .iter()
+            .any(|e| e.track == "phase" && e.name.starts_with("recovery.")));
+        assert!(rec_trace.iter().any(|e| e.name.starts_with("read.")));
     }
 
     #[test]

@@ -135,6 +135,14 @@ impl SecureEpdSystem {
 
         self.episode = None;
         let cycles = self.platform.busy_until();
+        if self.platform.probe_enabled() {
+            self.platform.record_phase(
+                &format!("recovery.{}", ep.scheme.name()),
+                Cycles::ZERO,
+                cycles,
+            );
+            self.episode_trace = Some(self.platform.take_trace());
+        }
         Ok(RecoveryReport {
             scheme: ep.scheme.name().to_owned(),
             cycles: cycles.0,

@@ -1,6 +1,6 @@
 //! Measurement reports produced by drains and recoveries.
 
-use horus_sim::Stats;
+use horus_sim::{CriticalPathSummary, ResourceUsage, Stats};
 use serde::{Deserialize, Serialize};
 
 /// Everything measured about one draining episode — the raw material for
@@ -30,6 +30,17 @@ pub struct DrainReport {
     /// The full counter breakdown (`mem.read.*`, `mem.write.*`,
     /// `macop.*`, `aesop.*`).
     pub stats: Stats,
+    /// Per-resource busy-cycle utilization and queueing-delay summary.
+    /// Present only when the system ran with a probe enabled; absent
+    /// from serialized form otherwise, so unprobed reports are
+    /// byte-identical to pre-probe output.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub utilization: Option<Vec<ResourceUsage>>,
+    /// Critical-path attribution of the drain: which resource class
+    /// (PCM banks, AES, hash engine) bounds the episode. Present only
+    /// when probed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub critical_path: Option<CriticalPathSummary>,
 }
 
 impl DrainReport {
@@ -137,6 +148,8 @@ mod tests {
             mac_ops: 12,
             otp_ops: 10,
             stats,
+            utilization: None,
+            critical_path: None,
         };
         assert_eq!(r.memory_requests(), 20);
         let wb = r.write_breakdown();

@@ -9,7 +9,7 @@ use horus_cache::CacheHierarchy;
 use horus_crypto::{otp, Aes128, Cmac};
 use horus_metadata::{IntegrityError, MetadataEngine, Platform, UpdateScheme};
 use horus_nvm::{AddressMap, Block};
-use horus_sim::Cycles;
+use horus_sim::{Cycles, TraceEvent};
 
 /// Bookkeeping for the most recent (unrecovered) draining episode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +46,9 @@ pub struct SecureEpdSystem {
     pub(crate) persist_buffer: Option<PersistBuffer>,
     pub(crate) persist_stats: PersistStats,
     pub(crate) clock: Cycles,
+    /// The trace of the most recent probed episode (drain or recovery),
+    /// stashed before `reset_timing` clears the platform's probes.
+    pub(crate) episode_trace: Option<Vec<TraceEvent>>,
 }
 
 impl SecureEpdSystem {
@@ -81,8 +84,31 @@ impl SecureEpdSystem {
             persist_buffer: None,
             persist_stats: PersistStats::default(),
             clock: Cycles::ZERO,
+            episode_trace: None,
             config,
         }
+    }
+
+    /// Enables the *horus-probe* observability layer: every platform
+    /// resource records cycle-stamped operation spans, drains and
+    /// recoveries leave their event stream in
+    /// [`take_episode_trace`](Self::take_episode_trace), and
+    /// [`DrainReport`](crate::DrainReport)s carry utilization and
+    /// critical-path attribution. Timing and counters are unaffected.
+    pub fn enable_probe(&mut self) {
+        self.platform.enable_probe();
+    }
+
+    /// Whether the probe layer records.
+    #[must_use]
+    pub fn probe_enabled(&self) -> bool {
+        self.platform.probe_enabled()
+    }
+
+    /// Takes the trace of the most recent probed drain or recovery
+    /// episode (`None` when unprobed or already taken).
+    pub fn take_episode_trace(&mut self) -> Option<Vec<TraceEvent>> {
+        self.episode_trace.take()
     }
 
     /// Builds a system whose run-time Merkle-tree update scheme matches

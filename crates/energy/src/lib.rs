@@ -155,6 +155,8 @@ mod tests {
             mac_ops: 0,
             otp_ops: 0,
             stats: Stats::new(),
+            utilization: None,
+            critical_path: None,
         }
     }
 

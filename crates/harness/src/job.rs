@@ -10,6 +10,7 @@
 //! point hits the cache.
 
 use horus_core::{DrainReport, DrainScheme, RecoveryReport, SecureEpdSystem, SystemConfig};
+use horus_sim::TraceEvent;
 use horus_workload::{fill_hierarchy, FillPattern};
 use serde::{Deserialize, Serialize};
 
@@ -31,6 +32,19 @@ pub struct JobSpec {
     pub config: SystemConfig,
     /// Whether to run recovery after the drain and include its report.
     pub recover: bool,
+    /// Whether to run with the observability probe enabled, attaching
+    /// utilization / critical-path data (and `queue.*` histograms) to
+    /// the reports. Skipped from the encoding when `false`, so plain
+    /// jobs keep their pre-probe content keys and cache entries.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub probe: bool,
+}
+
+// Referenced from the serde attribute; the offline stub's derive drops
+// the reference, so keep the lint quiet there.
+#[allow(dead_code)]
+fn is_false(b: &bool) -> bool {
+    !*b
 }
 
 impl JobSpec {
@@ -42,6 +56,7 @@ impl JobSpec {
             pattern,
             config: config.clone(),
             recover: false,
+            probe: false,
         }
     }
 
@@ -52,6 +67,13 @@ impl JobSpec {
             recover: true,
             ..Self::drain(config, scheme, pattern)
         }
+    }
+
+    /// The same job with the observability probe enabled.
+    #[must_use]
+    pub fn probed(mut self) -> Self {
+        self.probe = true;
+        self
     }
 
     /// The stable content key: FNV-1a over the canonical JSON encoding
@@ -78,7 +100,26 @@ impl JobSpec {
     /// into a per-job failure rather than a dead sweep.
     #[must_use]
     pub fn execute(&self) -> JobResult {
+        self.run().0
+    }
+
+    /// Runs the job with the probe forced on and also returns the drain
+    /// episode's full event trace (for Chrome-trace export). The result
+    /// carries utilization/critical-path data exactly as a probed
+    /// [`execute`](Self::execute) would produce.
+    #[must_use]
+    pub fn execute_traced(&self) -> (JobResult, Vec<TraceEvent>) {
+        let mut probed = self.clone();
+        probed.probe = true;
+        let (result, trace) = probed.run();
+        (result, trace.unwrap_or_default())
+    }
+
+    fn run(&self) -> (JobResult, Option<Vec<TraceEvent>>) {
         let mut sys = SecureEpdSystem::for_scheme(self.config.clone(), self.scheme);
+        if self.probe {
+            sys.enable_probe();
+        }
         fill_hierarchy(
             sys.hierarchy_mut(),
             self.pattern,
@@ -86,12 +127,15 @@ impl JobSpec {
             self.config.seed,
         );
         let drain = sys.crash_and_drain(self.scheme);
+        // Take the drain trace *before* recovery: recovery resets the
+        // platform's timing (and with it the probe buffers).
+        let trace = sys.take_episode_trace();
         let recovery = if self.recover {
             Some(sys.recover().expect("untampered vault must verify"))
         } else {
             None
         };
-        JobResult { drain, recovery }
+        (JobResult { drain, recovery }, trace)
     }
 }
 
@@ -156,6 +200,51 @@ mod tests {
         let mut with_recovery = spec();
         with_recovery.recover = true;
         assert_ne!(a.key(), with_recovery.key());
+
+        let probed = spec().probed();
+        assert_ne!(a.key(), probed.key(), "probe flag is part of the key");
+    }
+
+    #[test]
+    fn unprobed_specs_keep_pre_probe_encoding() {
+        // The probe field must not appear in canonical JSON when false,
+        // so keys of existing cached results are unchanged. The offline
+        // serde_json stub renders via Debug and ignores
+        // `skip_serializing_if`; only assert the real-JSON shape when
+        // the serializer actually honors it.
+        let honors_skip = !serde_json::to_string(&ProbeOnly { probe: false })
+            .expect("serialize")
+            .contains("probe");
+        if honors_skip {
+            let json = serde_json::to_string(&spec()).expect("serialize");
+            assert!(!json.contains("probe"));
+            let probed_json = serde_json::to_string(&spec().probed()).expect("serialize");
+            assert!(probed_json.contains("\"probe\":true"));
+        }
+        // Either way, the probed encoding (and thus the key) differs.
+        assert_ne!(
+            serde_json::to_string(&spec()).expect("serialize"),
+            serde_json::to_string(&spec().probed()).expect("serialize"),
+        );
+    }
+
+    #[derive(Debug, Serialize)]
+    struct ProbeOnly {
+        #[serde(skip_serializing_if = "is_false")]
+        probe: bool,
+    }
+
+    #[test]
+    fn execute_traced_returns_probe_products() {
+        let (result, trace) = spec().execute_traced();
+        assert!(!trace.is_empty());
+        assert!(result.drain.utilization.is_some());
+        assert!(result.drain.critical_path.is_some());
+        // Counters agree with the unprobed run.
+        let plain = spec().execute();
+        assert_eq!(result.drain.cycles, plain.drain.cycles);
+        assert_eq!(result.drain.writes, plain.drain.writes);
+        assert!(plain.drain.utilization.is_none());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! assertion tripping deep in the simulator) surfaces as that task's
 //! `Err` while every other task still completes. This is the scheduler
 //! shape the whole harness is built on; the memoizing job layer in
-//! [`crate::sweep`] is a thin wrapper over it.
+//! `sweep` is a thin wrapper over it.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -60,6 +60,21 @@ pub struct ProgressEvent {
     /// NVM requests the job measured.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub memory_ops: Option<u64>,
+    /// MAC computations the job measured.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub mac_ops: Option<u64>,
+    /// Simulated cycles accumulated across the sweep so far.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub total_cycles: Option<u64>,
+    /// NVM requests accumulated across the sweep so far.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub total_memory_ops: Option<u64>,
+    /// Live throughput: simulated cycles per wall-clock second.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub cycles_per_s: Option<f64>,
+    /// Live throughput: simulated NVM requests per wall-clock second.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub memory_ops_per_s: Option<f64>,
     /// Panic message, for `job_panic` events.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub message: Option<String>,
@@ -85,6 +100,11 @@ impl ProgressEvent {
             hit: None,
             cycles: None,
             memory_ops: None,
+            mac_ops: None,
+            total_cycles: None,
+            total_memory_ops: None,
+            cycles_per_s: None,
+            memory_ops_per_s: None,
             message: None,
             elapsed_s: 0.0,
         }

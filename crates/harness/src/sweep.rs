@@ -7,7 +7,7 @@ use crate::progress::{Progress, ProgressEvent, ProgressMode};
 use horus_sim::Stats;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// How a sweep should execute.
@@ -113,6 +113,9 @@ impl Harness {
         let done = AtomicUsize::new(0);
         let cached = AtomicUsize::new(0);
         let panicked = AtomicUsize::new(0);
+        // Cumulative simulated work, for live throughput reporting.
+        let cum_cycles = AtomicU64::new(0);
+        let cum_memory_ops = AtomicU64::new(0);
 
         let raw = run_indexed(specs.len(), self.jobs, |i| {
             let spec = &specs[i];
@@ -141,6 +144,18 @@ impl Harness {
             event.hit = Some(hit);
             event.cycles = Some(result.drain.cycles);
             event.memory_ops = Some(result.memory_ops());
+            event.mac_ops = Some(result.drain.mac_ops);
+            let total_cycles =
+                cum_cycles.fetch_add(result.drain.cycles, Ordering::Relaxed) + result.drain.cycles;
+            let total_memory_ops = cum_memory_ops.fetch_add(result.memory_ops(), Ordering::Relaxed)
+                + result.memory_ops();
+            event.total_cycles = Some(total_cycles);
+            event.total_memory_ops = Some(total_memory_ops);
+            let elapsed = progress.elapsed_s();
+            if elapsed > 0.0 {
+                event.cycles_per_s = Some(total_cycles as f64 / elapsed);
+                event.memory_ops_per_s = Some(total_memory_ops as f64 / elapsed);
+            }
             progress.emit(event);
             (result, hit)
         });
@@ -220,6 +235,10 @@ fn default_parallelism() -> usize {
 }
 
 /// What happened to one submitted job.
+///
+/// Nearly every outcome in a sweep is `Completed`, so boxing the
+/// result to shrink the rare `Panicked` variant would buy nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum JobOutcome {
     /// The job finished and produced a result.

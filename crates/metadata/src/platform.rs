@@ -9,7 +9,8 @@
 //! hash-engine breakdown reproduces the paper's Figure 13.
 
 use horus_nvm::{NvmConfig, NvmSystem};
-use horus_sim::{Completion, Cycles, SlotResource, Stats};
+use horus_sim::trace::Probe;
+use horus_sim::{Completion, Cycles, SlotResource, Stats, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 /// Latency/throughput parameters of the on-chip crypto engines.
@@ -57,6 +58,9 @@ pub struct Platform {
     aes: SlotResource,
     hash: SlotResource,
     stats: Stats,
+    /// Carries drain-phase and recovery markers on a dedicated
+    /// `"phase"` track (disabled, hence free, by default).
+    phase_probe: Probe,
 }
 
 impl Platform {
@@ -68,6 +72,7 @@ impl Platform {
             aes: SlotResource::pipelined("aes", crypto.aes_latency, crypto.aes_interval),
             hash: SlotResource::pipelined("hash", crypto.hash_latency, crypto.hash_interval),
             stats: Stats::new(),
+            phase_probe: Probe::disabled(),
         }
     }
 
@@ -83,7 +88,11 @@ impl Platform {
     /// Issues one MAC computation attributed to `kind` (`macop.<kind>`).
     pub fn mac_op(&mut self, kind: &str, ready: Cycles) -> Completion {
         self.stats.incr(&format!("macop.{kind}"));
-        self.hash.issue(ready)
+        if self.hash.probe_enabled() {
+            self.hash.issue_named(&format!("mac.{kind}"), ready)
+        } else {
+            self.hash.issue(ready)
+        }
     }
 
     /// Issues the four pipelined AES operations generating one 64-byte
@@ -91,11 +100,52 @@ impl Platform {
     /// Returns the completion of the last lane.
     pub fn otp_op(&mut self, kind: &str, ready: Cycles) -> Completion {
         self.stats.incr(&format!("aesop.{kind}"));
-        let mut last = self.aes.issue(ready);
-        for _ in 1..4 {
-            last = self.aes.issue(ready);
+        if self.aes.probe_enabled() {
+            let name = format!("otp.{kind}");
+            let mut last = self.aes.issue_named(&name, ready);
+            for _ in 1..4 {
+                last = self.aes.issue_named(&name, ready);
+            }
+            last
+        } else {
+            let mut last = self.aes.issue(ready);
+            for _ in 1..4 {
+                last = self.aes.issue(ready);
+            }
+            last
         }
-        last
+    }
+
+    /// Starts recording operation traces on every platform resource:
+    /// per-bank NVM tracks, the AES and hash engines, and the `"phase"`
+    /// marker track.
+    pub fn enable_probe(&mut self) {
+        self.nvm.enable_probe();
+        self.aes.enable_probe();
+        self.hash.enable_probe();
+        self.phase_probe.enable("phase");
+    }
+
+    /// Whether the platform records traces.
+    #[must_use]
+    pub fn probe_enabled(&self) -> bool {
+        self.phase_probe.enabled()
+    }
+
+    /// Records a phase marker span (e.g. `"drain.data"`) on the
+    /// `"phase"` track. A no-op when the probe is disabled.
+    pub fn record_phase(&mut self, name: &str, start: Cycles, end: Cycles) {
+        self.phase_probe.record_span(name, start.0, end.0);
+    }
+
+    /// Drains every recorded event: NVM banks, AES, hash, then phase
+    /// markers, each in recording order.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        let mut events = self.nvm.take_trace();
+        events.extend(self.aes.take_trace());
+        events.extend(self.hash.take_trace());
+        events.extend(self.phase_probe.take());
+        events
     }
 
     /// The crypto-op accounting registry (`macop.*`, `aesop.*`).
@@ -142,6 +192,7 @@ impl Platform {
         self.aes.reset();
         self.hash.reset();
         self.stats.clear();
+        self.phase_probe.clear();
     }
 }
 
@@ -188,6 +239,46 @@ mod tests {
         let s = p.merged_stats();
         assert_eq!(s.get("macop.data_mac"), 1);
         assert_eq!(s.get("mem.write.data"), 1);
+    }
+
+    #[test]
+    fn probe_traces_all_engines_and_phases() {
+        let mut p = Platform::paper_default();
+        assert!(!p.probe_enabled());
+        p.enable_probe();
+        assert!(p.probe_enabled());
+        p.mac_op("data_mac", Cycles(0));
+        p.otp_op("data", Cycles(0));
+        p.nvm.write(0, [0u8; 64], "data", Cycles(0));
+        p.record_phase("drain.data", Cycles(0), Cycles(2000));
+        let trace = p.take_trace();
+        let tracks: std::collections::BTreeSet<&str> =
+            trace.iter().map(|e| e.track.as_str()).collect();
+        assert!(tracks.contains("aes"));
+        assert!(tracks.contains("hash"));
+        assert!(tracks.contains("phase"));
+        assert!(tracks.iter().any(|t| t.starts_with("pcm-bank[")));
+        // 1 mac + 4 aes lanes + 1 write + 1 phase marker.
+        assert_eq!(trace.len(), 7);
+        assert_eq!(
+            trace.iter().filter(|e| e.name == "otp.data").count(),
+            4,
+            "all four AES lanes labelled"
+        );
+        // Probing does not perturb timing.
+        let mut plain = Platform::paper_default();
+        assert_eq!(plain.mac_op("data_mac", Cycles(0)).done, Cycles(160));
+    }
+
+    #[test]
+    fn reset_timing_clears_probe_buffers() {
+        let mut p = Platform::paper_default();
+        p.enable_probe();
+        p.mac_op("x", Cycles(0));
+        p.record_phase("drain.data", Cycles(0), Cycles(100));
+        p.reset_timing();
+        assert!(p.probe_enabled(), "probe survives a timing reset");
+        assert!(p.take_trace().is_empty());
     }
 
     #[test]

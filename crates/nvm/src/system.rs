@@ -2,7 +2,7 @@
 
 use crate::wear::WearTracker;
 use crate::{Block, NvmDevice, BLOCK_SIZE};
-use horus_sim::{Completion, Cycles, Frequency, SlotBankSet, Stats};
+use horus_sim::{Completion, Cycles, Frequency, SlotBankSet, Stats, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 /// PCM device and channel parameters.
@@ -113,18 +113,49 @@ impl NvmSystem {
 
     /// Timed read of the block at `addr`, attributed to `kind`.
     pub fn read(&mut self, addr: u64, kind: &str, ready: Cycles) -> (Block, Completion) {
-        let completion = self.banks.issue_addr_for(addr, ready, self.read_latency);
+        let completion = if self.banks.probe_enabled() {
+            self.banks
+                .issue_addr_for_named(&format!("read.{kind}"), addr, ready, self.read_latency)
+        } else {
+            self.banks.issue_addr_for(addr, ready, self.read_latency)
+        };
         self.stats.incr(&format!("mem.read.{kind}"));
         (self.device.read_block(addr), completion)
     }
 
     /// Timed write of `data` to `addr`, attributed to `kind`.
     pub fn write(&mut self, addr: u64, data: Block, kind: &str, ready: Cycles) -> Completion {
-        let completion = self.banks.issue_addr_for(addr, ready, self.write_latency);
+        let completion = if self.banks.probe_enabled() {
+            self.banks.issue_addr_for_named(
+                &format!("write.{kind}"),
+                addr,
+                ready,
+                self.write_latency,
+            )
+        } else {
+            self.banks.issue_addr_for(addr, ready, self.write_latency)
+        };
         self.stats.incr(&format!("mem.write.{kind}"));
         self.wear.record(addr);
         self.device.write_block(addr, data);
         completion
+    }
+
+    /// Starts recording per-bank operation traces (bank-indexed tracks,
+    /// `"pcm-bank[3]"`).
+    pub fn enable_probe(&mut self) {
+        self.banks.enable_probe();
+    }
+
+    /// Whether the banks record traces.
+    #[must_use]
+    pub fn probe_enabled(&self) -> bool {
+        self.banks.probe_enabled()
+    }
+
+    /// Drains the recorded bank events, in bank-index order.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.banks.take_trace()
     }
 
     /// Total reads issued.
@@ -230,6 +261,29 @@ mod tests {
         assert_eq!(nvm.busy_until(), Cycles::ZERO);
         let (b, _) = nvm.read(0, "data", Cycles(0));
         assert_eq!(b, [5u8; 64]);
+    }
+
+    #[test]
+    fn probe_traces_reads_and_writes_with_kinds() {
+        let mut nvm = NvmSystem::new(NvmConfig::paper_default());
+        assert!(!nvm.probe_enabled());
+        nvm.enable_probe();
+        assert!(nvm.probe_enabled());
+        nvm.write(0, [1u8; 64], "chv_data", Cycles(0));
+        nvm.read(64, "counter", Cycles(0));
+        let mut trace = nvm.take_trace();
+        trace.sort_by(|a, b| a.name.cmp(&b.name));
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].name, "read.counter");
+        assert_eq!(trace[1].name, "write.chv_data");
+        assert!(trace[1].track.starts_with("pcm-bank["));
+        // Timing identical to an unprobed system.
+        let mut plain = NvmSystem::new(NvmConfig::paper_default());
+        assert_eq!(plain.write(128, [0u8; 64], "data", Cycles(0)), {
+            let mut probed = NvmSystem::new(NvmConfig::paper_default());
+            probed.enable_probe();
+            probed.write(128, [0u8; 64], "data", Cycles(0))
+        });
     }
 
     #[test]

@@ -14,7 +14,13 @@
 //!   callers that need full event-driven control;
 //! * [`stats`] — a [`stats::Stats`] registry of named counters and
 //!   power-of-two [`stats::Histogram`]s, used by every layer to
-//!   report the breakdowns shown in the paper's figures.
+//!   report the breakdowns shown in the paper's figures;
+//! * [`trace`] — the *horus-probe* observability layer: detachable
+//!   per-resource [`trace::Probe`]s feeding cycle-stamped
+//!   [`trace::TraceEvent`]s into a [`trace::TraceSink`]
+//!   (zero-overhead [`trace::NullSink`] by default), plus the
+//!   Chrome-trace JSON exporter, per-resource utilization report and
+//!   critical-path attribution built on the event stream.
 //!
 //! The drain engines in `horus-core` drive these resources operation by
 //! operation; the completion time of the last operation is the draining
@@ -45,8 +51,13 @@ pub mod queue;
 pub mod resource;
 pub mod schedule;
 pub mod stats;
+pub mod trace;
 
 pub use clock::{Cycles, Frequency};
 pub use resource::{BankSet, Completion, Resource};
 pub use schedule::{SlotBankSet, SlotResource};
 pub use stats::{Histogram, Stats};
+pub use trace::{
+    chrome_trace_json, critical_path, resource_usage, CriticalPathShare, CriticalPathSummary,
+    MemorySink, NullSink, Probe, ResourceUsage, TraceEvent, TraceSink,
+};

@@ -12,6 +12,7 @@
 //! computation starts when the ciphertext is ready").
 
 use crate::clock::Cycles;
+use crate::trace::{Probe, TraceEvent};
 
 /// The outcome of issuing an operation to a [`Resource`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +41,7 @@ pub struct Resource {
     next_issue: Cycles,
     busy_until: Cycles,
     ops: u64,
+    probe: Probe,
 }
 
 impl Resource {
@@ -62,6 +64,7 @@ impl Resource {
             next_issue: Cycles::ZERO,
             busy_until: Cycles::ZERO,
             ops: 0,
+            probe: Probe::disabled(),
         }
     }
 
@@ -99,31 +102,79 @@ impl Resource {
     /// Issues an operation that is ready at `ready`; returns when it
     /// starts and completes.
     pub fn issue(&mut self, ready: Cycles) -> Completion {
-        let start = ready.max(self.next_issue);
-        let done = start + self.latency;
-        self.next_issue = start + self.interval;
-        self.busy_until = self.busy_until.max(done);
-        self.ops += 1;
-        Completion { start, done }
+        self.issue_inner("op", ready, self.latency, true)
+    }
+
+    /// Like [`Resource::issue`], labelling the operation `name` in the
+    /// probe's trace.
+    pub fn issue_named(&mut self, name: &str, ready: Cycles) -> Completion {
+        self.issue_inner(name, ready, self.latency, true)
     }
 
     /// Issues an operation with a per-operation latency, occupying the
     /// resource for the whole duration (used by memory banks whose read
     /// and write latencies differ).
     pub fn issue_for(&mut self, ready: Cycles, latency: Cycles) -> Completion {
+        self.issue_inner("op", ready, latency, false)
+    }
+
+    /// Like [`Resource::issue_for`], labelling the operation `name` in
+    /// the probe's trace.
+    pub fn issue_for_named(&mut self, name: &str, ready: Cycles, latency: Cycles) -> Completion {
+        self.issue_inner(name, ready, latency, false)
+    }
+
+    fn issue_inner(
+        &mut self,
+        name: &str,
+        ready: Cycles,
+        latency: Cycles,
+        pipelined: bool,
+    ) -> Completion {
         let start = ready.max(self.next_issue);
         let done = start + latency;
-        self.next_issue = done;
+        self.next_issue = if pipelined {
+            start + self.interval
+        } else {
+            done
+        };
         self.busy_until = self.busy_until.max(done);
         self.ops += 1;
-        Completion { start, done }
+        let completion = Completion { start, done };
+        self.probe.record(name, ready, completion);
+        completion
+    }
+
+    /// Starts recording issued operations under the resource's own name.
+    pub fn enable_probe(&mut self) {
+        self.probe.enable(self.name);
+    }
+
+    /// Starts recording under an explicit track label (used by bank sets
+    /// to distinguish their members, e.g. `"pcm[3]"`).
+    pub fn enable_probe_as(&mut self, track: String) {
+        self.probe.enable(track);
+    }
+
+    /// Whether a probe is attached; callers can skip building operation
+    /// labels when this is `false`.
+    #[must_use]
+    pub fn probe_enabled(&self) -> bool {
+        self.probe.enabled()
+    }
+
+    /// Drains the probe's recorded events (empty when disabled).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.probe.take()
     }
 
     /// Resets occupancy and operation counts (a new simulation episode).
+    /// An attached probe stays attached but its buffer is dropped.
     pub fn reset(&mut self) {
         self.next_issue = Cycles::ZERO;
         self.busy_until = Cycles::ZERO;
         self.ops = 0;
+        self.probe.clear();
     }
 }
 
@@ -198,12 +249,32 @@ impl BankSet {
         self.banks[bank].issue(ready)
     }
 
+    /// Like [`BankSet::issue_addr`], labelling the operation `name` in
+    /// the owning bank's trace.
+    pub fn issue_addr_named(&mut self, name: &str, address: u64, ready: Cycles) -> Completion {
+        let bank = self.bank_of(address);
+        self.banks[bank].issue_named(name, ready)
+    }
+
     /// Issues an operation with an explicit latency on the bank owning
     /// `address` (reads and writes have different PCM latencies but share
     /// the bank).
     pub fn issue_addr_for(&mut self, address: u64, ready: Cycles, latency: Cycles) -> Completion {
         let bank = self.bank_of(address);
         self.banks[bank].issue_for(ready, latency)
+    }
+
+    /// Like [`BankSet::issue_addr_for`], labelling the operation `name`
+    /// in the owning bank's trace.
+    pub fn issue_addr_for_named(
+        &mut self,
+        name: &str,
+        address: u64,
+        ready: Cycles,
+        latency: Cycles,
+    ) -> Completion {
+        let bank = self.bank_of(address);
+        self.banks[bank].issue_for_named(name, ready, latency)
     }
 
     /// Issues on an explicit bank index (for round-robin scheduling of
@@ -214,6 +285,29 @@ impl BankSet {
     /// Panics if `bank` is out of range.
     pub fn issue_bank(&mut self, bank: usize, ready: Cycles) -> Completion {
         self.banks[bank].issue(ready)
+    }
+
+    /// Starts recording per-bank traces under bank-indexed tracks
+    /// (`"pcm[0]"`, `"pcm[1]"`, …).
+    pub fn enable_probe(&mut self) {
+        for (i, b) in self.banks.iter_mut().enumerate() {
+            let track = format!("{}[{i}]", b.name());
+            b.enable_probe_as(track);
+        }
+    }
+
+    /// Whether the banks record traces.
+    #[must_use]
+    pub fn probe_enabled(&self) -> bool {
+        self.banks.first().is_some_and(Resource::probe_enabled)
+    }
+
+    /// Drains every bank's recorded events, in bank-index order.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.banks
+            .iter_mut()
+            .flat_map(Resource::take_trace)
+            .collect()
     }
 
     /// Total operations across all banks.
@@ -334,5 +428,48 @@ mod tests {
     #[should_panic(expected = "at least one bank")]
     fn empty_bank_set_rejected() {
         let _ = BankSet::unpipelined("pcm", 0, Cycles(1));
+    }
+
+    #[test]
+    fn probe_captures_issues_without_changing_timing() {
+        let mut plain = Resource::new("aes", Cycles(40), Cycles(1));
+        let mut probed = Resource::new("aes", Cycles(40), Cycles(1));
+        probed.enable_probe();
+        assert!(probed.probe_enabled() && !plain.probe_enabled());
+        for i in 0..3 {
+            let a = plain.issue(Cycles(i));
+            let b = probed.issue_named("otp", Cycles(i));
+            assert_eq!(a, b);
+        }
+        assert!(plain.take_trace().is_empty());
+        let trace = probed.take_trace();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].track, "aes");
+        assert_eq!(trace[0].name, "otp");
+        assert_eq!(trace[1].start, 1);
+    }
+
+    #[test]
+    fn bank_set_probe_uses_indexed_tracks() {
+        let mut banks = BankSet::unpipelined("pcm", 4, Cycles(100));
+        banks.enable_probe();
+        assert!(banks.probe_enabled());
+        banks.issue_addr_named("write.data", 0, Cycles(0));
+        banks.issue_addr_for_named("read.counter", 64, Cycles(0), Cycles(60));
+        let trace = banks.take_trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].track, "pcm[0]");
+        assert_eq!(trace[1].track, "pcm[1]");
+        assert_eq!(trace[1].end, 60);
+    }
+
+    #[test]
+    fn reset_keeps_probe_but_drops_events() {
+        let mut r = Resource::unpipelined("bank", Cycles(10));
+        r.enable_probe();
+        r.issue(Cycles(0));
+        r.reset();
+        assert!(r.probe_enabled());
+        assert!(r.take_trace().is_empty());
     }
 }

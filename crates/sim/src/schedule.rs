@@ -17,6 +17,7 @@
 
 use crate::clock::Cycles;
 use crate::resource::Completion;
+use crate::trace::{Probe, TraceEvent};
 use std::collections::HashMap;
 
 /// A hardware resource scheduled on fixed-size occupancy slots, serving
@@ -54,6 +55,7 @@ pub struct SlotResource {
     busy_until: Cycles,
     occupied_slots: u64,
     frontier: u64,
+    probe: Probe,
 }
 
 impl SlotResource {
@@ -79,6 +81,7 @@ impl SlotResource {
             busy_until: Cycles::ZERO,
             occupied_slots: 0,
             frontier: 0,
+            probe: Probe::disabled(),
         }
     }
 
@@ -101,6 +104,7 @@ impl SlotResource {
             busy_until: Cycles::ZERO,
             occupied_slots: 0,
             frontier: 0,
+            probe: Probe::disabled(),
         }
     }
 
@@ -169,6 +173,43 @@ impl SlotResource {
         self.issue_for(ready, self.latency)
     }
 
+    /// Like [`SlotResource::issue`], labelling the operation `name` in
+    /// the probe's trace.
+    pub fn issue_named(&mut self, name: &str, ready: Cycles) -> Completion {
+        self.issue_for_named(name, ready, self.latency)
+    }
+
+    /// Like [`SlotResource::issue_for`], labelling the operation `name`
+    /// in the probe's trace.
+    pub fn issue_for_named(&mut self, name: &str, ready: Cycles, latency: Cycles) -> Completion {
+        let completion = self.schedule(ready, latency);
+        self.probe.record(name, ready, completion);
+        completion
+    }
+
+    /// Starts recording issued operations under the resource's own name.
+    pub fn enable_probe(&mut self) {
+        self.probe.enable(self.name);
+    }
+
+    /// Starts recording under an explicit track label (bank sets use
+    /// bank-indexed labels, e.g. `"pcm-bank[3]"`).
+    pub fn enable_probe_as(&mut self, track: String) {
+        self.probe.enable(track);
+    }
+
+    /// Whether a probe is attached; callers can skip building operation
+    /// labels when this is `false`.
+    #[must_use]
+    pub fn probe_enabled(&self) -> bool {
+        self.probe.enabled()
+    }
+
+    /// Drains the probe's recorded events (empty when disabled).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.probe.take()
+    }
+
     /// Issues an operation with an explicit latency (banks serving mixed
     /// reads and writes).
     ///
@@ -179,6 +220,12 @@ impl SlotResource {
     /// instead of leaving the device idle (the behaviour of a device
     /// front-end that interleaves queued requests).
     pub fn issue_for(&mut self, ready: Cycles, latency: Cycles) -> Completion {
+        let completion = self.schedule(ready, latency);
+        self.probe.record("op", ready, completion);
+        completion
+    }
+
+    fn schedule(&mut self, ready: Cycles, latency: Cycles) -> Completion {
         let k = if self.exclusive {
             (latency.0.div_ceil(self.quantum)).max(1)
         } else {
@@ -199,13 +246,15 @@ impl SlotResource {
         Completion { start, done }
     }
 
-    /// Resets the schedule and counters (a new measurement episode).
+    /// Resets the schedule and counters (a new measurement episode). An
+    /// attached probe stays attached but its buffer is dropped.
     pub fn reset(&mut self) {
         self.next_free.clear();
         self.ops = 0;
         self.busy_until = Cycles::ZERO;
         self.occupied_slots = 0;
         self.frontier = 0;
+        self.probe.clear();
     }
 }
 
@@ -261,6 +310,42 @@ impl SlotBankSet {
     pub fn issue_addr_for(&mut self, address: u64, ready: Cycles, latency: Cycles) -> Completion {
         let bank = self.bank_of(address);
         self.banks[bank].issue_for(ready, latency)
+    }
+
+    /// Like [`SlotBankSet::issue_addr_for`], labelling the operation
+    /// `name` in the owning bank's trace.
+    pub fn issue_addr_for_named(
+        &mut self,
+        name: &str,
+        address: u64,
+        ready: Cycles,
+        latency: Cycles,
+    ) -> Completion {
+        let bank = self.bank_of(address);
+        self.banks[bank].issue_for_named(name, ready, latency)
+    }
+
+    /// Starts recording per-bank traces under bank-indexed tracks
+    /// (`"pcm-bank[0]"`, `"pcm-bank[1]"`, …).
+    pub fn enable_probe(&mut self) {
+        for (i, b) in self.banks.iter_mut().enumerate() {
+            let track = format!("{}[{i}]", b.name());
+            b.enable_probe_as(track);
+        }
+    }
+
+    /// Whether the banks record traces.
+    #[must_use]
+    pub fn probe_enabled(&self) -> bool {
+        self.banks.first().is_some_and(SlotResource::probe_enabled)
+    }
+
+    /// Drains every bank's recorded events, in bank-index order.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.banks
+            .iter_mut()
+            .flat_map(SlotResource::take_trace)
+            .collect()
     }
 
     /// Total operations across all banks.
@@ -416,6 +501,42 @@ mod tests {
         assert_eq!(banks.ops(), 4);
         banks.reset();
         assert_eq!(banks.ops(), 0);
+    }
+
+    #[test]
+    fn probe_captures_slot_issues_without_changing_timing() {
+        let mut plain = SlotResource::exclusive("pcm-bank", Cycles(2000), 200);
+        let mut probed = SlotResource::exclusive("pcm-bank", Cycles(2000), 200);
+        probed.enable_probe();
+        for i in 0..4u64 {
+            let a = plain.issue_for(Cycles(i * 100), Cycles(600));
+            let b = probed.issue_for_named("read.counter", Cycles(i * 100), Cycles(600));
+            assert_eq!(a, b);
+        }
+        assert!(plain.take_trace().is_empty());
+        let trace = probed.take_trace();
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace[0].track, "pcm-bank");
+        assert_eq!(trace[0].name, "read.counter");
+        // Unnamed issues on a probed resource still show up as "op".
+        probed.issue(Cycles(0));
+        assert_eq!(probed.take_trace()[0].name, "op");
+        probed.reset();
+        assert!(probed.probe_enabled());
+        assert!(probed.take_trace().is_empty());
+    }
+
+    #[test]
+    fn slot_bank_set_probe_uses_indexed_tracks() {
+        let mut banks = SlotBankSet::new("pcm-bank", 4, Cycles(2000));
+        banks.enable_probe();
+        assert!(banks.probe_enabled());
+        banks.issue_addr_for_named("write.data", 0, Cycles(0), Cycles(2000));
+        banks.issue_addr_for_named("read.counter", 64, Cycles(0), Cycles(600));
+        let trace = banks.take_trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].track, "pcm-bank[0]");
+        assert_eq!(trace[1].track, "pcm-bank[1]");
     }
 
     #[test]

@@ -26,6 +26,11 @@ use std::fmt;
 #[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
 pub struct Stats {
     counters: BTreeMap<String, u64>,
+    /// Named histograms (queueing delays, reuse distances). Absent from
+    /// serialized form when empty so pre-existing cached results — and
+    /// the keys derived from canonical JSON — are unchanged.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    histograms: BTreeMap<String, Histogram>,
 }
 
 impl Stats {
@@ -107,23 +112,62 @@ impl Stats {
             let slot = self.counters.entry(k.to_owned()).or_insert(0);
             *slot = slot.saturating_add(v);
         }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
     }
 
-    /// Removes every counter.
+    /// Records one sample into the named histogram, creating it if
+    /// absent.
+    ///
+    /// ```
+    /// use horus_sim::Stats;
+    /// let mut s = Stats::new();
+    /// s.record_sample("queue.pcm-bank", 400);
+    /// s.record_sample("queue.pcm-bank", 0);
+    /// assert_eq!(s.histogram("queue.pcm-bank").unwrap().count(), 2);
+    /// assert!(s.histogram("queue.hash").is_none());
+    /// ```
+    pub fn record_sample(&mut self, key: &str, sample: u64) {
+        self.histograms
+            .entry(key.to_owned())
+            .or_default()
+            .record(sample);
+    }
+
+    /// Inserts (or replaces) a whole named histogram.
+    pub fn insert_histogram(&mut self, key: &str, histogram: Histogram) {
+        self.histograms.insert(key.to_owned(), histogram);
+    }
+
+    /// Reads a named histogram, if any samples were recorded under it.
+    #[must_use]
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// Iterates `(name, histogram)` pairs in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
+    /// Removes every counter and histogram.
     pub fn clear(&mut self) {
         self.counters.clear();
+        self.histograms.clear();
     }
 
-    /// Number of distinct counters.
+    /// Number of distinct counters (histograms are not counted; see
+    /// [`Stats::histograms`]).
     #[must_use]
     pub fn len(&self) -> usize {
         self.counters.len()
     }
 
-    /// Whether no counter has been touched.
+    /// Whether neither a counter nor a histogram has been touched.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty()
+        self.counters.is_empty() && self.histograms.is_empty()
     }
 }
 
@@ -255,6 +299,51 @@ impl Histogram {
     /// assert_eq!(h.quantile_bound(0.5), Some(2)); // rank 2 is the sample 2
     /// assert_eq!(h.quantile_bound(1.0), Some(128)); // 100 in (64, 128]
     /// ```
+    /// Merges another histogram's samples into this one.
+    ///
+    /// Bucket counts add (saturating), as do `count` and `sum`; min/max
+    /// fold. Like [`Stats::merge`] this is associative and commutative,
+    /// so harness workers can fold per-job histograms in any partition
+    /// order and reach the same result as a serial run.
+    ///
+    /// ```
+    /// use horus_sim::Histogram;
+    /// let mut a = Histogram::new();
+    /// a.record(3);
+    /// let mut b = Histogram::new();
+    /// b.record(100);
+    /// a.merge(&b);
+    /// assert_eq!(a.count(), 2);
+    /// assert_eq!(a.min(), Some(3));
+    /// assert_eq!(a.max(), Some(100));
+    /// ```
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (slot, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *slot = slot.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// An upper bound on the `q`-quantile sample: the inclusive upper
+    /// edge of the power-of-two bucket the quantile's rank falls in
+    /// (tightened to the observed maximum for the last bucket).
+    /// `None` when nothing has been recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `[0, 1]`.
     #[must_use]
     pub fn quantile_bound(&self, q: f64) -> Option<u64> {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
@@ -403,6 +492,84 @@ mod tests {
         assert_eq!(Histogram::bucket_index(5), 3);
         assert_eq!(Histogram::bucket_index(1024), 10);
         assert_eq!(Histogram::bucket_index(1025), 11);
+    }
+
+    #[test]
+    fn histogram_registry_merges_order_insensitively() {
+        let parts: Vec<Stats> = (0..4u64)
+            .map(|i| {
+                let mut s = Stats::new();
+                s.add("ops", i);
+                s.record_sample("queue.pcm", i * 100);
+                if i % 2 == 0 {
+                    s.record_sample("queue.hash", i + 1);
+                }
+                s
+            })
+            .collect();
+        let mut fwd = Stats::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = Stats::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd, rev);
+        let q = fwd.histogram("queue.pcm").unwrap();
+        assert_eq!(q.count(), 4);
+        assert_eq!(q.max(), Some(300));
+        assert_eq!(fwd.histogram("queue.hash").unwrap().count(), 2);
+        assert_eq!(fwd.histograms().count(), 2);
+    }
+
+    #[test]
+    fn clear_and_empty_cover_histograms() {
+        let mut s = Stats::new();
+        s.record_sample("h", 1);
+        assert!(!s.is_empty());
+        assert_eq!(s.len(), 0, "len counts counters only");
+        s.clear();
+        assert!(s.is_empty());
+        let mut h = Histogram::new();
+        h.record(42);
+        s.insert_histogram("direct", h);
+        assert_eq!(s.histogram("direct").unwrap().max(), Some(42));
+    }
+
+    #[test]
+    fn histogram_merge_matches_serial_recording() {
+        let mut serial = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 0..100u64 {
+            serial.record(v * 13);
+            if v % 2 == 0 {
+                a.record(v * 13);
+            } else {
+                b.record(v * 13);
+            }
+        }
+        let mut merged = Histogram::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged, serial);
+        let mut other_order = Histogram::new();
+        other_order.merge(&b);
+        other_order.merge(&a);
+        assert_eq!(other_order, serial);
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_identity() {
+        let mut h = Histogram::new();
+        h.record(7);
+        let before = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
     }
 
     #[test]

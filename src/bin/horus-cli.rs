@@ -25,10 +25,10 @@ fn parse_scheme(s: &str) -> Result<DrainScheme, String> {
         "ns" | "non-secure" | "nonsecure" => Ok(DrainScheme::NonSecure),
         "base-lu" | "lazy" => Ok(DrainScheme::BaseLazy),
         "base-eu" | "eager" => Ok(DrainScheme::BaseEager),
-        "horus-slm" | "slm" => Ok(DrainScheme::HorusSlm),
+        "horus" | "horus-slm" | "slm" => Ok(DrainScheme::HorusSlm),
         "horus-dlm" | "dlm" => Ok(DrainScheme::HorusDlm),
         other => Err(format!(
-            "unknown scheme '{other}' (ns, base-lu, base-eu, horus-slm, horus-dlm)"
+            "unknown scheme '{other}' (ns, base-lu, base-eu, horus, horus-slm, horus-dlm)"
         )),
     }
 }
@@ -316,6 +316,12 @@ fn parse_domain(s: &str) -> Result<PersistenceDomain, String> {
 }
 
 fn cmd_trace(args: &Args) -> Result<(), String> {
+    // Two modes share the verb: `trace --file <path>` replays a
+    // workload trace; `trace <scheme>` records one probed drain episode
+    // and reports where its cycles went.
+    if args.get("file").is_none() {
+        return cmd_trace_drain(args);
+    }
     let path = args.get("file").ok_or("trace needs --file <path>")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let ops = parse_trace(&text).map_err(|e| e.to_string())?;
@@ -366,14 +372,95 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `trace <scheme>`: one probed worst-case drain, reported as a
+/// per-resource utilization table plus critical-path attribution, with
+/// an optional Chrome-trace-event JSON export (`--out`) loadable in
+/// Perfetto or `chrome://tracing`.
+fn cmd_trace_drain(args: &Args) -> Result<(), String> {
+    let scheme_name = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .or_else(|| args.get("scheme"))
+        .unwrap_or("horus-slm");
+    let scheme = parse_scheme(scheme_name)?;
+    let llc_mb: u64 = args
+        .get("llc-mb")
+        .unwrap_or("8")
+        .parse()
+        .map_err(|e| format!("--llc-mb: {e}"))?;
+    let stride: u64 = args
+        .get("stride")
+        .unwrap_or("16384")
+        .parse()
+        .map_err(|e| format!("--stride: {e}"))?;
+    let cfg = horus::core::SystemConfig::with_llc_bytes(llc_mb << 20);
+    let spec = JobSpec::drain(
+        &cfg,
+        scheme,
+        FillPattern::StridedSparse { min_stride: stride },
+    );
+    let (result, trace) = spec.execute_traced();
+    let report = &result.drain;
+    println!(
+        "traced one {} drain: {} events over {} cycles ({:.3} ms)\n",
+        report.scheme,
+        trace.len(),
+        report.cycles,
+        report.seconds * 1e3
+    );
+    if let Some(usage) = &report.utilization {
+        println!(
+            "{:<14} {:>8} {:>6} {:>10} {:>10} {:>10}",
+            "resource", "ops", "util", "wait p50", "wait p99", "wait max"
+        );
+        for u in usage {
+            println!(
+                "{:<14} {:>8} {:>5.1}% {:>10} {:>10} {:>10}",
+                u.track,
+                u.ops,
+                u.utilization * 100.0,
+                u.queue_p50,
+                u.queue_p99,
+                u.queue_max
+            );
+        }
+    }
+    if let Some(cp) = &report.critical_path {
+        println!(
+            "\ncritical path: {} steps over {} cycles, bounded by {}",
+            cp.steps, cp.total_cycles, cp.bounding_resource
+        );
+        for share in &cp.shares {
+            println!(
+                "  {:<12} {:>10} cycles  {:>5.1}%",
+                share.resource,
+                share.cycles,
+                share.fraction * 100.0
+            );
+        }
+    }
+    if let Some(out) = args.get("out") {
+        let json = horus::sim::chrome_trace_json(&trace);
+        std::fs::write(out, json.as_bytes()).map_err(|e| format!("{out}: {e}"))?;
+        println!(
+            "\nwrote Chrome trace ({} events) to {out} — open in Perfetto",
+            trace.len()
+        );
+    }
+    Ok(())
+}
+
 const USAGE: &str = "usage: horus-cli <config|drain|recover|attack|sweep|trace> [options]
   config                          print the Table I configuration as JSON
   drain   --scheme S [--llc-mb N] [--stride B] [--json]
   recover --scheme S [--llc-mb N] [--write-through] [--json]
   attack  --kind K [--scheme S]   K: data address mac splice truncate replay
   sweep   --llc 8,16,32 [--jobs N] [--cache-dir DIR] [--no-cache] [--progress] [--json]
-  trace   --file <path> [--domain epd|adr|bbb:<lines>]
-schemes: ns base-lu base-eu horus-slm horus-dlm";
+  trace   <scheme> [--llc-mb N] [--stride B] [--out FILE]   probed drain: utilization,
+          critical path, optional Chrome-trace JSON (Perfetto-loadable)
+  trace   --file <path> [--domain epd|adr|bbb:<lines>]      workload replay
+schemes: ns base-lu base-eu horus(-slm) horus-dlm";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
