@@ -1,0 +1,376 @@
+//! The bench-regression gate behind the `bench-gate` binary and CI job.
+//!
+//! [`measure`] runs the smoke-scale [`crate::repro_all`] plan and distils
+//! it into a [`BenchSnapshot`]: the per-scheme headline op counts
+//! (memory requests, MAC operations, drain cycles) from the five-scheme
+//! comparison, every headline-claim measurement, and the wall time. The
+//! snapshot serializes to `BENCH_smoke.json` committed at the repo root;
+//! [`compare`] diffs a fresh measurement against that baseline with a
+//! relative tolerance and reports every deviation. Wall time is recorded
+//! for trend-watching but never compared — it depends on the runner.
+//!
+//! The JSON codec is hand-rolled (the snapshot is a small flat document
+//! we fully control) so the gate has no dependency on a JSON crate's
+//! availability or formatting stability: the committed baseline parses
+//! identically everywhere.
+
+use crate::repro_all::{self, ReproPlan};
+use crate::{figures, table};
+use horus_harness::Harness;
+use std::time::Instant;
+
+/// One scheme's headline op counts at smoke scale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemeOps {
+    /// The scheme's paper name.
+    pub scheme: String,
+    /// NVM requests issued by the drain.
+    pub memory_requests: u64,
+    /// MAC computations performed by the drain.
+    pub mac_ops: u64,
+    /// Drain latency in cycles.
+    pub cycles: u64,
+}
+
+/// One headline claim's measured value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadlineValue {
+    /// The claim, as worded in the `repro-all` headline table.
+    pub claim: String,
+    /// The measured value at smoke scale.
+    pub measured: f64,
+}
+
+/// Everything the gate compares (plus the informational wall time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSnapshot {
+    /// Per-scheme op counts, in `DrainScheme::ALL` order.
+    pub schemes: Vec<SchemeOps>,
+    /// Headline-claim measurements, in `repro-all` order.
+    pub checks: Vec<HeadlineValue>,
+    /// Wall time of the measuring run, seconds. Informational only.
+    pub wall_seconds: f64,
+}
+
+impl BenchSnapshot {
+    /// Serializes the snapshot. Stable format: field order fixed, floats
+    /// via Rust's shortest round-trip `Display`, one entity per line.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"wall_seconds\": {},\n", self.wall_seconds));
+        out.push_str("  \"schemes\": [\n");
+        for (i, s) in self.schemes.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"scheme\": \"{}\", \"memory_requests\": {}, \"mac_ops\": {}, \"cycles\": {}}}{}\n",
+                escape(&s.scheme),
+                s.memory_requests,
+                s.mac_ops,
+                s.cycles,
+                if i + 1 < self.schemes.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"checks\": [\n");
+        for (i, c) in self.checks.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"claim\": \"{}\", \"measured\": {}}}{}\n",
+                escape(&c.claim),
+                c.measured,
+                if i + 1 < self.checks.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a snapshot previously produced by [`Self::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut snapshot = Self {
+            schemes: Vec::new(),
+            checks: Vec::new(),
+            wall_seconds: 0.0,
+        };
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if let Some(rest) = line.strip_prefix("\"wall_seconds\":") {
+                snapshot.wall_seconds = rest
+                    .trim()
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad wall_seconds: {e}"))?;
+            } else if line.contains("\"scheme\":") {
+                snapshot.schemes.push(SchemeOps {
+                    scheme: str_field(line, "scheme")?,
+                    memory_requests: u64_field(line, "memory_requests")?,
+                    mac_ops: u64_field(line, "mac_ops")?,
+                    cycles: u64_field(line, "cycles")?,
+                });
+            } else if line.contains("\"claim\":") {
+                snapshot.checks.push(HeadlineValue {
+                    claim: str_field(line, "claim")?,
+                    measured: f64_field(line, "measured")?,
+                });
+            }
+        }
+        if snapshot.schemes.is_empty() || snapshot.checks.is_empty() {
+            return Err("baseline has no scheme or check entries".to_owned());
+        }
+        Ok(snapshot)
+    }
+
+    /// The human-readable summary table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .schemes
+            .iter()
+            .map(|s| {
+                vec![
+                    s.scheme.clone(),
+                    s.memory_requests.to_string(),
+                    s.mac_ops.to_string(),
+                    s.cycles.to_string(),
+                ]
+            })
+            .collect();
+        table::render(&["scheme", "mem requests", "MAC ops", "cycles"], &rows)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("\\\"", "\"").replace("\\\\", "\\")
+}
+
+fn str_field(line: &str, key: &str) -> Result<String, String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line
+        .find(&tag)
+        .ok_or_else(|| format!("missing field {key}: {line}"))?
+        + tag.len();
+    let end = line[start..]
+        .find("\", \"")
+        .or_else(|| line[start..].find("\"}"))
+        .ok_or_else(|| format!("unterminated field {key}: {line}"))?;
+    Ok(unescape(&line[start..start + end]))
+}
+
+fn raw_field<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+    let tag = format!("\"{key}\":");
+    let start = line
+        .find(&tag)
+        .ok_or_else(|| format!("missing field {key}: {line}"))?
+        + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Ok(rest[..end].trim())
+}
+
+fn u64_field(line: &str, key: &str) -> Result<u64, String> {
+    raw_field(line, key)?
+        .parse()
+        .map_err(|e| format!("bad {key}: {e}"))
+}
+
+fn f64_field(line: &str, key: &str) -> Result<f64, String> {
+    raw_field(line, key)?
+        .parse()
+        .map_err(|e| format!("bad {key}: {e}"))
+}
+
+/// Runs the smoke plan and snapshots its headline numbers.
+#[must_use]
+pub fn measure(harness: &Harness) -> BenchSnapshot {
+    let started = Instant::now();
+    let plan = ReproPlan::smoke();
+    let all = repro_all::run(harness, &plan);
+    let cmp = figures::scheme_comparison(harness, &plan.base);
+    BenchSnapshot {
+        schemes: cmp
+            .reports
+            .iter()
+            .map(|r| SchemeOps {
+                scheme: r.scheme.clone(),
+                memory_requests: r.memory_requests(),
+                mac_ops: r.mac_ops,
+                cycles: r.cycles,
+            })
+            .collect(),
+        checks: all
+            .checks
+            .iter()
+            .map(|c| HeadlineValue {
+                claim: c.claim.to_owned(),
+                measured: c.measured,
+            })
+            .collect(),
+        wall_seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Diffs `current` against the committed `baseline`; every string in the
+/// returned list is one deviation beyond `tolerance` (relative, e.g.
+/// `0.02` = 2%). Empty means the gate passes. Wall time is never
+/// compared.
+#[must_use]
+pub fn compare(current: &BenchSnapshot, baseline: &BenchSnapshot, tolerance: f64) -> Vec<String> {
+    let mut deviations = Vec::new();
+    let drifted = |now: f64, then: f64| {
+        let scale = then.abs().max(1e-12);
+        ((now - then) / scale).abs() > tolerance
+    };
+    for base in &baseline.schemes {
+        match current.schemes.iter().find(|s| s.scheme == base.scheme) {
+            None => deviations.push(format!("scheme {} missing from current run", base.scheme)),
+            Some(now) => {
+                for (what, now_v, then_v) in [
+                    ("memory requests", now.memory_requests, base.memory_requests),
+                    ("MAC ops", now.mac_ops, base.mac_ops),
+                    ("cycles", now.cycles, base.cycles),
+                ] {
+                    if drifted(now_v as f64, then_v as f64) {
+                        deviations.push(format!(
+                            "{} {what}: {now_v} vs baseline {then_v}",
+                            base.scheme
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for scheme in &current.schemes {
+        if !baseline.schemes.iter().any(|s| s.scheme == scheme.scheme) {
+            deviations.push(format!(
+                "scheme {} absent from baseline — refresh it",
+                scheme.scheme
+            ));
+        }
+    }
+    for base in &baseline.checks {
+        match current.checks.iter().find(|c| c.claim == base.claim) {
+            None => deviations.push(format!("claim \"{}\" missing from current run", base.claim)),
+            Some(now) => {
+                if drifted(now.measured, base.measured) {
+                    deviations.push(format!(
+                        "claim \"{}\": {} vs baseline {}",
+                        base.claim, now.measured, base.measured
+                    ));
+                }
+            }
+        }
+    }
+    deviations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchSnapshot {
+        BenchSnapshot {
+            schemes: vec![
+                SchemeOps {
+                    scheme: "Base-LU".to_owned(),
+                    memory_requests: 1000,
+                    mac_ops: 400,
+                    cycles: 90_000,
+                },
+                SchemeOps {
+                    scheme: "Horus-SLM".to_owned(),
+                    memory_requests: 120,
+                    mac_ops: 64,
+                    cycles: 9_000,
+                },
+            ],
+            checks: vec![HeadlineValue {
+                claim: "Base-LU drain ops vs Horus-SLM (x)".to_owned(),
+                measured: 8.333_333,
+            }],
+            wall_seconds: 1.25,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let snap = sample();
+        let parsed = BenchSnapshot::parse(&snap.to_json()).expect("parses");
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn quotes_in_claims_survive_the_codec() {
+        let mut snap = sample();
+        snap.checks[0].claim = "a \"quoted\" claim \\ with backslash".to_owned();
+        let parsed = BenchSnapshot::parse(&snap.to_json()).expect("parses");
+        assert_eq!(parsed.checks[0].claim, snap.checks[0].claim);
+    }
+
+    #[test]
+    fn identical_snapshots_pass_the_gate() {
+        let snap = sample();
+        assert!(compare(&snap, &snap, 0.0).is_empty());
+    }
+
+    #[test]
+    fn wall_time_is_never_compared() {
+        let base = sample();
+        let mut now = base.clone();
+        now.wall_seconds = base.wall_seconds * 100.0;
+        assert!(compare(&now, &base, 0.01).is_empty());
+    }
+
+    #[test]
+    fn count_drift_beyond_tolerance_is_flagged() {
+        let base = sample();
+        let mut now = base.clone();
+        now.schemes[1].mac_ops = 80;
+        let deviations = compare(&now, &base, 0.02);
+        assert_eq!(deviations.len(), 1);
+        assert!(
+            deviations[0].contains("Horus-SLM MAC ops"),
+            "{deviations:?}"
+        );
+        assert!(compare(&now, &base, 0.5).is_empty(), "inside 50% tolerance");
+    }
+
+    #[test]
+    fn missing_and_extra_schemes_are_flagged() {
+        let base = sample();
+        let mut now = base.clone();
+        now.schemes[0].scheme = "Base-EU".to_owned();
+        let deviations = compare(&now, &base, 0.02);
+        assert!(deviations
+            .iter()
+            .any(|d| d.contains("Base-LU missing") || d.contains("scheme Base-LU missing")));
+        assert!(deviations.iter().any(|d| d.contains("Base-EU absent")));
+    }
+
+    #[test]
+    fn claim_drift_is_flagged() {
+        let base = sample();
+        let mut now = base.clone();
+        now.checks[0].measured = 12.0;
+        let deviations = compare(&now, &base, 0.02);
+        assert_eq!(deviations.len(), 1);
+        assert!(deviations[0].starts_with("claim"));
+    }
+
+    #[test]
+    fn measured_smoke_snapshot_is_stable_and_self_consistent() {
+        let harness = Harness::serial();
+        let snap = measure(&harness);
+        assert_eq!(snap.schemes.len(), 5, "one row per scheme");
+        assert!(!snap.checks.is_empty());
+        assert!(snap.wall_seconds > 0.0);
+        let again = measure(&harness);
+        assert!(compare(&snap, &again, 0.0).is_empty(), "deterministic");
+        let parsed = BenchSnapshot::parse(&snap.to_json()).expect("parses");
+        assert!(compare(&parsed, &snap, 0.0).is_empty(), "codec faithful");
+    }
+}

@@ -1,0 +1,143 @@
+//! Bench-regression gate: measure the smoke-plan headline numbers and
+//! diff them against the committed `BENCH_smoke.json` baseline.
+//!
+//! The simulator is deterministic, so the op counts and claim ratios in
+//! the snapshot reproduce exactly run-to-run; the tolerance exists to
+//! absorb *intentional* model refinements small enough not to change any
+//! conclusion. Larger drift fails the gate — either fix the regression
+//! or refresh the baseline with `--update` and justify it in the PR.
+//!
+//! Usage: `cargo run --release -p horus-bench --bin bench-gate --
+//! [--update] [--baseline PATH] [--out PATH] [--tolerance FRACTION]
+//! [--jobs N] [--no-cache]`
+
+use horus_bench::bench_gate::{self, BenchSnapshot};
+use horus_harness::{Harness, HarnessOptions};
+use std::path::PathBuf;
+use std::process::exit;
+
+struct Args {
+    update: bool,
+    baseline: PathBuf,
+    out: Option<PathBuf>,
+    tolerance: f64,
+    jobs: Option<usize>,
+    no_cache: bool,
+}
+
+const USAGE: &str = "usage: bench-gate [--update] [--baseline PATH] [--out PATH] \
+[--tolerance FRACTION] [--jobs N] [--no-cache]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        update: false,
+        baseline: PathBuf::from("BENCH_smoke.json"),
+        out: None,
+        tolerance: 0.02,
+        jobs: None,
+        no_cache: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--update" => args.update = true,
+            "--no-cache" => args.no_cache = true,
+            "--baseline" => {
+                args.baseline = PathBuf::from(it.next().ok_or("--baseline requires a value")?);
+            }
+            "--out" => args.out = Some(PathBuf::from(it.next().ok_or("--out requires a value")?)),
+            "--tolerance" => {
+                let v = it.next().ok_or("--tolerance requires a value")?;
+                args.tolerance = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("--tolerance {v}: {e}"))?;
+                if !(0.0..1.0).contains(&args.tolerance) {
+                    return Err(format!("--tolerance {v}: want a fraction in [0, 1)"));
+                }
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs requires a value")?;
+                args.jobs = Some(v.parse::<usize>().map_err(|e| format!("--jobs {v}: {e}"))?);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            exit(2);
+        }
+    };
+    let harness = Harness::new(HarnessOptions {
+        jobs: args.jobs,
+        no_cache: args.no_cache,
+        ..HarnessOptions::default()
+    });
+    let snapshot = bench_gate::measure(&harness);
+    println!(
+        "smoke-plan headline op counts ({:.2}s wall, {} workers):\n\n{}",
+        snapshot.wall_seconds,
+        harness.jobs(),
+        snapshot.render()
+    );
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::write(out, snapshot.to_json()) {
+            eprintln!("error: writing {}: {e}", out.display());
+            exit(1);
+        }
+        println!("snapshot written to {}", out.display());
+    }
+    if args.update {
+        if let Err(e) = std::fs::write(&args.baseline, snapshot.to_json()) {
+            eprintln!("error: writing {}: {e}", args.baseline.display());
+            exit(1);
+        }
+        println!("baseline refreshed at {}", args.baseline.display());
+        return;
+    }
+    let text = match std::fs::read_to_string(&args.baseline) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "error: reading baseline {}: {e}\n(run with --update to create it)",
+                args.baseline.display()
+            );
+            exit(1);
+        }
+    };
+    let baseline = match BenchSnapshot::parse(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: baseline {}: {e}", args.baseline.display());
+            exit(1);
+        }
+    };
+    let deviations = bench_gate::compare(&snapshot, &baseline, args.tolerance);
+    if deviations.is_empty() {
+        println!(
+            "bench gate PASSED: every headline number within {:.1}% of {} \
+             (baseline wall {:.2}s, this run {:.2}s — informational)",
+            args.tolerance * 100.0,
+            args.baseline.display(),
+            baseline.wall_seconds,
+            snapshot.wall_seconds
+        );
+    } else {
+        eprintln!(
+            "bench gate FAILED: {} deviation(s) beyond {:.1}% of {}:",
+            deviations.len(),
+            args.tolerance * 100.0,
+            args.baseline.display()
+        );
+        for d in &deviations {
+            eprintln!("  - {d}");
+        }
+        eprintln!("fix the regression, or refresh with --update and justify the change");
+        exit(1);
+    }
+}

@@ -4,8 +4,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod bench_gate;
 pub mod chart;
 pub mod cli;
+pub mod crash_sweep;
 pub mod experiments;
 pub mod figures;
 pub mod repro_all;

@@ -80,6 +80,23 @@ impl std::fmt::Display for DrainScheme {
     }
 }
 
+/// What one execution of the drain loops flushed — shared bookkeeping
+/// between the completed-drain path ([`SecureEpdSystem::crash_and_drain`])
+/// and the interrupted path (`crash_and_drain_interrupted` in
+/// [`crash`](crate::crash)).
+pub(crate) struct DrainRun {
+    /// Dirty hierarchy blocks streamed.
+    pub(crate) flushed: u64,
+    /// Metadata blocks flushed (baselines) or vaulted (Horus).
+    pub(crate) metadata_blocks: u64,
+    /// The CHV rotation slot used (0 for non-Horus schemes).
+    pub(crate) chv_slot: u64,
+    /// The cycle each Horus CHV push was issued at, in push order — the
+    /// instant the DC/eDC registers increment for that block. Empty for
+    /// non-Horus schemes.
+    pub(crate) push_issue_cycles: Vec<Cycles>,
+}
+
 impl SecureEpdSystem {
     /// Simulates an outage: drains the dirty cache hierarchy (and the
     /// security-metadata state the scheme requires) to NVM under
@@ -97,6 +114,74 @@ impl SecureEpdSystem {
     /// verification mid-drain (possible only if NVM was tampered with
     /// while the system was live).
     pub fn crash_and_drain(&mut self, scheme: DrainScheme) -> DrainReport {
+        let run = self.run_drain_loops(scheme);
+        let flushed = run.flushed;
+        let metadata_blocks = run.metadata_blocks;
+
+        let cycles = self.platform.busy_until();
+        let seconds = self.config.nvm.frequency.cycles_to_seconds(cycles);
+
+        // Power off: all volatile state is lost.
+        self.hierarchy.clear();
+        if scheme.is_horus() || scheme == DrainScheme::NonSecure {
+            // Baselines already cleared their metadata caches in
+            // flush_after_drain; Horus drained them into the CHV.
+            self.clear_metadata_caches();
+        }
+
+        if scheme.is_horus() {
+            self.episodes_drained += 1;
+        }
+        self.episode = Some(Episode {
+            scheme,
+            blocks: flushed + metadata_blocks,
+            chv_slot: run.chv_slot,
+        });
+
+        let mut stats = self.platform.merged_stats();
+        // Probe post-processing: derive per-resource utilization and the
+        // critical path from the event stream, fold queueing delays into
+        // the stats histograms, and stash the full trace for export
+        // (recover_with's reset_timing would otherwise discard it).
+        let (utilization, critical_path) = if self.platform.probe_enabled() {
+            let events = self.platform.take_trace();
+            let resource_events: Vec<_> = events
+                .iter()
+                .filter(|e| e.track != "phase")
+                .cloned()
+                .collect();
+            for e in &resource_events {
+                stats.record_sample(&format!("queue.{}", base_resource(&e.track)), e.wait());
+            }
+            let usage = resource_usage(&resource_events, cycles.0);
+            let cp = critical_path(&resource_events, cycles.0);
+            self.episode_trace = Some(events);
+            (Some(usage), cp)
+        } else {
+            (None, None)
+        };
+        DrainReport {
+            scheme: scheme.name().to_owned(),
+            flushed_blocks: flushed,
+            metadata_blocks,
+            cycles: cycles.0,
+            seconds,
+            reads: self.platform.nvm.total_reads(),
+            writes: self.platform.nvm.total_writes(),
+            mac_ops: self.platform.total_mac_ops(),
+            otp_ops: self.platform.total_otp_ops(),
+            stats,
+            utilization,
+            critical_path,
+        }
+    }
+
+    /// Runs the scheme's drain loops from outage detection to the last
+    /// issued operation, *without* powering off or recording the episode
+    /// — the shared core of the completed and interrupted drain paths.
+    /// Timing and accounting are reset first; the caller reads
+    /// `platform.busy_until()` for the total drain time.
+    pub(crate) fn run_drain_loops(&mut self, scheme: DrainScheme) -> DrainRun {
         match scheme {
             DrainScheme::BaseLazy => assert_eq!(
                 self.engine.scheme(),
@@ -117,6 +202,8 @@ impl SecureEpdSystem {
         let blocks = self.hierarchy.drain_order();
         let flushed = blocks.len() as u64;
         let mut metadata_blocks = 0u64;
+        let mut chv_slot = 0u64;
+        let mut push_issue_cycles = Vec::new();
 
         // Walk markers: how many unique dirty lines each level
         // contributes (instant markers at cycle 0 on the phase track).
@@ -163,6 +250,7 @@ impl SecureEpdSystem {
                 // vault slots (the slot index is derived from an on-chip
                 // episode counter, so recovery knows where to look).
                 let slot = self.episodes_drained % self.config.chv_rotation_slots.max(1);
+                chv_slot = slot;
                 let layout = ChvLayout::new(self.chv_slot_base(slot), mode);
                 // A new episode overwrites the vault; if a previous one
                 // was never recovered (e.g. its recovery was aborted),
@@ -182,6 +270,7 @@ impl SecureEpdSystem {
                 let mut t = Cycles::ZERO;
                 for (addr, data) in &blocks {
                     let dc = self.counters.allocate();
+                    push_issue_cycles.push(t);
                     t = writer.push(&mut self.platform, dc, *addr, data, "chv_data", t);
                 }
                 let t_data = self.platform.busy_until();
@@ -193,6 +282,7 @@ impl SecureEpdSystem {
                 metadata_blocks = meta.len() as u64;
                 for (addr, data) in &meta {
                     let dc = self.counters.allocate();
+                    push_issue_cycles.push(t);
                     t = writer.push(&mut self.platform, dc, *addr, data, "chv_meta", t);
                 }
                 let t_meta = self.platform.busy_until();
@@ -203,65 +293,11 @@ impl SecureEpdSystem {
             }
         }
 
-        let cycles = self.platform.busy_until();
-        let seconds = self.config.nvm.frequency.cycles_to_seconds(cycles);
-
-        // Power off: all volatile state is lost.
-        self.hierarchy.clear();
-        if scheme.is_horus() || scheme == DrainScheme::NonSecure {
-            // Baselines already cleared their metadata caches in
-            // flush_after_drain; Horus drained them into the CHV.
-            self.clear_metadata_caches();
-        }
-
-        let chv_slot = if scheme.is_horus() {
-            let slot = self.episodes_drained % self.config.chv_rotation_slots.max(1);
-            self.episodes_drained += 1;
-            slot
-        } else {
-            0
-        };
-        self.episode = Some(Episode {
-            scheme,
-            blocks: flushed + metadata_blocks,
-            chv_slot,
-        });
-
-        let mut stats = self.platform.merged_stats();
-        // Probe post-processing: derive per-resource utilization and the
-        // critical path from the event stream, fold queueing delays into
-        // the stats histograms, and stash the full trace for export
-        // (recover_with's reset_timing would otherwise discard it).
-        let (utilization, critical_path) = if self.platform.probe_enabled() {
-            let events = self.platform.take_trace();
-            let resource_events: Vec<_> = events
-                .iter()
-                .filter(|e| e.track != "phase")
-                .cloned()
-                .collect();
-            for e in &resource_events {
-                stats.record_sample(&format!("queue.{}", base_resource(&e.track)), e.wait());
-            }
-            let usage = resource_usage(&resource_events, cycles.0);
-            let cp = critical_path(&resource_events, cycles.0);
-            self.episode_trace = Some(events);
-            (Some(usage), cp)
-        } else {
-            (None, None)
-        };
-        DrainReport {
-            scheme: scheme.name().to_owned(),
-            flushed_blocks: flushed,
+        DrainRun {
+            flushed,
             metadata_blocks,
-            cycles: cycles.0,
-            seconds,
-            reads: self.platform.nvm.total_reads(),
-            writes: self.platform.nvm.total_writes(),
-            mac_ops: self.platform.total_mac_ops(),
-            otp_ops: self.platform.total_otp_ops(),
-            stats,
-            utilization,
-            critical_path,
+            chv_slot,
+            push_issue_cycles,
         }
     }
 
@@ -288,7 +324,7 @@ impl SecureEpdSystem {
         out
     }
 
-    fn clear_metadata_caches(&mut self) {
+    pub(crate) fn clear_metadata_caches(&mut self) {
         // Power loss: the engine's caches are volatile. Flushing already
         // cleared them for the baselines; Horus clears them here after
         // vaulting the dirty lines.

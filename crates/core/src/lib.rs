@@ -48,6 +48,7 @@ pub mod attack;
 pub mod chv;
 pub mod config;
 pub mod counter_reg;
+pub mod crash;
 pub mod domain;
 pub mod drain;
 pub mod osiris;
@@ -58,6 +59,10 @@ pub mod system;
 pub use chv::{ChvLayout, MacGranularity};
 pub use config::SystemConfig;
 pub use counter_reg::DrainCounters;
+pub use crash::{
+    run_crash_point, CrashPointReport, CrashRecovery, CrashSpec, CrashVerdict, InterruptedDrain,
+    TornWriteModel,
+};
 pub use domain::{PersistStats, PersistenceDomain};
 pub use drain::DrainScheme;
 pub use osiris::OsirisReport;

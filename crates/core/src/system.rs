@@ -43,6 +43,12 @@ pub struct SecureEpdSystem {
     pub(crate) counters: DrainCounters,
     pub(crate) episode: Option<Episode>,
     pub(crate) episodes_drained: u64,
+    /// Horus's persistent drain-open register: set when a drain episode
+    /// was cut short by a power failure before its last CHV write
+    /// completed, cleared when a drain or its recovery finishes. Lives
+    /// beside the persistent DC register on chip; the baselines have no
+    /// such register, which is exactly their vulnerability window.
+    pub(crate) drain_open: bool,
     pub(crate) persist_buffer: Option<PersistBuffer>,
     pub(crate) persist_stats: PersistStats,
     pub(crate) clock: Cycles,
@@ -81,6 +87,7 @@ impl SecureEpdSystem {
             counters: DrainCounters::new(),
             episode: None,
             episodes_drained: 0,
+            drain_open: false,
             persist_buffer: None,
             persist_stats: PersistStats::default(),
             clock: Cycles::ZERO,
@@ -170,6 +177,13 @@ impl SecureEpdSystem {
     #[must_use]
     pub fn episode(&self) -> Option<Episode> {
         self.episode
+    }
+
+    /// Whether the persistent drain-open register is set: a Horus drain
+    /// was interrupted by a power failure and has not been recovered yet.
+    #[must_use]
+    pub fn drain_open(&self) -> bool {
+        self.drain_open
     }
 
     /// The CHV layout of the most recent episode, if it was a Horus

@@ -32,11 +32,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crash;
 pub mod device;
 pub mod layout;
 pub mod system;
 pub mod wear;
 
+pub use crash::{CrashOutcome, TornWriteModel};
 pub use device::NvmDevice;
 pub use layout::{AddressMap, Region};
 pub use system::{NvmConfig, NvmSystem};

@@ -1,8 +1,11 @@
 //! The timed NVM front end: functional device + bank timing + accounting.
 
+use crate::crash::{torn_block, CrashOutcome, JournalEntry, TornWriteModel};
 use crate::wear::WearTracker;
 use crate::{Block, NvmDevice, BLOCK_SIZE};
-use horus_sim::{Completion, Cycles, Frequency, SlotBankSet, Stats, TraceEvent};
+use horus_sim::{
+    Completion, Cycles, Frequency, PowerFailure, SlotBankSet, Stats, TraceEvent, WriteFate,
+};
 use serde::{Deserialize, Serialize};
 
 /// PCM device and channel parameters.
@@ -55,6 +58,10 @@ pub struct NvmSystem {
     write_latency: Cycles,
     stats: Stats,
     wear: WearTracker,
+    /// Armed only during crash-point experiments: records every write's
+    /// pre-image and service window so a power failure can be applied
+    /// post hoc.
+    journal: Option<Vec<JournalEntry>>,
 }
 
 impl NvmSystem {
@@ -71,6 +78,7 @@ impl NvmSystem {
             write_latency,
             stats: Stats::new(),
             wear: WearTracker::new(),
+            journal: None,
         }
     }
 
@@ -137,8 +145,83 @@ impl NvmSystem {
         };
         self.stats.incr(&format!("mem.write.{kind}"));
         self.wear.record(addr);
+        if let Some(journal) = &mut self.journal {
+            journal.push(JournalEntry {
+                addr,
+                pre: self.device.read_block(addr),
+                was_written: self.device.is_written(addr),
+                data,
+                kind: kind.to_owned(),
+                completion,
+            });
+        }
         self.device.write_block(addr, data);
         completion
+    }
+
+    // ----- crash-point injection -------------------------------------------
+
+    /// Arms the crash journal: every subsequent write records its
+    /// pre-image and service window until [`fire_crash`](Self::fire_crash)
+    /// or [`disarm_crash_journal`](Self::disarm_crash_journal). Re-arming
+    /// discards any previous journal.
+    pub fn arm_crash_journal(&mut self) {
+        self.journal = Some(Vec::new());
+    }
+
+    /// Whether the crash journal is armed.
+    #[must_use]
+    pub fn crash_journal_armed(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Drops the crash journal without applying a failure (the
+    /// experiment's reference run survived).
+    pub fn disarm_crash_journal(&mut self) {
+        self.journal = None;
+    }
+
+    /// Applies a power failure to the journaled write stream and disarms
+    /// the journal: each journaled write is classified against the cut
+    /// and — walking the journal backwards so overlapping writes to the
+    /// same block unwind correctly — completed writes are kept, writes
+    /// that never started are rewound to their pre-image (or to the
+    /// erased state), and mid-flight writes are replaced per `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the journal was not armed.
+    pub fn fire_crash(&mut self, failure: PowerFailure, model: TornWriteModel) -> CrashOutcome {
+        let journal = self
+            .journal
+            .take()
+            .expect("fire_crash requires an armed crash journal");
+        let mut outcome = CrashOutcome {
+            at: failure.cycle().0,
+            ..CrashOutcome::default()
+        };
+        for e in journal.iter().rev() {
+            match failure.fate_of(&e.completion) {
+                WriteFate::Durable => outcome.durable += 1,
+                WriteFate::Lost => {
+                    if e.was_written {
+                        self.device.write_block(e.addr, e.pre);
+                    } else {
+                        self.device.erase_range(e.addr, 1);
+                    }
+                    outcome.lost += 1;
+                    outcome.lost_addrs.push(e.addr);
+                }
+                WriteFate::Torn { elapsed, duration } => {
+                    let torn = torn_block(&e.pre, &e.data, e.addr, elapsed, duration, model);
+                    self.device.write_block(e.addr, torn);
+                    outcome.torn += 1;
+                    outcome.torn_addrs.push(e.addr);
+                    outcome.torn_kinds.push(e.kind.clone());
+                }
+            }
+        }
+        outcome
     }
 
     /// Starts recording per-bank operation traces (bank-indexed tracks,
@@ -284,6 +367,86 @@ mod tests {
             probed.enable_probe();
             probed.write(128, [0u8; 64], "data", Cycles(0))
         });
+    }
+
+    #[test]
+    fn crash_journal_rewinds_unstarted_writes() {
+        let mut nvm = NvmSystem::new(NvmConfig::paper_default());
+        nvm.write(0, [1u8; 64], "data", Cycles(0));
+        nvm.arm_crash_journal();
+        assert!(nvm.crash_journal_armed());
+        // Same bank: both serialize behind the pre-arm write (0..2000).
+        let c1 = nvm.write(0, [2u8; 64], "data", Cycles(0));
+        let c2 = nvm.write(0, [3u8; 64], "data", Cycles(0));
+        assert_eq!((c1.done, c2.start), (Cycles(4000), Cycles(4000)));
+        // Cut after the first completes, before the second starts.
+        let o = nvm.fire_crash(PowerFailure::at(Cycles(4000)), TornWriteModel::Torn);
+        assert!(!nvm.crash_journal_armed());
+        assert_eq!((o.durable, o.lost, o.torn), (1, 1, 0));
+        assert_eq!(o.lost_addrs, vec![0]);
+        assert_eq!(o.total(), 2);
+        assert_eq!(nvm.device().read_block(0), [2u8; 64]);
+    }
+
+    #[test]
+    fn crash_journal_rewinds_never_written_blocks_to_erased() {
+        let mut nvm = NvmSystem::new(NvmConfig::paper_default());
+        nvm.arm_crash_journal();
+        nvm.write(64, [7u8; 64], "data", Cycles(0));
+        let o = nvm.fire_crash(PowerFailure::at(Cycles(0)), TornWriteModel::Torn);
+        assert_eq!(o.lost, 1);
+        assert!(!nvm.device().is_written(64), "rewound to erased, not zeros");
+    }
+
+    #[test]
+    fn crash_journal_tears_the_in_flight_write() {
+        let mut nvm = NvmSystem::new(NvmConfig::paper_default());
+        nvm.write(0, [0x11u8; 64], "data", Cycles(0));
+        nvm.arm_crash_journal();
+        nvm.write(0, [0xEEu8; 64], "chv_data", Cycles(3000));
+        // The write runs 3000..5000; cut half-way.
+        let o = nvm.fire_crash(PowerFailure::at(Cycles(4000)), TornWriteModel::Torn);
+        assert_eq!((o.durable, o.lost, o.torn), (0, 0, 1));
+        assert_eq!(o.torn_addrs, vec![0]);
+        assert_eq!(o.torn_kinds, vec!["chv_data".to_owned()]);
+        let b = nvm.device().read_block(0);
+        assert_eq!(&b[..32], &[0xEEu8; 32][..], "persisted prefix");
+        assert_eq!(&b[33..], &[0x11u8; 31][..], "stale suffix");
+        assert!(b[32] != 0x11 && b[32] != 0xEE, "garbled boundary byte");
+    }
+
+    #[test]
+    fn crash_journal_is_deterministic_per_cut() {
+        let run = |at: u64| {
+            let mut nvm = NvmSystem::new(NvmConfig::paper_default());
+            nvm.arm_crash_journal();
+            for i in 0..8u64 {
+                nvm.write(i * 64, [i as u8 + 1; 64], "data", Cycles(0));
+            }
+            nvm.fire_crash(PowerFailure::at(Cycles(at)), TornWriteModel::Torn);
+            (0..8u64)
+                .map(|i| nvm.device().read_block(i * 64))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1234), run(1234));
+        assert_ne!(run(0), run(2000));
+    }
+
+    #[test]
+    fn disarm_keeps_contents_and_stops_journaling() {
+        let mut nvm = NvmSystem::new(NvmConfig::paper_default());
+        nvm.arm_crash_journal();
+        nvm.write(0, [5u8; 64], "data", Cycles(0));
+        nvm.disarm_crash_journal();
+        assert!(!nvm.crash_journal_armed());
+        assert_eq!(nvm.device().read_block(0), [5u8; 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "armed crash journal")]
+    fn fire_without_arm_panics() {
+        let mut nvm = NvmSystem::new(NvmConfig::paper_default());
+        let _ = nvm.fire_crash(PowerFailure::at(Cycles(0)), TornWriteModel::Torn);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   used to model PCM banks, AES engines and hash engines;
 //! * [`queue`] — a deterministic [`queue::EventQueue`] for
 //!   callers that need full event-driven control;
+//! * [`power`] — crash-point injection: a [`power::PowerFailure`] cut
+//!   that classifies in-flight operations ([`power::WriteFate`]) and
+//!   halts event dispatch at an arbitrary cycle;
 //! * [`stats`] — a [`stats::Stats`] registry of named counters and
 //!   power-of-two [`stats::Histogram`]s, used by every layer to
 //!   report the breakdowns shown in the paper's figures;
@@ -47,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod power;
 pub mod queue;
 pub mod resource;
 pub mod schedule;
@@ -54,6 +58,7 @@ pub mod stats;
 pub mod trace;
 
 pub use clock::{Cycles, Frequency};
+pub use power::{PowerFailure, WriteFate};
 pub use resource::{BankSet, Completion, Resource};
 pub use schedule::{SlotBankSet, SlotResource};
 pub use stats::{Histogram, Stats};

@@ -121,6 +121,30 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&self) -> Option<Cycles> {
         self.heap.peek().map(|e| e.time)
     }
+
+    /// Removes every event scheduled at or after `cutoff` and returns
+    /// them in dispatch order (time, then insertion order), leaving
+    /// earlier events queued and the clock untouched. This is the
+    /// power-failure primitive: the machine dies at `cutoff`, so nothing
+    /// scheduled from that cycle on can ever dispatch.
+    pub fn cancel_from(&mut self, cutoff: Cycles) -> Vec<(Cycles, E)> {
+        let mut kept = Vec::new();
+        let mut cancelled = Vec::new();
+        for entry in std::mem::take(&mut self.heap).into_sorted_vec() {
+            if entry.time >= cutoff {
+                cancelled.push(entry);
+            } else {
+                kept.push(entry);
+            }
+        }
+        // into_sorted_vec is ascending by `Ord`, which is reversed for
+        // the max-heap — so it yields latest-first; restore time order.
+        cancelled.reverse();
+        for entry in kept {
+            self.heap.push(entry);
+        }
+        cancelled.into_iter().map(|e| (e.time, e.event)).collect()
+    }
 }
 
 impl<E> Default for EventQueue<E> {

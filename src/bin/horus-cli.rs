@@ -6,14 +6,22 @@
 //! horus-cli recover --scheme horus-dlm [--llc-mb 8] [--write-through]
 //! horus-cli attack  --kind splice [--scheme horus-slm]
 //! horus-cli sweep   --llc 8,16,32 [--jobs N] [--cache-dir DIR] [--no-cache] [--progress] [--json]
+//! horus-cli crash-sweep [--quick] [--points N] [--model torn|stale|garbled] [--jobs N] [--out FILE] [--json]
 //! ```
 //!
 //! `sweep` runs on the `horus-harness` worker pool: points execute in
 //! parallel (`--jobs`, default all cores) and results are memoized in
 //! the on-disk cache, so re-running a sweep is instant.
+//!
+//! `crash-sweep` interrupts every scheme's drain at sampled cycles
+//! (phase boundaries ±1 plus even coverage), recovers from the exact
+//! persistent state left behind, and classifies each point; it exits
+//! nonzero if a Horus scheme ever silently returns corrupted data.
 
+use horus::bench::crash_sweep as bench_crash;
 use horus::core::{
     attack, DrainScheme, PersistenceDomain, RecoveryMode, SecureEpdSystem, SystemConfig,
+    TornWriteModel,
 };
 use horus::energy::{Battery, DrainEnergyModel};
 use horus::harness::{Harness, HarnessOptions, JobSpec, ProgressMode};
@@ -300,6 +308,73 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `crash-sweep`: the crash-point fault-injection matrix. Returns the
+/// process exit code so a Horus silent-corruption classification (or a
+/// panicked trial) fails scripts and CI.
+fn cmd_crash_sweep(args: &Args) -> Result<ExitCode, String> {
+    let mut plan = if args.has("quick") {
+        bench_crash::CrashSweepPlan::quick()
+    } else {
+        bench_crash::CrashSweepPlan::full()
+    };
+    if let Some(points) = args.get("points") {
+        plan.points_per_scheme = points
+            .parse::<usize>()
+            .map_err(|e| format!("--points: {e}"))?
+            .max(2);
+    }
+    if let Some(model) = args.get("model") {
+        plan.model = match model.to_ascii_lowercase().as_str() {
+            "torn" => TornWriteModel::Torn,
+            "stale" => TornWriteModel::Stale,
+            "garbled" => TornWriteModel::Garbled,
+            other => {
+                return Err(format!(
+                    "unknown torn-write model '{other}' (torn, stale, garbled)"
+                ))
+            }
+        };
+    }
+    let jobs = args
+        .get("jobs")
+        .map(|v| v.parse::<usize>().map_err(|e| format!("--jobs: {e}")))
+        .transpose()?;
+    let harness = Harness::new(HarnessOptions {
+        jobs,
+        no_cache: true, // crash points are cheap and not JobSpec-shaped
+        progress: ProgressMode::Silent,
+        ..HarnessOptions::default()
+    });
+    let matrix = bench_crash::run(&harness, &plan);
+    if let Some(out) = args.get("out") {
+        let json = serde_json::to_string_pretty(&matrix).map_err(|e| e.to_string())?;
+        std::fs::write(out, json.as_bytes()).map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("crash matrix written to {out}");
+    }
+    if args.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&matrix).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("{}", matrix.render());
+    }
+    if matrix.failures() > 0 {
+        eprintln!(
+            "error: {} Horus silent corruption(s), {} panicked trial(s)",
+            matrix.horus_silent_corruptions(),
+            matrix.panics
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    println!(
+        "\nHorus: zero silent corruption across {} sampled crash points; baseline",
+        matrix.points.len()
+    );
+    println!("silent-loss rows are their documented vulnerability window.");
+    Ok(ExitCode::SUCCESS)
+}
+
 fn parse_domain(s: &str) -> Result<PersistenceDomain, String> {
     match s.to_ascii_lowercase().as_str() {
         "epd" | "eadr" => Ok(PersistenceDomain::Epd),
@@ -451,12 +526,16 @@ fn cmd_trace_drain(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: horus-cli <config|drain|recover|attack|sweep|trace> [options]
+const USAGE: &str =
+    "usage: horus-cli <config|drain|recover|attack|sweep|crash-sweep|trace> [options]
   config                          print the Table I configuration as JSON
   drain   --scheme S [--llc-mb N] [--stride B] [--json]
   recover --scheme S [--llc-mb N] [--write-through] [--json]
   attack  --kind K [--scheme S]   K: data address mac splice truncate replay
   sweep   --llc 8,16,32 [--jobs N] [--cache-dir DIR] [--no-cache] [--progress] [--json]
+  crash-sweep [--quick] [--points N] [--model torn|stale|garbled] [--jobs N]
+          [--out FILE] [--json]   interrupt each drain at sampled cycles, recover,
+          classify; exits nonzero on any Horus silent corruption
   trace   <scheme> [--llc-mb N] [--stride B] [--out FILE]   probed drain: utilization,
           critical path, optional Chrome-trace JSON (Perfetto-loadable)
   trace   --file <path> [--domain epd|adr|bbb:<lines>]      workload replay
@@ -464,7 +543,10 @@ schemes: ns base-lu base-eu horus(-slm) horus-dlm";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let args = match Args::parse(&argv, &["json", "write-through", "no-cache", "progress"]) {
+    let args = match Args::parse(
+        &argv,
+        &["json", "write-through", "no-cache", "progress", "quick"],
+    ) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
@@ -482,6 +564,10 @@ fn main() -> ExitCode {
         "recover" => cmd_recover(&args),
         "attack" => cmd_attack(&args),
         "sweep" => cmd_sweep(&args),
+        "crash-sweep" => match cmd_crash_sweep(&args) {
+            Ok(code) => return code,
+            Err(e) => Err(e),
+        },
         "trace" => cmd_trace(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

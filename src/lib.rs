@@ -20,6 +20,7 @@
 //! | [`energy`] | `horus-energy` | drain energy and battery sizing (Tables II–III) |
 //! | [`workload`] | `horus-workload` | crash-snapshot generators and access traces |
 //! | [`harness`] | `horus-harness` | parallel, cache-aware experiment orchestration |
+//! | [`mod@bench`] | `horus-bench` | the paper's figures/tables, the crash-point sweep, the bench gate |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use horus_bench as bench;
 pub use horus_cache as cache;
 pub use horus_core as core;
 pub use horus_crypto as crypto;

@@ -1,0 +1,158 @@
+//! Property tests for the crash-point layer (ISSUE 3, satellite 5):
+//!
+//! 1. **Determinism** — the same truncated persistent state always
+//!    yields the same `RecoveryReport` (and the same full crash-point
+//!    classification), for any crash cycle and torn-write model.
+//! 2. **No lying** — recovery never claims success (`Recovered`) while
+//!    any read returns data differing from the pre-drain cache
+//!    contents; for Horus the classification is *never*
+//!    `SilentCorruption` at any crash cycle.
+//!
+//! The widest-coverage versions are proptest properties; the plain
+//! `#[test]`s below pin the same invariants at hand-picked cycles so
+//! the file keeps teeth in minimal environments too.
+
+use horus::core::crash::{run_crash_point, CrashSpec};
+use horus::core::{
+    CrashVerdict, DrainScheme, RecoveryMode, SecureEpdSystem, SystemConfig, TornWriteModel,
+};
+use proptest::prelude::*;
+
+const LINES: u64 = 40;
+
+/// The canonical dirty system: `LINES` sparse lines, distinct contents.
+fn filled(scheme: DrainScheme) -> SecureEpdSystem {
+    let mut sys = SecureEpdSystem::for_scheme(SystemConfig::small_test(), scheme);
+    for i in 0..LINES {
+        sys.write(i * 16448, [i as u8 + 1; 64]).expect("write");
+    }
+    sys
+}
+
+/// The uninterrupted episode length for `scheme` over that fill.
+fn planned_cycles(scheme: DrainScheme) -> u64 {
+    filled(scheme).crash_and_drain(scheme).cycles
+}
+
+fn scheme_of(dlm: bool) -> DrainScheme {
+    if dlm {
+        DrainScheme::HorusDlm
+    } else {
+        DrainScheme::HorusSlm
+    }
+}
+
+fn model_of(which: u8) -> TornWriteModel {
+    match which % 3 {
+        0 => TornWriteModel::Torn,
+        1 => TornWriteModel::Stale,
+        _ => TornWriteModel::Garbled,
+    }
+}
+
+/// Runs one full crash-point experiment from a fresh system.
+fn point(
+    scheme: DrainScheme,
+    at: u64,
+    model: TornWriteModel,
+) -> horus::core::crash::CrashPointReport {
+    let mut sys = filled(scheme);
+    run_crash_point(
+        &mut sys,
+        scheme,
+        CrashSpec { at, model },
+        RecoveryMode::RefillLlc,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same truncated state in, same report out — crash recovery has no
+    /// hidden nondeterminism for any cut cycle or torn-write model.
+    #[test]
+    fn horus_crash_recovery_is_deterministic(
+        frac in 0u64..=1000,
+        dlm in any::<bool>(),
+        which_model in any::<u8>(),
+    ) {
+        let scheme = scheme_of(dlm);
+        let model = model_of(which_model);
+        let at = frac * planned_cycles(scheme) / 1000;
+        prop_assert_eq!(point(scheme, at, model), point(scheme, at, model));
+    }
+
+    /// Recovery never claims success over wrong data, and Horus is
+    /// never silently corrupted at any sampled crash cycle.
+    #[test]
+    fn horus_never_succeeds_with_wrong_data(
+        frac in 0u64..=1000,
+        dlm in any::<bool>(),
+        which_model in any::<u8>(),
+    ) {
+        let scheme = scheme_of(dlm);
+        let report = point(scheme, frac * planned_cycles(scheme) / 1000, model_of(which_model));
+        prop_assert_ne!(report.verdict, CrashVerdict::SilentCorruption);
+        if report.verdict == CrashVerdict::Recovered {
+            prop_assert_eq!(report.reads_matched, LINES);
+            prop_assert_eq!(report.reads_stale, 0);
+            prop_assert_eq!(report.reads_failed, 0);
+        }
+    }
+}
+
+/// The determinism property, pinned at hand-picked cycles: the exact
+/// `CrashRecovery` (including its `RecoveryReport`) must reproduce.
+#[test]
+fn recovery_report_reproduces_for_identical_truncated_state() {
+    for scheme in [DrainScheme::HorusSlm, DrainScheme::HorusDlm] {
+        let planned = planned_cycles(scheme);
+        for at in [0, 1, planned / 3, planned / 2, 3 * planned / 4, planned - 1] {
+            let run = |_| {
+                let mut sys = filled(scheme);
+                sys.crash_and_drain_interrupted(scheme, CrashSpec::at(at));
+                sys.recover_after_crash(RecoveryMode::RefillLlc)
+                    .expect("prefix recovery verifies")
+            };
+            assert_eq!(run(()), run(()), "{scheme:?} at {at}");
+        }
+    }
+}
+
+/// The no-lying property, pinned across every scheme and model at a
+/// spread of cycles — including the baselines, where a silent verdict
+/// is allowed (their vulnerability window) but a `Recovered` verdict
+/// still must mean every read matched.
+#[test]
+fn recovered_verdict_always_means_exact_data() {
+    for scheme in DrainScheme::SECURE {
+        let planned = planned_cycles(scheme);
+        for model in [
+            TornWriteModel::Torn,
+            TornWriteModel::Stale,
+            TornWriteModel::Garbled,
+        ] {
+            for at in [0, planned / 2, planned - 1, planned] {
+                let report = point(scheme, at, model);
+                if report.verdict == CrashVerdict::Recovered {
+                    assert_eq!(
+                        (
+                            report.reads_matched,
+                            report.reads_stale,
+                            report.reads_failed
+                        ),
+                        (LINES, 0, 0),
+                        "{scheme:?} at {at} ({model})"
+                    );
+                }
+                if scheme.is_horus() {
+                    assert_ne!(
+                        report.verdict,
+                        CrashVerdict::SilentCorruption,
+                        "{scheme:?} at {at} ({model})"
+                    );
+                }
+            }
+        }
+    }
+}
