@@ -1,0 +1,180 @@
+//! Hot-path microbenchmarks guarding the `horus-turbo` optimizations:
+//! AES single-block vs batched 64 B line, CMAC over the two message
+//! sizes the metadata engine produces, event-queue push/pop/cancel,
+//! NVM device read/write/rewind, and the full smoke-plan episode the
+//! bench gate times.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use horus_core::{DrainScheme, SystemConfig};
+use horus_crypto::{otp, Aes128, Cmac};
+use horus_harness::JobSpec;
+use horus_nvm::NvmDevice;
+use horus_sim::queue::EventQueue;
+use horus_sim::Cycles;
+use horus_workload::FillPattern;
+
+const BLOCK_SIZE: usize = 64;
+
+fn bench_aes(c: &mut Criterion) {
+    let aes = Aes128::new(&[0x2b; 16]);
+    let block = [0x5a_u8; 16];
+    let batch: [[u8; 16]; 4] = [[0x5a; 16], [0xa5; 16], [0x0f; 16], [0xf0; 16]];
+    let mut g = c.benchmark_group("aes128");
+    g.throughput(Throughput::Bytes(16));
+    g.bench_function("encrypt_block", |b| {
+        b.iter(|| aes.encrypt_block(black_box(&block)))
+    });
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("encrypt_batch4", |b| {
+        b.iter(|| aes.encrypt4(black_box(&batch)))
+    });
+    g.bench_function("one_time_pad", |b| {
+        b.iter(|| otp::one_time_pad(&aes, black_box(0x4000), 9))
+    });
+    g.finish();
+}
+
+fn bench_cmac(c: &mut Criterion) {
+    let cmac = Cmac::new(&[0x77; 16]);
+    let mut g = c.benchmark_group("cmac");
+    // 64 B: BMT node MACs; 80 B: CHV entry MACs. Both hit the
+    // complete-block fast path after the overhaul.
+    for len in [64usize, 80] {
+        let msg = vec![0xab_u8; len];
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_function(format!("mac64_{len}B"), |b| {
+            b.iter(|| cmac.mac64(black_box(&msg)))
+        });
+    }
+    g.finish();
+}
+
+/// Pseudo-random but deterministic event times: a splitmix64 stream
+/// folded into a small window so buckets see realistic collisions.
+fn event_times(n: u64) -> Vec<u64> {
+    let mut state = 0x9e37_79b9_7f4a_7c15_u64;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) % 4096
+        })
+        .collect()
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let times = event_times(4096);
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("push_pop_4096", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(Cycles(t), i as u32);
+            }
+            let mut acc = 0u64;
+            while let Some((t, e)) = q.pop() {
+                acc = acc.wrapping_add(t.0).wrapping_add(u64::from(e));
+            }
+            acc
+        })
+    });
+    g.bench_function("cancel_from_4096", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(Cycles(t), i as u32);
+            }
+            q.cancel_from(Cycles(2048)).len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_nvm(c: &mut Criterion) {
+    // 4096 blocks strided 4 KiB apart: one block per page, the
+    // worst case for page-grained storage, and the paper's
+    // strided-sparse drain pattern.
+    let addrs: Vec<u64> = (0..4096u64).map(|i| i * 4096).collect();
+    let data = [0xee_u8; BLOCK_SIZE];
+    let mut written = NvmDevice::new();
+    for &a in &addrs {
+        written.write_block(a, data);
+    }
+    let mut g = c.benchmark_group("nvm");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("write_4096_strided", |b| {
+        b.iter(|| {
+            let mut d = NvmDevice::new();
+            for &a in &addrs {
+                d.write_block(a, data);
+            }
+            d
+        })
+    });
+    g.bench_function("read_4096_strided", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &a in &addrs {
+                acc = acc.wrapping_add(u64::from(written.read_block(a)[0]));
+            }
+            acc
+        })
+    });
+    g.bench_function("written_addrs_sorted", |b| {
+        b.iter(|| written.written_addrs_sorted().len())
+    });
+    // Crash rewind: walk the journaled writes backwards restoring
+    // pre-images, exactly as `NvmSystem::fire_crash` does.
+    g.bench_function("rewind_4096", |b| {
+        b.iter_with_setup(
+            || written.clone(),
+            |mut d| {
+                for &a in addrs.iter().rev() {
+                    let pre = [0u8; BLOCK_SIZE];
+                    d.write_block(a, pre);
+                }
+                d
+            },
+        )
+    });
+    g.finish();
+}
+
+fn bench_episode(c: &mut Criterion) {
+    let cfg = SystemConfig::small_test();
+    let pattern = FillPattern::StridedSparse { min_stride: 16384 };
+    let mut g = c.benchmark_group("episode");
+    g.sample_size(10);
+    // One full smoke-plan scheme comparison: the unit of work the
+    // bench gate's ops_per_sec section times.
+    g.bench_function("smoke_plan_all_schemes", |b| {
+        b.iter(|| {
+            DrainScheme::ALL
+                .iter()
+                .map(|&s| JobSpec::drain(&cfg, s, pattern).execute().drain.cycles)
+                .sum::<u64>()
+        })
+    });
+    g.bench_function("horus_dlm_drain", |b| {
+        b.iter(|| {
+            JobSpec::drain(&cfg, DrainScheme::HorusDlm, pattern)
+                .execute()
+                .drain
+                .cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aes,
+    bench_cmac,
+    bench_event_queue,
+    bench_nvm,
+    bench_episode
+);
+criterion_main!(benches);

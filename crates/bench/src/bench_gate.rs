@@ -9,6 +9,16 @@
 //! relative tolerance and reports every deviation. Wall time is recorded
 //! for trend-watching but never compared — it depends on the runner.
 //!
+//! The snapshot also carries an `ops_per_sec` section: simulator
+//! throughput measured by timing un-memoized smoke episodes directly.
+//! Unlike the op counts it is *not* deterministic, so it gets its own
+//! gate, [`compare_throughput`], which flags only regressions (a faster
+//! runner never fails) at a generous tolerance (the CI job uses 25%) to
+//! absorb runner noise. A real hot-path regression — an allocation on
+//! the per-op path, a hash-map swap, an accidental debug build — shows
+//! up as a multiple, not a percentage, so the wide band still catches
+//! what matters.
+//!
 //! The JSON codec is hand-rolled (the snapshot is a small flat document
 //! we fully control) so the gate has no dependency on a JSON crate's
 //! availability or formatting stability: the committed baseline parses
@@ -41,6 +51,16 @@ pub struct HeadlineValue {
     pub measured: f64,
 }
 
+/// One throughput metric: units of simulated work retired per wall
+/// second, from timing un-memoized smoke episodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Throughput {
+    /// What is being rated (e.g. `sim_cycles`, `episodes`).
+    pub metric: String,
+    /// Units per wall second.
+    pub per_sec: f64,
+}
+
 /// Everything the gate compares (plus the informational wall time).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchSnapshot {
@@ -48,6 +68,9 @@ pub struct BenchSnapshot {
     pub schemes: Vec<SchemeOps>,
     /// Headline-claim measurements, in `repro-all` order.
     pub checks: Vec<HeadlineValue>,
+    /// Simulator throughput, gated (regressions only) by
+    /// [`compare_throughput`] — never by [`compare`].
+    pub ops_per_sec: Vec<Throughput>,
     /// Wall time of the measuring run, seconds. Informational only.
     pub wall_seconds: f64,
 }
@@ -79,6 +102,19 @@ impl BenchSnapshot {
                 if i + 1 < self.checks.len() { "," } else { "" }
             ));
         }
+        out.push_str("  ],\n  \"ops_per_sec\": [\n");
+        for (i, t) in self.ops_per_sec.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"metric\": \"{}\", \"per_sec\": {}}}{}\n",
+                escape(&t.metric),
+                t.per_sec,
+                if i + 1 < self.ops_per_sec.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -92,6 +128,7 @@ impl BenchSnapshot {
         let mut snapshot = Self {
             schemes: Vec::new(),
             checks: Vec::new(),
+            ops_per_sec: Vec::new(),
             wall_seconds: 0.0,
         };
         for line in text.lines() {
@@ -112,6 +149,11 @@ impl BenchSnapshot {
                 snapshot.checks.push(HeadlineValue {
                     claim: str_field(line, "claim")?,
                     measured: f64_field(line, "measured")?,
+                });
+            } else if line.contains("\"metric\":") {
+                snapshot.ops_per_sec.push(Throughput {
+                    metric: str_field(line, "metric")?,
+                    per_sec: f64_field(line, "per_sec")?,
                 });
             }
         }
@@ -137,6 +179,17 @@ impl BenchSnapshot {
             })
             .collect();
         table::render(&["scheme", "mem requests", "MAC ops", "cycles"], &rows)
+    }
+
+    /// One line per throughput metric, e.g. `sim_cycles: 2.81e8/s` —
+    /// also the line the CI job summary surfaces.
+    #[must_use]
+    pub fn render_throughput(&self) -> String {
+        self.ops_per_sec
+            .iter()
+            .map(|t| format!("{}: {:.3e}/s", t.metric, t.per_sec))
+            .collect::<Vec<_>>()
+            .join("  ")
     }
 }
 
@@ -184,6 +237,42 @@ fn f64_field(line: &str, key: &str) -> Result<f64, String> {
         .map_err(|e| format!("bad {key}: {e}"))
 }
 
+/// Times `sets` un-memoized five-scheme smoke episodes and rates the
+/// fastest set — simulated cycles retired and scheme episodes completed
+/// per wall second. Direct [`horus_harness::JobSpec::execute`] calls, bypassing the
+/// harness cache, so the rate reflects real simulation work.
+#[must_use]
+pub fn measure_throughput(plan: &ReproPlan, sets: u32) -> Vec<Throughput> {
+    use horus_core::DrainScheme;
+    let pattern = crate::experiments::paper_fill();
+    let mut best = f64::INFINITY;
+    let mut cycles_per_set = 0u64;
+    for _ in 0..sets.max(1) {
+        let started = Instant::now();
+        cycles_per_set = DrainScheme::ALL
+            .iter()
+            .map(|&s| {
+                horus_harness::JobSpec::drain(&plan.base, s, pattern)
+                    .execute()
+                    .drain
+                    .cycles
+            })
+            .sum();
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    let best = best.max(1e-9);
+    vec![
+        Throughput {
+            metric: "sim_cycles".to_owned(),
+            per_sec: cycles_per_set as f64 / best,
+        },
+        Throughput {
+            metric: "episodes".to_owned(),
+            per_sec: DrainScheme::ALL.len() as f64 / best,
+        },
+    ]
+}
+
 /// Runs the smoke plan and snapshots its headline numbers.
 #[must_use]
 pub fn measure(harness: &Harness) -> BenchSnapshot {
@@ -191,6 +280,7 @@ pub fn measure(harness: &Harness) -> BenchSnapshot {
     let plan = ReproPlan::smoke();
     let all = repro_all::run(harness, &plan);
     let cmp = figures::scheme_comparison(harness, &plan.base);
+    let ops_per_sec = measure_throughput(&plan, 3);
     BenchSnapshot {
         schemes: cmp
             .reports
@@ -210,6 +300,7 @@ pub fn measure(harness: &Harness) -> BenchSnapshot {
                 measured: c.measured,
             })
             .collect(),
+        ops_per_sec,
         wall_seconds: started.elapsed().as_secs_f64(),
     }
 }
@@ -268,6 +359,46 @@ pub fn compare(current: &BenchSnapshot, baseline: &BenchSnapshot, tolerance: f64
     deviations
 }
 
+/// Gates the `ops_per_sec` section: flags every metric that fell more
+/// than `tolerance` (relative, e.g. `0.25` = 25%) *below* its baseline.
+/// Running faster than the baseline never fails — only regressions do.
+/// A baseline without the section is itself flagged (refresh with
+/// `--update`). Empty means the throughput gate passes.
+#[must_use]
+pub fn compare_throughput(
+    current: &BenchSnapshot,
+    baseline: &BenchSnapshot,
+    tolerance: f64,
+) -> Vec<String> {
+    if baseline.ops_per_sec.is_empty() {
+        return vec!["baseline has no ops_per_sec section — refresh it with --update".to_owned()];
+    }
+    let mut deviations = Vec::new();
+    for base in &baseline.ops_per_sec {
+        match current.ops_per_sec.iter().find(|t| t.metric == base.metric) {
+            None => deviations.push(format!(
+                "throughput {} missing from current run",
+                base.metric
+            )),
+            Some(now) => {
+                let floor = base.per_sec * (1.0 - tolerance);
+                if now.per_sec < floor {
+                    deviations.push(format!(
+                        "throughput {}: {:.3e}/s is {:.0}% below baseline {:.3e}/s \
+                         (floor {:.3e}/s)",
+                        base.metric,
+                        now.per_sec,
+                        (1.0 - now.per_sec / base.per_sec) * 100.0,
+                        base.per_sec,
+                        floor
+                    ));
+                }
+            }
+        }
+    }
+    deviations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +423,16 @@ mod tests {
                 claim: "Base-LU drain ops vs Horus-SLM (x)".to_owned(),
                 measured: 8.333_333,
             }],
+            ops_per_sec: vec![
+                Throughput {
+                    metric: "sim_cycles".to_owned(),
+                    per_sec: 2.0e8,
+                },
+                Throughput {
+                    metric: "episodes".to_owned(),
+                    per_sec: 1500.0,
+                },
+            ],
             wall_seconds: 1.25,
         }
     }
@@ -362,12 +503,64 @@ mod tests {
     }
 
     #[test]
+    fn throughput_is_never_gated_by_compare() {
+        let base = sample();
+        let mut now = base.clone();
+        now.ops_per_sec[0].per_sec = 1.0; // catastrophic slowdown
+        assert!(compare(&now, &base, 0.0).is_empty());
+    }
+
+    #[test]
+    fn throughput_gate_flags_only_regressions() {
+        let base = sample();
+        let mut now = base.clone();
+        // 10x faster: passes at any tolerance.
+        now.ops_per_sec[0].per_sec = base.ops_per_sec[0].per_sec * 10.0;
+        assert!(compare_throughput(&now, &base, 0.25).is_empty());
+        // 20% slower: inside the 25% band.
+        now.ops_per_sec[0].per_sec = base.ops_per_sec[0].per_sec * 0.8;
+        assert!(compare_throughput(&now, &base, 0.25).is_empty());
+        // 40% slower: flagged.
+        now.ops_per_sec[0].per_sec = base.ops_per_sec[0].per_sec * 0.6;
+        let deviations = compare_throughput(&now, &base, 0.25);
+        assert_eq!(deviations.len(), 1);
+        assert!(deviations[0].contains("sim_cycles"), "{deviations:?}");
+    }
+
+    #[test]
+    fn throughput_gate_requires_a_baseline_section() {
+        let now = sample();
+        let mut base = now.clone();
+        base.ops_per_sec.clear();
+        let deviations = compare_throughput(&now, &base, 0.25);
+        assert_eq!(deviations.len(), 1);
+        assert!(deviations[0].contains("--update"), "{deviations:?}");
+        let mut missing = now.clone();
+        missing.ops_per_sec.remove(0);
+        let deviations = compare_throughput(&missing, &now, 0.25);
+        assert!(
+            deviations.iter().any(|d| d.contains("missing")),
+            "{deviations:?}"
+        );
+    }
+
+    #[test]
+    fn legacy_baseline_without_throughput_still_parses() {
+        let mut snap = sample();
+        snap.ops_per_sec.clear();
+        let parsed = BenchSnapshot::parse(&snap.to_json()).expect("parses");
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
     fn measured_smoke_snapshot_is_stable_and_self_consistent() {
         let harness = Harness::serial();
         let snap = measure(&harness);
         assert_eq!(snap.schemes.len(), 5, "one row per scheme");
         assert!(!snap.checks.is_empty());
         assert!(snap.wall_seconds > 0.0);
+        assert_eq!(snap.ops_per_sec.len(), 2);
+        assert!(snap.ops_per_sec.iter().all(|t| t.per_sec > 0.0));
         let again = measure(&harness);
         assert!(compare(&snap, &again, 0.0).is_empty(), "deterministic");
         let parsed = BenchSnapshot::parse(&snap.to_json()).expect("parses");

@@ -9,75 +9,74 @@
 //!
 //! Usage: `cargo run --release -p horus-bench --bin bench-gate --
 //! [--update] [--baseline PATH] [--out PATH] [--tolerance FRACTION]
-//! [--jobs N] [--no-cache]`
+//! [--throughput-tolerance FRACTION]` plus the shared `repro-*` flags
+//! (`--jobs`, `--cache-dir`, `--no-cache`, `--progress`). Here `--out`
+//! is the snapshot output path, claimed before the shared parser's
+//! `--out`/`--trace-out` alias.
+//!
+//! The deterministic op counts are gated tight (default 2%); the
+//! `ops_per_sec` throughput section is gated loose (default 25%,
+//! regressions only) because wall-clock rates depend on the runner.
 
 use horus_bench::bench_gate::{self, BenchSnapshot};
-use horus_harness::{Harness, HarnessOptions};
+use horus_bench::cli::HarnessArgs;
 use std::path::PathBuf;
 use std::process::exit;
 
-struct Args {
+#[derive(Debug)]
+struct GateArgs {
     update: bool,
     baseline: PathBuf,
     out: Option<PathBuf>,
     tolerance: f64,
-    jobs: Option<usize>,
-    no_cache: bool,
+    throughput_tolerance: f64,
 }
 
-const USAGE: &str = "usage: bench-gate [--update] [--baseline PATH] [--out PATH] \
-[--tolerance FRACTION] [--jobs N] [--no-cache]";
+const GATE_USAGE: &str = "bench-gate [--update] [--baseline PATH] [--out PATH] \
+[--tolerance FRACTION] [--throughput-tolerance FRACTION]";
 
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
+fn fraction(flag: &str, v: &str) -> Result<f64, String> {
+    let f = v.parse::<f64>().map_err(|e| format!("{flag} {v}: {e}"))?;
+    if !(0.0..1.0).contains(&f) {
+        return Err(format!("{flag} {v}: want a fraction in [0, 1)"));
+    }
+    Ok(f)
+}
+
+fn main() {
+    let mut args = GateArgs {
         update: false,
         baseline: PathBuf::from("BENCH_smoke.json"),
         out: None,
         tolerance: 0.02,
-        jobs: None,
-        no_cache: false,
+        throughput_tolerance: 0.25,
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--update" => args.update = true,
-            "--no-cache" => args.no_cache = true,
-            "--baseline" => {
-                args.baseline = PathBuf::from(it.next().ok_or("--baseline requires a value")?);
-            }
-            "--out" => args.out = Some(PathBuf::from(it.next().ok_or("--out requires a value")?)),
-            "--tolerance" => {
-                let v = it.next().ok_or("--tolerance requires a value")?;
-                args.tolerance = v
-                    .parse::<f64>()
-                    .map_err(|e| format!("--tolerance {v}: {e}"))?;
-                if !(0.0..1.0).contains(&args.tolerance) {
-                    return Err(format!("--tolerance {v}: want a fraction in [0, 1)"));
-                }
-            }
-            "--jobs" => {
-                let v = it.next().ok_or("--jobs requires a value")?;
-                args.jobs = Some(v.parse::<usize>().map_err(|e| format!("--jobs {v}: {e}"))?);
-            }
-            other => return Err(format!("unknown flag '{other}'")),
+    let shared = HarnessArgs::parse_or_exit_with(GATE_USAGE, |flag, it| match flag {
+        "--update" => {
+            args.update = true;
+            Ok(true)
         }
-    }
-    Ok(args)
-}
-
-fn main() {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}\n{USAGE}");
-            exit(2);
+        "--baseline" => {
+            args.baseline = PathBuf::from(it.next().ok_or("--baseline requires a value")?);
+            Ok(true)
         }
-    };
-    let harness = Harness::new(HarnessOptions {
-        jobs: args.jobs,
-        no_cache: args.no_cache,
-        ..HarnessOptions::default()
+        "--out" => {
+            args.out = Some(PathBuf::from(it.next().ok_or("--out requires a value")?));
+            Ok(true)
+        }
+        "--tolerance" => {
+            let v = it.next().ok_or("--tolerance requires a value")?;
+            args.tolerance = fraction("--tolerance", &v)?;
+            Ok(true)
+        }
+        "--throughput-tolerance" => {
+            let v = it.next().ok_or("--throughput-tolerance requires a value")?;
+            args.throughput_tolerance = fraction("--throughput-tolerance", &v)?;
+            Ok(true)
+        }
+        _ => Ok(false),
     });
+    let harness = shared.harness();
     let snapshot = bench_gate::measure(&harness);
     println!(
         "smoke-plan headline op counts ({:.2}s wall, {} workers):\n\n{}",
@@ -85,6 +84,7 @@ fn main() {
         harness.jobs(),
         snapshot.render()
     );
+    println!("ops_per_sec: {}", snapshot.render_throughput());
     if let Some(out) = &args.out {
         if let Err(e) = std::fs::write(out, snapshot.to_json()) {
             eprintln!("error: writing {}: {e}", out.display());
@@ -117,21 +117,29 @@ fn main() {
             exit(1);
         }
     };
-    let deviations = bench_gate::compare(&snapshot, &baseline, args.tolerance);
+    let mut deviations = bench_gate::compare(&snapshot, &baseline, args.tolerance);
+    deviations.extend(bench_gate::compare_throughput(
+        &snapshot,
+        &baseline,
+        args.throughput_tolerance,
+    ));
     if deviations.is_empty() {
         println!(
-            "bench gate PASSED: every headline number within {:.1}% of {} \
-             (baseline wall {:.2}s, this run {:.2}s — informational)",
+            "bench gate PASSED: headline numbers within {:.1}%, throughput within \
+             {:.0}% of {} (baseline wall {:.2}s, this run {:.2}s — informational)",
             args.tolerance * 100.0,
+            args.throughput_tolerance * 100.0,
             args.baseline.display(),
             baseline.wall_seconds,
             snapshot.wall_seconds
         );
     } else {
         eprintln!(
-            "bench gate FAILED: {} deviation(s) beyond {:.1}% of {}:",
+            "bench gate FAILED: {} deviation(s) beyond {:.1}% (counts) / {:.0}% \
+             (throughput) of {}:",
             deviations.len(),
             args.tolerance * 100.0,
+            args.throughput_tolerance * 100.0,
             args.baseline.display()
         );
         for d in &deviations {

@@ -10,6 +10,13 @@
 //! --quick           shrink the sweeps (binaries that sweep)
 //! --trace-out FILE  also write a Chrome-trace JSON of one probed drain
 //! ```
+//!
+//! `--out` is accepted as an alias for `--trace-out` (one binary
+//! historically spelled it that way; both now work everywhere). A
+//! binary with flags of its own composes them onto the shared set via
+//! [`HarnessArgs::parse_from_with`] — its handler sees every flag
+//! first, so it may claim a shared spelling (e.g. `bench-gate` keeps
+//! `--out` for its snapshot path) without forking the parser.
 
 use horus_core::{DrainScheme, SystemConfig};
 use horus_harness::{Harness, HarnessOptions, JobSpec, ProgressMode};
@@ -46,9 +53,25 @@ impl HarnessArgs {
 
     /// Parses an explicit argument iterator (testable).
     pub fn parse_from(argv: impl Iterator<Item = String>) -> Result<Self, String> {
+        Self::parse_from_with(argv, |_, _| Ok(false))
+    }
+
+    /// [`parse_from`](Self::parse_from) with binary-specific flags
+    /// composed in. `extra` is offered every flag *before* the shared
+    /// parser; it returns `Ok(true)` after consuming one (pulling any
+    /// value from the iterator itself), `Ok(false)` to pass it through
+    /// to the shared set, or `Err` to reject its value. Because `extra`
+    /// runs first, a binary may claim a shared spelling for itself.
+    pub fn parse_from_with(
+        argv: impl Iterator<Item = String>,
+        mut extra: impl FnMut(&str, &mut dyn Iterator<Item = String>) -> Result<bool, String>,
+    ) -> Result<Self, String> {
         let mut args = Self::default();
-        let mut it = argv.peekable();
+        let mut it = argv;
         while let Some(a) = it.next() {
+            if extra(a.as_str(), &mut it)? {
+                continue;
+            }
             match a.as_str() {
                 "--jobs" => {
                     let v = it.next().ok_or("--jobs requires a value")?;
@@ -65,8 +88,8 @@ impl HarnessArgs {
                 "--no-cache" => args.no_cache = true,
                 "--progress" => args.progress = true,
                 "--quick" => args.quick = true,
-                "--trace-out" => {
-                    let v = it.next().ok_or("--trace-out requires a value")?;
+                "--trace-out" | "--out" => {
+                    let v = it.next().ok_or(format!("{a} requires a value"))?;
                     args.trace_out = Some(PathBuf::from(v));
                 }
                 other => return Err(format!("unknown flag '{other}' ({HARNESS_USAGE})")),
@@ -153,6 +176,23 @@ impl HarnessArgs {
             }
         }
     }
+
+    /// [`parse_from_with`](Self::parse_from_with) over the process
+    /// arguments, exiting with the combined usage (`extra_usage` then
+    /// the shared flags) on error.
+    #[must_use]
+    pub fn parse_or_exit_with(
+        extra_usage: &str,
+        extra: impl FnMut(&str, &mut dyn Iterator<Item = String>) -> Result<bool, String>,
+    ) -> Self {
+        match Self::parse_from_with(std::env::args().skip(1), extra) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("error: {e}\nusage: {extra_usage} {HARNESS_USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +260,71 @@ mod tests {
         assert!(parse(&["--frobnicate"]).is_err());
         assert!(parse(&["--jobs"]).is_err());
         assert!(parse(&["--jobs", "many"]).is_err());
+    }
+
+    #[test]
+    fn out_is_an_alias_for_trace_out() {
+        let a = parse(&["--out", "/tmp/t.json"]).expect("valid");
+        assert_eq!(a.trace_out, Some(PathBuf::from("/tmp/t.json")));
+        assert!(parse(&["--out"]).is_err());
+    }
+
+    #[test]
+    fn extra_flags_compose_with_the_shared_set() {
+        let mut threshold = None;
+        let a = HarnessArgs::parse_from_with(
+            ["--threshold", "7", "--jobs", "2"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+            |flag, it| match flag {
+                "--threshold" => {
+                    let v = it.next().ok_or("--threshold requires a value")?;
+                    threshold = Some(v.parse::<u32>().map_err(|e| e.to_string())?);
+                    Ok(true)
+                }
+                _ => Ok(false),
+            },
+        )
+        .expect("valid");
+        assert_eq!(threshold, Some(7));
+        assert_eq!(a.jobs, Some(2));
+    }
+
+    #[test]
+    fn extra_handler_can_claim_a_shared_spelling() {
+        // A binary that owns `--out` (like bench-gate's snapshot path)
+        // sees it before the shared alias does.
+        let mut snapshot_out = None;
+        let a = HarnessArgs::parse_from_with(
+            ["--out", "snap.json", "--trace-out", "t.json"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+            |flag, it| match flag {
+                "--out" => {
+                    snapshot_out = it.next();
+                    Ok(true)
+                }
+                _ => Ok(false),
+            },
+        )
+        .expect("valid");
+        assert_eq!(snapshot_out.as_deref(), Some("snap.json"));
+        assert_eq!(a.trace_out, Some(PathBuf::from("t.json")));
+    }
+
+    #[test]
+    fn extra_handler_errors_propagate() {
+        let r = HarnessArgs::parse_from_with(
+            ["--threshold"].iter().map(|s| (*s).to_owned()),
+            |flag, it| match flag {
+                "--threshold" => {
+                    it.next().ok_or("--threshold requires a value")?;
+                    Ok(true)
+                }
+                _ => Ok(false),
+            },
+        );
+        assert_eq!(r.unwrap_err(), "--threshold requires a value");
     }
 
     #[test]

@@ -366,8 +366,123 @@ pub fn run(harness: &Harness, plan: &ReproPlan) -> ReproAll {
          hides behind the 2000-cycle PCM writes."
     );
 
+    md.push_str(EPILOGUE);
+
     ReproAll {
         markdown: md,
         checks,
     }
 }
+
+/// Hand-written epilogue sections of `EXPERIMENTS.md`. They live here,
+/// not only in the committed file, so a `repro-all` regeneration
+/// preserves them instead of truncating the document at the generated
+/// tables.
+const EPILOGUE: &str = r#"
+## Crash-point fault sweep — proving recovery at every cycle
+
+The tables above measure complete drains. `crash-sweep` asks the
+harder question: what if the backup power *itself* fails mid-drain?
+
+```
+cargo run --release --bin horus-cli -- crash-sweep --quick --out crash-matrix.json
+```
+
+For every secure scheme the sweep first runs one probed reference
+drain and reads the `phase` track of its episode trace: the
+`drain.data` → `drain.metadata` → `drain.finish` (or the baselines'
+`drain.metadata_flush`) span edges are exactly the cycles where the
+machine's in-flight state changes shape. Crash points are the ±1-cycle
+neighbourhood of every such boundary plus ~64 evenly spaced cycles
+across `[0, planned]` (`--points N` to change; drop `--quick` for 256).
+Each point is an independent task on the worker pool (`--jobs N`;
+results are order-deterministic): prepare a dirty hierarchy, start the
+drain, cut it at the sampled cycle with torn in-flight NVM writes
+(`--model torn|stale|garbled`), recover from the truncated state, and
+re-read every pre-crash dirty line. A typical matrix:
+
+```
+   scheme  points  recovered  detected  SILENT       loss window  best salvage
+------------------------------------------------------------------------------
+  Base-LU      70          2        68       0  cycles 0..149199             0
+  Base-EU      70          2        66       2  cycles 0..165599             0
+Horus-SLM      67          2        65       0   cycles 0..19799            63
+Horus-DLM      67          2        65       0   cycles 0..21399            56
+```
+
+Three things to read off it. First, the **SILENT column is zero for
+Horus at every sampled cycle** — the persistent drain-open register
+means an interrupted episode is always announced; the command (and the
+CI `crash-sweep` job, which uploads `crash-matrix.json` as an
+artifact) exits nonzero otherwise. Second, Base-EU's silent points are
+real: cut its drain before any line reaches NVM and reads come back as
+fresh memory with recovery reporting success — the vulnerability
+window the paper motivates Horus with. Third, **best salvage**: inside
+the loss window Horus still restores a verified prefix of the vault
+(63 of 64 lines at the best sampled cut above) where the baselines
+restore nothing.
+
+The companion `repro-crash` binary runs the same sweep with the shared
+`repro-*` flags, and `bench-gate` (CI: `bench regression gate`)
+re-measures the smoke plan's headline op counts against the committed
+`BENCH_smoke.json` baseline with 2% tolerance — refresh it with
+`cargo run --release -p horus-bench --bin bench-gate -- --update` when
+a model change legitimately moves the numbers.
+
+## Benchmarking the simulator itself — criterion walkthrough
+
+The experiments above measure the *simulated machine*; this section is
+about the *simulator*. The criterion suite in
+`crates/bench/benches/hotpath.rs` times every layer of the per-flushed-
+line hot path in isolation, plus the full smoke-plan episode:
+
+```
+cargo bench -p horus-bench --bench hotpath
+```
+
+Benchmark groups, bottom of the stack first:
+
+- `aes128/*` — single-block and 4-way batched encryption plus
+  one-time-pad generation (a 64-byte line is four AES blocks).
+- `cmac/*` — MACs over line-sized and metadata-sized messages.
+- `event_queue/*` — calendar-queue push/pop and `cancel_from` at a
+  4096-event population.
+- `nvm/*` — paged-device write/read streams, sorted-address iteration,
+  and crash-rewind cloning.
+- `episode/*` — one full five-scheme smoke-plan comparison
+  (`smoke_plan_all_schemes`) — the number the bench gate's
+  `ops_per_sec` section tracks — and a single Horus-DLM drain.
+
+To compare a change against the tree you started from:
+
+```
+git stash                    # or check out the base commit
+cargo bench -p horus-bench --bench hotpath -- --save-baseline before
+git stash pop
+cargo bench -p horus-bench --bench hotpath -- --baseline before
+```
+
+Criterion prints the delta per benchmark; the CI `bench` job runs the
+same suite with `--save-baseline ci` and uploads `target/criterion` as
+the `criterion-report` artifact, so you can also download that into
+your own `target/criterion` and diff locally against the runner's
+numbers.
+
+Two gates sit on top of the suite. The bench gate's `ops_per_sec`
+section (measured by timing un-memoized smoke episodes, gated at 25%,
+regressions only) catches sustained throughput drops; refresh it
+together with the op-count baseline:
+
+```
+cargo run --release -p horus-bench --bin bench-gate -- --update
+```
+
+— the refreshed `BENCH_smoke.json` bakes in *your machine's* rate, so
+expect the committed number to move whenever the baseline is refreshed
+on different hardware; the 25% band plus regressions-only comparison
+is what makes that safe. And `tests/perf_floor.rs` (release-only,
+ignored in debug) asserts the simulator retires at least 2e7 simulated
+cycles per wall second — a floor more than 10x below a healthy release
+build, so it only trips on catastrophic regressions like an accidental
+debug-profile bench job or a quadratic hot path.
+"#;

@@ -57,7 +57,7 @@ pub fn block_align(addr: u64) -> u64 {
 /// Whether `addr` is block-aligned.
 #[must_use]
 pub fn is_block_aligned(addr: u64) -> bool {
-    addr.is_multiple_of(BLOCK_SIZE as u64)
+    addr % BLOCK_SIZE as u64 == 0
 }
 
 #[cfg(test)]

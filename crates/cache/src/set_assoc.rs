@@ -57,15 +57,12 @@ impl CacheGeometry {
     #[must_use]
     pub fn new(name: &'static str, size_bytes: u64, ways: usize) -> Self {
         assert!(
-            size_bytes > 0 && size_bytes.is_multiple_of(BLOCK_SIZE as u64),
+            size_bytes > 0 && size_bytes % BLOCK_SIZE as u64 == 0,
             "size must be a positive multiple of {BLOCK_SIZE}"
         );
         assert!(ways > 0, "associativity must be positive");
         let lines = size_bytes / BLOCK_SIZE as u64;
-        assert!(
-            lines.is_multiple_of(ways as u64),
-            "ways must divide the line count"
-        );
+        assert!(lines % ways as u64 == 0, "ways must divide the line count");
         let sets = lines / ways as u64;
         assert!(
             sets.is_power_of_two(),

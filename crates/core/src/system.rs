@@ -243,7 +243,7 @@ impl SecureEpdSystem {
 
     fn assert_data_addr(&self, addr: u64) {
         assert!(
-            addr.is_multiple_of(64) && addr < self.map.data_bytes(),
+            addr % 64 == 0 && addr < self.map.data_bytes(),
             "address {addr:#x} is not a block-aligned data address (data region is {} bytes)",
             self.map.data_bytes()
         );

@@ -2,14 +2,23 @@
 //!
 //! The secure memory controller uses AES both to generate one-time pads
 //! for counter-mode encryption and (through CMAC) to compute MACs. The
-//! implementation below is a straightforward table-free byte-oriented
-//! cipher: round keys are expanded once at construction, and each 16-byte
-//! block is processed with the standard SubBytes / ShiftRows / MixColumns
-//! / AddRoundKey rounds.
+//! cipher runs on every simulated memory operation, so the encrypt
+//! direction uses the classic T-table formulation: the SubBytes /
+//! ShiftRows / MixColumns composition is precomputed into four
+//! const-evaluated 256-entry `u32` tables, and each round is 16 table
+//! lookups and XORs over the four state columns. Round keys are kept in
+//! both byte form (FIPS-197 layout, used by the key-schedule tests and
+//! the inverse cipher) and word form (the T-table operand).
 //!
-//! Only encryption is needed for CTR mode and CMAC, but the inverse cipher
-//! is provided as well so the crate is a complete AES-128 and round-trip
-//! properties can be tested directly.
+//! [`Aes128::encrypt4`] additionally processes four independent blocks
+//! per call with their rounds interleaved, hiding the table-lookup
+//! latency of one block behind the others' — this is the unit the OTP
+//! path consumes, since a 64-byte line needs exactly four pad blocks.
+//!
+//! Only encryption is needed for CTR mode and CMAC, but the inverse
+//! cipher is provided as well (byte-oriented; it is never on the hot
+//! path) so the crate is a complete AES-128 and round-trip properties
+//! can be tested directly.
 
 /// The AES block size in bytes.
 pub const AES_BLOCK_SIZE: usize = 16;
@@ -65,7 +74,7 @@ const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x
 
 /// Multiply by `x` (i.e. `{02}`) in GF(2^8) with the AES polynomial.
 #[inline]
-fn xtime(b: u8) -> u8 {
+const fn xtime(b: u8) -> u8 {
     (b << 1) ^ (if b & 0x80 != 0 { 0x1b } else { 0 })
 }
 
@@ -82,6 +91,114 @@ fn gf_mul(mut a: u8, mut b: u8) -> u8 {
     acc
 }
 
+// ----- encrypt T-tables ----------------------------------------------------
+//
+// TE0[x] packs the MixColumns contribution of a SubBytes'ed byte landing
+// in row 0 of a column: ({02}·S[x], S[x], S[x], {03}·S[x]) big-endian.
+// Rows 1–3 contribute the same vector rotated, so TE1..TE3 are byte
+// rotations of TE0. One encrypt round over a column is then four lookups
+// and four XORs (plus the round key).
+
+const fn build_te0() -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i];
+        let s2 = xtime(s);
+        let s3 = s2 ^ s;
+        t[i] = ((s2 as u32) << 24) | ((s as u32) << 16) | ((s as u32) << 8) | (s3 as u32);
+        i += 1;
+    }
+    t
+}
+
+const fn rotr_each(t: &[u32; 256], n: u32) -> [u32; 256] {
+    let mut out = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        out[i] = t[i].rotate_right(n);
+        i += 1;
+    }
+    out
+}
+
+const TE0: [u32; 256] = build_te0();
+const TE1: [u32; 256] = rotr_each(&TE0, 8);
+const TE2: [u32; 256] = rotr_each(&TE0, 16);
+const TE3: [u32; 256] = rotr_each(&TE0, 24);
+
+/// The state as four big-endian column words (FIPS-197 is column-major,
+/// so column `c` is bytes `4c..4c+4`).
+#[inline]
+fn load_columns(block: &AesBlock) -> [u32; 4] {
+    core::array::from_fn(|c| {
+        u32::from_be_bytes([
+            block[4 * c],
+            block[4 * c + 1],
+            block[4 * c + 2],
+            block[4 * c + 3],
+        ])
+    })
+}
+
+#[inline]
+fn store_columns(s: &[u32; 4]) -> AesBlock {
+    let mut out = [0u8; 16];
+    for c in 0..4 {
+        out[4 * c..4 * c + 4].copy_from_slice(&s[c].to_be_bytes());
+    }
+    out
+}
+
+/// One full SubBytes + ShiftRows + MixColumns + AddRoundKey round.
+/// ShiftRows is folded into the column selection: output column `c`
+/// takes row `r` from input column `c + r`. Hand-unrolled so the 16
+/// independent table loads issue without loop-carried dependencies.
+#[inline(always)]
+fn ttable_round(s: &[u32; 4], rk: &[u32; 4]) -> [u32; 4] {
+    let [s0, s1, s2, s3] = *s;
+    [
+        TE0[(s0 >> 24) as usize]
+            ^ TE1[((s1 >> 16) & 0xff) as usize]
+            ^ TE2[((s2 >> 8) & 0xff) as usize]
+            ^ TE3[(s3 & 0xff) as usize]
+            ^ rk[0],
+        TE0[(s1 >> 24) as usize]
+            ^ TE1[((s2 >> 16) & 0xff) as usize]
+            ^ TE2[((s3 >> 8) & 0xff) as usize]
+            ^ TE3[(s0 & 0xff) as usize]
+            ^ rk[1],
+        TE0[(s2 >> 24) as usize]
+            ^ TE1[((s3 >> 16) & 0xff) as usize]
+            ^ TE2[((s0 >> 8) & 0xff) as usize]
+            ^ TE3[(s1 & 0xff) as usize]
+            ^ rk[2],
+        TE0[(s3 >> 24) as usize]
+            ^ TE1[((s0 >> 16) & 0xff) as usize]
+            ^ TE2[((s1 >> 8) & 0xff) as usize]
+            ^ TE3[(s2 & 0xff) as usize]
+            ^ rk[3],
+    ]
+}
+
+/// The last round (no MixColumns): plain S-box bytes, re-packed.
+#[inline(always)]
+fn ttable_final(s: &[u32; 4], rk: &[u32; 4]) -> [u32; 4] {
+    let [s0, s1, s2, s3] = *s;
+    let sub = |c0: u32, c1: u32, c2: u32, c3: u32| {
+        (u32::from(SBOX[(c0 >> 24) as usize]) << 24)
+            | (u32::from(SBOX[((c1 >> 16) & 0xff) as usize]) << 16)
+            | (u32::from(SBOX[((c2 >> 8) & 0xff) as usize]) << 8)
+            | u32::from(SBOX[(c3 & 0xff) as usize])
+    };
+    [
+        sub(s0, s1, s2, s3) ^ rk[0],
+        sub(s1, s2, s3, s0) ^ rk[1],
+        sub(s2, s3, s0, s1) ^ rk[2],
+        sub(s3, s0, s1, s2) ^ rk[3],
+    ]
+}
+
 /// An expanded AES-128 key, ready to encrypt or decrypt blocks.
 ///
 /// Construction performs the FIPS-197 key schedule once; each block
@@ -96,6 +213,9 @@ fn gf_mul(mut a: u8, mut b: u8) -> u8 {
 #[derive(Clone)]
 pub struct Aes128 {
     round_keys: [[u8; 16]; ROUNDS + 1],
+    /// The same round keys as big-endian column words, the form the
+    /// T-table rounds consume.
+    enc_keys: [[u32; 4]; ROUNDS + 1],
 }
 
 impl std::fmt::Debug for Aes128 {
@@ -131,32 +251,73 @@ impl Aes128 {
             }
         }
         let mut round_keys = [[0u8; 16]; ROUNDS + 1];
+        let mut enc_keys = [[0u32; 4]; ROUNDS + 1];
         for r in 0..=ROUNDS {
             for c in 0..4 {
                 round_keys[r][4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+                enc_keys[r][c] = u32::from_be_bytes(w[4 * r + c]);
             }
         }
-        Self { round_keys }
+        Self {
+            round_keys,
+            enc_keys,
+        }
     }
 
     /// Encrypts one 16-byte block.
     #[must_use]
     pub fn encrypt_block(&self, block: &AesBlock) -> AesBlock {
-        let mut state = *block;
-        add_round_key(&mut state, &self.round_keys[0]);
-        for r in 1..ROUNDS {
-            sub_bytes(&mut state);
-            shift_rows(&mut state);
-            mix_columns(&mut state);
-            add_round_key(&mut state, &self.round_keys[r]);
+        let mut s = load_columns(block);
+        for (col, key) in s.iter_mut().zip(&self.enc_keys[0]) {
+            *col ^= key;
         }
-        sub_bytes(&mut state);
-        shift_rows(&mut state);
-        add_round_key(&mut state, &self.round_keys[ROUNDS]);
-        state
+        for r in 1..ROUNDS {
+            s = ttable_round(&s, &self.enc_keys[r]);
+        }
+        store_columns(&ttable_final(&s, &self.enc_keys[ROUNDS]))
+    }
+
+    /// Encrypts four independent 16-byte blocks with their rounds
+    /// interleaved, so the four dependency chains overlap instead of
+    /// running back to back. This is the natural unit for the OTP path:
+    /// one 64-byte memory line needs exactly four pad blocks.
+    #[must_use]
+    pub fn encrypt4(&self, blocks: &[AesBlock; 4]) -> [AesBlock; 4] {
+        let mut s: [[u32; 4]; 4] = core::array::from_fn(|i| load_columns(&blocks[i]));
+        for lane in &mut s {
+            for (col, key) in lane.iter_mut().zip(&self.enc_keys[0]) {
+                *col ^= key;
+            }
+        }
+        for r in 1..ROUNDS {
+            let rk = &self.enc_keys[r];
+            for lane in &mut s {
+                *lane = ttable_round(lane, rk);
+            }
+        }
+        let rk = &self.enc_keys[ROUNDS];
+        core::array::from_fn(|i| store_columns(&ttable_final(&s[i], rk)))
+    }
+
+    /// Encrypts a batch of blocks in place, running complete groups of
+    /// four through the interleaved [`encrypt4`](Self::encrypt4) kernel
+    /// and any remainder one block at a time.
+    pub fn encrypt_blocks(&self, blocks: &mut [AesBlock]) {
+        let mut quads = blocks.chunks_exact_mut(4);
+        for quad in &mut quads {
+            let quad: &mut [AesBlock; 4] = quad.try_into().expect("chunk of 4");
+            *quad = self.encrypt4(quad);
+        }
+        for block in quads.into_remainder() {
+            *block = self.encrypt_block(block);
+        }
     }
 
     /// Decrypts one 16-byte block (the FIPS-197 inverse cipher).
+    ///
+    /// Decryption is only used by tests and round-trip checks, never on
+    /// the simulator's hot path (CTR mode and CMAC only encrypt), so it
+    /// keeps the byte-oriented form.
     #[must_use]
     pub fn decrypt_block(&self, block: &AesBlock) -> AesBlock {
         let mut state = *block;
@@ -183,25 +344,9 @@ fn add_round_key(state: &mut AesBlock, rk: &[u8; 16]) {
     }
 }
 
-fn sub_bytes(state: &mut AesBlock) {
-    for b in state.iter_mut() {
-        *b = SBOX[*b as usize];
-    }
-}
-
 fn inv_sub_bytes(state: &mut AesBlock) {
     for b in state.iter_mut() {
         *b = INV_SBOX[*b as usize];
-    }
-}
-
-fn shift_rows(state: &mut AesBlock) {
-    // Row r is rotated left by r positions.
-    for r in 1..4 {
-        let row = [state[r], state[4 + r], state[8 + r], state[12 + r]];
-        for c in 0..4 {
-            state[4 * c + r] = row[(c + r) % 4];
-        }
     }
 }
 
@@ -211,22 +356,6 @@ fn inv_shift_rows(state: &mut AesBlock) {
         for c in 0..4 {
             state[4 * c + r] = row[(c + 4 - r) % 4];
         }
-    }
-}
-
-fn mix_columns(state: &mut AesBlock) {
-    for c in 0..4 {
-        let col = [
-            state[4 * c],
-            state[4 * c + 1],
-            state[4 * c + 2],
-            state[4 * c + 3],
-        ];
-        let t = col[0] ^ col[1] ^ col[2] ^ col[3];
-        state[4 * c] = col[0] ^ t ^ xtime(col[0] ^ col[1]);
-        state[4 * c + 1] = col[1] ^ t ^ xtime(col[1] ^ col[2]);
-        state[4 * c + 2] = col[2] ^ t ^ xtime(col[2] ^ col[3]);
-        state[4 * c + 3] = col[3] ^ t ^ xtime(col[3] ^ col[0]);
     }
 }
 
@@ -260,6 +389,67 @@ fn inv_mix_columns(state: &mut AesBlock) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    // ----- byte-oriented reference cipher ----------------------------------
+    // The straightforward FIPS-197 round functions the T-table encrypt
+    // replaced, kept as the oracle for the equivalence tests below.
+
+    fn sub_bytes(state: &mut AesBlock) {
+        for b in state.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+    }
+
+    fn shift_rows(state: &mut AesBlock) {
+        // Row r is rotated left by r positions.
+        for r in 1..4 {
+            let row = [state[r], state[4 + r], state[8 + r], state[12 + r]];
+            for c in 0..4 {
+                state[4 * c + r] = row[(c + r) % 4];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut AesBlock) {
+        for c in 0..4 {
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
+            let t = col[0] ^ col[1] ^ col[2] ^ col[3];
+            state[4 * c] = col[0] ^ t ^ xtime(col[0] ^ col[1]);
+            state[4 * c + 1] = col[1] ^ t ^ xtime(col[1] ^ col[2]);
+            state[4 * c + 2] = col[2] ^ t ^ xtime(col[2] ^ col[3]);
+            state[4 * c + 3] = col[3] ^ t ^ xtime(col[3] ^ col[0]);
+        }
+    }
+
+    fn encrypt_block_reference(aes: &Aes128, block: &AesBlock) -> AesBlock {
+        let mut state = *block;
+        add_round_key(&mut state, &aes.round_keys[0]);
+        for r in 1..ROUNDS {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &aes.round_keys[r]);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &aes.round_keys[ROUNDS]);
+        state
+    }
+
+    /// Deterministic pseudo-random test blocks.
+    fn test_block(i: u32) -> AesBlock {
+        core::array::from_fn(|j| {
+            let x = (i as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add((j as u64).wrapping_mul(0x517c_c1b7_2722_0a95));
+            (x >> 32) as u8
+        })
+    }
 
     /// FIPS-197 Appendix B example vector.
     #[test]
@@ -312,6 +502,51 @@ mod tests {
     }
 
     #[test]
+    fn word_round_keys_match_byte_round_keys() {
+        let aes = Aes128::new(&[0x42; 16]);
+        for r in 0..=ROUNDS {
+            for c in 0..4 {
+                let bytes: [u8; 4] = aes.round_keys[r][4 * c..4 * c + 4].try_into().unwrap();
+                assert_eq!(aes.enc_keys[r][c], u32::from_be_bytes(bytes));
+            }
+        }
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "8 keys x 64 blocks x 2 impls is minutes under miri")]
+    fn ttable_encrypt_matches_reference() {
+        for k in 0..8u32 {
+            let aes = Aes128::new(&test_block(1000 + k));
+            for i in 0..64u32 {
+                let pt = test_block(i);
+                assert_eq!(aes.encrypt_block(&pt), encrypt_block_reference(&aes, &pt));
+            }
+        }
+    }
+
+    #[test]
+    fn encrypt4_matches_single_block() {
+        let aes = Aes128::new(&[0x37; 16]);
+        let blocks: [AesBlock; 4] = core::array::from_fn(|i| test_block(i as u32));
+        let batched = aes.encrypt4(&blocks);
+        for (b, out) in blocks.iter().zip(batched.iter()) {
+            assert_eq!(aes.encrypt_block(b), *out);
+        }
+    }
+
+    #[test]
+    fn encrypt_blocks_handles_remainders() {
+        let aes = Aes128::new(&[0x91; 16]);
+        for n in 0..11usize {
+            let mut batch: Vec<AesBlock> = (0..n).map(|i| test_block(i as u32)).collect();
+            let expected: Vec<AesBlock> = batch.iter().map(|b| aes.encrypt_block(b)).collect();
+            aes.encrypt_blocks(&mut batch);
+            assert_eq!(batch, expected, "batch of {n}");
+        }
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "512 block ops are minutes under miri")]
     fn roundtrip_many_blocks() {
         let aes = Aes128::new(&[0x42; 16]);
         for i in 0..256u32 {
@@ -338,6 +573,23 @@ mod tests {
             assert_eq!(gf_mul(b, 2), xtime(b));
             assert_eq!(gf_mul(b, 1), b);
             assert_eq!(gf_mul(b, 0), 0);
+        }
+    }
+
+    #[test]
+    fn te_tables_encode_mix_columns() {
+        // TE0[x] must be the MixColumns image of S[x] placed in row 0.
+        for x in 0..=255usize {
+            let s = SBOX[x];
+            let mut col = [s, 0, 0, 0];
+            let mut state = [0u8; 16];
+            state[..4].copy_from_slice(&col);
+            mix_columns(&mut state);
+            col.copy_from_slice(&state[..4]);
+            assert_eq!(TE0[x], u32::from_be_bytes(col));
+            assert_eq!(TE1[x], TE0[x].rotate_right(8));
+            assert_eq!(TE2[x], TE0[x].rotate_right(16));
+            assert_eq!(TE3[x], TE0[x].rotate_right(24));
         }
     }
 

@@ -145,13 +145,13 @@ pub struct MetadataEngine {
     /// MSHRs — without it, a nested eviction cascade could re-fetch the
     /// node from NVM before the parent entry catches up and fail
     /// verification spuriously.
-    wb_tree: std::collections::HashMap<u64, Block>,
+    wb_tree: horus_sim::FxHashMap<u64, Block>,
     /// Reinstall generations: bumped whenever a node is served out of the
     /// victim buffer back into the cache. An in-flight eviction whose
     /// node was reinstalled (and possibly re-modified and re-evicted)
     /// must *not* apply its now-stale parent update — the reinstalled
     /// copy is dirty and its own eviction carries the fresh one.
-    wb_reinstall_gen: std::collections::HashMap<u64, u64>,
+    wb_reinstall_gen: horus_sim::FxHashMap<u64, u64>,
     /// Osiris-style stop-loss: when set to `K`, a counter block is
     /// persisted (with its tree update) whenever a counter crosses a
     /// multiple of `K` or overflows, bounding how far any stored counter
@@ -201,8 +201,8 @@ impl MetadataEngine {
             bmt,
             small_tree_root: None,
             shadow_blocks: None,
-            wb_tree: std::collections::HashMap::new(),
-            wb_reinstall_gen: std::collections::HashMap::new(),
+            wb_tree: horus_sim::FxHashMap::default(),
+            wb_reinstall_gen: horus_sim::FxHashMap::default(),
             osiris_stop_loss: None,
             event_log: None,
         }
@@ -619,7 +619,7 @@ impl MetadataEngine {
         self.counter_cache.write_hit(cb_addr, new.to_block());
 
         if let Some(k) = self.osiris_stop_loss {
-            if outcome.overflowed() || outcome.counter().is_multiple_of(k) {
+            if outcome.overflowed() || outcome.counter() % k == 0 {
                 // Stop-loss hit: persist the counter block now, with its
                 // tree entry, so the stored counter never lags by >= k.
                 let bytes = new.to_block();

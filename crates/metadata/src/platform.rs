@@ -87,7 +87,7 @@ impl Platform {
 
     /// Issues one MAC computation attributed to `kind` (`macop.<kind>`).
     pub fn mac_op(&mut self, kind: &str, ready: Cycles) -> Completion {
-        self.stats.incr(&format!("macop.{kind}"));
+        self.stats.incr_pair("macop.", kind);
         if self.hash.probe_enabled() {
             self.hash.issue_named(&format!("mac.{kind}"), ready)
         } else {
@@ -99,7 +99,7 @@ impl Platform {
     /// one-time pad, attributed to `kind` (`aesop.<kind>` counts pads).
     /// Returns the completion of the last lane.
     pub fn otp_op(&mut self, kind: &str, ready: Cycles) -> Completion {
-        self.stats.incr(&format!("aesop.{kind}"));
+        self.stats.incr_pair("aesop.", kind);
         if self.aes.probe_enabled() {
             let name = format!("otp.{kind}");
             let mut last = self.aes.issue_named(&name, ready);

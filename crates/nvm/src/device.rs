@@ -1,14 +1,63 @@
 //! The functional (value-level) NVM block store.
 
 use crate::{Block, BLOCK_SIZE};
-use std::collections::HashMap;
+use horus_sim::FxHashMap;
+use std::fmt;
+
+/// Blocks per page: 4 KiB pages of 64-byte blocks.
+const PAGE_BLOCKS: usize = 64;
+/// Bytes per page.
+const PAGE_SIZE: u64 = (PAGE_BLOCKS * BLOCK_SIZE) as u64;
+
+/// One 4 KiB page of backing store plus a written-block bitmask.
+///
+/// The mask distinguishes "written with zeros" from "never written" and
+/// makes `written_addrs_sorted` a bit scan instead of a key sort.
+#[derive(Clone)]
+struct Page {
+    blocks: [Block; PAGE_BLOCKS],
+    written: u64,
+}
+
+impl Page {
+    fn empty() -> Box<Self> {
+        Box::new(Self {
+            blocks: [[0u8; BLOCK_SIZE]; PAGE_BLOCKS],
+            written: 0,
+        })
+    }
+}
+
+impl fmt::Debug for Page {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Page")
+            .field("written_blocks", &self.written.count_ones())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Per-page storage, graded by population.
+///
+/// Strided-sparse drains touch exactly one block per page; materializing
+/// a 4 KiB page (and deep-copying it on crash-rewind clones) for each
+/// would cost 64x the memory of the blocks actually written. A page
+/// holding a single block stays inline; the second write to the same
+/// page promotes it to a full backing page.
+#[derive(Debug, Clone)]
+enum PageSlot {
+    Single { idx: u8, block: Block },
+    Full(Box<Page>),
+}
 
 /// A sparse, byte-accurate non-volatile block store.
 ///
 /// The simulated machine has 32 GB of PCM plus reserved metadata regions;
 /// experiments touch a few hundred thousand blocks of it, so storage is a
-/// hash map from block address to contents and unwritten blocks read as
-/// zero (freshly-initialized memory).
+/// two-level page table: a hash map from page number (address bits 12 and
+/// up) to 4 KiB pages of 64-byte blocks. Unwritten blocks read as zero
+/// (freshly-initialized memory). Workloads are page-clustered, so the
+/// common access hits one hash lookup per 64 blocks of locality and the
+/// per-block work is an index and a bitmask instead of a `HashMap` probe.
 ///
 /// ```
 /// use horus_nvm::NvmDevice;
@@ -19,7 +68,8 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct NvmDevice {
-    blocks: HashMap<u64, Block>,
+    pages: FxHashMap<u64, PageSlot>,
+    written: usize,
 }
 
 impl NvmDevice {
@@ -31,9 +81,14 @@ impl NvmDevice {
 
     fn assert_aligned(addr: u64) {
         assert!(
-            addr.is_multiple_of(BLOCK_SIZE as u64),
+            addr % BLOCK_SIZE as u64 == 0,
             "NVM address {addr:#x} is not block-aligned"
         );
+    }
+
+    /// Splits a block address into (page number, block-in-page index).
+    fn split(addr: u64) -> (u64, usize) {
+        (addr / PAGE_SIZE, ((addr % PAGE_SIZE) as usize) / BLOCK_SIZE)
     }
 
     /// Reads the block at `addr` (zero if never written).
@@ -44,7 +99,12 @@ impl NvmDevice {
     #[must_use]
     pub fn read_block(&self, addr: u64) -> Block {
         Self::assert_aligned(addr);
-        self.blocks.get(&addr).copied().unwrap_or([0u8; BLOCK_SIZE])
+        let (page, idx) = Self::split(addr);
+        match self.pages.get(&page) {
+            Some(PageSlot::Single { idx: i, block }) if *i as usize == idx => *block,
+            Some(PageSlot::Full(p)) => p.blocks[idx],
+            _ => [0u8; BLOCK_SIZE],
+        }
     }
 
     /// Writes the block at `addr`.
@@ -54,29 +114,77 @@ impl NvmDevice {
     /// Panics if `addr` is not 64-byte aligned.
     pub fn write_block(&mut self, addr: u64, data: Block) {
         Self::assert_aligned(addr);
-        self.blocks.insert(addr, data);
+        let (page, idx) = Self::split(addr);
+        match self.pages.entry(page) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(PageSlot::Single {
+                    idx: idx as u8,
+                    block: data,
+                });
+                self.written += 1;
+            }
+            std::collections::hash_map::Entry::Occupied(mut o) => match o.get_mut() {
+                PageSlot::Single { idx: i, block } if *i as usize == idx => *block = data,
+                slot @ PageSlot::Single { .. } => {
+                    let PageSlot::Single { idx: i, block } = *slot else {
+                        unreachable!()
+                    };
+                    let mut p = Page::empty();
+                    p.blocks[i as usize] = block;
+                    p.blocks[idx] = data;
+                    p.written = (1u64 << i) | (1u64 << idx);
+                    *slot = PageSlot::Full(p);
+                    self.written += 1;
+                }
+                PageSlot::Full(p) => {
+                    let bit = 1u64 << idx;
+                    if p.written & bit == 0 {
+                        p.written |= bit;
+                        self.written += 1;
+                    }
+                    p.blocks[idx] = data;
+                }
+            },
+        }
     }
 
     /// Whether the block at `addr` has ever been written.
     #[must_use]
     pub fn is_written(&self, addr: u64) -> bool {
         Self::assert_aligned(addr);
-        self.blocks.contains_key(&addr)
+        let (page, idx) = Self::split(addr);
+        match self.pages.get(&page) {
+            Some(PageSlot::Single { idx: i, .. }) => *i as usize == idx,
+            Some(PageSlot::Full(p)) => p.written & (1u64 << idx) != 0,
+            None => false,
+        }
     }
 
     /// Number of distinct blocks ever written.
     #[must_use]
     pub fn written_blocks(&self) -> usize {
-        self.blocks.len()
+        self.written
     }
 
     /// All written block addresses, sorted (deterministic iteration for
     /// recovery scans over a sparse device).
     #[must_use]
     pub fn written_addrs_sorted(&self) -> Vec<u64> {
-        let mut v: Vec<u64> = self.blocks.keys().copied().collect();
-        v.sort_unstable();
-        v
+        let mut pages: Vec<u64> = self.pages.keys().copied().collect();
+        pages.sort_unstable();
+        let mut addrs = Vec::with_capacity(self.written);
+        for page in pages {
+            let mut mask = match &self.pages[&page] {
+                PageSlot::Single { idx, .. } => 1u64 << idx,
+                PageSlot::Full(p) => p.written,
+            };
+            while mask != 0 {
+                let idx = mask.trailing_zeros() as u64;
+                addrs.push(page * PAGE_SIZE + idx * BLOCK_SIZE as u64);
+                mask &= mask - 1;
+            }
+        }
+        addrs
     }
 
     /// Erases a range of blocks back to zero (used when a drain episode's
@@ -88,7 +196,26 @@ impl NvmDevice {
     pub fn erase_range(&mut self, start: u64, blocks: u64) {
         Self::assert_aligned(start);
         for i in 0..blocks {
-            self.blocks.remove(&(start + i * BLOCK_SIZE as u64));
+            let (page, idx) = Self::split(start + i * BLOCK_SIZE as u64);
+            match self.pages.get_mut(&page) {
+                Some(PageSlot::Single { idx: i, .. }) if *i as usize == idx => {
+                    self.pages.remove(&page);
+                    self.written -= 1;
+                }
+                Some(PageSlot::Single { .. }) => {}
+                Some(PageSlot::Full(p)) => {
+                    let bit = 1u64 << idx;
+                    if p.written & bit != 0 {
+                        p.written &= !bit;
+                        p.blocks[idx] = [0u8; BLOCK_SIZE];
+                        self.written -= 1;
+                    }
+                    if p.written == 0 {
+                        self.pages.remove(&page);
+                    }
+                }
+                None => {}
+            }
         }
     }
 }
@@ -125,6 +252,41 @@ mod tests {
     }
 
     #[test]
+    fn second_write_promotes_page_and_keeps_first_block() {
+        let mut d = NvmDevice::new();
+        d.write_block(4096, [1u8; 64]);
+        d.write_block(4096 + 64, [2u8; 64]);
+        d.write_block(4096 + 4032, [3u8; 64]);
+        assert_eq!(d.read_block(4096), [1u8; 64]);
+        assert_eq!(d.read_block(4096 + 64), [2u8; 64]);
+        assert_eq!(d.read_block(4096 + 4032), [3u8; 64]);
+        assert_eq!(d.read_block(4096 + 128), [0u8; 64]);
+        assert_eq!(d.written_blocks(), 3);
+        assert_eq!(d.written_addrs_sorted(), vec![4096, 4096 + 64, 4096 + 4032]);
+    }
+
+    #[test]
+    fn erase_single_block_page() {
+        let mut d = NvmDevice::new();
+        d.write_block(8192, [1u8; 64]);
+        d.erase_range(8192, 1);
+        assert!(!d.is_written(8192));
+        assert_eq!(d.read_block(8192), [0u8; 64]);
+        assert_eq!(d.written_blocks(), 0);
+    }
+
+    #[test]
+    fn zero_write_is_still_written() {
+        // The bitmask, not the contents, defines written-ness.
+        let mut d = NvmDevice::new();
+        d.write_block(128, [0u8; 64]);
+        assert!(d.is_written(128));
+        assert!(!d.is_written(192), "neighbour in the same page unwritten");
+        assert_eq!(d.written_blocks(), 1);
+        assert_eq!(d.written_addrs_sorted(), vec![128]);
+    }
+
+    #[test]
     fn erase_range_zeroes() {
         let mut d = NvmDevice::new();
         d.write_block(0, [1u8; 64]);
@@ -134,6 +296,23 @@ mod tests {
         assert_eq!(d.read_block(0), [0u8; 64]);
         assert_eq!(d.read_block(64), [0u8; 64]);
         assert_eq!(d.read_block(128), [1u8; 64]);
+        assert_eq!(d.written_blocks(), 1);
+        assert!(!d.is_written(0));
+        assert_eq!(d.written_addrs_sorted(), vec![128]);
+    }
+
+    #[test]
+    fn written_addrs_sorted_across_pages() {
+        let mut d = NvmDevice::new();
+        // Out-of-order writes spanning several pages and a page boundary.
+        for addr in [1 << 30, 4096, 4032, 0, 64, (1 << 30) + 64, 8192] {
+            d.write_block(addr, [7u8; 64]);
+        }
+        assert_eq!(
+            d.written_addrs_sorted(),
+            vec![0, 64, 4032, 4096, 8192, 1 << 30, (1 << 30) + 64]
+        );
+        assert_eq!(d.written_blocks(), 7);
     }
 
     #[test]

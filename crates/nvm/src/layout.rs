@@ -94,7 +94,7 @@ impl AddressMap {
     #[must_use]
     pub fn new(data_bytes: u64, chv_blocks: u64, shadow_blocks: u64) -> Self {
         assert!(
-            data_bytes > 0 && data_bytes.is_multiple_of(COUNTER_COVERAGE),
+            data_bytes > 0 && data_bytes % COUNTER_COVERAGE == 0,
             "data size must be a positive multiple of {COUNTER_COVERAGE}"
         );
         assert!(chv_blocks > 0, "CHV must be non-empty");

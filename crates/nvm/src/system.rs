@@ -127,7 +127,7 @@ impl NvmSystem {
         } else {
             self.banks.issue_addr_for(addr, ready, self.read_latency)
         };
-        self.stats.incr(&format!("mem.read.{kind}"));
+        self.stats.incr_pair("mem.read.", kind);
         (self.device.read_block(addr), completion)
     }
 
@@ -143,7 +143,7 @@ impl NvmSystem {
         } else {
             self.banks.issue_addr_for(addr, ready, self.write_latency)
         };
-        self.stats.incr(&format!("mem.write.{kind}"));
+        self.stats.incr_pair("mem.write.", kind);
         self.wear.record(addr);
         if let Some(journal) = &mut self.journal {
             journal.push(JournalEntry {

@@ -9,13 +9,12 @@
 //! concentrates them* — e.g. Horus re-writes the same CHV region every
 //! episode, while the baselines spray the metadata regions.
 
-use horus_sim::Histogram;
-use std::collections::HashMap;
+use horus_sim::{FxHashMap, Histogram};
 
 /// Per-block write counts for the whole device.
 #[derive(Debug, Clone, Default)]
 pub struct WearTracker {
-    per_block: HashMap<u64, u64>,
+    per_block: FxHashMap<u64, u64>,
     total: u64,
 }
 

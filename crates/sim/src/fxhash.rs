@@ -1,0 +1,140 @@
+//! A fast, non-cryptographic hasher for the simulator's hot-path maps.
+//!
+//! The interned [`Stats`](crate::Stats) registry and the NVM device's
+//! page table hash short strings and block addresses millions of times
+//! per episode; SipHash's per-call overhead is measurable there and its
+//! DoS resistance buys nothing against our own workload. This is the
+//! classic Fx multiply-rotate hash (as popularized by the rustc
+//! codebase): one rotate, one XOR and one multiply per word.
+//!
+//! Determinism matters more than quality here: the hash has no random
+//! seed, so iteration-order-independent consumers get identical results
+//! across runs and platforms.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// The golden-ratio multiplier (2^64 / φ, forced odd).
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+/// The Fx multiply-rotate hasher. One word of state; each input word
+/// costs a rotate, an XOR and a multiply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = [0u8; 8];
+            word[..tail.len()].copy_from_slice(tail);
+            // Fold the length in so "a" and "a\0" (as byte strings)
+            // cannot collide through zero padding alone.
+            word[7] = tail.len() as u8;
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(&"mem.read.data"), hash_of(&"mem.read.data"));
+        assert_eq!(hash_of(&0x4000u64), hash_of(&0x4000u64));
+    }
+
+    #[test]
+    fn distinguishes_close_inputs() {
+        assert_ne!(hash_of(&"mem.read.data"), hash_of(&"mem.read.mac"));
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&"a"), hash_of(&"a\0"));
+        assert_ne!(hash_of(&""), hash_of(&"\0"));
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<String, u64> = FxHashMap::default();
+        m.insert("x".into(), 1);
+        m.insert("y".into(), 2);
+        assert_eq!(m.get("x"), Some(&1));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(64);
+        assert!(s.contains(&64));
+        assert!(!s.contains(&128));
+    }
+
+    #[test]
+    fn long_keys_cover_the_chunked_path() {
+        let long = "a".repeat(1000);
+        let mut other = "a".repeat(999);
+        other.push('b');
+        assert_ne!(hash_of(&long), hash_of(&other));
+        assert_eq!(hash_of(&long), hash_of(&"a".repeat(1000)));
+    }
+}

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod fxhash;
 pub mod power;
 pub mod queue;
 pub mod resource;
@@ -58,6 +59,7 @@ pub mod stats;
 pub mod trace;
 
 pub use clock::{Cycles, Frequency};
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use power::{PowerFailure, WriteFate};
 pub use resource::{BankSet, Completion, Resource};
 pub use schedule::{SlotBankSet, SlotResource};

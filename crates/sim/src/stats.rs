@@ -5,14 +5,34 @@
 //! purpose, cache hits/misses — and the experiment harness reads these
 //! back to print the breakdowns shown in the paper's Figures 6, 12 and 13.
 
+use crate::fxhash::FxHashMap;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
+
+/// A dense handle to one interned counter, issued by
+/// [`Stats::counter_id`].
+///
+/// Hot call sites resolve a name once, cache the id, and then update
+/// the counter with [`Stats::add_id`] / [`Stats::incr_id`] — a bounds
+/// check and an array add, no hashing and no allocation. Ids are only
+/// meaningful for the [`Stats`] instance that issued them (using one
+/// against another registry hits whatever counter occupies that slot
+/// there, or panics if the slot does not exist); they remain valid
+/// across [`Stats::clear`], which resets values but keeps the name
+/// table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterId(u32);
 
 /// A registry of named monotonic counters.
 ///
-/// Keys are static strings so call sites stay cheap and typo-resistant
-/// constants can be shared; the registry is ordered so reports are
+/// Names are interned on first touch: the registry maps each distinct
+/// name to a dense id and stores counter values in a flat array, so the
+/// per-operation cost is one short-string hash (or none, with a cached
+/// [`CounterId`]) instead of an ordered-map walk plus allocation. The
+/// name table is only consulted for reporting and serialization, both
+/// of which present counters in name order so reports stay
 /// deterministic.
 ///
 /// ```
@@ -23,15 +43,71 @@ use std::fmt;
 /// assert_eq!(s.get("mem.write.data"), 4);
 /// assert_eq!(s.get("never.touched"), 0);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(into = "StatsRepr", from = "StatsRepr")]
 pub struct Stats {
+    /// id → name: the slow-path name table, used only when reporting
+    /// or serializing.
+    names: Vec<Arc<str>>,
+    /// name → id.
+    index: FxHashMap<Arc<str>, u32>,
+    /// Counter values by id.
+    counters: Vec<u64>,
+    /// Whether the counter was ever added to (a counter touched with
+    /// `add(key, 0)` reports and serializes as present-at-zero, an
+    /// interned-but-never-added slot does not — matching the previous
+    /// map-based behavior).
+    touched: Vec<bool>,
+    /// Histograms share the id space; `None` until a sample lands.
+    histograms: Vec<Option<Histogram>>,
+}
+
+/// The serialized face of [`Stats`]: the ordered name→value maps the
+/// registry always presented on the wire. Keeping serialization
+/// identical to the pre-interning layout preserves golden traces and
+/// the harness cache keys derived from canonical JSON.
+#[derive(Clone, Serialize, Deserialize)]
+struct StatsRepr {
     counters: BTreeMap<String, u64>,
-    /// Named histograms (queueing delays, reuse distances). Absent from
-    /// serialized form when empty so pre-existing cached results — and
-    /// the keys derived from canonical JSON — are unchanged.
     #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
     histograms: BTreeMap<String, Histogram>,
 }
+
+impl From<Stats> for StatsRepr {
+    fn from(s: Stats) -> Self {
+        Self {
+            counters: s.iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+            histograms: s
+                .histograms()
+                .map(|(k, h)| (k.to_owned(), h.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl From<StatsRepr> for Stats {
+    fn from(r: StatsRepr) -> Self {
+        let mut s = Stats::new();
+        for (k, v) in r.counters {
+            s.add(&k, v);
+        }
+        for (k, h) in r.histograms {
+            s.insert_histogram(&k, h);
+        }
+        s
+    }
+}
+
+/// Counter equality is semantic — same named values, same named
+/// histograms — regardless of interning order, so registries built by
+/// different merge orders still compare equal.
+impl PartialEq for Stats {
+    fn eq(&self, other: &Self) -> bool {
+        self.iter().eq(other.iter()) && self.histograms().eq(other.histograms())
+    }
+}
+
+impl Eq for Stats {}
 
 impl Stats {
     /// Creates an empty registry.
@@ -40,9 +116,66 @@ impl Stats {
         Self::default()
     }
 
+    /// Interns `key`, growing the tables if it is new.
+    fn intern(&mut self, key: &str) -> usize {
+        if let Some(&id) = self.index.get(key) {
+            return id as usize;
+        }
+        let id = u32::try_from(self.names.len()).expect("more than u32::MAX distinct counters");
+        let name: Arc<str> = Arc::from(key);
+        self.names.push(Arc::clone(&name));
+        self.index.insert(name, id);
+        self.counters.push(0);
+        self.touched.push(false);
+        self.histograms.push(None);
+        id as usize
+    }
+
+    /// Resolves (interning if needed) the dense id for `key`, for call
+    /// sites hot enough to cache it. The counter stays absent from
+    /// reports until first added to.
+    pub fn counter_id(&mut self, key: &str) -> CounterId {
+        CounterId(self.intern(key) as u32)
+    }
+
+    /// Adds `n` to the counter behind a cached id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was issued by a different registry with more
+    /// counters than this one.
+    pub fn add_id(&mut self, id: CounterId, n: u64) {
+        let slot = id.0 as usize;
+        self.counters[slot] += n;
+        self.touched[slot] = true;
+    }
+
+    /// Increments the counter behind a cached id by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was issued by a different registry with more
+    /// counters than this one.
+    pub fn incr_id(&mut self, id: CounterId) {
+        self.add_id(id, 1);
+    }
+
+    /// Reads the counter behind a cached id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was issued by a different registry with more
+    /// counters than this one.
+    #[must_use]
+    pub fn get_id(&self, id: CounterId) -> u64 {
+        self.counters[id.0 as usize]
+    }
+
     /// Adds `n` to the counter `key`, creating it at zero if absent.
     pub fn add(&mut self, key: &str, n: u64) {
-        *self.counters.entry(key.to_owned()).or_insert(0) += n;
+        let id = self.intern(key);
+        self.counters[id] += n;
+        self.touched[id] = true;
     }
 
     /// Increments the counter `key` by one.
@@ -50,10 +183,34 @@ impl Stats {
         self.add(key, 1);
     }
 
+    /// Adds `n` to the counter named `{prefix}{suffix}` without
+    /// allocating the concatenation (the per-operation shape of the
+    /// memory system's `mem.read.{kind}` counters).
+    pub fn add_pair(&mut self, prefix: &str, suffix: &str, n: u64) {
+        let total = prefix.len() + suffix.len();
+        let mut buf = [0u8; 96];
+        if total <= buf.len() {
+            buf[..prefix.len()].copy_from_slice(prefix.as_bytes());
+            buf[prefix.len()..total].copy_from_slice(suffix.as_bytes());
+            let key = std::str::from_utf8(&buf[..total]).expect("concatenation of two strs");
+            self.add(key, n);
+        } else {
+            self.add(&format!("{prefix}{suffix}"), n);
+        }
+    }
+
+    /// Increments the counter named `{prefix}{suffix}` by one, without
+    /// allocating the concatenation.
+    pub fn incr_pair(&mut self, prefix: &str, suffix: &str) {
+        self.add_pair(prefix, suffix, 1);
+    }
+
     /// Reads a counter; absent counters read as zero.
     #[must_use]
     pub fn get(&self, key: &str) -> u64 {
-        self.counters.get(key).copied().unwrap_or(0)
+        self.index
+            .get(key)
+            .map_or(0, |&id| self.counters[id as usize])
     }
 
     /// Sums every counter whose name starts with `prefix`.
@@ -69,8 +226,9 @@ impl Stats {
     /// ```
     #[must_use]
     pub fn sum_prefix(&self, prefix: &str) -> u64 {
-        self.counters
+        self.names
             .iter()
+            .zip(self.counters.iter())
             .filter(|(k, _)| k.starts_with(prefix))
             .map(|(_, v)| *v)
             .sum()
@@ -78,7 +236,15 @@ impl Stats {
 
     /// Iterates `(name, value)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+        let mut pairs: Vec<(&str, u64)> = self
+            .touched
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t)
+            .map(|(i, _)| (&*self.names[i], self.counters[i]))
+            .collect();
+        pairs.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        pairs.into_iter()
     }
 
     /// Merges another registry into this one, saturating-summing shared
@@ -108,12 +274,18 @@ impl Stats {
     /// assert_eq!(big.get("mem.write.data"), u64::MAX);
     /// ```
     pub fn merge(&mut self, other: &Stats) {
+        // Remap by name: the two registries interned in different
+        // orders, so ids do not line up.
         for (k, v) in other.iter() {
-            let slot = self.counters.entry(k.to_owned()).or_insert(0);
-            *slot = slot.saturating_add(v);
+            let id = self.intern(k);
+            self.counters[id] = self.counters[id].saturating_add(v);
+            self.touched[id] = true;
         }
-        for (k, h) in &other.histograms {
-            self.histograms.entry(k.clone()).or_default().merge(h);
+        for (k, h) in other.histograms() {
+            let id = self.intern(k);
+            self.histograms[id]
+                .get_or_insert_with(Histogram::new)
+                .merge(h);
         }
     }
 
@@ -129,51 +301,69 @@ impl Stats {
     /// assert!(s.histogram("queue.hash").is_none());
     /// ```
     pub fn record_sample(&mut self, key: &str, sample: u64) {
-        self.histograms
-            .entry(key.to_owned())
-            .or_default()
+        let id = self.intern(key);
+        self.histograms[id]
+            .get_or_insert_with(Histogram::new)
             .record(sample);
     }
 
     /// Inserts (or replaces) a whole named histogram.
     pub fn insert_histogram(&mut self, key: &str, histogram: Histogram) {
-        self.histograms.insert(key.to_owned(), histogram);
+        let id = self.intern(key);
+        self.histograms[id] = Some(histogram);
     }
 
     /// Reads a named histogram, if any samples were recorded under it.
     #[must_use]
     pub fn histogram(&self, key: &str) -> Option<&Histogram> {
-        self.histograms.get(key)
+        self.index
+            .get(key)
+            .and_then(|&id| self.histograms[id as usize].as_ref())
     }
 
     /// Iterates `(name, histogram)` pairs in name order.
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
-        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+        let mut pairs: Vec<(&str, &Histogram)> = self
+            .histograms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.as_ref().map(|h| (&*self.names[i], h)))
+            .collect();
+        pairs.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        pairs.into_iter()
     }
 
-    /// Removes every counter and histogram.
+    /// Resets every counter and histogram.
+    ///
+    /// The name table is kept, so [`CounterId`]s issued before the
+    /// clear stay valid — the simulator's `reset_timing` paths rely on
+    /// this to reuse cached ids across episodes. Cleared counters
+    /// become untouched again: they drop out of iteration and
+    /// serialization until re-added, exactly as if the registry were
+    /// fresh.
     pub fn clear(&mut self) {
-        self.counters.clear();
-        self.histograms.clear();
+        self.counters.iter_mut().for_each(|c| *c = 0);
+        self.touched.iter_mut().for_each(|t| *t = false);
+        self.histograms.iter_mut().for_each(|h| *h = None);
     }
 
     /// Number of distinct counters (histograms are not counted; see
     /// [`Stats::histograms`]).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.counters.len()
+        self.touched.iter().filter(|&&t| t).count()
     }
 
     /// Whether neither a counter nor a histogram has been touched.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty()
+        !self.touched.contains(&true) && self.histograms.iter().all(Option::is_none)
     }
 }
 
 impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (k, v) in &self.counters {
+        for (k, v) in self.iter() {
             writeln!(f, "{k:<40} {v:>14}")?;
         }
         Ok(())
@@ -462,6 +652,76 @@ mod tests {
         let s: Stats = [("b", 2u64), ("a", 1), ("c", 3)].into_iter().collect();
         let keys: Vec<_> = s.iter().map(|(k, _)| k).collect();
         assert_eq!(keys, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn counter_ids_bypass_interning() {
+        let mut s = Stats::new();
+        let id = s.counter_id("mem.read.data");
+        assert_eq!(s.get_id(id), 0);
+        assert_eq!(s.len(), 0, "interned-but-unadded counters stay absent");
+        s.incr_id(id);
+        s.add_id(id, 4);
+        assert_eq!(s.get_id(id), 5);
+        assert_eq!(s.get("mem.read.data"), 5);
+        assert_eq!(s.counter_id("mem.read.data"), id, "re-interning is stable");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn counter_ids_survive_clear() {
+        let mut s = Stats::new();
+        let id = s.counter_id("ops");
+        s.add_id(id, 9);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.get_id(id), 0);
+        s.incr_id(id);
+        assert_eq!(s.get("ops"), 1);
+    }
+
+    #[test]
+    fn pair_counters_match_concatenation() {
+        let mut s = Stats::new();
+        s.incr_pair("mem.read.", "data");
+        s.add_pair("mem.read.", "data", 2);
+        s.add("mem.read.data", 1);
+        assert_eq!(s.get("mem.read.data"), 4);
+        assert_eq!(s.len(), 1, "pair and concatenated forms share a counter");
+        // Oversized keys fall back to allocation but still count.
+        let long = "k".repeat(200);
+        s.add_pair("prefix.", &long, 7);
+        assert_eq!(s.get(&format!("prefix.{long}")), 7);
+    }
+
+    #[test]
+    fn equality_ignores_interning_order() {
+        let mut a = Stats::new();
+        a.add("x", 1);
+        a.add("y", 2);
+        let mut b = Stats::new();
+        b.add("y", 2);
+        b.add("x", 1);
+        assert_eq!(a, b);
+        b.incr("x");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn repr_roundtrip_preserves_contents() {
+        let mut s = Stats::new();
+        s.add("b", 2);
+        s.add("a", 0); // touched at zero must survive the round trip
+        s.record_sample("q", 77);
+        let repr = StatsRepr::from(s.clone());
+        assert_eq!(repr.counters.get("a"), Some(&0));
+        assert_eq!(
+            repr.counters.keys().collect::<Vec<_>>(),
+            ["a", "b"],
+            "serialized counters are name-ordered"
+        );
+        let back = Stats::from(repr);
+        assert_eq!(back, s);
     }
 
     #[test]
