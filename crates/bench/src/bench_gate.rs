@@ -19,6 +19,14 @@
 //! up as a multiple, not a percentage, so the wide band still catches
 //! what matters.
 //!
+//! A `host_profile` section records the measuring run's own resource
+//! usage — CPU seconds, peak RSS, and (under the `alloc-profile`
+//! feature) allocation totals — via `horus_obs::profile`. It gets the
+//! same regressions-only treatment as throughput through
+//! [`compare_host_profile`], at an even wider default tolerance (50%),
+//! and the CI job runs it informationally until the committed baseline
+//! carries the section.
+//!
 //! The JSON codec is hand-rolled (the snapshot is a small flat document
 //! we fully control) so the gate has no dependency on a JSON crate's
 //! availability or formatting stability: the committed baseline parses
@@ -61,6 +69,45 @@ pub struct Throughput {
     pub per_sec: f64,
 }
 
+/// Host-side resource usage of the measuring run: the `host_profile`
+/// snapshot section.
+///
+/// Like `ops_per_sec` this is machine-dependent, so it is gated
+/// separately ([`compare_host_profile`], regressions only, wide
+/// tolerance) and never by [`compare`]. Fields are `None` when the probe
+/// is unavailable (non-Linux `/proc`, or the `alloc-profile` feature off
+/// for the allocation counters); absent values are skipped by the gate on
+/// either side, so a Linux-recorded baseline still parses and gates
+/// everywhere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostProfileSection {
+    /// Process CPU seconds (user + system) consumed by the measuring run.
+    pub cpu_seconds: Option<f64>,
+    /// Peak resident set size in bytes.
+    pub peak_rss_bytes: Option<u64>,
+    /// Total allocations (requires `alloc-profile`).
+    pub allocations: Option<u64>,
+    /// Total allocated bytes (requires `alloc-profile`).
+    pub allocated_bytes: Option<u64>,
+}
+
+impl HostProfileSection {
+    /// Captures the current process's resource usage via `horus_obs`.
+    /// CPU seconds are measured as a delta from `started` going forward;
+    /// here we report the process totals, which is what a whole-run
+    /// measuring process wants.
+    #[must_use]
+    pub fn capture() -> Self {
+        let allocs = horus_obs::profile::alloc_counts();
+        HostProfileSection {
+            cpu_seconds: horus_obs::profile::process_cpu_seconds(),
+            peak_rss_bytes: horus_obs::profile::peak_rss_bytes(),
+            allocations: allocs.map(|(n, _)| n),
+            allocated_bytes: allocs.map(|(_, b)| b),
+        }
+    }
+}
+
 /// Everything the gate compares (plus the informational wall time).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchSnapshot {
@@ -71,7 +118,12 @@ pub struct BenchSnapshot {
     /// Simulator throughput, gated (regressions only) by
     /// [`compare_throughput`] — never by [`compare`].
     pub ops_per_sec: Vec<Throughput>,
-    /// Wall time of the measuring run, seconds. Informational only.
+    /// Host resource usage of the measuring run, gated (regressions
+    /// only) by [`compare_host_profile`] — never by [`compare`].
+    /// `None` for baselines recorded before the section existed.
+    pub host_profile: Option<HostProfileSection>,
+    /// Wall time of the measuring run, seconds. Informational via
+    /// [`compare`], gated (regressions only) by [`compare_host_profile`].
     pub wall_seconds: f64,
 }
 
@@ -82,6 +134,16 @@ impl BenchSnapshot {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"wall_seconds\": {},\n", self.wall_seconds));
+        if let Some(host) = &self.host_profile {
+            out.push_str(&format!(
+                "  \"host_profile\": {{\"cpu_seconds\": {}, \"peak_rss_bytes\": {}, \
+                 \"allocations\": {}, \"allocated_bytes\": {}}},\n",
+                opt_f64_json(host.cpu_seconds),
+                opt_u64_json(host.peak_rss_bytes),
+                opt_u64_json(host.allocations),
+                opt_u64_json(host.allocated_bytes),
+            ));
+        }
         out.push_str("  \"schemes\": [\n");
         for (i, s) in self.schemes.iter().enumerate() {
             out.push_str(&format!(
@@ -129,6 +191,7 @@ impl BenchSnapshot {
             schemes: Vec::new(),
             checks: Vec::new(),
             ops_per_sec: Vec::new(),
+            host_profile: None,
             wall_seconds: 0.0,
         };
         for line in text.lines() {
@@ -138,6 +201,13 @@ impl BenchSnapshot {
                     .trim()
                     .parse::<f64>()
                     .map_err(|e| format!("bad wall_seconds: {e}"))?;
+            } else if line.contains("\"host_profile\":") {
+                snapshot.host_profile = Some(HostProfileSection {
+                    cpu_seconds: opt_f64_field(line, "cpu_seconds")?,
+                    peak_rss_bytes: opt_u64_field(line, "peak_rss_bytes")?,
+                    allocations: opt_u64_field(line, "allocations")?,
+                    allocated_bytes: opt_u64_field(line, "allocated_bytes")?,
+                });
             } else if line.contains("\"scheme\":") {
                 snapshot.schemes.push(SchemeOps {
                     scheme: str_field(line, "scheme")?,
@@ -237,6 +307,33 @@ fn f64_field(line: &str, key: &str) -> Result<f64, String> {
         .map_err(|e| format!("bad {key}: {e}"))
 }
 
+fn opt_u64_field(line: &str, key: &str) -> Result<Option<u64>, String> {
+    let raw = raw_field(line, key)?;
+    if raw == "null" {
+        return Ok(None);
+    }
+    raw.parse().map(Some).map_err(|e| format!("bad {key}: {e}"))
+}
+
+fn opt_f64_field(line: &str, key: &str) -> Result<Option<f64>, String> {
+    let raw = raw_field(line, key)?;
+    if raw == "null" {
+        return Ok(None);
+    }
+    raw.parse().map(Some).map_err(|e| format!("bad {key}: {e}"))
+}
+
+fn opt_u64_json(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_owned(), |v| v.to_string())
+}
+
+fn opt_f64_json(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v.is_finite() => v.to_string(),
+        _ => "null".to_owned(),
+    }
+}
+
 /// Times `sets` un-memoized five-scheme smoke episodes and rates the
 /// fastest set — simulated cycles retired and scheme episodes completed
 /// per wall second. Direct [`horus_harness::JobSpec::execute`] calls, bypassing the
@@ -301,6 +398,7 @@ pub fn measure(harness: &Harness) -> BenchSnapshot {
             })
             .collect(),
         ops_per_sec,
+        host_profile: Some(HostProfileSection::capture()),
         wall_seconds: started.elapsed().as_secs_f64(),
     }
 }
@@ -399,6 +497,77 @@ pub fn compare_throughput(
     deviations
 }
 
+/// Gates the `host_profile` section: flags every host metric that grew
+/// more than `tolerance` (relative, e.g. `0.5` = 50%) *above* its
+/// baseline. Using fewer resources than the baseline never fails — only
+/// regressions do. Host metrics are far noisier than op counts (CPU time
+/// depends on runner contention, RSS on allocator arena geometry), so
+/// the CI job uses a wide 50% band and runs this gate informationally
+/// until the committed baseline carries the section; a real regression
+/// — a leak, an accidental clone on the per-job path — shows up as a
+/// multiple, not a percentage.
+///
+/// Wall time is gated here too (same regressions-only rule), since it is
+/// exactly as machine-dependent as CPU time. Metrics absent on *either*
+/// side (feature off, non-Linux) are skipped, never flagged. A baseline
+/// without the section is itself flagged (refresh with `--update`).
+#[must_use]
+pub fn compare_host_profile(
+    current: &BenchSnapshot,
+    baseline: &BenchSnapshot,
+    tolerance: f64,
+) -> Vec<String> {
+    let Some(base) = &baseline.host_profile else {
+        return vec!["baseline has no host_profile section — refresh it with --update".to_owned()];
+    };
+    let now = current.host_profile.clone().unwrap_or(HostProfileSection {
+        cpu_seconds: None,
+        peak_rss_bytes: None,
+        allocations: None,
+        allocated_bytes: None,
+    });
+    let mut deviations = Vec::new();
+    let mut check = |what: &str, now_v: Option<f64>, then_v: Option<f64>, unit: &str| {
+        let (Some(now_v), Some(then_v)) = (now_v, then_v) else {
+            return;
+        };
+        let ceiling = then_v * (1.0 + tolerance);
+        if then_v > 0.0 && now_v > ceiling {
+            deviations.push(format!(
+                "host {what}: {now_v:.3}{unit} is {:.0}% above baseline {then_v:.3}{unit} \
+                 (ceiling {ceiling:.3}{unit})",
+                (now_v / then_v - 1.0) * 100.0,
+            ));
+        }
+    };
+    check(
+        "wall_seconds",
+        Some(current.wall_seconds),
+        Some(baseline.wall_seconds),
+        "s",
+    );
+    check("cpu_seconds", now.cpu_seconds, base.cpu_seconds, "s");
+    check(
+        "peak_rss_bytes",
+        now.peak_rss_bytes.map(|v| v as f64),
+        base.peak_rss_bytes.map(|v| v as f64),
+        "B",
+    );
+    check(
+        "allocations",
+        now.allocations.map(|v| v as f64),
+        base.allocations.map(|v| v as f64),
+        "",
+    );
+    check(
+        "allocated_bytes",
+        now.allocated_bytes.map(|v| v as f64),
+        base.allocated_bytes.map(|v| v as f64),
+        "B",
+    );
+    deviations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +602,12 @@ mod tests {
                     per_sec: 1500.0,
                 },
             ],
+            host_profile: Some(HostProfileSection {
+                cpu_seconds: Some(2.5),
+                peak_rss_bytes: Some(64 * 1024 * 1024),
+                allocations: None,
+                allocated_bytes: None,
+            }),
             wall_seconds: 1.25,
         }
     }
@@ -548,8 +723,73 @@ mod tests {
     fn legacy_baseline_without_throughput_still_parses() {
         let mut snap = sample();
         snap.ops_per_sec.clear();
+        snap.host_profile = None;
         let parsed = BenchSnapshot::parse(&snap.to_json()).expect("parses");
         assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn host_profile_round_trips_including_nulls() {
+        let snap = sample();
+        let json = snap.to_json();
+        assert!(json.contains("\"allocations\": null"), "{json}");
+        let parsed = BenchSnapshot::parse(&json).expect("parses");
+        assert_eq!(parsed.host_profile, snap.host_profile);
+    }
+
+    #[test]
+    fn host_profile_is_never_gated_by_compare() {
+        let base = sample();
+        let mut now = base.clone();
+        now.host_profile.as_mut().unwrap().cpu_seconds = Some(9999.0);
+        assert!(compare(&now, &base, 0.0).is_empty());
+    }
+
+    #[test]
+    fn host_profile_gate_flags_only_regressions() {
+        let base = sample();
+        let mut now = base.clone();
+        // Half the CPU and RSS: passes at any tolerance.
+        now.host_profile.as_mut().unwrap().cpu_seconds = Some(1.25);
+        now.host_profile.as_mut().unwrap().peak_rss_bytes = Some(32 * 1024 * 1024);
+        assert!(compare_host_profile(&now, &base, 0.5).is_empty());
+        // 40% more CPU: inside the 50% band.
+        now.host_profile.as_mut().unwrap().cpu_seconds = Some(3.5);
+        assert!(compare_host_profile(&now, &base, 0.5).is_empty());
+        // 3x the CPU: flagged.
+        now.host_profile.as_mut().unwrap().cpu_seconds = Some(7.5);
+        let deviations = compare_host_profile(&now, &base, 0.5);
+        assert_eq!(deviations.len(), 1, "{deviations:?}");
+        assert!(deviations[0].contains("cpu_seconds"), "{deviations:?}");
+    }
+
+    #[test]
+    fn host_profile_gate_covers_wall_time_and_skips_absent_metrics() {
+        let base = sample();
+        let mut now = base.clone();
+        // Wall-time blowup is a host regression even though compare()
+        // ignores it.
+        now.wall_seconds = base.wall_seconds * 10.0;
+        let deviations = compare_host_profile(&now, &base, 0.5);
+        assert!(
+            deviations.iter().any(|d| d.contains("wall_seconds")),
+            "{deviations:?}"
+        );
+        // Metrics the current run could not measure are skipped, not
+        // flagged (e.g. alloc-profile off, non-Linux host).
+        let mut dark = base.clone();
+        dark.host_profile = None;
+        assert!(compare_host_profile(&dark, &base, 0.5).is_empty());
+    }
+
+    #[test]
+    fn host_profile_gate_requires_a_baseline_section() {
+        let now = sample();
+        let mut base = now.clone();
+        base.host_profile = None;
+        let deviations = compare_host_profile(&now, &base, 0.5);
+        assert_eq!(deviations.len(), 1);
+        assert!(deviations[0].contains("--update"), "{deviations:?}");
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //!
 //! Usage: `cargo run --release -p horus-bench --bin bench-gate --
 //! [--update] [--baseline PATH] [--out PATH] [--tolerance FRACTION]
-//! [--throughput-tolerance FRACTION]` plus the shared `repro-*` flags
+//! [--throughput-tolerance FRACTION] [--host-profile-tolerance FRACTION]
+//! [--gate-host-profile]` plus the shared `repro-*` flags
 //! (`--jobs`, `--cache-dir`, `--no-cache`, `--progress`). Here `--out`
 //! is the snapshot output path, claimed before the shared parser's
 //! `--out`/`--trace-out` alias.
@@ -17,6 +18,11 @@
 //! The deterministic op counts are gated tight (default 2%); the
 //! `ops_per_sec` throughput section is gated loose (default 25%,
 //! regressions only) because wall-clock rates depend on the runner.
+//! The `host_profile` section (wall/CPU seconds, peak RSS, allocation
+//! totals) is looser still — default 50%, regressions only — and runs
+//! *informationally* unless `--gate-host-profile` is given: deviations
+//! print but do not fail the gate, so the section can ride along until
+//! the committed baseline has been refreshed on the CI runner class.
 
 use horus_bench::bench_gate::{self, BenchSnapshot};
 use horus_bench::cli::HarnessArgs;
@@ -30,10 +36,13 @@ struct GateArgs {
     out: Option<PathBuf>,
     tolerance: f64,
     throughput_tolerance: f64,
+    host_profile_tolerance: f64,
+    gate_host_profile: bool,
 }
 
 const GATE_USAGE: &str = "bench-gate [--update] [--baseline PATH] [--out PATH] \
-[--tolerance FRACTION] [--throughput-tolerance FRACTION]";
+[--tolerance FRACTION] [--throughput-tolerance FRACTION] \
+[--host-profile-tolerance FRACTION] [--gate-host-profile]";
 
 fn fraction(flag: &str, v: &str) -> Result<f64, String> {
     let f = v.parse::<f64>().map_err(|e| format!("{flag} {v}: {e}"))?;
@@ -50,6 +59,8 @@ fn main() {
         out: None,
         tolerance: 0.02,
         throughput_tolerance: 0.25,
+        host_profile_tolerance: 0.5,
+        gate_host_profile: false,
     };
     let shared = HarnessArgs::parse_or_exit_with(GATE_USAGE, |flag, it| match flag {
         "--update" => {
@@ -74,10 +85,23 @@ fn main() {
             args.throughput_tolerance = fraction("--throughput-tolerance", &v)?;
             Ok(true)
         }
+        "--host-profile-tolerance" => {
+            let v = it
+                .next()
+                .ok_or("--host-profile-tolerance requires a value")?;
+            args.host_profile_tolerance = fraction("--host-profile-tolerance", &v)?;
+            Ok(true)
+        }
+        "--gate-host-profile" => {
+            args.gate_host_profile = true;
+            Ok(true)
+        }
         _ => Ok(false),
     });
-    let harness = shared.harness();
+    let obs = shared.obs_or_exit();
+    let harness = shared.harness_with(&obs);
     let snapshot = bench_gate::measure(&harness);
+    obs.finish_or_exit(&harness);
     println!(
         "smoke-plan headline op counts ({:.2}s wall, {} workers):\n\n{}",
         snapshot.wall_seconds,
@@ -85,6 +109,19 @@ fn main() {
         snapshot.render()
     );
     println!("ops_per_sec: {}", snapshot.render_throughput());
+    if let Some(host) = &snapshot.host_profile {
+        println!(
+            "host_profile: cpu {} s, peak rss {}, allocs {}",
+            host.cpu_seconds
+                .map_or_else(|| "n/a".to_owned(), |v| format!("{v:.2}")),
+            host.peak_rss_bytes
+                .map_or_else(|| "n/a".to_owned(), |v| format!("{} MiB", v >> 20)),
+            host.allocations.map_or_else(
+                || "n/a (build with --features alloc-profile)".to_owned(),
+                |v| v.to_string()
+            ),
+        );
+    }
     if let Some(out) = &args.out {
         if let Err(e) = std::fs::write(out, snapshot.to_json()) {
             eprintln!("error: writing {}: {e}", out.display());
@@ -123,6 +160,19 @@ fn main() {
         &baseline,
         args.throughput_tolerance,
     ));
+    let host_deviations =
+        bench_gate::compare_host_profile(&snapshot, &baseline, args.host_profile_tolerance);
+    if args.gate_host_profile {
+        deviations.extend(host_deviations);
+    } else if !host_deviations.is_empty() {
+        eprintln!(
+            "host-profile note ({} finding(s), informational — pass --gate-host-profile to gate):",
+            host_deviations.len()
+        );
+        for d in &host_deviations {
+            eprintln!("  - {d}");
+        }
+    }
     if deviations.is_empty() {
         println!(
             "bench gate PASSED: headline numbers within {:.1}%, throughput within \

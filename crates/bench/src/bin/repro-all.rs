@@ -3,7 +3,8 @@
 //!
 //! Usage: `cargo run --release -p horus-bench --bin repro-all --
 //! [--jobs N] [--cache-dir DIR] [--no-cache] [--progress] [--quick]
-//! [--trace-out FILE]`
+//! [--trace-out FILE] [--metrics-addr ADDR] [--dashboard]
+//! [--obs-out FILE]`
 //!
 //! Experiment points run on the `horus-harness` worker pool and are
 //! memoized in the result cache, so a repeated invocation is pure cache
@@ -20,7 +21,8 @@ use horus_core::{DrainScheme, SystemConfig};
 fn main() {
     let args = HarnessArgs::parse_or_exit();
     args.trace_or_exit(&SystemConfig::paper_default(), DrainScheme::HorusSlm);
-    let harness = args.harness();
+    let obs = args.obs_or_exit();
+    let harness = args.harness_with(&obs);
     let plan = if args.quick {
         ReproPlan::quick()
     } else {
@@ -39,6 +41,8 @@ fn main() {
         started.elapsed().as_secs_f64(),
         harness.jobs()
     );
+
+    obs.finish_or_exit(&harness);
 
     let failures = out.failures();
     if !failures.is_empty() {

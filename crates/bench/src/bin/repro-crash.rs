@@ -8,7 +8,11 @@
 //! the loss. The baselines show their documented vulnerability windows.
 //!
 //! Usage: `cargo run --release -p horus-bench --bin repro-crash --
-//! [--quick] [--jobs N] [--progress]`
+//! [--quick] [--jobs N] [--progress] [--metrics-addr ADDR]
+//! [--dashboard] [--obs-out FILE]`
+//!
+//! With `--metrics-addr`, a mid-run scrape shows
+//! `horus_crash_verdicts_total{scheme, verdict}` filling in live.
 
 use horus_bench::cli::HarnessArgs;
 use horus_bench::crash_sweep::{self, CrashSweepPlan};
@@ -17,7 +21,8 @@ use horus_core::{DrainScheme, SystemConfig};
 fn main() {
     let args = HarnessArgs::parse_or_exit();
     args.trace_or_exit(&SystemConfig::small_test(), DrainScheme::HorusSlm);
-    let harness = args.harness();
+    let obs = args.obs_or_exit();
+    let harness = args.harness_with(&obs);
     let plan = if args.quick {
         CrashSweepPlan::quick()
     } else {
@@ -30,6 +35,7 @@ fn main() {
         harness.jobs()
     );
     let matrix = crash_sweep::run(&harness, &plan);
+    obs.finish_or_exit(&harness);
     println!("{}", matrix.render());
     if matrix.failures() > 0 {
         eprintln!(

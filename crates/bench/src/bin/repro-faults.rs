@@ -153,7 +153,8 @@ fn campaign(
 fn main() {
     let args = HarnessArgs::parse_or_exit();
     args.trace_or_exit(&SystemConfig::small_test(), DrainScheme::HorusSlm);
-    let harness = args.harness();
+    let obs = args.obs_or_exit();
+    let harness = args.harness_with(&obs);
     let trials = 200;
     println!(
         "random single-bit fault injection, {trials} trials per target ({} workers):\n",
@@ -196,6 +197,7 @@ fn main() {
             &rows
         )
     );
+    obs.finish_or_exit(&harness);
     if failures > 0 {
         eprintln!("{failures} trial(s) returned corrupted data or failed an invariant");
         std::process::exit(1);

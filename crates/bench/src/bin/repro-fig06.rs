@@ -7,8 +7,11 @@ use horus_core::{DrainScheme, SystemConfig};
 
 fn main() {
     let args = HarnessArgs::parse_or_exit();
+    let obs = args.obs_or_exit();
+    let harness = args.harness_with(&obs);
     let cfg = SystemConfig::paper_default();
     println!("Figure 6 — memory requests to flush the hierarchy (paper: 10.3x lazy, 9.5x eager)\n");
-    println!("{}", figures::figure6(&args.harness(), &cfg).render());
+    println!("{}", figures::figure6(&harness, &cfg).render());
     args.trace_or_exit(&cfg, DrainScheme::BaseLazy);
+    obs.finish_or_exit(&harness);
 }

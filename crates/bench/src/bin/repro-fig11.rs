@@ -6,9 +6,12 @@ use horus_core::{DrainScheme, SystemConfig};
 
 fn main() {
     let args = HarnessArgs::parse_or_exit();
+    let obs = args.obs_or_exit();
+    let harness = args.harness_with(&obs);
     let cfg = SystemConfig::paper_default();
-    let cmp = figures::scheme_comparison(&args.harness(), &cfg);
+    let cmp = figures::scheme_comparison(&harness, &cfg);
     println!("Figure 11 — draining time (paper: Base-LU 4.5x, Base-EU 5.1x vs Horus; Horus 1.7x non-secure)\n");
     println!("{}", cmp.render_fig11());
     args.trace_or_exit(&cfg, DrainScheme::HorusSlm);
+    obs.finish_or_exit(&harness);
 }

@@ -6,11 +6,14 @@ use horus_core::{DrainScheme, SystemConfig};
 
 fn main() {
     let args = HarnessArgs::parse_or_exit();
+    let obs = args.obs_or_exit();
+    let harness = args.harness_with(&obs);
     let cfg = SystemConfig::paper_default();
-    let cmp = figures::scheme_comparison(&args.harness(), &cfg);
+    let cmp = figures::scheme_comparison(&harness, &cfg);
     println!(
         "Figure 13 — MAC calculations (paper: 7.8x reduction; Horus-DLM = 1.125x Horus-SLM)\n"
     );
     println!("{}", cmp.render_fig13());
     args.trace_or_exit(&cfg, DrainScheme::HorusSlm);
+    obs.finish_or_exit(&harness);
 }

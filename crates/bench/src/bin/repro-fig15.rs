@@ -7,13 +7,16 @@ use horus_core::{DrainScheme, SystemConfig};
 
 fn main() {
     let args = HarnessArgs::parse_or_exit();
+    let obs = args.obs_or_exit();
+    let harness = args.harness_with(&obs);
     let sizes: &[u64] = if args.quick {
         &[8 << 20, 16 << 20]
     } else {
         &[8 << 20, 16 << 20, 32 << 20]
     };
-    let sweep = figures::llc_sweep(&args.harness(), &SystemConfig::paper_default(), sizes);
+    let sweep = figures::llc_sweep(&harness, &SystemConfig::paper_default(), sizes);
     println!("Figure 15 — MAC calculations vs LLC size (paper: >=5.8x reduction)\n");
     println!("{}", sweep.render_fig15());
     args.trace_or_exit(&SystemConfig::paper_default(), DrainScheme::HorusSlm);
+    obs.finish_or_exit(&harness);
 }

@@ -6,13 +6,16 @@ use horus_core::{DrainScheme, SystemConfig};
 
 fn main() {
     let args = HarnessArgs::parse_or_exit();
+    let obs = args.obs_or_exit();
+    let harness = args.harness_with(&obs);
     let sizes: &[u64] = if args.quick {
         &[8 << 20, 16 << 20]
     } else {
         &[8 << 20, 16 << 20, 32 << 20, 64 << 20, 128 << 20]
     };
-    let f = figures::figure16(&args.harness(), &SystemConfig::paper_default(), sizes);
+    let f = figures::figure16(&harness, &SystemConfig::paper_default(), sizes);
     println!("Figure 16 — recovery time (paper: 0.51 s SLM / 0.48 s DLM at 128 MB)\n");
     println!("{}", f.render());
     args.trace_or_exit(&SystemConfig::paper_default(), DrainScheme::HorusSlm);
+    obs.finish_or_exit(&harness);
 }

@@ -6,9 +6,12 @@ use horus_core::{DrainScheme, SystemConfig};
 
 fn main() {
     let args = HarnessArgs::parse_or_exit();
+    let obs = args.obs_or_exit();
+    let harness = args.harness_with(&obs);
     let cfg = SystemConfig::paper_default();
-    let t = figures::energy_tables(&args.harness(), &cfg);
+    let t = figures::energy_tables(&harness, &cfg);
     println!("Table III — battery volume (paper: >=4.4x reduction)\n");
     println!("{}", t.render_table3());
     args.trace_or_exit(&cfg, DrainScheme::HorusSlm);
+    obs.finish_or_exit(&harness);
 }

@@ -9,7 +9,19 @@
 //! --progress        stream JSON-lines progress events to stderr
 //! --quick           shrink the sweeps (binaries that sweep)
 //! --trace-out FILE  also write a Chrome-trace JSON of one probed drain
+//! --metrics-addr A  serve live Prometheus text on A (e.g. 127.0.0.1:9464)
+//! --dashboard       render the live TTY telemetry panel on stderr
+//! --obs-out FILE    write the end-of-run obs summary JSON to FILE
 //! ```
+//!
+//! The three `--metrics-addr`/`--dashboard`/`--obs-out` flags together
+//! drive an [`ObsRuntime`]: build it once with
+//! [`HarnessArgs::obs_or_exit`], construct the harness through
+//! [`HarnessArgs::harness_with`] so sweep metrics land in the session's
+//! registry, and call [`ObsRuntime::finish_or_exit`] after the run to
+//! drain per-job profiles and write the summary artifact. With none of
+//! the flags given the runtime is inert and the binary's outputs are
+//! byte-identical to the uninstrumented ones.
 //!
 //! `--out` is accepted as an alias for `--trace-out` (one binary
 //! historically spelled it that way; both now work everywhere). A
@@ -20,6 +32,7 @@
 
 use horus_core::{DrainScheme, SystemConfig};
 use horus_harness::{Harness, HarnessOptions, JobSpec, ProgressMode};
+use horus_obs::{ObsOptions, ObsSession};
 use horus_sim::chrome_trace_json;
 use horus_workload::FillPattern;
 use std::path::PathBuf;
@@ -39,11 +52,17 @@ pub struct HarnessArgs {
     pub quick: bool,
     /// `--trace-out FILE`.
     pub trace_out: Option<PathBuf>,
+    /// `--metrics-addr ADDR`.
+    pub metrics_addr: Option<String>,
+    /// `--dashboard`.
+    pub dashboard: bool,
+    /// `--obs-out FILE`.
+    pub obs_out: Option<PathBuf>,
 }
 
 /// The usage string fragment for the shared flags.
-pub const HARNESS_USAGE: &str =
-    "[--jobs N] [--cache-dir DIR] [--no-cache] [--progress] [--quick] [--trace-out FILE]";
+pub const HARNESS_USAGE: &str = "[--jobs N] [--cache-dir DIR] [--no-cache] [--progress] \
+     [--quick] [--trace-out FILE] [--metrics-addr ADDR] [--dashboard] [--obs-out FILE]";
 
 impl HarnessArgs {
     /// Parses the process arguments; unknown flags are an error.
@@ -92,25 +111,98 @@ impl HarnessArgs {
                     let v = it.next().ok_or(format!("{a} requires a value"))?;
                     args.trace_out = Some(PathBuf::from(v));
                 }
+                "--metrics-addr" => {
+                    let v = it.next().ok_or("--metrics-addr requires a value")?;
+                    args.metrics_addr = Some(v);
+                }
+                "--dashboard" => args.dashboard = true,
+                "--obs-out" => {
+                    let v = it.next().ok_or("--obs-out requires a value")?;
+                    args.obs_out = Some(PathBuf::from(v));
+                }
                 other => return Err(format!("unknown flag '{other}' ({HARNESS_USAGE})")),
             }
         }
         Ok(args)
     }
 
-    /// Builds the harness these flags describe.
+    /// Builds the harness these flags describe, with no telemetry
+    /// attached. Binaries that honor the obs flags should use
+    /// [`Self::harness_with`] instead.
     #[must_use]
     pub fn harness(&self) -> Harness {
+        self.harness_with(&ObsRuntime { session: None })
+    }
+
+    /// Builds the harness with `obs`'s registry attached (when a session
+    /// is running), so sweep metrics stream to the scrape endpoint,
+    /// dashboard, and summary artifact.
+    ///
+    /// Progress-mode resolution: `--progress` always streams JSON
+    /// lines; a `--dashboard` request that could not become a live
+    /// panel (stderr is not a TTY) *degrades* to the JSON-lines stream
+    /// rather than going dark; a live dashboard keeps line progress off
+    /// so the two don't fight over stderr.
+    #[must_use]
+    pub fn harness_with(&self, obs: &ObsRuntime) -> Harness {
+        let dashboard_live = obs
+            .session
+            .as_ref()
+            .is_some_and(ObsSession::dashboard_active);
+        let progress = if self.progress || (self.dashboard && !dashboard_live) {
+            ProgressMode::JsonLines
+        } else {
+            ProgressMode::Silent
+        };
         Harness::new(HarnessOptions {
             jobs: self.jobs,
             cache_dir: self.cache_dir.clone(),
             no_cache: self.no_cache,
-            progress: if self.progress {
-                ProgressMode::JsonLines
-            } else {
-                ProgressMode::Silent
-            },
+            progress,
+            metrics: obs.session.as_ref().map(ObsSession::registry),
         })
+    }
+
+    /// The [`ObsOptions`] these flags describe. When telemetry was
+    /// requested but no `--obs-out` path given, the summary defaults to
+    /// `obs-summary.json` in the working directory (gitignored).
+    #[must_use]
+    pub fn obs_options(&self) -> ObsOptions {
+        let summary_out = self.obs_out.clone().or_else(|| {
+            (self.metrics_addr.is_some() || self.dashboard)
+                .then(|| PathBuf::from("obs-summary.json"))
+        });
+        ObsOptions {
+            metrics_addr: self.metrics_addr.clone(),
+            dashboard: self.dashboard,
+            summary_out,
+        }
+    }
+
+    /// Starts the telemetry session these flags describe (inert when no
+    /// obs flag was given), exiting the process when the metrics address
+    /// cannot be bound. Announces the scrape URL on stderr so an
+    /// operator can curl it mid-run.
+    #[must_use]
+    pub fn obs_or_exit(&self) -> ObsRuntime {
+        let opts = self.obs_options();
+        if !opts.is_active() {
+            return ObsRuntime { session: None };
+        }
+        match ObsSession::start(&opts) {
+            Ok(session) => {
+                if let Some(addr) = session.metrics_addr() {
+                    eprintln!("metrics: serving Prometheus text on http://{addr}/metrics");
+                }
+                ObsRuntime {
+                    session: Some(session),
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     /// When `--trace-out FILE` was given, runs one probed worst-case
@@ -190,6 +282,48 @@ impl HarnessArgs {
             Err(e) => {
                 eprintln!("error: {e}\nusage: {extra_usage} {HARNESS_USAGE}");
                 std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// One run's telemetry, as requested on the command line: an
+/// [`ObsSession`] when any obs flag was given, inert otherwise.
+///
+/// Lifecycle in a binary's `main`:
+///
+/// ```no_run
+/// # use horus_bench::cli::HarnessArgs;
+/// let args = HarnessArgs::parse_or_exit();
+/// let obs = args.obs_or_exit();
+/// let harness = args.harness_with(&obs);
+/// // ... run the sweep ...
+/// obs.finish_or_exit(&harness);
+/// ```
+pub struct ObsRuntime {
+    session: Option<ObsSession>,
+}
+
+impl ObsRuntime {
+    /// True when a telemetry session is running.
+    #[must_use]
+    pub fn active(&self) -> bool {
+        self.session.is_some()
+    }
+
+    /// Drains the harness's per-job profiles, writes the summary
+    /// artifact, and stops the endpoint/dashboard; exits the process if
+    /// the summary cannot be written. A no-op for an inert runtime.
+    pub fn finish_or_exit(self, harness: &Harness) {
+        let Some(session) = self.session else {
+            return;
+        };
+        match session.finish(harness.take_job_profiles()) {
+            Ok(Some(path)) => eprintln!("obs: wrote run summary -> {}", path.display()),
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
             }
         }
     }
@@ -334,5 +468,75 @@ mod tests {
         let h = a.harness();
         assert!(h.cache().is_some());
         assert!(h.jobs() >= 1);
+    }
+
+    #[test]
+    fn obs_flags_parse() {
+        let a = parse(&[
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--dashboard",
+            "--obs-out",
+            "/tmp/summary.json",
+        ])
+        .expect("valid");
+        assert_eq!(a.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        assert!(a.dashboard);
+        assert_eq!(a.obs_out, Some(PathBuf::from("/tmp/summary.json")));
+        assert!(parse(&["--metrics-addr"]).is_err());
+        assert!(parse(&["--obs-out"]).is_err());
+    }
+
+    #[test]
+    fn no_obs_flags_mean_an_inert_runtime_and_no_metrics() {
+        let a = parse(&[]).expect("valid");
+        assert!(!a.obs_options().is_active());
+        let obs = a.obs_or_exit();
+        assert!(!obs.active());
+        let h = a.harness_with(&obs);
+        assert!(h.metrics().is_none());
+        obs.finish_or_exit(&h); // no-op, no file written
+    }
+
+    #[test]
+    fn obs_summary_path_defaults_when_telemetry_is_on() {
+        let a = parse(&["--metrics-addr", "127.0.0.1:0"]).expect("valid");
+        let opts = a.obs_options();
+        assert_eq!(opts.summary_out, Some(PathBuf::from("obs-summary.json")));
+        // An explicit --obs-out wins.
+        let a = parse(&["--obs-out", "/tmp/s.json"]).expect("valid");
+        assert_eq!(
+            a.obs_options().summary_out,
+            Some(PathBuf::from("/tmp/s.json"))
+        );
+    }
+
+    #[test]
+    fn obs_session_attaches_a_registry_to_the_harness() {
+        let dir = std::env::temp_dir().join(format!("horus-cli-obs-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let out = dir.join("summary.json");
+        let a = parse(&[
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--obs-out",
+            out.to_str().expect("utf8 temp path"),
+            "--no-cache",
+            "--jobs",
+            "1",
+        ])
+        .expect("valid");
+        let obs = a.obs_or_exit();
+        assert!(obs.active());
+        let h = a.harness_with(&obs);
+        assert!(h.metrics().is_some());
+        h.run_tasks(1, |_| 7u32);
+        obs.finish_or_exit(&h);
+        let json = std::fs::read_to_string(&out).expect("summary written");
+        assert!(
+            json.contains("horus_harness_jobs_completed_total"),
+            "{json}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

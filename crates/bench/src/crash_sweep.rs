@@ -213,7 +213,19 @@ pub fn crash_points(planned: u64, boundaries: &[u64], budget: usize) -> Vec<u64>
     set.into_iter().collect()
 }
 
-/// Runs the sweep on the worker pool and builds the matrix.
+/// The metric label for a crash-point classification.
+fn verdict_label(verdict: CrashVerdict) -> &'static str {
+    match verdict {
+        CrashVerdict::Recovered => "recovered",
+        CrashVerdict::Detected => "detected",
+        CrashVerdict::SilentCorruption => "silent_corruption",
+    }
+}
+
+/// Runs the sweep on the worker pool and builds the matrix. When the
+/// harness carries a metrics registry, every classification also
+/// increments `horus_crash_verdicts_total{scheme, verdict}`, so a
+/// mid-run scrape shows the verdict matrix filling in live.
 #[must_use]
 pub fn run(harness: &Harness, plan: &CrashSweepPlan) -> CrashMatrix {
     let mut rows = Vec::new();
@@ -252,6 +264,18 @@ pub fn run(harness: &Harness, plan: &CrashSweepPlan) -> CrashMatrix {
                         CrashVerdict::Recovered => row.recovered += 1,
                         CrashVerdict::Detected => row.detected += 1,
                         CrashVerdict::SilentCorruption => row.silent += 1,
+                    }
+                    if let Some(registry) = harness.metrics() {
+                        registry
+                            .counter(
+                                horus_obs::names::CRASH_VERDICTS,
+                                "Crash-sweep classifications by scheme and verdict.",
+                                &[
+                                    ("scheme", scheme.name()),
+                                    ("verdict", verdict_label(report.verdict)),
+                                ],
+                            )
+                            .inc();
                     }
                     if report.verdict != CrashVerdict::Recovered {
                         row.best_salvage = row.best_salvage.max(report.reads_matched);
@@ -348,5 +372,57 @@ mod tests {
         let serial = run(&Harness::serial(), &mini_plan());
         let parallel = run(&Harness::with_jobs(4), &mini_plan());
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn verdict_counters_match_the_matrix() {
+        use horus_harness::{HarnessOptions, ProgressMode};
+        let registry = horus_obs::Registry::shared();
+        let harness = Harness::new(HarnessOptions {
+            jobs: Some(2),
+            no_cache: true,
+            progress: ProgressMode::Silent,
+            metrics: Some(std::sync::Arc::clone(&registry)),
+            ..HarnessOptions::default()
+        });
+        let matrix = run(&harness, &mini_plan());
+        let snapshot = registry.snapshot();
+        let count = |scheme: &str, verdict: &str| -> u64 {
+            snapshot
+                .samples
+                .iter()
+                .find(|s| {
+                    s.name == horus_obs::names::CRASH_VERDICTS
+                        && s.labels
+                            == vec![
+                                ("scheme".to_owned(), scheme.to_owned()),
+                                ("verdict".to_owned(), verdict.to_owned()),
+                            ]
+                })
+                .map_or(0, |s| match s.value {
+                    horus_obs::SampleValue::Uint(v) => v,
+                    _ => panic!("verdict counter is a counter"),
+                })
+        };
+        for row in &matrix.rows {
+            assert_eq!(
+                count(&row.scheme, "recovered"),
+                row.recovered,
+                "{}",
+                row.scheme
+            );
+            assert_eq!(
+                count(&row.scheme, "detected"),
+                row.detected,
+                "{}",
+                row.scheme
+            );
+            assert_eq!(
+                count(&row.scheme, "silent_corruption"),
+                row.silent,
+                "{}",
+                row.scheme
+            );
+        }
     }
 }

@@ -429,6 +429,67 @@ re-measures the smoke plan's headline op counts against the committed
 `cargo run --release -p horus-bench --bin bench-gate -- --update` when
 a model change legitimately moves the numbers.
 
+## Watching the fleet live — Prometheus scrape and dashboard
+
+Every `repro-*` binary and `horus-cli sweep`/`crash-sweep` can export
+fleet telemetry while it runs (`horus-obs`; see ARCHITECTURE.md,
+"Fleet observability"). Start the crash sweep with a metrics
+endpoint:
+
+```
+cargo run --release -p horus-bench --bin repro-crash -- \
+    --metrics-addr 127.0.0.1:9464
+```
+
+and scrape it mid-run from another terminal:
+
+```
+$ curl -s http://127.0.0.1:9464/metrics | grep -v '^#' | head
+horus_crash_verdicts_total{scheme="Base-LU",verdict="detected"} 31
+horus_crash_verdicts_total{scheme="Base-LU",verdict="recovered"} 2
+horus_harness_cache_hits_total 0
+horus_harness_jobs_completed_total 96
+horus_harness_jobs_planned 274
+horus_harness_jobs_started_total 98
+horus_harness_queue_depth 2
+horus_harness_worker_busy_seconds_total{worker="0"} 3.41
+...
+```
+
+The endpoint speaks Prometheus/OpenMetrics text, so `curl | grep` is
+already a usable dashboard and a real Prometheus needs no
+configuration beyond the address. Queue depth and per-worker busy
+seconds say whether the pool is starved; the per-scheme op totals and
+live `*_per_second` gauges say what it is chewing through; and
+`horus_crash_verdicts_total` above is the sweep's verdict matrix
+accumulating scheme by scheme while it runs.
+
+Prefer a terminal view? `--dashboard` renders the same registry as a
+live in-place TTY panel — completion bar, queue depth and ETA, worker
+occupancy, cache-hit rate, episodes/s / sim-cycles/s / mem-ops/s —
+and degrades to the `--progress` JSON-lines stream when stdout is not
+a TTY, so redirecting to a file never captures control codes.
+
+Either flag (or an explicit `--obs-out PATH`) also makes the run
+write `obs-summary.json` at exit: the final registry snapshot plus a
+per-job host profile (wall vs CPU seconds, peak RSS; allocation
+totals too when built with `--features horus-obs/alloc-profile`). The
+summary's counters match the final scrape, and the deterministic
+subset of the scrape — everything except host/timing families — is
+byte-identical whatever `--jobs` was. With none of these flags given,
+no thread, socket, or file is created and all output is byte-for-byte
+what a telemetry-free build prints.
+
+`horus-cli serve-metrics [--addr 127.0.0.1:9464] [--for-seconds N]`
+serves a standalone host-metrics endpoint (CPU seconds, peak RSS,
+uptime) when you want a scrape target without a sweep. In CI the
+`obs-smoke` job runs a quick sweep with `--metrics-addr`, curls the
+endpoint mid-run, asserts the scrape is well-formed non-empty
+exposition text, and uploads `obs-summary.json` as an artifact; the
+`bench regression gate` diffs the `host_profile` section of
+`BENCH_smoke.json` informationally (pass `--gate-host-profile` to
+fail on >50% regressions).
+
 ## Benchmarking the simulator itself — criterion walkthrough
 
 The experiments above measure the *simulated machine*; this section is

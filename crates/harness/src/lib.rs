@@ -57,12 +57,13 @@
 
 pub mod cache;
 pub mod job;
+mod metrics;
 pub mod pool;
 pub mod progress;
 mod sweep;
 
 pub use cache::ResultCache;
 pub use job::{JobResult, JobSpec};
-pub use pool::run_indexed;
+pub use pool::{run_indexed, run_indexed_workers};
 pub use progress::{ProgressEvent, ProgressMode};
 pub use sweep::{Harness, HarnessError, HarnessOptions, JobOutcome, SweepReport};

@@ -1,0 +1,134 @@
+//! Registry instrumentation for sweeps.
+//!
+//! When a caller hands the harness a `horus_obs` registry (via
+//! [`crate::HarnessOptions::metrics`]), every sweep records fleet-level
+//! telemetry into it: job lifecycle counters, live queue depth, per-worker
+//! busy time, per-scheme op totals, live throughput gauges, and a mirror
+//! of each completed job's simulator stats. Without a registry none of
+//! this code runs — the sweep path is unchanged, which is what keeps
+//! un-instrumented outputs byte-identical.
+
+use horus_obs::{names, Counter, FloatCounter, FloatGauge, Gauge, Registry};
+use std::sync::Arc;
+
+/// Pre-registered handles for the per-sweep metric families.
+pub(crate) struct SweepMetrics {
+    pub registry: Arc<Registry>,
+    pub started: Counter,
+    pub completed: Counter,
+    pub panicked: Counter,
+    pub cache_hits: Counter,
+    pub queue: Gauge,
+    pub planned: Gauge,
+    pub workers: Gauge,
+    pub episodes: Counter,
+    pub cycles: Counter,
+    pub episodes_per_s: FloatGauge,
+    pub cycles_per_s: FloatGauge,
+    pub memory_ops_per_s: FloatGauge,
+}
+
+impl SweepMetrics {
+    pub(crate) fn new(registry: Arc<Registry>) -> Self {
+        let r = &registry;
+        SweepMetrics {
+            started: r.counter(
+                names::JOBS_STARTED,
+                "Jobs handed to the worker pool (includes cache hits).",
+                &[],
+            ),
+            completed: r.counter(
+                names::JOBS_COMPLETED,
+                "Jobs that ran to completion (includes cache hits).",
+                &[],
+            ),
+            panicked: r.counter(names::JOBS_PANICKED, "Jobs whose worker panicked.", &[]),
+            cache_hits: r.counter(
+                names::CACHE_HITS,
+                "Jobs answered from the on-disk result cache.",
+                &[],
+            ),
+            queue: r.gauge(
+                names::QUEUE_DEPTH,
+                "Jobs accepted but not yet finished.",
+                &[],
+            ),
+            planned: r.gauge(
+                names::JOBS_PLANNED,
+                "Jobs the current plan will run in total.",
+                &[],
+            ),
+            workers: r.gauge(names::WORKER_THREADS, "Size of the worker pool.", &[]),
+            episodes: r.counter(
+                names::EPISODES_TOTAL,
+                "Simulated drain episodes completed.",
+                &[],
+            ),
+            cycles: r.counter(
+                names::SIM_CYCLES_TOTAL,
+                "Total simulated cycles across completed jobs.",
+                &[],
+            ),
+            episodes_per_s: r.float_gauge(
+                names::EPISODES_PER_SECOND,
+                "Live episodes per wall-clock second over the current sweep.",
+                &[],
+            ),
+            cycles_per_s: r.float_gauge(
+                names::SIM_CYCLES_PER_SECOND,
+                "Live simulated cycles per wall-clock second over the current sweep.",
+                &[],
+            ),
+            memory_ops_per_s: r.float_gauge(
+                names::MEMORY_OPS_PER_SECOND,
+                "Live simulated NVM requests per wall-clock second over the current sweep.",
+                &[],
+            ),
+            registry,
+        }
+    }
+
+    /// Announces a sweep of `total` jobs on `workers` pool threads.
+    pub(crate) fn sweep_begin(&self, total: usize, workers: usize) {
+        self.planned.add(total as i64);
+        self.queue.add(total as i64);
+        self.workers.set(workers as i64);
+    }
+
+    /// The busy-seconds counter for one worker thread.
+    pub(crate) fn worker_busy(&self, worker: usize) -> FloatCounter {
+        self.registry.float_counter(
+            names::WORKER_BUSY_SECONDS,
+            "Seconds each worker spent running jobs.",
+            &[("worker", &worker.to_string())],
+        )
+    }
+
+    /// Adds one completed job's per-scheme op totals.
+    pub(crate) fn scheme_ops(&self, scheme: &str, memory_ops: u64, mac_ops: u64) {
+        self.registry
+            .counter(
+                names::SCHEME_MEMORY_OPS,
+                "NVM memory operations per drain scheme.",
+                &[("scheme", scheme)],
+            )
+            .add(memory_ops);
+        self.registry
+            .counter(
+                names::SCHEME_MAC_OPS,
+                "MAC operations per drain scheme.",
+                &[("scheme", scheme)],
+            )
+            .add(mac_ops);
+    }
+
+    /// Refreshes the live throughput gauges from per-sweep cumulative
+    /// totals.
+    pub(crate) fn throughput(&self, episodes: u64, cycles: u64, memory_ops: u64, elapsed_s: f64) {
+        if elapsed_s > 0.0 {
+            self.episodes_per_s.set(episodes as f64 / elapsed_s);
+            self.cycles_per_s.set(cycles as f64 / elapsed_s);
+            self.memory_ops_per_s.set(memory_ops as f64 / elapsed_s);
+        }
+    }
+}

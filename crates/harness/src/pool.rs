@@ -37,6 +37,30 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_workers(total, threads, |_, i| task(i))
+}
+
+/// Like [`run_indexed`], but the task also receives the index of the
+/// worker thread running it (`0..threads` after clamping).
+///
+/// This is the instrumentation hook: per-worker busy-time accounting needs
+/// to know *which* worker drew the ticket, and threading a thread-local
+/// through `catch_unwind` would be far more invasive. Scheduling is
+/// unchanged — `run_indexed` is a thin wrapper over this.
+///
+/// ```
+/// use horus_harness::run_indexed_workers;
+/// let out = run_indexed_workers(4, 2, |worker, i| {
+///     assert!(worker < 2);
+///     i * 10
+/// });
+/// assert_eq!(out[3], Ok(30));
+/// ```
+pub fn run_indexed_workers<T, F>(total: usize, threads: usize, task: F) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
     if total == 0 {
         return Vec::new();
     }
@@ -46,15 +70,18 @@ where
         (0..total).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
+        let task = &task;
+        let next = &next;
+        let slots = &slots;
+        for worker in 0..threads {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= total {
                     break;
                 }
                 // `p.as_ref()`, not `&p`: a `&Box<dyn Any>` coerces to
                 // `&dyn Any` *as the Box*, which defeats the downcasts.
-                let outcome = catch_unwind(AssertUnwindSafe(|| task(i)))
+                let outcome = catch_unwind(AssertUnwindSafe(|| task(worker, i)))
                     .map_err(|p| panic_message(p.as_ref()));
                 *slots[i].lock().expect("result slot poisoned") = Some(outcome);
             });
@@ -137,5 +164,26 @@ mod tests {
         assert!(run_indexed(0, 8, |i| i).is_empty());
         assert_eq!(run_indexed(3, 0, |i| i), vec![Ok(0), Ok(1), Ok(2)]);
         assert_eq!(run_indexed(2, 64, |i| i), vec![Ok(0), Ok(1)]);
+    }
+
+    #[test]
+    fn worker_indices_are_in_range_and_cover_the_clamped_pool() {
+        let seen = Mutex::new(HashSet::new());
+        let out = run_indexed_workers(64, 4, |worker, i| {
+            assert!(worker < 4, "worker {worker} out of range");
+            seen.lock().unwrap().insert(worker);
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            i
+        });
+        assert_eq!(out.len(), 64);
+        // With 64 sleepy tasks on 4 workers, every worker draws at least
+        // one ticket.
+        assert_eq!(seen.into_inner().unwrap().len(), 4);
+        // Clamping: a single task never sees a worker index above 0.
+        let out = run_indexed_workers(1, 8, |worker, i| {
+            assert_eq!(worker, 0);
+            i
+        });
+        assert_eq!(out, vec![Ok(0)]);
     }
 }

@@ -80,6 +80,13 @@ pub struct ProgressEvent {
     pub message: Option<String>,
     /// Wall-clock seconds since the sweep started.
     pub elapsed_s: f64,
+    /// Monotonic per-emitter sequence number, starting at 0. Consecutive
+    /// lines from one sweep have consecutive numbers, so a consumer can
+    /// detect dropped lines. (Appended field: absent in pre-PR-5 streams.)
+    pub seq: u64,
+    /// Wall-clock timestamp of emission, milliseconds since the Unix
+    /// epoch. (Appended field: absent in pre-PR-5 streams.)
+    pub unix_ms: u64,
 }
 
 impl ProgressEvent {
@@ -107,6 +114,8 @@ impl ProgressEvent {
             memory_ops_per_s: None,
             message: None,
             elapsed_s: 0.0,
+            seq: 0,
+            unix_ms: 0,
         }
     }
 }
@@ -116,6 +125,7 @@ impl ProgressEvent {
 pub struct Progress {
     mode: ProgressMode,
     started: Instant,
+    seq: std::sync::atomic::AtomicU64,
 }
 
 impl Progress {
@@ -125,7 +135,14 @@ impl Progress {
         Self {
             mode,
             started: Instant::now(),
+            seq: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Number of events emitted so far (equals the next `seq` value).
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.seq.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Wall-clock seconds since [`Progress::start`].
@@ -147,17 +164,31 @@ impl Progress {
     /// Emits one event (a no-op when silent).
     ///
     /// The line is written with a single `write_all`, so concurrent
-    /// workers never interleave partial lines.
+    /// workers never interleave partial lines. The sequence number is
+    /// assigned *under the stderr lock*, so line order on the stream
+    /// always matches `seq` order — a consumer seeing `seq` jump by more
+    /// than one knows lines were dropped, not reordered.
     pub fn emit(&self, mut event: ProgressEvent) {
         if self.mode == ProgressMode::Silent {
             return;
         }
         event.elapsed_s = self.elapsed_s();
+        event.unix_ms = unix_ms_now();
+        let mut err = std::io::stderr().lock();
+        event.seq = self.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         if let Ok(mut line) = serde_json::to_string(&event) {
             line.push('\n');
-            let _ = std::io::stderr().lock().write_all(line.as_bytes());
+            let _ = err.write_all(line.as_bytes());
         }
     }
+}
+
+/// Milliseconds since the Unix epoch (0 if the system clock predates it).
+fn unix_ms_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -199,5 +230,21 @@ mod tests {
     fn silent_mode_emits_nothing_and_never_panics() {
         let p = Progress::start(ProgressMode::Silent);
         p.emit(ProgressEvent::new("sweep_start", 4));
+        assert_eq!(p.emitted(), 0, "silent events consume no sequence numbers");
+    }
+
+    #[test]
+    fn sequence_numbers_are_consecutive_per_emitter() {
+        let p = Progress::start(ProgressMode::JsonLines);
+        assert_eq!(p.emitted(), 0);
+        p.emit(ProgressEvent::new("sweep_start", 2));
+        p.emit(ProgressEvent::new("sweep_end", 2));
+        assert_eq!(p.emitted(), 2);
+    }
+
+    #[test]
+    fn wall_clock_stamp_is_plausible() {
+        // 2020-01-01 in Unix milliseconds; any sane clock is after it.
+        assert!(unix_ms_now() > 1_577_836_800_000);
     }
 }

@@ -2,16 +2,20 @@
 
 use crate::cache::ResultCache;
 use crate::job::{JobResult, JobSpec};
-use crate::pool::run_indexed;
+use crate::metrics::SweepMetrics;
+use crate::pool::run_indexed_workers;
 use crate::progress::{Progress, ProgressEvent, ProgressMode};
+use horus_obs::profile::{JobProfile, JobProfiler};
+use horus_obs::Registry;
 use horus_sim::Stats;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// How a sweep should execute.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct HarnessOptions {
     /// Worker threads; `None` uses [`std::thread::available_parallelism`].
     pub jobs: Option<usize>,
@@ -22,18 +26,45 @@ pub struct HarnessOptions {
     pub no_cache: bool,
     /// Progress-event output mode.
     pub progress: ProgressMode,
+    /// Metrics registry to record fleet telemetry into; `None` (the
+    /// default) records nothing and leaves the sweep path untouched.
+    pub metrics: Option<Arc<Registry>>,
+}
+
+impl std::fmt::Debug for HarnessOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HarnessOptions")
+            .field("jobs", &self.jobs)
+            .field("cache_dir", &self.cache_dir)
+            .field("no_cache", &self.no_cache)
+            .field("progress", &self.progress)
+            .field("metrics", &self.metrics.is_some())
+            .finish()
+    }
 }
 
 /// The orchestrator: owns the worker count, the result cache, and the
 /// progress sink. Cheap to build; every [`Harness::run`] call is an
 /// independent sweep.
-#[derive(Debug)]
 pub struct Harness {
     jobs: usize,
     cache: Option<ResultCache>,
     progress: ProgressMode,
+    metrics: Option<Arc<Registry>>,
+    profiles: Mutex<Vec<JobProfile>>,
     executed_total: AtomicUsize,
     cache_hits_total: AtomicUsize,
+}
+
+impl std::fmt::Debug for Harness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Harness")
+            .field("jobs", &self.jobs)
+            .field("cache", &self.cache)
+            .field("progress", &self.progress)
+            .field("metrics", &self.metrics.is_some())
+            .finish()
+    }
 }
 
 impl Harness {
@@ -53,6 +84,8 @@ impl Harness {
             jobs,
             cache,
             progress: options.progress,
+            metrics: options.metrics,
+            profiles: Mutex::new(Vec::new()),
             executed_total: AtomicUsize::new(0),
             cache_hits_total: AtomicUsize::new(0),
         }
@@ -89,6 +122,21 @@ impl Harness {
         self.cache.as_ref()
     }
 
+    /// The metrics registry this harness records into, when telemetry is
+    /// enabled.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&Arc<Registry>> {
+        self.metrics.as_ref()
+    }
+
+    /// Drains the per-job host profiles collected so far (empty unless a
+    /// metrics registry is attached). Profiles accumulate across sweeps
+    /// in completion-record order until drained.
+    #[must_use]
+    pub fn take_job_profiles(&self) -> Vec<JobProfile> {
+        std::mem::take(&mut *self.profiles.lock().expect("profiles poisoned"))
+    }
+
     /// Lifetime accounting across every sweep this harness has run:
     /// `(simulations executed, cache hits)`. A fully memoized session —
     /// the repeat-invocation fast path — shows `executed == 0`.
@@ -110,6 +158,14 @@ impl Harness {
         start.workers = Some(self.jobs);
         progress.emit(start);
 
+        let metrics = self
+            .metrics
+            .as_ref()
+            .map(|r| SweepMetrics::new(Arc::clone(r)));
+        if let Some(m) = &metrics {
+            m.sweep_begin(specs.len(), self.jobs.clamp(1, specs.len().max(1)));
+        }
+
         let done = AtomicUsize::new(0);
         let cached = AtomicUsize::new(0);
         let panicked = AtomicUsize::new(0);
@@ -117,8 +173,12 @@ impl Harness {
         let cum_cycles = AtomicU64::new(0);
         let cum_memory_ops = AtomicU64::new(0);
 
-        let raw = run_indexed(specs.len(), self.jobs, |i| {
+        let raw = run_indexed_workers(specs.len(), self.jobs, |worker, i| {
             let spec = &specs[i];
+            let profiler = metrics.as_ref().map(|m| {
+                m.started.inc();
+                JobProfiler::start(spec.key(), Some(spec.scheme.name().to_owned()))
+            });
             let (result, hit) = match self.cache.as_ref().and_then(|c| c.load(spec)) {
                 Some(result) => (result, true),
                 None => {
@@ -157,6 +217,32 @@ impl Harness {
                 event.memory_ops_per_s = Some(total_memory_ops as f64 / elapsed);
             }
             progress.emit(event);
+            if let (Some(m), Some(profiler)) = (&metrics, profiler) {
+                m.completed.inc();
+                if hit {
+                    m.cache_hits.inc();
+                }
+                m.queue.add(-1);
+                m.episodes.inc();
+                m.cycles.add(result.drain.cycles);
+                m.scheme_ops(
+                    spec.scheme.name(),
+                    result.memory_ops(),
+                    result.drain.mac_ops,
+                );
+                horus_obs::bridge::mirror_stats(
+                    &m.registry,
+                    &result.drain.stats,
+                    &[("scheme", spec.scheme.name())],
+                );
+                m.throughput(now_done as u64, total_cycles, total_memory_ops, elapsed);
+                let profile = profiler.finish(hit);
+                m.worker_busy(worker).add(profile.wall_seconds);
+                self.profiles
+                    .lock()
+                    .expect("profiles poisoned")
+                    .push(profile);
+            }
             (result, hit)
         });
 
@@ -167,6 +253,10 @@ impl Harness {
                 Ok((result, cached)) => JobOutcome::Completed { result, cached },
                 Err(message) => {
                     panicked.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = &metrics {
+                        m.panicked.inc();
+                        m.queue.add(-1);
+                    }
                     let mut event = ProgressEvent::new("job_panic", specs.len());
                     event.done = done.fetch_add(1, Ordering::Relaxed) + 1;
                     event.panicked = panicked.load(Ordering::Relaxed);
@@ -213,12 +303,50 @@ impl Harness {
     /// the same panic isolation as [`Harness::run`], but no memoization
     /// — for experiment shapes that are not drain jobs (fault-injection
     /// campaigns, wear sweeps).
+    ///
+    /// When a metrics registry is attached, tasks still feed the job
+    /// lifecycle counters, queue depth, and per-worker busy time; the
+    /// simulation-specific families (episodes, cycles, per-scheme ops)
+    /// stay untouched because the task payload is opaque here.
     pub fn run_tasks<T, F>(&self, total: usize, task: F) -> Vec<Result<T, String>>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        run_indexed(total, self.jobs, task)
+        let metrics = self
+            .metrics
+            .as_ref()
+            .map(|r| SweepMetrics::new(Arc::clone(r)));
+        if let Some(m) = &metrics {
+            m.sweep_begin(total, self.jobs.clamp(1, total.max(1)));
+        }
+        let out = run_indexed_workers(total, self.jobs, |worker, i| {
+            let profiler = metrics.as_ref().map(|m| {
+                m.started.inc();
+                JobProfiler::start(format!("task-{i}"), None)
+            });
+            let value = task(i);
+            if let (Some(m), Some(profiler)) = (&metrics, profiler) {
+                m.completed.inc();
+                m.queue.add(-1);
+                let profile = profiler.finish(false);
+                m.worker_busy(worker).add(profile.wall_seconds);
+                self.profiles
+                    .lock()
+                    .expect("profiles poisoned")
+                    .push(profile);
+            }
+            value
+        });
+        if let Some(m) = &metrics {
+            for r in &out {
+                if r.is_err() {
+                    m.panicked.inc();
+                    m.queue.add(-1);
+                }
+            }
+        }
+        out
     }
 }
 
@@ -405,5 +533,115 @@ mod tests {
         assert_eq!(report.total(), 0);
         assert_eq!(report.executed, 0);
         assert!(report.merged_stats().is_empty());
+    }
+
+    #[test]
+    fn metrics_registry_records_the_sweep() {
+        use horus_obs::{names, Registry, SampleValue};
+        let registry = Registry::shared();
+        let harness = Harness::new(HarnessOptions {
+            jobs: Some(2),
+            no_cache: true,
+            metrics: Some(std::sync::Arc::clone(&registry)),
+            ..HarnessOptions::default()
+        });
+        let specs = specs();
+        let report = harness.run(&specs);
+        assert_eq!(report.executed, specs.len());
+
+        let snap = registry.snapshot();
+        let get = |name: &str| {
+            snap.samples
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .value
+                .clone()
+        };
+        assert_eq!(get(names::JOBS_STARTED), SampleValue::Uint(5));
+        assert_eq!(get(names::JOBS_COMPLETED), SampleValue::Uint(5));
+        assert_eq!(get(names::JOBS_PANICKED), SampleValue::Uint(0));
+        assert_eq!(get(names::CACHE_HITS), SampleValue::Uint(0));
+        assert_eq!(get(names::EPISODES_TOTAL), SampleValue::Uint(5));
+        assert_eq!(get(names::QUEUE_DEPTH), SampleValue::Int(0));
+        assert_eq!(get(names::JOBS_PLANNED), SampleValue::Int(5));
+
+        // Per-scheme memory-op totals match the reports.
+        let drains = report.drains().expect("no panics");
+        for drain in &drains {
+            let want = report
+                .results()
+                .expect("no panics")
+                .iter()
+                .filter(|r| r.drain.scheme == drain.scheme)
+                .map(|r| r.memory_ops())
+                .sum::<u64>();
+            let sample = snap
+                .samples
+                .iter()
+                .find(|s| {
+                    s.name == names::SCHEME_MEMORY_OPS
+                        && s.labels
+                            .iter()
+                            .any(|(k, v)| k == "scheme" && *v == drain.scheme)
+                })
+                .expect("scheme series");
+            assert_eq!(sample.value, SampleValue::Uint(want), "{}", drain.scheme);
+        }
+
+        // Worker busy time was attributed to at least one worker.
+        let busy: f64 = snap
+            .samples
+            .iter()
+            .filter(|s| s.name == names::WORKER_BUSY_SECONDS)
+            .map(|s| match s.value {
+                SampleValue::Float(v) => v,
+                _ => 0.0,
+            })
+            .sum();
+        assert!(busy > 0.0, "busy time recorded");
+
+        // Per-job profiles were collected and drain once.
+        let profiles = harness.take_job_profiles();
+        assert_eq!(profiles.len(), 5);
+        assert!(profiles.iter().all(|p| !p.cached));
+        assert!(harness.take_job_profiles().is_empty());
+    }
+
+    #[test]
+    fn without_metrics_no_profiles_are_collected() {
+        let harness = Harness::with_jobs(2);
+        let _ = harness.run(&specs());
+        assert!(harness.take_job_profiles().is_empty());
+    }
+
+    #[test]
+    fn run_tasks_feeds_lifecycle_metrics() {
+        use horus_obs::{names, Registry, SampleValue};
+        let registry = Registry::shared();
+        let harness = Harness::new(HarnessOptions {
+            jobs: Some(3),
+            no_cache: true,
+            metrics: Some(std::sync::Arc::clone(&registry)),
+            ..HarnessOptions::default()
+        });
+        let out = harness.run_tasks(7, |i| {
+            assert!(i != 4, "task 4 diverges");
+            i
+        });
+        assert_eq!(out.len(), 7);
+        let snap = registry.snapshot();
+        let get = |name: &str| {
+            snap.samples
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .value
+                .clone()
+        };
+        assert_eq!(get(names::JOBS_COMPLETED), SampleValue::Uint(6));
+        assert_eq!(get(names::JOBS_PANICKED), SampleValue::Uint(1));
+        assert_eq!(get(names::QUEUE_DEPTH), SampleValue::Int(0));
+        assert_eq!(harness.take_job_profiles().len(), 6);
     }
 }

@@ -17,6 +17,7 @@ fn cached_harness(dir: &PathBuf, jobs: usize) -> Harness {
         cache_dir: Some(dir.clone()),
         no_cache: false,
         progress: ProgressMode::Silent,
+        ..HarnessOptions::default()
     })
 }
 
@@ -100,6 +101,7 @@ fn no_cache_mode_always_executes() {
         cache_dir: Some(dir.clone()),
         no_cache: true,
         progress: ProgressMode::Silent,
+        ..HarnessOptions::default()
     })
     .run(&specs);
     assert_eq!(bypass.cache_hits, 0);

@@ -1,0 +1,241 @@
+//! Golden test for the Prometheus exposition endpoint (satellite S3).
+//!
+//! A hand-rolled parser (no JSON / Prometheus crate involved) checks the
+//! scrape text is well-formed, and the *deterministic subset* of the
+//! registry — everything except host/timing families, per
+//! `horus_obs::expo::is_deterministic_metric` — must render
+//! byte-identically whether the sweep ran with 1 worker or 8. The
+//! mid-run scrape happens from inside a pool task, while other jobs are
+//! genuinely in flight.
+
+use horus_core::{DrainScheme, SystemConfig};
+use horus_harness::{Harness, HarnessOptions, JobSpec, ProgressMode};
+use horus_obs::expo;
+use horus_obs::{MetricsServer, Registry};
+use horus_workload::FillPattern;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn sweep_specs() -> Vec<JobSpec> {
+    let mut specs = Vec::new();
+    for seed in [1u64, 2] {
+        let mut cfg = SystemConfig::small_test();
+        cfg.seed = seed;
+        for scheme in DrainScheme::ALL {
+            specs.push(JobSpec::drain(
+                &cfg,
+                scheme,
+                FillPattern::StridedSparse { min_stride: 16384 },
+            ));
+        }
+    }
+    specs
+}
+
+/// Runs the spec sweep on `jobs` workers with a fresh registry attached,
+/// bypassing the cache so both worker counts execute every job.
+fn instrumented_sweep(jobs: usize) -> Arc<Registry> {
+    let registry = Registry::shared();
+    let harness = Harness::new(HarnessOptions {
+        jobs: Some(jobs),
+        no_cache: true,
+        progress: ProgressMode::Silent,
+        metrics: Some(Arc::clone(&registry)),
+        ..HarnessOptions::default()
+    });
+    let report = harness.run(&sweep_specs());
+    assert_eq!(report.panicked, 0);
+    registry
+}
+
+/// One parsed metric family from Prometheus exposition text.
+#[derive(Debug, Default, PartialEq)]
+struct Family {
+    help: String,
+    kind: String,
+    /// `(label-part-of-line, value)` pairs, in exposition order.
+    samples: Vec<(String, f64)>,
+}
+
+/// A deliberately strict hand-rolled parser for the subset of the
+/// Prometheus text format the renderer emits: `# HELP`/`# TYPE` headers
+/// followed by that family's samples. Panics (failing the test) on
+/// anything malformed — unknown line shapes, samples without a family,
+/// unparsable values.
+fn parse_exposition(text: &str) -> BTreeMap<String, Family> {
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').expect("HELP has name and text");
+            families.entry(name.to_owned()).or_default().help = help.to_owned();
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').expect("TYPE has name and kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown TYPE {kind}"
+            );
+            families.entry(name.to_owned()).or_default().kind = kind.to_owned();
+        } else {
+            assert!(!line.starts_with('#'), "unknown comment line: {line}");
+            let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+            let value: f64 = value.parse().unwrap_or_else(|e| {
+                panic!("unparsable sample value in {line:?}: {e}");
+            });
+            let (name, labels) = match series.split_once('{') {
+                Some((name, rest)) => {
+                    assert!(rest.ends_with('}'), "unterminated label set: {line}");
+                    (name, format!("{{{rest}"))
+                }
+                None => (series, String::new()),
+            };
+            // Histogram series (`_bucket`/`_sum`/`_count`) belong to the
+            // base family; everything else names its family directly.
+            let family = families
+                .keys()
+                .find(|f| {
+                    name == f.as_str()
+                        || (name
+                            .strip_prefix(f.as_str())
+                            .is_some_and(|suffix| matches!(suffix, "_bucket" | "_sum" | "_count")))
+                })
+                .unwrap_or_else(|| panic!("sample {name} has no preceding family"))
+                .clone();
+            families
+                .get_mut(&family)
+                .expect("family exists")
+                .samples
+                .push((format!("{name}{labels}"), value));
+        }
+    }
+    families
+}
+
+#[test]
+fn exposition_text_is_well_formed_and_complete() {
+    let registry = instrumented_sweep(2);
+    let text = expo::render(&registry.snapshot());
+    let families = parse_exposition(&text);
+
+    for name in [
+        horus_obs::names::JOBS_STARTED,
+        horus_obs::names::JOBS_COMPLETED,
+        horus_obs::names::CACHE_HITS,
+        horus_obs::names::QUEUE_DEPTH,
+        horus_obs::names::JOBS_PLANNED,
+        horus_obs::names::WORKER_THREADS,
+        horus_obs::names::WORKER_BUSY_SECONDS,
+        horus_obs::names::EPISODES_TOTAL,
+        horus_obs::names::SIM_CYCLES_TOTAL,
+        horus_obs::names::SCHEME_MEMORY_OPS,
+        horus_obs::names::SCHEME_MAC_OPS,
+        horus_obs::names::SIM_STAT,
+    ] {
+        let family = families
+            .get(name)
+            .unwrap_or_else(|| panic!("family {name} missing from scrape"));
+        assert!(!family.help.is_empty(), "{name} has HELP text");
+        assert!(!family.kind.is_empty(), "{name} has a TYPE");
+        assert!(!family.samples.is_empty(), "{name} has samples");
+    }
+
+    let sample = |family: &str, series: &str| -> f64 {
+        families[family]
+            .samples
+            .iter()
+            .find(|(s, _)| s == series)
+            .unwrap_or_else(|| panic!("no series {series}"))
+            .1
+    };
+    // 2 seeds x 5 schemes, every one executed and completed.
+    assert_eq!(
+        sample(
+            horus_obs::names::JOBS_STARTED,
+            horus_obs::names::JOBS_STARTED
+        ),
+        10.0
+    );
+    assert_eq!(
+        sample(
+            horus_obs::names::JOBS_COMPLETED,
+            horus_obs::names::JOBS_COMPLETED
+        ),
+        10.0
+    );
+    assert_eq!(
+        sample(
+            horus_obs::names::EPISODES_TOTAL,
+            horus_obs::names::EPISODES_TOTAL
+        ),
+        10.0
+    );
+    assert_eq!(
+        sample(horus_obs::names::QUEUE_DEPTH, horus_obs::names::QUEUE_DEPTH),
+        0.0
+    );
+    // One memory-op series per scheme, all positive.
+    let mem = &families[horus_obs::names::SCHEME_MEMORY_OPS];
+    assert_eq!(mem.samples.len(), DrainScheme::ALL.len());
+    assert!(mem.samples.iter().all(|&(_, v)| v > 0.0), "{mem:?}");
+}
+
+#[test]
+fn deterministic_subset_is_identical_across_worker_counts() {
+    let one = instrumented_sweep(1);
+    let eight = instrumented_sweep(8);
+    let render = |r: &Registry| expo::render(&expo::deterministic_subset(&r.snapshot()));
+    let text_one = render(&one);
+    let text_eight = render(&eight);
+    assert!(
+        !text_one.is_empty() && text_one.contains(horus_obs::names::SCHEME_MEMORY_OPS),
+        "{text_one}"
+    );
+    assert_eq!(
+        text_one, text_eight,
+        "deterministic scrape subset must not depend on --jobs"
+    );
+    // The full scrape, by contrast, legitimately differs (worker count,
+    // busy seconds, rates) — if it didn't, the subset would be pointless.
+    assert_ne!(
+        expo::render(&one.snapshot()),
+        expo::render(&eight.snapshot())
+    );
+}
+
+#[test]
+fn mid_run_scrape_serves_live_values() {
+    let registry = Registry::shared();
+    let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).expect("bind");
+    let addr = server.local_addr();
+    let harness = Harness::new(HarnessOptions {
+        jobs: Some(2),
+        no_cache: true,
+        progress: ProgressMode::Silent,
+        metrics: Some(Arc::clone(&registry)),
+        ..HarnessOptions::default()
+    });
+    // Task 3 scrapes the endpoint *from inside the pool*, while the
+    // sweep is demonstrably mid-run (jobs started, queue non-empty).
+    let outcomes = harness.run_tasks(6, |i| {
+        if i == 3 {
+            let (status, body) = horus_obs::http::http_get(addr, "/metrics").expect("scrape");
+            assert!(status.contains("200 OK"), "{status}");
+            return body;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        String::new()
+    });
+    server.shutdown();
+    let body = outcomes[3].as_ref().expect("scrape task succeeded");
+    let families = parse_exposition(body);
+    let planned = &families[horus_obs::names::JOBS_PLANNED].samples[0].1;
+    assert_eq!(*planned, 6.0, "mid-run scrape sees the live plan gauge");
+    assert!(
+        families.contains_key(horus_obs::names::QUEUE_DEPTH),
+        "queue depth family present mid-run"
+    );
+    let started = &families[horus_obs::names::JOBS_STARTED].samples[0].1;
+    assert!(*started >= 1.0, "at least the scraping task started");
+}

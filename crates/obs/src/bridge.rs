@@ -1,0 +1,138 @@
+//! Bridge from `horus_sim::Stats` to the metrics registry.
+//!
+//! The simulator keeps per-episode counters in an interned [`Stats`] map
+//! whose serialized face (`StatsRepr`) feeds golden traces, the result
+//! cache, and `JobSpec` content keys — so the bridge must never mutate the
+//! `Stats` it mirrors. [`mirror_stats`] therefore takes `&Stats`, reads
+//! every counter and histogram, and *adds* the values into registry
+//! counters; calling it once per completed job accumulates fleet totals.
+//!
+//! Counters land in [`crate::names::SIM_STAT`] labelled by the interned
+//! key; histograms are summarized as two counters (observation count and
+//! saturating sum) because registry histograms cannot adopt foreign bucket
+//! layouts without re-observing samples.
+//!
+//! [`stats_from_snapshot`] reconstructs a `Stats` from a snapshot, which
+//! gives the round-trip property the test suite leans on: `mirror` into a
+//! fresh registry then `stats_from_snapshot` returns exactly the original
+//! counter map.
+
+use horus_sim::Stats;
+
+use crate::names;
+use crate::registry::{Registry, SampleValue, Snapshot};
+
+/// Help text for mirrored counters.
+const STAT_HELP: &str = "Simulator stat counters mirrored from horus_sim::Stats.";
+/// Help text for mirrored histogram observation counts.
+const SAMPLE_COUNT_HELP: &str = "Observation counts of simulator sample histograms.";
+/// Help text for mirrored histogram sums.
+const SAMPLE_SUM_HELP: &str = "Summed values of simulator sample histograms (saturating).";
+
+/// Adds every counter and histogram of `stats` into `registry`.
+///
+/// Read-only with respect to `stats`; see the module docs for why that
+/// matters. Extra labels (e.g. `("scheme", "Horus")`) are attached to every
+/// mirrored series.
+pub fn mirror_stats(registry: &Registry, stats: &Stats, extra: &[(&str, &str)]) {
+    for (key, value) in stats.iter() {
+        let mut labels: Vec<(&str, &str)> = Vec::with_capacity(extra.len() + 1);
+        labels.push(("counter", key));
+        labels.extend_from_slice(extra);
+        registry
+            .counter(names::SIM_STAT, STAT_HELP, &labels)
+            .add(value);
+    }
+    for (key, histogram) in stats.histograms() {
+        let mut labels: Vec<(&str, &str)> = Vec::with_capacity(extra.len() + 1);
+        labels.push(("sample", key));
+        labels.extend_from_slice(extra);
+        registry
+            .counter(names::SIM_SAMPLE_COUNT, SAMPLE_COUNT_HELP, &labels)
+            .add(histogram.count());
+        let sum = u64::try_from(histogram.sum()).unwrap_or(u64::MAX);
+        registry
+            .counter(names::SIM_SAMPLE_SUM, SAMPLE_SUM_HELP, &labels)
+            .add(sum);
+    }
+}
+
+/// Rebuilds a [`Stats`] from the mirrored counters in `snap`.
+///
+/// Only [`crate::names::SIM_STAT`] series participate; the per-histogram
+/// count/sum summaries cannot be turned back into histograms and are
+/// skipped. Extra labels applied at mirror time are ignored — series with
+/// the same `counter` key fold together, mirroring what `Stats::merge`
+/// would do.
+#[must_use]
+pub fn stats_from_snapshot(snap: &Snapshot) -> Stats {
+    let mut stats = Stats::new();
+    for sample in &snap.samples {
+        if sample.name != names::SIM_STAT {
+            continue;
+        }
+        let Some((_, key)) = sample.labels.iter().find(|(k, _)| k == "counter") else {
+            continue;
+        };
+        if let SampleValue::Uint(v) = sample.value {
+            stats.add(key, v);
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_roundtrip_preserves_counters() {
+        let mut stats = Stats::new();
+        stats.add("nvm.writes", 42);
+        stats.add("nvm.reads", 7);
+        stats.incr("drain.episodes");
+        let registry = Registry::new();
+        mirror_stats(&registry, &stats, &[]);
+        let rebuilt = stats_from_snapshot(&registry.snapshot());
+        assert_eq!(rebuilt.get("nvm.writes"), 42);
+        assert_eq!(rebuilt.get("nvm.reads"), 7);
+        assert_eq!(rebuilt.get("drain.episodes"), 1);
+        assert_eq!(rebuilt.iter().count(), 3);
+    }
+
+    #[test]
+    fn mirror_accumulates_across_jobs() {
+        let mut a = Stats::new();
+        a.add("nvm.writes", 10);
+        let mut b = Stats::new();
+        b.add("nvm.writes", 5);
+        let registry = Registry::new();
+        mirror_stats(&registry, &a, &[]);
+        mirror_stats(&registry, &b, &[]);
+        let rebuilt = stats_from_snapshot(&registry.snapshot());
+        assert_eq!(rebuilt.get("nvm.writes"), 15);
+    }
+
+    #[test]
+    fn mirror_histograms_as_count_and_sum() {
+        let mut stats = Stats::new();
+        stats.record_sample("queue.delay", 3);
+        stats.record_sample("queue.delay", 5);
+        let registry = Registry::new();
+        mirror_stats(&registry, &stats, &[("scheme", "Horus")]);
+        let snap = registry.snapshot();
+        let count = snap
+            .samples
+            .iter()
+            .find(|s| s.name == names::SIM_SAMPLE_COUNT)
+            .expect("count series");
+        assert_eq!(count.value, SampleValue::Uint(2));
+        let sum = snap
+            .samples
+            .iter()
+            .find(|s| s.name == names::SIM_SAMPLE_SUM)
+            .expect("sum series");
+        assert_eq!(sum.value, SampleValue::Uint(8));
+        assert!(count.labels.contains(&("scheme".into(), "Horus".into())));
+    }
+}

@@ -1,0 +1,184 @@
+//! Zero-dependency blocking HTTP listener for metric scrapes.
+//!
+//! [`MetricsServer::bind`] spawns one background thread that accepts
+//! connections and answers `GET /metrics` with the current registry
+//! rendered as Prometheus text ([`crate::expo::render`]). This is a scrape
+//! endpoint, not a web server: requests are handled serially, bodies are
+//! ignored, and anything but `GET /` or `GET /metrics` gets a 404.
+//!
+//! Shutdown is cooperative: [`MetricsServer::shutdown`] (also run on drop)
+//! sets a flag and pokes the listener with a loopback connection so the
+//! blocking `accept` wakes up and the thread exits. Binding port 0 works
+//! and [`MetricsServer::local_addr`] reports the picked port, which is what
+//! the golden tests use.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::expo;
+use crate::registry::Registry;
+
+/// A running scrape endpoint; dropping it stops the listener thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9464`, port 0 for an OS-picked port)
+    /// and starts serving scrapes of `registry` on a background thread.
+    ///
+    /// # Errors
+    /// Returns the underlying I/O error if the address cannot be bound.
+    pub fn bind(addr: &str, registry: Arc<Registry>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("horus-obs-http".to_string())
+            .spawn(move || serve(&listener, &registry, &flag))?;
+        Ok(MetricsServer {
+            addr: local,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and waits for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.shutdown.store(true, Ordering::SeqCst);
+            // Wake the blocking accept; an error just means the listener
+            // already went away.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve(listener: &TcpListener, registry: &Arc<Registry>, shutdown: &Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        // Errors on individual connections (slow clients, resets) only
+        // lose that one scrape.
+        let _ = handle_request(stream, registry);
+    }
+}
+
+fn handle_request(stream: TcpStream, registry: &Arc<Registry>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the remaining headers so well-behaved clients see a clean
+    // connection close; stop at the blank line.
+    let mut header = String::new();
+    loop {
+        header.clear();
+        if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let mut stream = reader.into_inner();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let response = if method != "GET" {
+        http_response(
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n",
+        )
+    } else if path == "/metrics" || path == "/" {
+        let body = expo::render(&registry.snapshot());
+        http_response("200 OK", "text/plain; version=0.0.4; charset=utf-8", &body)
+    } else {
+        http_response("404 Not Found", "text/plain", "try /metrics\n")
+    };
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+fn http_response(status: &str, content_type: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Performs a plain HTTP `GET` against `addr` at `path` and returns
+/// `(status_line, body)`. This is the client half of the scrape endpoint,
+/// used by `serve-metrics`-adjacent tooling and the golden tests; it speaks
+/// just enough HTTP/1.1 for [`MetricsServer`].
+///
+/// # Errors
+/// Returns the underlying I/O error if the connection or read fails.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response")
+    })?;
+    let status = head.lines().next().unwrap_or("").to_string();
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_metrics_and_404() {
+        let reg = Registry::shared();
+        reg.counter("up_total", "Help.", &[]).add(2);
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&reg)).expect("bind");
+        let addr = server.local_addr();
+
+        let (status, body) = http_get(addr, "/metrics").expect("get");
+        assert!(status.contains("200"), "status: {status}");
+        assert!(body.contains("up_total 2\n"), "body: {body}");
+
+        let (status, _) = http_get(addr, "/nope").expect("get");
+        assert!(status.contains("404"), "status: {status}");
+
+        // Scrapes see live values.
+        reg.counter("up_total", "Help.", &[]).inc();
+        let (_, body) = http_get(addr, "/metrics").expect("get");
+        assert!(body.contains("up_total 3\n"), "body: {body}");
+
+        server.shutdown();
+    }
+}

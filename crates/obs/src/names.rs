@@ -1,0 +1,109 @@
+//! Canonical metric names shared by the harness, bench layer, CLI,
+//! dashboard, and tests.
+//!
+//! Keeping the names in one place is what makes the label-cardinality and
+//! determinism rules auditable: every family the workspace emits is listed
+//! here with its kind and label set.
+//!
+//! ## Label cardinality rules
+//!
+//! Labels must come from small, closed sets known at compile time or
+//! bounded by the run configuration:
+//!
+//! * `scheme` — one of the five drain schemes (`DrainScheme::ALL`).
+//! * `worker` — `0..jobs`, bounded by `--jobs`.
+//! * `verdict` — crash-sweep classification (`recovered`, `detected`,
+//!   `silent_corruption`).
+//! * `counter` / `sample` — interned `horus_sim::Stats` keys, a fixed
+//!   vocabulary defined by the simulator.
+//!
+//! Never label by job key, crash cycle, or anything else that grows with
+//! the plan size — that turns a bounded registry into an unbounded one.
+
+/// Counter: jobs handed to the worker pool (includes cache hits).
+pub const JOBS_STARTED: &str = "horus_harness_jobs_started_total";
+/// Counter: jobs that ran to completion (includes cache hits).
+pub const JOBS_COMPLETED: &str = "horus_harness_jobs_completed_total";
+/// Counter: jobs whose worker panicked.
+pub const JOBS_PANICKED: &str = "horus_harness_jobs_panicked_total";
+/// Counter: jobs answered from the on-disk result cache.
+pub const CACHE_HITS: &str = "horus_harness_cache_hits_total";
+/// Gauge: jobs accepted but not yet finished.
+pub const QUEUE_DEPTH: &str = "horus_harness_queue_depth";
+/// Gauge: jobs the current plan will run in total.
+pub const JOBS_PLANNED: &str = "horus_harness_jobs_planned";
+/// Gauge: size of the worker pool (host-dependent: excluded from
+/// deterministic snapshots by the `worker` naming rule).
+pub const WORKER_THREADS: &str = "horus_harness_worker_threads";
+/// Float counter, labelled `worker`: seconds each worker spent running
+/// jobs (host-dependent).
+pub const WORKER_BUSY_SECONDS: &str = "horus_harness_worker_busy_seconds_total";
+/// Counter: simulated drain episodes completed.
+pub const EPISODES_TOTAL: &str = "horus_harness_episodes_total";
+/// Counter: total simulated cycles across completed jobs.
+pub const SIM_CYCLES_TOTAL: &str = "horus_sim_cycles_total";
+/// Counter, labelled `scheme`: NVM memory operations per drain scheme.
+pub const SCHEME_MEMORY_OPS: &str = "horus_scheme_memory_ops_total";
+/// Counter, labelled `scheme`: MAC operations per drain scheme.
+pub const SCHEME_MAC_OPS: &str = "horus_scheme_mac_ops_total";
+/// Float gauge: live episodes/s over the run so far (timing-dependent).
+pub const EPISODES_PER_SECOND: &str = "horus_harness_episodes_per_second";
+/// Float gauge: live simulated cycles/s over the run so far
+/// (timing-dependent).
+pub const SIM_CYCLES_PER_SECOND: &str = "horus_harness_sim_cycles_per_second";
+/// Float gauge: live memory operations/s over the run so far
+/// (timing-dependent).
+pub const MEMORY_OPS_PER_SECOND: &str = "horus_harness_memory_ops_per_second";
+/// Counter, labelled `scheme` and `verdict`: crash-sweep classifications.
+pub const CRASH_VERDICTS: &str = "horus_crash_verdicts_total";
+/// Counter, labelled `counter`: mirrored `horus_sim::Stats` counters (see
+/// [`crate::bridge`]).
+pub const SIM_STAT: &str = "horus_sim_stat_total";
+/// Counter, labelled `sample`: observation counts of mirrored
+/// `horus_sim::Stats` histograms.
+pub const SIM_SAMPLE_COUNT: &str = "horus_sim_sample_count_total";
+/// Counter, labelled `sample`: summed values of mirrored
+/// `horus_sim::Stats` histograms (saturating at `u64::MAX`).
+pub const SIM_SAMPLE_SUM: &str = "horus_sim_sample_sum_total";
+
+#[cfg(test)]
+mod tests {
+    use crate::expo::is_deterministic_metric;
+
+    #[test]
+    fn determinism_classification_of_every_family() {
+        for name in [
+            super::JOBS_STARTED,
+            super::JOBS_COMPLETED,
+            super::JOBS_PANICKED,
+            super::CACHE_HITS,
+            super::QUEUE_DEPTH,
+            super::JOBS_PLANNED,
+            super::EPISODES_TOTAL,
+            super::SIM_CYCLES_TOTAL,
+            super::SCHEME_MEMORY_OPS,
+            super::SCHEME_MAC_OPS,
+            super::CRASH_VERDICTS,
+            super::SIM_STAT,
+            super::SIM_SAMPLE_COUNT,
+            super::SIM_SAMPLE_SUM,
+        ] {
+            assert!(
+                is_deterministic_metric(name),
+                "{name} should be deterministic"
+            );
+        }
+        for name in [
+            super::WORKER_THREADS,
+            super::WORKER_BUSY_SECONDS,
+            super::EPISODES_PER_SECOND,
+            super::SIM_CYCLES_PER_SECOND,
+            super::MEMORY_OPS_PER_SECOND,
+        ] {
+            assert!(
+                !is_deterministic_metric(name),
+                "{name} should be host/timing-dependent"
+            );
+        }
+    }
+}

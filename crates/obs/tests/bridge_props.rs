@@ -1,0 +1,99 @@
+//! Property tests for the stats→metrics bridge (satellite S4).
+//!
+//! The bridge's contract is *observe-only*: mirroring a
+//! `horus_sim::Stats` registry into an obs `Registry` must preserve
+//! every counter (recoverable from the snapshot) and must never perturb
+//! the `Stats` value itself — in particular its serialized `StatsRepr`
+//! JSON, which the harness cache keys derive from. A bridge that
+//! mutated stats would silently invalidate every memoized result.
+
+use horus_sim::Stats;
+use proptest::prelude::*;
+
+/// A small closed key vocabulary, mirroring the simulator's interned
+/// stat names (label-cardinality rule: never unbounded).
+const KEYS: &[&str] = &[
+    "mem.read.data",
+    "mem.write.data",
+    "mem.write.meta",
+    "macop.verify",
+    "macop.generate",
+    "drain.flush",
+    "cache.hit.l1",
+    "cache.miss.llc",
+];
+
+/// Builds a `Stats` from generated counter and histogram-sample lists.
+#[allow(dead_code)] // referenced only inside `proptest!` (a no-op offline)
+fn build_stats(counters: &[(usize, u64)], samples: &[(usize, Vec<u64>)]) -> Stats {
+    let mut stats = Stats::new();
+    for &(key, value) in counters {
+        stats.add(KEYS[key % KEYS.len()], value);
+    }
+    for (key, values) in samples {
+        let key = format!("lat.{}", KEYS[key % KEYS.len()]);
+        for &v in values {
+            stats.record_sample(&key, v);
+        }
+    }
+    stats
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every counter survives the registry round trip: mirror into a
+    /// fresh registry, then fold the snapshot back into a `Stats`.
+    #[test]
+    fn mirror_preserves_every_counter(
+        counters in prop::collection::vec((0usize..64, 0u64..1 << 48), 0..12),
+        samples in prop::collection::vec(
+            (0usize..64, prop::collection::vec(0u64..10_000, 1..20)), 0..4),
+    ) {
+        let stats = build_stats(&counters, &samples);
+        let registry = horus_obs::Registry::shared();
+        horus_obs::bridge::mirror_stats(&registry, &stats, &[]);
+        let recovered = horus_obs::bridge::stats_from_snapshot(&registry.snapshot());
+        let expected: Vec<(String, u64)> =
+            stats.iter().map(|(k, v)| (k.to_owned(), v)).collect();
+        let got: Vec<(String, u64)> =
+            recovered.iter().map(|(k, v)| (k.to_owned(), v)).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Mirroring never perturbs the stats it reads: the serialized
+    /// `StatsRepr` JSON is byte-identical before and after, so harness
+    /// cache keys derived from it cannot change.
+    #[test]
+    fn mirror_never_perturbs_serialized_stats(
+        counters in prop::collection::vec((0usize..64, 0u64..1 << 48), 0..12),
+        samples in prop::collection::vec(
+            (0usize..64, prop::collection::vec(0u64..10_000, 1..20)), 0..4),
+    ) {
+        let stats = build_stats(&counters, &samples);
+        let before = serde_json::to_string(&stats)
+            .map_err(|e| TestCaseError::fail(format!("serialize: {e}")))?;
+        let registry = horus_obs::Registry::shared();
+        horus_obs::bridge::mirror_stats(&registry, &stats, &[("scheme", "Horus-SLM")]);
+        horus_obs::bridge::mirror_stats(&registry, &stats, &[("scheme", "Horus-DLM")]);
+        let after = serde_json::to_string(&stats)
+            .map_err(|e| TestCaseError::fail(format!("serialize: {e}")))?;
+        prop_assert_eq!(before, after);
+    }
+
+    /// The bridge is additive: mirroring the same stats twice doubles
+    /// every mirrored counter (fleet totals accumulate per job).
+    #[test]
+    fn mirror_accumulates(
+        counters in prop::collection::vec((0usize..64, 0u64..1 << 48), 0..12),
+    ) {
+        let stats = build_stats(&counters, &[]);
+        let registry = horus_obs::Registry::shared();
+        horus_obs::bridge::mirror_stats(&registry, &stats, &[]);
+        horus_obs::bridge::mirror_stats(&registry, &stats, &[]);
+        let recovered = horus_obs::bridge::stats_from_snapshot(&registry.snapshot());
+        for (key, value) in stats.iter() {
+            prop_assert_eq!(recovered.get(key), value.saturating_mul(2), "{}", key);
+        }
+    }
+}

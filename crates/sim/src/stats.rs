@@ -444,6 +444,20 @@ impl Histogram {
         self.count
     }
 
+    /// Sum of all recorded samples.
+    ///
+    /// ```
+    /// use horus_sim::Histogram;
+    /// let mut h = Histogram::new();
+    /// h.record(3);
+    /// h.record(7);
+    /// assert_eq!(h.sum(), 10);
+    /// ```
+    #[must_use]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Mean of recorded samples, or `None` if empty.
     #[must_use]
     pub fn mean(&self) -> Option<f64> {

@@ -7,6 +7,7 @@
 //! horus-cli attack  --kind splice [--scheme horus-slm]
 //! horus-cli sweep   --llc 8,16,32 [--jobs N] [--cache-dir DIR] [--no-cache] [--progress] [--json]
 //! horus-cli crash-sweep [--quick] [--points N] [--model torn|stale|garbled] [--jobs N] [--out FILE] [--json]
+//! horus-cli serve-metrics [--addr 127.0.0.1:9464] [--for-seconds S]
 //! ```
 //!
 //! `sweep` runs on the `horus-harness` worker pool: points execute in
@@ -17,6 +18,16 @@
 //! (phase boundaries ±1 plus even coverage), recovers from the exact
 //! persistent state left behind, and classifies each point; it exits
 //! nonzero if a Horus scheme ever silently returns corrupted data.
+//!
+//! `sweep` and `crash-sweep` also take the fleet-telemetry flags:
+//! `--metrics-addr ADDR` serves live Prometheus text (`GET /metrics`)
+//! for the duration of the run, `--dashboard` renders the live TTY
+//! panel (degrading to `--progress` JSON lines off-TTY), and
+//! `--obs-out FILE` writes the end-of-run obs summary JSON. With none
+//! of them given, output is byte-identical to the uninstrumented run.
+//! `serve-metrics` stands up the scrape endpoint on its own, exposing
+//! this process's host profile — useful for smoke-testing a Prometheus
+//! scrape config against the exposition format.
 
 use horus::bench::crash_sweep as bench_crash;
 use horus::core::{
@@ -25,6 +36,7 @@ use horus::core::{
 };
 use horus::energy::{Battery, DrainEnergyModel};
 use horus::harness::{Harness, HarnessOptions, JobSpec, ProgressMode};
+use horus::obs::{MetricsServer, ObsOptions, ObsSession, Registry};
 use horus::workload::{fill_hierarchy, parse_trace, FillPattern, TraceOp};
 use std::process::ExitCode;
 
@@ -236,6 +248,55 @@ fn cmd_attack(args: &Args) -> Result<(), String> {
     }
 }
 
+/// Starts the telemetry session the `--metrics-addr`/`--dashboard`/
+/// `--obs-out` flags describe, announcing the scrape URL. `None` when no
+/// obs flag was given. When telemetry is on but no `--obs-out` path was
+/// given, the summary defaults to `obs-summary.json` (gitignored).
+fn obs_session(args: &Args) -> Result<Option<ObsSession>, String> {
+    let opts = ObsOptions {
+        metrics_addr: args.get("metrics-addr").map(str::to_owned),
+        dashboard: args.has("dashboard"),
+        summary_out: args
+            .get("obs-out")
+            .map(std::path::PathBuf::from)
+            .or_else(|| {
+                (args.get("metrics-addr").is_some() || args.has("dashboard"))
+                    .then(|| std::path::PathBuf::from("obs-summary.json"))
+            }),
+    };
+    if !opts.is_active() {
+        return Ok(None);
+    }
+    let session = ObsSession::start(&opts)?;
+    if let Some(addr) = session.metrics_addr() {
+        eprintln!("metrics: serving Prometheus text on http://{addr}/metrics");
+    }
+    Ok(Some(session))
+}
+
+/// The progress mode for a run: explicit `--progress`, or a `--dashboard`
+/// request that could not become a live TTY panel degrading to the
+/// JSON-lines stream.
+fn progress_mode(args: &Args, obs: Option<&ObsSession>) -> ProgressMode {
+    let dashboard_live = obs.is_some_and(ObsSession::dashboard_active);
+    if args.has("progress") || (args.has("dashboard") && !dashboard_live) {
+        ProgressMode::JsonLines
+    } else {
+        ProgressMode::Silent
+    }
+}
+
+/// Drains per-job profiles and writes the summary artifact, if a session
+/// is running.
+fn finish_obs(obs: Option<ObsSession>, harness: &Harness) -> Result<(), String> {
+    if let Some(session) = obs {
+        if let Some(path) = session.finish(harness.take_job_profiles())? {
+            eprintln!("obs: wrote run summary -> {}", path.display());
+        }
+    }
+    Ok(())
+}
+
 fn cmd_sweep(args: &Args) -> Result<(), String> {
     let llcs: Vec<u64> = args
         .get("llc")
@@ -247,15 +308,13 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         .get("jobs")
         .map(|v| v.parse::<usize>().map_err(|e| format!("--jobs: {e}")))
         .transpose()?;
+    let obs = obs_session(args)?;
     let harness = Harness::new(HarnessOptions {
         jobs,
         cache_dir: args.get("cache-dir").map(std::path::PathBuf::from),
         no_cache: args.has("no-cache"),
-        progress: if args.has("progress") {
-            ProgressMode::JsonLines
-        } else {
-            ProgressMode::Silent
-        },
+        progress: progress_mode(args, obs.as_ref()),
+        metrics: obs.as_ref().map(ObsSession::registry),
     });
     let specs: Vec<JobSpec> = llcs
         .iter()
@@ -305,7 +364,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             println!("{mb:>4}MB {scheme:<11} {reqs:>12} {macs:>12} {ms:>10.2}");
         }
     }
-    Ok(())
+    finish_obs(obs, &harness)
 }
 
 /// `crash-sweep`: the crash-point fault-injection matrix. Returns the
@@ -339,13 +398,16 @@ fn cmd_crash_sweep(args: &Args) -> Result<ExitCode, String> {
         .get("jobs")
         .map(|v| v.parse::<usize>().map_err(|e| format!("--jobs: {e}")))
         .transpose()?;
+    let obs = obs_session(args)?;
     let harness = Harness::new(HarnessOptions {
         jobs,
         no_cache: true, // crash points are cheap and not JobSpec-shaped
-        progress: ProgressMode::Silent,
+        progress: progress_mode(args, obs.as_ref()),
+        metrics: obs.as_ref().map(ObsSession::registry),
         ..HarnessOptions::default()
     });
     let matrix = bench_crash::run(&harness, &plan);
+    finish_obs(obs, &harness)?;
     if let Some(out) = args.get("out") {
         let json = serde_json::to_string_pretty(&matrix).map_err(|e| e.to_string())?;
         std::fs::write(out, json.as_bytes()).map_err(|e| format!("{out}: {e}"))?;
@@ -373,6 +435,56 @@ fn cmd_crash_sweep(args: &Args) -> Result<ExitCode, String> {
     );
     println!("silent-loss rows are their documented vulnerability window.");
     Ok(ExitCode::SUCCESS)
+}
+
+/// `serve-metrics`: a standalone Prometheus scrape endpoint exposing
+/// this process's host profile (CPU seconds, peak RSS, uptime),
+/// refreshed every 250 ms. Serves until killed, or for `--for-seconds S`
+/// when given (how the CI smoke job bounds it).
+fn cmd_serve_metrics(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:9464");
+    let registry = Registry::shared();
+    let server = MetricsServer::bind(addr, std::sync::Arc::clone(&registry))
+        .map_err(|e| format!("cannot bind metrics address {addr}: {e}"))?;
+    eprintln!(
+        "serving Prometheus text on http://{}/metrics (Ctrl-C to stop)",
+        server.local_addr()
+    );
+    let deadline = args
+        .get("for-seconds")
+        .map(|v| v.parse::<f64>().map_err(|e| format!("--for-seconds: {e}")))
+        .transpose()?;
+    let cpu = registry.float_gauge(
+        "horus_host_cpu_seconds",
+        "Process CPU seconds (user + system) of this serve-metrics process.",
+        &[],
+    );
+    let rss = registry.gauge(
+        "horus_host_peak_rss_bytes",
+        "Peak resident set size of this serve-metrics process, bytes.",
+        &[],
+    );
+    let uptime = registry.float_gauge(
+        "horus_host_uptime_seconds",
+        "Seconds since this serve-metrics process started.",
+        &[],
+    );
+    let started = std::time::Instant::now();
+    loop {
+        if let Some(c) = horus::obs::profile::process_cpu_seconds() {
+            cpu.set(c);
+        }
+        if let Some(r) = horus::obs::profile::peak_rss_bytes() {
+            rss.set(i64::try_from(r).unwrap_or(i64::MAX));
+        }
+        uptime.set(started.elapsed().as_secs_f64());
+        if deadline.is_some_and(|d| started.elapsed().as_secs_f64() >= d) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(250));
+    }
+    server.shutdown();
+    Ok(())
 }
 
 fn parse_domain(s: &str) -> Result<PersistenceDomain, String> {
@@ -527,7 +639,7 @@ fn cmd_trace_drain(args: &Args) -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: horus-cli <config|drain|recover|attack|sweep|crash-sweep|trace> [options]
+    "usage: horus-cli <config|drain|recover|attack|sweep|crash-sweep|serve-metrics|trace> [options]
   config                          print the Table I configuration as JSON
   drain   --scheme S [--llc-mb N] [--stride B] [--json]
   recover --scheme S [--llc-mb N] [--write-through] [--json]
@@ -536,16 +648,26 @@ const USAGE: &str =
   crash-sweep [--quick] [--points N] [--model torn|stale|garbled] [--jobs N]
           [--out FILE] [--json]   interrupt each drain at sampled cycles, recover,
           classify; exits nonzero on any Horus silent corruption
+  serve-metrics [--addr 127.0.0.1:9464] [--for-seconds S]   standalone Prometheus
+          scrape endpoint exposing this process's host profile
   trace   <scheme> [--llc-mb N] [--stride B] [--out FILE]   probed drain: utilization,
           critical path, optional Chrome-trace JSON (Perfetto-loadable)
   trace   --file <path> [--domain epd|adr|bbb:<lines>]      workload replay
+sweep/crash-sweep telemetry: [--metrics-addr ADDR] [--dashboard] [--obs-out FILE]
 schemes: ns base-lu base-eu horus(-slm) horus-dlm";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match Args::parse(
         &argv,
-        &["json", "write-through", "no-cache", "progress", "quick"],
+        &[
+            "json",
+            "write-through",
+            "no-cache",
+            "progress",
+            "quick",
+            "dashboard",
+        ],
     ) {
         Ok(a) => a,
         Err(e) => {
@@ -568,6 +690,7 @@ fn main() -> ExitCode {
             Ok(code) => return code,
             Err(e) => Err(e),
         },
+        "serve-metrics" => cmd_serve_metrics(&args),
         "trace" => cmd_trace(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

@@ -59,6 +59,7 @@ pub use horus_energy as energy;
 pub use horus_harness as harness;
 pub use horus_metadata as metadata;
 pub use horus_nvm as nvm;
+pub use horus_obs as obs;
 pub use horus_sim as sim;
 pub use horus_workload as workload;
 

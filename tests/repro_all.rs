@@ -22,6 +22,7 @@ fn cached_harness(dir: &PathBuf, jobs: usize) -> Harness {
         cache_dir: Some(dir.clone()),
         no_cache: false,
         progress: ProgressMode::Silent,
+        ..HarnessOptions::default()
     })
 }
 
