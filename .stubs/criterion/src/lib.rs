@@ -1,0 +1,138 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Lets the workspace's `[[bench]]` targets compile (and nominally run:
+//! each `iter` body executes once, no statistics) without the registry.
+//! CI's bench jobs use the real crate; this stub only keeps offline
+//! `cargo check --benches` and ad-hoc smoke runs working.
+
+use std::fmt;
+use std::time::Duration;
+
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    #[must_use]
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let _ = id;
+        f(&mut Bencher {});
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let _ = name.into();
+        BenchmarkGroup { _criterion: self }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let _ = id;
+        f(&mut Bencher {});
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let _ = id;
+        f(&mut Bencher {}, input);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+    }
+
+    pub fn iter_with_setup<S, O, SF, F>(&mut self, mut setup: SF, mut f: F)
+    where
+        SF: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        black_box(f(setup()));
+    }
+}
+
+pub struct BenchmarkId {
+    _id: String,
+}
+
+impl BenchmarkId {
+    #[must_use]
+    pub fn new(group: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { _id: format!("{group}/{parameter}") }
+    }
+
+    #[must_use]
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { _id: parameter.to_string() }
+    }
+}
+
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,511 @@
+//! Offline stand-in for `proptest`.
+//!
+//! A deterministic mini engine covering the strategy/macro surface the
+//! workspace's property tests use: integer-range strategies, `any`,
+//! `prop_map`, tuple strategies, `prop::array::uniform{16,32}`,
+//! `prop::collection::{vec, btree_map}`, `prop::sample::{Index, select}`,
+//! and the `proptest!`/`prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking** — a failing case reports its inputs (via the
+//!   assertion message) but is not minimized.
+//! * **Deterministic seeding** — the RNG is seeded from the test-function
+//!   name, so runs are reproducible; there is no persistence file.
+//! * `PROPTEST_CASES` scales the default case count (explicit
+//!   `with_cases` wins), matching how the real crate's env override
+//!   interacts with explicit configs.
+
+pub mod test_runner {
+    /// SplitMix64 — plenty for input generation.
+    pub struct TestRunner {
+        state: u64,
+    }
+
+    impl TestRunner {
+        #[must_use]
+        pub fn deterministic_for(name: &str) -> TestRunner {
+            // FNV-1a over the test name gives each test its own stream.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRunner { state: hash }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below: empty bound");
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+    }
+
+    pub enum TestCaseError {
+        /// `prop_assume!` rejection — the case is skipped, not failed.
+        Reject(String),
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        #[must_use]
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        #[must_use]
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+}
+
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Explicit case count; ignores `PROPTEST_CASES`, like the real crate.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, runner: &mut TestRunner) -> U {
+            (self.f)(self.inner.generate(runner))
+        }
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    assert!(self.start < self.end, "strategy range is empty");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + runner.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "strategy range is empty");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let pick = ((u128::from(runner.next_u64()) * span) >> 64) as i128;
+                    (start as i128 + pick) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    ($(self.$idx.generate(runner),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use core::marker::PhantomData;
+
+    /// Types with a canonical full-range generator.
+    pub trait ArbitraryValue {
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    #[must_use]
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            T::arbitrary(runner)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn arbitrary(runner: &mut TestRunner) -> $t {
+                    runner.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryValue for bool {
+        fn arbitrary(runner: &mut TestRunner) -> bool {
+            runner.next_u64() & 1 == 1
+        }
+    }
+
+    impl ArbitraryValue for f64 {
+        fn arbitrary(runner: &mut TestRunner) -> f64 {
+            (runner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    pub struct UniformArray<S, const N: usize>(S);
+
+    #[must_use]
+    pub fn uniform16<S: Strategy>(element: S) -> UniformArray<S, 16> {
+        UniformArray(element)
+    }
+
+    #[must_use]
+    pub fn uniform32<S: Strategy>(element: S) -> UniformArray<S, 32> {
+        UniformArray(element)
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, runner: &mut TestRunner) -> [S::Value; N] {
+            core::array::from_fn(|_| self.0.generate(runner))
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use std::collections::BTreeMap;
+
+    /// Size specification accepted by the collection strategies.
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "collection size range is empty");
+            SizeRange { min: r.start, max_exclusive: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { min: *r.start(), max_exclusive: *r.end() + 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max_exclusive: n + 1 }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, runner: &mut TestRunner) -> usize {
+            let span = (self.max_exclusive - self.min) as u64;
+            self.min + runner.below(span.max(1)) as usize
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len = self.size.pick(runner);
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    pub fn btree_map<K, V>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> BTreeMap<K::Value, V::Value> {
+            let target = self.size.pick(runner);
+            let mut map = BTreeMap::new();
+            // Duplicate keys collapse; bound the attempts so tight key
+            // spaces cannot loop forever.
+            for _ in 0..target.saturating_mul(8) {
+                if map.len() >= target {
+                    break;
+                }
+                map.insert(self.key.generate(runner), self.value.generate(runner));
+            }
+            map
+        }
+    }
+}
+
+pub mod sample {
+    use crate::arbitrary::ArbitraryValue;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    /// A length-agnostic index, resolved against a collection at use time.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(usize);
+
+    impl Index {
+        #[must_use]
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl ArbitraryValue for Index {
+        fn arbitrary(runner: &mut TestRunner) -> Index {
+            Index(runner.next_u64() as usize)
+        }
+    }
+
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    #[must_use]
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select: no options");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            self.options[runner.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub mod prop {
+        pub use crate::{array, collection, sample};
+    }
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut runner =
+                $crate::test_runner::TestRunner::deterministic_for(stringify!($name));
+            for case__ in 0..config.cases {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut runner);)+
+                #[allow(unused_mut)]
+                let mut body__ = ||
+                    -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                match body__() {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg__),
+                    ) => {
+                        panic!(
+                            "property `{}` failed at case {} (stub engine, no shrinking): {}",
+                            stringify!($name), case__, msg__
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l__, r__) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l__ == *r__,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l__, r__
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l__, r__) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l__ == *r__,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)+), l__, r__
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l__, r__) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l__ != *r__,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l__
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l__, r__) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l__ != *r__,
+            "{}\n  both: {:?}",
+            ::std::format!($($fmt)+), l__
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

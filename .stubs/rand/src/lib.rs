@@ -1,0 +1,302 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Implements the slice of the API the workspace uses — `StdRng` +
+//! `SeedableRng::seed_from_u64` + `Rng::{gen, gen_range, gen_bool}` —
+//! with a real ChaCha12 core and the rand_core SplitMix64 seeding
+//! scheme. The stream is deterministic for a given seed (everything the
+//! workspace's reproducibility contract needs) but is **not** guaranteed
+//! to be bit-identical to the real `rand` crate's `StdRng`, so absolute
+//! simulated magnitudes from seeded workloads can differ between stub
+//! and registry builds; within one build every run agrees.
+
+pub mod rngs {
+    pub use crate::std_rng::StdRng;
+}
+
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::{distributions::Distribution, Rng, RngCore, SeedableRng};
+}
+
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// SplitMix64 expansion of a `u64` into the full seed, 4 bytes per
+    /// output word — the rand_core 0.6 scheme.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_add(PHI);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let n = chunk.len();
+            chunk.copy_from_slice(&z.to_le_bytes()[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of [0,1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Uniform f64 in [0, 1) from the high 53 bits.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges usable with [`Rng::gen_range`]. Generic over one
+/// [`SampleUniform`] bound (like the real crate) so integer-literal
+/// inference flows from the use site, not from impl selection.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types `gen_range` can sample uniformly.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[low, high)` or `[low, high]`.
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool)
+        -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start() <= self.end(), "gen_range: empty range");
+        T::sample_between(rng, *self.start(), *self.end(), true)
+    }
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (high as i128 - low as i128) as u128 + u128::from(inclusive);
+                let hi = ((u128::from(rng.next_u64()) * span) >> 64) as i128;
+                (low as i128 + hi) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: f64, high: f64, _incl: bool) -> f64 {
+        low + unit_f64(rng.next_u64()) * (high - low)
+    }
+}
+
+pub mod distributions {
+    use crate::{unit_f64, RngCore};
+
+    pub struct Standard;
+
+    pub trait Distribution<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    macro_rules! impl_standard_small {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u32() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_small!(u8, u16, u32, i8, i16, i32);
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+    impl Distribution<i64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            unit_f64(rng.next_u64())
+        }
+    }
+}
+
+mod std_rng {
+    use crate::{RngCore, SeedableRng};
+
+    /// ChaCha12-core RNG (the algorithm behind rand 0.8's `StdRng`).
+    #[derive(Clone)]
+    pub struct StdRng {
+        state: [u32; 16],
+        buf: [u32; 16],
+        next: usize,
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> StdRng {
+            let mut state = [0u32; 16];
+            state[0] = 0x6170_7865; // "expa"
+            state[1] = 0x3320_646e; // "nd 3"
+            state[2] = 0x7962_2d32; // "2-by"
+            state[3] = 0x6b20_6574; // "te k"
+            for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            }
+            // Words 12/13: 64-bit block counter; 14/15: stream id (zero).
+            StdRng { state, buf: [0; 16], next: 16 }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.next == 16 {
+                self.refill();
+            }
+            let word = self.buf[self.next];
+            self.next += 1;
+            word
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let lo = u64::from(self.next_u32());
+            let hi = u64::from(self.next_u32());
+            (hi << 32) | lo
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(4) {
+                let n = chunk.len();
+                chunk.copy_from_slice(&self.next_u32().to_le_bytes()[..n]);
+            }
+        }
+    }
+
+    impl StdRng {
+        fn refill(&mut self) {
+            let mut working = self.state;
+            for _ in 0..6 {
+                // Column round.
+                quarter(&mut working, 0, 4, 8, 12);
+                quarter(&mut working, 1, 5, 9, 13);
+                quarter(&mut working, 2, 6, 10, 14);
+                quarter(&mut working, 3, 7, 11, 15);
+                // Diagonal round.
+                quarter(&mut working, 0, 5, 10, 15);
+                quarter(&mut working, 1, 6, 11, 12);
+                quarter(&mut working, 2, 7, 8, 13);
+                quarter(&mut working, 3, 4, 9, 14);
+            }
+            for (out, (w, s)) in
+                self.buf.iter_mut().zip(working.iter().zip(self.state.iter()))
+            {
+                *out = w.wrapping_add(*s);
+            }
+            // Advance the 64-bit block counter.
+            let counter = (u64::from(self.state[13]) << 32 | u64::from(self.state[12]))
+                .wrapping_add(1);
+            self.state[12] = counter as u32;
+            self.state[13] = (counter >> 32) as u32;
+            self.next = 0;
+        }
+    }
+
+    fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::Rng;
+
+        #[test]
+        fn deterministic_for_seed() {
+            let mut a = StdRng::seed_from_u64(42);
+            let mut b = StdRng::seed_from_u64(42);
+            for _ in 0..100 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+
+        #[test]
+        fn ranges_stay_in_bounds() {
+            let mut rng = StdRng::seed_from_u64(7);
+            for _ in 0..1000 {
+                let v = rng.gen_range(10u64..20);
+                assert!((10..20).contains(&v));
+                let w = rng.gen_range(0..8u8);
+                assert!(w < 8);
+                let s = rng.gen_range(-5i64..=5);
+                assert!((-5..=5).contains(&s));
+            }
+        }
+    }
+}

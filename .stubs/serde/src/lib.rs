@@ -1,0 +1,365 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace's registry mirror is unreachable from this container, so
+//! `serde`/`serde_json` are replaced by small functional equivalents: a
+//! value model ([`Content`]) plus [`Serialize`]/[`Deserialize`] traits
+//! that convert to and from it. The derive macros (`.stubs/serde_derive`)
+//! target these traits, and `.stubs/serde_json` renders/parses `Content`
+//! as real JSON, so everything that round-trips through `serde_json` in
+//! the workspace behaves the same as with the real crates (modulo exotic
+//! serde features nothing here uses).
+//!
+//! Representation choices mirror real serde defaults for the shapes the
+//! workspace derives: structs → JSON objects in declaration order, unit
+//! enum variants → strings, struct variants → `{"Variant": {...}}`
+//! single-key objects, `Option` → value-or-null with missing-field
+//! tolerance, maps → objects, sequences/tuples → arrays.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+
+/// The in-memory data model every stub (de)serialization goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    U128(u128),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Insertion-ordered so struct fields render in declaration order,
+    /// exactly like real serde's streaming serializer.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Human-readable kind, for error messages.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::U128(_) | Content::I64(_) | Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+}
+
+/// Looks up a field in an insertion-ordered object.
+#[must_use]
+pub fn content_get<'a>(map: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Missing-field hook used by derived `Deserialize` impls; dispatches to
+/// [`Deserialize::from_missing`] so `Option` fields default to `None`.
+pub fn missing_field<T: Deserialize>(field: &str) -> Result<T, String> {
+    T::from_missing(field)
+}
+
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+pub trait Deserialize: Sized {
+    fn from_content(content: &Content) -> Result<Self, String>;
+
+    /// Called when a field is absent from the input object. Errors by
+    /// default; `Option` overrides it to produce `None`.
+    fn from_missing(field: &str) -> Result<Self, String> {
+        Err(format!("missing field `{field}`"))
+    }
+}
+
+/// Mirror of real serde's `serde::de` module, just deep enough that
+/// `serde::de::DeserializeOwned` bounds compile against the stub. The
+/// stub's [`Deserialize`] has no lifetime, so "owned" is the only mode.
+pub mod de {
+    pub use super::Deserialize as DeserializeOwned;
+}
+
+// ------------------------------------------------------------- primitives
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                let v = as_u64(c)?;
+                <$t>::try_from(v).map_err(|_| {
+                    format!("{v} out of range for {}", stringify!($t))
+                })
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_content(&self) -> Content {
+        Content::U64(*self as u64)
+    }
+}
+impl Deserialize for usize {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        let v = as_u64(c)?;
+        usize::try_from(v).map_err(|_| format!("{v} out of range for usize"))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                let v = as_i64(c)?;
+                <$t>::try_from(v).map_err(|_| {
+                    format!("{v} out of range for {}", stringify!($t))
+                })
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_content(&self) -> Content {
+        Content::I64(*self as i64)
+    }
+}
+impl Deserialize for isize {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        let v = as_i64(c)?;
+        isize::try_from(v).map_err(|_| format!("{v} out of range for isize"))
+    }
+}
+
+fn as_u64(c: &Content) -> Result<u64, String> {
+    match c {
+        Content::U64(v) => Ok(*v),
+        Content::U128(v) => u64::try_from(*v).map_err(|_| format!("{v} out of range for u64")),
+        Content::I64(v) if *v >= 0 => Ok(*v as u64),
+        _ => Err(format!("expected unsigned integer, found {}", c.type_name())),
+    }
+}
+
+impl Serialize for u128 {
+    fn to_content(&self) -> Content {
+        Content::U128(*self)
+    }
+}
+impl Deserialize for u128 {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::U128(v) => Ok(*v),
+            Content::U64(v) => Ok(u128::from(*v)),
+            Content::I64(v) if *v >= 0 => Ok(*v as u128),
+            _ => Err(format!("expected unsigned integer, found {}", c.type_name())),
+        }
+    }
+}
+
+fn as_i64(c: &Content) -> Result<i64, String> {
+    match c {
+        Content::I64(v) => Ok(*v),
+        Content::U64(v) => i64::try_from(*v).map_err(|_| format!("{v} out of range for i64")),
+        _ => Err(format!("expected integer, found {}", c.type_name())),
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            _ => Err(format!("expected number, found {}", c.type_name())),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(format!("expected bool, found {}", c.type_name())),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(format!("expected string, found {}", c.type_name())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+/// Real serde derives `Deserialize` for `&'static str` fields and defers
+/// the lifetime problem to the input; the stub leaks the parsed string,
+/// which is fine for the rare, small, test-only uses in this workspace.
+impl Deserialize for &'static str {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        String::from_content(c).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+
+    fn from_missing(_field: &str) -> Result<Self, String> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(format!("expected array, found {}", c.type_name())),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        let items = Vec::<T>::from_content(c)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| format!("expected array of length {N}, found {len}"))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.to_content())).collect())
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| V::from_content(v).map(|v| (k.clone(), v)))
+                .collect(),
+            _ => Err(format!("expected object, found {}", c.type_name())),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                let arity = [$($idx),+].len();
+                match c {
+                    Content::Seq(items) if items.len() == arity => {
+                        Ok(($($name::from_content(&items[$idx])?,)+))
+                    }
+                    Content::Seq(items) => Err(format!(
+                        "expected {arity}-tuple, found array of {}", items.len()
+                    )),
+                    _ => Err(format!("expected array, found {}", c.type_name())),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}

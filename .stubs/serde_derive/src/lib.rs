@@ -1,0 +1,508 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the *stub* `serde::Serialize` / `serde::Deserialize` traits
+//! (see `.stubs/serde`) for the shapes this workspace actually uses:
+//!
+//! * non-generic structs with named fields,
+//! * non-generic enums whose variants are unit or struct-like,
+//! * the serde attributes `skip_serializing_if = "path"`, `default`,
+//!   and the container-level `into = "T"` / `from = "T"`.
+//!
+//! No `syn`/`quote`: the input token stream is walked directly (only
+//! field/variant *names* and `#[serde(...)]` attributes matter — types
+//! are skipped), and the impl is emitted as a formatted string. Anything
+//! outside the supported grammar becomes a `compile_error!` so misuse is
+//! loud, not silent.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default, Clone)]
+struct SerdeAttrs {
+    skip_if: Option<String>,
+    default: bool,
+    into: Option<String>,
+    from: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    /// Single-field tuple variant, serialized as `{"Variant": value}`.
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    /// Tuple struct with this many fields; arity 1 (newtype) serializes
+    /// transparently as the inner value, like real serde.
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    attrs: SerdeAttrs,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(input) => gen_serialize(&input).parse().expect("generated Serialize parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(input) => gen_deserialize(&input).parse().expect("generated Deserialize parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().expect("compile_error parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let attrs = collect_attrs(&toks, &mut i)?;
+    skip_visibility(&toks, &mut i);
+    let kind = expect_ident(&toks, &mut i, "`struct` or `enum`")?;
+    let name = expect_ident(&toks, &mut i, "type name")?;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde stub derive: generic type `{name}` is unsupported"));
+    }
+    let shape = match (kind.as_str(), toks.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Struct(parse_fields(g.stream())?)
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Enum(parse_variants(g.stream())?)
+        }
+        _ => {
+            return Err(format!(
+                "serde stub derive: `{name}` must be a braced struct/enum or tuple struct"
+            ))
+        }
+    };
+    Ok(Input { name, attrs, shape })
+}
+
+/// Consumes leading `#[...]` attributes, folding `#[serde(...)]` contents
+/// into one `SerdeAttrs`.
+fn collect_attrs(toks: &[TokenTree], i: &mut usize) -> Result<SerdeAttrs, String> {
+    let mut out = SerdeAttrs::default();
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        let group = match toks.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            _ => return Err("serde stub derive: malformed attribute".to_string()),
+        };
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if is_serde {
+            match inner.get(1) {
+                Some(TokenTree::Group(args)) if args.delimiter() == Delimiter::Parenthesis => {
+                    parse_serde_args(args.stream(), &mut out)?;
+                }
+                _ => return Err("serde stub derive: expected #[serde(...)]".to_string()),
+            }
+        }
+        *i += 1;
+    }
+    Ok(out)
+}
+
+/// Parses `key = "value"` / bare-`key` pairs inside `#[serde(...)]`.
+fn parse_serde_args(stream: TokenStream, out: &mut SerdeAttrs) -> Result<(), String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        let key = expect_ident(&toks, &mut i, "serde attribute key")?;
+        let has_value = matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+        let value = if has_value {
+            i += 1;
+            match toks.get(i) {
+                Some(TokenTree::Literal(lit)) => {
+                    i += 1;
+                    Some(unquote(&lit.to_string())?)
+                }
+                _ => return Err(format!("serde stub derive: `{key} =` needs a string literal")),
+            }
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("skip_serializing_if", Some(path)) => out.skip_if = Some(path),
+            ("into", Some(path)) => out.into = Some(path),
+            ("from", Some(path)) => out.from = Some(path),
+            ("default", None) => out.default = true,
+            (other, _) => {
+                return Err(format!("serde stub derive: unsupported serde attribute `{other}`"))
+            }
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(())
+}
+
+fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let attrs = collect_attrs(&toks, &mut i)?;
+        skip_visibility(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i, "field name")?;
+        expect_punct(&toks, &mut i, ':')?;
+        // Skip the type: everything up to the next comma outside angle
+        // brackets. (No fn-pointer or const-generic types appear in the
+        // workspace's serde-derived shapes.)
+        let mut angle = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, attrs });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        let _attrs = collect_attrs(&toks, &mut i)?;
+        let name = expect_ident(&toks, &mut i, "variant name")?;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream())?;
+                i += 1;
+                VariantShape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if count_tuple_fields(g.stream()) != 1 {
+                    return Err(format!(
+                        "serde stub derive: multi-field tuple variant `{name}` is unsupported"
+                    ));
+                }
+                i += 1;
+                VariantShape::Newtype
+            }
+            _ => VariantShape::Unit,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+/// Counts the fields of a tuple struct: top-level commas delimit, a
+/// trailing comma doesn't add a field.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut fields = 0;
+    let mut pending = false;
+    let mut angle = 0i32;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                fields += 1;
+                pending = false;
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    fields + usize::from(pending)
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        // pub(crate) / pub(super) / ...
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize, what: &str) -> Result<String, String> {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("serde stub derive: expected {what}, found {other:?}")),
+    }
+}
+
+fn expect_punct(toks: &[TokenTree], i: &mut usize, ch: char) -> Result<(), String> {
+    match toks.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == ch => {
+            *i += 1;
+            Ok(())
+        }
+        other => Err(format!("serde stub derive: expected `{ch}`, found {other:?}")),
+    }
+}
+
+/// Strips the surrounding quotes from a string-literal token.
+fn unquote(lit: &str) -> Result<String, String> {
+    let inner = lit
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("serde stub derive: expected string literal, found {lit}"))?;
+    Ok(inner.to_string())
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    if let Some(into) = &input.attrs.into {
+        return format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+             let repr__: {into} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_content(&repr__)\n\
+             }}\n}}\n"
+        );
+    }
+    let body = match &input.shape {
+        Shape::Struct(fields) => {
+            let pushes = fields
+                .iter()
+                .map(|f| push_field(f, &format!("&self.{}", f.name)))
+                .collect::<String>();
+            format!(
+                "let mut fields__: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Content::Map(fields__)\n"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_content(&self.0)\n".to_string(),
+        Shape::Tuple(arity) => {
+            let items = (0..*arity)
+                .map(|idx| format!("::serde::Serialize::to_content(&self.{idx})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Content::Seq(::std::vec![{items}])\n")
+        }
+        Shape::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Content::Str(::std::string::String::from({vname:?})),\n"
+                        ),
+                        VariantShape::Newtype => format!(
+                            "{name}::{vname}(inner__) => \
+                             ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from({vname:?}), \
+                             ::serde::Serialize::to_content(inner__))]),\n"
+                        ),
+                        VariantShape::Struct(fields) => {
+                            let bindings = fields
+                                .iter()
+                                .map(|f| f.name.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let pushes = fields
+                                .iter()
+                                .map(|f| push_field(f, &f.name))
+                                .collect::<String>();
+                            format!(
+                                "{name}::{vname} {{ {bindings} }} => {{\n\
+                                 let mut fields__: ::std::vec::Vec<(::std::string::String, \
+                                 ::serde::Content)> = ::std::vec::Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::Content::Map(::std::vec![(\
+                                 ::std::string::String::from({vname:?}), \
+                                 ::serde::Content::Map(fields__))])\n\
+                                 }}\n"
+                            )
+                        }
+                    }
+                })
+                .collect::<String>();
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}}}\n}}\n"
+    )
+}
+
+/// One `fields__.push(...)` statement, honoring `skip_serializing_if`.
+fn push_field(f: &Field, expr: &str) -> String {
+    let fname = &f.name;
+    let push = format!(
+        "fields__.push((::std::string::String::from({fname:?}), \
+         ::serde::Serialize::to_content({expr})));\n"
+    );
+    match &f.attrs.skip_if {
+        Some(path) => format!("if !{path}({expr}) {{\n{push}}}\n"),
+        None => push,
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    if let Some(from) = &input.attrs.from {
+        return format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(c__: &::serde::Content) -> \
+             ::std::result::Result<Self, ::std::string::String> {{\n\
+             let repr__: {from} = ::serde::Deserialize::from_content(c__)?;\n\
+             ::std::result::Result::Ok(::core::convert::Into::into(repr__))\n\
+             }}\n}}\n"
+        );
+    }
+    let body = match &input.shape {
+        Shape::Struct(fields) => format!(
+            "let fields__ = match c__ {{\n\
+             ::serde::Content::Map(m__) => m__,\n\
+             _ => return ::std::result::Result::Err(::std::format!(\
+             \"{name}: expected object, found {{}}\", c__.type_name())),\n\
+             }};\n\
+             ::std::result::Result::Ok({name} {{\n{}}})\n",
+            fields.iter().map(|f| field_init(f)).collect::<String>()
+        ),
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c__)?))\n")
+        }
+        Shape::Tuple(arity) => {
+            let items = (0..*arity)
+                .map(|idx| format!("::serde::Deserialize::from_content(&items__[{idx}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let items__ = match c__ {{\n\
+                 ::serde::Content::Seq(s__) if s__.len() == {arity} => s__,\n\
+                 _ => return ::std::result::Result::Err(::std::format!(\
+                 \"{name}: expected {arity}-element array, found {{}}\", c__.type_name())),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name}({items}))\n"
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n")
+                })
+                .collect::<String>();
+            let map_arms = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ),
+                        VariantShape::Newtype => format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_content(v__)?)),\n"
+                        ),
+                        VariantShape::Struct(fields) => format!(
+                            "{vname:?} => {{\n\
+                             let fields__ = match v__ {{\n\
+                             ::serde::Content::Map(m__) => m__,\n\
+                             _ => return ::std::result::Result::Err(::std::format!(\
+                             \"{name}::{vname}: expected object, found {{}}\", \
+                             v__.type_name())),\n\
+                             }};\n\
+                             ::std::result::Result::Ok({name}::{vname} {{\n{}}})\n\
+                             }}\n",
+                            fields.iter().map(|f| field_init(f)).collect::<String>()
+                        ),
+                    }
+                })
+                .collect::<String>();
+            format!(
+                "match c__ {{\n\
+                 ::serde::Content::Str(s__) => match s__.as_str() {{\n\
+                 {unit_arms}\
+                 other__ => ::std::result::Result::Err(::std::format!(\
+                 \"{name}: unknown variant `{{}}`\", other__)),\n\
+                 }},\n\
+                 ::serde::Content::Map(m__) if m__.len() == 1 => {{\n\
+                 let (k__, v__) = &m__[0];\n\
+                 let _ = v__;\n\
+                 match k__.as_str() {{\n\
+                 {map_arms}\
+                 other__ => ::std::result::Result::Err(::std::format!(\
+                 \"{name}: unknown variant `{{}}`\", other__)),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::std::format!(\
+                 \"{name}: expected variant string or single-key object, found {{}}\", \
+                 c__.type_name())),\n\
+                 }}\n"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(c__: &::serde::Content) -> \
+         ::std::result::Result<Self, ::std::string::String> {{\n{body}}}\n}}\n"
+    )
+}
+
+/// One `field: <value>,` initializer inside a struct literal, honoring
+/// `default` and the trait-level missing-field hook (`Option` → `None`).
+fn field_init(f: &Field) -> String {
+    let fname = &f.name;
+    let missing = if f.attrs.default {
+        "::core::default::Default::default()".to_string()
+    } else {
+        format!("::serde::missing_field({fname:?})?")
+    };
+    format!(
+        "{fname}: match ::serde::content_get(fields__, {fname:?}) {{\n\
+         ::std::option::Option::Some(v__) => ::serde::Deserialize::from_content(v__)?,\n\
+         ::std::option::Option::None => {missing},\n\
+         }},\n"
+    )
+}

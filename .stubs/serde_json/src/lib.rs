@@ -1,0 +1,427 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders and parses real JSON text over the stub `serde` value model
+//! ([`serde::Content`]). Output formatting matches real `serde_json`
+//! closely enough for the workspace's byte-identity tests: compact
+//! `{"k":v}` with no spaces, pretty with two-space indents, floats
+//! printed with a decimal point (`1.0`, not `1`), map/struct fields in
+//! declaration order.
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({:?})", self.msg)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+fn err<T>(msg: impl Into<String>) -> Result<T> {
+    Err(Error { msg: msg.into() })
+}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+/// Infallible for the stub's value model; the `Result` mirrors the real
+/// API.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_compact(&value.to_content(), &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as two-space-indented JSON.
+///
+/// # Errors
+/// Infallible for the stub's value model; the `Result` mirrors the real
+/// API.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_pretty(&value.to_content(), &mut out, 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any stub-deserializable type.
+///
+/// # Errors
+/// Returns a descriptive error on malformed JSON or shape mismatches.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let content = parse(text)?;
+    T::from_content(&content).map_err(|msg| Error { msg })
+}
+
+// ---------------------------------------------------------------- writing
+
+fn write_compact(c: &Content, out: &mut String) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::U128(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(*v, out),
+        Content::Str(s) => write_escaped(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(c: &Content, out: &mut String, depth: usize) {
+    match c {
+        Content::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(out, depth + 1);
+                write_pretty(item, out, depth + 1);
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push(']');
+        }
+        Content::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(out, depth + 1);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(v, out, depth + 1);
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Floats always carry a decimal point or exponent, as with real
+/// serde_json; non-finite values render as `null` (real serde_json
+/// rejects them — nothing in the workspace serializes them).
+fn write_f64(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e16 {
+        out.push_str(&format!("{v:.1}"));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(text: &str) -> Result<Content> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return err(format!("trailing characters at offset {}", p.pos));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!(
+                "expected `{}` at offset {}",
+                char::from(byte),
+                self.pos
+            ))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Content> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Content::Str),
+            Some(b't') if self.eat_literal("true") => Ok(Content::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Content::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Content::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => err(format!("unexpected input at offset {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Content> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return err(format!("expected `,` or `}}` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Content> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return err(format!("expected `,` or `]` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let Some(&byte) = rest.first() else {
+                return err("unterminated string");
+            };
+            match byte {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !self.eat_literal("\\u") {
+                                    return err("unpaired surrogate");
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return err("invalid low surrogate");
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return err("invalid unicode escape"),
+                            }
+                        }
+                        other => {
+                            return err(format!("invalid escape `\\{}`", char::from(other)))
+                        }
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // bytes are valid UTF-8).
+                    let text = std::str::from_utf8(rest).map_err(|_| Error {
+                        msg: "invalid utf-8".to_string(),
+                    })?;
+                    let ch = text.chars().next().expect("non-empty");
+                    if (ch as u32) < 0x20 {
+                        return err("unescaped control character in string");
+                    }
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        let Some(hex) = self.bytes.get(self.pos..end) else {
+            return err("truncated unicode escape");
+        };
+        let hex = std::str::from_utf8(hex).map_err(|_| Error {
+            msg: "invalid unicode escape".to_string(),
+        })?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| Error {
+            msg: format!("invalid unicode escape `\\u{hex}`"),
+        })?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Content> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut float = false;
+        if self.peek() == Some(b'.') {
+            float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| Error {
+            msg: "invalid number".to_string(),
+        })?;
+        if float {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|_| Error { msg: format!("invalid number `{text}`") })
+        } else if let Some(body) = text.strip_prefix('-') {
+            // Reject bare `-`.
+            if body.is_empty() {
+                return err("invalid number `-`");
+            }
+            text.parse::<i64>()
+                .map(Content::I64)
+                .or_else(|_| text.parse::<f64>().map(Content::F64))
+                .map_err(|_| Error { msg: format!("invalid number `{text}`") })
+        } else if text.is_empty() {
+            err("invalid number")
+        } else {
+            text.parse::<u64>()
+                .map(Content::U64)
+                .or_else(|_| text.parse::<u128>().map(Content::U128))
+                .or_else(|_| text.parse::<f64>().map(Content::F64))
+                .map_err(|_| Error { msg: format!("invalid number `{text}`") })
+        }
+    }
+}

@@ -12,6 +12,8 @@
 //! --metrics-addr A  serve live Prometheus text on A (e.g. 127.0.0.1:9464)
 //! --dashboard       render the live TTY telemetry panel on stderr
 //! --obs-out FILE    write the end-of-run obs summary JSON to FILE
+//! --fleet ADDR      submit sweeps to the fleet coordinator at ADDR instead
+//!                   of the local pool (output stays byte-identical)
 //! ```
 //!
 //! The three `--metrics-addr`/`--dashboard`/`--obs-out` flags together
@@ -31,11 +33,13 @@
 //! `--out` for its snapshot path) without forking the parser.
 
 use horus_core::{DrainScheme, SystemConfig};
-use horus_harness::{Harness, HarnessOptions, JobSpec, ProgressMode};
+use horus_fleet::FleetBackend;
+use horus_harness::{Harness, HarnessOptions, JobSpec, ProgressMode, SweepBackend};
 use horus_obs::{ObsOptions, ObsSession};
 use horus_sim::chrome_trace_json;
 use horus_workload::FillPattern;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// The harness-related flags common to all `repro-*` binaries.
 #[derive(Debug, Clone, Default)]
@@ -58,11 +62,14 @@ pub struct HarnessArgs {
     pub dashboard: bool,
     /// `--obs-out FILE`.
     pub obs_out: Option<PathBuf>,
+    /// `--fleet ADDR`.
+    pub fleet: Option<String>,
 }
 
 /// The usage string fragment for the shared flags.
 pub const HARNESS_USAGE: &str = "[--jobs N] [--cache-dir DIR] [--no-cache] [--progress] \
-     [--quick] [--trace-out FILE] [--metrics-addr ADDR] [--dashboard] [--obs-out FILE]";
+     [--quick] [--trace-out FILE] [--metrics-addr ADDR] [--dashboard] [--obs-out FILE] \
+     [--fleet ADDR]";
 
 impl HarnessArgs {
     /// Parses the process arguments; unknown flags are an error.
@@ -120,6 +127,10 @@ impl HarnessArgs {
                     let v = it.next().ok_or("--obs-out requires a value")?;
                     args.obs_out = Some(PathBuf::from(v));
                 }
+                "--fleet" => {
+                    let v = it.next().ok_or("--fleet requires a value")?;
+                    args.fleet = Some(v);
+                }
                 other => return Err(format!("unknown flag '{other}' ({HARNESS_USAGE})")),
             }
         }
@@ -160,6 +171,10 @@ impl HarnessArgs {
             no_cache: self.no_cache,
             progress,
             metrics: obs.session.as_ref().map(ObsSession::registry),
+            backend: self
+                .fleet
+                .as_ref()
+                .map(|addr| Arc::new(FleetBackend::new(addr.clone())) as Arc<dyn SweepBackend>),
         })
     }
 
@@ -468,6 +483,18 @@ mod tests {
         let h = a.harness();
         assert!(h.cache().is_some());
         assert!(h.jobs() >= 1);
+    }
+
+    #[test]
+    fn fleet_flag_parses_and_attaches_the_backend() {
+        let a = parse(&["--fleet", "127.0.0.1:9470"]).expect("valid");
+        assert_eq!(a.fleet.as_deref(), Some("127.0.0.1:9470"));
+        assert!(parse(&["--fleet"]).is_err());
+        // The backend is attached but untouched until a sweep runs, so
+        // building the harness needs no live coordinator.
+        let h = a.harness();
+        assert!(format!("{h:?}").contains("fleet coordinator at 127.0.0.1:9470"));
+        assert!(parse(&[]).expect("valid").fleet.is_none());
     }
 
     #[test]

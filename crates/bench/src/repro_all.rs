@@ -490,6 +490,62 @@ exposition text, and uploads `obs-summary.json` as an artifact; the
 `BENCH_smoke.json` informationally (pass `--gate-host-profile` to
 fail on >50% regressions).
 
+## Distributing a sweep — coordinator plus two local workers
+
+`--jobs N` scales a sweep to one machine's cores; `--fleet ADDR`
+scales it to as many machines as will connect, with the merged output
+still byte-identical to the local run (see ARCHITECTURE.md, "Fleet").
+Terminal 1, the coordinator — it owns the job queue, the plan journal,
+and the authoritative result cache:
+
+```
+cargo run --release --bin horus-cli -- fleet-coordinator \
+    --addr 127.0.0.1:9470 --cache-dir fleet-cache
+# fleet: coordinator listening on 127.0.0.1:9470 (lease 30.0s)
+```
+
+Terminals 2 and 3, one worker each. A worker registers, leases job
+batches up to its pool width, executes them on the same panic-isolated
+harness pool a local sweep uses, and pushes each outcome (plus its
+host profile) back:
+
+```
+cargo run --release --bin horus-cli -- fleet-worker \
+    --connect 127.0.0.1:9470 --jobs 2 --name worker-a
+```
+
+Terminal 4, the submitter — any harness caller with `--fleet`:
+
+```
+cargo run --release --bin horus-cli -- sweep --llc 8,16,32 --json \
+    --fleet 127.0.0.1:9470
+```
+
+The submitter blocks until the coordinator has merged the whole plan,
+then renders exactly what the local command would have: `diff` the
+output of `sweep --llc 8,16,32 --json --jobs 2` against the fleet run
+and you get zero bytes of difference (the CI `fleet-smoke` job does
+precisely this on every push). Re-submit the same sweep and the
+coordinator answers from its cache at submit time — `0 executed, 15
+cache hits` — without any worker seeing a job. The same `--fleet`
+flag works on every `repro-*` binary, so `repro-all --fleet ADDR`
+distributes the paper's full figure set.
+
+Fault tolerance is the point of the lease machinery: kill a worker
+mid-sweep (Ctrl-C it) and its leased jobs requeue after the lease
+expires (default 30 s, tune with `--lease-secs`), the surviving
+worker finishes them, and the merged output is still byte-identical.
+A live worker never trips this: it heartbeats lease renewals from a
+side connection while its pool is busy, so jobs longer than the lease
+are safe and `--lease-secs` only bounds how fast a *dead* worker's
+jobs come back — `crates/fleet/tests/fleet_e2e.rs` enforces exactly
+this scenario, plus coordinator restart via the plan journal
+(`fleet-coordinator --resume`). With `--metrics-addr` on the
+coordinator, the `horus_fleet_workers`,
+`horus_fleet_leases_in_flight`, and `horus_fleet_requeues_total`
+families make the whole lifecycle visible on the dashboard or a
+Prometheus scrape.
+
 ## Benchmarking the simulator itself — criterion walkthrough
 
 The experiments above measure the *simulated machine*; this section is

@@ -1,0 +1,101 @@
+//! The submitting side: a [`SweepBackend`] that ships plans to a fleet
+//! coordinator.
+//!
+//! `Harness::run` with a [`FleetBackend`] attached behaves exactly like
+//! a local run — same outcomes, same order, same report — except the
+//! simulations happen wherever the fleet's workers are. Each `run_specs`
+//! call opens a fresh connection, submits the plan, and blocks in
+//! `WaitPlan` until the coordinator has merged every outcome.
+
+use crate::proto::{Connection, Request, Response};
+use horus_harness::{JobOutcome, JobSpec, SweepBackend};
+
+/// A handle on a remote fleet coordinator.
+#[derive(Debug, Clone)]
+pub struct FleetBackend {
+    addr: String,
+}
+
+impl FleetBackend {
+    /// A backend submitting to the coordinator at `addr` (`host:port`).
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        FleetBackend { addr: addr.into() }
+    }
+
+    /// The coordinator address.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Asks the coordinator for its queue counts — a cheap liveness
+    /// probe: `(workers, pending, leased, done, plans_done)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the coordinator is unreachable or answers
+    /// out of protocol.
+    pub fn status(&self) -> Result<(usize, usize, usize, usize, usize), String> {
+        let mut conn = Connection::connect(&self.addr)?;
+        conn.send(&Request::Status)?;
+        match conn.recv::<Response>()? {
+            Some(Response::Status {
+                workers,
+                pending,
+                leased,
+                done,
+                plans_done,
+            }) => Ok((workers, pending, leased, done, plans_done)),
+            Some(other) => Err(format!("expected Status, got {other:?}")),
+            None => Err("coordinator closed the connection".to_owned()),
+        }
+    }
+}
+
+impl SweepBackend for FleetBackend {
+    fn run_specs(&self, specs: &[JobSpec]) -> Result<Vec<JobOutcome>, String> {
+        if specs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut conn = Connection::connect(&self.addr)?;
+        conn.send(&Request::Submit {
+            specs: specs.to_vec(),
+        })?;
+        let plan = match conn.recv::<Response>()? {
+            Some(Response::Submitted { plan, jobs, .. }) => {
+                if jobs != specs.len() {
+                    return Err(format!(
+                        "coordinator enqueued {jobs} jobs for {} specs",
+                        specs.len()
+                    ));
+                }
+                plan
+            }
+            Some(Response::Error { message }) => return Err(message),
+            Some(other) => return Err(format!("expected Submitted, got {other:?}")),
+            None => return Err("coordinator closed the connection during submit".to_owned()),
+        };
+        conn.send(&Request::WaitPlan { plan })?;
+        match conn.recv::<Response>()? {
+            Some(Response::PlanDone {
+                plan: done,
+                outcomes,
+            }) => {
+                if done != plan {
+                    return Err(format!(
+                        "waited on plan {plan}, coordinator answered {done}"
+                    ));
+                }
+                Ok(outcomes)
+            }
+            Some(Response::Error { message }) => Err(message),
+            Some(other) => Err(format!("expected PlanDone, got {other:?}")),
+            None => Err("coordinator closed the connection while the plan was running".to_owned()),
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("fleet coordinator at {}", self.addr)
+    }
+}

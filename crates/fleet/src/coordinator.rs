@@ -1,0 +1,576 @@
+//! The fleet coordinator: a blocking TCP server around the
+//! [`JobQueue`].
+//!
+//! The shape mirrors `horus-obs`'s scrape endpoint: one accept loop on
+//! a background thread, one handler thread per connection, cooperative
+//! shutdown via a flag plus a loopback poke. Handler threads speak the
+//! line-delimited request/response protocol from [`crate::proto`];
+//! everything they touch lives behind one `Mutex<FleetState>` with a
+//! condvar for plan-completion wakeups, so the server logic is plain
+//! sequential code.
+//!
+//! A reaper thread ticks at a quarter of the lease duration and
+//! requeues expired leases — the only machinery worker death needs:
+//! dispatch is at-least-once per job id, commit is exactly-once per
+//! content key (see [`crate::queue`]), and the merge is plan-ordered,
+//! so a killed worker loses nothing and duplicates nothing.
+//!
+//! Submitted plans are journaled to `<cache_dir>/plans/` (one JSON file
+//! of specs per open plan, removed on completion) so a restarted
+//! coordinator can re-enqueue interrupted work with
+//! [`CoordinatorOptions::resume`]; completed results re-enter through
+//! the result cache as instant hits.
+
+use crate::proto::{Connection, LeasedJob, Request, Response, PROTOCOL_VERSION};
+use crate::queue::JobQueue;
+use horus_harness::{JobSpec, ResultCache};
+use horus_obs::profile::JobProfile;
+use horus_obs::{names, Registry};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a coordinator should run.
+#[derive(Clone)]
+pub struct CoordinatorOptions {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Result-cache directory; `None` uses the harness default.
+    pub cache_dir: Option<PathBuf>,
+    /// Disables the authoritative result cache (and the plan journal).
+    pub no_cache: bool,
+    /// Lease duration: a worker silent for this long forfeits its jobs.
+    pub lease: Duration,
+    /// Metrics registry for the fleet families; `None` records nothing.
+    pub metrics: Option<Arc<Registry>>,
+    /// Re-enqueue journaled plans left over from a previous run.
+    pub resume: bool,
+}
+
+impl Default for CoordinatorOptions {
+    fn default() -> Self {
+        CoordinatorOptions {
+            addr: "127.0.0.1:0".to_owned(),
+            cache_dir: None,
+            no_cache: false,
+            lease: Duration::from_secs(30),
+            metrics: None,
+            resume: false,
+        }
+    }
+}
+
+/// Pre-registered handles for the fleet metric families (inert when the
+/// coordinator has no registry).
+struct FleetMetrics {
+    registry: Arc<Registry>,
+}
+
+impl FleetMetrics {
+    /// Registers every unlabelled fleet family at its zero value, so
+    /// scrapes and run summaries always carry them even when nothing —
+    /// e.g. a lease expiry — ever happened.
+    fn new(registry: Arc<Registry>) -> Self {
+        let m = FleetMetrics { registry };
+        m.workers(0);
+        m.leases(0);
+        m.requeues(0);
+        m.plans(0);
+        m
+    }
+
+    fn workers(&self, delta: i64) {
+        self.registry
+            .gauge(
+                names::FLEET_WORKERS,
+                "Workers currently registered with the fleet coordinator.",
+                &[],
+            )
+            .add(delta);
+    }
+
+    fn leases(&self, delta: i64) {
+        self.registry
+            .gauge(
+                names::FLEET_LEASES_IN_FLIGHT,
+                "Job leases currently held by fleet workers.",
+                &[],
+            )
+            .add(delta);
+    }
+
+    fn requeues(&self, n: u64) {
+        self.registry
+            .counter(
+                names::FLEET_REQUEUES,
+                "Expired leases returned to the fleet queue.",
+                &[],
+            )
+            .add(n);
+    }
+
+    fn worker_job(&self, worker: u64) {
+        self.registry
+            .counter(
+                names::FLEET_WORKER_JOBS,
+                "Jobs committed per fleet worker.",
+                &[("worker", &worker.to_string())],
+            )
+            .inc();
+    }
+
+    fn plan_done(&self) {
+        self.plans(1);
+    }
+
+    fn plans(&self, n: u64) {
+        self.registry
+            .counter(
+                names::FLEET_PLANS,
+                "Sweep plans fully merged by the fleet coordinator.",
+                &[],
+            )
+            .add(n);
+    }
+}
+
+struct FleetState {
+    queue: JobQueue,
+    cache: Option<ResultCache>,
+    journal_dir: Option<PathBuf>,
+    workers: usize,
+    next_worker: u64,
+    draining: bool,
+    profiles: Vec<JobProfile>,
+}
+
+struct Shared {
+    state: Mutex<FleetState>,
+    /// Signalled on every commit (plan completion) and on drain.
+    planwake: Condvar,
+    metrics: Option<FleetMetrics>,
+    lease: Duration,
+    shutdown: AtomicBool,
+}
+
+/// A running coordinator; dropping it stops the listener and reaper.
+pub struct Coordinator {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    reaper: Option<JoinHandle<()>>,
+}
+
+impl Coordinator {
+    /// Binds the address and starts the accept loop and lease reaper.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the address cannot be bound.
+    pub fn start(options: &CoordinatorOptions) -> std::io::Result<Coordinator> {
+        let listener = TcpListener::bind(&options.addr)?;
+        let addr = listener.local_addr()?;
+        let cache = if options.no_cache {
+            None
+        } else {
+            Some(match &options.cache_dir {
+                Some(dir) => ResultCache::new(dir.clone()),
+                None => ResultCache::default_location(),
+            })
+        };
+        let journal_dir = cache.as_ref().map(|c| c.dir().join("plans"));
+        let mut state = FleetState {
+            queue: JobQueue::new(),
+            cache,
+            journal_dir,
+            workers: 0,
+            next_worker: 0,
+            draining: false,
+            profiles: Vec::new(),
+        };
+        if options.resume {
+            resume_journal(&mut state);
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(state),
+            planwake: Condvar::new(),
+            metrics: options
+                .metrics
+                .as_ref()
+                .map(|r| FleetMetrics::new(Arc::clone(r))),
+            lease: options.lease,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("horus-fleet-accept".to_owned())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let conn_shared = Arc::clone(&accept_shared);
+                    // Handler threads are detached; they exit on peer
+                    // disconnect, protocol error, or read timeout.
+                    let _ = std::thread::Builder::new()
+                        .name("horus-fleet-conn".to_owned())
+                        .spawn(move || handle_connection(stream, &conn_shared));
+                }
+            })?;
+
+        let reaper_shared = Arc::clone(&shared);
+        let tick = (options.lease / 4).max(Duration::from_millis(25));
+        let reaper = std::thread::Builder::new()
+            .name("horus-fleet-reaper".to_owned())
+            .spawn(move || {
+                while !reaper_shared.shutdown.load(Ordering::SeqCst) {
+                    std::thread::sleep(tick);
+                    let expired = {
+                        let mut st = reaper_shared.state.lock().expect("fleet state poisoned");
+                        st.queue.expire(Instant::now())
+                    };
+                    if expired > 0 {
+                        if let Some(m) = &reaper_shared.metrics {
+                            m.leases(-(expired as i64));
+                            m.requeues(expired as u64);
+                        }
+                    }
+                }
+            })?;
+
+        Ok(Coordinator {
+            addr,
+            shared,
+            accept: Some(accept),
+            reaper: Some(reaper),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until at least `n` plans have fully committed.
+    pub fn wait_for_plans(&self, n: usize) {
+        let mut st = self.shared.state.lock().expect("fleet state poisoned");
+        while st.queue.plans_done() < n {
+            st = self
+                .shared
+                .planwake
+                .wait_timeout(st, Duration::from_millis(200))
+                .expect("fleet state poisoned")
+                .0;
+        }
+    }
+
+    /// Starts draining: lease requests with no work now answer
+    /// `Drained` so idle workers exit cleanly. Open plans still finish.
+    pub fn begin_drain(&self) {
+        let mut st = self.shared.state.lock().expect("fleet state poisoned");
+        st.draining = true;
+        drop(st);
+        self.shared.planwake.notify_all();
+    }
+
+    /// Lifetime count of expired-lease requeues.
+    #[must_use]
+    pub fn requeues(&self) -> u64 {
+        self.shared
+            .state
+            .lock()
+            .expect("fleet state poisoned")
+            .queue
+            .requeues
+    }
+
+    /// Drains the per-job host profiles workers have pushed so far (in
+    /// commit order) — the coordinator-side analogue of
+    /// `Harness::take_job_profiles`, feeding the obs summary artifact.
+    #[must_use]
+    pub fn take_job_profiles(&self) -> Vec<JobProfile> {
+        std::mem::take(
+            &mut self
+                .shared
+                .state
+                .lock()
+                .expect("fleet state poisoned")
+                .profiles,
+        )
+    }
+
+    /// Stops the listener and reaper and waits for them to exit.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+            self.shared.planwake.notify_all();
+            // Wake the blocking accept; an error just means the
+            // listener already went away.
+            let _ = TcpStream::connect(self.addr);
+            let _ = accept.join();
+        }
+        if let Some(reaper) = self.reaper.take() {
+            let _ = reaper.join();
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One connection's request/response loop. Returns (closing the
+/// connection) on EOF, I/O error, read timeout, or an unreadable frame.
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(mut conn) = Connection::from_stream(stream) else {
+        return;
+    };
+    // A silent peer should not pin this thread forever. Workers poll
+    // leases well inside this window; submitters waiting on a plan use
+    // WaitPlan, which answers from the condvar loop below (the timeout
+    // applies between requests, not while a response is being built).
+    let _ = conn.set_read_timeout(shared.lease.max(Duration::from_secs(5)) * 4);
+    let mut registered_worker = false;
+    loop {
+        let request = match conn.recv::<Request>() {
+            Ok(Some(r)) => r,
+            Ok(None) => break,
+            Err(message) => {
+                // Tell the peer what was wrong with the frame, then
+                // drop the connection: framing is unrecoverable.
+                let _ = conn.send(&Response::Error { message });
+                break;
+            }
+        };
+        let response = match request {
+            Request::Hello { name, jobs } => {
+                let mut st = shared.state.lock().expect("fleet state poisoned");
+                let worker = st.next_worker;
+                st.next_worker += 1;
+                st.workers += 1;
+                registered_worker = true;
+                drop(st);
+                if let Some(m) = &shared.metrics {
+                    m.workers(1);
+                }
+                eprintln!("fleet: worker {worker} ({name}, {jobs} jobs) registered");
+                Response::Welcome {
+                    worker,
+                    lease_ms: u64::try_from(shared.lease.as_millis()).unwrap_or(u64::MAX),
+                    protocol: PROTOCOL_VERSION,
+                }
+            }
+            Request::Renew { worker } => {
+                let mut st = shared.state.lock().expect("fleet state poisoned");
+                st.queue.renew(worker, Instant::now(), shared.lease);
+                drop(st);
+                Response::Ack
+            }
+            Request::Lease { worker, max } => {
+                let mut st = shared.state.lock().expect("fleet state poisoned");
+                let leased = st
+                    .queue
+                    .lease(worker, max.max(1), Instant::now(), shared.lease);
+                // Only send a worker home when nothing is pending *or*
+                // leased: a job backing off after a requeue, or held by
+                // a worker that may yet die, still needs hands around.
+                let drained = leased.is_empty() && st.draining && st.queue.is_idle();
+                drop(st);
+                if leased.is_empty() {
+                    if drained || shared.shutdown.load(Ordering::SeqCst) {
+                        Response::Drained
+                    } else {
+                        Response::Retry { after_ms: 100 }
+                    }
+                } else {
+                    if let Some(m) = &shared.metrics {
+                        m.leases(leased.len() as i64);
+                    }
+                    Response::Jobs {
+                        leases: leased
+                            .into_iter()
+                            .map(|(job, spec)| LeasedJob { job, spec })
+                            .collect(),
+                    }
+                }
+            }
+            Request::Push {
+                worker,
+                job,
+                outcome,
+                profile,
+            } => {
+                let mut st = shared.state.lock().expect("fleet state poisoned");
+                let cache = st.cache.clone();
+                let completed = st.queue.commit(job, outcome, cache.as_ref());
+                if let Some(p) = profile {
+                    st.profiles.push(JobProfile::from(p));
+                }
+                for plan in &completed {
+                    retire_journal(&st, *plan);
+                }
+                drop(st);
+                if let Some(m) = &shared.metrics {
+                    m.leases(-1);
+                    m.worker_job(worker);
+                    for _ in &completed {
+                        m.plan_done();
+                    }
+                }
+                if !completed.is_empty() {
+                    shared.planwake.notify_all();
+                }
+                Response::Ack
+            }
+            Request::Submit { specs } => {
+                let mut st = shared.state.lock().expect("fleet state poisoned");
+                let cache = st.cache.clone();
+                let sub = st.queue.submit(specs.clone(), cache.as_ref());
+                if st.queue.plan_outcomes(sub.plan).is_some() {
+                    // Fully satisfied from the cache.
+                    if let Some(m) = &shared.metrics {
+                        m.plan_done();
+                    }
+                } else {
+                    write_journal(&st, sub.plan, &specs);
+                }
+                drop(st);
+                shared.planwake.notify_all();
+                eprintln!(
+                    "fleet: plan {} submitted ({} jobs, {} cache hits)",
+                    sub.plan, sub.jobs, sub.cached
+                );
+                Response::Submitted {
+                    plan: sub.plan,
+                    jobs: sub.jobs,
+                    cached: sub.cached,
+                }
+            }
+            Request::WaitPlan { plan } => {
+                let mut st = shared.state.lock().expect("fleet state poisoned");
+                let outcomes = loop {
+                    if let Some(outcomes) = st.queue.plan_outcomes(plan) {
+                        break Some(outcomes);
+                    }
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                    st = shared
+                        .planwake
+                        .wait_timeout(st, Duration::from_millis(200))
+                        .expect("fleet state poisoned")
+                        .0;
+                };
+                drop(st);
+                match outcomes {
+                    Some(outcomes) => Response::PlanDone { plan, outcomes },
+                    None => Response::Error {
+                        message: format!("coordinator shut down before plan {plan} completed"),
+                    },
+                }
+            }
+            Request::Status => {
+                let st = shared.state.lock().expect("fleet state poisoned");
+                let (pending, leased, done) = st.queue.counts();
+                Response::Status {
+                    workers: st.workers,
+                    pending,
+                    leased,
+                    done,
+                    plans_done: st.queue.plans_done(),
+                }
+            }
+        };
+        if conn.send(&response).is_err() {
+            break;
+        }
+    }
+    if registered_worker {
+        let mut st = shared.state.lock().expect("fleet state poisoned");
+        st.workers = st.workers.saturating_sub(1);
+        drop(st);
+        if let Some(m) = &shared.metrics {
+            m.workers(-1);
+        }
+    }
+}
+
+/// Journals an open plan's specs so a restarted coordinator can
+/// re-enqueue them. Best-effort: a failed write costs resumability,
+/// never correctness.
+fn write_journal(st: &FleetState, plan: u64, specs: &[JobSpec]) {
+    let Some(dir) = &st.journal_dir else { return };
+    let write = std::fs::create_dir_all(dir).and_then(|()| {
+        let json = serde_json::to_string(specs)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        std::fs::write(dir.join(format!("plan-{plan}.json")), json)
+    });
+    if let Err(e) = write {
+        eprintln!("fleet: journal write for plan {plan} failed: {e}");
+    }
+}
+
+/// Removes a completed plan's journal entry.
+fn retire_journal(st: &FleetState, plan: u64) {
+    if let Some(dir) = &st.journal_dir {
+        let _ = std::fs::remove_file(dir.join(format!("plan-{plan}.json")));
+    }
+}
+
+/// Re-enqueues every journaled plan (previous coordinator died with
+/// work open). Finished jobs re-enter as cache hits; only the genuinely
+/// interrupted tail re-executes.
+fn resume_journal(st: &mut FleetState) {
+    let Some(dir) = st.journal_dir.clone() else {
+        return;
+    };
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return;
+    };
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("plan-") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    for path in files {
+        let specs: Vec<JobSpec> = match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()))
+        {
+            Ok(specs) => specs,
+            Err(e) => {
+                eprintln!("fleet: unreadable journal {}: {e}", path.display());
+                continue;
+            }
+        };
+        let cache = st.cache.clone();
+        let sub = st.queue.submit(specs.clone(), cache.as_ref());
+        eprintln!(
+            "fleet: resumed plan {} from {} ({} jobs, {} already cached)",
+            sub.plan,
+            path.display(),
+            sub.jobs,
+            sub.cached
+        );
+        let _ = std::fs::remove_file(&path);
+        if st.queue.plan_outcomes(sub.plan).is_none() {
+            write_journal(st, sub.plan, &specs);
+        }
+    }
+}

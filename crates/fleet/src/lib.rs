@@ -1,0 +1,47 @@
+//! Distributed coordinator/worker experiment fleet with deterministic
+//! merge.
+//!
+//! One machine cannot always hold a full Horus evaluation sweep, and a
+//! sweep spread across machines is worthless if the distribution can
+//! change the answer. This crate scales the `horus-harness` contract —
+//! *a sweep report is a pure function of the submitted job list* —
+//! across a TCP fleet:
+//!
+//! ```text
+//!   harness ──Submit/WaitPlan──▶ coordinator ◀──Hello/Lease/Push── workers
+//!   (FleetBackend)              (JobQueue +                       (local
+//!                                ResultCache)                      Harness)
+//! ```
+//!
+//! * The [`coordinator`](crate::coordinator::Coordinator) owns a
+//!   durable [`queue::JobQueue`] and the authoritative result cache.
+//!   Dispatch is **at-least-once** per job slot (lease timeouts requeue
+//!   work from dead workers with bounded backoff); commit is
+//!   **exactly-once** per [`JobSpec::key`](horus_harness::JobSpec)
+//!   content key; the merge is **plan-ordered** — so fleet output is
+//!   byte-identical to a local `Harness::run` of the same specs.
+//! * [`worker::run_worker`] leases batches and executes them on the
+//!   ordinary local harness pool, pushing outcomes and per-job host
+//!   profiles back.
+//! * [`client::FleetBackend`] plugs into
+//!   [`HarnessOptions::backend`](horus_harness::HarnessOptions), so any
+//!   harness caller — `horus-cli sweep`, `repro-all`, tests — becomes a
+//!   fleet submitter with one flag.
+//!
+//! Everything is `std`-only: line-delimited JSON over `TcpStream`,
+//! `Mutex` + `Condvar` coordination, `std::thread` concurrency — the
+//! same dependency budget as the rest of the workspace.
+
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod coordinator;
+pub mod proto;
+pub mod queue;
+pub mod worker;
+
+pub use client::FleetBackend;
+pub use coordinator::{Coordinator, CoordinatorOptions};
+pub use proto::{Request, Response, PROTOCOL_VERSION};
+pub use queue::JobQueue;
+pub use worker::{run_worker, WorkerOptions, WorkerSummary};

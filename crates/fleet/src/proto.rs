@@ -1,0 +1,458 @@
+//! The fleet wire protocol: line-delimited JSON over TCP.
+//!
+//! Every message is one JSON value on one line (`\n`-terminated;
+//! `serde_json` escapes embedded newlines, so framing is unambiguous).
+//! Connections are strictly request/response: the client — a worker or
+//! a submitting harness — writes one [`Request`] line and reads one
+//! [`Response`] line. A line that is not valid JSON for the expected
+//! type is a protocol error on that connection only; it never panics
+//! the peer.
+//!
+//! The protocol rides on the workspace's canonical serde encodings:
+//! [`JobSpec`] crosses the wire in exactly the JSON form its content
+//! key is computed from, and [`JobOutcome`] in the form the result
+//! cache stores — so coordinator-side memoization and worker-side
+//! execution agree on identity byte-for-byte.
+
+use horus_harness::{JobOutcome, JobSpec};
+use horus_obs::profile::JobProfile;
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Bump on any incompatible message-shape change; the coordinator
+/// advertises its version in [`Response::Welcome`] and workers refuse a
+/// mismatch rather than corrupting a run.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// One leased job: the queue's id for it plus the spec to execute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeasedJob {
+    /// Coordinator-assigned job id (unique per coordinator lifetime).
+    pub job: u64,
+    /// The experiment point to run.
+    pub spec: JobSpec,
+}
+
+/// The serde mirror of [`JobProfile`] (`horus-obs` stays serde-free, so
+/// the profile crosses the wire through this copy).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtoProfile {
+    /// Job content key the profile belongs to.
+    pub label: String,
+    /// Drain scheme, when the job was scheme-shaped.
+    pub scheme: Option<String>,
+    /// Whether the job was answered from a cache.
+    pub cached: bool,
+    /// Wall-clock seconds the job took on the worker.
+    pub wall_seconds: f64,
+    /// Process CPU seconds attributed to the job, when measurable.
+    pub cpu_seconds: Option<f64>,
+    /// Allocations during the job (alloc-profile builds only).
+    pub allocations: Option<u64>,
+    /// Bytes allocated during the job (alloc-profile builds only).
+    pub allocated_bytes: Option<u64>,
+}
+
+impl From<JobProfile> for ProtoProfile {
+    fn from(p: JobProfile) -> Self {
+        ProtoProfile {
+            label: p.label,
+            scheme: p.scheme,
+            cached: p.cached,
+            wall_seconds: p.wall_seconds,
+            cpu_seconds: p.cpu_seconds,
+            allocations: p.allocations,
+            allocated_bytes: p.allocated_bytes,
+        }
+    }
+}
+
+impl From<ProtoProfile> for JobProfile {
+    fn from(p: ProtoProfile) -> Self {
+        JobProfile {
+            label: p.label,
+            scheme: p.scheme,
+            cached: p.cached,
+            wall_seconds: p.wall_seconds,
+            cpu_seconds: p.cpu_seconds,
+            allocations: p.allocations,
+            allocated_bytes: p.allocated_bytes,
+        }
+    }
+}
+
+/// Client → coordinator messages.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// A worker announces itself: display name and pool width.
+    Hello {
+        /// Worker display name (for logs and per-worker metrics).
+        name: String,
+        /// Local worker-pool width (informational).
+        jobs: usize,
+    },
+    /// A worker asks for up to `max` jobs.
+    Lease {
+        /// The id [`Response::Welcome`] assigned.
+        worker: u64,
+        /// Maximum batch size the worker wants.
+        max: usize,
+    },
+    /// A worker still alive extends the deadline of every lease it
+    /// holds. Sent from a heartbeat side-connection while the worker's
+    /// pool is busy executing a batch — a job longer than the lease
+    /// would otherwise requeue out from under a healthy worker.
+    Renew {
+        /// The id [`Response::Welcome`] assigned.
+        worker: u64,
+    },
+    /// A worker reports one finished job.
+    Push {
+        /// The id [`Response::Welcome`] assigned.
+        worker: u64,
+        /// The leased job's id.
+        job: u64,
+        /// What happened.
+        outcome: JobOutcome,
+        /// Host profile of the execution, when collected.
+        profile: Option<ProtoProfile>,
+    },
+    /// A submitting harness enqueues a sweep plan.
+    Submit {
+        /// The plan's specs, in submission (= merge) order.
+        specs: Vec<JobSpec>,
+    },
+    /// Blocks until the plan completes, then returns its outcomes.
+    WaitPlan {
+        /// The id [`Response::Submitted`] assigned.
+        plan: u64,
+    },
+    /// Queue/worker counts, for smoke checks and dashboards.
+    Status,
+}
+
+/// Coordinator → client messages.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Hello`].
+    Welcome {
+        /// The worker's id for this coordinator session.
+        worker: u64,
+        /// Lease duration in milliseconds: a worker silent for this
+        /// long is presumed dead and its jobs requeue. Workers renew at
+        /// a fraction of it (see [`Request::Renew`]).
+        lease_ms: u64,
+        /// Coordinator protocol version (see [`PROTOCOL_VERSION`]).
+        protocol: u32,
+    },
+    /// Answer to [`Request::Lease`] when work is available.
+    Jobs {
+        /// The leased batch, at most `max` entries.
+        leases: Vec<LeasedJob>,
+    },
+    /// Answer to [`Request::Lease`] when nothing is leasable right now.
+    Retry {
+        /// Suggested delay before the next lease attempt.
+        after_ms: u64,
+    },
+    /// Answer to [`Request::Lease`] when the coordinator is draining:
+    /// no work is left and none will come — the worker should exit.
+    Drained,
+    /// Answer to [`Request::Push`].
+    Ack,
+    /// Answer to [`Request::Submit`].
+    Submitted {
+        /// The plan's id, for [`Request::WaitPlan`].
+        plan: u64,
+        /// Number of jobs enqueued.
+        jobs: usize,
+        /// Jobs answered immediately from the coordinator's result
+        /// cache (already committed; workers will never see them).
+        cached: usize,
+    },
+    /// Answer to [`Request::WaitPlan`] once every job has committed.
+    PlanDone {
+        /// The plan's id.
+        plan: u64,
+        /// Per-job outcomes, in submission order.
+        outcomes: Vec<JobOutcome>,
+    },
+    /// Answer to [`Request::Status`].
+    Status {
+        /// Workers currently registered.
+        workers: usize,
+        /// Jobs waiting to be leased.
+        pending: usize,
+        /// Jobs currently leased out.
+        leased: usize,
+        /// Jobs committed.
+        done: usize,
+        /// Plans fully merged.
+        plans_done: usize,
+    },
+    /// The request could not be served (unknown plan, malformed line).
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// Renders `msg` as its single-line wire form (newline included).
+///
+/// # Errors
+///
+/// Returns the serializer's message for unencodable values (does not
+/// happen for the protocol types).
+pub fn encode<T: Serialize>(msg: &T) -> Result<String, String> {
+    let mut line = serde_json::to_string(msg).map_err(|e| e.to_string())?;
+    line.push('\n');
+    Ok(line)
+}
+
+/// Parses one wire line into a message. Truncated or garbage input is
+/// an `Err`, never a panic.
+///
+/// # Errors
+///
+/// Returns a description of why the line is not a valid `T`.
+pub fn decode<T: DeserializeOwned>(line: &str) -> Result<T, String> {
+    serde_json::from_str(line.trim_end()).map_err(|e| format!("bad frame: {e}"))
+}
+
+/// One framed TCP connection: buffered line reader plus writer.
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Connection {
+    /// Connects to `addr` (no read timeout: [`Request::WaitPlan`]
+    /// blocks for the length of a plan).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the address on connect failure.
+    pub fn connect(addr: &str) -> Result<Connection, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot reach fleet at {addr}: {e}"))?;
+        Connection::from_stream(stream).map_err(|e| format!("fleet connection setup: {e}"))
+    }
+
+    /// Wraps an accepted stream (coordinator side).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the stream cannot be cloned.
+    pub fn from_stream(stream: TcpStream) -> std::io::Result<Connection> {
+        let writer = stream.try_clone()?;
+        Ok(Connection {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Applies a read timeout (coordinator side: a silent peer should
+    /// not pin a handler thread forever).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn set_read_timeout(&self, timeout: Duration) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(Some(timeout))
+    }
+
+    /// Writes one message line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the serialization or I/O failure.
+    pub fn send<T: Serialize>(&mut self, msg: &T) -> Result<(), String> {
+        let line = encode(msg)?;
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("fleet send: {e}"))
+    }
+
+    /// Reads one message line. `Ok(None)` is clean EOF (the peer closed
+    /// the connection); a malformed line is `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the I/O or framing failure.
+    pub fn recv<T: DeserializeOwned>(&mut self) -> Result<Option<T>, String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Ok(None),
+            Ok(_) => decode(&line).map(Some),
+            Err(e) => Err(format!("fleet recv: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horus_core::{DrainScheme, SystemConfig};
+    use horus_workload::FillPattern;
+
+    fn spec() -> JobSpec {
+        JobSpec::drain(
+            &SystemConfig::small_test(),
+            DrainScheme::HorusSlm,
+            FillPattern::StridedSparse { min_stride: 16384 },
+        )
+    }
+
+    fn roundtrip<T>(msg: &T)
+    where
+        T: Serialize + DeserializeOwned + PartialEq + std::fmt::Debug,
+    {
+        let line = encode(msg).expect("encode");
+        assert!(line.ends_with('\n'), "line-framed");
+        assert_eq!(line.matches('\n').count(), 1, "exactly one newline");
+        let back: T = decode(&line).expect("decode");
+        assert_eq!(&back, msg);
+    }
+
+    #[test]
+    fn every_request_roundtrips() {
+        let outcome = JobOutcome::Completed {
+            result: spec().execute(),
+            cached: false,
+        };
+        roundtrip(&Request::Hello {
+            name: "w-1".into(),
+            jobs: 4,
+        });
+        roundtrip(&Request::Lease { worker: 3, max: 8 });
+        roundtrip(&Request::Renew { worker: 3 });
+        roundtrip(&Request::Push {
+            worker: 3,
+            job: 17,
+            outcome,
+            profile: Some(ProtoProfile {
+                label: spec().key(),
+                scheme: Some("Horus-SLM".into()),
+                cached: false,
+                wall_seconds: 0.25,
+                cpu_seconds: Some(0.2),
+                allocations: None,
+                allocated_bytes: None,
+            }),
+        });
+        roundtrip(&Request::Push {
+            worker: 3,
+            job: 18,
+            outcome: JobOutcome::Panicked {
+                message: "diverged\nwith a newline".into(),
+            },
+            profile: None,
+        });
+        roundtrip(&Request::Submit {
+            specs: vec![spec(), spec()],
+        });
+        roundtrip(&Request::WaitPlan { plan: 2 });
+        roundtrip(&Request::Status);
+    }
+
+    #[test]
+    fn every_response_roundtrips() {
+        roundtrip(&Response::Welcome {
+            worker: 1,
+            lease_ms: 30_000,
+            protocol: PROTOCOL_VERSION,
+        });
+        roundtrip(&Response::Jobs {
+            leases: vec![LeasedJob {
+                job: 9,
+                spec: spec(),
+            }],
+        });
+        roundtrip(&Response::Retry { after_ms: 100 });
+        roundtrip(&Response::Drained);
+        roundtrip(&Response::Ack);
+        roundtrip(&Response::Submitted {
+            plan: 5,
+            jobs: 10,
+            cached: 4,
+        });
+        roundtrip(&Response::PlanDone {
+            plan: 5,
+            outcomes: vec![JobOutcome::Completed {
+                result: spec().execute(),
+                cached: true,
+            }],
+        });
+        roundtrip(&Response::Status {
+            workers: 2,
+            pending: 3,
+            leased: 1,
+            done: 6,
+            plans_done: 1,
+        });
+        roundtrip(&Response::Error {
+            message: "unknown plan 99".into(),
+        });
+    }
+
+    #[test]
+    fn specs_cross_the_wire_key_intact() {
+        let s = spec();
+        let line = encode(&Request::Submit {
+            specs: vec![s.clone()],
+        })
+        .expect("encode");
+        let Request::Submit { specs } = decode(&line).expect("decode") else {
+            panic!("wrong variant");
+        };
+        assert_eq!(specs[0].key(), s.key());
+    }
+
+    #[test]
+    fn garbage_and_truncated_frames_error_without_panic() {
+        for bad in [
+            "",
+            "\n",
+            "not json at all",
+            "{\"Lease\":",
+            "{\"Lease\":{\"worker\":1}}",
+            "{\"NoSuchVariant\":{}}",
+            "[1,2,3]",
+            "{\"Hello\":{\"name\":7,\"jobs\":\"x\"}}",
+            "\u{0}\u{1}\u{2}",
+        ] {
+            assert!(
+                decode::<Request>(bad).is_err(),
+                "{bad:?} should be rejected"
+            );
+            assert!(
+                decode::<Response>(bad).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn profiles_mirror_losslessly() {
+        let p = JobProfile {
+            label: "abc".into(),
+            scheme: None,
+            cached: true,
+            wall_seconds: 1.5,
+            cpu_seconds: None,
+            allocations: Some(10),
+            allocated_bytes: Some(640),
+        };
+        let proto = ProtoProfile::from(p.clone());
+        let back = JobProfile::from(proto);
+        assert_eq!(back.label, p.label);
+        assert_eq!(back.cached, p.cached);
+        assert_eq!(back.allocations, p.allocations);
+    }
+}

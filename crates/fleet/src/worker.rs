@@ -1,0 +1,230 @@
+//! The fleet worker: lease, execute on the local harness pool, push.
+//!
+//! A worker is one long-lived connection to the coordinator. It
+//! registers with `Hello`, then loops: lease a batch (at most its local
+//! pool width), run the batch through a plain [`Harness`] — the same
+//! pool, panic isolation, and determinism as a local sweep — and push
+//! every outcome (plus its host profile) back one `Push` at a time.
+//! The worker runs cache-less: the coordinator owns the authoritative
+//! result cache, and keys the coordinator already holds are committed
+//! at submit time, so they never reach a worker at all.
+//!
+//! While the pool is busy, the main connection is silent for the length
+//! of the batch — which can be far longer than the lease. A heartbeat
+//! thread on its own connection sends `Renew` at a third of the lease
+//! interval, so a healthy worker's leases never expire no matter how
+//! long a job runs, while a killed worker stops renewing and forfeits
+//! within one lease as designed.
+//!
+//! Exit paths: `Drained` from the coordinator (clean, after a drain),
+//! EOF (coordinator closed — also treated as a drain, so a fleet being
+//! torn down doesn't strand nonzero worker exits), or an I/O / protocol
+//! error (reported as `Err`).
+
+use crate::proto::{Connection, ProtoProfile, Request, Response, PROTOCOL_VERSION};
+use horus_harness::{Harness, HarnessOptions, JobSpec, ProgressMode};
+use horus_obs::Registry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a worker should run.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Coordinator address (`host:port`).
+    pub coordinator: String,
+    /// Display name (logs and per-worker metrics on the coordinator).
+    pub name: String,
+    /// Local pool width; `None` uses available parallelism.
+    pub jobs: Option<usize>,
+}
+
+impl WorkerOptions {
+    /// A worker for `coordinator` with a pid-derived name.
+    #[must_use]
+    pub fn new(coordinator: impl Into<String>) -> Self {
+        WorkerOptions {
+            coordinator: coordinator.into(),
+            name: format!("worker-{}", std::process::id()),
+            jobs: None,
+        }
+    }
+}
+
+/// What one worker session did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// The coordinator-assigned worker id.
+    pub worker: u64,
+    /// Jobs executed and pushed.
+    pub executed: usize,
+    /// Lease batches processed.
+    pub batches: usize,
+}
+
+/// Runs one worker session to completion (until the coordinator drains
+/// or goes away).
+///
+/// # Errors
+///
+/// Returns a message on connect failure, protocol-version mismatch, or
+/// a mid-session I/O / protocol error.
+pub fn run_worker(options: &WorkerOptions) -> Result<WorkerSummary, String> {
+    let mut conn = Connection::connect(&options.coordinator)?;
+    conn.send(&Request::Hello {
+        name: options.name.clone(),
+        jobs: options.jobs.unwrap_or(0),
+    })?;
+    let (worker, lease_ms) = match conn.recv::<Response>()? {
+        Some(Response::Welcome {
+            worker,
+            lease_ms,
+            protocol,
+        }) => {
+            if protocol != PROTOCOL_VERSION {
+                return Err(format!(
+                    "coordinator speaks protocol {protocol}, this worker speaks {PROTOCOL_VERSION}"
+                ));
+            }
+            (worker, lease_ms)
+        }
+        Some(other) => return Err(format!("expected Welcome, got {other:?}")),
+        None => return Err("coordinator closed the connection during hello".to_owned()),
+    };
+    let heartbeat = Heartbeat::start(&options.coordinator, worker, lease_ms);
+    let result = worker_loop(&mut conn, worker, options);
+    drop(heartbeat);
+    result
+}
+
+/// The lease/execute/push loop, split out so [`run_worker`]'s many exit
+/// paths all stop the heartbeat on the way out.
+fn worker_loop(
+    conn: &mut Connection,
+    worker: u64,
+    options: &WorkerOptions,
+) -> Result<WorkerSummary, String> {
+    // Job profiles are only collected when a registry is attached; the
+    // worker keeps a private one so every pushed outcome can carry its
+    // host profile back to the coordinator's obs summary.
+    let registry = Registry::shared();
+    let harness = Harness::new(HarnessOptions {
+        jobs: options.jobs,
+        no_cache: true,
+        progress: ProgressMode::Silent,
+        metrics: Some(Arc::clone(&registry)),
+        ..HarnessOptions::default()
+    });
+    let batch = harness.jobs();
+
+    let mut summary = WorkerSummary {
+        worker,
+        executed: 0,
+        batches: 0,
+    };
+    loop {
+        conn.send(&Request::Lease { worker, max: batch })?;
+        match conn.recv::<Response>()? {
+            Some(Response::Jobs { leases }) => {
+                summary.batches += 1;
+                let specs: Vec<JobSpec> = leases.iter().map(|l| l.spec.clone()).collect();
+                let report = harness.run(&specs);
+                let mut profiles: HashMap<String, ProtoProfile> = harness
+                    .take_job_profiles()
+                    .into_iter()
+                    .map(|p| (p.label.clone(), ProtoProfile::from(p)))
+                    .collect();
+                for (lease, outcome) in leases.iter().zip(report.outcomes) {
+                    summary.executed += 1;
+                    conn.send(&Request::Push {
+                        worker,
+                        job: lease.job,
+                        outcome,
+                        profile: profiles.remove(&lease.spec.key()),
+                    })?;
+                    match conn.recv::<Response>()? {
+                        Some(Response::Ack) => {}
+                        Some(other) => return Err(format!("expected Ack, got {other:?}")),
+                        None => return Ok(summary), // coordinator went away post-push
+                    }
+                }
+            }
+            Some(Response::Retry { after_ms }) => {
+                std::thread::sleep(Duration::from_millis(after_ms.clamp(10, 5_000)));
+            }
+            Some(Response::Drained) | None => {
+                // Clean exit: drained, or the coordinator closed the
+                // socket while tearing the fleet down.
+                return Ok(summary);
+            }
+            Some(Response::Error { message }) => {
+                return Err(format!("coordinator rejected the session: {message}"));
+            }
+            Some(other) => return Err(format!("unexpected lease response: {other:?}")),
+        }
+    }
+}
+
+/// A background thread renewing this worker's leases while the main
+/// connection is busy executing a batch. Dropping it stops the thread.
+///
+/// Best-effort by design: if the side connection cannot be set up or
+/// dies mid-session, the worker keeps running — it merely falls back to
+/// pre-renewal behavior, where only batches shorter than the lease are
+/// safe. The coordinator treats a renewal for an unknown or lease-less
+/// worker as a no-op, so the heartbeat can never corrupt a run.
+struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    fn start(coordinator: &str, worker: u64, lease_ms: u64) -> Heartbeat {
+        let stop = Arc::new(AtomicBool::new(false));
+        let interval = Duration::from_millis((lease_ms / 3).max(50));
+        let thread = Connection::connect(coordinator).ok().map(|mut conn| {
+            // A renewal answer should come back immediately; a stuck
+            // read means the coordinator is gone and the thread should
+            // find out rather than pin its join forever.
+            let _ = conn.set_read_timeout(Duration::from_secs(10));
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name(format!("fleet-heartbeat-{worker}"))
+                .spawn(move || {
+                    loop {
+                        // Sleep in short slices so dropping the
+                        // heartbeat never waits out a full interval.
+                        let wake = Instant::now() + interval;
+                        while Instant::now() < wake {
+                            if stop.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            std::thread::sleep(Duration::from_millis(25));
+                        }
+                        if conn.send(&Request::Renew { worker }).is_err() {
+                            return;
+                        }
+                        match conn.recv::<Response>() {
+                            Ok(Some(Response::Ack)) => {}
+                            // Anything else — EOF, timeout, a protocol
+                            // surprise — means renewals are over.
+                            _ => return,
+                        }
+                    }
+                })
+                .expect("spawn fleet heartbeat thread")
+        });
+        Heartbeat { stop, thread }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}

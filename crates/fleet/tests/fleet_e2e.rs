@@ -1,0 +1,316 @@
+//! End-to-end fleet tests: a real coordinator listening on a loopback
+//! socket, real workers leasing over TCP, and the determinism contract
+//! checked the only way that matters — byte-for-byte against a local
+//! single-process run of the same specs.
+
+use horus_fleet::proto::{Connection, Request, Response};
+use horus_fleet::{run_worker, Coordinator, CoordinatorOptions, FleetBackend, WorkerOptions};
+use horus_harness::{Harness, HarnessOptions, JobOutcome, JobSpec, SweepBackend};
+use horus_workload::FillPattern;
+use std::sync::Arc;
+use std::time::Duration;
+
+use horus_core::{DrainScheme, SystemConfig};
+
+/// Ten cheap, key-distinct jobs: the five schemes over two seeds of the
+/// small test configuration.
+fn sweep_specs() -> Vec<JobSpec> {
+    let mut specs = Vec::new();
+    for seed_flip in [0u64, 1] {
+        let mut cfg = SystemConfig::small_test();
+        cfg.seed ^= seed_flip;
+        for s in DrainScheme::ALL {
+            specs.push(JobSpec::drain(
+                &cfg,
+                s,
+                FillPattern::StridedSparse { min_stride: 16384 },
+            ));
+        }
+    }
+    specs
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("horus-fleet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn local_outcomes(specs: &[JobSpec]) -> Vec<JobOutcome> {
+    Harness::new(HarnessOptions {
+        jobs: Some(2),
+        no_cache: true,
+        ..HarnessOptions::default()
+    })
+    .run(specs)
+    .outcomes
+}
+
+fn fleet_harness(addr: &str) -> Harness {
+    Harness::new(HarnessOptions {
+        jobs: Some(2),
+        no_cache: true, // the coordinator owns the authoritative cache
+        backend: Some(Arc::new(FleetBackend::new(addr)) as Arc<dyn SweepBackend>),
+        ..HarnessOptions::default()
+    })
+}
+
+fn as_json(outcomes: &[JobOutcome]) -> String {
+    serde_json::to_string(outcomes).expect("outcomes serialize")
+}
+
+/// The golden test: a coordinator plus two workers produce output
+/// byte-identical to a local `--jobs 2` run, and a rerun of the same
+/// plan is answered entirely from the coordinator's cache without the
+/// workers executing anything.
+#[test]
+fn fleet_matches_local_run_and_reruns_hit_the_cache() {
+    let dir = temp_dir("golden");
+    let coordinator = Coordinator::start(&CoordinatorOptions {
+        cache_dir: Some(dir.clone()),
+        ..CoordinatorOptions::default()
+    })
+    .expect("coordinator binds loopback");
+    let addr = coordinator.local_addr().to_string();
+
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            let opts = WorkerOptions {
+                name: format!("test-worker-{i}"),
+                jobs: Some(2),
+                ..WorkerOptions::new(addr.clone())
+            };
+            std::thread::spawn(move || run_worker(&opts))
+        })
+        .collect();
+
+    let specs = sweep_specs();
+    let harness = fleet_harness(&addr);
+    let report = harness.run(&specs);
+    assert_eq!(report.executed, specs.len(), "fresh plan executes fully");
+    assert_eq!(report.cache_hits, 0);
+
+    let local = local_outcomes(&specs);
+    assert_eq!(report.outcomes, local);
+    assert_eq!(as_json(&report.outcomes), as_json(&local), "byte-identical");
+
+    // Rerun: every key is already committed, so the coordinator answers
+    // at submit time — workers never see the plan.
+    let rerun = fleet_harness(&addr).run(&specs);
+    assert_eq!(rerun.executed, 0, "rerun executes nothing");
+    assert_eq!(rerun.cache_hits, specs.len(), "rerun is 100% cache hits");
+    let rerun_payload: Vec<_> = rerun
+        .outcomes
+        .iter()
+        .map(|o| match o {
+            JobOutcome::Completed { result, cached } => {
+                assert!(*cached, "rerun outcomes are marked cached");
+                result.clone()
+            }
+            other => panic!("rerun outcome not completed: {other:?}"),
+        })
+        .collect();
+    let local_payload: Vec<_> = local
+        .iter()
+        .map(|o| match o {
+            JobOutcome::Completed { result, .. } => result.clone(),
+            other => panic!("local outcome not completed: {other:?}"),
+        })
+        .collect();
+    assert_eq!(rerun_payload, local_payload);
+
+    // The coordinator's view agrees: both plans merged, queue empty.
+    let (_, pending, leased, done, plans_done) = FleetBackend::new(addr.clone())
+        .status()
+        .expect("status probe");
+    assert_eq!((pending, leased), (0, 0));
+    assert_eq!(done, 2 * specs.len(), "both plans' slots committed");
+    assert_eq!(plans_done, 2);
+
+    coordinator.begin_drain();
+    let mut executed_by_workers = 0;
+    for w in workers {
+        let summary = w
+            .join()
+            .expect("worker thread")
+            .expect("worker exits cleanly on drain");
+        executed_by_workers += summary.executed;
+    }
+    assert_eq!(
+        executed_by_workers,
+        specs.len(),
+        "each job executed exactly once across the fleet"
+    );
+    assert_eq!(coordinator.requeues(), 0, "no lease ever expired");
+    let profiles = coordinator.take_job_profiles();
+    assert_eq!(profiles.len(), specs.len(), "one pushed profile per job");
+    coordinator.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The fault-path test: a worker that leases every job and dies loses
+/// nothing — its leases expire, the jobs requeue, a healthy worker
+/// finishes them, and the merged plan is still byte-identical to the
+/// local run.
+#[test]
+fn killed_worker_leases_requeue_and_finish_elsewhere() {
+    let dir = temp_dir("fault");
+    let coordinator = Coordinator::start(&CoordinatorOptions {
+        cache_dir: Some(dir.clone()),
+        lease: Duration::from_millis(200),
+        ..CoordinatorOptions::default()
+    })
+    .expect("coordinator binds loopback");
+    let addr = coordinator.local_addr().to_string();
+    let specs = sweep_specs();
+
+    // Submit the plan directly so we control who leases first.
+    let mut submit = Connection::connect(&addr).expect("connect");
+    submit
+        .send(&Request::Submit {
+            specs: specs.clone(),
+        })
+        .expect("submit");
+    let plan = match submit.recv::<Response>().expect("submitted") {
+        Some(Response::Submitted { plan, jobs, cached }) => {
+            assert_eq!(jobs, specs.len());
+            assert_eq!(cached, 0);
+            plan
+        }
+        other => panic!("expected Submitted, got {other:?}"),
+    };
+
+    // A doomed worker grabs every job, then its process "dies": the
+    // connection drops with nothing pushed.
+    {
+        let mut doomed = Connection::connect(&addr).expect("connect");
+        doomed
+            .send(&Request::Hello {
+                name: "doomed".to_owned(),
+                jobs: 2,
+            })
+            .expect("hello");
+        let worker = match doomed.recv::<Response>().expect("welcome") {
+            Some(Response::Welcome { worker, .. }) => worker,
+            other => panic!("expected Welcome, got {other:?}"),
+        };
+        doomed
+            .send(&Request::Lease { worker, max: 1000 })
+            .expect("lease");
+        match doomed.recv::<Response>().expect("jobs") {
+            Some(Response::Jobs { leases }) => {
+                assert_eq!(leases.len(), specs.len(), "doomed worker holds everything")
+            }
+            other => panic!("expected Jobs, got {other:?}"),
+        }
+        // Dropped here: no Push ever arrives.
+    }
+
+    // A healthy worker joins after the crash; the reaper must requeue
+    // the dead leases (200 ms lease + bounded backoff) before it can
+    // make progress.
+    let healthy = {
+        let opts = WorkerOptions {
+            name: "healthy".to_owned(),
+            jobs: Some(2),
+            ..WorkerOptions::new(addr.clone())
+        };
+        std::thread::spawn(move || run_worker(&opts))
+    };
+
+    let mut wait = Connection::connect(&addr).expect("connect");
+    wait.send(&Request::WaitPlan { plan }).expect("wait");
+    let outcomes = match wait.recv::<Response>().expect("plan done") {
+        Some(Response::PlanDone {
+            plan: done,
+            outcomes,
+        }) => {
+            assert_eq!(done, plan);
+            outcomes
+        }
+        other => panic!("expected PlanDone, got {other:?}"),
+    };
+
+    assert_eq!(outcomes.len(), specs.len(), "nothing lost, nothing doubled");
+    assert_eq!(as_json(&outcomes), as_json(&local_outcomes(&specs)));
+    assert!(
+        coordinator.requeues() > 0,
+        "the dead worker's leases were reaped"
+    );
+
+    coordinator.begin_drain();
+    let summary = healthy
+        .join()
+        .expect("worker thread")
+        .expect("healthy worker exits cleanly");
+    assert_eq!(summary.executed, specs.len(), "healthy worker ran them all");
+    coordinator.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Coordinator restart durability: an unfinished plan journaled at
+/// submit is re-queued by `resume`, and a worker connecting to the new
+/// coordinator process finishes it.
+#[test]
+fn resumed_coordinator_replays_unfinished_plans() {
+    let dir = temp_dir("resume");
+    let specs = sweep_specs();
+
+    // First coordinator takes the plan and "crashes" (shutdown) before
+    // any worker shows up.
+    {
+        let coordinator = Coordinator::start(&CoordinatorOptions {
+            cache_dir: Some(dir.clone()),
+            ..CoordinatorOptions::default()
+        })
+        .expect("coordinator binds loopback");
+        let addr = coordinator.local_addr().to_string();
+        let mut submit = Connection::connect(&addr).expect("connect");
+        submit
+            .send(&Request::Submit {
+                specs: specs.clone(),
+            })
+            .expect("submit");
+        match submit.recv::<Response>().expect("submitted") {
+            Some(Response::Submitted { jobs, .. }) => assert_eq!(jobs, specs.len()),
+            other => panic!("expected Submitted, got {other:?}"),
+        }
+        coordinator.shutdown();
+    }
+
+    // Second coordinator over the same cache dir resumes the journal.
+    let coordinator = Coordinator::start(&CoordinatorOptions {
+        cache_dir: Some(dir.clone()),
+        resume: true,
+        ..CoordinatorOptions::default()
+    })
+    .expect("coordinator binds loopback");
+    let addr = coordinator.local_addr().to_string();
+    let (_, pending, _, _, _) = FleetBackend::new(addr.clone())
+        .status()
+        .expect("status probe");
+    assert_eq!(pending, specs.len(), "journaled plan is back in the queue");
+
+    let worker = {
+        let opts = WorkerOptions {
+            jobs: Some(2),
+            ..WorkerOptions::new(addr.clone())
+        };
+        std::thread::spawn(move || run_worker(&opts))
+    };
+    coordinator.wait_for_plans(1);
+    coordinator.begin_drain();
+    worker
+        .join()
+        .expect("worker thread")
+        .expect("worker exits cleanly");
+
+    // The resumed plan committed into the shared cache: a fresh submit
+    // of the same specs is answered without any worker.
+    let report = fleet_harness(&addr).run(&specs);
+    assert_eq!(report.cache_hits, specs.len());
+    assert_eq!(report.executed, 0);
+    coordinator.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

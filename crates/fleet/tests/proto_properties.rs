@@ -1,0 +1,96 @@
+//! Property tests on the wire protocol: any job spec the harness can
+//! express survives a trip through the fleet's line-delimited JSON
+//! frames with its content key — and therefore its cache identity and
+//! merge position — intact.
+
+use horus_fleet::proto::{decode, encode};
+use horus_fleet::{Request, Response};
+use horus_harness::{JobOutcome, JobSpec};
+use horus_workload::FillPattern;
+use proptest::prelude::*;
+
+use horus_core::{DrainScheme, SystemConfig};
+
+fn arb_scheme() -> impl Strategy<Value = DrainScheme> {
+    prop::sample::select(DrainScheme::ALL.to_vec())
+}
+
+fn arb_pattern() -> impl Strategy<Value = FillPattern> {
+    (any::<bool>(), 64u64..1 << 20, 0u64..1 << 30).prop_map(|(dense, min_stride, base)| {
+        if dense {
+            FillPattern::DenseSequential { base: base & !63 }
+        } else {
+            FillPattern::StridedSparse { min_stride }
+        }
+    })
+}
+
+fn arb_spec() -> impl Strategy<Value = JobSpec> {
+    (
+        arb_scheme(),
+        arb_pattern(),
+        // Power-of-two megabyte counts: cache geometry requires a
+        // power-of-two set count.
+        prop::sample::select(vec![1u64, 2, 4, 8, 16, 32]),
+        any::<u64>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(scheme, pattern, llc_mb, seed, recover, probe)| {
+            let mut cfg = SystemConfig::with_llc_bytes(llc_mb << 20);
+            cfg.seed = seed;
+            let mut spec = JobSpec::drain(&cfg, scheme, pattern);
+            spec.recover = recover;
+            spec.probe = probe;
+            spec
+        })
+}
+
+/// Arbitrary bytes forced into a string — exercises control characters,
+/// quotes, backslashes, and invalid-UTF-8 replacement chars.
+fn arb_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 0..120)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+proptest! {
+    /// Specs cross the wire losslessly in the direction a submitter
+    /// uses them: inside a `Submit` request.
+    #[test]
+    fn any_spec_roundtrips_through_submit(specs in prop::collection::vec(arb_spec(), 0..8)) {
+        let keys: Vec<String> = specs.iter().map(JobSpec::key).collect();
+        let frame = encode(&Request::Submit { specs: specs.clone() }).expect("encode");
+        prop_assert_eq!(frame.matches('\n').count(), 1, "exactly one frame");
+        let back: Request = decode(&frame).expect("decode");
+        let Request::Submit { specs: rx } = back else {
+            return Err(TestCaseError::fail("wrong variant"));
+        };
+        prop_assert_eq!(&rx, &specs);
+        let rx_keys: Vec<String> = rx.iter().map(JobSpec::key).collect();
+        prop_assert_eq!(rx_keys, keys, "content keys survive the wire");
+    }
+
+    /// The merged plan crosses back with per-outcome payloads intact,
+    /// including panic messages with hostile content.
+    #[test]
+    fn plan_done_roundtrips(plan in any::<u64>(), message in arb_text()) {
+        let msg = Response::PlanDone {
+            plan,
+            outcomes: vec![JobOutcome::Panicked { message: message.clone() }],
+        };
+        let back: Response = decode(&encode(&msg).expect("encode")).expect("decode");
+        let Response::PlanDone { plan: p, outcomes } = back else {
+            return Err(TestCaseError::fail("wrong variant"));
+        };
+        prop_assert_eq!(p, plan);
+        prop_assert_eq!(outcomes, vec![JobOutcome::Panicked { message }]);
+    }
+
+    /// Arbitrary junk never panics the decoder — a hostile or corrupt
+    /// peer produces an `Err`, not a dead coordinator.
+    #[test]
+    fn garbage_never_panics_the_decoder(junk in arb_text()) {
+        let _ = decode::<Request>(&junk);
+        let _ = decode::<Response>(&junk);
+    }
+}

@@ -14,6 +14,7 @@
 use crate::job::{JobResult, JobSpec, FORMAT_VERSION};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The default cache directory, relative to the working directory.
 pub const DEFAULT_CACHE_DIR: &str = "target/horus-cache";
@@ -89,9 +90,16 @@ impl ResultCache {
         let json = serde_json::to_string(&entry)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
         let key = spec.key();
+        // The temp name must be unique per *writer*, not just per
+        // process: two worker threads computing the same uncached key
+        // would otherwise interleave writes into one temp file and could
+        // rename a torn entry into place. A process-wide nonce makes
+        // every attempt its own file; the rename stays atomic.
+        static STORE_NONCE: AtomicU64 = AtomicU64::new(0);
+        let nonce = STORE_NONCE.fetch_add(1, Ordering::Relaxed);
         let tmp = self
             .dir
-            .join(format!("{key}.json.tmp-{}", std::process::id()));
+            .join(format!("{key}.json.tmp-{}-{nonce}", std::process::id()));
         std::fs::write(&tmp, json)?;
         std::fs::rename(&tmp, self.path_for(&key))
     }
@@ -102,7 +110,6 @@ mod tests {
     use super::*;
     use horus_core::{DrainScheme, SystemConfig};
     use horus_workload::FillPattern;
-    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn scratch_dir(tag: &str) -> PathBuf {
         static SERIAL: AtomicU64 = AtomicU64::new(0);
@@ -142,6 +149,42 @@ mod tests {
         let mut other = self::spec();
         other.scheme = DrainScheme::HorusSlm;
         assert!(cache.load(&other).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Many threads storing the same key at once must leave exactly one
+    /// readable entry and no stray temp files — the regression this
+    /// guards is the pid-only temp suffix, under which concurrent
+    /// writers in one process shared (and interleaved within) one temp
+    /// file.
+    #[test]
+    fn concurrent_stores_of_same_key_never_tear() {
+        let dir = scratch_dir("concurrent");
+        let spec = spec();
+        let result = spec.execute();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let cache = ResultCache::new(&dir);
+                    for _ in 0..16 {
+                        cache.store(&spec, &result);
+                    }
+                });
+            }
+        });
+        let cache = ResultCache::new(&dir);
+        assert_eq!(cache.load(&spec), Some(result), "entry must parse cleanly");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("cache dir exists")
+            .map(|e| {
+                e.expect("dir entry")
+                    .file_name()
+                    .into_string()
+                    .expect("utf-8")
+            })
+            .filter(|name| name.contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -14,6 +14,36 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+/// A remote executor for whole sweeps.
+///
+/// When a backend is attached (via [`HarnessOptions::backend`]),
+/// [`Harness::run`] hands the complete spec list to it instead of the
+/// local worker pool; the backend must return one [`JobOutcome`] per
+/// spec *in submission order*. The determinism contract carries over
+/// unchanged: a correct backend produces outcomes byte-identical to a
+/// local run of the same specs, so callers cannot tell (from the
+/// report) where the simulations happened.
+///
+/// `horus-fleet` provides the TCP coordinator/worker implementation;
+/// the trait lives here so the harness does not depend on it.
+pub trait SweepBackend: Send + Sync {
+    /// Executes `specs` remotely, returning one outcome per spec in
+    /// submission order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing why the sweep could not be
+    /// dispatched (unreachable coordinator, protocol error). The
+    /// harness converts a backend error into one `Panicked` outcome
+    /// per job so reports keep their shape.
+    fn run_specs(&self, specs: &[JobSpec]) -> Result<Vec<JobOutcome>, String>;
+
+    /// Human-readable destination, for logs.
+    fn describe(&self) -> String {
+        "remote backend".to_owned()
+    }
+}
+
 /// How a sweep should execute.
 #[derive(Clone, Default)]
 pub struct HarnessOptions {
@@ -29,6 +59,10 @@ pub struct HarnessOptions {
     /// Metrics registry to record fleet telemetry into; `None` (the
     /// default) records nothing and leaves the sweep path untouched.
     pub metrics: Option<Arc<Registry>>,
+    /// Remote sweep executor. When set, [`Harness::run`] dispatches
+    /// specs through it instead of the local pool (the local result
+    /// cache is not consulted — the backend owns memoization).
+    pub backend: Option<Arc<dyn SweepBackend>>,
 }
 
 impl std::fmt::Debug for HarnessOptions {
@@ -39,6 +73,7 @@ impl std::fmt::Debug for HarnessOptions {
             .field("no_cache", &self.no_cache)
             .field("progress", &self.progress)
             .field("metrics", &self.metrics.is_some())
+            .field("backend", &self.backend.as_ref().map(|b| b.describe()))
             .finish()
     }
 }
@@ -51,6 +86,7 @@ pub struct Harness {
     cache: Option<ResultCache>,
     progress: ProgressMode,
     metrics: Option<Arc<Registry>>,
+    backend: Option<Arc<dyn SweepBackend>>,
     profiles: Mutex<Vec<JobProfile>>,
     executed_total: AtomicUsize,
     cache_hits_total: AtomicUsize,
@@ -63,6 +99,7 @@ impl std::fmt::Debug for Harness {
             .field("cache", &self.cache)
             .field("progress", &self.progress)
             .field("metrics", &self.metrics.is_some())
+            .field("backend", &self.backend.as_ref().map(|b| b.describe()))
             .finish()
     }
 }
@@ -85,6 +122,7 @@ impl Harness {
             cache,
             progress: options.progress,
             metrics: options.metrics,
+            backend: options.backend,
             profiles: Mutex::new(Vec::new()),
             executed_total: AtomicUsize::new(0),
             cache_hits_total: AtomicUsize::new(0),
@@ -150,9 +188,14 @@ impl Harness {
 
     /// Runs a sweep: every spec becomes one pool task; results are
     /// memoized (when the cache is enabled) and returned in submission
-    /// order.
+    /// order. With a [`SweepBackend`] attached, the whole spec list is
+    /// dispatched remotely instead; outcomes (and therefore the report)
+    /// are byte-identical either way.
     #[must_use]
     pub fn run(&self, specs: &[JobSpec]) -> SweepReport {
+        if let Some(backend) = self.backend.clone() {
+            return self.run_remote(&*backend, specs);
+        }
         let progress = Progress::start(self.progress);
         let mut start = ProgressEvent::new("sweep_start", specs.len());
         start.workers = Some(self.jobs);
@@ -283,6 +326,135 @@ impl Harness {
                 .iter()
                 .filter(|o| matches!(o, JobOutcome::Panicked { .. }))
                 .count(),
+            elapsed: Duration::from_secs_f64(progress.elapsed_s()),
+            outcomes,
+        };
+        self.executed_total
+            .fetch_add(report.executed, Ordering::Relaxed);
+        self.cache_hits_total
+            .fetch_add(report.cache_hits, Ordering::Relaxed);
+
+        let mut end = ProgressEvent::new("sweep_end", specs.len());
+        end.done = specs.len();
+        end.cached = report.cache_hits;
+        end.panicked = report.panicked;
+        progress.emit(end);
+        report
+    }
+
+    /// The remote path of [`Harness::run`]: dispatch the whole spec
+    /// list to the attached [`SweepBackend`] and account the returned
+    /// outcomes exactly as the local path would. Per-job progress
+    /// events are synthesized after the results arrive (the remote
+    /// executor owns live progress); a backend failure becomes one
+    /// `Panicked` outcome per job so the report keeps its shape.
+    fn run_remote(&self, backend: &dyn SweepBackend, specs: &[JobSpec]) -> SweepReport {
+        let progress = Progress::start(self.progress);
+        progress.emit(ProgressEvent::new("sweep_start", specs.len()));
+
+        let metrics = self
+            .metrics
+            .as_ref()
+            .map(|r| SweepMetrics::new(Arc::clone(r)));
+        if let Some(m) = &metrics {
+            m.sweep_begin(specs.len(), 0);
+        }
+
+        let outcomes = match backend.run_specs(specs) {
+            Ok(outcomes) if outcomes.len() == specs.len() => outcomes,
+            Ok(outcomes) => {
+                let message = format!(
+                    "{}: returned {} outcomes for {} specs",
+                    backend.describe(),
+                    outcomes.len(),
+                    specs.len()
+                );
+                specs
+                    .iter()
+                    .map(|_| JobOutcome::Panicked {
+                        message: message.clone(),
+                    })
+                    .collect()
+            }
+            Err(message) => {
+                let message = format!("{}: {message}", backend.describe());
+                specs
+                    .iter()
+                    .map(|_| JobOutcome::Panicked {
+                        message: message.clone(),
+                    })
+                    .collect()
+            }
+        };
+
+        let mut cached_so_far = 0;
+        let mut panicked_so_far = 0;
+        for (i, (spec, outcome)) in specs.iter().zip(&outcomes).enumerate() {
+            match outcome {
+                JobOutcome::Completed { result, cached } => {
+                    if *cached {
+                        cached_so_far += 1;
+                    }
+                    let mut event = ProgressEvent::new("job", specs.len());
+                    event.done = i + 1;
+                    event.cached = cached_so_far;
+                    event.panicked = panicked_so_far;
+                    event.job = Some(i);
+                    event.key = Some(spec.key());
+                    event.scheme = Some(spec.scheme.name().to_owned());
+                    event.hit = Some(*cached);
+                    event.cycles = Some(result.drain.cycles);
+                    event.memory_ops = Some(result.memory_ops());
+                    event.mac_ops = Some(result.drain.mac_ops);
+                    progress.emit(event);
+                    if let Some(m) = &metrics {
+                        m.started.inc();
+                        m.completed.inc();
+                        if *cached {
+                            m.cache_hits.inc();
+                        }
+                        m.queue.add(-1);
+                        m.episodes.inc();
+                        m.cycles.add(result.drain.cycles);
+                        m.scheme_ops(
+                            spec.scheme.name(),
+                            result.memory_ops(),
+                            result.drain.mac_ops,
+                        );
+                        horus_obs::bridge::mirror_stats(
+                            &m.registry,
+                            &result.drain.stats,
+                            &[("scheme", spec.scheme.name())],
+                        );
+                    }
+                }
+                JobOutcome::Panicked { message } => {
+                    panicked_so_far += 1;
+                    let mut event = ProgressEvent::new("job_panic", specs.len());
+                    event.done = i + 1;
+                    event.cached = cached_so_far;
+                    event.panicked = panicked_so_far;
+                    event.job = Some(i);
+                    event.key = Some(spec.key());
+                    event.scheme = Some(spec.scheme.name().to_owned());
+                    event.message = Some(message.clone());
+                    progress.emit(event);
+                    if let Some(m) = &metrics {
+                        m.started.inc();
+                        m.panicked.inc();
+                        m.queue.add(-1);
+                    }
+                }
+            }
+        }
+
+        let report = SweepReport {
+            cache_hits: cached_so_far,
+            executed: outcomes
+                .iter()
+                .filter(|o| matches!(o, JobOutcome::Completed { cached: false, .. }))
+                .count(),
+            panicked: panicked_so_far,
             elapsed: Duration::from_secs_f64(progress.elapsed_s()),
             outcomes,
         };
@@ -613,6 +785,67 @@ mod tests {
         let harness = Harness::with_jobs(2);
         let _ = harness.run(&specs());
         assert!(harness.take_job_profiles().is_empty());
+    }
+
+    /// A backend that executes in-process, serially — the reference
+    /// against which the delegation path is checked.
+    struct SerialBackend;
+
+    impl SweepBackend for SerialBackend {
+        fn run_specs(&self, specs: &[JobSpec]) -> Result<Vec<JobOutcome>, String> {
+            Ok(specs
+                .iter()
+                .map(|s| JobOutcome::Completed {
+                    result: s.execute(),
+                    cached: false,
+                })
+                .collect())
+        }
+
+        fn describe(&self) -> String {
+            "serial test backend".to_owned()
+        }
+    }
+
+    struct FailingBackend;
+
+    impl SweepBackend for FailingBackend {
+        fn run_specs(&self, _specs: &[JobSpec]) -> Result<Vec<JobOutcome>, String> {
+            Err("coordinator unreachable".to_owned())
+        }
+    }
+
+    #[test]
+    fn backend_run_is_byte_identical_to_local() {
+        let specs = specs();
+        let local = Harness::with_jobs(2).run(&specs);
+        let harness = Harness::new(HarnessOptions {
+            no_cache: true,
+            backend: Some(std::sync::Arc::new(SerialBackend)),
+            ..HarnessOptions::default()
+        });
+        let remote = harness.run(&specs);
+        assert_eq!(local.outcomes, remote.outcomes);
+        assert_eq!(remote.executed, specs.len());
+        assert_eq!(remote.cache_hits, 0);
+        assert_eq!(harness.totals(), (specs.len(), 0));
+    }
+
+    #[test]
+    fn backend_failure_panics_every_job() {
+        let specs = specs();
+        let harness = Harness::new(HarnessOptions {
+            no_cache: true,
+            backend: Some(std::sync::Arc::new(FailingBackend)),
+            ..HarnessOptions::default()
+        });
+        let report = harness.run(&specs);
+        assert_eq!(report.panicked, specs.len());
+        assert_eq!(report.executed, 0);
+        let err = report.results().unwrap_err();
+        let HarnessError::JobPanicked { job, message } = err;
+        assert_eq!(job, 0);
+        assert!(message.contains("coordinator unreachable"), "{message}");
     }
 
     #[test]

@@ -22,7 +22,9 @@
 //! those. The rule is purely name-based so it can be re-implemented by any
 //! consumer: a family is host/timing-dependent iff its name
 //!
-//! * starts with `horus_host_`, or
+//! * starts with `horus_host_` or `horus_fleet_` (fleet scheduling —
+//!   who leased what, when, and how often leases expired — is
+//!   legitimately run-dependent even though the merged results are not), or
 //! * contains `_seconds`, `_bytes`, or `worker`, or
 //! * ends with `_per_second`.
 //!
@@ -37,6 +39,7 @@ use crate::registry::{HistogramSnapshot, Sample, SampleValue, Snapshot};
 #[must_use]
 pub fn is_deterministic_metric(name: &str) -> bool {
     !(name.starts_with("horus_host_")
+        || name.starts_with("horus_fleet_")
         || name.contains("_seconds")
         || name.contains("_bytes")
         || name.contains("worker")
@@ -251,6 +254,8 @@ mod tests {
             "horus_harness_episodes_per_second"
         ));
         assert!(!is_deterministic_metric("horus_host_peak_rss_bytes"));
+        assert!(!is_deterministic_metric("horus_fleet_requeues_total"));
+        assert!(!is_deterministic_metric("horus_fleet_leases_in_flight"));
     }
 
     #[test]

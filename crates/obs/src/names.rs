@@ -65,6 +65,21 @@ pub const SIM_SAMPLE_COUNT: &str = "horus_sim_sample_count_total";
 /// Counter, labelled `sample`: summed values of mirrored
 /// `horus_sim::Stats` histograms (saturating at `u64::MAX`).
 pub const SIM_SAMPLE_SUM: &str = "horus_sim_sample_sum_total";
+/// Gauge: workers currently registered with the fleet coordinator.
+/// All `horus_fleet_` families are scheduling-dependent (who leased
+/// what, when, and how often leases expired) and therefore excluded
+/// from deterministic snapshots by the prefix rule in [`crate::expo`].
+pub const FLEET_WORKERS: &str = "horus_fleet_workers";
+/// Gauge: job leases currently held by fleet workers.
+pub const FLEET_LEASES_IN_FLIGHT: &str = "horus_fleet_leases_in_flight";
+/// Counter: expired leases returned to the fleet queue.
+pub const FLEET_REQUEUES: &str = "horus_fleet_requeues_total";
+/// Counter, labelled `worker`: jobs committed per fleet worker (the
+/// label is the coordinator-assigned worker id, bounded by the number
+/// of worker registrations in the coordinator's lifetime).
+pub const FLEET_WORKER_JOBS: &str = "horus_fleet_worker_jobs_total";
+/// Counter: sweep plans fully merged by the fleet coordinator.
+pub const FLEET_PLANS: &str = "horus_fleet_plans_total";
 
 #[cfg(test)]
 mod tests {
@@ -99,6 +114,11 @@ mod tests {
             super::EPISODES_PER_SECOND,
             super::SIM_CYCLES_PER_SECOND,
             super::MEMORY_OPS_PER_SECOND,
+            super::FLEET_WORKERS,
+            super::FLEET_LEASES_IN_FLIGHT,
+            super::FLEET_REQUEUES,
+            super::FLEET_WORKER_JOBS,
+            super::FLEET_PLANS,
         ] {
             assert!(
                 !is_deterministic_metric(name),

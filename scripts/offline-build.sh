@@ -1,0 +1,21 @@
+#!/bin/sh
+# Offline cargo wrapper for containers that cannot reach the registry.
+#
+# Patches the workspace's external dependencies (serde, serde_json, rand,
+# proptest, criterion) to the functional stub crates in `.stubs/` and runs
+# cargo with `--offline`. Run it from the repository root — the patch
+# paths are resolved relative to the current directory:
+#
+#     scripts/offline-build.sh build --release --workspace
+#     scripts/offline-build.sh test -q --workspace
+#
+# CI has network access and never uses this wrapper, so it builds against
+# the real crates; the stubs mirror their observable behavior closely
+# enough for the tier-1 suite (see .stubs/*/src/lib.rs headers for the
+# documented divergences — notably the StdRng stream).
+exec cargo "$@" --offline \
+  --config 'patch.crates-io.serde.path=".stubs/serde"' \
+  --config 'patch.crates-io.serde_json.path=".stubs/serde_json"' \
+  --config 'patch.crates-io.rand.path=".stubs/rand"' \
+  --config 'patch.crates-io.proptest.path=".stubs/proptest"' \
+  --config 'patch.crates-io.criterion.path=".stubs/criterion"'

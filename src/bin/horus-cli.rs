@@ -5,8 +5,10 @@
 //! horus-cli drain   --scheme horus-slm [--llc-mb 16] [--stride 16384] [--json]
 //! horus-cli recover --scheme horus-dlm [--llc-mb 8] [--write-through]
 //! horus-cli attack  --kind splice [--scheme horus-slm]
-//! horus-cli sweep   --llc 8,16,32 [--jobs N] [--cache-dir DIR] [--no-cache] [--progress] [--json]
+//! horus-cli sweep   --llc 8,16,32 [--jobs N] [--cache-dir DIR] [--no-cache] [--progress] [--json] [--fleet ADDR]
 //! horus-cli crash-sweep [--quick] [--points N] [--model torn|stale|garbled] [--jobs N] [--out FILE] [--json]
+//! horus-cli fleet-coordinator [--addr 127.0.0.1:9470] [--lease-secs S] [--for-plans N] [--resume]
+//! horus-cli fleet-worker --connect HOST:PORT [--jobs N] [--name NAME]
 //! horus-cli serve-metrics [--addr 127.0.0.1:9464] [--for-seconds S]
 //! ```
 //!
@@ -35,10 +37,13 @@ use horus::core::{
     TornWriteModel,
 };
 use horus::energy::{Battery, DrainEnergyModel};
-use horus::harness::{Harness, HarnessOptions, JobSpec, ProgressMode};
+use horus::fleet::{run_worker, Coordinator, CoordinatorOptions, FleetBackend, WorkerOptions};
+use horus::harness::{Harness, HarnessOptions, JobSpec, ProgressMode, SweepBackend};
 use horus::obs::{MetricsServer, ObsOptions, ObsSession, Registry};
 use horus::workload::{fill_hierarchy, parse_trace, FillPattern, TraceOp};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn parse_scheme(s: &str) -> Result<DrainScheme, String> {
     match s.to_ascii_lowercase().as_str() {
@@ -315,6 +320,9 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         no_cache: args.has("no-cache"),
         progress: progress_mode(args, obs.as_ref()),
         metrics: obs.as_ref().map(ObsSession::registry),
+        backend: args
+            .get("fleet")
+            .map(|addr| Arc::new(FleetBackend::new(addr)) as Arc<dyn SweepBackend>),
     });
     let specs: Vec<JobSpec> = llcs
         .iter()
@@ -487,6 +495,88 @@ fn cmd_serve_metrics(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `fleet-coordinator`: serve a durable job queue plus the authoritative
+/// result cache to fleet workers. Runs until killed, or — with
+/// `--for-plans N` — drains after merging N submitted plans (how the CI
+/// smoke job bounds it), lingering briefly so workers hear `Drained` and
+/// exit cleanly.
+fn cmd_fleet_coordinator(args: &Args) -> Result<(), String> {
+    let obs = obs_session(args)?;
+    let lease_secs = args
+        .get("lease-secs")
+        .map(|v| v.parse::<f64>().map_err(|e| format!("--lease-secs: {e}")))
+        .transpose()?
+        .unwrap_or(30.0);
+    if lease_secs.is_nan() || lease_secs <= 0.0 {
+        return Err("--lease-secs must be positive".into());
+    }
+    let options = CoordinatorOptions {
+        addr: args.get("addr").unwrap_or("127.0.0.1:9470").to_owned(),
+        cache_dir: args.get("cache-dir").map(std::path::PathBuf::from),
+        no_cache: args.has("no-cache"),
+        lease: Duration::from_secs_f64(lease_secs),
+        metrics: obs.as_ref().map(ObsSession::registry),
+        resume: args.has("resume"),
+    };
+    let coordinator = Coordinator::start(&options)
+        .map_err(|e| format!("cannot start coordinator on {}: {e}", options.addr))?;
+    eprintln!(
+        "fleet: coordinator listening on {} (lease {:.1}s)",
+        coordinator.local_addr(),
+        lease_secs
+    );
+    let for_plans = args
+        .get("for-plans")
+        .map(|v| v.parse::<usize>().map_err(|e| format!("--for-plans: {e}")))
+        .transpose()?;
+    match for_plans {
+        Some(n) => {
+            coordinator.wait_for_plans(n);
+            coordinator.begin_drain();
+            eprintln!(
+                "fleet: {n} plan(s) merged ({} lease requeues); draining workers",
+                coordinator.requeues()
+            );
+            // Linger so workers polling for leases hear `Drained` and
+            // exit zero before the listener goes away.
+            std::thread::sleep(Duration::from_secs(2));
+        }
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    if let Some(session) = obs {
+        if let Some(path) = session.finish(coordinator.take_job_profiles())? {
+            eprintln!("obs: wrote run summary -> {}", path.display());
+        }
+    }
+    coordinator.shutdown();
+    Ok(())
+}
+
+/// `fleet-worker`: register with a coordinator, lease job batches, run
+/// them on the ordinary local harness pool, and push results back until
+/// the coordinator drains.
+fn cmd_fleet_worker(args: &Args) -> Result<(), String> {
+    let connect = args
+        .get("connect")
+        .ok_or("fleet-worker needs --connect <host:port>")?;
+    let mut options = WorkerOptions::new(connect);
+    if let Some(name) = args.get("name") {
+        options.name = name.to_owned();
+    }
+    options.jobs = args
+        .get("jobs")
+        .map(|v| v.parse::<usize>().map_err(|e| format!("--jobs: {e}")))
+        .transpose()?;
+    let summary = run_worker(&options)?;
+    eprintln!(
+        "fleet: worker {} executed {} job(s) over {} batch(es); coordinator drained",
+        summary.worker, summary.executed, summary.batches
+    );
+    Ok(())
+}
+
 fn parse_domain(s: &str) -> Result<PersistenceDomain, String> {
     match s.to_ascii_lowercase().as_str() {
         "epd" | "eadr" => Ok(PersistenceDomain::Epd),
@@ -639,21 +729,29 @@ fn cmd_trace_drain(args: &Args) -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: horus-cli <config|drain|recover|attack|sweep|crash-sweep|serve-metrics|trace> [options]
+    "usage: horus-cli <config|drain|recover|attack|sweep|crash-sweep|fleet-coordinator|fleet-worker|serve-metrics|trace> [options]
   config                          print the Table I configuration as JSON
   drain   --scheme S [--llc-mb N] [--stride B] [--json]
   recover --scheme S [--llc-mb N] [--write-through] [--json]
   attack  --kind K [--scheme S]   K: data address mac splice truncate replay
   sweep   --llc 8,16,32 [--jobs N] [--cache-dir DIR] [--no-cache] [--progress] [--json]
+          [--fleet HOST:PORT]     run the points on a fleet coordinator instead of
+          the local pool; output stays byte-identical to the local run
   crash-sweep [--quick] [--points N] [--model torn|stale|garbled] [--jobs N]
           [--out FILE] [--json]   interrupt each drain at sampled cycles, recover,
           classify; exits nonzero on any Horus silent corruption
+  fleet-coordinator [--addr 127.0.0.1:9470] [--lease-secs S] [--cache-dir DIR]
+          [--no-cache] [--for-plans N] [--resume]   serve the fleet job queue and
+          authoritative result cache; merge is plan-ordered and exactly-once
+  fleet-worker --connect HOST:PORT [--jobs N] [--name NAME]   lease job batches
+          and execute them on the local harness pool until the fleet drains
   serve-metrics [--addr 127.0.0.1:9464] [--for-seconds S]   standalone Prometheus
           scrape endpoint exposing this process's host profile
   trace   <scheme> [--llc-mb N] [--stride B] [--out FILE]   probed drain: utilization,
           critical path, optional Chrome-trace JSON (Perfetto-loadable)
   trace   --file <path> [--domain epd|adr|bbb:<lines>]      workload replay
-sweep/crash-sweep telemetry: [--metrics-addr ADDR] [--dashboard] [--obs-out FILE]
+sweep/crash-sweep/fleet-coordinator telemetry: [--metrics-addr ADDR] [--dashboard]
+          [--obs-out FILE]
 schemes: ns base-lu base-eu horus(-slm) horus-dlm";
 
 fn main() -> ExitCode {
@@ -667,6 +765,7 @@ fn main() -> ExitCode {
             "progress",
             "quick",
             "dashboard",
+            "resume",
         ],
     ) {
         Ok(a) => a,
@@ -690,6 +789,8 @@ fn main() -> ExitCode {
             Ok(code) => return code,
             Err(e) => Err(e),
         },
+        "fleet-coordinator" => cmd_fleet_coordinator(&args),
+        "fleet-worker" => cmd_fleet_worker(&args),
         "serve-metrics" => cmd_serve_metrics(&args),
         "trace" => cmd_trace(&args),
         "help" | "--help" | "-h" => {

@@ -20,6 +20,7 @@
 //! | [`energy`] | `horus-energy` | drain energy and battery sizing (Tables II–III) |
 //! | [`workload`] | `horus-workload` | crash-snapshot generators and access traces |
 //! | [`harness`] | `horus-harness` | parallel, cache-aware experiment orchestration |
+//! | [`fleet`] | `horus-fleet` | distributed coordinator/worker sweep execution with deterministic merge |
 //! | [`mod@bench`] | `horus-bench` | the paper's figures/tables, the crash-point sweep, the bench gate |
 //!
 //! # Quickstart
@@ -56,6 +57,7 @@ pub use horus_cache as cache;
 pub use horus_core as core;
 pub use horus_crypto as crypto;
 pub use horus_energy as energy;
+pub use horus_fleet as fleet;
 pub use horus_harness as harness;
 pub use horus_metadata as metadata;
 pub use horus_nvm as nvm;
