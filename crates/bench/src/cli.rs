@@ -14,6 +14,10 @@
 //! --obs-out FILE    write the end-of-run obs summary JSON to FILE
 //! --fleet ADDR      submit sweeps to the fleet coordinator at ADDR instead
 //!                   of the local pool (output stays byte-identical)
+//! --span-out FILE   write a Chrome-trace JSON of per-job lifecycle spans
+//!                   (queued → leased → executing → pushed → committed)
+//! --log-level LVL   structured-log threshold: debug|info|warn|error
+//! --log-json        emit structured log lines as NDJSON on stderr
 //! ```
 //!
 //! The three `--metrics-addr`/`--dashboard`/`--obs-out` flags together
@@ -35,7 +39,7 @@
 use horus_core::{DrainScheme, SystemConfig};
 use horus_fleet::FleetBackend;
 use horus_harness::{Harness, HarnessOptions, JobSpec, ProgressMode, SweepBackend};
-use horus_obs::{ObsOptions, ObsSession};
+use horus_obs::{log, ObsOptions, ObsSession};
 use horus_sim::chrome_trace_json;
 use horus_workload::FillPattern;
 use std::path::PathBuf;
@@ -64,12 +68,18 @@ pub struct HarnessArgs {
     pub obs_out: Option<PathBuf>,
     /// `--fleet ADDR`.
     pub fleet: Option<String>,
+    /// `--span-out FILE`.
+    pub span_out: Option<PathBuf>,
+    /// `--log-level LVL`.
+    pub log_level: Option<log::Level>,
+    /// `--log-json`.
+    pub log_json: bool,
 }
 
 /// The usage string fragment for the shared flags.
 pub const HARNESS_USAGE: &str = "[--jobs N] [--cache-dir DIR] [--no-cache] [--progress] \
      [--quick] [--trace-out FILE] [--metrics-addr ADDR] [--dashboard] [--obs-out FILE] \
-     [--fleet ADDR]";
+     [--fleet ADDR] [--span-out FILE] [--log-level LVL] [--log-json]";
 
 impl HarnessArgs {
     /// Parses the process arguments; unknown flags are an error.
@@ -131,6 +141,18 @@ impl HarnessArgs {
                     let v = it.next().ok_or("--fleet requires a value")?;
                     args.fleet = Some(v);
                 }
+                "--span-out" => {
+                    let v = it.next().ok_or("--span-out requires a value")?;
+                    args.span_out = Some(PathBuf::from(v));
+                }
+                "--log-level" => {
+                    let v = it.next().ok_or("--log-level requires a value")?;
+                    args.log_level = Some(
+                        log::Level::parse(&v)
+                            .ok_or(format!("--log-level {v}: expected debug|info|warn|error"))?,
+                    );
+                }
+                "--log-json" => args.log_json = true,
                 other => return Err(format!("unknown flag '{other}' ({HARNESS_USAGE})")),
             }
         }
@@ -175,6 +197,7 @@ impl HarnessArgs {
                 .fleet
                 .as_ref()
                 .map(|addr| Arc::new(FleetBackend::new(addr.clone())) as Arc<dyn SweepBackend>),
+            spans: obs.session.as_ref().and_then(ObsSession::span_book),
         })
     }
 
@@ -191,6 +214,7 @@ impl HarnessArgs {
             metrics_addr: self.metrics_addr.clone(),
             dashboard: self.dashboard,
             summary_out,
+            span_out: self.span_out.clone(),
         }
     }
 
@@ -198,8 +222,21 @@ impl HarnessArgs {
     /// obs flag was given), exiting the process when the metrics address
     /// cannot be bound. Announces the scrape URL on stderr so an
     /// operator can curl it mid-run.
+    /// Applies `--log-level` / `--log-json` to the process-wide
+    /// structured logger. Idempotent; a no-op when neither flag was
+    /// given (so the logger keeps its defaults).
+    pub fn apply_log_flags(&self) {
+        if let Some(level) = self.log_level {
+            log::set_level(level);
+        }
+        if self.log_json {
+            log::set_json_stderr(true);
+        }
+    }
+
     #[must_use]
     pub fn obs_or_exit(&self) -> ObsRuntime {
+        self.apply_log_flags();
         let opts = self.obs_options();
         if !opts.is_active() {
             return ObsRuntime { session: None };
@@ -512,6 +549,60 @@ mod tests {
         assert_eq!(a.obs_out, Some(PathBuf::from("/tmp/summary.json")));
         assert!(parse(&["--metrics-addr"]).is_err());
         assert!(parse(&["--obs-out"]).is_err());
+    }
+
+    #[test]
+    fn span_and_log_flags_parse() {
+        let a = parse(&[
+            "--span-out",
+            "/tmp/spans.json",
+            "--log-level",
+            "warn",
+            "--log-json",
+        ])
+        .expect("valid");
+        assert_eq!(a.span_out, Some(PathBuf::from("/tmp/spans.json")));
+        assert_eq!(a.log_level, Some(log::Level::Warn));
+        assert!(a.log_json);
+        // --span-out alone activates the obs session (so the book gets
+        // created and drained even with no other telemetry flag).
+        assert!(a.obs_options().is_active());
+        assert!(parse(&["--span-out"]).is_err());
+        assert!(parse(&["--log-level"]).is_err());
+        assert!(parse(&["--log-level", "loud"]).is_err());
+    }
+
+    #[test]
+    fn span_out_threads_a_book_into_local_sweeps() {
+        let dir = std::env::temp_dir().join(format!("horus-cli-span-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let out = dir.join("spans.json");
+        let a = parse(&[
+            "--span-out",
+            out.to_str().expect("utf8 temp path"),
+            "--no-cache",
+            "--jobs",
+            "2",
+            "--quick",
+        ])
+        .expect("valid");
+        let obs = a.obs_or_exit();
+        assert!(obs.active());
+        let h = a.harness_with(&obs);
+        let cfg = SystemConfig::small_test();
+        let specs = vec![JobSpec::drain(
+            &cfg,
+            DrainScheme::NonSecure,
+            FillPattern::StridedSparse { min_stride: 16384 },
+        )];
+        let report = h.run(&specs);
+        assert_eq!(report.executed, 1);
+        obs.finish_or_exit(&h);
+        let json = std::fs::read_to_string(&out).expect("span trace written");
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        assert!(json.contains("\"name\":\"queued\""), "{json}");
+        assert!(json.contains("\"name\":\"committed\""), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

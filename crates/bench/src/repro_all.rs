@@ -546,6 +546,66 @@ coordinator, the `horus_fleet_workers`,
 families make the whole lifecycle visible on the dashboard or a
 Prometheus scrape.
 
+## Tracing the fleet — job lifecycle spans and structured logs
+
+The drain-episode probe above traces *inside* one simulated episode;
+`horus-span` traces the *job around it* as it moves through the fleet:
+queued → leased → executing → pushed → committed, one timeline across
+every host (see ARCHITECTURE.md, "Fleet tracing & logging"). Run the
+2-worker fleet from the previous section, but give the coordinator a
+metrics endpoint and a span artifact:
+
+```
+cargo run --release --bin horus-cli -- fleet-coordinator \
+    --addr 127.0.0.1:9470 --cache-dir fleet-cache \
+    --metrics-addr 127.0.0.1:9464 --span-out fleet-spans.json
+```
+
+start the two workers and submit `sweep --llc 8,16 --json --fleet
+127.0.0.1:9470` exactly as before, then pull the assembled timeline
+from any terminal:
+
+```
+cargo run --release --bin horus-cli -- fleet-trace \
+    --connect 127.0.0.1:9470 --out fleet-trace.json
+# fleet-trace: 10 span(s) from 127.0.0.1:9470 (10 complete)
+```
+
+`fleet-trace.json` is Chrome-trace JSON in the same shape as the drain
+probe's export: drop it on [Perfetto](https://ui.perfetto.dev) (or
+`chrome://tracing`) and each worker is a track, each job five spans —
+queue wait, lease-to-execute gap, execution, push, commit. Worker
+clocks are normalized to the coordinator's clock from the
+`Hello`/`Welcome` round trip, so cross-host spans line up on one
+timeline; stamps are clamped per-job-monotonic at render. The same
+stage durations feed `horus_fleet_job_stage_seconds{stage=...}`
+histograms on the scrape, the dashboard's `stage mean` line, and
+`obs-summary.json`.
+
+The fleet's diagnostics are structured now, too: every coordinator and
+worker event (registration, plan submit/resume, journal failures,
+drain) goes through `horus_obs::log` — leveled, with typed fields, the
+last 1024 lines served as NDJSON at the endpoint's `/logs` route
+(liveness at `/healthz`, readiness at `/readyz`):
+
+```
+$ curl -s http://127.0.0.1:9464/logs | head -2
+{"ts_ms":…,"seq":0,"level":"info","target":"fleet","msg":"worker registered","fields":{"worker":"0","name":"worker-a","jobs":"2"}}
+{"ts_ms":…,"seq":1,"level":"info","target":"fleet","msg":"plan submitted","fields":{"plan":"0","jobs":"10","cached":"0"}}
+```
+
+`--log-level debug|info|warn|error` sets the threshold and `--log-json`
+mirrors the NDJSON to stderr (the human-readable form is the default).
+Local sweeps trace the same way without any fleet: `--span-out` on any
+`repro-*` binary or `horus-cli sweep` stamps the five stages on the
+local pool (workers named `local-N`) and writes the same Perfetto
+timeline at exit. Spans are observe-only: with the flags off, outputs
+are byte-identical to a span-free build, and the stage histograms are
+excluded from the deterministic scrape subset by name. The CI
+`fleet-smoke` job runs this exact 2-worker recipe, asserts every
+committed job carries all five stages monotonically, probes `/healthz`
+and `/logs`, and uploads `fleet-trace.json` as an artifact.
+
 ## Benchmarking the simulator itself — criterion walkthrough
 
 The experiments above measure the *simulated machine*; this section is

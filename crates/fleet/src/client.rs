@@ -9,6 +9,7 @@
 
 use crate::proto::{Connection, Request, Response};
 use horus_harness::{JobOutcome, JobSpec, SweepBackend};
+use horus_obs::span::JobSpan;
 
 /// A handle on a remote fleet coordinator.
 #[derive(Debug, Clone)]
@@ -48,6 +49,26 @@ impl FleetBackend {
                 plans_done,
             }) => Ok((workers, pending, leased, done, plans_done)),
             Some(other) => Err(format!("expected Status, got {other:?}")),
+            None => Err("coordinator closed the connection".to_owned()),
+        }
+    }
+
+    /// Fetches every job span the coordinator has stamped so far, as
+    /// [`JobSpan`]s ready for `horus_obs::span::chrome_trace_json`.
+    /// Empty when the coordinator is not collecting spans.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the coordinator is unreachable or answers
+    /// out of protocol.
+    pub fn fetch_trace(&self) -> Result<Vec<JobSpan>, String> {
+        let mut conn = Connection::connect(&self.addr)?;
+        conn.send(&Request::FleetTrace)?;
+        match conn.recv::<Response>()? {
+            Some(Response::FleetTrace { spans }) => {
+                Ok(spans.into_iter().map(JobSpan::from).collect())
+            }
+            Some(other) => Err(format!("expected FleetTrace, got {other:?}")),
             None => Err("coordinator closed the connection".to_owned()),
         }
     }

@@ -20,12 +20,25 @@
 //! coordinator can re-enqueue interrupted work with
 //! [`CoordinatorOptions::resume`]; completed results re-enter through
 //! the result cache as instant hits.
+//!
+//! When [`CoordinatorOptions::spans`] carries a
+//! [`horus_obs::span::SpanBook`], every job is stamped
+//! through its lifecycle — queued at submit, leased at grant, the
+//! worker-reported executing/pushed stamps from [`Request::Push`], and
+//! committed at commit — and per-stage latencies feed the
+//! `horus_fleet_job_stage_seconds` histograms. Without a book none of
+//! that runs and the wire frames are byte-identical to the pre-span
+//! protocol.
 
-use crate::proto::{Connection, LeasedJob, Request, Response, PROTOCOL_VERSION};
+use crate::proto::{
+    Connection, LeasedJob, ProtoSpan, ProtoSpanContext, Request, Response, PROTOCOL_VERSION,
+};
 use crate::queue::JobQueue;
 use horus_harness::{JobSpec, ResultCache};
 use horus_obs::profile::JobProfile;
-use horus_obs::{names, Registry};
+use horus_obs::span::Stage;
+use horus_obs::{log, names, Registry, SpanBook};
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -46,6 +59,9 @@ pub struct CoordinatorOptions {
     pub lease: Duration,
     /// Metrics registry for the fleet families; `None` records nothing.
     pub metrics: Option<Arc<Registry>>,
+    /// Span collector for per-job lifecycle tracing; `None` (the
+    /// default) stamps nothing and keeps wire frames span-free.
+    pub spans: Option<Arc<SpanBook>>,
     /// Re-enqueue journaled plans left over from a previous run.
     pub resume: bool,
 }
@@ -58,6 +74,7 @@ impl Default for CoordinatorOptions {
             no_cache: false,
             lease: Duration::from_secs(30),
             metrics: None,
+            spans: None,
             resume: false,
         }
     }
@@ -72,13 +89,17 @@ struct FleetMetrics {
 impl FleetMetrics {
     /// Registers every unlabelled fleet family at its zero value, so
     /// scrapes and run summaries always carry them even when nothing —
-    /// e.g. a lease expiry — ever happened.
+    /// e.g. a lease expiry — ever happened. The stage histograms are
+    /// pre-registered for all five stages the same way.
     fn new(registry: Arc<Registry>) -> Self {
         let m = FleetMetrics { registry };
         m.workers(0);
         m.leases(0);
         m.requeues(0);
         m.plans(0);
+        for stage in Stage::ALL {
+            let _ = m.stage(stage);
+        }
         m
     }
 
@@ -135,6 +156,21 @@ impl FleetMetrics {
             )
             .add(n);
     }
+
+    fn stage(&self, stage: Stage) -> horus_obs::TimeHistogram {
+        self.registry.time_histogram(
+            names::FLEET_JOB_STAGE_SECONDS,
+            "Per-stage job latency observed at commit (committed = end-to-end).",
+            &[("stage", stage.as_str())],
+        )
+    }
+
+    /// Records one committed job's per-stage latencies.
+    fn stage_seconds(&self, secs: [f64; horus_obs::span::STAGES]) {
+        for (i, stage) in Stage::ALL.into_iter().enumerate() {
+            self.stage(stage).observe_seconds(secs[i]);
+        }
+    }
 }
 
 struct FleetState {
@@ -143,6 +179,8 @@ struct FleetState {
     journal_dir: Option<PathBuf>,
     workers: usize,
     next_worker: u64,
+    /// Display names by worker id, for span tracks and logs.
+    worker_names: HashMap<u64, String>,
     draining: bool,
     profiles: Vec<JobProfile>,
 }
@@ -152,6 +190,7 @@ struct Shared {
     /// Signalled on every commit (plan completion) and on drain.
     planwake: Condvar,
     metrics: Option<FleetMetrics>,
+    spans: Option<Arc<SpanBook>>,
     lease: Duration,
     shutdown: AtomicBool,
 }
@@ -188,6 +227,7 @@ impl Coordinator {
             journal_dir,
             workers: 0,
             next_worker: 0,
+            worker_names: HashMap::new(),
             draining: false,
             profiles: Vec::new(),
         };
@@ -201,6 +241,7 @@ impl Coordinator {
                 .metrics
                 .as_ref()
                 .map(|r| FleetMetrics::new(Arc::clone(r))),
+            spans: options.spans.as_ref().map(Arc::clone),
             lease: options.lease,
             shutdown: AtomicBool::new(false),
         });
@@ -360,16 +401,28 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 let worker = st.next_worker;
                 st.next_worker += 1;
                 st.workers += 1;
+                st.worker_names.insert(worker, name.clone());
                 registered_worker = true;
                 drop(st);
                 if let Some(m) = &shared.metrics {
                     m.workers(1);
                 }
-                eprintln!("fleet: worker {worker} ({name}, {jobs} jobs) registered");
+                log::info(
+                    "fleet",
+                    "worker registered",
+                    &[
+                        ("worker", &worker.to_string()),
+                        ("name", &name),
+                        ("jobs", &jobs.to_string()),
+                    ],
+                );
                 Response::Welcome {
                     worker,
                     lease_ms: u64::try_from(shared.lease.as_millis()).unwrap_or(u64::MAX),
                     protocol: PROTOCOL_VERSION,
+                    // Only a span-collecting coordinator reveals its
+                    // clock; otherwise the frame stays pre-span.
+                    now_ms: shared.spans.as_ref().map(|book| book.now_ms()),
                 }
             }
             Request::Renew { worker } => {
@@ -398,10 +451,44 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     if let Some(m) = &shared.metrics {
                         m.leases(leased.len() as i64);
                     }
+                    let contexts: Vec<Option<ProtoSpanContext>> = match &shared.spans {
+                        Some(book) => {
+                            let st = shared.state.lock().expect("fleet state poisoned");
+                            let name = st.worker_names.get(&worker).cloned();
+                            let now = book.now_ms();
+                            leased
+                                .iter()
+                                .map(|(job, _)| {
+                                    let (plan, key, _) = st.queue.job_info(*job)?;
+                                    // Fallback queued stamp for jobs that
+                                    // predate the book (resumed plans):
+                                    // first-stamp-wins keeps the real one.
+                                    book.stamp(plan, *job, key, Stage::Queued, now, None);
+                                    book.stamp(
+                                        plan,
+                                        *job,
+                                        key,
+                                        Stage::Leased,
+                                        now,
+                                        name.as_deref(),
+                                    );
+                                    let span = book.get(plan, *job)?;
+                                    Some(ProtoSpanContext {
+                                        plan,
+                                        queued_ms: span.stamps[Stage::Queued.index()]
+                                            .unwrap_or(now),
+                                        leased_ms: now,
+                                    })
+                                })
+                                .collect()
+                        }
+                        None => vec![None; leased.len()],
+                    };
                     Response::Jobs {
                         leases: leased
                             .into_iter()
-                            .map(|(job, spec)| LeasedJob { job, spec })
+                            .zip(contexts)
+                            .map(|((job, spec), span)| LeasedJob { job, spec, span })
                             .collect(),
                     }
                 }
@@ -411,9 +498,18 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 job,
                 outcome,
                 profile,
+                span,
             } => {
                 let mut st = shared.state.lock().expect("fleet state poisoned");
                 let cache = st.cache.clone();
+                // Snapshot before the commit: a slot already Done means
+                // this push is a duplicate and must not re-stamp or
+                // re-observe anything.
+                let info = st
+                    .queue
+                    .job_info(job)
+                    .map(|(plan, key, done)| (plan, key.to_string(), done));
+                let worker_name = st.worker_names.get(&worker).cloned();
                 let completed = st.queue.commit(job, outcome, cache.as_ref());
                 if let Some(p) = profile {
                     st.profiles.push(JobProfile::from(p));
@@ -422,6 +518,26 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     retire_journal(&st, *plan);
                 }
                 drop(st);
+                if let (Some(book), Some((plan, key, false))) = (&shared.spans, &info) {
+                    let now = book.now_ms();
+                    let name = worker_name.as_deref();
+                    if let Some(stamps) = &span {
+                        book.stamp(*plan, job, key, Stage::Executing, stamps.executing_ms, name);
+                        book.stamp(*plan, job, key, Stage::Pushed, stamps.pushed_ms, name);
+                    } else {
+                        // A span-less worker still yields a connected
+                        // timeline: both worker stages collapse onto
+                        // the commit instant.
+                        book.stamp(*plan, job, key, Stage::Executing, now, name);
+                        book.stamp(*plan, job, key, Stage::Pushed, now, name);
+                    }
+                    book.stamp(*plan, job, key, Stage::Committed, now, name);
+                    if let Some(m) = &shared.metrics {
+                        if let Some(secs) = book.get(*plan, job).and_then(|s| s.stage_seconds()) {
+                            m.stage_seconds(secs);
+                        }
+                    }
+                }
                 if let Some(m) = &shared.metrics {
                     m.leases(-1);
                     m.worker_job(worker);
@@ -446,11 +562,27 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 } else {
                     write_journal(&st, sub.plan, &specs);
                 }
+                let plan_jobs = shared
+                    .spans
+                    .as_ref()
+                    .map(|_| st.queue.plan_jobs(sub.plan))
+                    .unwrap_or_default();
                 drop(st);
+                if let Some(book) = &shared.spans {
+                    let now = book.now_ms();
+                    for (job, key) in &plan_jobs {
+                        book.stamp(sub.plan, *job, key, Stage::Queued, now, None);
+                    }
+                }
                 shared.planwake.notify_all();
-                eprintln!(
-                    "fleet: plan {} submitted ({} jobs, {} cache hits)",
-                    sub.plan, sub.jobs, sub.cached
+                log::info(
+                    "fleet",
+                    "plan submitted",
+                    &[
+                        ("plan", &sub.plan.to_string()),
+                        ("jobs", &sub.jobs.to_string()),
+                        ("cached", &sub.cached.to_string()),
+                    ],
                 );
                 Response::Submitted {
                     plan: sub.plan,
@@ -492,6 +624,13 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     plans_done: st.queue.plans_done(),
                 }
             }
+            Request::FleetTrace => Response::FleetTrace {
+                spans: shared
+                    .spans
+                    .as_ref()
+                    .map(|book| book.spans().iter().map(ProtoSpan::from).collect())
+                    .unwrap_or_default(),
+            },
         };
         if conn.send(&response).is_err() {
             break;
@@ -518,7 +657,11 @@ fn write_journal(st: &FleetState, plan: u64, specs: &[JobSpec]) {
         std::fs::write(dir.join(format!("plan-{plan}.json")), json)
     });
     if let Err(e) = write {
-        eprintln!("fleet: journal write for plan {plan} failed: {e}");
+        log::error(
+            "fleet",
+            "journal write failed",
+            &[("plan", &plan.to_string()), ("error", &e.to_string())],
+        );
     }
 }
 
@@ -555,18 +698,25 @@ fn resume_journal(st: &mut FleetState) {
         {
             Ok(specs) => specs,
             Err(e) => {
-                eprintln!("fleet: unreadable journal {}: {e}", path.display());
+                log::warn(
+                    "fleet",
+                    "unreadable journal",
+                    &[("path", &path.display().to_string()), ("error", &e)],
+                );
                 continue;
             }
         };
         let cache = st.cache.clone();
         let sub = st.queue.submit(specs.clone(), cache.as_ref());
-        eprintln!(
-            "fleet: resumed plan {} from {} ({} jobs, {} already cached)",
-            sub.plan,
-            path.display(),
-            sub.jobs,
-            sub.cached
+        log::info(
+            "fleet",
+            "plan resumed from journal",
+            &[
+                ("plan", &sub.plan.to_string()),
+                ("path", &path.display().to_string()),
+                ("jobs", &sub.jobs.to_string()),
+                ("cached", &sub.cached.to_string()),
+            ],
         );
         let _ = std::fs::remove_file(&path);
         if st.queue.plan_outcomes(sub.plan).is_none() {

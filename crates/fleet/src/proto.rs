@@ -16,6 +16,7 @@
 
 use horus_harness::{JobOutcome, JobSpec};
 use horus_obs::profile::JobProfile;
+use horus_obs::span::{JobSpan, Stage};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufReader, Write};
@@ -34,6 +35,96 @@ pub struct LeasedJob {
     pub job: u64,
     /// The experiment point to run.
     pub spec: JobSpec,
+    /// Trace context, present only when the coordinator collects spans.
+    /// Absent on the wire otherwise, so span-less coordinators emit
+    /// exactly the pre-span frames (and old peers decode new ones).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub span: Option<ProtoSpanContext>,
+}
+
+/// Per-job trace context a span-collecting coordinator attaches to a
+/// lease: enough for the worker to know the job is being traced. The
+/// coordinator-side stamps ride along for debuggability; the
+/// coordinator's own [`SpanBook`](horus_obs::span::SpanBook) remains
+/// the source of truth for them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtoSpanContext {
+    /// Plan the job belongs to.
+    pub plan: u64,
+    /// Coordinator-clock ms when the job was enqueued.
+    pub queued_ms: f64,
+    /// Coordinator-clock ms when this lease was granted.
+    pub leased_ms: f64,
+}
+
+/// Worker-side stage timestamps reported with a [`Request::Push`],
+/// already normalized to the coordinator clock via the offset measured
+/// on the Hello/Welcome round trip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtoStageStamps {
+    /// Coordinator-relative ms when the worker began executing the job.
+    pub executing_ms: f64,
+    /// Coordinator-relative ms when the worker sent the result.
+    pub pushed_ms: f64,
+}
+
+/// The serde mirror of [`JobSpan`] (`horus-obs` stays serde-free):
+/// one job's full lifecycle as stamped by the coordinator, fetched
+/// whole via [`Request::FleetTrace`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtoSpan {
+    /// Plan the job belongs to.
+    pub plan: u64,
+    /// Coordinator-assigned job id.
+    pub job: u64,
+    /// Job content key.
+    pub key: String,
+    /// Name of the worker that committed the job (empty if none yet).
+    pub worker: String,
+    /// Coordinator-clock ms at enqueue.
+    pub queued_ms: Option<f64>,
+    /// Coordinator-clock ms at lease grant.
+    pub leased_ms: Option<f64>,
+    /// Coordinator-relative ms at execution start (worker-reported).
+    pub executing_ms: Option<f64>,
+    /// Coordinator-relative ms at result push (worker-reported).
+    pub pushed_ms: Option<f64>,
+    /// Coordinator-clock ms at commit.
+    pub committed_ms: Option<f64>,
+}
+
+impl From<&JobSpan> for ProtoSpan {
+    fn from(s: &JobSpan) -> Self {
+        ProtoSpan {
+            plan: s.plan,
+            job: s.job,
+            key: s.key.clone(),
+            worker: s.worker.clone(),
+            queued_ms: s.stamps[Stage::Queued.index()],
+            leased_ms: s.stamps[Stage::Leased.index()],
+            executing_ms: s.stamps[Stage::Executing.index()],
+            pushed_ms: s.stamps[Stage::Pushed.index()],
+            committed_ms: s.stamps[Stage::Committed.index()],
+        }
+    }
+}
+
+impl From<ProtoSpan> for JobSpan {
+    fn from(s: ProtoSpan) -> Self {
+        let mut stamps = [None; horus_obs::span::STAGES];
+        stamps[Stage::Queued.index()] = s.queued_ms;
+        stamps[Stage::Leased.index()] = s.leased_ms;
+        stamps[Stage::Executing.index()] = s.executing_ms;
+        stamps[Stage::Pushed.index()] = s.pushed_ms;
+        stamps[Stage::Committed.index()] = s.committed_ms;
+        JobSpan {
+            plan: s.plan,
+            job: s.job,
+            key: s.key,
+            worker: s.worker,
+            stamps,
+        }
+    }
 }
 
 /// The serde mirror of [`JobProfile`] (`horus-obs` stays serde-free, so
@@ -120,6 +211,10 @@ pub enum Request {
         outcome: JobOutcome,
         /// Host profile of the execution, when collected.
         profile: Option<ProtoProfile>,
+        /// Worker-side stage stamps, present only when the lease
+        /// carried a trace context (absent on the wire otherwise).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        span: Option<ProtoStageStamps>,
     },
     /// A submitting harness enqueues a sweep plan.
     Submit {
@@ -133,6 +228,10 @@ pub enum Request {
     },
     /// Queue/worker counts, for smoke checks and dashboards.
     Status,
+    /// Fetches every span the coordinator has stamped so far (see
+    /// `horus-cli fleet-trace`). Answered with an empty list by a
+    /// coordinator that is not collecting spans.
+    FleetTrace,
 }
 
 /// Coordinator → client messages.
@@ -149,6 +248,12 @@ pub enum Response {
         lease_ms: u64,
         /// Coordinator protocol version (see [`PROTOCOL_VERSION`]).
         protocol: u32,
+        /// Coordinator-clock ms at the moment the Welcome was sent;
+        /// present only when the coordinator collects spans. The worker
+        /// halves the Hello→Welcome round trip against it to normalize
+        /// its own stamps to the coordinator clock.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        now_ms: Option<f64>,
     },
     /// Answer to [`Request::Lease`] when work is available.
     Jobs {
@@ -194,6 +299,11 @@ pub enum Response {
         done: usize,
         /// Plans fully merged.
         plans_done: usize,
+    },
+    /// Answer to [`Request::FleetTrace`].
+    FleetTrace {
+        /// Every span stamped so far, in (plan, job) order.
+        spans: Vec<ProtoSpan>,
     },
     /// The request could not be served (unknown plan, malformed line).
     Error {
@@ -345,6 +455,10 @@ mod tests {
                 allocations: None,
                 allocated_bytes: None,
             }),
+            span: Some(ProtoStageStamps {
+                executing_ms: 12.5,
+                pushed_ms: 260.0,
+            }),
         });
         roundtrip(&Request::Push {
             worker: 3,
@@ -353,12 +467,14 @@ mod tests {
                 message: "diverged\nwith a newline".into(),
             },
             profile: None,
+            span: None,
         });
         roundtrip(&Request::Submit {
             specs: vec![spec(), spec()],
         });
         roundtrip(&Request::WaitPlan { plan: 2 });
         roundtrip(&Request::Status);
+        roundtrip(&Request::FleetTrace);
     }
 
     #[test]
@@ -367,11 +483,30 @@ mod tests {
             worker: 1,
             lease_ms: 30_000,
             protocol: PROTOCOL_VERSION,
+            now_ms: None,
+        });
+        roundtrip(&Response::Welcome {
+            worker: 1,
+            lease_ms: 30_000,
+            protocol: PROTOCOL_VERSION,
+            now_ms: Some(1234.75),
         });
         roundtrip(&Response::Jobs {
             leases: vec![LeasedJob {
                 job: 9,
                 spec: spec(),
+                span: None,
+            }],
+        });
+        roundtrip(&Response::Jobs {
+            leases: vec![LeasedJob {
+                job: 9,
+                spec: spec(),
+                span: Some(ProtoSpanContext {
+                    plan: 1,
+                    queued_ms: 3.0,
+                    leased_ms: 8.25,
+                }),
             }],
         });
         roundtrip(&Response::Retry { after_ms: 100 });
@@ -395,6 +530,20 @@ mod tests {
             leased: 1,
             done: 6,
             plans_done: 1,
+        });
+        roundtrip(&Response::FleetTrace { spans: Vec::new() });
+        roundtrip(&Response::FleetTrace {
+            spans: vec![ProtoSpan {
+                plan: 1,
+                job: 9,
+                key: "abc".into(),
+                worker: "w-a".into(),
+                queued_ms: Some(1.0),
+                leased_ms: Some(2.0),
+                executing_ms: None,
+                pushed_ms: None,
+                committed_ms: None,
+            }],
         });
         roundtrip(&Response::Error {
             message: "unknown plan 99".into(),
@@ -436,6 +585,71 @@ mod tests {
                 "{bad:?} should be rejected"
             );
         }
+    }
+
+    #[test]
+    fn absent_span_fields_keep_the_pre_span_wire_shape() {
+        // A span-less coordinator/worker must emit exactly the frames
+        // the pre-span protocol did: no `span`/`now_ms` keys at all.
+        let lease = encode(&Response::Jobs {
+            leases: vec![LeasedJob {
+                job: 9,
+                spec: spec(),
+                span: None,
+            }],
+        })
+        .expect("encode");
+        assert!(!lease.contains("span"), "{lease}");
+        let welcome = encode(&Response::Welcome {
+            worker: 1,
+            lease_ms: 30_000,
+            protocol: PROTOCOL_VERSION,
+            now_ms: None,
+        })
+        .expect("encode");
+        assert!(!welcome.contains("now_ms"), "{welcome}");
+        let push = encode(&Request::Push {
+            worker: 3,
+            job: 18,
+            outcome: JobOutcome::Panicked {
+                message: "x".into(),
+            },
+            profile: None,
+            span: None,
+        })
+        .expect("encode");
+        assert!(!push.contains("span"), "{push}");
+
+        // And frames *without* those keys (from an old peer) decode.
+        let old_welcome = "{\"Welcome\":{\"worker\":1,\"lease_ms\":30000,\"protocol\":1}}";
+        let back: Response = decode(old_welcome).expect("old welcome decodes");
+        assert_eq!(
+            back,
+            Response::Welcome {
+                worker: 1,
+                lease_ms: 30_000,
+                protocol: PROTOCOL_VERSION,
+                now_ms: None,
+            }
+        );
+    }
+
+    #[test]
+    fn spans_mirror_losslessly() {
+        let mut span = JobSpan {
+            plan: 2,
+            job: 41,
+            key: "deadbeef".into(),
+            worker: "w-b".into(),
+            stamps: [Some(1.0), Some(2.0), Some(3.5), None, None],
+        };
+        let proto = ProtoSpan::from(&span);
+        assert_eq!(proto.executing_ms, Some(3.5));
+        assert_eq!(proto.pushed_ms, None);
+        let back = JobSpan::from(proto);
+        assert_eq!(back, span);
+        span.stamps = [None; horus_obs::span::STAGES];
+        assert_eq!(JobSpan::from(ProtoSpan::from(&span)), span);
     }
 
     #[test]

@@ -335,6 +335,31 @@ impl JobQueue {
         expired
     }
 
+    /// A slot's `(plan, content key, already committed)` triple — what
+    /// span stamping needs around a lease or push — or `None` for an
+    /// unknown job id.
+    #[must_use]
+    pub fn job_info(&self, job: u64) -> Option<(u64, &str, bool)> {
+        self.jobs
+            .get(&job)
+            .map(|e| (e.plan, e.key.as_str(), e.state == JobState::Done))
+    }
+
+    /// The plan's `(job id, content key)` pairs in submission order;
+    /// empty for an unknown plan id.
+    #[must_use]
+    pub fn plan_jobs(&self, plan: u64) -> Vec<(u64, String)> {
+        self.plans
+            .get(&plan)
+            .map(|p| {
+                p.jobs
+                    .iter()
+                    .filter_map(|id| self.jobs.get(id).map(|e| (*id, e.key.clone())))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
     /// The plan's outcomes in submission order, once complete; `None`
     /// while any slot is open or for an unknown plan id.
     #[must_use]
@@ -551,6 +576,28 @@ mod tests {
             assert_eq!(a, b);
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn job_info_and_plan_jobs_track_the_lifecycle() {
+        let mut q = JobQueue::new();
+        let specs = specs(2);
+        let keys: Vec<String> = specs.iter().map(JobSpec::key).collect();
+        let sub = q.submit(specs.clone(), None);
+        let jobs = q.plan_jobs(sub.plan);
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(
+            jobs.iter().map(|(_, k)| k.clone()).collect::<Vec<_>>(),
+            keys,
+            "submission order"
+        );
+        let (id0, _) = jobs[0];
+        assert_eq!(q.job_info(id0), Some((sub.plan, keys[0].as_str(), false)));
+        let leased = q.lease(1, 10, Instant::now(), Duration::from_secs(30));
+        q.commit(leased[0].0, outcome(&specs[0]), None);
+        assert_eq!(q.job_info(id0), Some((sub.plan, keys[0].as_str(), true)));
+        assert_eq!(q.job_info(999), None);
+        assert!(q.plan_jobs(999).is_empty());
     }
 
     #[test]

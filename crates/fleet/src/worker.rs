@@ -21,9 +21,11 @@
 //! torn down doesn't strand nonzero worker exits), or an I/O / protocol
 //! error (reported as `Err`).
 
-use crate::proto::{Connection, ProtoProfile, Request, Response, PROTOCOL_VERSION};
+use crate::proto::{
+    Connection, ProtoProfile, ProtoStageStamps, Request, Response, PROTOCOL_VERSION,
+};
 use horus_harness::{Harness, HarnessOptions, JobSpec, ProgressMode};
-use horus_obs::Registry;
+use horus_obs::{log, Registry};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -73,30 +75,53 @@ pub struct WorkerSummary {
 /// a mid-session I/O / protocol error.
 pub fn run_worker(options: &WorkerOptions) -> Result<WorkerSummary, String> {
     let mut conn = Connection::connect(&options.coordinator)?;
+    // Local millisecond clock for the clock-offset measurement below.
+    let clock = Instant::now();
+    let t0 = local_ms(clock);
     conn.send(&Request::Hello {
         name: options.name.clone(),
         jobs: options.jobs.unwrap_or(0),
     })?;
-    let (worker, lease_ms) = match conn.recv::<Response>()? {
+    let (worker, lease_ms, offset_ms) = match conn.recv::<Response>()? {
         Some(Response::Welcome {
             worker,
             lease_ms,
             protocol,
+            now_ms,
         }) => {
             if protocol != PROTOCOL_VERSION {
                 return Err(format!(
                     "coordinator speaks protocol {protocol}, this worker speaks {PROTOCOL_VERSION}"
                 ));
             }
-            (worker, lease_ms)
+            // A span-collecting coordinator reveals its clock in the
+            // Welcome; halving the Hello→Welcome round trip against it
+            // estimates `coordinator now − local now`, which normalizes
+            // every local stamp to the coordinator timeline.
+            let t1 = local_ms(clock);
+            (worker, lease_ms, now_ms.map(|now| now - (t0 + t1) / 2.0))
         }
         Some(other) => return Err(format!("expected Welcome, got {other:?}")),
         None => return Err("coordinator closed the connection during hello".to_owned()),
     };
+    log::info(
+        "fleet-worker",
+        "registered with coordinator",
+        &[
+            ("worker", &worker.to_string()),
+            ("name", &options.name),
+            ("tracing", if offset_ms.is_some() { "on" } else { "off" }),
+        ],
+    );
     let heartbeat = Heartbeat::start(&options.coordinator, worker, lease_ms);
-    let result = worker_loop(&mut conn, worker, options);
+    let result = worker_loop(&mut conn, worker, options, clock, offset_ms);
     drop(heartbeat);
     result
+}
+
+/// Milliseconds elapsed on the worker's local span clock.
+fn local_ms(clock: Instant) -> f64 {
+    clock.elapsed().as_secs_f64() * 1e3
 }
 
 /// The lease/execute/push loop, split out so [`run_worker`]'s many exit
@@ -105,6 +130,8 @@ fn worker_loop(
     conn: &mut Connection,
     worker: u64,
     options: &WorkerOptions,
+    clock: Instant,
+    offset_ms: Option<f64>,
 ) -> Result<WorkerSummary, String> {
     // Job profiles are only collected when a registry is attached; the
     // worker keeps a private one so every pushed outcome can carry its
@@ -130,6 +157,7 @@ fn worker_loop(
             Some(Response::Jobs { leases }) => {
                 summary.batches += 1;
                 let specs: Vec<JobSpec> = leases.iter().map(|l| l.spec.clone()).collect();
+                let batch_start_ms = local_ms(clock);
                 let report = harness.run(&specs);
                 let mut profiles: HashMap<String, ProtoProfile> = harness
                     .take_job_profiles()
@@ -138,11 +166,22 @@ fn worker_loop(
                     .collect();
                 for (lease, outcome) in leases.iter().zip(report.outcomes) {
                     summary.executed += 1;
+                    // Stage stamps ride along only when the lease was
+                    // traced and the Welcome carried the coordinator
+                    // clock; both are already coordinator-relative.
+                    let span = match (&lease.span, offset_ms) {
+                        (Some(_), Some(off)) => Some(ProtoStageStamps {
+                            executing_ms: batch_start_ms + off,
+                            pushed_ms: local_ms(clock) + off,
+                        }),
+                        _ => None,
+                    };
                     conn.send(&Request::Push {
                         worker,
                         job: lease.job,
                         outcome,
                         profile: profiles.remove(&lease.spec.key()),
+                        span,
                     })?;
                     match conn.recv::<Response>()? {
                         Some(Response::Ack) => {}
@@ -157,6 +196,15 @@ fn worker_loop(
             Some(Response::Drained) | None => {
                 // Clean exit: drained, or the coordinator closed the
                 // socket while tearing the fleet down.
+                log::info(
+                    "fleet-worker",
+                    "drained",
+                    &[
+                        ("worker", &worker.to_string()),
+                        ("executed", &summary.executed.to_string()),
+                        ("batches", &summary.batches.to_string()),
+                    ],
+                );
                 return Ok(summary);
             }
             Some(Response::Error { message }) => {

@@ -6,6 +6,7 @@
 use horus_fleet::proto::{Connection, Request, Response};
 use horus_fleet::{run_worker, Coordinator, CoordinatorOptions, FleetBackend, WorkerOptions};
 use horus_harness::{Harness, HarnessOptions, JobOutcome, JobSpec, SweepBackend};
+use horus_obs::{names, Registry, SampleValue, SpanBook, Stage};
 use horus_workload::FillPattern;
 use std::sync::Arc;
 use std::time::Duration;
@@ -245,6 +246,133 @@ fn killed_worker_leases_requeue_and_finish_elsewhere() {
         .expect("worker thread")
         .expect("healthy worker exits cleanly");
     assert_eq!(summary.executed, specs.len(), "healthy worker ran them all");
+    coordinator.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The tracing test: a span-collecting coordinator with two real
+/// workers stamps all five lifecycle stages for every job, on one
+/// coordinator-relative, per-job-monotonic timeline — and collecting
+/// spans changes nothing about the merged outcomes.
+#[test]
+fn traced_fleet_stamps_every_stage_on_one_timeline() {
+    let dir = temp_dir("spans");
+    let registry = Registry::shared();
+    let book = SpanBook::shared();
+    let coordinator = Coordinator::start(&CoordinatorOptions {
+        cache_dir: Some(dir.clone()),
+        metrics: Some(Arc::clone(&registry)),
+        spans: Some(Arc::clone(&book)),
+        ..CoordinatorOptions::default()
+    })
+    .expect("coordinator binds loopback");
+    let addr = coordinator.local_addr().to_string();
+
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            let opts = WorkerOptions {
+                name: format!("span-worker-{i}"),
+                jobs: Some(2),
+                ..WorkerOptions::new(addr.clone())
+            };
+            std::thread::spawn(move || run_worker(&opts))
+        })
+        .collect();
+
+    let specs = sweep_specs();
+    let report = fleet_harness(&addr).run(&specs);
+    assert_eq!(report.executed, specs.len());
+    assert_eq!(
+        as_json(&report.outcomes),
+        as_json(&local_outcomes(&specs)),
+        "span collection never perturbs the merged plan"
+    );
+
+    // Pull the timeline over the wire, exactly as `fleet-trace` does.
+    let spans = FleetBackend::new(addr.clone())
+        .fetch_trace()
+        .expect("trace fetch");
+    assert_eq!(spans.len(), specs.len(), "one span per job");
+    for span in &spans {
+        assert!(span.is_complete(), "all five stages stamped: {span:?}");
+        assert!(
+            span.worker.starts_with("span-worker-"),
+            "worker track recorded: {:?}",
+            span.worker
+        );
+        assert!(!span.key.is_empty(), "content key recorded");
+        let stamps: Vec<f64> = span.stamps.iter().map(|s| s.expect("complete")).collect();
+        // Coordinator-side stamps share one clock and must be strictly
+        // ordered; the worker-side pair is clock-normalized, so allow a
+        // small estimation skew before the monotone clamp.
+        assert!(stamps[0] <= stamps[1], "queued <= leased: {stamps:?}");
+        assert!(
+            stamps[1] - stamps[2] < 50.0,
+            "leased ~<= executing: {stamps:?}"
+        );
+        assert!(
+            stamps[2] <= stamps[3] + 1e-9,
+            "executing <= pushed: {stamps:?}"
+        );
+        assert!(
+            stamps[3] - stamps[4] < 50.0,
+            "pushed ~<= committed: {stamps:?}"
+        );
+        let norm = span.normalized().expect("complete");
+        assert!(
+            norm.windows(2).all(|w| w[0] <= w[1]),
+            "normalized timeline is monotone: {norm:?}"
+        );
+        let secs = span.stage_seconds().expect("complete");
+        assert!(secs.iter().all(|s| s.is_finite() && *s >= 0.0), "{secs:?}");
+    }
+
+    // Every stage histogram observed every committed job.
+    let snapshot = registry.snapshot();
+    for stage in Stage::ALL {
+        let sample = snapshot
+            .samples
+            .iter()
+            .find(|s| {
+                s.name == names::FLEET_JOB_STAGE_SECONDS
+                    && s.labels
+                        .iter()
+                        .any(|(k, v)| k == "stage" && v == stage.as_str())
+            })
+            .unwrap_or_else(|| panic!("missing {} histogram", stage.as_str()));
+        let SampleValue::TimeHistogram(h) = &sample.value else {
+            panic!("{} is not a time histogram", stage.as_str());
+        };
+        assert_eq!(
+            h.count,
+            specs.len() as u64,
+            "{} observed once per job",
+            stage.as_str()
+        );
+    }
+
+    // The assembled Chrome trace carries a track per worker and all
+    // five stage names, in the shape Perfetto opens directly.
+    let trace = book.chrome_trace_json();
+    assert!(trace.starts_with("{\"traceEvents\":["), "{trace}");
+    for stage in Stage::ALL {
+        assert!(
+            trace.contains(&format!("\"name\":\"{}\"", stage.as_str())),
+            "trace missing {} events",
+            stage.as_str()
+        );
+    }
+    for i in 0..2 {
+        assert!(
+            trace.contains(&format!("\"name\":\"span-worker-{i}\"")),
+            "trace missing worker track {i}"
+        );
+    }
+
+    coordinator.begin_drain();
+    for w in workers {
+        w.join().expect("worker thread").expect("clean drain exit");
+    }
     coordinator.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -3,7 +3,7 @@
 //! frames with its content key — and therefore its cache identity and
 //! merge position — intact.
 
-use horus_fleet::proto::{decode, encode};
+use horus_fleet::proto::{decode, encode, LeasedJob, ProtoSpanContext, ProtoStageStamps};
 use horus_fleet::{Request, Response};
 use horus_harness::{JobOutcome, JobSpec};
 use horus_workload::FillPattern;
@@ -53,6 +53,24 @@ fn arb_text() -> impl Strategy<Value = String> {
         .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
 }
 
+/// Finite, non-negative coordinator-relative milliseconds.
+fn arb_ms() -> impl Strategy<Value = f64> {
+    any::<f64>().prop_map(|unit| unit * 1.0e9)
+}
+
+/// An optional trace context as the coordinator mints it on a lease.
+fn arb_context() -> impl Strategy<Value = Option<ProtoSpanContext>> {
+    (any::<bool>(), any::<u64>(), arb_ms(), arb_ms()).prop_map(
+        |(present, plan, queued_ms, leased_ms)| {
+            present.then_some(ProtoSpanContext {
+                plan,
+                queued_ms,
+                leased_ms,
+            })
+        },
+    )
+}
+
 proptest! {
     /// Specs cross the wire losslessly in the direction a submitter
     /// uses them: inside a `Submit` request.
@@ -92,5 +110,78 @@ proptest! {
     fn garbage_never_panics_the_decoder(junk in arb_text()) {
         let _ = decode::<Request>(&junk);
         let _ = decode::<Response>(&junk);
+    }
+
+    /// A leased job's trace context — present or absent — round-trips
+    /// through the `Jobs` frame, and an absent context leaves the frame
+    /// free of span keys entirely (the pre-span wire shape).
+    #[test]
+    fn span_context_roundtrips_through_jobs(spec in arb_spec(), job in any::<u64>(), span in arb_context()) {
+        let msg = Response::Jobs {
+            leases: vec![LeasedJob { job, spec, span: span.clone() }],
+        };
+        let frame = encode(&msg).expect("encode");
+        if span.is_none() {
+            prop_assert!(!frame.contains("\"span\""), "absent context adds no key: {frame}");
+        }
+        let back: Response = decode(&frame).expect("decode");
+        let Response::Jobs { leases } = back else {
+            return Err(TestCaseError::fail("wrong variant"));
+        };
+        prop_assert_eq!(leases.len(), 1);
+        prop_assert_eq!(&leases[0].span, &span);
+        prop_assert_eq!(leases[0].job, job);
+    }
+
+    /// A worker's stage stamps round-trip through `Push`, and the
+    /// span-less push keeps the pre-span wire shape.
+    #[test]
+    fn stage_stamps_roundtrip_through_push(
+        worker in any::<u64>(),
+        job in any::<u64>(),
+        present in any::<bool>(),
+        executing_ms in arb_ms(),
+        pushed_ms in arb_ms(),
+    ) {
+        let span = present.then_some(ProtoStageStamps { executing_ms, pushed_ms });
+        let msg = Request::Push {
+            worker,
+            job,
+            outcome: JobOutcome::Panicked { message: "x".to_owned() },
+            profile: None,
+            span: span.clone(),
+        };
+        let frame = encode(&msg).expect("encode");
+        if span.is_none() {
+            prop_assert!(!frame.contains("\"span\""), "absent stamps add no key: {frame}");
+        }
+        let back: Request = decode(&frame).expect("decode");
+        let Request::Push { span: rx, worker: w, job: j, .. } = back else {
+            return Err(TestCaseError::fail("wrong variant"));
+        };
+        prop_assert_eq!(rx, span);
+        prop_assert_eq!((w, j), (worker, job));
+    }
+
+    /// Garbage spliced into the span field of an otherwise-valid frame
+    /// never panics the decoder: it either fails to parse (`Err`) or
+    /// parses to something typed — a hostile worker cannot take the
+    /// coordinator down through the trace context.
+    #[test]
+    fn garbage_span_fields_never_panic_the_decoder(spec in arb_spec(), junk in arb_text()) {
+        let msg = Response::Jobs {
+            leases: vec![LeasedJob {
+                job: 7,
+                spec,
+                span: Some(ProtoSpanContext { plan: 1, queued_ms: 2.0, leased_ms: 3.0 }),
+            }],
+        };
+        let frame = encode(&msg).expect("encode");
+        let start = frame.find("\"span\":").expect("span key present") + "\"span\":".len();
+        let mangled = format!("{}{}\n", &frame[..start], junk.replace('\n', " "));
+        let _ = decode::<Response>(&mangled);
+        // Dropping the context value entirely must also stay panic-free.
+        let chopped = format!("{}null}}]}}\n", &frame[..start]);
+        let _ = decode::<Response>(&chopped);
     }
 }

@@ -6,6 +6,7 @@ use crate::metrics::SweepMetrics;
 use crate::pool::run_indexed_workers;
 use crate::progress::{Progress, ProgressEvent, ProgressMode};
 use horus_obs::profile::{JobProfile, JobProfiler};
+use horus_obs::span::{SpanBook, Stage};
 use horus_obs::Registry;
 use horus_sim::Stats;
 use serde::{Deserialize, Serialize};
@@ -63,6 +64,12 @@ pub struct HarnessOptions {
     /// specs through it instead of the local pool (the local result
     /// cache is not consulted — the backend owns memoization).
     pub backend: Option<Arc<dyn SweepBackend>>,
+    /// Span collector for per-job lifecycle traces. Local sweeps stamp
+    /// all five stages (each `run` call is one plan, workers named
+    /// `local-N`); remote sweeps stamp nothing — the fleet coordinator
+    /// owns the cross-host timeline. `None` (the default) stamps
+    /// nothing.
+    pub spans: Option<Arc<SpanBook>>,
 }
 
 impl std::fmt::Debug for HarnessOptions {
@@ -74,6 +81,7 @@ impl std::fmt::Debug for HarnessOptions {
             .field("progress", &self.progress)
             .field("metrics", &self.metrics.is_some())
             .field("backend", &self.backend.as_ref().map(|b| b.describe()))
+            .field("spans", &self.spans.is_some())
             .finish()
     }
 }
@@ -87,6 +95,9 @@ pub struct Harness {
     progress: ProgressMode,
     metrics: Option<Arc<Registry>>,
     backend: Option<Arc<dyn SweepBackend>>,
+    spans: Option<Arc<SpanBook>>,
+    /// Each local `run` call stamps its spans under a fresh plan id.
+    span_plan_seq: AtomicU64,
     profiles: Mutex<Vec<JobProfile>>,
     executed_total: AtomicUsize,
     cache_hits_total: AtomicUsize,
@@ -123,6 +134,8 @@ impl Harness {
             progress: options.progress,
             metrics: options.metrics,
             backend: options.backend,
+            spans: options.spans,
+            span_plan_seq: AtomicU64::new(0),
             profiles: Mutex::new(Vec::new()),
             executed_total: AtomicUsize::new(0),
             cache_hits_total: AtomicUsize::new(0),
@@ -216,8 +229,45 @@ impl Harness {
         let cum_cycles = AtomicU64::new(0);
         let cum_memory_ops = AtomicU64::new(0);
 
+        // Each run call is one trace plan: every spec is queued up
+        // front, then stamped through the remaining stages as the pool
+        // picks it up and finishes it.
+        let span_plan = self.span_plan_seq.fetch_add(1, Ordering::Relaxed);
+        if let Some(book) = &self.spans {
+            for (i, spec) in specs.iter().enumerate() {
+                book.stamp(
+                    span_plan,
+                    i as u64,
+                    &spec.key(),
+                    Stage::Queued,
+                    book.now_ms(),
+                    None,
+                );
+            }
+        }
+
         let raw = run_indexed_workers(specs.len(), self.jobs, |worker, i| {
             let spec = &specs[i];
+            if let Some(book) = &self.spans {
+                let track = format!("local-{worker}");
+                let now = book.now_ms();
+                book.stamp(
+                    span_plan,
+                    i as u64,
+                    &spec.key(),
+                    Stage::Leased,
+                    now,
+                    Some(&track),
+                );
+                book.stamp(
+                    span_plan,
+                    i as u64,
+                    &spec.key(),
+                    Stage::Executing,
+                    book.now_ms(),
+                    Some(&track),
+                );
+            }
             let profiler = metrics.as_ref().map(|m| {
                 m.started.inc();
                 JobProfiler::start(spec.key(), Some(spec.scheme.name().to_owned()))
@@ -285,6 +335,21 @@ impl Harness {
                     .lock()
                     .expect("profiles poisoned")
                     .push(profile);
+            }
+            if let Some(book) = &self.spans {
+                // The local pool pushes and commits in one motion — the
+                // two stamps land on the same instant, so the fleet's
+                // push/commit gap reads as zero for local sweeps.
+                let now = book.now_ms();
+                book.stamp(span_plan, i as u64, &spec.key(), Stage::Pushed, now, None);
+                book.stamp(
+                    span_plan,
+                    i as u64,
+                    &spec.key(),
+                    Stage::Committed,
+                    now,
+                    None,
+                );
             }
             (result, hit)
         });
@@ -697,6 +762,42 @@ mod tests {
             manual.merge(&r.drain.stats);
         }
         assert_eq!(report.merged_stats(), manual);
+    }
+
+    #[test]
+    fn local_sweeps_stamp_all_five_span_stages() {
+        let book = SpanBook::shared();
+        let harness = Harness::new(HarnessOptions {
+            jobs: Some(2),
+            no_cache: true,
+            progress: ProgressMode::Silent,
+            spans: Some(Arc::clone(&book)),
+            ..HarnessOptions::default()
+        });
+        let specs = specs();
+        let report = harness.run(&specs);
+        assert_eq!(report.executed, specs.len());
+        let spans = book.spans();
+        assert_eq!(spans.len(), specs.len());
+        for span in &spans {
+            assert_eq!(span.plan, 0, "first run call is plan 0");
+            assert!(span.is_complete(), "all five stages stamped: {span:?}");
+            assert!(
+                span.worker.starts_with("local-"),
+                "worker {:?}",
+                span.worker
+            );
+            let stamps: Vec<f64> = span.stamps.iter().map(|s| s.unwrap()).collect();
+            assert!(
+                stamps.windows(2).all(|w| w[0] <= w[1]),
+                "stamps monotone: {stamps:?}"
+            );
+        }
+        // A second run on the same harness lands under the next plan id,
+        // so job indices never collide across runs.
+        let _ = harness.run(&specs[..1]);
+        assert_eq!(book.spans().len(), specs.len() + 1);
+        assert!(book.spans().iter().any(|s| s.plan == 1));
     }
 
     #[test]

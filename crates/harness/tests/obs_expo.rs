@@ -204,6 +204,54 @@ fn deterministic_subset_is_identical_across_worker_counts() {
     );
 }
 
+/// The spans-off golden: collecting lifecycle spans must not perturb
+/// any deterministic artifact. The same sweep with and without a
+/// [`SpanBook`] attached produces byte-identical outcomes and a
+/// byte-identical deterministic exposition subset — and the span
+/// histograms themselves are classified non-deterministic, so they can
+/// never leak into a golden scrape.
+#[test]
+fn span_collection_never_perturbs_deterministic_output() {
+    use horus_obs::SpanBook;
+
+    let specs = sweep_specs();
+    let run = |spans: Option<Arc<SpanBook>>| {
+        let registry = Registry::shared();
+        let harness = Harness::new(HarnessOptions {
+            jobs: Some(2),
+            no_cache: true,
+            progress: ProgressMode::Silent,
+            metrics: Some(Arc::clone(&registry)),
+            spans,
+            ..HarnessOptions::default()
+        });
+        let report = harness.run(&specs);
+        let outcomes = serde_json::to_string(&report.outcomes).expect("outcomes serialize");
+        let subset = expo::render(&expo::deterministic_subset(&registry.snapshot()));
+        (outcomes, subset)
+    };
+
+    let book = SpanBook::shared();
+    let (traced_outcomes, traced_subset) = run(Some(Arc::clone(&book)));
+    let (plain_outcomes, plain_subset) = run(None);
+    assert_eq!(traced_outcomes, plain_outcomes, "plan outcomes identical");
+    assert_eq!(
+        traced_subset, plain_subset,
+        "deterministic scrape identical"
+    );
+    assert!(
+        !traced_subset.contains(horus_obs::names::FLEET_JOB_STAGE_SECONDS),
+        "stage latencies never enter the golden subset"
+    );
+    assert!(
+        !expo::is_deterministic_metric(horus_obs::names::FLEET_JOB_STAGE_SECONDS),
+        "stage histograms are wall-clock, not simulation output"
+    );
+    // The traced run did collect a full timeline on the side.
+    assert_eq!(book.len(), specs.len());
+    assert!(book.spans().iter().all(horus_obs::JobSpan::is_complete));
+}
+
 #[test]
 fn mid_run_scrape_serves_live_values() {
     let registry = Registry::shared();

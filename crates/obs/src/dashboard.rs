@@ -9,7 +9,11 @@
 //!
 //! The panel shows job completion, queue depth and ETA, worker occupancy
 //! derived from busy-seconds deltas between frames, cache-hit rate, live
-//! throughput gauges, and a sparkline of memory-ops/s history.
+//! throughput gauges, and a sparkline of memory-ops/s history. When the
+//! registry carries fleet stage-latency histograms
+//! (`horus_fleet_job_stage_seconds`, recorded by a span-collecting
+//! coordinator), a fifth line shows the mean latency per lifecycle
+//! stage.
 
 use std::collections::VecDeque;
 use std::io::{IsTerminal, Write};
@@ -25,7 +29,10 @@ use crate::registry::{Registry, SampleValue, Snapshot};
 const FRAME_INTERVAL: Duration = Duration::from_millis(250);
 /// Sparkline history length (frames).
 const SPARK_LEN: usize = 32;
-/// Number of lines the panel occupies.
+/// Number of lines the base panel occupies (one more when fleet
+/// stage-latency histograms are present); the renderer itself counts
+/// lines per frame, so this only anchors the shape test.
+#[cfg(test)]
 const PANEL_LINES: usize = 4;
 
 /// A running dashboard; stop it with [`Dashboard::stop`] (or drop it).
@@ -75,27 +82,30 @@ impl Drop for Dashboard {
 
 fn run(registry: &Arc<Registry>, stop: &Arc<AtomicBool>) {
     let mut state = DashState::new();
-    let mut first = true;
+    // The panel grows a line when fleet stage histograms first appear;
+    // track how many lines the previous frame drew so the cursor
+    // rewinds exactly that far.
+    let mut prev_lines = 0usize;
     while !stop.load(Ordering::SeqCst) {
         let frame = state.frame(&registry.snapshot());
         let mut err = std::io::stderr().lock();
-        if !first {
+        if prev_lines > 0 {
             // Move back to the top of the panel and overwrite in place.
-            let _ = write!(err, "\x1b[{PANEL_LINES}A");
+            let _ = write!(err, "\x1b[{prev_lines}A");
         }
         for line in frame.lines() {
             let _ = writeln!(err, "\x1b[2K{line}");
         }
         let _ = err.flush();
         drop(err);
-        first = false;
+        prev_lines = frame.lines().count();
         std::thread::sleep(FRAME_INTERVAL);
     }
     // Render one last frame so the final numbers stay visible.
     let frame = state.frame(&registry.snapshot());
     let mut err = std::io::stderr().lock();
-    if !first {
-        let _ = write!(err, "\x1b[{PANEL_LINES}A");
+    if prev_lines > 0 {
+        let _ = write!(err, "\x1b[{prev_lines}A");
     }
     for line in frame.lines() {
         let _ = writeln!(err, "\x1b[2K{line}");
@@ -186,8 +196,36 @@ impl DashState {
             fmt_si(mem_ops_s),
         ));
         out.push_str(&format!("mem-ops/s {}\n", sparkline(&self.spark)));
+        if let Some(stages) = stage_latency_line(snap) {
+            out.push_str(&stages);
+            out.push('\n');
+        }
         out
     }
+}
+
+/// Renders the per-stage mean-latency line when the fleet stage
+/// histograms are present and populated; `None` otherwise (local sweeps
+/// never see it).
+fn stage_latency_line(snap: &Snapshot) -> Option<String> {
+    let mut parts = Vec::new();
+    for stage in crate::span::Stage::ALL {
+        let sample = snap.samples.iter().find(|s| {
+            s.name == names::FLEET_JOB_STAGE_SECONDS
+                && s.labels
+                    .iter()
+                    .any(|(k, v)| k == "stage" && v == stage.as_str())
+        })?;
+        let SampleValue::TimeHistogram(h) = &sample.value else {
+            return None;
+        };
+        if h.count == 0 {
+            return None;
+        }
+        let mean_ms = h.seconds_sum() / h.count as f64 * 1e3;
+        parts.push(format!("{} {mean_ms:.1}ms", stage.as_str()));
+    }
+    Some(format!("stage mean  {}", parts.join("  ")))
 }
 
 fn get_uint(snap: &Snapshot, name: &str) -> u64 {
@@ -315,6 +353,22 @@ mod tests {
         assert!(frame.contains("workers 4"), "{frame}");
         assert!(frame.contains("episodes/s 1.5k"), "{frame}");
         assert!(frame.contains("sim-cycles/s 200.0M"), "{frame}");
+
+        // Stage histograms grow the panel by one line; all five stages
+        // must be populated before it appears.
+        for stage in crate::span::Stage::ALL {
+            reg.time_histogram(
+                names::FLEET_JOB_STAGE_SECONDS,
+                "h",
+                &[("stage", stage.as_str())],
+            )
+            .observe_seconds(0.002);
+        }
+        let frame = state.frame(&reg.snapshot());
+        assert_eq!(frame.lines().count(), PANEL_LINES + 1);
+        assert!(frame.contains("stage mean"), "{frame}");
+        assert!(frame.contains("queued 2.0ms"), "{frame}");
+        assert!(frame.contains("committed 2.0ms"), "{frame}");
     }
 
     #[test]

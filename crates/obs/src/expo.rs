@@ -103,6 +103,7 @@ fn render_sample(out: &mut String, sample: &Sample) {
             render_series(out, &sample.name, &sample.labels, None, &fmt_float(*v));
         }
         SampleValue::Histogram(h) => render_histogram(out, sample, h),
+        SampleValue::TimeHistogram(h) => render_time_histogram(out, sample, h),
     }
 }
 
@@ -130,6 +131,43 @@ fn render_histogram(out: &mut String, sample: &Sample, h: &HistogramSnapshot) {
         &sample.labels,
         None,
         &h.sum.to_string(),
+    );
+    render_series(
+        out,
+        &format!("{}_count", sample.name),
+        &sample.labels,
+        None,
+        &h.count.to_string(),
+    );
+}
+
+/// Like [`render_histogram`], but the buckets hold microseconds and the
+/// family is named in seconds: `le` bounds and `_sum` convert to float
+/// seconds, `_count` stays an integer.
+fn render_time_histogram(out: &mut String, sample: &Sample, h: &HistogramSnapshot) {
+    let bucket_name = format!("{}_bucket", sample.name);
+    let mut cumulative = 0u64;
+    for (i, count) in h.buckets.iter().enumerate() {
+        cumulative += count;
+        let le = if i < HistogramSnapshot::finite_buckets() {
+            fmt_float(HistogramSnapshot::seconds_bound(i))
+        } else {
+            "+Inf".to_string()
+        };
+        render_series(
+            out,
+            &bucket_name,
+            &sample.labels,
+            Some(("le", &le)),
+            &cumulative.to_string(),
+        );
+    }
+    render_series(
+        out,
+        &format!("{}_sum", sample.name),
+        &sample.labels,
+        None,
+        &fmt_float(h.seconds_sum()),
     );
     render_series(
         out,
@@ -239,6 +277,36 @@ mod tests {
         assert!(text.contains("lat_count 2\n"));
         // Buckets are cumulative: every bucket after le=4 also reads 2.
         assert!(text.contains("lat_bucket{le=\"8\"} 2\n"));
+    }
+
+    #[test]
+    fn renders_time_histogram_in_seconds() {
+        let reg = Registry::new();
+        let h = reg.time_histogram("stage_seconds", "Stage latency.", &[("stage", "queued")]);
+        h.observe_seconds(0.000_001); // 1 us
+        h.observe_seconds(0.000_002); // 2 us
+        let text = render(&reg.snapshot());
+        assert!(text.contains("# TYPE stage_seconds histogram\n"), "{text}");
+        assert!(
+            text.contains("stage_seconds_bucket{stage=\"queued\",le=\"0.000001\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stage_seconds_bucket{stage=\"queued\",le=\"0.000002\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stage_seconds_bucket{stage=\"queued\",le=\"+Inf\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stage_seconds_sum{stage=\"queued\"} 0.000003"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stage_seconds_count{stage=\"queued\"} 2\n"),
+            "{text}"
+        );
     }
 
     #[test]

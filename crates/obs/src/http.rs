@@ -4,7 +4,15 @@
 //! connections and answers `GET /metrics` with the current registry
 //! rendered as Prometheus text ([`crate::expo::render`]). This is a scrape
 //! endpoint, not a web server: requests are handled serially, bodies are
-//! ignored, and anything but `GET /` or `GET /metrics` gets a 404.
+//! ignored, and anything but the known `GET` paths gets a 404.
+//!
+//! Besides `/metrics` the server answers the standard operational
+//! probes — `GET /healthz` (always 200 while the listener is up) and
+//! `GET /readyz` (200/503 from a caller-controlled readiness flag, see
+//! [`MetricsServer::set_ready`]; the fleet coordinator clears it until
+//! its accept loop is running) — and `GET /logs`, which serves the
+//! process's structured-log ring ([`crate::log`]) as newline-delimited
+//! JSON.
 //!
 //! Shutdown is cooperative: [`MetricsServer::shutdown`] (also run on drop)
 //! sets a flag and pokes the listener with a loopback connection so the
@@ -26,6 +34,7 @@ use crate::registry::Registry;
 pub struct MetricsServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    ready: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -33,19 +42,27 @@ impl MetricsServer {
     /// Binds `addr` (e.g. `127.0.0.1:9464`, port 0 for an OS-picked port)
     /// and starts serving scrapes of `registry` on a background thread.
     ///
+    /// The server starts *ready* (a registry is attached by
+    /// construction); callers whose readiness depends on more — the
+    /// fleet coordinator's accept loop, say — clear and re-set the flag
+    /// with [`MetricsServer::set_ready`].
+    ///
     /// # Errors
     /// Returns the underlying I/O error if the address cannot be bound.
     pub fn bind(addr: &str, registry: Arc<Registry>) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let ready = Arc::new(AtomicBool::new(true));
         let flag = Arc::clone(&shutdown);
+        let ready_flag = Arc::clone(&ready);
         let handle = std::thread::Builder::new()
             .name("horus-obs-http".to_string())
-            .spawn(move || serve(&listener, &registry, &flag))?;
+            .spawn(move || serve(&listener, &registry, &flag, &ready_flag))?;
         Ok(MetricsServer {
             addr: local,
             shutdown,
+            ready,
             handle: Some(handle),
         })
     }
@@ -54,6 +71,11 @@ impl MetricsServer {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Sets what `GET /readyz` answers: `true` → 200, `false` → 503.
+    pub fn set_ready(&self, ready: bool) {
+        self.ready.store(ready, Ordering::SeqCst);
     }
 
     /// Stops the listener thread and waits for it to exit.
@@ -78,7 +100,12 @@ impl Drop for MetricsServer {
     }
 }
 
-fn serve(listener: &TcpListener, registry: &Arc<Registry>, shutdown: &Arc<AtomicBool>) {
+fn serve(
+    listener: &TcpListener,
+    registry: &Arc<Registry>,
+    shutdown: &Arc<AtomicBool>,
+    ready: &Arc<AtomicBool>,
+) {
     for conn in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             return;
@@ -86,11 +113,15 @@ fn serve(listener: &TcpListener, registry: &Arc<Registry>, shutdown: &Arc<Atomic
         let Ok(stream) = conn else { continue };
         // Errors on individual connections (slow clients, resets) only
         // lose that one scrape.
-        let _ = handle_request(stream, registry);
+        let _ = handle_request(stream, registry, ready);
     }
 }
 
-fn handle_request(stream: TcpStream, registry: &Arc<Registry>) -> std::io::Result<()> {
+fn handle_request(
+    stream: TcpStream,
+    registry: &Arc<Registry>,
+    ready: &Arc<AtomicBool>,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let mut reader = BufReader::new(stream);
@@ -118,8 +149,28 @@ fn handle_request(stream: TcpStream, registry: &Arc<Registry>) -> std::io::Resul
     } else if path == "/metrics" || path == "/" {
         let body = expo::render(&registry.snapshot());
         http_response("200 OK", "text/plain; version=0.0.4; charset=utf-8", &body)
+    } else if path == "/healthz" {
+        // The listener answered, so the process is alive.
+        http_response("200 OK", "application/json", "{\"status\":\"ok\"}\n")
+    } else if path == "/readyz" {
+        if ready.load(Ordering::SeqCst) {
+            http_response("200 OK", "application/json", "{\"ready\":true}\n")
+        } else {
+            http_response(
+                "503 Service Unavailable",
+                "application/json",
+                "{\"ready\":false}\n",
+            )
+        }
+    } else if path == "/logs" {
+        let body = crate::log::ring_ndjson();
+        http_response("200 OK", "application/x-ndjson", &body)
     } else {
-        http_response("404 Not Found", "text/plain", "try /metrics\n")
+        http_response(
+            "404 Not Found",
+            "text/plain",
+            "try /metrics, /logs, /healthz, or /readyz\n",
+        )
     };
     stream.write_all(response.as_bytes())?;
     stream.flush()
@@ -178,6 +229,36 @@ mod tests {
         reg.counter("up_total", "Help.", &[]).inc();
         let (_, body) = http_get(addr, "/metrics").expect("get");
         assert!(body.contains("up_total 3\n"), "body: {body}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn health_ready_and_logs_endpoints() {
+        let server = MetricsServer::bind("127.0.0.1:0", Registry::shared()).expect("bind");
+        let addr = server.local_addr();
+
+        let (status, body) = http_get(addr, "/healthz").expect("get");
+        assert!(status.contains("200"), "status: {status}");
+        assert_eq!(body, "{\"status\":\"ok\"}\n");
+
+        // Ready by default (a registry is attached by construction).
+        let (status, body) = http_get(addr, "/readyz").expect("get");
+        assert!(status.contains("200"), "status: {status}");
+        assert_eq!(body, "{\"ready\":true}\n");
+
+        server.set_ready(false);
+        let (status, body) = http_get(addr, "/readyz").expect("get");
+        assert!(status.contains("503"), "status: {status}");
+        assert_eq!(body, "{\"ready\":false}\n");
+        server.set_ready(true);
+        let (status, _) = http_get(addr, "/readyz").expect("get");
+        assert!(status.contains("200"), "status: {status}");
+
+        crate::log::info("http-test", "a log line for the ring", &[("k", "v")]);
+        let (status, body) = http_get(addr, "/logs").expect("get");
+        assert!(status.contains("200"), "status: {status}");
+        assert!(body.contains("a log line for the ring"), "body: {body}");
 
         server.shutdown();
     }

@@ -21,6 +21,11 @@
 //!   the registry, guaranteed not to perturb serialized `StatsRepr`.
 //! * [`summary`] — the deterministic end-of-run `obs-summary.json`
 //!   artifact that CI uploads and `bench-gate` folds into its baseline.
+//! * [`span`] — per-job lifecycle spans
+//!   (queued → leased → executing → pushed → committed) assembled into a
+//!   cross-host Chrome-trace timeline (`--span-out`, `fleet-trace`).
+//! * [`log`] — leveled structured line-delimited-JSON logging with an
+//!   in-memory ring served at `GET /logs` (`--log-level`, `--log-json`).
 //!
 //! Everything is observe-only: with no `--metrics-addr`/`--dashboard` flag
 //! and `alloc-profile` off, instrumented binaries produce byte-identical
@@ -34,9 +39,11 @@ pub mod bridge;
 pub mod dashboard;
 pub mod expo;
 pub mod http;
+pub mod log;
 pub mod names;
 pub mod profile;
 pub mod registry;
+pub mod span;
 pub mod summary;
 
 pub use dashboard::Dashboard;
@@ -44,8 +51,9 @@ pub use http::MetricsServer;
 pub use profile::{HostProfile, JobProfile, JobProfiler};
 pub use registry::{
     Counter, FloatCounter, FloatGauge, Gauge, MetricKind, ObsHistogram, Registry, Sample,
-    SampleValue, Snapshot,
+    SampleValue, Snapshot, TimeHistogram,
 };
+pub use span::{JobSpan, SpanBook, Stage};
 pub use summary::ObsSummary;
 
 use std::path::{Path, PathBuf};
@@ -53,7 +61,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// What a caller wants observed; parsed from `--metrics-addr`,
-/// `--dashboard`, and `--obs-out`.
+/// `--dashboard`, `--obs-out`, and `--span-out`.
 #[derive(Debug, Clone, Default)]
 pub struct ObsOptions {
     /// Address to serve `GET /metrics` on (e.g. `127.0.0.1:9464`).
@@ -63,13 +71,18 @@ pub struct ObsOptions {
     pub dashboard: bool,
     /// Where to write the end-of-run summary artifact.
     pub summary_out: Option<PathBuf>,
+    /// Where to write the end-of-run Chrome-trace span timeline.
+    pub span_out: Option<PathBuf>,
 }
 
 impl ObsOptions {
     /// True if any observation output was requested.
     #[must_use]
     pub fn is_active(&self) -> bool {
-        self.metrics_addr.is_some() || self.dashboard || self.summary_out.is_some()
+        self.metrics_addr.is_some()
+            || self.dashboard
+            || self.summary_out.is_some()
+            || self.span_out.is_some()
     }
 }
 
@@ -84,6 +97,8 @@ pub struct ObsSession {
     server: Option<MetricsServer>,
     dashboard: Option<Dashboard>,
     summary_out: Option<PathBuf>,
+    spans: Option<Arc<SpanBook>>,
+    span_out: Option<PathBuf>,
     started: Instant,
 }
 
@@ -107,11 +122,14 @@ impl ObsSession {
         } else {
             None
         };
+        let spans = opts.span_out.as_ref().map(|_| SpanBook::shared());
         Ok(ObsSession {
             registry,
             server,
             dashboard,
             summary_out: opts.summary_out.clone(),
+            spans,
+            span_out: opts.span_out.clone(),
             started: Instant::now(),
         })
     }
@@ -135,15 +153,35 @@ impl ObsSession {
         self.server.as_ref().map(MetricsServer::local_addr)
     }
 
+    /// The span collector, when `--span-out` asked for a timeline.
+    /// Hand it to the harness pool or the fleet coordinator; whatever
+    /// gets stamped into it is written at [`ObsSession::finish`].
+    #[must_use]
+    pub fn span_book(&self) -> Option<Arc<SpanBook>> {
+        self.spans.as_ref().map(Arc::clone)
+    }
+
+    /// Forwards to [`MetricsServer::set_ready`] when a server is
+    /// running (no-op otherwise): what `GET /readyz` answers.
+    pub fn set_ready(&self, ready: bool) {
+        if let Some(server) = &self.server {
+            server.set_ready(ready);
+        }
+    }
+
     /// Stops the dashboard and endpoint, captures the host profile, and
-    /// writes the summary artifact if one was requested. Returns the path
-    /// written, if any.
+    /// writes the summary and span-timeline artifacts if requested.
+    /// Returns the summary path written, if any.
     ///
     /// # Errors
-    /// Returns a descriptive message if the summary cannot be written.
+    /// Returns a descriptive message if an artifact cannot be written.
     pub fn finish(self, jobs: Vec<JobProfile>) -> Result<Option<PathBuf>, String> {
         if let Some(dash) = self.dashboard {
             dash.stop();
+        }
+        if let (Some(path), Some(book)) = (&self.span_out, &self.spans) {
+            std::fs::write(path, book.chrome_trace_json())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         }
         let written = match &self.summary_out {
             Some(path) => {
@@ -190,8 +228,8 @@ mod tests {
         let out = dir.join("obs-summary.json");
         let opts = ObsOptions {
             metrics_addr: Some("127.0.0.1:0".to_string()),
-            dashboard: false,
             summary_out: Some(out.clone()),
+            ..ObsOptions::default()
         };
         let session = ObsSession::start(&opts).expect("start");
         session

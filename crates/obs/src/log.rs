@@ -1,0 +1,281 @@
+//! Leveled structured logging with an in-memory ring buffer.
+//!
+//! The workspace's diagnostics were ad-hoc `eprintln!` calls — fine for
+//! a single process, useless for a fleet where "which worker said what,
+//! when, and about which job" is the whole question. This module is the
+//! replacement: one process-global logger that
+//!
+//! * filters by [`Level`] (`--log-level`),
+//! * renders every accepted record as one line-delimited JSON object
+//!   and keeps the most recent [`RING_CAPACITY`] of them in a ring
+//!   buffer served at `GET /logs` by [`crate::http::MetricsServer`],
+//! * mirrors records to stderr — human-readable by default
+//!   (`target: message key=value ...`), raw JSON under `--log-json` —
+//!   so existing "watch the coordinator's stderr" workflows keep
+//!   working.
+//!
+//! Like the rest of the obs stack it is observe-only and zero-
+//! dependency: the JSON encoder is hand-rolled, the ring is a mutexed
+//! `VecDeque`, and nothing here ever touches job results, content keys,
+//! or any other determinism-bearing output.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Maximum JSON lines retained in the in-memory ring (`GET /logs`
+/// serves exactly this window, oldest first).
+pub const RING_CAPACITY: usize = 1024;
+
+/// Log severity, ordered from chattiest to most urgent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Development chatter; off by default.
+    Debug = 0,
+    /// Normal operational events (the default threshold).
+    Info = 1,
+    /// Something degraded but the run continues.
+    Warn = 2,
+    /// Something failed.
+    Error = 3,
+}
+
+impl Level {
+    /// Every level, in severity order.
+    pub const ALL: [Level; 4] = [Level::Debug, Level::Info, Level::Warn, Level::Error];
+
+    /// The lowercase name used on the wire and in `--log-level`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parses a `--log-level` argument (case-insensitive).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Debug,
+            1 => Level::Info,
+            2 => Level::Warn,
+            _ => Level::Error,
+        }
+    }
+}
+
+/// The process-global logger state.
+struct Logger {
+    min_level: AtomicU8,
+    json_stderr: AtomicBool,
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<String>>,
+}
+
+fn global() -> &'static Logger {
+    static LOGGER: OnceLock<Logger> = OnceLock::new();
+    LOGGER.get_or_init(|| Logger {
+        min_level: AtomicU8::new(Level::Info as u8),
+        json_stderr: AtomicBool::new(false),
+        seq: AtomicU64::new(0),
+        ring: Mutex::new(VecDeque::with_capacity(RING_CAPACITY)),
+    })
+}
+
+/// Sets the minimum level a record needs to be kept (ring) and printed
+/// (stderr). Records below it are dropped entirely.
+pub fn set_level(level: Level) {
+    global().min_level.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current minimum level.
+#[must_use]
+pub fn level() -> Level {
+    Level::from_u8(global().min_level.load(Ordering::Relaxed))
+}
+
+/// Switches the stderr mirror between human-readable lines (default)
+/// and the raw JSON the ring stores (`--log-json`).
+pub fn set_json_stderr(json: bool) {
+    global().json_stderr.store(json, Ordering::Relaxed);
+}
+
+/// Records one structured event: JSON into the ring, a mirror line on
+/// stderr. `fields` are `(name, value)` pairs carried verbatim as JSON
+/// string values.
+pub fn log(level: Level, target: &str, msg: &str, fields: &[(&str, &str)]) {
+    let logger = global();
+    if (level as u8) < logger.min_level.load(Ordering::Relaxed) {
+        return;
+    }
+    let seq = logger.seq.fetch_add(1, Ordering::Relaxed);
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut line = String::with_capacity(96 + msg.len());
+    line.push_str(&format!(
+        "{{\"ts_ms\":{ts_ms},\"seq\":{seq},\"level\":\"{}\",\"target\":{},\"msg\":{}",
+        level.as_str(),
+        json_escape(target),
+        json_escape(msg),
+    ));
+    line.push_str(",\"fields\":{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&json_escape(k));
+        line.push(':');
+        line.push_str(&json_escape(v));
+    }
+    line.push_str("}}");
+    {
+        let mut ring = logger.ring.lock().expect("obs log ring poisoned");
+        if ring.len() == RING_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(line.clone());
+    }
+    let mut err = std::io::stderr().lock();
+    if logger.json_stderr.load(Ordering::Relaxed) {
+        let _ = writeln!(err, "{line}");
+    } else {
+        let mut human = format!("{target}: {msg}");
+        for (k, v) in fields {
+            human.push_str(&format!(" {k}={v}"));
+        }
+        let _ = writeln!(err, "{human}");
+    }
+}
+
+/// Records a debug-level event.
+pub fn debug(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    log(Level::Debug, target, msg, fields);
+}
+
+/// Records an info-level event.
+pub fn info(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    log(Level::Info, target, msg, fields);
+}
+
+/// Records a warn-level event.
+pub fn warn(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    log(Level::Warn, target, msg, fields);
+}
+
+/// Records an error-level event.
+pub fn error(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    log(Level::Error, target, msg, fields);
+}
+
+/// The ring's contents as newline-delimited JSON, oldest record first
+/// (the `GET /logs` body). Empty string when nothing has been logged.
+#[must_use]
+pub fn ring_ndjson() -> String {
+    let ring = global().ring.lock().expect("obs log ring poisoned");
+    let mut out = String::new();
+    for line in ring.iter() {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Number of records currently held in the ring.
+#[must_use]
+pub fn ring_len() -> usize {
+    global().ring.lock().expect("obs log ring poisoned").len()
+}
+
+/// Encodes a string as a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test drives the global logger end to end; the ring and level
+    // are process-wide, so splitting this into several parallel tests
+    // would race on them.
+    #[test]
+    fn logger_levels_ring_and_shape() {
+        set_level(Level::Info);
+        info(
+            "fleet",
+            "worker registered",
+            &[("worker", "3"), ("name", "ci-a")],
+        );
+        debug("fleet", "this is dropped", &[]);
+        warn("fleet", "a \"quoted\" warning", &[]);
+
+        let body = ring_ndjson();
+        assert!(
+            body.contains("\"level\":\"info\",\"target\":\"fleet\",\"msg\":\"worker registered\""),
+            "{body}"
+        );
+        assert!(
+            body.contains("\"fields\":{\"worker\":\"3\",\"name\":\"ci-a\"}"),
+            "{body}"
+        );
+        assert!(!body.contains("this is dropped"), "{body}");
+        assert!(body.contains("a \\\"quoted\\\" warning"), "{body}");
+        for line in body.lines() {
+            assert!(
+                line.starts_with("{\"ts_ms\":") && line.ends_with('}'),
+                "{line}"
+            );
+            assert!(line.contains("\"seq\":"), "{line}");
+        }
+
+        set_level(Level::Error);
+        assert_eq!(level(), Level::Error);
+        let before = ring_len();
+        info("fleet", "below threshold", &[]);
+        assert_eq!(ring_len(), before, "info dropped at error threshold");
+        set_level(Level::Info);
+    }
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::parse("info"), Some(Level::Info));
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+        assert!(Level::Debug < Level::Error);
+        for l in Level::ALL {
+            assert_eq!(Level::parse(l.as_str()), Some(l));
+        }
+    }
+}

@@ -80,6 +80,12 @@ pub const FLEET_REQUEUES: &str = "horus_fleet_requeues_total";
 pub const FLEET_WORKER_JOBS: &str = "horus_fleet_worker_jobs_total";
 /// Counter: sweep plans fully merged by the fleet coordinator.
 pub const FLEET_PLANS: &str = "horus_fleet_plans_total";
+/// Duration histogram, labelled `stage`: per-stage job latency observed
+/// at commit time. The `stage` label is one of the five lifecycle
+/// stages (`queued`, `leased`, `executing`, `pushed`, `committed` — the
+/// last meaning end-to-end queued→committed), a closed set defined by
+/// `obs::span::Stage::ALL`.
+pub const FLEET_JOB_STAGE_SECONDS: &str = "horus_fleet_job_stage_seconds";
 
 #[cfg(test)]
 mod tests {
@@ -119,6 +125,7 @@ mod tests {
             super::FLEET_REQUEUES,
             super::FLEET_WORKER_JOBS,
             super::FLEET_PLANS,
+            super::FLEET_JOB_STAGE_SECONDS,
         ] {
             assert!(
                 !is_deterministic_metric(name),

@@ -177,6 +177,30 @@ impl HistogramCore {
             sum: AtomicU64::new(0),
         }
     }
+
+    fn record(&self, v: u64) {
+        let idx = if v <= 1 {
+            0
+        } else {
+            let bits = 64 - (v - 1).leading_zeros() as usize;
+            bits.min(HIST_BUCKETS)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// A power-of-two bucketed histogram handle.
@@ -186,15 +210,7 @@ pub struct ObsHistogram(Arc<HistogramCore>);
 impl ObsHistogram {
     /// Records one observation of `v`.
     pub fn observe(&self, v: u64) {
-        let idx = if v <= 1 {
-            0
-        } else {
-            let bits = 64 - (v - 1).leading_zeros() as usize;
-            bits.min(HIST_BUCKETS)
-        };
-        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.0.count.fetch_add(1, Ordering::Relaxed);
-        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.record(v);
     }
 
     /// Returns the number of observations.
@@ -204,16 +220,40 @@ impl ObsHistogram {
     }
 
     fn snapshot(&self) -> HistogramSnapshot {
-        HistogramSnapshot {
-            buckets: self
-                .0
-                .buckets
-                .iter()
-                .map(|b| b.load(Ordering::Relaxed))
-                .collect(),
-            count: self.0.count.load(Ordering::Relaxed),
-            sum: self.0.sum.load(Ordering::Relaxed),
+        self.0.snapshot()
+    }
+}
+
+/// A power-of-two bucketed *duration* histogram handle.
+///
+/// Shares [`HistogramCore`] with [`ObsHistogram`] but records whole
+/// microseconds internally — sub-second latencies would all collapse
+/// into an integer-seconds bucket 0 — while the exposition and summary
+/// present the series in seconds (`le` bounds of `2^i / 1e6`, float
+/// `_sum`), per Prometheus convention for `_seconds` families.
+#[derive(Clone)]
+pub struct TimeHistogram(Arc<HistogramCore>);
+
+impl TimeHistogram {
+    /// Records one duration of `secs` seconds. Non-finite or negative
+    /// observations are ignored.
+    pub fn observe_seconds(&self, secs: f64) {
+        if !secs.is_finite() || secs < 0.0 {
+            return;
         }
+        // `as` saturates, so absurdly long durations land in the
+        // overflow bucket instead of wrapping.
+        self.0.record((secs * 1e6).round() as u64);
+    }
+
+    /// Returns the number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        self.0.snapshot()
     }
 }
 
@@ -241,6 +281,20 @@ impl HistogramSnapshot {
     pub fn finite_buckets() -> usize {
         HIST_BUCKETS
     }
+
+    /// Upper bound of finite bucket `i` in seconds, for snapshots taken
+    /// from a [`TimeHistogram`] (which buckets whole microseconds).
+    #[must_use]
+    pub fn seconds_bound(i: usize) -> f64 {
+        Self::bound(i) as f64 / 1e6
+    }
+
+    /// The observation sum in seconds, for snapshots taken from a
+    /// [`TimeHistogram`].
+    #[must_use]
+    pub fn seconds_sum(&self) -> f64 {
+        self.sum as f64 / 1e6
+    }
 }
 
 /// The value of one series in a [`Snapshot`].
@@ -254,6 +308,10 @@ pub enum SampleValue {
     Float(f64),
     /// Histogram buckets + sum + count.
     Histogram(HistogramSnapshot),
+    /// Duration histogram buckets + sum + count; bucket bounds and the
+    /// sum are microseconds internally, seconds in every rendering (see
+    /// [`HistogramSnapshot::seconds_bound`]).
+    TimeHistogram(HistogramSnapshot),
 }
 
 /// One `(name, labels, value)` series in a [`Snapshot`].
@@ -282,6 +340,7 @@ enum Instrument {
     Gauge(Gauge),
     FloatGauge(FloatGauge),
     Histogram(ObsHistogram),
+    TimeHistogram(TimeHistogram),
 }
 
 impl Instrument {
@@ -292,6 +351,7 @@ impl Instrument {
             Instrument::Gauge(g) => SampleValue::Int(g.get()),
             Instrument::FloatGauge(g) => SampleValue::Float(g.get()),
             Instrument::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+            Instrument::TimeHistogram(h) => SampleValue::TimeHistogram(h.snapshot()),
         }
     }
 }
@@ -456,6 +516,25 @@ impl Registry {
         }
     }
 
+    /// Registers (or retrieves) a duration histogram series (recorded
+    /// in microseconds, exposed in seconds).
+    ///
+    /// # Panics
+    /// Panics if `name` was previously registered with a different kind.
+    pub fn time_histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> TimeHistogram {
+        let inst = self.register(
+            name,
+            help,
+            labels,
+            || Instrument::TimeHistogram(TimeHistogram(Arc::new(HistogramCore::new()))),
+            MetricKind::Histogram,
+        );
+        match &*inst {
+            Instrument::TimeHistogram(h) => h.clone(),
+            _ => panic!("metric {name:?} is not a time histogram"),
+        }
+    }
+
     /// Freezes the registry into a deterministically ordered [`Snapshot`].
     #[must_use]
     pub fn snapshot(&self) -> Snapshot {
@@ -570,6 +649,33 @@ mod tests {
             }
             other => panic!("expected histogram, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn time_histogram_buckets_microseconds_reports_seconds() {
+        let reg = Registry::new();
+        let h = reg.time_histogram("stage_seconds", "h", &[("stage", "queued")]);
+        h.observe_seconds(0.000_001); // 1 us -> bucket 0
+        h.observe_seconds(0.003); // 3000 us -> bucket 12 (<= 4096)
+        h.observe_seconds(-1.0); // ignored
+        h.observe_seconds(f64::NAN); // ignored
+        assert_eq!(h.count(), 2);
+        let snap = reg.snapshot();
+        match &snap.samples[0].value {
+            SampleValue::TimeHistogram(hs) => {
+                assert_eq!(hs.count, 2);
+                assert_eq!(hs.sum, 3001);
+                assert!((hs.seconds_sum() - 0.003_001).abs() < 1e-12);
+                assert_eq!(hs.buckets[0], 1);
+                assert_eq!(hs.buckets[12], 1);
+                assert!((HistogramSnapshot::seconds_bound(12) - 0.004_096).abs() < 1e-12);
+            }
+            other => panic!("expected time histogram, got {other:?}"),
+        }
+        assert_eq!(
+            snap.families.get("stage_seconds").map(|f| f.1),
+            Some(MetricKind::Histogram)
+        );
     }
 
     #[test]

@@ -137,6 +137,25 @@ fn push_sample(out: &mut String, sample: &crate::registry::Sample) {
             }
             out.push(']');
         }
+        SampleValue::TimeHistogram(h) => {
+            // Duration histograms bucket microseconds; the summary
+            // reports the sum in seconds to match the `_seconds` family
+            // name. Bucket counts stay raw (bound of bucket `i` is
+            // `2^i / 1e6` seconds).
+            out.push_str(&format!(
+                ", \"count\": {}, \"sum\": {}",
+                h.count,
+                json_f64(h.seconds_sum())
+            ));
+            out.push_str(", \"buckets\": [");
+            for (i, b) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&b.to_string());
+            }
+            out.push(']');
+        }
     }
     out.push('}');
 }
@@ -189,6 +208,9 @@ mod tests {
             .counter("jobs_total", "h", &[("scheme", "Horus")])
             .add(5);
         registry.histogram("lat", "h", &[]).observe(3);
+        registry
+            .time_histogram("stage_seconds", "h", &[])
+            .observe_seconds(0.5);
         ObsSummary {
             host: HostProfile {
                 wall_seconds: 1.5,
@@ -222,6 +244,9 @@ mod tests {
         assert!(json.contains("\"name\": \"jobs_total\""));
         assert!(json.contains("\"scheme\": \"Horus\""));
         assert!(json.contains("\"count\": 1, \"sum\": 3"));
+        // The time histogram reports its sum in seconds, not micros.
+        assert!(json.contains("\"name\": \"stage_seconds\""));
+        assert!(json.contains("\"count\": 1, \"sum\": 0.5"));
         assert!(json.ends_with("}\n"));
     }
 

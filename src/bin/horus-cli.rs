@@ -9,6 +9,7 @@
 //! horus-cli crash-sweep [--quick] [--points N] [--model torn|stale|garbled] [--jobs N] [--out FILE] [--json]
 //! horus-cli fleet-coordinator [--addr 127.0.0.1:9470] [--lease-secs S] [--for-plans N] [--resume]
 //! horus-cli fleet-worker --connect HOST:PORT [--jobs N] [--name NAME]
+//! horus-cli fleet-trace [--connect HOST:PORT] [--out FILE]
 //! horus-cli serve-metrics [--addr 127.0.0.1:9464] [--for-seconds S]
 //! ```
 //!
@@ -39,7 +40,7 @@ use horus::core::{
 use horus::energy::{Battery, DrainEnergyModel};
 use horus::fleet::{run_worker, Coordinator, CoordinatorOptions, FleetBackend, WorkerOptions};
 use horus::harness::{Harness, HarnessOptions, JobSpec, ProgressMode, SweepBackend};
-use horus::obs::{MetricsServer, ObsOptions, ObsSession, Registry};
+use horus::obs::{log, span, MetricsServer, ObsOptions, ObsSession, Registry, SpanBook};
 use horus::workload::{fill_hierarchy, parse_trace, FillPattern, TraceOp};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -253,10 +254,25 @@ fn cmd_attack(args: &Args) -> Result<(), String> {
     }
 }
 
+/// Applies the global `--log-level`/`--log-json` flags to the
+/// process-wide structured logger before any subcommand runs.
+fn apply_log_flags(args: &Args) -> Result<(), String> {
+    if let Some(v) = args.get("log-level") {
+        let level = log::Level::parse(v)
+            .ok_or(format!("--log-level {v}: expected debug|info|warn|error"))?;
+        log::set_level(level);
+    }
+    if args.has("log-json") {
+        log::set_json_stderr(true);
+    }
+    Ok(())
+}
+
 /// Starts the telemetry session the `--metrics-addr`/`--dashboard`/
-/// `--obs-out` flags describe, announcing the scrape URL. `None` when no
-/// obs flag was given. When telemetry is on but no `--obs-out` path was
-/// given, the summary defaults to `obs-summary.json` (gitignored).
+/// `--obs-out`/`--span-out` flags describe, announcing the scrape URL.
+/// `None` when no obs flag was given. When telemetry is on but no
+/// `--obs-out` path was given, the summary defaults to
+/// `obs-summary.json` (gitignored).
 fn obs_session(args: &Args) -> Result<Option<ObsSession>, String> {
     let opts = ObsOptions {
         metrics_addr: args.get("metrics-addr").map(str::to_owned),
@@ -268,6 +284,7 @@ fn obs_session(args: &Args) -> Result<Option<ObsSession>, String> {
                 (args.get("metrics-addr").is_some() || args.has("dashboard"))
                     .then(|| std::path::PathBuf::from("obs-summary.json"))
             }),
+        span_out: args.get("span-out").map(std::path::PathBuf::from),
     };
     if !opts.is_active() {
         return Ok(None);
@@ -323,6 +340,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         backend: args
             .get("fleet")
             .map(|addr| Arc::new(FleetBackend::new(addr)) as Arc<dyn SweepBackend>),
+        spans: obs.as_ref().and_then(ObsSession::span_book),
     });
     let specs: Vec<JobSpec> = llcs
         .iter()
@@ -510,16 +528,32 @@ fn cmd_fleet_coordinator(args: &Args) -> Result<(), String> {
     if lease_secs.is_nan() || lease_secs <= 0.0 {
         return Err("--lease-secs must be positive".into());
     }
+    // The CLI coordinator always keeps a span book, so `fleet-trace`
+    // can interrogate any coordinator it can reach; `--span-out` merely
+    // adds the end-of-run artifact (the session's book is reused then,
+    // so the obs finish path writes it).
+    let spans = obs
+        .as_ref()
+        .and_then(ObsSession::span_book)
+        .unwrap_or_else(SpanBook::shared);
+    // Not ready until the queue is actually listening.
+    if let Some(session) = &obs {
+        session.set_ready(false);
+    }
     let options = CoordinatorOptions {
         addr: args.get("addr").unwrap_or("127.0.0.1:9470").to_owned(),
         cache_dir: args.get("cache-dir").map(std::path::PathBuf::from),
         no_cache: args.has("no-cache"),
         lease: Duration::from_secs_f64(lease_secs),
         metrics: obs.as_ref().map(ObsSession::registry),
+        spans: Some(Arc::clone(&spans)),
         resume: args.has("resume"),
     };
     let coordinator = Coordinator::start(&options)
         .map_err(|e| format!("cannot start coordinator on {}: {e}", options.addr))?;
+    if let Some(session) = &obs {
+        session.set_ready(true);
+    }
     eprintln!(
         "fleet: coordinator listening on {} (lease {:.1}s)",
         coordinator.local_addr(),
@@ -533,6 +567,9 @@ fn cmd_fleet_coordinator(args: &Args) -> Result<(), String> {
         Some(n) => {
             coordinator.wait_for_plans(n);
             coordinator.begin_drain();
+            if let Some(session) = &obs {
+                session.set_ready(false);
+            }
             eprintln!(
                 "fleet: {n} plan(s) merged ({} lease requeues); draining workers",
                 coordinator.requeues()
@@ -574,6 +611,33 @@ fn cmd_fleet_worker(args: &Args) -> Result<(), String> {
         "fleet: worker {} executed {} job(s) over {} batch(es); coordinator drained",
         summary.worker, summary.executed, summary.batches
     );
+    Ok(())
+}
+
+/// `fleet-trace`: pull every job span the coordinator has stamped and
+/// render them as Chrome-trace JSON — to `--out FILE`, or stdout.
+/// One worker = one track; each job shows its five lifecycle stages
+/// (queued → leased → executing → pushed → committed) on the
+/// coordinator's clock.
+fn cmd_fleet_trace(args: &Args) -> Result<(), String> {
+    let addr = args
+        .get("connect")
+        .or_else(|| args.get("addr"))
+        .unwrap_or("127.0.0.1:9470");
+    let spans = FleetBackend::new(addr).fetch_trace()?;
+    let json = span::chrome_trace_json(&spans);
+    let complete = spans.iter().filter(|s| s.is_complete()).count();
+    eprintln!(
+        "fleet-trace: {} span(s) from {addr} ({complete} complete)",
+        spans.len()
+    );
+    match args.get("out") {
+        Some(out) => {
+            std::fs::write(out, json.as_bytes()).map_err(|e| format!("{out}: {e}"))?;
+            eprintln!("wrote Chrome trace to {out} — open in Perfetto");
+        }
+        None => println!("{json}"),
+    }
     Ok(())
 }
 
@@ -745,13 +809,16 @@ const USAGE: &str =
           authoritative result cache; merge is plan-ordered and exactly-once
   fleet-worker --connect HOST:PORT [--jobs N] [--name NAME]   lease job batches
           and execute them on the local harness pool until the fleet drains
+  fleet-trace [--connect HOST:PORT] [--out FILE]   pull the coordinator's per-job
+          lifecycle spans as Chrome-trace JSON (Perfetto-loadable)
   serve-metrics [--addr 127.0.0.1:9464] [--for-seconds S]   standalone Prometheus
           scrape endpoint exposing this process's host profile
   trace   <scheme> [--llc-mb N] [--stride B] [--out FILE]   probed drain: utilization,
           critical path, optional Chrome-trace JSON (Perfetto-loadable)
   trace   --file <path> [--domain epd|adr|bbb:<lines>]      workload replay
 sweep/crash-sweep/fleet-coordinator telemetry: [--metrics-addr ADDR] [--dashboard]
-          [--obs-out FILE]
+          [--obs-out FILE] [--span-out FILE]
+global logging: [--log-level debug|info|warn|error] [--log-json]
 schemes: ns base-lu base-eu horus(-slm) horus-dlm";
 
 fn main() -> ExitCode {
@@ -766,6 +833,7 @@ fn main() -> ExitCode {
             "quick",
             "dashboard",
             "resume",
+            "log-json",
         ],
     ) {
         Ok(a) => a,
@@ -774,6 +842,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = apply_log_flags(&args) {
+        eprintln!("error: {e}\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
     let cmd = args
         .positional
         .first()
@@ -791,6 +863,7 @@ fn main() -> ExitCode {
         },
         "fleet-coordinator" => cmd_fleet_coordinator(&args),
         "fleet-worker" => cmd_fleet_worker(&args),
+        "fleet-trace" => cmd_fleet_trace(&args),
         "serve-metrics" => cmd_serve_metrics(&args),
         "trace" => cmd_trace(&args),
         "help" | "--help" | "-h" => {
