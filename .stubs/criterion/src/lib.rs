@@ -113,6 +113,12 @@ impl BenchmarkId {
     }
 }
 
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self._id.fmt(f)
+    }
+}
+
 pub enum Throughput {
     Elements(u64),
     Bytes(u64),

@@ -10,7 +10,7 @@ use horus_crypto::{otp, Aes128, Cmac};
 use horus_harness::JobSpec;
 use horus_nvm::NvmDevice;
 use horus_sim::queue::EventQueue;
-use horus_sim::Cycles;
+use horus_sim::{Cycles, EpisodeShards};
 use horus_workload::FillPattern;
 
 const BLOCK_SIZE: usize = 64;
@@ -169,12 +169,41 @@ fn bench_episode(c: &mut Criterion) {
     g.finish();
 }
 
+/// The sharded episode core: the same five-scheme smoke set as
+/// `episode/smoke_plan_all_schemes`, fanned out over worker-thread
+/// pools of increasing size. The 1-thread entry is the serial
+/// reference; the speedup curve flattens once the pool exceeds the
+/// five independent episodes.
+fn bench_sharded_core(c: &mut Criterion) {
+    let cfg = SystemConfig::small_test();
+    let pattern = FillPattern::StridedSparse { min_stride: 16384 };
+    let mut g = c.benchmark_group("sharded_core");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let shards = EpisodeShards::new(threads);
+        g.bench_function(format!("smoke_plan_{threads}_threads"), |b| {
+            b.iter(|| {
+                let episodes = DrainScheme::ALL
+                    .iter()
+                    .map(|&s| {
+                        let spec = JobSpec::drain(&cfg, s, pattern);
+                        move || spec.execute().drain.cycles
+                    })
+                    .collect();
+                shards.run(episodes).into_iter().sum::<u64>()
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_aes,
     bench_cmac,
     bench_event_queue,
     bench_nvm,
-    bench_episode
+    bench_episode,
+    bench_sharded_core
 );
 criterion_main!(benches);

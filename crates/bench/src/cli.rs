@@ -16,6 +16,8 @@
 //!                   of the local pool (output stays byte-identical)
 //! --span-out FILE   write a Chrome-trace JSON of per-job lifecycle spans
 //!                   (queued → leased → executing → pushed → committed)
+//! --sim-threads N   shard independent episodes over N simulation worker
+//!                   threads (default 1; output is byte-identical for any N)
 //! --log-level LVL   structured-log threshold: debug|info|warn|error
 //! --log-json        emit structured log lines as NDJSON on stderr
 //! ```
@@ -70,6 +72,8 @@ pub struct HarnessArgs {
     pub fleet: Option<String>,
     /// `--span-out FILE`.
     pub span_out: Option<PathBuf>,
+    /// `--sim-threads N`.
+    pub sim_threads: Option<usize>,
     /// `--log-level LVL`.
     pub log_level: Option<log::Level>,
     /// `--log-json`.
@@ -79,7 +83,7 @@ pub struct HarnessArgs {
 /// The usage string fragment for the shared flags.
 pub const HARNESS_USAGE: &str = "[--jobs N] [--cache-dir DIR] [--no-cache] [--progress] \
      [--quick] [--trace-out FILE] [--metrics-addr ADDR] [--dashboard] [--obs-out FILE] \
-     [--fleet ADDR] [--span-out FILE] [--log-level LVL] [--log-json]";
+     [--fleet ADDR] [--span-out FILE] [--sim-threads N] [--log-level LVL] [--log-json]";
 
 impl HarnessArgs {
     /// Parses the process arguments; unknown flags are an error.
@@ -145,6 +149,14 @@ impl HarnessArgs {
                     let v = it.next().ok_or("--span-out requires a value")?;
                     args.span_out = Some(PathBuf::from(v));
                 }
+                "--sim-threads" => {
+                    let v = it.next().ok_or("--sim-threads requires a value")?;
+                    args.sim_threads = Some(
+                        v.parse::<usize>()
+                            .map_err(|e| format!("--sim-threads {v}: {e}"))?
+                            .max(1),
+                    );
+                }
                 "--log-level" => {
                     let v = it.next().ok_or("--log-level requires a value")?;
                     args.log_level = Some(
@@ -199,6 +211,14 @@ impl HarnessArgs {
                 .map(|addr| Arc::new(FleetBackend::new(addr.clone())) as Arc<dyn SweepBackend>),
             spans: obs.session.as_ref().and_then(ObsSession::span_book),
         })
+    }
+
+    /// The simulation-episode worker pool `--sim-threads` describes.
+    /// Defaults to the single-thread reference configuration, whose
+    /// output every other thread count must reproduce byte-for-byte.
+    #[must_use]
+    pub fn episode_shards(&self) -> horus_sim::EpisodeShards {
+        horus_sim::EpisodeShards::new(self.sim_threads.unwrap_or(1))
     }
 
     /// The [`ObsOptions`] these flags describe. When telemetry was
@@ -439,6 +459,22 @@ mod tests {
     #[test]
     fn zero_jobs_clamps_to_one() {
         assert_eq!(parse(&["--jobs", "0"]).expect("valid").jobs, Some(1));
+    }
+
+    #[test]
+    fn sim_threads_parses_and_defaults_to_one() {
+        let a = parse(&["--sim-threads", "8"]).expect("valid");
+        assert_eq!(a.sim_threads, Some(8));
+        assert_eq!(a.episode_shards().threads(), 8);
+        // Default is the single-thread reference configuration.
+        assert_eq!(parse(&[]).expect("valid").episode_shards().threads(), 1);
+        // Zero clamps rather than erroring, like --jobs.
+        assert_eq!(
+            parse(&["--sim-threads", "0"]).expect("valid").sim_threads,
+            Some(1)
+        );
+        assert!(parse(&["--sim-threads"]).is_err());
+        assert!(parse(&["--sim-threads", "lots"]).is_err());
     }
 
     #[test]

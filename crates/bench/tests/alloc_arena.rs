@@ -1,0 +1,64 @@
+//! Measures the per-episode scratch-arena win with the `alloc-profile`
+//! counting allocator.
+//!
+//! The drain loops recycle their `(addr, block)` scratch vectors through
+//! a thread-local `ScratchArena` (see `horus-core`'s `drain.rs`), so a
+//! *warm* episode — same thread, same working-set size — should allocate
+//! strictly less than the cold first episode that grew the buffers. The
+//! results themselves must be identical either way: recycling only
+//! changes where the bytes live, never what they hold.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo test -p horus-bench --features alloc-profile --test alloc_arena
+//! ```
+//!
+//! Without the feature the counting allocator is absent
+//! (`alloc_counts()` is `None`) and the test skips with a visible
+//! notice rather than pretending to have measured something.
+
+use horus_core::{DrainScheme, SystemConfig};
+use horus_harness::JobSpec;
+use horus_workload::FillPattern;
+
+fn episode() -> horus_harness::JobResult {
+    let spec = JobSpec::drain(
+        &SystemConfig::small_test(),
+        DrainScheme::HorusDlm,
+        FillPattern::StridedSparse { min_stride: 16384 },
+    );
+    spec.execute()
+}
+
+/// Allocations performed by `f`, when the counting allocator is
+/// compiled in.
+fn allocs_during<T>(f: impl FnOnce() -> T) -> Option<(u64, T)> {
+    let (before, _) = horus_obs::profile::alloc_counts()?;
+    let out = f();
+    let (after, _) = horus_obs::profile::alloc_counts()?;
+    Some((after - before, out))
+}
+
+#[test]
+fn warm_episodes_allocate_less_than_cold_and_match_exactly() {
+    if horus_obs::profile::alloc_counts().is_none() {
+        eprintln!(
+            "SKIPPED: warm_episodes_allocate_less_than_cold_and_match_exactly \
+             (build with --features alloc-profile to measure allocations)"
+        );
+        return;
+    }
+    // Cold: first episode on this thread grows the scratch buffers.
+    let (cold_allocs, cold) = allocs_during(episode).expect("probe active");
+    // Warm: the arena hands the grown buffers back.
+    let (warm_allocs, warm) = allocs_during(episode).expect("probe active");
+    assert!(
+        warm_allocs < cold_allocs,
+        "recycling should save allocations: warm {warm_allocs} vs cold {cold_allocs}"
+    );
+    // Value-transparency: recycled buffers must not change any result.
+    let cold_json = serde_json::to_string(&cold).expect("serializes");
+    let warm_json = serde_json::to_string(&warm).expect("serializes");
+    assert_eq!(cold_json, warm_json, "episode results must be identical");
+}

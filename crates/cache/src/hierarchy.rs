@@ -217,8 +217,17 @@ impl CacheHierarchy {
     /// push to NVM.
     #[must_use]
     pub fn drain_order(&self) -> Vec<(u64, Block)> {
-        let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
+        self.drain_order_into(&mut out);
+        out
+    }
+
+    /// [`CacheHierarchy::drain_order`] into a caller-provided buffer, so
+    /// per-episode callers can recycle the allocation (the buffer is
+    /// cleared first; the contents are identical to `drain_order()`).
+    pub fn drain_order_into(&self, out: &mut Vec<(u64, Block)>) {
+        out.clear();
+        let mut seen = std::collections::HashSet::new();
         for level in self.levels() {
             for (addr, data, dirty) in level.iter() {
                 if dirty && seen.insert(addr) {
@@ -226,7 +235,6 @@ impl CacheHierarchy {
                 }
             }
         }
-        out
     }
 
     /// Empties every level (e.g. after a completed drain: the hierarchy

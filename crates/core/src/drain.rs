@@ -7,8 +7,16 @@ use crate::system::{Episode, SecureEpdSystem};
 use horus_metadata::UpdateScheme;
 use horus_nvm::Block;
 use horus_sim::trace::base_resource;
-use horus_sim::{critical_path, resource_usage, Cycles};
+use horus_sim::{critical_path, resource_usage, Cycles, ScratchArena};
 use serde::{Deserialize, Serialize};
+
+thread_local! {
+    /// Recycled `(addr, block)` scratch buffers for the drain loops (the
+    /// hierarchy drain order and the dirty metadata lines). One pool per
+    /// thread, so every `EpisodeShards` worker recycles independently and
+    /// episode results stay bit-identical to a cold run.
+    static DRAIN_SCRATCH: ScratchArena<(u64, Block)> = ScratchArena::new();
+}
 
 /// The evaluated drain schemes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -199,7 +207,8 @@ impl SecureEpdSystem {
         // Measure the drain in isolation.
         self.platform.reset_timing();
         self.clock = Cycles::ZERO;
-        let blocks = self.hierarchy.drain_order();
+        let mut blocks = DRAIN_SCRATCH.with(ScratchArena::take);
+        self.hierarchy.drain_order_into(&mut blocks);
         let flushed = blocks.len() as u64;
         let mut metadata_blocks = 0u64;
         let mut chv_slot = 0u64;
@@ -257,9 +266,14 @@ impl SecureEpdSystem {
                 // reset the ephemeral counter so positions map to this
                 // episode's DC values. DC itself never rewinds.
                 self.counters.clear_ephemeral();
+                // The dirty metadata lines are fixed for the whole drain
+                // (the Horus data pushes bypass the run-time engine), so
+                // collect them once: they size the worst case here and
+                // are vaulted verbatim after the data stream below.
+                let mut meta = DRAIN_SCRATCH.with(ScratchArena::take);
+                self.dirty_metadata_lines_into(&mut meta);
                 // The vault slot must fit the worst case before starting.
-                let meta_dirty = self.dirty_metadata_lines().len() as u64;
-                let worst = layout.blocks_used(flushed + meta_dirty);
+                let worst = layout.blocks_used(flushed + meta.len() as u64);
                 assert!(
                     worst <= self.config.chv_slot_blocks(),
                     "CHV slot too small: need {worst} blocks, reserved {}",
@@ -268,6 +282,7 @@ impl SecureEpdSystem {
                 let mut writer =
                     ChvWriter::new(layout, &self.config.chv_key(), &self.config.chv_mac_key());
                 let mut t = Cycles::ZERO;
+                push_issue_cycles.reserve_exact(blocks.len() + meta.len());
                 for (addr, data) in &blocks {
                     let dc = self.counters.allocate();
                     push_issue_cycles.push(t);
@@ -278,13 +293,13 @@ impl SecureEpdSystem {
                     .record_phase("drain.data", Cycles::ZERO, t_data);
                 // Drain the dirty metadata-cache contents through the
                 // same vault (they are just more blocks to protect).
-                let meta: Vec<(u64, Block)> = self.dirty_metadata_lines();
                 metadata_blocks = meta.len() as u64;
                 for (addr, data) in &meta {
                     let dc = self.counters.allocate();
                     push_issue_cycles.push(t);
                     t = writer.push(&mut self.platform, dc, *addr, data, "chv_meta", t);
                 }
+                DRAIN_SCRATCH.with(|arena| arena.put(meta));
                 let t_meta = self.platform.busy_until();
                 self.platform.record_phase("drain.metadata", t_data, t_meta);
                 writer.finish(&mut self.platform, t);
@@ -292,6 +307,7 @@ impl SecureEpdSystem {
                 self.platform.record_phase("drain.finish", t_meta, t_finish);
             }
         }
+        DRAIN_SCRATCH.with(|arena| arena.put(blocks));
 
         DrainRun {
             flushed,
@@ -315,13 +331,12 @@ impl SecureEpdSystem {
         }
     }
 
-    fn dirty_metadata_lines(&self) -> Vec<(u64, Block)> {
+    fn dirty_metadata_lines_into(&self, out: &mut Vec<(u64, Block)>) {
+        out.clear();
         let m = self.metadata();
-        let mut out = Vec::new();
         for c in [m.counter_cache(), m.mac_cache(), m.tree_cache()] {
             out.extend(c.dirty_lines().map(|(a, b)| (a, *b)));
         }
-        out
     }
 
     pub(crate) fn clear_metadata_caches(&mut self) {

@@ -19,6 +19,20 @@
 //! cipher is provided as well (byte-oriented; it is never on the hot
 //! path) so the crate is a complete AES-128 and round-trip properties
 //! can be tested directly.
+//!
+//! # Hardware acceleration
+//!
+//! On x86-64 hosts with the AES-NI extension, block encryption runs on
+//! the `aesenc`/`aesenclast` instructions instead of the T-tables — one
+//! instruction per round, computed in hardware from the same FIPS-197
+//! round keys the software path expands. The backend is chosen once per
+//! process by [`active_backend`]: `is_x86_feature_detected!("aes")` at
+//! first use, overridable with the `HORUS_FORCE_SOFT_AES=1` environment
+//! variable (the CI soft-crypto lane) and degrading automatically to the
+//! software path on every other architecture, under Miri, and on x86-64
+//! parts without the extension. Both paths are bit-identical AES-128;
+//! the FIPS-197 vectors and the soft-vs-hardware equivalence property
+//! tests in `tests/properties.rs` are the oracle.
 
 /// The AES block size in bytes.
 pub const AES_BLOCK_SIZE: usize = 16;
@@ -71,6 +85,68 @@ const INV_SBOX: [u8; 256] = [
 
 /// Round constants for key expansion.
 const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+// ----- backend selection ---------------------------------------------------
+
+/// Which implementation executes the AES rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AesBackend {
+    /// AES-NI instructions (`aesenc`/`aesenclast`), x86-64 only.
+    Hardware,
+    /// The portable T-table implementation.
+    Software,
+}
+
+impl std::fmt::Display for AesBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AesBackend::Hardware => "aes-ni",
+            AesBackend::Software => "soft",
+        })
+    }
+}
+
+/// True when this CPU can run the AES-NI path (independent of the
+/// `HORUS_FORCE_SOFT_AES` override). Always `false` off x86-64 and
+/// under Miri, which cannot interpret the vendor intrinsics.
+#[must_use]
+pub fn hardware_available() -> bool {
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    {
+        std::arch::is_x86_feature_detected!("aes") && std::arch::is_x86_feature_detected!("sse2")
+    }
+    #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+    {
+        false
+    }
+}
+
+/// The backend-selection rule, factored pure so the override semantics
+/// are unit-testable without touching the process environment:
+/// `HORUS_FORCE_SOFT_AES` set to anything but empty or `0` forces the
+/// software path; otherwise hardware is used whenever the CPU has it.
+fn backend_from(force_soft: Option<&std::ffi::OsStr>, hardware: bool) -> AesBackend {
+    let forced = force_soft.is_some_and(|v| !v.is_empty() && v != "0");
+    if !forced && hardware {
+        AesBackend::Hardware
+    } else {
+        AesBackend::Software
+    }
+}
+
+/// The backend new [`Aes128`] instances use, decided once per process:
+/// CPU detection plus the `HORUS_FORCE_SOFT_AES` environment override
+/// (read at first use; the CI soft-crypto lane sets it before launch).
+#[must_use]
+pub fn active_backend() -> AesBackend {
+    static BACKEND: std::sync::OnceLock<AesBackend> = std::sync::OnceLock::new();
+    *BACKEND.get_or_init(|| {
+        backend_from(
+            std::env::var_os("HORUS_FORCE_SOFT_AES").as_deref(),
+            hardware_available(),
+        )
+    })
+}
 
 /// Multiply by `x` (i.e. `{02}`) in GF(2^8) with the AES polynomial.
 #[inline]
@@ -216,6 +292,11 @@ pub struct Aes128 {
     /// The same round keys as big-endian column words, the form the
     /// T-table rounds consume.
     enc_keys: [[u32; 4]; ROUNDS + 1],
+    /// Which implementation executes the rounds. Invariant: `Hardware`
+    /// only ever appears after [`hardware_available`] returned true
+    /// (both constructors enforce it), which is what makes the
+    /// `unsafe` intrinsic calls in [`hw`] sound.
+    backend: AesBackend,
 }
 
 impl std::fmt::Debug for Aes128 {
@@ -228,9 +309,27 @@ impl std::fmt::Debug for Aes128 {
 }
 
 impl Aes128 {
-    /// Expands `key` into the 11 round keys of AES-128.
+    /// Expands `key` into the 11 round keys of AES-128, running block
+    /// operations on the process-wide [`active_backend`].
     #[must_use]
     pub fn new(key: &[u8; 16]) -> Self {
+        Self::with_backend(key, active_backend())
+    }
+
+    /// [`new`](Self::new) pinned to an explicit backend — the handle the
+    /// soft-vs-hardware equivalence tests and benchmarks use to compare
+    /// both implementations inside one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`AesBackend::Hardware`] is requested on a host whose
+    /// CPU lacks AES-NI (use [`hardware_available`] to probe first).
+    #[must_use]
+    pub fn with_backend(key: &[u8; 16], backend: AesBackend) -> Self {
+        assert!(
+            backend == AesBackend::Software || hardware_available(),
+            "AES hardware backend requested but AES-NI is not available"
+        );
         let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
         for (i, chunk) in key.chunks_exact(4).enumerate() {
             w[i].copy_from_slice(chunk);
@@ -261,12 +360,28 @@ impl Aes128 {
         Self {
             round_keys,
             enc_keys,
+            backend,
         }
+    }
+
+    /// The backend this instance runs block operations on.
+    #[must_use]
+    pub fn backend(&self) -> AesBackend {
+        self.backend
     }
 
     /// Encrypts one 16-byte block.
     #[must_use]
     pub fn encrypt_block(&self, block: &AesBlock) -> AesBlock {
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        if self.backend == AesBackend::Hardware {
+            return hw::encrypt_block(&self.round_keys, block);
+        }
+        self.encrypt_block_soft(block)
+    }
+
+    /// The T-table path of [`encrypt_block`](Self::encrypt_block).
+    fn encrypt_block_soft(&self, block: &AesBlock) -> AesBlock {
         let mut s = load_columns(block);
         for (col, key) in s.iter_mut().zip(&self.enc_keys[0]) {
             *col ^= key;
@@ -283,6 +398,10 @@ impl Aes128 {
     /// one 64-byte memory line needs exactly four pad blocks.
     #[must_use]
     pub fn encrypt4(&self, blocks: &[AesBlock; 4]) -> [AesBlock; 4] {
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        if self.backend == AesBackend::Hardware {
+            return hw::encrypt4(&self.round_keys, blocks);
+        }
         let mut s: [[u32; 4]; 4] = core::array::from_fn(|i| load_columns(&blocks[i]));
         for lane in &mut s {
             for (col, key) in lane.iter_mut().zip(&self.enc_keys[0]) {
@@ -303,6 +422,11 @@ impl Aes128 {
     /// four through the interleaved [`encrypt4`](Self::encrypt4) kernel
     /// and any remainder one block at a time.
     pub fn encrypt_blocks(&self, blocks: &mut [AesBlock]) {
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        if self.backend == AesBackend::Hardware {
+            hw::encrypt_blocks(&self.round_keys, blocks);
+            return;
+        }
         let mut quads = blocks.chunks_exact_mut(4);
         for quad in &mut quads {
             let quad: &mut [AesBlock; 4] = quad.try_into().expect("chunk of 4");
@@ -311,6 +435,32 @@ impl Aes128 {
         for block in quads.into_remainder() {
             *block = self.encrypt_block(block);
         }
+    }
+
+    /// CBC absorption: folds `msg` (a whole number of 16-byte blocks)
+    /// into the running value `x` as `x = E(x ⊕ mᵢ)` per block — the
+    /// chain at the heart of CMAC. The hardware path keeps `x` in an XMM
+    /// register across the whole chain instead of round-tripping through
+    /// memory per block, which is the CMAC fast path's win.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `msg.len()` is not a multiple of 16.
+    #[must_use]
+    pub fn cbc_absorb(&self, x: &AesBlock, msg: &[u8]) -> AesBlock {
+        debug_assert_eq!(msg.len() % AES_BLOCK_SIZE, 0);
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        if self.backend == AesBackend::Hardware {
+            return hw::cbc_absorb(&self.round_keys, x, msg);
+        }
+        let mut x = *x;
+        for block in msg.chunks_exact(AES_BLOCK_SIZE) {
+            for (xj, bj) in x.iter_mut().zip(block.iter()) {
+                *xj ^= bj;
+            }
+            x = self.encrypt_block_soft(&x);
+        }
+        x
     }
 
     /// Decrypts one 16-byte block (the FIPS-197 inverse cipher).
@@ -332,6 +482,134 @@ impl Aes128 {
         inv_sub_bytes(&mut state);
         add_round_key(&mut state, &self.round_keys[0]);
         state
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+mod hw {
+    //! The AES-NI kernel: one `aesenc` per middle round and one
+    //! `aesenclast` for the final round, fed the same byte-form round
+    //! keys the software key schedule produced (`round_keys[r]` is
+    //! exactly the 16 bytes `_mm_loadu_si128` wants, so no
+    //! `aeskeygenassist` reimplementation is needed and both paths
+    //! provably share one key schedule).
+    //!
+    //! Safety: every public function here requires that the caller has
+    //! verified AES-NI support. The only call sites are the
+    //! `AesBackend::Hardware` dispatch arms in [`Aes128`], and the
+    //! `Hardware` tag can only be constructed after
+    //! [`super::hardware_available`] returned true — the constructors
+    //! assert it. `_mm_loadu_si128`/`_mm_storeu_si128` are unaligned
+    //! loads/stores over `[u8; 16]`, so there are no alignment or
+    //! validity requirements beyond the feature check.
+    #![allow(unsafe_code)]
+
+    use super::{AesBlock, AES_BLOCK_SIZE, ROUNDS};
+    use core::arch::x86_64::{
+        __m128i, _mm_aesenc_si128, _mm_aesenclast_si128, _mm_loadu_si128, _mm_setzero_si128,
+        _mm_storeu_si128, _mm_xor_si128,
+    };
+
+    type RoundKeys = [[u8; 16]; ROUNDS + 1];
+
+    /// The interleave width of the batch path: 8 in-flight lanes cover
+    /// the 4-cycle `aesenc` latency at its 1/cycle issue rate.
+    const LANES: usize = 8;
+
+    #[inline]
+    #[target_feature(enable = "aes")]
+    unsafe fn load_keys(rk: &RoundKeys) -> [__m128i; ROUNDS + 1] {
+        let mut keys = [_mm_setzero_si128(); ROUNDS + 1];
+        for (key, bytes) in keys.iter_mut().zip(rk.iter()) {
+            *key = _mm_loadu_si128(bytes.as_ptr().cast::<__m128i>());
+        }
+        keys
+    }
+
+    /// Runs the ten rounds over one state register.
+    #[inline]
+    #[target_feature(enable = "aes")]
+    unsafe fn rounds(keys: &[__m128i; ROUNDS + 1], mut s: __m128i) -> __m128i {
+        s = _mm_xor_si128(s, keys[0]);
+        for key in &keys[1..ROUNDS] {
+            s = _mm_aesenc_si128(s, *key);
+        }
+        _mm_aesenclast_si128(s, keys[ROUNDS])
+    }
+
+    #[target_feature(enable = "aes")]
+    unsafe fn encrypt_block_impl(rk: &RoundKeys, block: &AesBlock) -> AesBlock {
+        let keys = load_keys(rk);
+        let s = rounds(&keys, _mm_loadu_si128(block.as_ptr().cast::<__m128i>()));
+        let mut out = [0u8; 16];
+        _mm_storeu_si128(out.as_mut_ptr().cast::<__m128i>(), s);
+        out
+    }
+
+    /// Encrypts up to [`LANES`] independent blocks in place with their
+    /// rounds interleaved, so the dependency chain of one lane hides
+    /// behind the others'.
+    #[target_feature(enable = "aes")]
+    unsafe fn encrypt_up_to_lanes(keys: &[__m128i; ROUNDS + 1], blocks: &mut [AesBlock]) {
+        debug_assert!(blocks.len() <= LANES);
+        let n = blocks.len();
+        let mut s = [_mm_setzero_si128(); LANES];
+        for (lane, block) in s.iter_mut().zip(blocks.iter()) {
+            *lane = _mm_xor_si128(_mm_loadu_si128(block.as_ptr().cast::<__m128i>()), keys[0]);
+        }
+        for key in &keys[1..ROUNDS] {
+            for lane in s.iter_mut().take(n) {
+                *lane = _mm_aesenc_si128(*lane, *key);
+            }
+        }
+        for (lane, block) in s.iter().zip(blocks.iter_mut()) {
+            let last = _mm_aesenclast_si128(*lane, keys[ROUNDS]);
+            _mm_storeu_si128(block.as_mut_ptr().cast::<__m128i>(), last);
+        }
+    }
+
+    pub(super) fn encrypt_block(rk: &RoundKeys, block: &AesBlock) -> AesBlock {
+        // Safety: AES-NI support was verified before the Hardware tag
+        // could exist (see the module docs).
+        unsafe { encrypt_block_impl(rk, block) }
+    }
+
+    pub(super) fn encrypt4(rk: &RoundKeys, blocks: &[AesBlock; 4]) -> [AesBlock; 4] {
+        let mut out = *blocks;
+        // Safety: as above.
+        unsafe {
+            let keys = load_keys(rk);
+            encrypt_up_to_lanes(&keys, &mut out);
+        }
+        out
+    }
+
+    pub(super) fn encrypt_blocks(rk: &RoundKeys, blocks: &mut [AesBlock]) {
+        // Safety: as above.
+        unsafe {
+            let keys = load_keys(rk);
+            for chunk in blocks.chunks_mut(LANES) {
+                encrypt_up_to_lanes(&keys, chunk);
+            }
+        }
+    }
+
+    #[target_feature(enable = "aes")]
+    unsafe fn cbc_absorb_impl(rk: &RoundKeys, x: &AesBlock, msg: &[u8]) -> AesBlock {
+        let keys = load_keys(rk);
+        let mut s = _mm_loadu_si128(x.as_ptr().cast::<__m128i>());
+        for block in msg.chunks_exact(AES_BLOCK_SIZE) {
+            let m = _mm_loadu_si128(block.as_ptr().cast::<__m128i>());
+            s = rounds(&keys, _mm_xor_si128(s, m));
+        }
+        let mut out = [0u8; 16];
+        _mm_storeu_si128(out.as_mut_ptr().cast::<__m128i>(), s);
+        out
+    }
+
+    pub(super) fn cbc_absorb(rk: &RoundKeys, x: &AesBlock, msg: &[u8]) -> AesBlock {
+        // Safety: as above; `chunks_exact` never reads past `msg`.
+        unsafe { cbc_absorb_impl(rk, x, msg) }
     }
 }
 
@@ -599,5 +877,127 @@ mod tests {
         let s = format!("{aes:?}");
         assert!(s.contains("redacted"));
         assert!(!s.contains('9'));
+    }
+
+    // ----- backend selection -----------------------------------------------
+
+    #[test]
+    fn backend_from_override_semantics() {
+        use std::ffi::OsStr;
+        let set = |v: &str| Some(OsStr::new(v).to_os_string());
+        // No override: follow the hardware probe.
+        assert_eq!(backend_from(None, true), AesBackend::Hardware);
+        assert_eq!(backend_from(None, false), AesBackend::Software);
+        // Empty and "0" count as unset (shell `HORUS_FORCE_SOFT_AES= cmd`).
+        assert_eq!(backend_from(set("").as_deref(), true), AesBackend::Hardware);
+        assert_eq!(
+            backend_from(set("0").as_deref(), true),
+            AesBackend::Hardware
+        );
+        // Any other value forces the software path.
+        assert_eq!(
+            backend_from(set("1").as_deref(), true),
+            AesBackend::Software
+        );
+        assert_eq!(
+            backend_from(set("yes").as_deref(), true),
+            AesBackend::Software
+        );
+        // Forcing soft on a soft-only host is a no-op, not an error.
+        assert_eq!(
+            backend_from(set("1").as_deref(), false),
+            AesBackend::Software
+        );
+    }
+
+    #[test]
+    fn backend_display_names() {
+        assert_eq!(AesBackend::Hardware.to_string(), "aes-ni");
+        assert_eq!(AesBackend::Software.to_string(), "soft");
+    }
+
+    #[test]
+    fn active_backend_is_stable_and_consistent() {
+        // Whatever the process-wide decision was, it must be cached and the
+        // default constructor must agree with it.
+        assert_eq!(active_backend(), active_backend());
+        assert_eq!(Aes128::new(&[7; 16]).backend(), active_backend());
+        if !hardware_available() {
+            assert_eq!(active_backend(), AesBackend::Software);
+        }
+    }
+
+    #[test]
+    fn software_backend_always_constructible() {
+        let aes = Aes128::with_backend(&[3; 16], AesBackend::Software);
+        assert_eq!(aes.backend(), AesBackend::Software);
+        // The software instance still passes the Appendix C.1 vector.
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let plain: [u8; 16] = core::array::from_fn(|i| (i as u8) * 0x11);
+        let soft = Aes128::with_backend(&key, AesBackend::Software);
+        assert_eq!(
+            soft.encrypt_block(&plain),
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+                0xc5, 0x5a,
+            ]
+        );
+    }
+
+    #[test]
+    fn cbc_absorb_matches_manual_chain() {
+        let aes = Aes128::new(&[0x5c; 16]);
+        for nblocks in 0..5usize {
+            let msg: Vec<u8> = (0..nblocks * AES_BLOCK_SIZE).map(|i| i as u8).collect();
+            let iv = test_block(99);
+            let mut expect = iv;
+            for block in msg.chunks_exact(AES_BLOCK_SIZE) {
+                for (xj, bj) in expect.iter_mut().zip(block.iter()) {
+                    *xj ^= bj;
+                }
+                expect = aes.encrypt_block(&expect);
+            }
+            assert_eq!(aes.cbc_absorb(&iv, &msg), expect, "{nblocks} blocks");
+        }
+    }
+
+    /// Soft vs AES-NI agreement on the FIPS-197 vectors plus deterministic
+    /// pseudo-random keys/blocks, across every public entry point. Skipped
+    /// (with a notice) on hosts without the `aes` feature; the CI
+    /// `soft-crypto` lane covers the reverse direction by forcing the
+    /// software path on hardware-capable runners.
+    #[test]
+    fn hardware_backend_matches_software() {
+        if !hardware_available() {
+            eprintln!("SKIPPED: hardware_backend_matches_software (CPU lacks AES-NI)");
+            return;
+        }
+        let fips_key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let mut keys: Vec<[u8; 16]> = vec![fips_key, core::array::from_fn(|i| i as u8)];
+        keys.extend((0..8u32).map(|k| test_block(2000 + k)));
+        for key in keys {
+            let hw = Aes128::with_backend(&key, AesBackend::Hardware);
+            let sw = Aes128::with_backend(&key, AesBackend::Software);
+            assert_eq!(hw.backend(), AesBackend::Hardware);
+            for i in 0..32u32 {
+                let pt = test_block(i);
+                assert_eq!(hw.encrypt_block(&pt), sw.encrypt_block(&pt));
+            }
+            let quad: [AesBlock; 4] = core::array::from_fn(|i| test_block(40 + i as u32));
+            assert_eq!(hw.encrypt4(&quad), sw.encrypt4(&quad));
+            for n in 0..19usize {
+                let mut hw_batch: Vec<AesBlock> = (0..n).map(|i| test_block(i as u32)).collect();
+                let mut sw_batch = hw_batch.clone();
+                hw.encrypt_blocks(&mut hw_batch);
+                sw.encrypt_blocks(&mut sw_batch);
+                assert_eq!(hw_batch, sw_batch, "batch of {n}");
+            }
+            let msg: Vec<u8> = (0..7 * AES_BLOCK_SIZE).map(|i| (i * 3) as u8).collect();
+            let iv = test_block(77);
+            assert_eq!(hw.cbc_absorb(&iv, &msg), sw.cbc_absorb(&iv, &msg));
+        }
     }
 }

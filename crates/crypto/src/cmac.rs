@@ -79,7 +79,13 @@ impl Cmac {
     /// Creates a CMAC instance, deriving the two RFC 4493 subkeys.
     #[must_use]
     pub fn new(key: &[u8; 16]) -> Self {
-        let aes = Aes128::new(key);
+        Self::with_cipher(Aes128::new(key))
+    }
+
+    /// Creates a CMAC instance over an existing cipher (e.g. one pinned to
+    /// a specific [`crate::aes::AesBackend`] for equivalence testing).
+    #[must_use]
+    pub fn with_cipher(aes: Aes128) -> Self {
         let l = aes.encrypt_block(&[0u8; 16]);
         let k1 = dbl(&l);
         let k2 = dbl(&k1);
@@ -97,13 +103,8 @@ impl Cmac {
         }
         let n = msg.len().div_ceil(AES_BLOCK_SIZE).max(1);
         let complete = msg.len() == n * AES_BLOCK_SIZE && !msg.is_empty();
-        let mut x = [0u8; AES_BLOCK_SIZE];
-        for i in 0..n - 1 {
-            for j in 0..AES_BLOCK_SIZE {
-                x[j] ^= msg[i * AES_BLOCK_SIZE + j];
-            }
-            x = self.aes.encrypt_block(&x);
-        }
+        let body = &msg[..(n - 1) * AES_BLOCK_SIZE];
+        let mut x = self.aes.cbc_absorb(&[0u8; AES_BLOCK_SIZE], body);
         let mut last = [0u8; AES_BLOCK_SIZE];
         let tail = &msg[(n - 1) * AES_BLOCK_SIZE..];
         if complete {
@@ -127,17 +128,13 @@ impl Cmac {
     /// CBC-MAC chain over a message that is a non-zero whole number of
     /// blocks: no padding buffer, k1 folded into the final block. Bit-
     /// identical to the general path for these lengths (RFC 4493's
-    /// `flag = true` case).
+    /// `flag = true` case). The chain runs through
+    /// [`Aes128::cbc_absorb`], which keeps the running state in an XMM
+    /// register on the AES-NI backend.
     fn mac_complete_blocks(&self, msg: &[u8]) -> AesBlock {
         debug_assert!(!msg.is_empty() && msg.len() % AES_BLOCK_SIZE == 0);
-        let mut x = [0u8; AES_BLOCK_SIZE];
         let (body, last) = msg.split_at(msg.len() - AES_BLOCK_SIZE);
-        for block in body.chunks_exact(AES_BLOCK_SIZE) {
-            for (xj, bj) in x.iter_mut().zip(block.iter()) {
-                *xj ^= bj;
-            }
-            x = self.aes.encrypt_block(&x);
-        }
+        let mut x = self.aes.cbc_absorb(&[0u8; AES_BLOCK_SIZE], body);
         for ((xj, lj), kj) in x.iter_mut().zip(last.iter()).zip(self.k1.iter()) {
             *xj ^= lj ^ kj;
         }

@@ -1,7 +1,67 @@
 //! Property tests for the cryptographic primitives.
 
+use horus_crypto::aes::{hardware_available, AesBackend};
 use horus_crypto::{ct_eq, otp, Aes128, Cmac, Mac64};
 use proptest::prelude::*;
+
+/// Prints the "no AES-NI on this host" notice once per process, so a run
+/// where the hardware-equivalence properties degraded to no-ops is visible
+/// in the log instead of silently green.
+fn hardware_or_skip(test: &str) -> bool {
+    if hardware_available() {
+        return true;
+    }
+    static NOTICE: std::sync::Once = std::sync::Once::new();
+    NOTICE.call_once(|| {
+        eprintln!("SKIPPED: soft-vs-hardware AES equivalence properties (CPU lacks AES-NI)");
+    });
+    eprintln!("SKIPPED: {test}");
+    false
+}
+
+proptest! {
+    /// The AES-NI backend is bit-identical to the T-table software cipher
+    /// for any key and block, across every public encrypt entry point.
+    #[test]
+    fn hardware_aes_equivalent_to_software(
+        key in prop::array::uniform16(any::<u8>()),
+        pt in prop::array::uniform16(any::<u8>()),
+        batch in prop::collection::vec(prop::array::uniform16(any::<u8>()), 0..24),
+    ) {
+        if hardware_or_skip("hardware_aes_equivalent_to_software") {
+            let hw = Aes128::with_backend(&key, AesBackend::Hardware);
+            let sw = Aes128::with_backend(&key, AesBackend::Software);
+            prop_assert_eq!(hw.encrypt_block(&pt), sw.encrypt_block(&pt));
+            let quad = [pt, key, pt, key];
+            prop_assert_eq!(hw.encrypt4(&quad), sw.encrypt4(&quad));
+            let mut hw_batch = batch.clone();
+            let mut sw_batch = batch;
+            hw.encrypt_blocks(&mut hw_batch);
+            sw.encrypt_blocks(&mut sw_batch);
+            prop_assert_eq!(hw_batch, sw_batch);
+        }
+    }
+
+    /// The CMAC fast path (CBC absorb in XMM registers) agrees with the
+    /// software chain for arbitrary messages, including the padded tail
+    /// cases.
+    #[test]
+    fn hardware_cmac_equivalent_to_software(
+        key in prop::array::uniform16(any::<u8>()),
+        iv in prop::array::uniform16(any::<u8>()),
+        msg in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        if hardware_or_skip("hardware_cmac_equivalent_to_software") {
+            let hw = Aes128::with_backend(&key, AesBackend::Hardware);
+            let sw = Aes128::with_backend(&key, AesBackend::Software);
+            let whole = msg.len() - msg.len() % 16;
+            prop_assert_eq!(hw.cbc_absorb(&iv, &msg[..whole]), sw.cbc_absorb(&iv, &msg[..whole]));
+            let hw_tag = Cmac::with_cipher(hw).mac64(&msg);
+            let sw_tag = Cmac::with_cipher(sw).mac64(&msg);
+            prop_assert_eq!(hw_tag, sw_tag);
+        }
+    }
+}
 
 proptest! {
     #[test]

@@ -5,16 +5,16 @@
 use horus_core::{DrainScheme, SystemConfig};
 use horus_harness::{Harness, HarnessOptions, JobSpec, ProgressMode};
 use horus_workload::FillPattern;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn scratch_dir(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("horus-harness-it-{tag}-{}", std::process::id()))
 }
 
-fn cached_harness(dir: &PathBuf, jobs: usize) -> Harness {
+fn cached_harness(dir: &Path, jobs: usize) -> Harness {
     Harness::new(HarnessOptions {
         jobs: Some(jobs),
-        cache_dir: Some(dir.clone()),
+        cache_dir: Some(dir.to_path_buf()),
         no_cache: false,
         progress: ProgressMode::Silent,
         ..HarnessOptions::default()

@@ -23,7 +23,12 @@
 //!   [`trace::TraceEvent`]s into a [`trace::TraceSink`]
 //!   (zero-overhead [`trace::NullSink`] by default), plus the
 //!   Chrome-trace JSON exporter, per-resource utilization report and
-//!   critical-path attribution built on the event stream.
+//!   critical-path attribution built on the event stream;
+//! * [`shards`] — [`shards::EpisodeShards`], deterministic fan-out of
+//!   *independent* episodes onto worker threads with a submission-order
+//!   merge (byte-identical to a serial run);
+//! * [`arena`] — [`arena::ScratchArena`], recycling pools for per-episode
+//!   scratch vectors so steady-state episodes stay off the allocator.
 //!
 //! The drain engines in `horus-core` drive these resources operation by
 //! operation; the completion time of the last operation is the draining
@@ -49,20 +54,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod clock;
 pub mod fxhash;
 pub mod power;
 pub mod queue;
 pub mod resource;
 pub mod schedule;
+pub mod shards;
 pub mod stats;
 pub mod trace;
 
+pub use arena::ScratchArena;
 pub use clock::{Cycles, Frequency};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use power::{PowerFailure, WriteFate};
 pub use resource::{BankSet, Completion, Resource};
 pub use schedule::{SlotBankSet, SlotResource};
+pub use shards::EpisodeShards;
 pub use stats::{Histogram, Stats};
 pub use trace::{
     chrome_trace_json, critical_path, resource_usage, CriticalPathShare, CriticalPathSummary,

@@ -1,0 +1,183 @@
+//! Deterministic fan-out of independent simulation episodes onto worker
+//! threads.
+//!
+//! The discrete-event core is strictly single-threaded *within* an
+//! episode — the calendar [`crate::queue::EventQueue`] and run-coalesced
+//! [`crate::schedule::SlotResource`] derive their determinism from a total
+//! order on events. Between episodes, however, there is no shared state at
+//! all: every drain/recovery episode owns its hierarchy, metadata engine
+//! and bank set. [`EpisodeShards`] exploits exactly that boundary: it runs
+//! a batch of independent episode closures on up to `threads` workers and
+//! returns the results **in submission order**, so the merged output is
+//! byte-identical to a serial `Vec::into_iter().map(..)` run no matter how
+//! the scheduler interleaves the workers.
+//!
+//! Determinism argument: each closure is a pure function of its inputs
+//! (episodes never share mutable state), workers pull work items off a
+//! shared atomic cursor (so assignment order varies run to run), but each
+//! result is written back into the slot indexed by its *submission*
+//! position. The output vector therefore never depends on thread timing.
+//!
+//! ```
+//! use horus_sim::shards::EpisodeShards;
+//!
+//! let shards = EpisodeShards::new(4);
+//! let squares = shards.run((0u64..8).map(|i| move || i * i).collect());
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A worker pool that executes independent episodes and merges their
+/// results deterministically (submission order).
+///
+/// `threads == 1` is the *reference configuration*: episodes execute
+/// inline on the caller's thread with no synchronisation at all, which is
+/// what the golden-trace corpus and `BENCH_smoke.json` baselines are
+/// defined against. Any other thread count must produce bit-identical
+/// output, and `tests/shard_properties.rs` plus the repo-root
+/// `sim_threads_golden.rs` suite hold that line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpisodeShards {
+    threads: usize,
+}
+
+impl EpisodeShards {
+    /// Creates a pool that uses up to `threads` workers (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized to the host's available parallelism (fallback 1).
+    #[must_use]
+    pub fn available() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every episode and returns the results in submission order.
+    ///
+    /// With one worker (or one episode) this is a plain serial loop on the
+    /// caller's thread. Otherwise episodes are pulled off a shared cursor
+    /// by scoped worker threads; a panicking episode propagates the panic
+    /// to the caller after the scope joins.
+    #[must_use]
+    pub fn run<T, F>(&self, episodes: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let workers = self.threads.min(episodes.len());
+        if workers <= 1 {
+            return episodes.into_iter().map(|ep| ep()).collect();
+        }
+
+        // Hand each episode out exactly once via an atomic cursor; write
+        // each result into the slot matching its submission index.
+        let work: Vec<Mutex<Option<F>>> = episodes
+            .into_iter()
+            .map(|ep| Mutex::new(Some(ep)))
+            .collect();
+        let mut slots: Vec<Mutex<Option<T>>> = Vec::new();
+        slots.resize_with(work.len(), || Mutex::new(None));
+        let cursor = AtomicUsize::new(0);
+        let (work_ref, slots_ref, cursor_ref) = (&work, &slots, &cursor);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(move || loop {
+                    let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                    if i >= work_ref.len() {
+                        break;
+                    }
+                    let episode = work_ref[i]
+                        .lock()
+                        .expect("episode handed out twice")
+                        .take()
+                        .expect("episode handed out twice");
+                    let result = episode();
+                    *slots_ref[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker scope joined with an unfilled slot")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_batch() {
+        let shards = EpisodeShards::new(8);
+        let out: Vec<u32> = shards.run(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let shards = EpisodeShards::new(1);
+        let tid = std::thread::current().id();
+        let out = shards.run(vec![move || std::thread::current().id() == tid]);
+        assert_eq!(out, vec![true]);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(EpisodeShards::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn merge_order_is_submission_order() {
+        for threads in [1usize, 2, 3, 8, 64] {
+            let shards = EpisodeShards::new(threads);
+            let episodes: Vec<_> = (0..33u64)
+                .map(|i| {
+                    move || {
+                        // Skew the finish order: later submissions finish first.
+                        if threads > 1 {
+                            std::thread::sleep(std::time::Duration::from_micros((33 - i) * 20));
+                        }
+                        i.wrapping_mul(0x9e37_79b9)
+                    }
+                })
+                .collect();
+            let out = shards.run(episodes);
+            let expect: Vec<u64> = (0..33u64).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+            assert_eq!(out, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fewer_episodes_than_threads() {
+        let shards = EpisodeShards::new(16);
+        assert_eq!(shards.run(vec![|| 1, || 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn available_is_at_least_one() {
+        assert!(EpisodeShards::available().threads() >= 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the deterministic shard merge.
+//!
+//! The invariant under test is the one the whole `--sim-threads` feature
+//! rests on: for *any* batch of independent episodes and *any* worker
+//! count, [`EpisodeShards::run`] returns exactly what a serial
+//! `into_iter().map(..)` would. The nightly `deep.yml` lane reruns this
+//! suite at `PROPTEST_CASES=4096`.
+
+use horus_sim::EpisodeShards;
+use proptest::prelude::*;
+
+/// A tiny deterministic "episode": mixes its submission index with a seed
+/// through a few rounds of integer hashing and returns a digest plus a
+/// derived byte vector, so both scalar and heap results are compared.
+fn episode_result(seed: u64, index: u64) -> (u64, Vec<u8>) {
+    let mut x = seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for _ in 0..4 {
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    }
+    let bytes = (0..(index % 17) as usize)
+        .map(|i| (x >> (i % 8)) as u8)
+        .collect();
+    (x, bytes)
+}
+
+proptest! {
+    /// Shard merge == serial map, for thread counts around and beyond the
+    /// episode count (including the `--sim-threads {1,2,8}` CI matrix).
+    #[test]
+    fn merge_equals_serial_map(
+        seed in any::<u64>(),
+        episodes in 0usize..40,
+        threads in prop::sample::select(vec![1usize, 2, 3, 4, 8, 16]),
+    ) {
+        let serial: Vec<_> = (0..episodes as u64)
+            .map(|i| episode_result(seed, i))
+            .collect();
+        let sharded = EpisodeShards::new(threads).run(
+            (0..episodes as u64)
+                .map(|i| move || episode_result(seed, i))
+                .collect(),
+        );
+        prop_assert_eq!(sharded, serial);
+    }
+
+    /// Running the same batch twice on the same pool is bit-stable even
+    /// though worker assignment differs run to run.
+    #[test]
+    fn repeated_runs_are_identical(
+        seed in any::<u64>(),
+        episodes in 1usize..24,
+        threads in 1usize..9,
+    ) {
+        let shards = EpisodeShards::new(threads);
+        let make = |s: u64| {
+            (0..episodes as u64)
+                .map(|i| move || episode_result(s, i))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(shards.run(make(seed)), shards.run(make(seed)));
+    }
+
+    /// Thread count never leaks into the result: every pool size agrees
+    /// with the single-thread reference configuration.
+    #[test]
+    fn all_pool_sizes_agree_with_reference(
+        seed in any::<u64>(),
+        episodes in 0usize..16,
+    ) {
+        let make = || {
+            (0..episodes as u64)
+                .map(|i| move || episode_result(seed, i))
+                .collect::<Vec<_>>()
+        };
+        let reference = EpisodeShards::new(1).run(make());
+        for threads in [2usize, 8] {
+            prop_assert_eq!(
+                EpisodeShards::new(threads).run(make()),
+                reference.clone(),
+                "threads = {}",
+                threads
+            );
+        }
+    }
+}

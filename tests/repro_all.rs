@@ -10,16 +10,16 @@
 
 use horus::harness::{Harness, HarnessOptions, ProgressMode};
 use horus_bench::repro_all::{self, ReproPlan};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn scratch_dir(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("horus-repro-all-it-{tag}-{}", std::process::id()))
 }
 
-fn cached_harness(dir: &PathBuf, jobs: usize) -> Harness {
+fn cached_harness(dir: &Path, jobs: usize) -> Harness {
     Harness::new(HarnessOptions {
         jobs: Some(jobs),
-        cache_dir: Some(dir.clone()),
+        cache_dir: Some(dir.to_path_buf()),
         no_cache: false,
         progress: ProgressMode::Silent,
         ..HarnessOptions::default()

@@ -1,0 +1,97 @@
+//! Golden tests for the sharded episode core: `--sim-threads N` must be
+//! byte-identical to the single-threaded reference run — serialized job
+//! results (op counts, `Stats` JSON) and exported golden traces alike.
+//!
+//! Companion to `trace_golden.rs`: that file pins determinism across
+//! *harness worker* counts; this one pins it across the `EpisodeShards`
+//! pool sizes the new `--sim-threads` flag selects (the CI matrix runs
+//! {1, 2, 8}).
+
+use horus::core::{DrainScheme, SystemConfig};
+use horus::harness::JobSpec;
+use horus::sim::{chrome_trace_json, EpisodeShards};
+use horus::workload::FillPattern;
+
+fn spec(scheme: DrainScheme) -> JobSpec {
+    JobSpec::drain(
+        &SystemConfig::small_test(),
+        scheme,
+        FillPattern::StridedSparse { min_stride: 16384 },
+    )
+}
+
+/// Serializes the five smoke-scale scheme episodes after fanning them out
+/// over a pool of `threads` workers. The JSON string is the comparison
+/// unit so every field — op counts, stats counters, histograms — is held
+/// to byte identity, not just the headline numbers.
+fn results_json(threads: usize) -> String {
+    let shards = EpisodeShards::new(threads);
+    let results = shards.run(
+        DrainScheme::ALL
+            .iter()
+            .map(|&s| {
+                let spec = spec(s);
+                move || spec.execute()
+            })
+            .collect(),
+    );
+    serde_json::to_string(&results).expect("job results serialize")
+}
+
+#[test]
+fn sim_threads_results_are_byte_identical_across_pool_sizes() {
+    let reference = results_json(1);
+    for threads in [2usize, 8] {
+        assert_eq!(
+            results_json(threads),
+            reference,
+            "--sim-threads {threads} diverged from the single-threaded run"
+        );
+    }
+}
+
+#[test]
+fn sim_threads_golden_traces_are_byte_identical() {
+    // Probed episodes: the full cycle-stamped event stream must survive
+    // sharding, not just the aggregate counts.
+    let traces = |threads: usize| -> Vec<String> {
+        EpisodeShards::new(threads).run(
+            DrainScheme::ALL
+                .iter()
+                .map(|&s| {
+                    let spec = spec(s);
+                    move || {
+                        let (_, trace) = spec.execute_traced();
+                        chrome_trace_json(&trace)
+                    }
+                })
+                .collect(),
+        )
+    };
+    let reference = traces(1);
+    assert_eq!(reference.len(), DrainScheme::ALL.len());
+    for json in &reference {
+        assert!(json.starts_with("{\"traceEvents\":["));
+    }
+    for threads in [2usize, 8] {
+        assert_eq!(traces(threads), reference, "threads = {threads}");
+    }
+}
+
+#[test]
+fn sim_threads_merge_preserves_scheme_order() {
+    // The merged vector must line up with DrainScheme::ALL submission
+    // order, whatever order the workers finished in.
+    let results = EpisodeShards::new(8).run(
+        DrainScheme::ALL
+            .iter()
+            .map(|&s| {
+                let spec = spec(s);
+                move || spec.execute()
+            })
+            .collect(),
+    );
+    let names: Vec<&str> = results.iter().map(|r| r.drain.scheme.as_str()).collect();
+    let expected: Vec<&str> = DrainScheme::ALL.iter().map(|s| s.name()).collect();
+    assert_eq!(names, expected);
+}
