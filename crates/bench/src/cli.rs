@@ -42,6 +42,7 @@ use horus_core::{DrainScheme, SystemConfig};
 use horus_fleet::FleetBackend;
 use horus_harness::{Harness, HarnessOptions, JobSpec, ProgressMode, SweepBackend};
 use horus_obs::{log, ObsOptions, ObsSession};
+use horus_service::ServiceBackend;
 use horus_sim::chrome_trace_json;
 use horus_workload::FillPattern;
 use std::path::PathBuf;
@@ -70,6 +71,10 @@ pub struct HarnessArgs {
     pub obs_out: Option<PathBuf>,
     /// `--fleet ADDR`.
     pub fleet: Option<String>,
+    /// `--service ADDR`.
+    pub service: Option<String>,
+    /// `--service-tenant NAME`.
+    pub service_tenant: Option<String>,
     /// `--span-out FILE`.
     pub span_out: Option<PathBuf>,
     /// `--sim-threads N`.
@@ -83,7 +88,8 @@ pub struct HarnessArgs {
 /// The usage string fragment for the shared flags.
 pub const HARNESS_USAGE: &str = "[--jobs N] [--cache-dir DIR] [--no-cache] [--progress] \
      [--quick] [--trace-out FILE] [--metrics-addr ADDR] [--dashboard] [--obs-out FILE] \
-     [--fleet ADDR] [--span-out FILE] [--sim-threads N] [--log-level LVL] [--log-json]";
+     [--fleet ADDR] [--service ADDR] [--service-tenant NAME] [--span-out FILE] \
+     [--sim-threads N] [--log-level LVL] [--log-json]";
 
 impl HarnessArgs {
     /// Parses the process arguments; unknown flags are an error.
@@ -145,6 +151,14 @@ impl HarnessArgs {
                     let v = it.next().ok_or("--fleet requires a value")?;
                     args.fleet = Some(v);
                 }
+                "--service" => {
+                    let v = it.next().ok_or("--service requires a value")?;
+                    args.service = Some(v);
+                }
+                "--service-tenant" => {
+                    let v = it.next().ok_or("--service-tenant requires a value")?;
+                    args.service_tenant = Some(v);
+                }
                 "--span-out" => {
                     let v = it.next().ok_or("--span-out requires a value")?;
                     args.span_out = Some(PathBuf::from(v));
@@ -167,6 +181,12 @@ impl HarnessArgs {
                 "--log-json" => args.log_json = true,
                 other => return Err(format!("unknown flag '{other}' ({HARNESS_USAGE})")),
             }
+        }
+        if args.fleet.is_some() && args.service.is_some() {
+            return Err("--fleet and --service are mutually exclusive backends".to_string());
+        }
+        if args.service_tenant.is_some() && args.service.is_none() {
+            return Err("--service-tenant requires --service".to_string());
         }
         Ok(args)
     }
@@ -205,11 +225,28 @@ impl HarnessArgs {
             no_cache: self.no_cache,
             progress,
             metrics: obs.session.as_ref().map(ObsSession::registry),
-            backend: self
-                .fleet
-                .as_ref()
-                .map(|addr| Arc::new(FleetBackend::new(addr.clone())) as Arc<dyn SweepBackend>),
+            backend: self.backend(),
             spans: obs.session.as_ref().and_then(ObsSession::span_book),
+        })
+    }
+
+    /// The remote execution backend these flags select: a fleet
+    /// coordinator (`--fleet`), a `horus-cli serve` daemon
+    /// (`--service`, optionally submitting as `--service-tenant`), or
+    /// none — the local pool. Both backends keep the harness's
+    /// determinism contract, so a binary's output is byte-identical
+    /// wherever its sweeps ran.
+    #[must_use]
+    pub fn backend(&self) -> Option<Arc<dyn SweepBackend>> {
+        if let Some(addr) = &self.fleet {
+            return Some(Arc::new(FleetBackend::new(addr.clone())));
+        }
+        self.service.as_ref().map(|addr| {
+            let mut backend = ServiceBackend::new(addr.clone());
+            if let Some(tenant) = &self.service_tenant {
+                backend = backend.with_tenant(tenant.clone());
+            }
+            Arc::new(backend) as Arc<dyn SweepBackend>
         })
     }
 
@@ -425,6 +462,26 @@ mod tests {
         assert_eq!(a.cache_dir, Some(PathBuf::from("/tmp/x")));
         assert!(a.no_cache && a.progress && a.quick);
         assert_eq!(a.harness().jobs(), 8);
+    }
+
+    #[test]
+    fn backend_flags_are_exclusive_and_select_correctly() {
+        assert!(parse(&["--fleet", "h:1", "--service", "h:2"]).is_err());
+        assert!(parse(&["--service-tenant", "team-a"]).is_err());
+        let a =
+            parse(&["--service", "127.0.0.1:9900", "--service-tenant", "team-a"]).expect("valid");
+        let backend = a.backend().expect("service backend");
+        assert_eq!(
+            backend.describe(),
+            "service at 127.0.0.1:9900 (tenant team-a)"
+        );
+        let a = parse(&["--fleet", "127.0.0.1:9470"]).expect("valid");
+        assert!(a
+            .backend()
+            .expect("fleet backend")
+            .describe()
+            .contains("fleet"));
+        assert!(parse(&[]).expect("empty").backend().is_none());
     }
 
     #[test]

@@ -53,6 +53,34 @@ impl FleetBackend {
         }
     }
 
+    /// Polls [`FleetBackend::status`] until the coordinator answers or
+    /// `timeout` elapses — the startup handshake `horus-cli serve
+    /// --fleet` uses so the service only reports ready once its
+    /// execution backend exists. Returns the worker count from the
+    /// first successful probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last probe error when the coordinator never answers
+    /// within `timeout`.
+    pub fn wait_ready(&self, timeout: std::time::Duration) -> Result<usize, String> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut last;
+        loop {
+            match self.status() {
+                Ok((workers, ..)) => return Ok(workers),
+                Err(e) => last = e,
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(format!(
+                    "coordinator at {} not ready after {timeout:?}: {last}",
+                    self.addr
+                ));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+    }
+
     /// Fetches every job span the coordinator has stamped so far, as
     /// [`JobSpan`]s ready for `horus_obs::span::chrome_trace_json`.
     /// Empty when the coordinator is not collecting spans.

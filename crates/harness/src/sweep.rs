@@ -12,7 +12,7 @@ use horus_sim::Stats;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// A remote executor for whole sweeps.
@@ -206,9 +206,53 @@ impl Harness {
     /// are byte-identical either way.
     #[must_use]
     pub fn run(&self, specs: &[JobSpec]) -> SweepReport {
-        if let Some(backend) = self.backend.clone() {
-            return self.run_remote(&*backend, specs);
+        self.run_counted(specs, None)
+    }
+
+    /// Starts a sweep on a background thread and returns a handle for
+    /// polling its progress — the async shape `horus-service` needs to
+    /// answer status requests while a plan executes. The submission
+    /// runs through exactly the same path as [`Harness::run`], so its
+    /// report (and the cache it fills) is byte-identical to a blocking
+    /// run of the same specs.
+    #[must_use]
+    pub fn submit(self: &Arc<Self>, specs: Vec<JobSpec>) -> Arc<Submission> {
+        let submission = Arc::new(Submission {
+            total: specs.len(),
+            done: AtomicUsize::new(0),
+            report: Mutex::new(None),
+            finished: Condvar::new(),
+        });
+        let harness = Arc::clone(self);
+        let handle = Arc::clone(&submission);
+        std::thread::Builder::new()
+            .name("horus-submission".to_string())
+            .spawn(move || {
+                let report = harness.run_counted(&specs, Some(&handle.done));
+                let mut slot = handle.report.lock().expect("submission poisoned");
+                *slot = Some(report);
+                handle.finished.notify_all();
+            })
+            .expect("spawn submission thread");
+        submission
+    }
+
+    /// [`Harness::run`] with an optional live progress counter that the
+    /// pool bumps per finished job (and pins to `specs.len()` once the
+    /// report exists, whichever path executed).
+    fn run_counted(&self, specs: &[JobSpec], live_done: Option<&AtomicUsize>) -> SweepReport {
+        let report = if let Some(backend) = self.backend.clone() {
+            self.run_remote(&*backend, specs)
+        } else {
+            self.run_local(specs, live_done)
+        };
+        if let Some(counter) = live_done {
+            counter.store(specs.len(), Ordering::Relaxed);
         }
+        report
+    }
+
+    fn run_local(&self, specs: &[JobSpec], live_done: Option<&AtomicUsize>) -> SweepReport {
         let progress = Progress::start(self.progress);
         let mut start = ProgressEvent::new("sweep_start", specs.len());
         start.workers = Some(self.jobs);
@@ -286,6 +330,9 @@ impl Harness {
                 cached.fetch_add(1, Ordering::Relaxed);
             }
             let now_done = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(counter) = live_done {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
             let mut event = ProgressEvent::new("job", specs.len());
             event.done = now_done;
             event.cached = cached.load(Ordering::Relaxed);
@@ -620,6 +667,57 @@ pub enum JobOutcome {
     },
 }
 
+/// A handle to an asynchronously running sweep, from
+/// [`Harness::submit`]. Poll [`Submission::done`] for live progress,
+/// [`Submission::report`] for a non-blocking result check, or
+/// [`Submission::wait`] to block until the sweep finishes.
+#[derive(Debug)]
+pub struct Submission {
+    total: usize,
+    done: AtomicUsize,
+    report: Mutex<Option<SweepReport>>,
+    finished: Condvar,
+}
+
+impl Submission {
+    /// Number of specs submitted.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Jobs finished so far (monotonic; equals [`Submission::total`]
+    /// once the report is available).
+    #[must_use]
+    pub fn done(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// True once the report is available.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.report.lock().expect("submission poisoned").is_some()
+    }
+
+    /// The finished report, or `None` while the sweep is still running.
+    #[must_use]
+    pub fn report(&self) -> Option<SweepReport> {
+        self.report.lock().expect("submission poisoned").clone()
+    }
+
+    /// Blocks until the sweep finishes and returns its report.
+    #[must_use]
+    pub fn wait(&self) -> SweepReport {
+        let mut slot = self.report.lock().expect("submission poisoned");
+        loop {
+            if let Some(report) = slot.as_ref() {
+                return report.clone();
+            }
+            slot = self.finished.wait(slot).expect("submission poisoned");
+        }
+    }
+}
+
 /// A sweep's outcomes plus its execution accounting.
 #[derive(Debug, Clone)]
 pub struct SweepReport {
@@ -740,6 +838,23 @@ mod tests {
             harness.totals(),
             (2 * specs.len(), 0),
             "totals accumulate across sweeps"
+        );
+    }
+
+    #[test]
+    fn submission_matches_blocking_run_and_counts_up() {
+        let specs = specs();
+        let blocking = Harness::serial().run(&specs);
+        let harness = Arc::new(Harness::with_jobs(2));
+        let submission = harness.submit(specs.clone());
+        assert_eq!(submission.total(), specs.len());
+        let report = submission.wait();
+        assert!(submission.is_finished());
+        assert_eq!(submission.done(), specs.len());
+        assert_eq!(report.outcomes, blocking.outcomes);
+        assert_eq!(
+            submission.report().expect("finished").outcomes,
+            report.outcomes
         );
     }
 

@@ -22,9 +22,11 @@
 //! those. The rule is purely name-based so it can be re-implemented by any
 //! consumer: a family is host/timing-dependent iff its name
 //!
-//! * starts with `horus_host_` or `horus_fleet_` (fleet scheduling —
+//! * starts with `horus_host_`, `horus_fleet_` (fleet scheduling —
 //!   who leased what, when, and how often leases expired — is
-//!   legitimately run-dependent even though the merged results are not), or
+//!   legitimately run-dependent even though the merged results are not),
+//!   or `horus_service_` (admission depends on client arrival order and
+//!   wall-clock bucket refill, even though the results served are not), or
 //! * contains `_seconds`, `_bytes`, or `worker`, or
 //! * ends with `_per_second`.
 //!
@@ -40,6 +42,7 @@ use crate::registry::{HistogramSnapshot, Sample, SampleValue, Snapshot};
 pub fn is_deterministic_metric(name: &str) -> bool {
     !(name.starts_with("horus_host_")
         || name.starts_with("horus_fleet_")
+        || name.starts_with("horus_service_")
         || name.contains("_seconds")
         || name.contains("_bytes")
         || name.contains("worker")

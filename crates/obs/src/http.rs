@@ -1,40 +1,162 @@
-//! Zero-dependency blocking HTTP listener for metric scrapes.
+//! Zero-dependency blocking HTTP listener for metric scrapes and, via
+//! [`Router`], whole services.
 //!
-//! [`MetricsServer::bind`] spawns one background thread that accepts
-//! connections and answers `GET /metrics` with the current registry
-//! rendered as Prometheus text ([`crate::expo::render`]). This is a scrape
-//! endpoint, not a web server: requests are handled serially, bodies are
-//! ignored, and anything but the known `GET` paths gets a 404.
+//! [`MetricsServer::bind`] spawns one background accept thread; each
+//! accepted connection is handled on its own short-lived thread so one
+//! slow or malicious client can never wedge the scrape path for
+//! everyone else. Requests are parsed into [`HttpRequest`] under hard
+//! bounds — a read deadline (`408 Request Timeout` for clients that
+//! stall mid-request, e.g. a half-written request line) and size caps
+//! on the request line, header block, and body (`413 Payload Too
+//! Large`) — so garbage input costs one connection, not the listener.
 //!
-//! Besides `/metrics` the server answers the standard operational
-//! probes — `GET /healthz` (always 200 while the listener is up) and
-//! `GET /readyz` (200/503 from a caller-controlled readiness flag, see
-//! [`MetricsServer::set_ready`]; the fleet coordinator clears it until
-//! its accept loop is running) — and `GET /logs`, which serves the
-//! process's structured-log ring ([`crate::log`]) as newline-delimited
-//! JSON.
+//! Built-in routes: `GET /metrics` (Prometheus text via
+//! [`crate::expo::render`]), `GET /healthz` (200 while the listener is
+//! up), `GET /readyz` (200/503 from a caller-controlled flag, see
+//! [`MetricsServer::set_ready`]), and `GET /logs` (the structured-log
+//! ring as newline-delimited JSON, [`crate::log`]).
 //!
-//! Shutdown is cooperative: [`MetricsServer::shutdown`] (also run on drop)
-//! sets a flag and pokes the listener with a loopback connection so the
-//! blocking `accept` wakes up and the thread exits. Binding port 0 works
-//! and [`MetricsServer::local_addr`] reports the picked port, which is what
-//! the golden tests use.
+//! Anything else is offered to an optional [`Router`] first
+//! ([`MetricsServer::set_router`]); `horus-service` mounts its
+//! `/v1/...` experiment API this way. With no router, unknown paths
+//! get a 404 and non-GET methods a 405.
+//!
+//! Shutdown is cooperative: [`MetricsServer::shutdown`] (also run on
+//! drop) sets a flag and pokes the listener with a loopback connection
+//! so the blocking `accept` wakes up and the thread exits. Binding
+//! port 0 works and [`MetricsServer::local_addr`] reports the picked
+//! port, which is what the golden tests use.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::expo;
 use crate::registry::Registry;
 
+/// Longest accepted request line (method + path + version), in bytes.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Longest accepted header block, in bytes.
+pub const MAX_HEADER_BYTES: usize = 32 * 1024;
+/// Largest accepted request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// How long a client may stall mid-request before it gets a 408.
+pub const READ_DEADLINE: Duration = Duration::from_secs(2);
+
+/// One parsed HTTP request, as handed to a [`Router`].
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Upper-cased method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path including any query string, e.g. `/v1/jobs/3`.
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First value of header `name` (case-insensitive), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == want)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, if it is valid UTF-8.
+    #[must_use]
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// One HTTP response a [`Router`] hands back.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Full status line tail, e.g. `200 OK` or `429 Too Many Requests`.
+    pub status: String,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Extra response headers (e.g. `Retry-After`).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A response with the given status line, content type, and body.
+    #[must_use]
+    pub fn new(status: &str, content_type: &str, body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status: status.to_string(),
+            content_type: content_type.to_string(),
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// An `application/json` response.
+    #[must_use]
+    pub fn json(status: &str, body: impl Into<String>) -> HttpResponse {
+        Self::new(status, "application/json", body)
+    }
+
+    /// A `text/plain` response.
+    #[must_use]
+    pub fn text(status: &str, body: impl Into<String>) -> HttpResponse {
+        Self::new(status, "text/plain", body)
+    }
+
+    /// Adds an extra header (builder style).
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> HttpResponse {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Renders the full wire form (status line, headers, body).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut extra = String::new();
+        for (name, value) in &self.headers {
+            extra.push_str(name);
+            extra.push_str(": ");
+            extra.push_str(value);
+            extra.push_str("\r\n");
+        }
+        format!(
+            "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
+            self.status,
+            self.content_type,
+            self.body.len(),
+            extra,
+            self.body
+        )
+    }
+}
+
+/// A request handler mounted in front of the built-in routes.
+///
+/// Returning `None` passes the request on to the built-ins
+/// (`/metrics`, `/healthz`, `/readyz`, `/logs`, then 404/405).
+pub trait Router: Send + Sync {
+    /// Answer `req`, or `None` to decline it.
+    fn route(&self, req: &HttpRequest) -> Option<HttpResponse>;
+}
+
 /// A running scrape endpoint; dropping it stops the listener thread.
 pub struct MetricsServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     ready: Arc<AtomicBool>,
+    router: Arc<Mutex<Option<Arc<dyn Router>>>>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -54,15 +176,18 @@ impl MetricsServer {
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let ready = Arc::new(AtomicBool::new(true));
+        let router: Arc<Mutex<Option<Arc<dyn Router>>>> = Arc::new(Mutex::new(None));
         let flag = Arc::clone(&shutdown);
         let ready_flag = Arc::clone(&ready);
+        let router_slot = Arc::clone(&router);
         let handle = std::thread::Builder::new()
             .name("horus-obs-http".to_string())
-            .spawn(move || serve(&listener, &registry, &flag, &ready_flag))?;
+            .spawn(move || serve(&listener, &registry, &flag, &ready_flag, &router_slot))?;
         Ok(MetricsServer {
             addr: local,
             shutdown,
             ready,
+            router,
             handle: Some(handle),
         })
     }
@@ -76,6 +201,12 @@ impl MetricsServer {
     /// Sets what `GET /readyz` answers: `true` → 200, `false` → 503.
     pub fn set_ready(&self, ready: bool) {
         self.ready.store(ready, Ordering::SeqCst);
+    }
+
+    /// Mounts `router` in front of the built-in routes (replacing any
+    /// previous one). Connections accepted after this call see it.
+    pub fn set_router(&self, router: Arc<dyn Router>) {
+        *self.router.lock().expect("router slot poisoned") = Some(router);
     }
 
     /// Stops the listener thread and waits for it to exit.
@@ -105,82 +236,212 @@ fn serve(
     registry: &Arc<Registry>,
     shutdown: &Arc<AtomicBool>,
     ready: &Arc<AtomicBool>,
+    router: &Arc<Mutex<Option<Arc<dyn Router>>>>,
 ) {
     for conn in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
         let Ok(stream) = conn else { continue };
-        // Errors on individual connections (slow clients, resets) only
-        // lose that one scrape.
-        let _ = handle_request(stream, registry, ready);
+        // One thread per connection: a stalled client times out on its
+        // own clock instead of blocking the accept loop. Errors on
+        // individual connections (resets, deadline hits) only lose that
+        // one exchange.
+        let registry = Arc::clone(registry);
+        let ready = Arc::clone(ready);
+        let router = router.lock().expect("router slot poisoned").clone();
+        let spawned = std::thread::Builder::new()
+            .name("horus-obs-conn".to_string())
+            .spawn(move || {
+                let _ = handle_connection(stream, &registry, &ready, router.as_deref());
+            });
+        if spawned.is_err() {
+            // Thread exhaustion: shed the connection rather than die.
+            continue;
+        }
     }
 }
 
-fn handle_request(
+/// Why a request could not be parsed, mapped to the status we answer.
+enum ReadError {
+    /// Client stalled past [`READ_DEADLINE`] or hung up mid-request.
+    Timeout,
+    /// Request line, header block, or body over the size caps.
+    TooLarge,
+    /// Not HTTP enough to answer anything specific.
+    Malformed,
+    /// Connection died before a single byte: nothing to answer.
+    Dead,
+}
+
+impl ReadError {
+    fn response(&self) -> Option<HttpResponse> {
+        match self {
+            ReadError::Timeout => Some(HttpResponse::text(
+                "408 Request Timeout",
+                "request not completed in time\n",
+            )),
+            ReadError::TooLarge => Some(HttpResponse::text(
+                "413 Payload Too Large",
+                "request exceeds size limits\n",
+            )),
+            ReadError::Malformed => {
+                Some(HttpResponse::text("400 Bad Request", "malformed request\n"))
+            }
+            ReadError::Dead => None,
+        }
+    }
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes.
+fn read_line_bounded<R: BufRead>(reader: &mut R, max: usize) -> Result<String, ReadError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                // EOF: a half-written request the client gave up on.
+                return Err(if line.is_empty() {
+                    ReadError::Dead
+                } else {
+                    ReadError::Timeout
+                });
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                if line.len() >= max {
+                    return Err(ReadError::TooLarge);
+                }
+                line.push(byte[0]);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(ReadError::Timeout);
+            }
+            Err(_) => return Err(ReadError::Dead),
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| ReadError::Malformed)
+}
+
+/// Parses one request off `reader` under the deadline and size caps.
+fn read_request<R: BufRead>(reader: &mut R) -> Result<HttpRequest, ReadError> {
+    let request_line = read_line_bounded(reader, MAX_REQUEST_LINE)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(ReadError::Malformed);
+    };
+    let method = method.to_ascii_uppercase();
+    let path = path.to_string();
+
+    let mut headers = Vec::new();
+    let mut header_bytes = 0usize;
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line_bounded(reader, MAX_HEADER_BYTES)?;
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += line.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(ReadError::TooLarge);
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Malformed);
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value.parse().map_err(|_| ReadError::Malformed)?;
+        }
+        headers.push((name, value));
+    }
+
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut
+            {
+                ReadError::Timeout
+            } else {
+                ReadError::Dead
+            }
+        })?;
+    }
+    Ok(HttpRequest {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+fn handle_connection(
     stream: TcpStream,
     registry: &Arc<Registry>,
     ready: &Arc<AtomicBool>,
+    router: Option<&dyn Router>,
 ) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_read_timeout(Some(READ_DEADLINE))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    // Drain the remaining headers so well-behaved clients see a clean
-    // connection close; stop at the blank line.
-    let mut header = String::new();
-    loop {
-        header.clear();
-        if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
-            break;
-        }
-    }
-    let mut stream = reader.into_inner();
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let response = if method != "GET" {
-        http_response(
-            "405 Method Not Allowed",
-            "text/plain",
-            "method not allowed\n",
-        )
-    } else if path == "/metrics" || path == "/" {
-        let body = expo::render(&registry.snapshot());
-        http_response("200 OK", "text/plain; version=0.0.4; charset=utf-8", &body)
-    } else if path == "/healthz" {
-        // The listener answered, so the process is alive.
-        http_response("200 OK", "application/json", "{\"status\":\"ok\"}\n")
-    } else if path == "/readyz" {
-        if ready.load(Ordering::SeqCst) {
-            http_response("200 OK", "application/json", "{\"ready\":true}\n")
-        } else {
-            http_response(
-                "503 Service Unavailable",
-                "application/json",
-                "{\"ready\":false}\n",
-            )
-        }
-    } else if path == "/logs" {
-        let body = crate::log::ring_ndjson();
-        http_response("200 OK", "application/x-ndjson", &body)
-    } else {
-        http_response(
-            "404 Not Found",
-            "text/plain",
-            "try /metrics, /logs, /healthz, or /readyz\n",
-        )
+    let response = match read_request(&mut reader) {
+        Ok(req) => respond(&req, registry, ready, router),
+        Err(err) => match err.response() {
+            Some(resp) => resp,
+            None => return Ok(()),
+        },
     };
-    stream.write_all(response.as_bytes())?;
+    let mut stream = reader.into_inner();
+    stream.write_all(response.render().as_bytes())?;
     stream.flush()
 }
 
-fn http_response(status: &str, content_type: &str, body: &str) -> String {
-    format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    )
+fn respond(
+    req: &HttpRequest,
+    registry: &Arc<Registry>,
+    ready: &Arc<AtomicBool>,
+    router: Option<&dyn Router>,
+) -> HttpResponse {
+    if let Some(router) = router {
+        if let Some(resp) = router.route(req) {
+            return resp;
+        }
+    }
+    if req.method != "GET" {
+        return HttpResponse::text("405 Method Not Allowed", "method not allowed\n");
+    }
+    match req.path.as_str() {
+        "/metrics" | "/" => {
+            let body = expo::render(&registry.snapshot());
+            HttpResponse::new("200 OK", "text/plain; version=0.0.4; charset=utf-8", body)
+        }
+        // The listener answered, so the process is alive.
+        "/healthz" => HttpResponse::json("200 OK", "{\"status\":\"ok\"}\n"),
+        "/readyz" => {
+            if ready.load(Ordering::SeqCst) {
+                HttpResponse::json("200 OK", "{\"ready\":true}\n")
+            } else {
+                HttpResponse::json("503 Service Unavailable", "{\"ready\":false}\n")
+            }
+        }
+        "/logs" => HttpResponse::new("200 OK", "application/x-ndjson", crate::log::ring_ndjson()),
+        _ => HttpResponse::text(
+            "404 Not Found",
+            "try /metrics, /logs, /healthz, or /readyz\n",
+        ),
+    }
 }
 
 /// Performs a plain HTTP `GET` against `addr` at `path` and returns
@@ -191,11 +452,45 @@ fn http_response(status: &str, content_type: &str, body: &str) -> String {
 /// # Errors
 /// Returns the underlying I/O error if the connection or read fails.
 pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(String, String)> {
+    request(addr, "GET", path, &[], "")
+}
+
+/// Performs an HTTP `POST` of `body` against `addr` at `path`, with
+/// `headers` as extra `(name, value)` request headers, and returns
+/// `(status_line, body)` — the client half of the `horus-service` API,
+/// used by `horus-load` and the e2e tests.
+///
+/// # Errors
+/// Returns the underlying I/O error if the connection or read fails.
+pub fn http_post(
+    addr: SocketAddr,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<(String, String)> {
+    request(addr, "POST", path, headers, body)
+}
+
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<(String, String)> {
     let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut extra = String::new();
+    for (name, value) in headers {
+        extra.push_str(name);
+        extra.push_str(": ");
+        extra.push_str(value);
+        extra.push_str("\r\n");
+    }
     write!(
         stream,
-        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n{extra}Connection: close\r\n\r\n{body}",
+        body.len()
     )?;
     stream.flush()?;
     let mut raw = String::new();
@@ -259,6 +554,119 @@ mod tests {
         let (status, body) = http_get(addr, "/logs").expect("get");
         assert!(status.contains("200"), "status: {status}");
         assert!(body.contains("a log line for the ring"), "body: {body}");
+
+        server.shutdown();
+    }
+
+    struct EchoRouter;
+
+    impl Router for EchoRouter {
+        fn route(&self, req: &HttpRequest) -> Option<HttpResponse> {
+            if req.path == "/echo" {
+                let tenant = req.header("x-horus-tenant").unwrap_or("-").to_string();
+                let body = req.body_str().unwrap_or("").to_string();
+                Some(
+                    HttpResponse::json(
+                        "200 OK",
+                        format!("{{\"tenant\":\"{tenant}\",\"len\":{}}}", body.len()),
+                    )
+                    .with_header("Retry-After", "1"),
+                )
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn router_sees_posts_and_extra_headers_render() {
+        let server = MetricsServer::bind("127.0.0.1:0", Registry::shared()).expect("bind");
+        server.set_router(Arc::new(EchoRouter));
+        let addr = server.local_addr();
+
+        let (status, body) =
+            http_post(addr, "/echo", &[("X-Horus-Tenant", "team-a")], "hello").expect("post");
+        assert!(status.contains("200"), "status: {status}");
+        assert_eq!(body, "{\"tenant\":\"team-a\",\"len\":5}");
+
+        // Unrouted paths still fall through to the built-ins.
+        let (status, _) = http_get(addr, "/healthz").expect("get");
+        assert!(status.contains("200"), "status: {status}");
+        // ... and unrouted POSTs to the 405.
+        let (status, _) = http_post(addr, "/metrics", &[], "").expect("post");
+        assert!(status.contains("405"), "status: {status}");
+
+        server.shutdown();
+    }
+
+    /// The drive-by regression: a half-written request must get a 408
+    /// and must not wedge the accept loop for the next client.
+    #[test]
+    fn half_written_request_gets_408_and_does_not_wedge() {
+        let server = MetricsServer::bind("127.0.0.1:0", Registry::shared()).expect("bind");
+        let addr = server.local_addr();
+
+        // Stall a connection mid-request-line and leave it open.
+        let mut stalled = TcpStream::connect(addr).expect("connect");
+        stalled.write_all(b"GET /metr").expect("partial write");
+        stalled.flush().expect("flush");
+
+        // A well-behaved client must still be served immediately,
+        // while the stalled one waits out its deadline.
+        let (status, _) = http_get(addr, "/healthz").expect("get");
+        assert!(status.contains("200"), "status: {status}");
+
+        // The stalled client eventually gets its 408.
+        stalled
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let mut raw = String::new();
+        stalled.read_to_string(&mut raw).expect("read");
+        assert!(raw.contains("408"), "response: {raw}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_body_gets_413_without_reading_it() {
+        let server = MetricsServer::bind("127.0.0.1:0", Registry::shared()).expect("bind");
+        let addr = server.local_addr();
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        write!(
+            stream,
+            "POST /v1/jobs HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        )
+        .expect("write");
+        stream.flush().expect("flush");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        assert!(raw.contains("413"), "response: {raw}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn garbage_request_line_gets_400() {
+        let server = MetricsServer::bind("127.0.0.1:0", Registry::shared()).expect("bind");
+        let addr = server.local_addr();
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        stream
+            .write_all(b"\x00\xffnot http\r\n\r\n")
+            .expect("write");
+        stream.flush().expect("flush");
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).expect("read");
+        let raw = String::from_utf8_lossy(&raw);
+        assert!(raw.contains("400"), "response: {raw}");
 
         server.shutdown();
     }

@@ -47,7 +47,7 @@ pub mod span;
 pub mod summary;
 
 pub use dashboard::Dashboard;
-pub use http::MetricsServer;
+pub use http::{HttpRequest, HttpResponse, MetricsServer, Router};
 pub use profile::{HostProfile, JobProfile, JobProfiler};
 pub use registry::{
     Counter, FloatCounter, FloatGauge, Gauge, MetricKind, ObsHistogram, Registry, Sample,
@@ -166,6 +166,16 @@ impl ObsSession {
     pub fn set_ready(&self, ready: bool) {
         if let Some(server) = &self.server {
             server.set_ready(ready);
+        }
+    }
+
+    /// Mounts `router` on the metrics server, in front of the built-in
+    /// routes (no-op when no `--metrics-addr` server is running). This
+    /// is how `horus-service` shares one listener between `/metrics`
+    /// and its `/v1/...` experiment API.
+    pub fn install_router(&self, router: Arc<dyn http::Router>) {
+        if let Some(server) = &self.server {
+            server.set_router(router);
         }
     }
 

@@ -86,6 +86,31 @@ pub const FLEET_PLANS: &str = "horus_fleet_plans_total";
 /// last meaning end-to-end queued→committed), a closed set defined by
 /// `obs::span::Stage::ALL`.
 pub const FLEET_JOB_STAGE_SECONDS: &str = "horus_fleet_job_stage_seconds";
+/// Counter, labelled `tenant`: plan submissions received by the service
+/// API, before admission control. All `horus_service_` families are
+/// load-dependent (client arrival order, wall-clock bucket refill) and
+/// therefore excluded from deterministic snapshots by the prefix rule
+/// in [`crate::expo`]. The `tenant` label is bounded by the tenant
+/// config file plus the single fallback tenant.
+pub const SERVICE_SUBMITTED: &str = "horus_service_jobs_submitted_total";
+/// Counter, labelled `tenant`: submissions the governor admitted.
+pub const SERVICE_ADMITTED: &str = "horus_service_jobs_admitted_total";
+/// Counter, labelled `tenant`: submissions shed with `429 Too Many
+/// Requests` (token budget exhausted or max-in-flight quota hit).
+pub const SERVICE_SHED: &str = "horus_service_jobs_shed_total";
+/// Gauge: admitted jobs waiting in the service priority queue.
+pub const SERVICE_QUEUE_DEPTH: &str = "horus_service_queue_depth";
+/// Gauge, labelled `tenant`: admitted plans currently queued or
+/// executing, the quantity the max-in-flight quota bounds.
+pub const SERVICE_IN_FLIGHT: &str = "horus_service_jobs_in_flight";
+/// Counter: service plans executed to completion (includes plans whose
+/// every job was a cache hit; excludes deduped alias submissions).
+pub const SERVICE_PLANS_COMPLETED: &str = "horus_service_plans_completed_total";
+/// Duration histogram: time from request arrival to admission verdict.
+pub const SERVICE_ADMISSION_SECONDS: &str = "horus_service_admission_seconds";
+/// Duration histogram: client-observed request latency, recorded by the
+/// `horus-load` generator into its own registry (not the server's).
+pub const SERVICE_CLIENT_REQUEST_SECONDS: &str = "horus_service_client_request_seconds";
 
 #[cfg(test)]
 mod tests {
@@ -126,6 +151,14 @@ mod tests {
             super::FLEET_WORKER_JOBS,
             super::FLEET_PLANS,
             super::FLEET_JOB_STAGE_SECONDS,
+            super::SERVICE_SUBMITTED,
+            super::SERVICE_ADMITTED,
+            super::SERVICE_SHED,
+            super::SERVICE_QUEUE_DEPTH,
+            super::SERVICE_IN_FLIGHT,
+            super::SERVICE_PLANS_COMPLETED,
+            super::SERVICE_ADMISSION_SECONDS,
+            super::SERVICE_CLIENT_REQUEST_SECONDS,
         ] {
             assert!(
                 !is_deterministic_metric(name),

@@ -1,0 +1,196 @@
+//! Wire types for the `/v1` experiment API.
+//!
+//! Everything crosses the wire as JSON. A submission carries either
+//! one [`JobSpec`] (`{"spec": {...}}`) or a whole plan
+//! (`{"specs": [...]}`); the response carries the service-assigned job
+//! id plus the plan's content key, and says whether the submission was
+//! deduplicated onto an already-known plan.
+
+use horus_harness::JobSpec;
+use serde::{Deserialize, Serialize};
+
+/// The request header that names the submitting tenant.
+pub const TENANT_HEADER: &str = "x-horus-tenant";
+
+/// Body of `POST /v1/jobs`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SubmitRequest {
+    /// A single spec (shorthand for a one-spec plan).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub spec: Option<JobSpec>,
+    /// A whole plan, executed as one unit and memoized per spec.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub specs: Option<Vec<JobSpec>>,
+}
+
+impl SubmitRequest {
+    /// A whole-plan submission.
+    #[must_use]
+    pub fn plan(specs: Vec<JobSpec>) -> Self {
+        SubmitRequest {
+            spec: None,
+            specs: Some(specs),
+        }
+    }
+
+    /// A single-spec submission.
+    #[must_use]
+    pub fn single(spec: JobSpec) -> Self {
+        SubmitRequest {
+            spec: Some(spec),
+            specs: None,
+        }
+    }
+
+    /// Flattens both forms into the spec list to execute.
+    #[must_use]
+    pub fn into_specs(self) -> Vec<JobSpec> {
+        let mut specs = self.specs.unwrap_or_default();
+        if let Some(spec) = self.spec {
+            specs.push(spec);
+        }
+        specs
+    }
+}
+
+/// Body of a successful `POST /v1/jobs` (`202 Accepted`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubmitResponse {
+    /// The service-assigned job id, usable with `GET /v1/jobs/{id}`.
+    pub job: u64,
+    /// The plan's content key (FNV-1a over its specs' content keys).
+    pub key: String,
+    /// The tenant whose budget paid for the submission.
+    pub tenant: String,
+    /// True when an identical plan was already queued, executing, or
+    /// committed: this id aliases it and no new execution happens.
+    pub deduped: bool,
+}
+
+/// Millisecond stage stamps on the service clock, from the span book.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageStamps {
+    /// Admitted and enqueued.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub queued: Option<f64>,
+    /// Picked up by a runner.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub leased: Option<f64>,
+    /// Dispatched to the harness pool.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub executing: Option<f64>,
+    /// The pool's report arrived.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub pushed: Option<f64>,
+    /// Outcomes committed and servable.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub committed: Option<f64>,
+}
+
+/// Body of `GET /v1/jobs/{id}` (also of a `202` result probe).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobStatus {
+    /// The id that was asked about.
+    pub job: u64,
+    /// The executing plan's id (differs from `job` for deduplicated
+    /// submissions).
+    pub canonical: u64,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Plan content key.
+    pub key: String,
+    /// `queued`, `executing`, or `committed`.
+    pub state: String,
+    /// Jobs finished so far.
+    pub done: usize,
+    /// Jobs in the plan.
+    pub total: usize,
+    /// Lifecycle stamps, when the service is collecting spans.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub stages: Option<StageStamps>,
+}
+
+/// Body of every non-2xx API answer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Human-readable reason.
+    pub error: String,
+}
+
+impl ErrorBody {
+    /// Renders the error as its JSON wire form.
+    #[must_use]
+    pub fn json(message: &str) -> String {
+        serde_json::to_string(&ErrorBody {
+            error: message.to_string(),
+        })
+        .unwrap_or_else(|_| format!("{{\"error\":{message:?}}}"))
+    }
+}
+
+/// The plan-level content key: FNV-1a (the same construction
+/// `JobSpec::key` uses) folded over every spec's content key, rendered
+/// as 16 hex digits. Identical plans — same specs, same order — agree
+/// on it across processes and hosts, which is what cross-tenant dedup
+/// keys on.
+#[must_use]
+pub fn plan_key(specs: &[JobSpec]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for spec in specs {
+        for byte in spec.key().as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Separator so plan boundaries matter.
+        hash ^= u64::from(b'/');
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plans;
+
+    #[test]
+    fn submit_request_flattens_both_forms() {
+        let plan = plans::full_plan();
+        assert_eq!(SubmitRequest::plan(plan.clone()).into_specs(), plan);
+        let single = plans::quick_plan(0).remove(0);
+        assert_eq!(
+            SubmitRequest::single(single.clone()).into_specs(),
+            vec![single]
+        );
+        assert!(SubmitRequest::default().into_specs().is_empty());
+    }
+
+    #[test]
+    fn plan_key_is_stable_and_order_sensitive() {
+        let plan = plans::full_plan();
+        assert_eq!(plan_key(&plan), plan_key(&plan));
+        let mut reversed = plan.clone();
+        reversed.reverse();
+        assert_ne!(plan_key(&plan), plan_key(&reversed));
+        assert_ne!(plan_key(&plan), plan_key(&plan[..4]));
+        assert_eq!(plan_key(&plan).len(), 16);
+    }
+
+    #[test]
+    fn wire_types_round_trip() {
+        let req = SubmitRequest::plan(plans::quick_plan(1));
+        let json = serde_json::to_string(&req).expect("serialize");
+        let back: SubmitRequest = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.into_specs(), plans::quick_plan(1));
+
+        let resp = SubmitResponse {
+            job: 7,
+            key: "abc".to_string(),
+            tenant: "team-a".to_string(),
+            deduped: true,
+        };
+        let back: SubmitResponse =
+            serde_json::from_str(&serde_json::to_string(&resp).expect("ser")).expect("de");
+        assert_eq!(back, resp);
+    }
+}

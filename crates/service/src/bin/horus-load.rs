@@ -1,0 +1,159 @@
+//! `horus-load` — storm a running `horus-cli serve` instance and prove
+//! things about what came back.
+//!
+//! ```text
+//! horus-load --addr 127.0.0.1:9900 --clients 12 --requests 8 \
+//!     --tenants team-a,team-b --weights 2,1 --quick-pct 80 \
+//!     --tenant-config tenants.json --expect-exact-shed \
+//!     --verify-local --report load-report.json
+//! ```
+//!
+//! Exits 0 only when every request got a protocol-conformant answer,
+//! every admitted plan served a result, and every requested assertion
+//! (byte-identical local verification, exact shed accounting) held.
+
+use horus_service::load::{run_load, LoadOptions};
+use horus_service::ServiceConfig;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+horus-load: concurrent load generator for the horus-service API
+
+USAGE:
+    horus-load --addr HOST:PORT [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT        service to storm (required)
+    --clients N             concurrent client threads [default: 4]
+    --requests N            submissions per client [default: 4]
+    --tenants A,B,...       tenant names to spread clients across
+                            [default: anonymous]
+    --weights 2,1,...       relative client share per tenant
+    --quick-pct N           percent of submissions from the quick-plan
+                            catalog, rest full sweeps [default: 100]
+    --tenant-config FILE    service tenant config, for exact expected
+                            shed counts in the report
+    --expect-exact-shed     fail unless each fixed-budget tenant shed
+                            exactly submitted - burst
+    --verify-local          re-run every distinct plan locally and
+                            require byte-identical results
+    --verify-jobs N         worker threads for the verification harness
+    --verify-cache-dir DIR  result cache for the verification harness
+    --wait-secs N           per-plan commit deadline [default: 120]
+    --report FILE           write the JSON report here
+    -h, --help              print this help
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("horus-load: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut opts = LoadOptions::default();
+    let mut addr: Option<SocketAddr> = None;
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => match value("--addr").map(|v| v.parse()) {
+                Ok(Ok(a)) => addr = Some(a),
+                Ok(Err(e)) => return fail(&format!("bad --addr: {e}")),
+                Err(e) => return fail(&e),
+            },
+            "--clients" => match value("--clients").map(|v| v.parse()) {
+                Ok(Ok(n)) => opts.clients = n,
+                _ => return fail("bad --clients"),
+            },
+            "--requests" => match value("--requests").map(|v| v.parse()) {
+                Ok(Ok(n)) => opts.requests = n,
+                _ => return fail("bad --requests"),
+            },
+            "--tenants" => match value("--tenants") {
+                Ok(v) => {
+                    opts.tenants = v.split(',').map(|t| t.trim().to_string()).collect();
+                }
+                Err(e) => return fail(&e),
+            },
+            "--weights" => match value("--weights") {
+                Ok(v) => {
+                    let parsed: Result<Vec<usize>, _> =
+                        v.split(',').map(|w| w.trim().parse()).collect();
+                    match parsed {
+                        Ok(w) => opts.weights = w,
+                        Err(e) => return fail(&format!("bad --weights: {e}")),
+                    }
+                }
+                Err(e) => return fail(&e),
+            },
+            "--quick-pct" => match value("--quick-pct").map(|v| v.parse()) {
+                Ok(Ok(n)) if n <= 100 => opts.quick_ratio_pct = n,
+                _ => return fail("bad --quick-pct (0-100)"),
+            },
+            "--tenant-config" => match value("--tenant-config") {
+                Ok(path) => match ServiceConfig::load(std::path::Path::new(&path)) {
+                    Ok(cfg) => opts.tenant_config = Some(cfg),
+                    Err(e) => return fail(&format!("{path}: {e}")),
+                },
+                Err(e) => return fail(&e),
+            },
+            "--expect-exact-shed" => opts.expect_exact_shed = true,
+            "--verify-local" => opts.verify_local = true,
+            "--verify-jobs" => match value("--verify-jobs").map(|v| v.parse()) {
+                Ok(Ok(n)) => opts.verify_jobs = Some(n),
+                _ => return fail("bad --verify-jobs"),
+            },
+            "--verify-cache-dir" => match value("--verify-cache-dir") {
+                Ok(dir) => opts.verify_cache_dir = Some(PathBuf::from(dir)),
+                Err(e) => return fail(&e),
+            },
+            "--wait-secs" => match value("--wait-secs").map(|v| v.parse()) {
+                Ok(Ok(n)) => opts.wait_timeout = Duration::from_secs(n),
+                _ => return fail("bad --wait-secs"),
+            },
+            "--report" => match value("--report") {
+                Ok(path) => opts.report_out = Some(PathBuf::from(path)),
+                Err(e) => return fail(&e),
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(addr) = addr else {
+        return fail("--addr is required");
+    };
+    opts.addr = addr;
+
+    match run_load(&opts) {
+        Ok(report) => {
+            println!(
+                "submitted {} admitted {} shed {} deduped {} distinct {} verified {} \
+                 p50 {:.1}ms p99 {:.1}ms",
+                report.submitted,
+                report.admitted,
+                report.shed,
+                report.deduped,
+                report.distinct_plans,
+                report.verified_plans,
+                report.latency.p50_ms,
+                report.latency.p99_ms,
+            );
+            for failure in &report.failures {
+                eprintln!("horus-load: FAIL: {failure}");
+            }
+            if report.ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => fail(&e),
+    }
+}

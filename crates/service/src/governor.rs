@@ -1,0 +1,299 @@
+//! Admission control: per-tenant token buckets and in-flight quotas.
+//!
+//! The governor sits in front of the service queue and answers one
+//! question per submission: admit or shed. Budgets are classic token
+//! buckets — `burst` capacity, `refill_per_sec` regain — and quotas
+//! bound how many distinct plans a tenant may have queued or executing
+//! at once. Shed verdicts carry a bounded `Retry-After` hint so
+//! clients back off instead of hammering.
+//!
+//! Time is passed in explicitly (seconds on the caller's monotonic
+//! clock) rather than read from the wall, which is what makes the
+//! refill-monotonicity property tests exact.
+
+use crate::config::{ServiceConfig, TenantPolicy};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Smallest `Retry-After` a shed verdict suggests, in seconds.
+pub const MIN_RETRY_AFTER_SECS: u64 = 1;
+/// Largest `Retry-After` a shed verdict suggests, in seconds — also
+/// the answer when the budget will never refill.
+pub const MAX_RETRY_AFTER_SECS: u64 = 60;
+
+/// One admission verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Enqueue it; the tenant's bucket paid one token and its in-flight
+    /// count grew by one.
+    Admitted,
+    /// Shed with `429 Too Many Requests`.
+    Shed {
+        /// Bounded client backoff hint, in whole seconds.
+        retry_after_secs: u64,
+        /// True when the in-flight quota (not the token budget) shed it.
+        over_quota: bool,
+    },
+}
+
+/// Live per-tenant accounting, exposed by `GET /v1/tenants/{t}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSnapshot {
+    /// Tenant name (the fallback tenant aggregates unknown clients).
+    pub tenant: String,
+    /// Configured bucket capacity (`0` = unlimited).
+    pub burst: u64,
+    /// Configured refill rate.
+    pub refill_per_sec: f64,
+    /// Configured in-flight quota (`0` = unlimited).
+    pub max_in_flight: usize,
+    /// Whole tokens currently available (meaningless when unlimited).
+    pub tokens: u64,
+    /// Plans currently queued or executing.
+    pub in_flight: usize,
+    /// Submissions received (admitted + shed).
+    pub submitted: u64,
+    /// Submissions admitted.
+    pub admitted: u64,
+    /// Submissions shed.
+    pub shed: u64,
+}
+
+#[derive(Debug)]
+struct TenantState {
+    policy: TenantPolicy,
+    tokens: f64,
+    refilled_at: f64,
+    in_flight: usize,
+    submitted: u64,
+    admitted: u64,
+    shed: u64,
+}
+
+impl TenantState {
+    fn new(policy: TenantPolicy) -> Self {
+        TenantState {
+            tokens: policy.burst as f64,
+            refilled_at: 0.0,
+            in_flight: 0,
+            submitted: 0,
+            admitted: 0,
+            shed: 0,
+            policy,
+        }
+    }
+
+    /// Advances the bucket to `now_secs`, never backwards.
+    fn refill(&mut self, now_secs: f64) {
+        let elapsed = (now_secs - self.refilled_at).max(0.0);
+        self.refilled_at = self.refilled_at.max(now_secs);
+        if self.policy.burst == 0 {
+            return;
+        }
+        self.tokens =
+            (self.tokens + elapsed * self.policy.refill_per_sec).min(self.policy.burst as f64);
+    }
+
+    /// Seconds until one whole token exists, clamped to the bounded
+    /// backoff window.
+    fn secs_until_token(&self) -> u64 {
+        if self.policy.refill_per_sec <= 0.0 {
+            return MAX_RETRY_AFTER_SECS;
+        }
+        let deficit = (1.0 - self.tokens).max(0.0);
+        let secs = (deficit / self.policy.refill_per_sec).ceil() as u64;
+        secs.clamp(MIN_RETRY_AFTER_SECS, MAX_RETRY_AFTER_SECS)
+    }
+}
+
+/// The admission controller: owns every tenant's bucket and counters.
+#[derive(Debug)]
+pub struct Governor {
+    tenants: BTreeMap<String, TenantState>,
+    fallback: String,
+}
+
+impl Governor {
+    /// Builds the governor from a parsed configuration. Every
+    /// configured tenant (and the fallback) gets its state up front, so
+    /// snapshots and metrics exist at zero before any traffic.
+    #[must_use]
+    pub fn new(config: &ServiceConfig) -> Governor {
+        let mut tenants = BTreeMap::new();
+        for policy in &config.tenants {
+            tenants.insert(policy.name.clone(), TenantState::new(policy.clone()));
+        }
+        tenants.insert(
+            config.fallback.name.clone(),
+            TenantState::new(config.fallback.clone()),
+        );
+        Governor {
+            tenants,
+            fallback: config.fallback.name.clone(),
+        }
+    }
+
+    /// Maps an `X-Horus-Tenant` header value to the tenant whose bucket
+    /// pays for the request: the named tenant when configured, else the
+    /// shared fallback (which keeps the metric label set bounded).
+    #[must_use]
+    pub fn classify(&self, header: Option<&str>) -> String {
+        match header {
+            Some(name) if self.tenants.contains_key(name) => name.to_string(),
+            _ => self.fallback.clone(),
+        }
+    }
+
+    /// Decides one submission for `tenant` (a name [`Governor::classify`]
+    /// returned) at `now_secs` on the caller's monotonic clock.
+    pub fn admit(&mut self, tenant: &str, now_secs: f64) -> Admission {
+        let state = self
+            .tenants
+            .get_mut(tenant)
+            .unwrap_or_else(|| panic!("unclassified tenant {tenant:?}"));
+        state.submitted += 1;
+        state.refill(now_secs);
+        if state.policy.max_in_flight > 0 && state.in_flight >= state.policy.max_in_flight {
+            state.shed += 1;
+            return Admission::Shed {
+                retry_after_secs: MIN_RETRY_AFTER_SECS,
+                over_quota: true,
+            };
+        }
+        if state.policy.burst > 0 {
+            if state.tokens < 1.0 {
+                let retry_after_secs = state.secs_until_token();
+                state.shed += 1;
+                return Admission::Shed {
+                    retry_after_secs,
+                    over_quota: false,
+                };
+            }
+            state.tokens -= 1.0;
+        }
+        state.in_flight += 1;
+        state.admitted += 1;
+        Admission::Admitted
+    }
+
+    /// Returns one unit of in-flight capacity — called when a plan
+    /// commits (or when a submission aliases an already-running plan
+    /// and never occupies a runner).
+    pub fn release(&mut self, tenant: &str) {
+        if let Some(state) = self.tenants.get_mut(tenant) {
+            state.in_flight = state.in_flight.saturating_sub(1);
+        }
+    }
+
+    /// Live accounting for one tenant, `None` when it is not configured
+    /// (unknown names share the fallback's state — ask for that
+    /// instead).
+    #[must_use]
+    pub fn snapshot(&self, tenant: &str) -> Option<TenantSnapshot> {
+        self.tenants.get(tenant).map(|state| TenantSnapshot {
+            tenant: tenant.to_string(),
+            burst: state.policy.burst,
+            refill_per_sec: state.policy.refill_per_sec,
+            max_in_flight: state.policy.max_in_flight,
+            tokens: state.tokens.max(0.0) as u64,
+            in_flight: state.in_flight,
+            submitted: state.submitted,
+            admitted: state.admitted,
+            shed: state.shed,
+        })
+    }
+
+    /// Every tenant name the governor tracks, sorted.
+    #[must_use]
+    pub fn tenant_names(&self) -> Vec<String> {
+        self.tenants.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(burst: u64, refill: f64, max_in_flight: usize) -> ServiceConfig {
+        ServiceConfig {
+            tenants: vec![TenantPolicy {
+                name: "t".to_string(),
+                burst,
+                refill_per_sec: refill,
+                max_in_flight,
+            }],
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn fixed_budget_sheds_exactly_the_overflow() {
+        let mut gov = Governor::new(&config(3, 0.0, 0));
+        let verdicts: Vec<_> = (0..10).map(|i| gov.admit("t", i as f64 * 0.1)).collect();
+        let admitted = verdicts
+            .iter()
+            .filter(|v| matches!(v, Admission::Admitted))
+            .count();
+        assert_eq!(admitted, 3, "burst=3, refill=0: exactly 3 admitted");
+        let snap = gov.snapshot("t").expect("snapshot");
+        assert_eq!((snap.submitted, snap.admitted, snap.shed), (10, 3, 7));
+        // A refill-less shed suggests the maximum bounded backoff.
+        assert!(matches!(
+            verdicts[3],
+            Admission::Shed {
+                retry_after_secs: MAX_RETRY_AFTER_SECS,
+                over_quota: false
+            }
+        ));
+    }
+
+    #[test]
+    fn refill_restores_admission() {
+        let mut gov = Governor::new(&config(1, 2.0, 0));
+        assert_eq!(gov.admit("t", 0.0), Admission::Admitted);
+        assert!(matches!(gov.admit("t", 0.1), Admission::Shed { .. }));
+        // 0.5 s at 2 tokens/s is one whole token.
+        assert_eq!(gov.admit("t", 0.7), Admission::Admitted);
+    }
+
+    #[test]
+    fn quota_sheds_until_release() {
+        let mut gov = Governor::new(&config(0, 0.0, 2));
+        assert_eq!(gov.admit("t", 0.0), Admission::Admitted);
+        assert_eq!(gov.admit("t", 0.0), Admission::Admitted);
+        assert!(matches!(
+            gov.admit("t", 0.0),
+            Admission::Shed {
+                over_quota: true,
+                ..
+            }
+        ));
+        gov.release("t");
+        assert_eq!(gov.admit("t", 0.0), Admission::Admitted);
+    }
+
+    #[test]
+    fn unknown_tenants_share_the_fallback() {
+        let cfg = config(1, 0.0, 0);
+        let mut gov = Governor::new(&cfg);
+        let a = gov.classify(Some("mystery-a"));
+        let b = gov.classify(None);
+        assert_eq!(a, "anonymous");
+        assert_eq!(a, b);
+        // Unlimited fallback: everything admits.
+        for _ in 0..100 {
+            assert_eq!(gov.admit(&a, 0.0), Admission::Admitted);
+        }
+        assert_eq!(gov.classify(Some("t")), "t");
+    }
+
+    #[test]
+    fn time_never_runs_backwards() {
+        let mut gov = Governor::new(&config(2, 1.0, 0));
+        assert_eq!(gov.admit("t", 5.0), Admission::Admitted);
+        assert_eq!(gov.admit("t", 5.0), Admission::Admitted);
+        // An earlier timestamp must not mint tokens or panic.
+        assert!(matches!(gov.admit("t", 1.0), Admission::Shed { .. }));
+        assert_eq!(gov.admit("t", 6.5), Admission::Admitted);
+    }
+}

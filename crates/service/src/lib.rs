@@ -1,0 +1,57 @@
+//! `horus-service`: a multi-tenant experiment API over the simulation
+//! harness.
+//!
+//! The crate turns the batch-oriented [`horus_harness::Harness`] into a
+//! persistent daemon: clients `POST` experiment plans to `/v1/jobs`,
+//! poll `/v1/jobs/{id}` for stage-by-stage status, and fetch committed
+//! results from `/v1/jobs/{id}/result`. In front of the queue sits an
+//! admission [`Governor`] — per-tenant token-bucket budgets and
+//! in-flight quotas from a JSON config file — that sheds over-budget
+//! traffic with `429` plus a bounded `Retry-After`, while a two-class
+//! [`PlanQueue`] keeps interactive quick plans ahead of bulk sweeps
+//! without ever starving the latter.
+//!
+//! Identical plans deduplicate by content key ([`plan_key`]) across
+//! tenants: the second submitter gets an alias job id and rides the
+//! first execution (and, via the harness's on-disk result cache,
+//! identical plans dedupe across service restarts too).
+//!
+//! The HTTP layer is the std-only server from `horus-obs` — the
+//! service mounts itself as a [`horus_obs::Router`] in front of the
+//! built-in `/metrics`, `/healthz`, `/readyz`, and `/logz` routes, so
+//! one listener serves both the API and its own observability.
+//!
+//! Module map:
+//!
+//! | module | what lives there |
+//! |---|---|
+//! | [`config`] | tenant policy file: parsing + validation |
+//! | [`governor`] | token buckets, quotas, shed verdicts |
+//! | [`queue`] | two-class priority queue with an anti-starvation valve |
+//! | [`api`] | wire types and the plan content key |
+//! | [`backend`] | a `SweepBackend` that executes plans through a running daemon |
+//! | [`service`] | the daemon: routing, runners, dedup, metrics, spans |
+//! | [`plans`] | canonical plan catalog shared with the load generator |
+//! | [`load`] | the `horus-load` client storm + verification |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod backend;
+pub mod config;
+pub mod governor;
+pub mod load;
+pub mod plans;
+pub mod queue;
+pub mod service;
+
+pub use api::{
+    plan_key, ErrorBody, JobStatus, StageStamps, SubmitRequest, SubmitResponse, TENANT_HEADER,
+};
+pub use backend::ServiceBackend;
+pub use config::{ServiceConfig, TenantPolicy};
+pub use governor::{Admission, Governor, TenantSnapshot};
+pub use load::{canonical_outcomes, run_load, LatencySummary, LoadOptions, LoadReport, TenantLoad};
+pub use queue::{Class, PlanQueue};
+pub use service::{ExperimentService, JobState};

@@ -1,0 +1,499 @@
+//! The `horus-load` generator: concurrent clients against a running
+//! service, with built-in verification.
+//!
+//! N client threads each issue M submissions from the canonical
+//! [`crate::plans`] catalog (mixed quick/full, per-tenant skew by
+//! weight), recording per-request latency into an obs time histogram
+//! and exact percentiles into the JSON report. After the storm, the
+//! generator:
+//!
+//! 1. polls every distinct plan it got admitted until the service
+//!    serves its result,
+//! 2. optionally re-runs each plan through a *local* [`Harness`] and
+//!    asserts the service's result body is byte-identical
+//!    (`--verify-local`), and
+//! 3. optionally asserts each tenant's shed count is exactly
+//!    `submitted - burst` (`--expect-exact-shed`; valid for
+//!    fixed-budget tenants, i.e. `refill_per_sec = 0` and no in-flight
+//!    cap — the CI soak configuration).
+//!
+//! Exit is non-zero on any transport error, verification mismatch, or
+//! failed shed assertion, which is what makes the CI soak lane a real
+//! gate rather than a smoke test.
+
+use crate::api::{SubmitRequest, SubmitResponse, TENANT_HEADER};
+use crate::config::ServiceConfig;
+use crate::plans;
+use horus_harness::{Harness, HarnessOptions, JobOutcome, JobSpec, ProgressMode};
+use horus_obs::http::{http_get, http_post};
+use horus_obs::names;
+use horus_obs::Registry;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// What a load run should do.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Service address.
+    pub addr: SocketAddr,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Submissions per client.
+    pub requests: usize,
+    /// Tenant names to spread clients across (cycled by weight).
+    pub tenants: Vec<String>,
+    /// Relative client weight per tenant (defaults to all-equal;
+    /// must match `tenants` in length when non-empty).
+    pub weights: Vec<usize>,
+    /// Percent (0–100) of submissions drawn from the quick-plan
+    /// catalog; the rest submit the full sweep plan.
+    pub quick_ratio_pct: u64,
+    /// Re-run every distinct plan locally and compare result bytes.
+    pub verify_local: bool,
+    /// Worker threads for the verification harness.
+    pub verify_jobs: Option<usize>,
+    /// Result-cache directory for the verification harness (`None` =
+    /// uncached, always re-execute).
+    pub verify_cache_dir: Option<PathBuf>,
+    /// Tenant config to derive exact expected shed counts from.
+    pub tenant_config: Option<ServiceConfig>,
+    /// Fail unless each fixed-budget tenant shed exactly
+    /// `submitted - burst`.
+    pub expect_exact_shed: bool,
+    /// Where to write the JSON report.
+    pub report_out: Option<PathBuf>,
+    /// How long to wait for admitted plans to commit.
+    pub wait_timeout: Duration,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            clients: 4,
+            requests: 4,
+            tenants: vec!["anonymous".to_string()],
+            weights: Vec::new(),
+            quick_ratio_pct: 100,
+            verify_local: false,
+            verify_jobs: None,
+            verify_cache_dir: None,
+            tenant_config: None,
+            expect_exact_shed: false,
+            report_out: None,
+            wait_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// Per-tenant tallies in the report.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantLoad {
+    /// Tenant name.
+    pub tenant: String,
+    /// Submissions sent under this tenant's header.
+    pub submitted: u64,
+    /// `202 Accepted` answers.
+    pub admitted: u64,
+    /// `429 Too Many Requests` answers.
+    pub shed: u64,
+    /// The exact shed count a fixed budget predicts, when derivable.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub expected_shed: Option<u64>,
+}
+
+/// Latency percentiles over every submission round-trip, milliseconds.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Requests measured.
+    pub count: usize,
+    /// Median.
+    pub p50_ms: f64,
+    /// 90th percentile.
+    pub p90_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Worst observed.
+    pub max_ms: f64,
+}
+
+/// The JSON artifact a load run writes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Total submissions across all clients.
+    pub submitted: u64,
+    /// Total admitted.
+    pub admitted: u64,
+    /// Total shed.
+    pub shed: u64,
+    /// Transport or protocol errors.
+    pub errors: u64,
+    /// Admitted submissions the service flagged as deduplicated.
+    pub deduped: u64,
+    /// Distinct plans (content keys) admitted.
+    pub distinct_plans: usize,
+    /// Distinct plans whose results were fetched and, when enabled,
+    /// verified byte-identical locally.
+    pub verified_plans: usize,
+    /// Per-tenant accounting.
+    pub per_tenant: Vec<TenantLoad>,
+    /// Submission latency percentiles.
+    pub latency: LatencySummary,
+    /// Everything that went wrong, human-readable.
+    pub failures: Vec<String>,
+    /// True when the run proved what it was asked to prove.
+    pub ok: bool,
+}
+
+#[derive(Default)]
+struct Tally {
+    submitted: u64,
+    admitted: u64,
+    shed: u64,
+    errors: u64,
+    deduped: u64,
+    latencies_ms: Vec<f64>,
+    per_tenant: BTreeMap<String, (u64, u64, u64)>,
+    /// key → (job id, specs) for one admitted submission per plan.
+    plans: BTreeMap<String, (u64, Vec<JobSpec>)>,
+    failures: Vec<String>,
+}
+
+/// The tenant a given client index submits as, honoring weights.
+#[must_use]
+pub fn tenant_of_client(tenants: &[String], weights: &[usize], client: usize) -> String {
+    if tenants.is_empty() {
+        return "anonymous".to_string();
+    }
+    let ring: Vec<&String> = if weights.len() == tenants.len() {
+        tenants
+            .iter()
+            .zip(weights)
+            .flat_map(|(t, w)| std::iter::repeat(t).take((*w).max(1)))
+            .collect()
+    } else {
+        tenants.iter().collect()
+    };
+    ring[client % ring.len()].clone()
+}
+
+/// The plan client `client` submits as its `request`-th submission.
+/// Pure, so the report's expected counts and the CI lane's local
+/// verification agree with what actually went over the wire.
+#[must_use]
+pub fn plan_for(
+    opts_quick_pct: u64,
+    client: usize,
+    request: usize,
+    requests: usize,
+) -> Vec<JobSpec> {
+    let global = client * requests + request;
+    if ((global * 37 + 11) % 100) < opts_quick_pct as usize {
+        plans::quick_plan(global % plans::QUICK_PLANS)
+    } else {
+        plans::full_plan()
+    }
+}
+
+/// Drives the whole load run. See the module docs for the phases.
+///
+/// # Errors
+/// Returns a message on unrecoverable setup problems (bad options,
+/// unwritable report path). Per-request failures do NOT error — they
+/// are tallied into the report and flip `ok` to false.
+pub fn run_load(opts: &LoadOptions) -> Result<LoadReport, String> {
+    if opts.clients == 0 || opts.requests == 0 {
+        return Err("need at least one client and one request".to_string());
+    }
+    if !opts.weights.is_empty() && opts.weights.len() != opts.tenants.len() {
+        return Err(format!(
+            "{} weights for {} tenants",
+            opts.weights.len(),
+            opts.tenants.len()
+        ));
+    }
+    let registry = Registry::shared();
+    let latency_hist = registry.time_histogram(
+        names::SERVICE_CLIENT_REQUEST_SECONDS,
+        "Client-observed submission latency.",
+        &[],
+    );
+    let tally = Arc::new(Mutex::new(Tally::default()));
+
+    // Phase 1: the storm.
+    let mut handles = Vec::new();
+    for client in 0..opts.clients {
+        let tenant = tenant_of_client(&opts.tenants, &opts.weights, client);
+        let tally = Arc::clone(&tally);
+        let hist = latency_hist.clone();
+        let addr = opts.addr;
+        let requests = opts.requests;
+        let quick_pct = opts.quick_ratio_pct;
+        handles.push(std::thread::spawn(move || {
+            for request in 0..requests {
+                let specs = plan_for(quick_pct, client, request, requests);
+                let body = match serde_json::to_string(&SubmitRequest::plan(specs.clone())) {
+                    Ok(body) => body,
+                    Err(e) => {
+                        let mut t = tally.lock().expect("tally poisoned");
+                        t.errors += 1;
+                        t.failures.push(format!("serialize plan: {e}"));
+                        continue;
+                    }
+                };
+                let started = Instant::now();
+                let answer =
+                    http_post(addr, "/v1/jobs", &[(TENANT_HEADER, tenant.as_str())], &body);
+                let elapsed = started.elapsed();
+                hist.observe_seconds(elapsed.as_secs_f64());
+                let mut t = tally.lock().expect("tally poisoned");
+                t.submitted += 1;
+                t.latencies_ms.push(elapsed.as_secs_f64() * 1e3);
+                let entry = t.per_tenant.entry(tenant.clone()).or_default();
+                entry.0 += 1;
+                match answer {
+                    Ok((status, resp_body)) if status.contains("202") => {
+                        entry.1 += 1;
+                        t.admitted += 1;
+                        match serde_json::from_str::<SubmitResponse>(&resp_body) {
+                            Ok(resp) => {
+                                if resp.deduped {
+                                    t.deduped += 1;
+                                }
+                                t.plans
+                                    .entry(resp.key.clone())
+                                    .or_insert_with(|| (resp.job, specs));
+                            }
+                            Err(e) => {
+                                t.errors += 1;
+                                t.failures.push(format!("bad 202 body: {e}"));
+                            }
+                        }
+                    }
+                    Ok((status, _)) if status.contains("429") => {
+                        entry.2 += 1;
+                        t.shed += 1;
+                    }
+                    Ok((status, resp_body)) => {
+                        t.errors += 1;
+                        t.failures
+                            .push(format!("unexpected answer {status}: {resp_body}"));
+                    }
+                    Err(e) => {
+                        t.errors += 1;
+                        t.failures.push(format!("transport: {e}"));
+                    }
+                }
+            }
+        }));
+    }
+    for handle in handles {
+        handle
+            .join()
+            .map_err(|_| "client thread panicked".to_string())?;
+    }
+
+    let mut tally = Arc::try_unwrap(tally)
+        .map_err(|_| "tally still shared".to_string())?
+        .into_inner()
+        .expect("tally poisoned");
+
+    // Phase 2: wait out every distinct plan and fetch its result.
+    let mut verified = 0usize;
+    let verify_harness = opts.verify_local.then(|| {
+        Harness::new(HarnessOptions {
+            jobs: opts.verify_jobs,
+            cache_dir: opts.verify_cache_dir.clone(),
+            no_cache: opts.verify_cache_dir.is_none(),
+            progress: ProgressMode::Silent,
+            ..HarnessOptions::default()
+        })
+    });
+    let plans_snapshot: Vec<(String, u64, Vec<JobSpec>)> = tally
+        .plans
+        .iter()
+        .map(|(k, (id, specs))| (k.clone(), *id, specs.clone()))
+        .collect();
+    for (key, id, specs) in plans_snapshot {
+        match fetch_result(opts.addr, id, opts.wait_timeout) {
+            Ok(service_body) => {
+                if let Some(harness) = &verify_harness {
+                    let local = harness.run(&specs);
+                    let local_body = serde_json::to_string(&local.outcomes)
+                        .map_err(|e| format!("serialize local outcomes: {e}"))?;
+                    if canonical_outcomes(&local_body) == canonical_outcomes(&service_body) {
+                        verified += 1;
+                    } else {
+                        tally.failures.push(format!(
+                            "plan {key}: service result differs from local run \
+                             ({} vs {} bytes)",
+                            service_body.len(),
+                            local_body.len()
+                        ));
+                    }
+                } else {
+                    verified += 1;
+                }
+            }
+            Err(e) => {
+                tally.failures.push(format!("plan {key} (job {id}): {e}"));
+            }
+        }
+    }
+
+    // Phase 3: exact shed accounting against the tenant config.
+    let mut per_tenant = Vec::new();
+    for (tenant, (submitted, admitted, shed)) in &tally.per_tenant {
+        let expected_shed = opts.tenant_config.as_ref().and_then(|cfg| {
+            let policy = cfg.tenant(tenant)?;
+            // Exact only for fixed budgets with no in-flight cap.
+            (policy.burst > 0 && policy.refill_per_sec == 0.0 && policy.max_in_flight == 0)
+                .then(|| submitted.saturating_sub(policy.burst))
+        });
+        if opts.expect_exact_shed {
+            match expected_shed {
+                Some(expected) if expected != *shed => {
+                    tally.failures.push(format!(
+                        "tenant {tenant}: shed {shed}, expected exactly {expected} \
+                         (submitted {submitted} against a fixed budget)"
+                    ));
+                }
+                None => {
+                    tally.failures.push(format!(
+                        "tenant {tenant}: --expect-exact-shed needs a fixed-budget \
+                         tenant config entry (burst > 0, refill 0, no in-flight cap)"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        per_tenant.push(TenantLoad {
+            tenant: tenant.clone(),
+            submitted: *submitted,
+            admitted: *admitted,
+            shed: *shed,
+            expected_shed,
+        });
+    }
+
+    let report = LoadReport {
+        submitted: tally.submitted,
+        admitted: tally.admitted,
+        shed: tally.shed,
+        errors: tally.errors,
+        deduped: tally.deduped,
+        distinct_plans: tally.plans.len(),
+        verified_plans: verified,
+        per_tenant,
+        latency: summarize_latency(&mut tally.latencies_ms),
+        ok: tally.errors == 0 && tally.failures.is_empty() && verified == tally.plans.len(),
+        failures: tally.failures,
+    };
+    if let Some(path) = &opts.report_out {
+        let json = serde_json::to_string(&report).map_err(|e| format!("serialize report: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    Ok(report)
+}
+
+/// Re-serializes an outcomes body with every `cached` provenance flag
+/// cleared. The flag says where the bytes came from (fresh execution
+/// vs the result cache), not what the experiment measured — simulated
+/// time included, a drain outcome is a pure function of its spec — so
+/// byte-identity comparisons go through this canonical form.
+///
+/// # Errors
+/// Returns a message when `json` is not an outcomes list.
+pub fn canonical_outcomes(json: &str) -> Result<String, String> {
+    let mut outcomes: Vec<JobOutcome> =
+        serde_json::from_str(json).map_err(|e| format!("parse outcomes: {e}"))?;
+    for outcome in &mut outcomes {
+        if let JobOutcome::Completed { cached, .. } = outcome {
+            *cached = false;
+        }
+    }
+    serde_json::to_string(&outcomes).map_err(|e| format!("serialize outcomes: {e}"))
+}
+
+fn fetch_result(addr: SocketAddr, id: u64, timeout: Duration) -> Result<String, String> {
+    let deadline = Instant::now() + timeout;
+    let path = format!("/v1/jobs/{id}/result");
+    loop {
+        match http_get(addr, &path) {
+            Ok((status, body)) if status.contains("200") => return Ok(body),
+            Ok((status, _)) if status.contains("202") => {}
+            Ok((status, body)) => return Err(format!("result answered {status}: {body}")),
+            Err(e) => return Err(format!("result transport: {e}")),
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("result not committed within {timeout:?}"));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn summarize_latency(samples: &mut [f64]) -> LatencySummary {
+    if samples.is_empty() {
+        return LatencySummary::default();
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pick = |q: f64| {
+        let idx = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len()) - 1;
+        samples[idx]
+    };
+    LatencySummary {
+        count: samples.len(),
+        p50_ms: pick(0.50),
+        p90_ms: pick(0.90),
+        p99_ms: pick(0.99),
+        max_ms: samples[samples.len() - 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_assignment_honors_weights() {
+        let tenants = vec!["a".to_string(), "b".to_string()];
+        let assigned: Vec<String> = (0..6)
+            .map(|i| tenant_of_client(&tenants, &[2, 1], i))
+            .collect();
+        assert_eq!(assigned, ["a", "a", "b", "a", "a", "b"]);
+        // No weights: plain round-robin.
+        assert_eq!(tenant_of_client(&tenants, &[], 3), "b");
+        assert_eq!(tenant_of_client(&[], &[], 7), "anonymous");
+    }
+
+    #[test]
+    fn plan_mix_is_deterministic() {
+        for client in 0..4 {
+            for request in 0..4 {
+                assert_eq!(
+                    plan_for(80, client, request, 4),
+                    plan_for(80, client, request, 4)
+                );
+            }
+        }
+        // All-quick and all-full extremes.
+        assert_eq!(plan_for(100, 0, 0, 1).len(), 1);
+        assert_eq!(plan_for(0, 0, 0, 1).len(), plans::full_plan().len());
+    }
+
+    #[test]
+    fn latency_summary_orders_percentiles() {
+        let mut samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let summary = summarize_latency(&mut samples);
+        assert_eq!(summary.count, 100);
+        assert_eq!(summary.p50_ms, 50.0);
+        assert_eq!(summary.p90_ms, 90.0);
+        assert_eq!(summary.p99_ms, 99.0);
+        assert_eq!(summary.max_ms, 100.0);
+        assert_eq!(summarize_latency(&mut []), LatencySummary::default());
+    }
+}

@@ -1,0 +1,70 @@
+//! The canonical plan catalog shared by the load generator, the CI
+//! soak lane, and the e2e tests.
+//!
+//! Everything here is a pure function of its index, so every client
+//! thread, the server, and the offline verification run all agree on
+//! exactly which specs a "quick plan 3" contains — that agreement is
+//! what lets the soak lane assert byte-identical results between the
+//! service under contention and a single-process run.
+
+use horus_core::{DrainScheme, SystemConfig};
+use horus_harness::JobSpec;
+use horus_workload::FillPattern;
+
+/// Number of distinct quick plans in the catalog. Indexes wrap, so any
+/// client count reuses the same plans — which is the point: reuse is
+/// what exercises dedup and the result cache under contention.
+pub const QUICK_PLANS: usize = 10;
+
+/// The paper's worst-case fill, the same one the tier-1 sweeps use.
+const STRIDED: FillPattern = FillPattern::StridedSparse { min_stride: 16384 };
+
+/// The system configuration every catalog plan runs against.
+#[must_use]
+pub fn base_config() -> SystemConfig {
+    SystemConfig::small_test()
+}
+
+/// Quick plan `i` (wrapping): one drain spec, cycling through the five
+/// schemes and two fill patterns.
+#[must_use]
+pub fn quick_plan(i: usize) -> Vec<JobSpec> {
+    let cfg = base_config();
+    let schemes = DrainScheme::ALL;
+    let scheme = schemes[i % schemes.len()];
+    let pattern = if (i / schemes.len()) % 2 == 0 {
+        STRIDED
+    } else {
+        FillPattern::UniformRandom { seed: 0xC0FFEE }
+    };
+    vec![JobSpec::drain(&cfg, scheme, pattern)]
+}
+
+/// The full (bulk-class) plan: all five schemes under the worst-case
+/// strided fill — the same sweep `horus-cli sweep` runs by default.
+#[must_use]
+pub fn full_plan() -> Vec<JobSpec> {
+    let cfg = base_config();
+    DrainScheme::ALL
+        .iter()
+        .map(|scheme| JobSpec::drain(&cfg, *scheme, STRIDED))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_deterministic_and_distinct() {
+        for i in 0..QUICK_PLANS {
+            assert_eq!(quick_plan(i), quick_plan(i), "plan {i} must be stable");
+            assert_eq!(quick_plan(i).len(), 1);
+        }
+        let keys: std::collections::BTreeSet<String> =
+            (0..QUICK_PLANS).map(|i| quick_plan(i)[0].key()).collect();
+        assert_eq!(keys.len(), QUICK_PLANS, "quick plans must be distinct");
+        assert_eq!(full_plan().len(), DrainScheme::ALL.len());
+        assert_eq!(full_plan(), full_plan());
+    }
+}

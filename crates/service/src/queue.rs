@@ -1,0 +1,133 @@
+//! The two-class service queue: interactive plans ahead of bulk, with
+//! an anti-starvation valve.
+//!
+//! Quick plans (at most `quick_threshold` specs) are what a human at a
+//! notebook is waiting on; full sweeps are batch work. Strict priority
+//! would let a stream of quick plans starve a queued sweep forever, so
+//! after [`BULK_STARVATION_LIMIT`] consecutive interactive pops the
+//! next pop takes from the bulk queue regardless. Within a class the
+//! order is FIFO. The property tests pin both guarantees.
+
+use std::collections::VecDeque;
+
+/// Consecutive interactive pops allowed while bulk work waits.
+pub const BULK_STARVATION_LIMIT: usize = 4;
+
+/// Which queue a plan lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Short plan: served first, up to the starvation limit.
+    Interactive,
+    /// Long plan: served when interactive is idle or the valve opens.
+    Bulk,
+}
+
+/// A FIFO-within-class priority queue of plan ids.
+#[derive(Debug, Default)]
+pub struct PlanQueue {
+    interactive: VecDeque<u64>,
+    bulk: VecDeque<u64>,
+    /// Interactive pops since the last bulk pop (or since empty-bulk).
+    since_bulk: usize,
+}
+
+impl PlanQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> PlanQueue {
+        PlanQueue::default()
+    }
+
+    /// Enqueues a plan id under its class.
+    pub fn push(&mut self, id: u64, class: Class) {
+        match class {
+            Class::Interactive => self.interactive.push_back(id),
+            Class::Bulk => self.bulk.push_back(id),
+        }
+    }
+
+    /// Dequeues the next plan to run, or `None` when idle.
+    pub fn pop(&mut self) -> Option<u64> {
+        let take_bulk = !self.bulk.is_empty()
+            && (self.interactive.is_empty() || self.since_bulk >= BULK_STARVATION_LIMIT);
+        if take_bulk {
+            self.since_bulk = 0;
+            return self.bulk.pop_front();
+        }
+        match self.interactive.pop_front() {
+            Some(id) => {
+                if self.bulk.is_empty() {
+                    // Nothing is waiting, so nothing is being starved.
+                    self.since_bulk = 0;
+                } else {
+                    self.since_bulk += 1;
+                }
+                Some(id)
+            }
+            None => None,
+        }
+    }
+
+    /// Plans waiting in both classes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.interactive.len() + self.bulk.len()
+    }
+
+    /// True when nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interactive_jumps_bulk() {
+        let mut q = PlanQueue::new();
+        q.push(1, Class::Bulk);
+        q.push(2, Class::Interactive);
+        q.push(3, Class::Interactive);
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_within_each_class() {
+        let mut q = PlanQueue::new();
+        for id in [10, 11, 12] {
+            q.push(id, Class::Interactive);
+        }
+        for id in [20, 21] {
+            q.push(id, Class::Bulk);
+        }
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), Some(12));
+        assert_eq!(q.pop(), Some(20));
+        assert_eq!(q.pop(), Some(21));
+    }
+
+    #[test]
+    fn bulk_is_never_starved_past_the_limit() {
+        let mut q = PlanQueue::new();
+        q.push(99, Class::Bulk);
+        for id in 0..20 {
+            q.push(id, Class::Interactive);
+        }
+        let mut popped = Vec::new();
+        for _ in 0..=BULK_STARVATION_LIMIT {
+            popped.push(q.pop().expect("nonempty"));
+        }
+        assert!(
+            popped.contains(&99),
+            "bulk plan still waiting after {} pops: {popped:?}",
+            popped.len()
+        );
+    }
+}

@@ -1,0 +1,648 @@
+//! The experiment service: admission, queueing, execution, results.
+//!
+//! [`ExperimentService`] is an [`horus_obs::http::Router`] mounted on the
+//! shared metrics listener, so one socket serves `/metrics`,
+//! `/healthz`, `/readyz`, `/logs`, *and* the `/v1` API:
+//!
+//! * `POST /v1/jobs` — submit a plan (or single spec). The governor
+//!   classifies the tenant from `X-Horus-Tenant`, charges its token
+//!   bucket, and either admits (`202` with a job id) or sheds (`429`
+//!   with `Retry-After`). Admitted plans dedup by content key: an
+//!   identical plan already known to the service gets an alias id and
+//!   never executes twice.
+//! * `GET /v1/jobs/{id}` — live status (`queued` → `executing` →
+//!   `committed`), progress counts, and span stamps.
+//! * `GET /v1/jobs/{id}/result` — the committed outcomes as JSON,
+//!   byte-identical to what a local `Harness::run` of the same specs
+//!   serializes to (that is the soak lane's headline assertion).
+//! * `GET /v1/tenants/{t}` — the governor's live per-tenant accounting.
+//! * `POST /v1/shutdown` — stop admitting, drain the queue, let
+//!   `horus-cli serve` exit cleanly (so `obs-summary.json` gets
+//!   written).
+//!
+//! Execution rides entirely on the existing sweep machinery: plans run
+//! through [`Harness::submit`] (and thus the worker pool, the on-disk
+//! result cache, and optionally a fleet backend), so the determinism
+//! contract — same specs, same outcomes, any concurrency — is
+//! inherited, not re-proven.
+
+use crate::api::{self, JobStatus, StageStamps, SubmitRequest, SubmitResponse, TENANT_HEADER};
+use crate::config::ServiceConfig;
+use crate::governor::{Admission, Governor};
+use crate::queue::{Class, PlanQueue};
+use horus_harness::{Harness, JobSpec, Submission};
+use horus_obs::http::{HttpRequest, HttpResponse, Router};
+use horus_obs::names;
+use horus_obs::span::{SpanBook, Stage};
+use horus_obs::{Registry, TimeHistogram};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Where a plan is in its service lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted and waiting for a runner.
+    Queued,
+    /// A runner dispatched it to the harness pool.
+    Executing,
+    /// Outcomes are committed and servable.
+    Committed,
+}
+
+impl JobState {
+    /// The wire spelling used in [`crate::api::JobStatus::state`].
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Executing => "executing",
+            JobState::Committed => "committed",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct JobRecord {
+    tenant: String,
+    key: String,
+    total: usize,
+    /// `Some(canonical)` for deduplicated submissions; every query
+    /// follows the alias.
+    alias_of: Option<u64>,
+    state: JobState,
+    /// Present until a runner takes the plan.
+    specs: Option<Vec<JobSpec>>,
+    /// Present while (and after) the harness executes the plan.
+    submission: Option<Arc<Submission>>,
+    /// The committed outcomes, pre-serialized.
+    outcomes_json: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct ServiceState {
+    jobs: BTreeMap<u64, JobRecord>,
+    by_key: HashMap<String, u64>,
+    queue: PlanQueue,
+    next_id: u64,
+    executing: usize,
+}
+
+/// Pre-registered `horus_service_*` handles (see [`names`]).
+struct ServiceMetrics {
+    registry: Arc<Registry>,
+    admission: TimeHistogram,
+}
+
+impl ServiceMetrics {
+    const SUBMITTED_HELP: &'static str =
+        "Plan submissions received by the service API, before admission control.";
+    const ADMITTED_HELP: &'static str = "Submissions the governor admitted.";
+    const SHED_HELP: &'static str = "Submissions shed with 429 Too Many Requests.";
+    const IN_FLIGHT_HELP: &'static str = "Admitted plans currently queued or executing.";
+
+    fn new(registry: Arc<Registry>, tenants: &[String]) -> ServiceMetrics {
+        // Pre-register every family at zero so scrapes and the
+        // obs-summary carry them even for tenants that never submit.
+        for tenant in tenants {
+            let labels = &[("tenant", tenant.as_str())];
+            registry.counter(names::SERVICE_SUBMITTED, Self::SUBMITTED_HELP, labels);
+            registry.counter(names::SERVICE_ADMITTED, Self::ADMITTED_HELP, labels);
+            registry.counter(names::SERVICE_SHED, Self::SHED_HELP, labels);
+            registry.gauge(names::SERVICE_IN_FLIGHT, Self::IN_FLIGHT_HELP, labels);
+        }
+        registry.gauge(
+            names::SERVICE_QUEUE_DEPTH,
+            "Admitted plans waiting in the service priority queue.",
+            &[],
+        );
+        registry.counter(
+            names::SERVICE_PLANS_COMPLETED,
+            "Service plans executed to completion.",
+            &[],
+        );
+        let admission = registry.time_histogram(
+            names::SERVICE_ADMISSION_SECONDS,
+            "Time from request arrival to admission verdict.",
+            &[],
+        );
+        ServiceMetrics {
+            registry,
+            admission,
+        }
+    }
+
+    fn submitted(&self, tenant: &str) {
+        self.registry
+            .counter(
+                names::SERVICE_SUBMITTED,
+                Self::SUBMITTED_HELP,
+                &[("tenant", tenant)],
+            )
+            .inc();
+    }
+
+    fn admitted(&self, tenant: &str) {
+        self.registry
+            .counter(
+                names::SERVICE_ADMITTED,
+                Self::ADMITTED_HELP,
+                &[("tenant", tenant)],
+            )
+            .inc();
+    }
+
+    fn shed(&self, tenant: &str) {
+        self.registry
+            .counter(names::SERVICE_SHED, Self::SHED_HELP, &[("tenant", tenant)])
+            .inc();
+    }
+
+    fn in_flight(&self, tenant: &str, value: usize) {
+        self.registry
+            .gauge(
+                names::SERVICE_IN_FLIGHT,
+                Self::IN_FLIGHT_HELP,
+                &[("tenant", tenant)],
+            )
+            .set(value as i64);
+    }
+
+    fn queue_depth(&self, depth: usize) {
+        self.registry
+            .gauge(
+                names::SERVICE_QUEUE_DEPTH,
+                "Admitted plans waiting in the service priority queue.",
+                &[],
+            )
+            .set(depth as i64);
+    }
+
+    fn plan_completed(&self) {
+        self.registry
+            .counter(
+                names::SERVICE_PLANS_COMPLETED,
+                "Service plans executed to completion.",
+                &[],
+            )
+            .inc();
+    }
+}
+
+/// The running service: governor + queue + runner threads over a
+/// shared [`Harness`]. Construct with [`ExperimentService::start`],
+/// mount as a router, and drive it over HTTP.
+pub struct ExperimentService {
+    harness: Arc<Harness>,
+    governor: Mutex<Governor>,
+    state: Mutex<ServiceState>,
+    /// Wakes runner threads when work (or shutdown) arrives.
+    wake: Condvar,
+    /// Wakes [`ExperimentService::wait_until_drained`] on commits.
+    idle: Condvar,
+    clock: Instant,
+    metrics: Option<ServiceMetrics>,
+    spans: Option<Arc<SpanBook>>,
+    quick_threshold: usize,
+    draining: AtomicBool,
+    runners: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ExperimentService {
+    /// Starts the service: builds the governor from `config`, spawns
+    /// the runner threads, and returns the shared handle to mount as a
+    /// router (e.g. via `ObsSession::install_router`).
+    #[must_use]
+    pub fn start(
+        config: &ServiceConfig,
+        harness: Arc<Harness>,
+        registry: Option<Arc<Registry>>,
+        spans: Option<Arc<SpanBook>>,
+    ) -> Arc<ExperimentService> {
+        let metrics = registry.map(|r| ServiceMetrics::new(r, &config.tenant_names()));
+        let service = Arc::new(ExperimentService {
+            harness,
+            governor: Mutex::new(Governor::new(config)),
+            state: Mutex::new(ServiceState::default()),
+            wake: Condvar::new(),
+            idle: Condvar::new(),
+            clock: Instant::now(),
+            metrics,
+            spans,
+            quick_threshold: config.effective_quick_threshold(),
+            draining: AtomicBool::new(false),
+            runners: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::new();
+        for idx in 0..config.effective_runners() {
+            let svc = Arc::clone(&service);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("horus-service-runner-{idx}"))
+                    .spawn(move || svc.runner_loop(idx))
+                    .expect("spawn service runner"),
+            );
+        }
+        *service.runners.lock().expect("runners poisoned") = handles;
+        service
+    }
+
+    /// Seconds on the service's monotonic clock — the time base the
+    /// governor's buckets refill on.
+    #[must_use]
+    pub fn now_secs(&self) -> f64 {
+        self.clock.elapsed().as_secs_f64()
+    }
+
+    /// True once `POST /v1/shutdown` was received.
+    #[must_use]
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Initiates drain: no more admissions; queued work still runs.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        // Runners waiting for work must re-check the flag; the waiter
+        // in wait_until_drained must re-check the queue.
+        let _state = self.state.lock().expect("service state poisoned");
+        self.wake.notify_all();
+        self.idle.notify_all();
+    }
+
+    /// Blocks until drain was requested *and* every admitted plan has
+    /// committed — the serve verb's exit condition.
+    pub fn wait_until_drained(&self) {
+        let mut state = self.state.lock().expect("service state poisoned");
+        while !(self.draining() && state.queue.is_empty() && state.executing == 0) {
+            state = self.idle.wait(state).expect("service state poisoned");
+        }
+    }
+
+    /// Joins the runner threads (call after
+    /// [`ExperimentService::wait_until_drained`]).
+    pub fn join(&self) {
+        self.begin_drain();
+        let handles = std::mem::take(&mut *self.runners.lock().expect("runners poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    fn stamp(&self, id: u64, key: &str, stage: Stage, worker: Option<&str>) {
+        if let Some(book) = &self.spans {
+            book.stamp(id, 0, key, stage, book.now_ms(), worker);
+        }
+    }
+
+    // ---- request handlers -------------------------------------------------
+
+    fn submit(&self, req: &HttpRequest) -> HttpResponse {
+        let arrived = Instant::now();
+        if self.draining() {
+            return HttpResponse::json(
+                "503 Service Unavailable",
+                api::ErrorBody::json("service is draining"),
+            );
+        }
+        let Some(body) = req.body_str() else {
+            return HttpResponse::json(
+                "400 Bad Request",
+                api::ErrorBody::json("body is not UTF-8"),
+            );
+        };
+        let parsed: SubmitRequest = match serde_json::from_str(body) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                return HttpResponse::json(
+                    "400 Bad Request",
+                    api::ErrorBody::json(&format!("malformed submission: {e}")),
+                )
+            }
+        };
+        let specs = parsed.into_specs();
+        if specs.is_empty() {
+            return HttpResponse::json(
+                "400 Bad Request",
+                api::ErrorBody::json("submission carries no specs"),
+            );
+        }
+
+        // Admission: classify, charge the bucket, meter the verdict.
+        let tenant;
+        let verdict;
+        let in_flight_now;
+        {
+            let mut governor = self.governor.lock().expect("governor poisoned");
+            tenant = governor.classify(req.header(TENANT_HEADER));
+            verdict = governor.admit(&tenant, self.now_secs());
+            in_flight_now = governor.snapshot(&tenant).map_or(0, |s| s.in_flight);
+        }
+        if let Some(m) = &self.metrics {
+            m.submitted(&tenant);
+            m.admission.observe_seconds(arrived.elapsed().as_secs_f64());
+        }
+        if let Admission::Shed {
+            retry_after_secs, ..
+        } = verdict
+        {
+            if let Some(m) = &self.metrics {
+                m.shed(&tenant);
+            }
+            let retry = retry_after_secs.to_string();
+            horus_obs::log::warn(
+                "service",
+                "submission shed",
+                &[("tenant", tenant.as_str()), ("retry_after", retry.as_str())],
+            );
+            return HttpResponse::json(
+                "429 Too Many Requests",
+                api::ErrorBody::json(&format!("tenant {tenant} over quota")),
+            )
+            .with_header("Retry-After", &retry_after_secs.to_string());
+        }
+        if let Some(m) = &self.metrics {
+            m.admitted(&tenant);
+            m.in_flight(&tenant, in_flight_now);
+        }
+
+        // Enqueue or alias.
+        let key = api::plan_key(&specs);
+        let total = specs.len();
+        let class = if total <= self.quick_threshold {
+            Class::Interactive
+        } else {
+            Class::Bulk
+        };
+        let (id, deduped) = {
+            let mut state = self.state.lock().expect("service state poisoned");
+            let id = state.next_id;
+            state.next_id += 1;
+            match state.by_key.get(&key).copied() {
+                Some(canonical) => {
+                    state.jobs.insert(
+                        id,
+                        JobRecord {
+                            tenant: tenant.clone(),
+                            key: key.clone(),
+                            total,
+                            alias_of: Some(canonical),
+                            state: JobState::Queued,
+                            specs: None,
+                            submission: None,
+                            outcomes_json: None,
+                        },
+                    );
+                    (id, true)
+                }
+                None => {
+                    state.by_key.insert(key.clone(), id);
+                    state.jobs.insert(
+                        id,
+                        JobRecord {
+                            tenant: tenant.clone(),
+                            key: key.clone(),
+                            total,
+                            alias_of: None,
+                            state: JobState::Queued,
+                            specs: Some(specs),
+                            submission: None,
+                            outcomes_json: None,
+                        },
+                    );
+                    state.queue.push(id, class);
+                    if let Some(m) = &self.metrics {
+                        m.queue_depth(state.queue.len());
+                    }
+                    (id, false)
+                }
+            }
+        };
+        if deduped {
+            // An alias never occupies a runner slot: return its
+            // in-flight unit immediately (the token stays spent).
+            let mut governor = self.governor.lock().expect("governor poisoned");
+            governor.release(&tenant);
+            if let Some(m) = &self.metrics {
+                let now = governor.snapshot(&tenant).map_or(0, |s| s.in_flight);
+                m.in_flight(&tenant, now);
+            }
+        } else {
+            self.stamp(id, &key, Stage::Queued, None);
+            self.wake.notify_one();
+        }
+        let body = serde_json::to_string(&SubmitResponse {
+            job: id,
+            key,
+            tenant,
+            deduped,
+        })
+        .expect("submit response serializes");
+        HttpResponse::json("202 Accepted", body)
+    }
+
+    /// Resolves `id` through its alias and renders a [`JobStatus`].
+    fn status_of(&self, id: u64) -> Option<JobStatus> {
+        let state = self.state.lock().expect("service state poisoned");
+        let record = state.jobs.get(&id)?;
+        let canonical = record.alias_of.unwrap_or(id);
+        let target = state.jobs.get(&canonical).unwrap_or(record);
+        let done = match target.state {
+            JobState::Queued => 0,
+            JobState::Executing => target.submission.as_ref().map_or(0, |s| s.done()),
+            JobState::Committed => target.total,
+        };
+        let stages = self.spans.as_ref().and_then(|book| {
+            book.get(canonical, 0).map(|span| StageStamps {
+                queued: span.stamps[Stage::Queued.index()],
+                leased: span.stamps[Stage::Leased.index()],
+                executing: span.stamps[Stage::Executing.index()],
+                pushed: span.stamps[Stage::Pushed.index()],
+                committed: span.stamps[Stage::Committed.index()],
+            })
+        });
+        Some(JobStatus {
+            job: id,
+            canonical,
+            tenant: record.tenant.clone(),
+            key: record.key.clone(),
+            state: target.state.as_str().to_string(),
+            done,
+            total: target.total,
+            stages,
+        })
+    }
+
+    fn job_status(&self, id: u64) -> HttpResponse {
+        match self.status_of(id) {
+            Some(status) => HttpResponse::json(
+                "200 OK",
+                serde_json::to_string(&status).expect("status serializes"),
+            ),
+            None => HttpResponse::json(
+                "404 Not Found",
+                api::ErrorBody::json(&format!("no job {id}")),
+            ),
+        }
+    }
+
+    fn job_result(&self, id: u64) -> HttpResponse {
+        {
+            let state = self.state.lock().expect("service state poisoned");
+            if let Some(record) = state.jobs.get(&id) {
+                let canonical = record.alias_of.unwrap_or(id);
+                if let Some(json) = state
+                    .jobs
+                    .get(&canonical)
+                    .and_then(|r| r.outcomes_json.clone())
+                {
+                    return HttpResponse::json("200 OK", json);
+                }
+            } else {
+                return HttpResponse::json(
+                    "404 Not Found",
+                    api::ErrorBody::json(&format!("no job {id}")),
+                );
+            }
+        }
+        // Known but not committed: answer the live status with 202 so
+        // pollers can tell "keep waiting" from "wrong id".
+        match self.status_of(id) {
+            Some(status) => HttpResponse::json(
+                "202 Accepted",
+                serde_json::to_string(&status).expect("status serializes"),
+            ),
+            None => HttpResponse::json(
+                "404 Not Found",
+                api::ErrorBody::json(&format!("no job {id}")),
+            ),
+        }
+    }
+
+    fn tenant_status(&self, name: &str) -> HttpResponse {
+        let governor = self.governor.lock().expect("governor poisoned");
+        match governor.snapshot(name) {
+            Some(snapshot) => HttpResponse::json(
+                "200 OK",
+                serde_json::to_string(&snapshot).expect("snapshot serializes"),
+            ),
+            None => HttpResponse::json(
+                "404 Not Found",
+                api::ErrorBody::json(&format!("no tenant {name:?}")),
+            ),
+        }
+    }
+
+    // ---- execution --------------------------------------------------------
+
+    fn runner_loop(&self, idx: usize) {
+        let worker = format!("service-runner-{idx}");
+        loop {
+            let (id, tenant, key, specs) = {
+                let mut state = self.state.lock().expect("service state poisoned");
+                loop {
+                    if let Some(id) = state.queue.pop() {
+                        if let Some(m) = &self.metrics {
+                            m.queue_depth(state.queue.len());
+                        }
+                        state.executing += 1;
+                        let record = state.jobs.get_mut(&id).expect("queued job exists");
+                        record.state = JobState::Executing;
+                        let specs = record.specs.take().expect("queued job keeps its specs");
+                        break (id, record.tenant.clone(), record.key.clone(), specs);
+                    }
+                    if self.draining() {
+                        return;
+                    }
+                    state = self.wake.wait(state).expect("service state poisoned");
+                }
+            };
+            self.stamp(id, &key, Stage::Leased, Some(&worker));
+            let submission = self.harness.submit(specs);
+            {
+                let mut state = self.state.lock().expect("service state poisoned");
+                if let Some(record) = state.jobs.get_mut(&id) {
+                    record.submission = Some(Arc::clone(&submission));
+                }
+            }
+            self.stamp(id, &key, Stage::Executing, Some(&worker));
+            let report = submission.wait();
+            self.stamp(id, &key, Stage::Pushed, Some(&worker));
+            let outcomes_json =
+                serde_json::to_string(&report.outcomes).expect("outcomes serialize");
+            {
+                let mut state = self.state.lock().expect("service state poisoned");
+                let record = state.jobs.get_mut(&id).expect("executing job exists");
+                record.outcomes_json = Some(outcomes_json);
+                record.state = JobState::Committed;
+                state.executing -= 1;
+            }
+            self.stamp(id, &key, Stage::Committed, Some(&worker));
+            {
+                let mut governor = self.governor.lock().expect("governor poisoned");
+                governor.release(&tenant);
+                if let Some(m) = &self.metrics {
+                    let now = governor.snapshot(&tenant).map_or(0, |s| s.in_flight);
+                    m.in_flight(&tenant, now);
+                }
+            }
+            if let Some(m) = &self.metrics {
+                m.plan_completed();
+            }
+            let (job_str, executed_str, hits_str) = (
+                id.to_string(),
+                report.executed.to_string(),
+                report.cache_hits.to_string(),
+            );
+            horus_obs::log::info(
+                "service",
+                "plan committed",
+                &[
+                    ("job", job_str.as_str()),
+                    ("tenant", tenant.as_str()),
+                    ("executed", executed_str.as_str()),
+                    ("cache_hits", hits_str.as_str()),
+                ],
+            );
+            self.idle.notify_all();
+        }
+    }
+}
+
+impl Router for ExperimentService {
+    fn route(&self, req: &HttpRequest) -> Option<HttpResponse> {
+        let path = req.path.split('?').next().unwrap_or("");
+        match (req.method.as_str(), path) {
+            ("POST", "/v1/jobs") => Some(self.submit(req)),
+            ("POST", "/v1/shutdown") => {
+                self.begin_drain();
+                Some(HttpResponse::json("200 OK", "{\"draining\":true}\n"))
+            }
+            ("GET", _) if path.starts_with("/v1/jobs/") => {
+                let rest = &path["/v1/jobs/".len()..];
+                let (id_part, want_result) = match rest.strip_suffix("/result") {
+                    Some(id_part) => (id_part, true),
+                    None => (rest, false),
+                };
+                match id_part.parse::<u64>() {
+                    Ok(id) if want_result => Some(self.job_result(id)),
+                    Ok(id) => Some(self.job_status(id)),
+                    Err(_) => Some(HttpResponse::json(
+                        "400 Bad Request",
+                        api::ErrorBody::json("job ids are integers"),
+                    )),
+                }
+            }
+            ("GET", _) if path.starts_with("/v1/tenants/") => {
+                Some(self.tenant_status(&path["/v1/tenants/".len()..]))
+            }
+            _ if path.starts_with("/v1/") => Some(HttpResponse::json(
+                "404 Not Found",
+                api::ErrorBody::json("unknown /v1 endpoint"),
+            )),
+            _ => None,
+        }
+    }
+}

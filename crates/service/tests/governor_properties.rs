@@ -1,0 +1,189 @@
+//! Property tests pinning the admission governor's exactness and the
+//! priority queue's fairness.
+//!
+//! The CI soak lane relies on two of these being *laws*, not
+//! tendencies: a fixed budget (refill 0) sheds exactly the overflow
+//! regardless of timing, and refill never mints tokens retroactively.
+//! The queue property pins the anti-starvation valve: bulk work waits
+//! at most [`BULK_STARVATION_LIMIT`] pops while interactive traffic
+//! streams past.
+
+use horus_service::queue::BULK_STARVATION_LIMIT;
+use horus_service::{Admission, Class, Governor, PlanQueue, ServiceConfig, TenantPolicy};
+use proptest::prelude::*;
+
+fn config(burst: u64, refill: f64, max_in_flight: usize) -> ServiceConfig {
+    ServiceConfig {
+        tenants: vec![TenantPolicy {
+            name: "t".to_string(),
+            burst,
+            refill_per_sec: refill,
+            max_in_flight,
+        }],
+        ..ServiceConfig::default()
+    }
+}
+
+/// Non-decreasing submission timestamps (seconds), built from
+/// millisecond deltas (integer strategies keep the offline proptest
+/// stub happy).
+fn arb_times() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0u64..500, 1..200).prop_map(|deltas| {
+        let mut now = 0.0;
+        deltas
+            .iter()
+            .map(|ms| {
+                now += *ms as f64 / 1000.0;
+                now
+            })
+            .collect()
+    })
+}
+
+/// Refill rates in tenths of a token per second.
+fn arb_refill(lo_tenths: u64, hi_tenths: u64) -> impl Strategy<Value = f64> {
+    (lo_tenths..hi_tenths).prop_map(|tenths| tenths as f64 / 10.0)
+}
+
+proptest! {
+    /// With refill 0 the budget is a fixed pool: however the
+    /// submissions are spaced, exactly `burst` admit and the rest shed.
+    /// This is the law the soak lane's shed assertion stands on.
+    #[test]
+    fn fixed_budget_sheds_exactly_the_overflow(
+        burst in 1u64..50,
+        times in arb_times(),
+    ) {
+        let mut gov = Governor::new(&config(burst, 0.0, 0));
+        let admitted = times
+            .iter()
+            .filter(|now| gov.admit("t", **now) == Admission::Admitted)
+            .count() as u64;
+        let submitted = times.len() as u64;
+        prop_assert_eq!(admitted, submitted.min(burst));
+        let snap = gov.snapshot("t").expect("tenant exists");
+        prop_assert_eq!(snap.submitted, submitted);
+        prop_assert_eq!(snap.admitted, admitted);
+        prop_assert_eq!(snap.shed, submitted - admitted);
+    }
+
+    /// Refill is bounded by real elapsed time: over any schedule the
+    /// admitted count never exceeds the bucket's theoretical maximum
+    /// `burst + elapsed * refill` (plus one for fencepost), and
+    /// shuffled timestamps (time running backwards) never mint tokens
+    /// beyond what the sorted schedule allows.
+    #[test]
+    fn refill_never_exceeds_elapsed_time(
+        burst in 1u64..20,
+        refill in arb_refill(1, 200),
+        times in arb_times(),
+    ) {
+        let mut gov = Governor::new(&config(burst, refill, 0));
+        let admitted = times
+            .iter()
+            .filter(|now| gov.admit("t", **now) == Admission::Admitted)
+            .count() as f64;
+        let elapsed = times.last().copied().unwrap_or(0.0);
+        let ceiling = burst as f64 + elapsed * refill + 1.0;
+        prop_assert!(
+            admitted <= ceiling,
+            "admitted {admitted} > ceiling {ceiling} (burst {burst}, refill {refill}, elapsed {elapsed})"
+        );
+    }
+
+    /// Jittered (non-monotonic) clocks never mint extra tokens: the
+    /// bucket credits elapsed time against the running *maximum*
+    /// timestamp, so however the schedule is shuffled, the admitted
+    /// count stays under the budget the latest timestamp implies.
+    #[test]
+    fn backwards_time_mints_nothing(
+        burst in 1u64..20,
+        refill in arb_refill(1, 200),
+        mut times in arb_times(),
+        swaps in prop::collection::vec((0usize..200, 0usize..200), 0..40),
+    ) {
+        let span = times.iter().copied().fold(0.0f64, f64::max);
+        for (a, b) in swaps {
+            let (a, b) = (a % times.len(), b % times.len());
+            times.swap(a, b);
+        }
+        let mut gov = Governor::new(&config(burst, refill, 0));
+        let admitted = times
+            .iter()
+            .filter(|now| gov.admit("t", **now) == Admission::Admitted)
+            .count() as f64;
+        let ceiling = burst as f64 + span * refill + 1.0;
+        prop_assert!(
+            admitted <= ceiling,
+            "shuffled schedule admitted {admitted} > ceiling {ceiling}"
+        );
+    }
+
+    /// Every shed verdict carries a Retry-After inside the bounded
+    /// window, and quota sheds are flagged as such.
+    #[test]
+    fn shed_verdicts_are_bounded_and_classified(
+        burst in 0u64..10,
+        refill in arb_refill(0, 50),
+        max_in_flight in 0usize..5,
+        times in arb_times(),
+    ) {
+        let mut gov = Governor::new(&config(burst, refill, max_in_flight));
+        for now in &times {
+            if let Admission::Shed { retry_after_secs, over_quota } = gov.admit("t", *now) {
+                prop_assert!((1..=60).contains(&retry_after_secs));
+                if over_quota {
+                    prop_assert!(max_in_flight > 0);
+                }
+            }
+        }
+    }
+
+    /// Under any arrival order, a bulk plan is never passed over by
+    /// more than BULK_STARVATION_LIMIT consecutive interactive pops.
+    #[test]
+    fn bulk_is_never_starved_past_the_valve(
+        arrivals in prop::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let mut q = PlanQueue::new();
+        let mut bulk_queued = 0usize;
+        let mut consecutive_interactive = 0usize;
+        // Interleave: push each arrival, then pop every other step, then
+        // drain — counting consecutive interactive pops while bulk waits.
+        let mut check_pop = |q: &mut PlanQueue, bulk_queued: &mut usize,
+                             consecutive: &mut usize| -> Result<(), TestCaseError> {
+            if let Some(popped) = q.pop() {
+                // Bulk ids are odd (see below).
+                if popped % 2 == 1 {
+                    *bulk_queued -= 1;
+                    *consecutive = 0;
+                } else if *bulk_queued > 0 {
+                    *consecutive += 1;
+                    prop_assert!(
+                        *consecutive <= BULK_STARVATION_LIMIT,
+                        "{consecutive} consecutive interactive pops with bulk waiting"
+                    );
+                } else {
+                    *consecutive = 0;
+                }
+            }
+            Ok(())
+        };
+        for (step, interactive) in arrivals.iter().enumerate() {
+            let id = step as u64;
+            if *interactive {
+                q.push(id * 2, Class::Interactive);
+            } else {
+                q.push(id * 2 + 1, Class::Bulk);
+                bulk_queued += 1;
+            }
+            if step % 2 == 0 {
+                check_pop(&mut q, &mut bulk_queued, &mut consecutive_interactive)?;
+            }
+        }
+        while !q.is_empty() {
+            check_pop(&mut q, &mut bulk_queued, &mut consecutive_interactive)?;
+        }
+        prop_assert_eq!(bulk_queued, 0, "every bulk plan must eventually pop");
+    }
+}

@@ -1,0 +1,284 @@
+//! End-to-end tests: the full service stack — obs HTTP server, router,
+//! governor, runners, harness pool, on-disk result cache — driven over
+//! real sockets.
+//!
+//! Pins the three behaviors the CI soak lane depends on: concurrent
+//! identical submissions execute once (dedup by content key), statuses
+//! progress `queued → … → committed` with stage stamps, and a
+//! restarted service with the same `--cache-dir` serves identical
+//! bytes without re-executing anything.
+
+use horus_harness::{Harness, HarnessOptions, JobOutcome, ProgressMode};
+use horus_obs::http::{http_get, http_post};
+use horus_obs::{MetricsServer, Registry, Router, SpanBook};
+use horus_service::load::canonical_outcomes;
+use horus_service::{
+    ExperimentService, JobStatus, ServiceConfig, SubmitRequest, SubmitResponse, TenantPolicy,
+    TENANT_HEADER,
+};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir =
+            std::env::temp_dir().join(format!("horus-service-e2e-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// One running stack: server socket + service handle.
+struct Stack {
+    server: MetricsServer,
+    service: Arc<ExperimentService>,
+    harness: Arc<Harness>,
+    addr: SocketAddr,
+}
+
+fn start_stack(cache_dir: Option<&Path>, runners: usize) -> Stack {
+    let registry = Registry::shared();
+    let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).expect("bind server");
+    let harness = Arc::new(Harness::new(HarnessOptions {
+        jobs: Some(2),
+        cache_dir: cache_dir.map(Path::to_path_buf),
+        no_cache: cache_dir.is_none(),
+        progress: ProgressMode::Silent,
+        metrics: Some(Arc::clone(&registry)),
+        backend: None,
+        spans: None,
+    }));
+    let config = ServiceConfig {
+        tenants: vec![TenantPolicy {
+            name: "team-a".to_string(),
+            burst: 1000,
+            refill_per_sec: 0.0,
+            max_in_flight: 0,
+        }],
+        runners,
+        ..ServiceConfig::default()
+    };
+    let service = ExperimentService::start(
+        &config,
+        Arc::clone(&harness),
+        Some(registry),
+        Some(SpanBook::shared()),
+    );
+    server.set_router(Arc::clone(&service) as Arc<dyn Router>);
+    let addr = server.local_addr();
+    Stack {
+        server,
+        service,
+        harness,
+        addr,
+    }
+}
+
+impl Stack {
+    fn shutdown(self) -> Arc<Harness> {
+        let (status, _) = http_post(self.addr, "/v1/shutdown", &[], "").expect("shutdown");
+        assert!(status.contains("200"), "shutdown answered {status}");
+        self.service.wait_until_drained();
+        self.service.join();
+        self.server.shutdown();
+        self.harness
+    }
+}
+
+fn submit(addr: SocketAddr, specs: Vec<horus_harness::JobSpec>) -> SubmitResponse {
+    let body = serde_json::to_string(&SubmitRequest::plan(specs)).expect("serialize");
+    let (status, resp) =
+        http_post(addr, "/v1/jobs", &[(TENANT_HEADER, "team-a")], &body).expect("submit");
+    assert!(status.contains("202"), "submit answered {status}: {resp}");
+    serde_json::from_str(&resp).expect("submit response parses")
+}
+
+fn wait_result(addr: SocketAddr, job: u64) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) =
+            http_get(addr, &format!("/v1/jobs/{job}/result")).expect("result probe");
+        if status.contains("200") {
+            return body;
+        }
+        assert!(
+            status.contains("202"),
+            "result probe answered {status}: {body}"
+        );
+        assert!(Instant::now() < deadline, "job {job} never committed");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn concurrent_identical_submissions_execute_once() {
+    let stack = start_stack(None, 2);
+    let specs = horus_service::plans::quick_plan(0);
+
+    // Eight clients race the same plan in.
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let addr = stack.addr;
+        let specs = specs.clone();
+        handles.push(std::thread::spawn(move || submit(addr, specs)));
+    }
+    let responses: Vec<SubmitResponse> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client"))
+        .collect();
+
+    let originals: Vec<&SubmitResponse> = responses.iter().filter(|r| !r.deduped).collect();
+    assert_eq!(originals.len(), 1, "exactly one submission executes");
+    let canonical = originals[0].job;
+    for resp in &responses {
+        assert_eq!(resp.key, originals[0].key, "same plan, same content key");
+        assert_eq!(resp.tenant, "team-a");
+    }
+
+    // Every alias serves the canonical result, byte-for-byte.
+    let expected = wait_result(stack.addr, canonical);
+    for resp in &responses {
+        assert_eq!(wait_result(stack.addr, resp.job), expected);
+    }
+
+    // The canonical record committed with all five stage stamps.
+    let (status, body) = http_get(stack.addr, &format!("/v1/jobs/{canonical}")).expect("status");
+    assert!(status.contains("200"));
+    let parsed: JobStatus = serde_json::from_str(&body).expect("status parses");
+    assert_eq!(parsed.state, "committed");
+    assert_eq!(parsed.done, parsed.total);
+    let stages = parsed.stages.expect("span stamps present");
+    for (name, stamp) in [
+        ("queued", stages.queued),
+        ("leased", stages.leased),
+        ("executing", stages.executing),
+        ("pushed", stages.pushed),
+        ("committed", stages.committed),
+    ] {
+        assert!(stamp.is_some(), "stage {name} never stamped");
+    }
+
+    // The governor charged one token per submission but only one
+    // runner slot; everything released after commit.
+    let (status, body) = http_get(stack.addr, "/v1/tenants/team-a").expect("tenant");
+    assert!(status.contains("200"));
+    let snap: horus_service::TenantSnapshot = serde_json::from_str(&body).expect("snapshot");
+    assert_eq!(snap.submitted, 8);
+    assert_eq!(snap.admitted, 8);
+    assert_eq!(snap.shed, 0);
+    assert_eq!(
+        snap.in_flight, 0,
+        "aliases release immediately, commit releases the rest"
+    );
+
+    stack.shutdown();
+}
+
+#[test]
+fn statuses_progress_and_unknown_ids_404() {
+    let stack = start_stack(None, 1);
+
+    // Before anything is submitted: 404s and tenant zeros.
+    let (status, _) = http_get(stack.addr, "/v1/jobs/99").expect("status probe");
+    assert!(status.contains("404"));
+    let (status, _) = http_get(stack.addr, "/v1/jobs/99/result").expect("result probe");
+    assert!(status.contains("404"));
+    let (status, _) = http_get(stack.addr, "/v1/tenants/nobody").expect("tenant probe");
+    assert!(status.contains("404"));
+    let (status, _) = http_get(stack.addr, "/v1/jobs/not-a-number").expect("bad id");
+    assert!(status.contains("400"));
+    let (status, _) = http_get(stack.addr, "/v1/nope").expect("unknown v1");
+    assert!(status.contains("404"));
+
+    // A submitted plan answers its status immediately (queued or
+    // later), then progresses to committed.
+    let resp = submit(stack.addr, horus_service::plans::quick_plan(1));
+    let (status, body) = http_get(stack.addr, &format!("/v1/jobs/{}", resp.job)).expect("status");
+    assert!(status.contains("200"));
+    let parsed: JobStatus = serde_json::from_str(&body).expect("status parses");
+    assert!(
+        ["queued", "executing", "committed"].contains(&parsed.state.as_str()),
+        "unexpected state {}",
+        parsed.state
+    );
+    wait_result(stack.addr, resp.job);
+    let (_, body) = http_get(stack.addr, &format!("/v1/jobs/{}", resp.job)).expect("status");
+    let parsed: JobStatus = serde_json::from_str(&body).expect("status parses");
+    assert_eq!(parsed.state, "committed");
+
+    // Built-in obs routes still answer on the same listener, and the
+    // service metric families are exposed.
+    let (status, metrics) = http_get(stack.addr, "/metrics").expect("metrics");
+    assert!(status.contains("200"));
+    assert!(
+        metrics.contains("horus_service_jobs_submitted_total"),
+        "service families missing from exposition"
+    );
+    stack.shutdown();
+}
+
+#[test]
+fn restart_with_same_cache_dir_serves_without_reexecution() {
+    let cache = TempDir::new("restart");
+    let plan = horus_service::plans::quick_plan(2);
+
+    // First life: execute and commit.
+    let stack = start_stack(Some(cache.path()), 1);
+    let first = submit(stack.addr, plan.clone());
+    assert!(!first.deduped);
+    let first_body = wait_result(stack.addr, first.job);
+    stack.shutdown();
+
+    // Second life, same cache directory: the plan is new to the
+    // service (no dedup) but every spec hits the result cache.
+    let stack = start_stack(Some(cache.path()), 1);
+    let second = submit(stack.addr, plan);
+    assert!(!second.deduped, "dedup is per-process; the cache is not");
+    let second_body = wait_result(stack.addr, second.job);
+    assert_eq!(
+        canonical_outcomes(&first_body).expect("first parses"),
+        canonical_outcomes(&second_body).expect("second parses"),
+        "restart must serve identical results"
+    );
+    let outcomes: Vec<JobOutcome> = serde_json::from_str(&second_body).expect("outcomes");
+    assert!(
+        outcomes
+            .iter()
+            .all(|o| matches!(o, JobOutcome::Completed { cached: true, .. })),
+        "second life must not re-execute: {second_body}"
+    );
+    let harness = stack.shutdown();
+    drop(harness);
+}
+
+#[test]
+fn draining_service_sheds_new_submissions() {
+    let stack = start_stack(None, 1);
+    let resp = submit(stack.addr, horus_service::plans::quick_plan(3));
+    wait_result(stack.addr, resp.job);
+    let (status, _) = http_post(stack.addr, "/v1/shutdown", &[], "").expect("shutdown");
+    assert!(status.contains("200"));
+    let body = serde_json::to_string(&SubmitRequest::plan(horus_service::plans::quick_plan(4)))
+        .expect("serialize");
+    let (status, _) =
+        http_post(stack.addr, "/v1/jobs", &[(TENANT_HEADER, "team-a")], &body).expect("post");
+    assert!(status.contains("503"), "draining service answered {status}");
+    stack.service.wait_until_drained();
+    stack.service.join();
+    stack.server.shutdown();
+}

@@ -7,6 +7,7 @@
 //! horus-cli attack  --kind splice [--scheme horus-slm]
 //! horus-cli sweep   --llc 8,16,32 [--jobs N] [--cache-dir DIR] [--no-cache] [--progress] [--json] [--fleet ADDR]
 //! horus-cli crash-sweep [--quick] [--points N] [--model torn|stale|garbled] [--jobs N] [--out FILE] [--json]
+//! horus-cli serve [--addr 127.0.0.1:9900] [--tenant-config FILE] [--jobs N] [--cache-dir DIR] [--fleet ADDR]
 //! horus-cli fleet-coordinator [--addr 127.0.0.1:9470] [--lease-secs S] [--for-plans N] [--resume]
 //! horus-cli fleet-worker --connect HOST:PORT [--jobs N] [--name NAME]
 //! horus-cli fleet-trace [--connect HOST:PORT] [--out FILE]
@@ -41,6 +42,7 @@ use horus::energy::{Battery, DrainEnergyModel};
 use horus::fleet::{run_worker, Coordinator, CoordinatorOptions, FleetBackend, WorkerOptions};
 use horus::harness::{Harness, HarnessOptions, JobSpec, ProgressMode, SweepBackend};
 use horus::obs::{log, span, MetricsServer, ObsOptions, ObsSession, Registry, SpanBook};
+use horus::service::ServiceConfig;
 use horus::workload::{fill_hierarchy, parse_trace, FillPattern, TraceOp};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -513,6 +515,81 @@ fn cmd_serve_metrics(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `serve`: the multi-tenant experiment API. Mounts the
+/// `horus-service` router in front of the obs HTTP server, so one
+/// listener answers `/v1/jobs`, `/metrics`, `/healthz`, and `/readyz`.
+/// Runs until `POST /v1/shutdown`, then drains the queue, joins the
+/// runners, and writes the obs summary.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:9900");
+    // The API rides the obs HTTP server, so a serve session always has
+    // a metrics endpoint and always writes a summary artifact.
+    let opts = ObsOptions {
+        metrics_addr: Some(addr.to_owned()),
+        dashboard: false,
+        summary_out: Some(
+            args.get("obs-out")
+                .map_or_else(|| std::path::PathBuf::from("obs-summary.json"), Into::into),
+        ),
+        span_out: args.get("span-out").map(std::path::PathBuf::from),
+    };
+    let session = ObsSession::start(&opts)?;
+    // Not ready until the runners exist and the router is mounted.
+    session.set_ready(false);
+    let config = match args.get("tenant-config") {
+        Some(path) => ServiceConfig::load(std::path::Path::new(path))
+            .map_err(|e| format!("--tenant-config {path}: {e}"))?,
+        None => ServiceConfig::default(),
+    };
+    let jobs = args
+        .get("jobs")
+        .map(|v| v.parse::<usize>().map_err(|e| format!("--jobs: {e}")))
+        .transpose()?;
+    let backend = match args.get("fleet") {
+        Some(fleet_addr) => {
+            let backend = FleetBackend::new(fleet_addr);
+            let workers = backend
+                .wait_ready(Duration::from_secs(30))
+                .map_err(|e| format!("--fleet {fleet_addr}: {e}"))?;
+            eprintln!("serve: fleet backend at {fleet_addr} ready ({workers} worker(s))");
+            Some(Arc::new(backend) as Arc<dyn SweepBackend>)
+        }
+        None => None,
+    };
+    let harness = Arc::new(Harness::new(HarnessOptions {
+        jobs,
+        cache_dir: args.get("cache-dir").map(std::path::PathBuf::from),
+        no_cache: args.has("no-cache"),
+        progress: ProgressMode::Silent,
+        metrics: Some(session.registry()),
+        backend,
+        // The service stamps plan-level spans itself; giving the
+        // harness the book too would collide on plan ids.
+        spans: None,
+    }));
+    let spans = session.span_book().unwrap_or_else(SpanBook::shared);
+    let service = horus::service::ExperimentService::start(
+        &config,
+        Arc::clone(&harness),
+        Some(session.registry()),
+        Some(spans),
+    );
+    session.install_router(Arc::clone(&service) as Arc<dyn horus::obs::Router>);
+    session.set_ready(true);
+    let listen = session
+        .metrics_addr()
+        .map_or_else(|| addr.to_owned(), |a| a.to_string());
+    eprintln!(
+        "serve: experiment API on http://{listen}/v1/jobs ({} runner(s), tenants: {})",
+        config.effective_runners(),
+        config.tenant_names().join(", ")
+    );
+    service.wait_until_drained();
+    service.join();
+    eprintln!("serve: drained; shutting down");
+    finish_obs(Some(session), harness.as_ref())
+}
+
 /// `fleet-coordinator`: serve a durable job queue plus the authoritative
 /// result cache to fleet workers. Runs until killed, or — with
 /// `--for-plans N` — drains after merging N submitted plans (how the CI
@@ -793,7 +870,7 @@ fn cmd_trace_drain(args: &Args) -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: horus-cli <config|drain|recover|attack|sweep|crash-sweep|fleet-coordinator|fleet-worker|serve-metrics|trace> [options]
+    "usage: horus-cli <config|drain|recover|attack|sweep|crash-sweep|serve|fleet-coordinator|fleet-worker|serve-metrics|trace> [options]
   config                          print the Table I configuration as JSON
   drain   --scheme S [--llc-mb N] [--stride B] [--json]
   recover --scheme S [--llc-mb N] [--write-through] [--json]
@@ -804,6 +881,10 @@ const USAGE: &str =
   crash-sweep [--quick] [--points N] [--model torn|stale|garbled] [--jobs N]
           [--out FILE] [--json]   interrupt each drain at sampled cycles, recover,
           classify; exits nonzero on any Horus silent corruption
+  serve   [--addr 127.0.0.1:9900] [--tenant-config FILE] [--jobs N] [--cache-dir DIR]
+          [--no-cache] [--fleet HOST:PORT]   multi-tenant experiment API daemon:
+          POST /v1/jobs with admission control, dedup by content key, /metrics
+          on the same listener; POST /v1/shutdown drains and exits
   fleet-coordinator [--addr 127.0.0.1:9470] [--lease-secs S] [--cache-dir DIR]
           [--no-cache] [--for-plans N] [--resume]   serve the fleet job queue and
           authoritative result cache; merge is plan-ordered and exactly-once
@@ -861,6 +942,7 @@ fn main() -> ExitCode {
             Ok(code) => return code,
             Err(e) => Err(e),
         },
+        "serve" => cmd_serve(&args),
         "fleet-coordinator" => cmd_fleet_coordinator(&args),
         "fleet-worker" => cmd_fleet_worker(&args),
         "fleet-trace" => cmd_fleet_trace(&args),

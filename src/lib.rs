@@ -22,6 +22,7 @@
 //! | [`harness`] | `horus-harness` | parallel, cache-aware experiment orchestration |
 //! | [`fleet`] | `horus-fleet` | distributed coordinator/worker sweep execution with deterministic merge |
 //! | [`mod@bench`] | `horus-bench` | the paper's figures/tables, the crash-point sweep, the bench gate |
+//! | [`service`] | `horus-service` | multi-tenant experiment API: admission control, dedup, load generation |
 //!
 //! # Quickstart
 //!
@@ -62,6 +63,7 @@ pub use horus_harness as harness;
 pub use horus_metadata as metadata;
 pub use horus_nvm as nvm;
 pub use horus_obs as obs;
+pub use horus_service as service;
 pub use horus_sim as sim;
 pub use horus_workload as workload;
 
