@@ -104,12 +104,21 @@ impl FleetBackend {
 
 impl SweepBackend for FleetBackend {
     fn run_specs(&self, specs: &[JobSpec]) -> Result<Vec<JobOutcome>, String> {
+        self.run_specs_traced(specs, None)
+    }
+
+    fn run_specs_traced(
+        &self,
+        specs: &[JobSpec],
+        trace: Option<&str>,
+    ) -> Result<Vec<JobOutcome>, String> {
         if specs.is_empty() {
             return Ok(Vec::new());
         }
         let mut conn = Connection::connect(&self.addr)?;
         conn.send(&Request::Submit {
             specs: specs.to_vec(),
+            trace: trace.filter(|t| !t.is_empty()).map(str::to_string),
         })?;
         let plan = match conn.recv::<Response>()? {
             Some(Response::Submitted { plan, jobs, .. }) => {

@@ -38,7 +38,7 @@ use horus_harness::{JobSpec, ResultCache};
 use horus_obs::profile::JobProfile;
 use horus_obs::span::Stage;
 use horus_obs::{log, names, Registry, SpanBook};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -64,6 +64,13 @@ pub struct CoordinatorOptions {
     pub spans: Option<Arc<SpanBook>>,
     /// Re-enqueue journaled plans left over from a previous run.
     pub resume: bool,
+    /// Stall watchdog threshold, as a multiple of [`Self::lease`]: a job
+    /// leased (and kept alive by renewals) for longer than
+    /// `stall_multiple * lease` without a push is logged once — with its
+    /// trace id when the plan carries one — and counted in
+    /// `horus_fleet_stalled_jobs_total`. Values below 1.0 are clamped up
+    /// so the watchdog never fires before a lease could even expire.
+    pub stall_multiple: f64,
 }
 
 impl Default for CoordinatorOptions {
@@ -76,6 +83,7 @@ impl Default for CoordinatorOptions {
             metrics: None,
             spans: None,
             resume: false,
+            stall_multiple: 3.0,
         }
     }
 }
@@ -97,6 +105,7 @@ impl FleetMetrics {
         m.leases(0);
         m.requeues(0);
         m.plans(0);
+        m.stalled(0);
         for stage in Stage::ALL {
             let _ = m.stage(stage);
         }
@@ -128,6 +137,16 @@ impl FleetMetrics {
             .counter(
                 names::FLEET_REQUEUES,
                 "Expired leases returned to the fleet queue.",
+                &[],
+            )
+            .add(n);
+    }
+
+    fn stalled(&self, n: u64) {
+        self.registry
+            .counter(
+                names::FLEET_STALLED_JOBS,
+                "Jobs leased but not pushed within the stall-watchdog window.",
                 &[],
             )
             .add(n);
@@ -181,6 +200,13 @@ struct FleetState {
     next_worker: u64,
     /// Display names by worker id, for span tracks and logs.
     worker_names: HashMap<u64, String>,
+    /// Correlation trace id per open plan, from traced submits; entries
+    /// retire with their plan.
+    plan_traces: HashMap<u64, String>,
+    /// First-lease instant per in-flight job, for the stall watchdog.
+    first_leased: HashMap<u64, Instant>,
+    /// Jobs the watchdog has already warned about (warn once per job).
+    stall_warned: HashSet<u64>,
     draining: bool,
     profiles: Vec<JobProfile>,
 }
@@ -192,6 +218,8 @@ struct Shared {
     metrics: Option<FleetMetrics>,
     spans: Option<Arc<SpanBook>>,
     lease: Duration,
+    /// Leased-not-pushed age at which the stall watchdog fires.
+    stall_after: Duration,
     shutdown: AtomicBool,
 }
 
@@ -228,6 +256,9 @@ impl Coordinator {
             workers: 0,
             next_worker: 0,
             worker_names: HashMap::new(),
+            plan_traces: HashMap::new(),
+            first_leased: HashMap::new(),
+            stall_warned: HashSet::new(),
             draining: false,
             profiles: Vec::new(),
         };
@@ -243,6 +274,7 @@ impl Coordinator {
                 .map(|r| FleetMetrics::new(Arc::clone(r))),
             spans: options.spans.as_ref().map(Arc::clone),
             lease: options.lease,
+            stall_after: options.lease.mul_f64(options.stall_multiple.max(1.0)),
             shutdown: AtomicBool::new(false),
         });
 
@@ -271,14 +303,24 @@ impl Coordinator {
             .spawn(move || {
                 while !reaper_shared.shutdown.load(Ordering::SeqCst) {
                     std::thread::sleep(tick);
-                    let expired = {
+                    let now = Instant::now();
+                    let (expired, stalled) = {
                         let mut st = reaper_shared.state.lock().expect("fleet state poisoned");
-                        st.queue.expire(Instant::now())
+                        let expired = st.queue.expire(now);
+                        (expired, find_stalled_jobs(&mut st, now, &reaper_shared))
                     };
                     if expired > 0 {
                         if let Some(m) = &reaper_shared.metrics {
                             m.leases(-(expired as i64));
                             m.requeues(expired as u64);
+                        }
+                    }
+                    for stall in &stalled {
+                        stall.warn();
+                    }
+                    if !stalled.is_empty() {
+                        if let Some(m) = &reaper_shared.metrics {
+                            m.stalled(stalled.len() as u64);
                         }
                     }
                 }
@@ -433,9 +475,13 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             }
             Request::Lease { worker, max } => {
                 let mut st = shared.state.lock().expect("fleet state poisoned");
-                let leased = st
-                    .queue
-                    .lease(worker, max.max(1), Instant::now(), shared.lease);
+                let lease_now = Instant::now();
+                let leased = st.queue.lease(worker, max.max(1), lease_now, shared.lease);
+                for (job, _) in &leased {
+                    // First grant only: a requeued job keeps its original
+                    // instant so the stall watchdog measures total age.
+                    st.first_leased.entry(*job).or_insert(lease_now);
+                }
                 // Only send a worker home when nothing is pending *or*
                 // leased: a job backing off after a requeue, or held by
                 // a worker that may yet die, still needs hands around.
@@ -460,17 +506,27 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                                 .iter()
                                 .map(|(job, _)| {
                                     let (plan, key, _) = st.queue.job_info(*job)?;
+                                    let trace = st.plan_traces.get(&plan).cloned();
                                     // Fallback queued stamp for jobs that
                                     // predate the book (resumed plans):
                                     // first-stamp-wins keeps the real one.
-                                    book.stamp(plan, *job, key, Stage::Queued, now, None);
-                                    book.stamp(
+                                    book.stamp_traced(
+                                        plan,
+                                        *job,
+                                        key,
+                                        Stage::Queued,
+                                        now,
+                                        None,
+                                        trace.as_deref(),
+                                    );
+                                    book.stamp_traced(
                                         plan,
                                         *job,
                                         key,
                                         Stage::Leased,
                                         now,
                                         name.as_deref(),
+                                        trace.as_deref(),
                                     );
                                     let span = book.get(plan, *job)?;
                                     Some(ProtoSpanContext {
@@ -478,6 +534,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                                         queued_ms: span.stamps[Stage::Queued.index()]
                                             .unwrap_or(now),
                                         leased_ms: now,
+                                        trace,
                                     })
                                 })
                                 .collect()
@@ -510,28 +567,58 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     .job_info(job)
                     .map(|(plan, key, done)| (plan, key.to_string(), done));
                 let worker_name = st.worker_names.get(&worker).cloned();
+                let plan_trace = info
+                    .as_ref()
+                    .and_then(|(plan, ..)| st.plan_traces.get(plan).cloned());
                 let completed = st.queue.commit(job, outcome, cache.as_ref());
                 if let Some(p) = profile {
-                    st.profiles.push(JobProfile::from(p));
+                    let mut profile = JobProfile::from(p);
+                    // A span-less worker cannot know the trace; the
+                    // coordinator still owns the plan→trace map, so the
+                    // profile joins regardless.
+                    if profile.trace.is_none() {
+                        profile.trace = plan_trace.clone();
+                    }
+                    st.profiles.push(profile);
                 }
+                st.first_leased.remove(&job);
+                st.stall_warned.remove(&job);
                 for plan in &completed {
                     retire_journal(&st, *plan);
+                    st.plan_traces.remove(plan);
                 }
                 drop(st);
                 if let (Some(book), Some((plan, key, false))) = (&shared.spans, &info) {
                     let now = book.now_ms();
                     let name = worker_name.as_deref();
+                    let trace = plan_trace.as_deref();
                     if let Some(stamps) = &span {
-                        book.stamp(*plan, job, key, Stage::Executing, stamps.executing_ms, name);
-                        book.stamp(*plan, job, key, Stage::Pushed, stamps.pushed_ms, name);
+                        book.stamp_traced(
+                            *plan,
+                            job,
+                            key,
+                            Stage::Executing,
+                            stamps.executing_ms,
+                            name,
+                            trace,
+                        );
+                        book.stamp_traced(
+                            *plan,
+                            job,
+                            key,
+                            Stage::Pushed,
+                            stamps.pushed_ms,
+                            name,
+                            trace,
+                        );
                     } else {
                         // A span-less worker still yields a connected
                         // timeline: both worker stages collapse onto
                         // the commit instant.
-                        book.stamp(*plan, job, key, Stage::Executing, now, name);
-                        book.stamp(*plan, job, key, Stage::Pushed, now, name);
+                        book.stamp_traced(*plan, job, key, Stage::Executing, now, name, trace);
+                        book.stamp_traced(*plan, job, key, Stage::Pushed, now, name, trace);
                     }
-                    book.stamp(*plan, job, key, Stage::Committed, now, name);
+                    book.stamp_traced(*plan, job, key, Stage::Committed, now, name, trace);
                     if let Some(m) = &shared.metrics {
                         if let Some(secs) = book.get(*plan, job).and_then(|s| s.stage_seconds()) {
                             m.stage_seconds(secs);
@@ -550,7 +637,8 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 }
                 Response::Ack
             }
-            Request::Submit { specs } => {
+            Request::Submit { specs, trace } => {
+                let trace = trace.filter(|t| !t.is_empty());
                 let mut st = shared.state.lock().expect("fleet state poisoned");
                 let cache = st.cache.clone();
                 let sub = st.queue.submit(specs.clone(), cache.as_ref());
@@ -561,6 +649,9 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     }
                 } else {
                     write_journal(&st, sub.plan, &specs);
+                    if let Some(trace) = &trace {
+                        st.plan_traces.insert(sub.plan, trace.clone());
+                    }
                 }
                 let plan_jobs = shared
                     .spans
@@ -571,19 +662,27 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 if let Some(book) = &shared.spans {
                     let now = book.now_ms();
                     for (job, key) in &plan_jobs {
-                        book.stamp(sub.plan, *job, key, Stage::Queued, now, None);
+                        book.stamp_traced(
+                            sub.plan,
+                            *job,
+                            key,
+                            Stage::Queued,
+                            now,
+                            None,
+                            trace.as_deref(),
+                        );
                     }
                 }
                 shared.planwake.notify_all();
-                log::info(
-                    "fleet",
-                    "plan submitted",
-                    &[
-                        ("plan", &sub.plan.to_string()),
-                        ("jobs", &sub.jobs.to_string()),
-                        ("cached", &sub.cached.to_string()),
-                    ],
-                );
+                let plan_s = sub.plan.to_string();
+                let jobs_s = sub.jobs.to_string();
+                let cached_s = sub.cached.to_string();
+                let mut fields: Vec<(&str, &str)> =
+                    vec![("plan", &plan_s), ("jobs", &jobs_s), ("cached", &cached_s)];
+                if let Some(trace) = &trace {
+                    fields.push(("trace_id", trace));
+                }
+                log::info("fleet", "plan submitted", &fields);
                 Response::Submitted {
                     plan: sub.plan,
                     jobs: sub.jobs,
@@ -644,6 +743,66 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             m.workers(-1);
         }
     }
+}
+
+/// One stall-watchdog hit, captured under the state lock and logged
+/// after it is released.
+struct StalledJob {
+    job: u64,
+    plan: u64,
+    key: String,
+    age_s: f64,
+    trace: Option<String>,
+}
+
+impl StalledJob {
+    fn warn(&self) {
+        let job = self.job.to_string();
+        let plan = self.plan.to_string();
+        let age = format!("{:.1}", self.age_s);
+        let mut fields: Vec<(&str, &str)> = vec![
+            ("job", &job),
+            ("plan", &plan),
+            ("key", &self.key),
+            ("age_s", &age),
+        ];
+        if let Some(trace) = &self.trace {
+            fields.push(("trace_id", trace));
+        }
+        log::warn("fleet", "job leased but not pushed", &fields);
+    }
+}
+
+/// Scans the first-lease ledger for jobs older than the stall window
+/// that have not pushed yet, marking each so it is warned exactly once.
+/// Entries whose job has meanwhile committed are dropped silently.
+fn find_stalled_jobs(st: &mut FleetState, now: Instant, shared: &Shared) -> Vec<StalledJob> {
+    let mut stalled = Vec::new();
+    let mut done = Vec::new();
+    for (&job, &leased_at) in &st.first_leased {
+        let age = now.saturating_duration_since(leased_at);
+        if age < shared.stall_after || st.stall_warned.contains(&job) {
+            continue;
+        }
+        match st.queue.job_info(job) {
+            Some((plan, key, false)) => stalled.push(StalledJob {
+                job,
+                plan,
+                key: key.to_string(),
+                age_s: age.as_secs_f64(),
+                trace: st.plan_traces.get(&plan).cloned(),
+            }),
+            _ => done.push(job),
+        }
+    }
+    for job in done {
+        st.first_leased.remove(&job);
+        st.stall_warned.remove(&job);
+    }
+    for s in &stalled {
+        st.stall_warned.insert(s.job);
+    }
+    stalled
 }
 
 /// Journals an open plan's specs so a restarted coordinator can

@@ -55,6 +55,11 @@ pub struct ProtoSpanContext {
     pub queued_ms: f64,
     /// Coordinator-clock ms when this lease was granted.
     pub leased_ms: f64,
+    /// Correlation trace id minted at submission, when the plan was
+    /// traced. Absent on the wire otherwise (the PR-7 pattern), so
+    /// untraced runs emit byte-identical frames.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace: Option<String>,
 }
 
 /// Worker-side stage timestamps reported with a [`Request::Push`],
@@ -91,6 +96,11 @@ pub struct ProtoSpan {
     pub pushed_ms: Option<f64>,
     /// Coordinator-clock ms at commit.
     pub committed_ms: Option<f64>,
+    /// Correlation trace id, when the span was traced (absent on the
+    /// wire otherwise; mirrors [`JobSpan::trace`]'s empty-string
+    /// untraced convention).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace: Option<String>,
 }
 
 impl From<&JobSpan> for ProtoSpan {
@@ -105,6 +115,11 @@ impl From<&JobSpan> for ProtoSpan {
             executing_ms: s.stamps[Stage::Executing.index()],
             pushed_ms: s.stamps[Stage::Pushed.index()],
             committed_ms: s.stamps[Stage::Committed.index()],
+            trace: if s.trace.is_empty() {
+                None
+            } else {
+                Some(s.trace.clone())
+            },
         }
     }
 }
@@ -122,6 +137,7 @@ impl From<ProtoSpan> for JobSpan {
             job: s.job,
             key: s.key,
             worker: s.worker,
+            trace: s.trace.unwrap_or_default(),
             stamps,
         }
     }
@@ -135,6 +151,10 @@ pub struct ProtoProfile {
     pub label: String,
     /// Drain scheme, when the job was scheme-shaped.
     pub scheme: Option<String>,
+    /// Correlation trace id, when the job was traced (absent on the
+    /// wire otherwise).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace: Option<String>,
     /// Whether the job was answered from a cache.
     pub cached: bool,
     /// Wall-clock seconds the job took on the worker.
@@ -152,6 +172,7 @@ impl From<JobProfile> for ProtoProfile {
         ProtoProfile {
             label: p.label,
             scheme: p.scheme,
+            trace: p.trace,
             cached: p.cached,
             wall_seconds: p.wall_seconds,
             cpu_seconds: p.cpu_seconds,
@@ -166,6 +187,7 @@ impl From<ProtoProfile> for JobProfile {
         JobProfile {
             label: p.label,
             scheme: p.scheme,
+            trace: p.trace,
             cached: p.cached,
             wall_seconds: p.wall_seconds,
             cpu_seconds: p.cpu_seconds,
@@ -220,6 +242,11 @@ pub enum Request {
     Submit {
         /// The plan's specs, in submission (= merge) order.
         specs: Vec<JobSpec>,
+        /// Correlation trace id for the whole plan, when the submitter
+        /// is traced. Absent on the wire otherwise, so untraced
+        /// submissions emit the pre-insight frames byte for byte.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        trace: Option<String>,
     },
     /// Blocks until the plan completes, then returns its outcomes.
     WaitPlan {
@@ -449,6 +476,7 @@ mod tests {
             profile: Some(ProtoProfile {
                 label: spec().key(),
                 scheme: Some("Horus-SLM".into()),
+                trace: Some("9f8a6c2d01b4e37f".into()),
                 cached: false,
                 wall_seconds: 0.25,
                 cpu_seconds: Some(0.2),
@@ -471,6 +499,11 @@ mod tests {
         });
         roundtrip(&Request::Submit {
             specs: vec![spec(), spec()],
+            trace: None,
+        });
+        roundtrip(&Request::Submit {
+            specs: vec![spec()],
+            trace: Some("9f8a6c2d01b4e37f".into()),
         });
         roundtrip(&Request::WaitPlan { plan: 2 });
         roundtrip(&Request::Status);
@@ -506,6 +539,7 @@ mod tests {
                     plan: 1,
                     queued_ms: 3.0,
                     leased_ms: 8.25,
+                    trace: Some("9f8a6c2d01b4e37f".into()),
                 }),
             }],
         });
@@ -543,6 +577,7 @@ mod tests {
                 executing_ms: None,
                 pushed_ms: None,
                 committed_ms: None,
+                trace: Some("9f8a6c2d01b4e37f".into()),
             }],
         });
         roundtrip(&Response::Error {
@@ -555,12 +590,14 @@ mod tests {
         let s = spec();
         let line = encode(&Request::Submit {
             specs: vec![s.clone()],
+            trace: None,
         })
         .expect("encode");
-        let Request::Submit { specs } = decode(&line).expect("decode") else {
+        let Request::Submit { specs, trace } = decode(&line).expect("decode") else {
             panic!("wrong variant");
         };
         assert_eq!(specs[0].key(), s.key());
+        assert_eq!(trace, None);
     }
 
     #[test]
@@ -620,6 +657,42 @@ mod tests {
         .expect("encode");
         assert!(!push.contains("span"), "{push}");
 
+        // Same rule for the trace fields this PR added: an untraced
+        // submission, lease context, profile, and span emit no `trace`
+        // key anywhere.
+        let submit = encode(&Request::Submit {
+            specs: vec![spec()],
+            trace: None,
+        })
+        .expect("encode");
+        assert!(!submit.contains("trace"), "{submit}");
+        let lease = encode(&Response::Jobs {
+            leases: vec![LeasedJob {
+                job: 9,
+                spec: spec(),
+                span: Some(ProtoSpanContext {
+                    plan: 1,
+                    queued_ms: 3.0,
+                    leased_ms: 8.25,
+                    trace: None,
+                }),
+            }],
+        })
+        .expect("encode");
+        assert!(!lease.contains("trace"), "{lease}");
+        let profile = encode(&ProtoProfile {
+            label: "abc".into(),
+            scheme: None,
+            trace: None,
+            cached: false,
+            wall_seconds: 0.1,
+            cpu_seconds: None,
+            allocations: None,
+            allocated_bytes: None,
+        })
+        .expect("encode");
+        assert!(!profile.contains("trace"), "{profile}");
+
         // And frames *without* those keys (from an old peer) decode.
         let old_welcome = "{\"Welcome\":{\"worker\":1,\"lease_ms\":30000,\"protocol\":1}}";
         let back: Response = decode(old_welcome).expect("old welcome decodes");
@@ -632,6 +705,18 @@ mod tests {
                 now_ms: None,
             }
         );
+        let old_submit = format!(
+            "{{\"Submit\":{{\"specs\":{}}}}}",
+            serde_json::to_string(&vec![spec()]).expect("specs")
+        );
+        let back: Request = decode(&old_submit).expect("old submit decodes");
+        assert_eq!(
+            back,
+            Request::Submit {
+                specs: vec![spec()],
+                trace: None,
+            }
+        );
     }
 
     #[test]
@@ -641,14 +726,18 @@ mod tests {
             job: 41,
             key: "deadbeef".into(),
             worker: "w-b".into(),
+            trace: "9f8a6c2d01b4e37f".into(),
             stamps: [Some(1.0), Some(2.0), Some(3.5), None, None],
         };
         let proto = ProtoSpan::from(&span);
         assert_eq!(proto.executing_ms, Some(3.5));
         assert_eq!(proto.pushed_ms, None);
+        assert_eq!(proto.trace.as_deref(), Some("9f8a6c2d01b4e37f"));
         let back = JobSpan::from(proto);
         assert_eq!(back, span);
         span.stamps = [None; horus_obs::span::STAGES];
+        span.trace = String::new();
+        assert_eq!(ProtoSpan::from(&span).trace, None, "empty trace is absent");
         assert_eq!(JobSpan::from(ProtoSpan::from(&span)), span);
     }
 
@@ -657,6 +746,7 @@ mod tests {
         let p = JobProfile {
             label: "abc".into(),
             scheme: None,
+            trace: Some("9f8a6c2d01b4e37f".into()),
             cached: true,
             wall_seconds: 1.5,
             cpu_seconds: None,
@@ -666,6 +756,7 @@ mod tests {
         let proto = ProtoProfile::from(p.clone());
         let back = JobProfile::from(proto);
         assert_eq!(back.label, p.label);
+        assert_eq!(back.trace, p.trace);
         assert_eq!(back.cached, p.cached);
         assert_eq!(back.allocations, p.allocations);
     }

@@ -146,6 +146,7 @@ fn worker_loop(
     });
     let batch = harness.jobs();
 
+    let worker_s = worker.to_string();
     let mut summary = WorkerSummary {
         worker,
         executed: 0,
@@ -157,6 +158,25 @@ fn worker_loop(
             Some(Response::Jobs { leases }) => {
                 summary.batches += 1;
                 let specs: Vec<JobSpec> = leases.iter().map(|l| l.spec.clone()).collect();
+                {
+                    // One line per batch, naming every distinct trace it
+                    // serves, so fleet logs join back to the requests.
+                    let mut traces: Vec<&str> = leases
+                        .iter()
+                        .filter_map(|l| l.span.as_ref().and_then(|s| s.trace.as_deref()))
+                        .collect();
+                    traces.sort_unstable();
+                    traces.dedup();
+                    let jobs = leases.len().to_string();
+                    let mut fields: Vec<(&str, &str)> =
+                        vec![("worker", &worker_s), ("jobs", &jobs)];
+                    let joined;
+                    if !traces.is_empty() {
+                        joined = traces.join(",");
+                        fields.push(("trace_id", &joined));
+                    }
+                    log::info("fleet-worker", "batch leased", &fields);
+                }
                 let batch_start_ms = local_ms(clock);
                 let report = harness.run(&specs);
                 let mut profiles: HashMap<String, ProtoProfile> = harness
@@ -166,6 +186,7 @@ fn worker_loop(
                     .collect();
                 for (lease, outcome) in leases.iter().zip(report.outcomes) {
                     summary.executed += 1;
+                    let lease_trace = lease.span.as_ref().and_then(|s| s.trace.as_deref());
                     // Stage stamps ride along only when the lease was
                     // traced and the Welcome carried the coordinator
                     // clock; both are already coordinator-relative.
@@ -176,11 +197,29 @@ fn worker_loop(
                         }),
                         _ => None,
                     };
+                    // The lease's trace is authoritative: it replaces
+                    // whatever the worker-local harness minted for its
+                    // own batch (a local-only id no other signal knows).
+                    let profile = profiles.remove(&lease.spec.key()).map(|mut p| {
+                        p.trace = lease_trace.map(str::to_string);
+                        p
+                    });
+                    if let Some(trace) = lease_trace {
+                        log::debug(
+                            "fleet-worker",
+                            "job pushed",
+                            &[
+                                ("worker", &worker_s),
+                                ("job", &lease.job.to_string()),
+                                ("trace_id", trace),
+                            ],
+                        );
+                    }
                     conn.send(&Request::Push {
                         worker,
                         job: lease.job,
                         outcome,
-                        profile: profiles.remove(&lease.spec.key()),
+                        profile,
                         span,
                     })?;
                     match conn.recv::<Response>()? {

@@ -171,6 +171,7 @@ fn killed_worker_leases_requeue_and_finish_elsewhere() {
     submit
         .send(&Request::Submit {
             specs: specs.clone(),
+            trace: None,
         })
         .expect("submit");
     let plan = match submit.recv::<Response>().expect("submitted") {
@@ -280,7 +281,7 @@ fn traced_fleet_stamps_every_stage_on_one_timeline() {
         .collect();
 
     let specs = sweep_specs();
-    let report = fleet_harness(&addr).run(&specs);
+    let report = fleet_harness(&addr).run_traced(&specs, Some("feedfacecafef00d"));
     assert_eq!(report.executed, specs.len());
     assert_eq!(
         as_json(&report.outcomes),
@@ -301,6 +302,10 @@ fn traced_fleet_stamps_every_stage_on_one_timeline() {
             span.worker
         );
         assert!(!span.key.is_empty(), "content key recorded");
+        assert_eq!(
+            span.trace, "feedfacecafef00d",
+            "the submit trace follows every job across the wire"
+        );
         let stamps: Vec<f64> = span.stamps.iter().map(|s| s.expect("complete")).collect();
         // Coordinator-side stamps share one clock and must be strictly
         // ordered; the worker-side pair is clock-normalized, so allow a
@@ -355,6 +360,10 @@ fn traced_fleet_stamps_every_stage_on_one_timeline() {
     // five stage names, in the shape Perfetto opens directly.
     let trace = book.chrome_trace_json();
     assert!(trace.starts_with("{\"traceEvents\":["), "{trace}");
+    assert!(
+        trace.contains("\"trace\":\"feedfacecafef00d\""),
+        "chrome trace events carry the trace id"
+    );
     for stage in Stage::ALL {
         assert!(
             trace.contains(&format!("\"name\":\"{}\"", stage.as_str())),
@@ -373,6 +382,14 @@ fn traced_fleet_stamps_every_stage_on_one_timeline() {
     for w in workers {
         w.join().expect("worker thread").expect("clean drain exit");
     }
+    let profiles = coordinator.take_job_profiles();
+    assert_eq!(profiles.len(), specs.len());
+    assert!(
+        profiles
+            .iter()
+            .all(|p| p.trace.as_deref() == Some("feedfacecafef00d")),
+        "pushed profiles carry the submit trace"
+    );
     coordinator.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -398,6 +415,7 @@ fn resumed_coordinator_replays_unfinished_plans() {
         submit
             .send(&Request::Submit {
                 specs: specs.clone(),
+                trace: None,
             })
             .expect("submit");
         match submit.recv::<Response>().expect("submitted") {

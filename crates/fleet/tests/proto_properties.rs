@@ -58,14 +58,22 @@ fn arb_ms() -> impl Strategy<Value = f64> {
     any::<f64>().prop_map(|unit| unit * 1.0e9)
 }
 
+/// An optional correlation trace id (16 lowercase hex chars when
+/// present, as [`horus_obs::span::mint_trace_id`] emits them).
+fn arb_trace() -> impl Strategy<Value = Option<String>> {
+    (any::<bool>(), any::<u64>())
+        .prop_map(|(present, bits)| present.then(|| format!("{bits:016x}")))
+}
+
 /// An optional trace context as the coordinator mints it on a lease.
 fn arb_context() -> impl Strategy<Value = Option<ProtoSpanContext>> {
-    (any::<bool>(), any::<u64>(), arb_ms(), arb_ms()).prop_map(
-        |(present, plan, queued_ms, leased_ms)| {
+    (any::<bool>(), any::<u64>(), arb_ms(), arb_ms(), arb_trace()).prop_map(
+        |(present, plan, queued_ms, leased_ms, trace)| {
             present.then_some(ProtoSpanContext {
                 plan,
                 queued_ms,
                 leased_ms,
+                trace,
             })
         },
     )
@@ -75,15 +83,23 @@ proptest! {
     /// Specs cross the wire losslessly in the direction a submitter
     /// uses them: inside a `Submit` request.
     #[test]
-    fn any_spec_roundtrips_through_submit(specs in prop::collection::vec(arb_spec(), 0..8)) {
+    fn any_spec_roundtrips_through_submit(
+        specs in prop::collection::vec(arb_spec(), 0..8),
+        trace in arb_trace(),
+    ) {
         let keys: Vec<String> = specs.iter().map(JobSpec::key).collect();
-        let frame = encode(&Request::Submit { specs: specs.clone() }).expect("encode");
+        let frame = encode(&Request::Submit { specs: specs.clone(), trace: trace.clone() })
+            .expect("encode");
         prop_assert_eq!(frame.matches('\n').count(), 1, "exactly one frame");
+        if trace.is_none() {
+            prop_assert!(!frame.contains("\"trace\""), "absent trace adds no key: {}", frame);
+        }
         let back: Request = decode(&frame).expect("decode");
-        let Request::Submit { specs: rx } = back else {
+        let Request::Submit { specs: rx, trace: rx_trace } = back else {
             return Err(TestCaseError::fail("wrong variant"));
         };
         prop_assert_eq!(&rx, &specs);
+        prop_assert_eq!(&rx_trace, &trace, "trace survives the wire");
         let rx_keys: Vec<String> = rx.iter().map(JobSpec::key).collect();
         prop_assert_eq!(rx_keys, keys, "content keys survive the wire");
     }
@@ -173,7 +189,7 @@ proptest! {
             leases: vec![LeasedJob {
                 job: 7,
                 spec,
-                span: Some(ProtoSpanContext { plan: 1, queued_ms: 2.0, leased_ms: 3.0 }),
+                span: Some(ProtoSpanContext { plan: 1, queued_ms: 2.0, leased_ms: 3.0, trace: None }),
             }],
         };
         let frame = encode(&msg).expect("encode");

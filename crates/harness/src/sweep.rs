@@ -39,6 +39,20 @@ pub trait SweepBackend: Send + Sync {
     /// per job so reports keep their shape.
     fn run_specs(&self, specs: &[JobSpec]) -> Result<Vec<JobOutcome>, String>;
 
+    /// [`SweepBackend::run_specs`] with a correlation trace id the
+    /// backend may attach to its own telemetry (spans, logs, wire
+    /// frames). The default implementation drops the trace and
+    /// delegates, so backends that predate correlation keep working
+    /// unchanged — and an absent trace must never change outcomes.
+    fn run_specs_traced(
+        &self,
+        specs: &[JobSpec],
+        trace: Option<&str>,
+    ) -> Result<Vec<JobOutcome>, String> {
+        let _ = trace;
+        self.run_specs(specs)
+    }
+
     /// Human-readable destination, for logs.
     fn describe(&self) -> String {
         "remote backend".to_owned()
@@ -206,7 +220,19 @@ impl Harness {
     /// are byte-identical either way.
     #[must_use]
     pub fn run(&self, specs: &[JobSpec]) -> SweepReport {
-        self.run_counted(specs, None)
+        self.run_counted(specs, None, None)
+    }
+
+    /// [`Harness::run`] under a caller-supplied correlation trace id:
+    /// spans, job profiles, and the remote wire submission all carry
+    /// it, so `horus-cli insight` can join this sweep's signals back to
+    /// the request (or batch invocation) that caused it. With telemetry
+    /// attached (spans or metrics) but no trace given, the harness
+    /// mints one per sweep so batch runs self-correlate; with no
+    /// telemetry attached the sweep stays completely untraced.
+    #[must_use]
+    pub fn run_traced(&self, specs: &[JobSpec], trace: Option<&str>) -> SweepReport {
+        self.run_counted(specs, None, trace)
     }
 
     /// Starts a sweep on a background thread and returns a handle for
@@ -217,6 +243,19 @@ impl Harness {
     /// run of the same specs.
     #[must_use]
     pub fn submit(self: &Arc<Self>, specs: Vec<JobSpec>) -> Arc<Submission> {
+        self.submit_traced(specs, None)
+    }
+
+    /// [`Harness::submit`] under a caller-supplied correlation trace id
+    /// — the async twin of [`Harness::run_traced`]. `horus-service`
+    /// uses this so the trace minted at admission follows the plan into
+    /// spans, profiles, and (with a fleet backend) the wire protocol.
+    #[must_use]
+    pub fn submit_traced(
+        self: &Arc<Self>,
+        specs: Vec<JobSpec>,
+        trace: Option<String>,
+    ) -> Arc<Submission> {
         let submission = Arc::new(Submission {
             total: specs.len(),
             done: AtomicUsize::new(0),
@@ -228,7 +267,7 @@ impl Harness {
         std::thread::Builder::new()
             .name("horus-submission".to_string())
             .spawn(move || {
-                let report = harness.run_counted(&specs, Some(&handle.done));
+                let report = harness.run_counted(&specs, Some(&handle.done), trace.as_deref());
                 let mut slot = handle.report.lock().expect("submission poisoned");
                 *slot = Some(report);
                 handle.finished.notify_all();
@@ -240,11 +279,29 @@ impl Harness {
     /// [`Harness::run`] with an optional live progress counter that the
     /// pool bumps per finished job (and pins to `specs.len()` once the
     /// report exists, whichever path executed).
-    fn run_counted(&self, specs: &[JobSpec], live_done: Option<&AtomicUsize>) -> SweepReport {
+    fn run_counted(
+        &self,
+        specs: &[JobSpec],
+        live_done: Option<&AtomicUsize>,
+        trace: Option<&str>,
+    ) -> SweepReport {
+        // Auto-mint a per-sweep trace when telemetry is attached but the
+        // caller supplied none, so batch invocations self-correlate.
+        // Without telemetry there is nothing to correlate — stay
+        // untraced so the observe-only contract holds trivially.
+        let minted;
+        let trace = match trace {
+            Some(t) if !t.is_empty() => Some(t),
+            _ if self.spans.is_some() || self.metrics.is_some() => {
+                minted = horus_obs::span::mint_trace_id();
+                Some(minted.as_str())
+            }
+            _ => None,
+        };
         let report = if let Some(backend) = self.backend.clone() {
-            self.run_remote(&*backend, specs)
+            self.run_remote(&*backend, specs, trace)
         } else {
-            self.run_local(specs, live_done)
+            self.run_local(specs, live_done, trace)
         };
         if let Some(counter) = live_done {
             counter.store(specs.len(), Ordering::Relaxed);
@@ -252,7 +309,12 @@ impl Harness {
         report
     }
 
-    fn run_local(&self, specs: &[JobSpec], live_done: Option<&AtomicUsize>) -> SweepReport {
+    fn run_local(
+        &self,
+        specs: &[JobSpec],
+        live_done: Option<&AtomicUsize>,
+        trace: Option<&str>,
+    ) -> SweepReport {
         let progress = Progress::start(self.progress);
         let mut start = ProgressEvent::new("sweep_start", specs.len());
         start.workers = Some(self.jobs);
@@ -279,13 +341,14 @@ impl Harness {
         let span_plan = self.span_plan_seq.fetch_add(1, Ordering::Relaxed);
         if let Some(book) = &self.spans {
             for (i, spec) in specs.iter().enumerate() {
-                book.stamp(
+                book.stamp_traced(
                     span_plan,
                     i as u64,
                     &spec.key(),
                     Stage::Queued,
                     book.now_ms(),
                     None,
+                    trace,
                 );
             }
         }
@@ -295,26 +358,29 @@ impl Harness {
             if let Some(book) = &self.spans {
                 let track = format!("local-{worker}");
                 let now = book.now_ms();
-                book.stamp(
+                book.stamp_traced(
                     span_plan,
                     i as u64,
                     &spec.key(),
                     Stage::Leased,
                     now,
                     Some(&track),
+                    trace,
                 );
-                book.stamp(
+                book.stamp_traced(
                     span_plan,
                     i as u64,
                     &spec.key(),
                     Stage::Executing,
                     book.now_ms(),
                     Some(&track),
+                    trace,
                 );
             }
             let profiler = metrics.as_ref().map(|m| {
                 m.started.inc();
                 JobProfiler::start(spec.key(), Some(spec.scheme.name().to_owned()))
+                    .with_trace(trace)
             });
             let (result, hit) = match self.cache.as_ref().and_then(|c| c.load(spec)) {
                 Some(result) => (result, true),
@@ -388,14 +454,23 @@ impl Harness {
                 // two stamps land on the same instant, so the fleet's
                 // push/commit gap reads as zero for local sweeps.
                 let now = book.now_ms();
-                book.stamp(span_plan, i as u64, &spec.key(), Stage::Pushed, now, None);
-                book.stamp(
+                book.stamp_traced(
+                    span_plan,
+                    i as u64,
+                    &spec.key(),
+                    Stage::Pushed,
+                    now,
+                    None,
+                    trace,
+                );
+                book.stamp_traced(
                     span_plan,
                     i as u64,
                     &spec.key(),
                     Stage::Committed,
                     now,
                     None,
+                    trace,
                 );
             }
             (result, hit)
@@ -460,7 +535,12 @@ impl Harness {
     /// events are synthesized after the results arrive (the remote
     /// executor owns live progress); a backend failure becomes one
     /// `Panicked` outcome per job so the report keeps its shape.
-    fn run_remote(&self, backend: &dyn SweepBackend, specs: &[JobSpec]) -> SweepReport {
+    fn run_remote(
+        &self,
+        backend: &dyn SweepBackend,
+        specs: &[JobSpec],
+        trace: Option<&str>,
+    ) -> SweepReport {
         let progress = Progress::start(self.progress);
         progress.emit(ProgressEvent::new("sweep_start", specs.len()));
 
@@ -472,7 +552,7 @@ impl Harness {
             m.sweep_begin(specs.len(), 0);
         }
 
-        let outcomes = match backend.run_specs(specs) {
+        let outcomes = match backend.run_specs_traced(specs, trace) {
             Ok(outcomes) if outcomes.len() == specs.len() => outcomes,
             Ok(outcomes) => {
                 let message = format!(
@@ -913,6 +993,89 @@ mod tests {
         let _ = harness.run(&specs[..1]);
         assert_eq!(book.spans().len(), specs.len() + 1);
         assert!(book.spans().iter().any(|s| s.plan == 1));
+    }
+
+    #[test]
+    fn traced_sweeps_tag_spans_and_profiles() {
+        use horus_obs::Registry;
+        let book = SpanBook::shared();
+        let registry = Registry::shared();
+        let harness = Harness::new(HarnessOptions {
+            jobs: Some(2),
+            no_cache: true,
+            progress: ProgressMode::Silent,
+            spans: Some(Arc::clone(&book)),
+            metrics: Some(Arc::clone(&registry)),
+            ..HarnessOptions::default()
+        });
+        let specs = specs();
+        let _ = harness.run_traced(&specs, Some("9f8a6c2d01b4e37f"));
+        let spans = book.spans();
+        assert_eq!(spans.len(), specs.len());
+        assert!(
+            spans.iter().all(|s| s.trace == "9f8a6c2d01b4e37f"),
+            "every span carries the caller's trace"
+        );
+        let profiles = harness.take_job_profiles();
+        assert_eq!(profiles.len(), specs.len());
+        assert!(profiles
+            .iter()
+            .all(|p| p.trace.as_deref() == Some("9f8a6c2d01b4e37f")));
+
+        // With telemetry attached but no caller trace, the harness
+        // mints one per sweep — and each sweep gets its own.
+        let _ = harness.run(&specs[..1]);
+        let _ = harness.run(&specs[..1]);
+        let minted: Vec<String> = harness
+            .take_job_profiles()
+            .into_iter()
+            .map(|p| p.trace.expect("auto-minted"))
+            .collect();
+        assert_eq!(minted.len(), 2);
+        assert_ne!(minted[0], minted[1], "one trace per sweep");
+        assert!(minted.iter().all(|t| t.len() == 16));
+    }
+
+    /// A backend that records the trace it was handed.
+    struct TraceRecordingBackend(Mutex<Vec<Option<String>>>);
+
+    impl SweepBackend for TraceRecordingBackend {
+        fn run_specs(&self, specs: &[JobSpec]) -> Result<Vec<JobOutcome>, String> {
+            self.run_specs_traced(specs, None)
+        }
+
+        fn run_specs_traced(
+            &self,
+            specs: &[JobSpec],
+            trace: Option<&str>,
+        ) -> Result<Vec<JobOutcome>, String> {
+            self.0
+                .lock()
+                .expect("poisoned")
+                .push(trace.map(str::to_string));
+            SerialBackend.run_specs(specs)
+        }
+    }
+
+    #[test]
+    fn remote_sweeps_hand_the_trace_to_the_backend() {
+        let specs = specs();
+        let backend = Arc::new(TraceRecordingBackend(Mutex::new(Vec::new())));
+        let harness = Harness::new(HarnessOptions {
+            no_cache: true,
+            backend: Some(Arc::clone(&backend) as Arc<dyn SweepBackend>),
+            ..HarnessOptions::default()
+        });
+        let _ = harness.run_traced(&specs[..1], Some("abcd1234abcd1234"));
+        // Untraced run with no telemetry: the backend sees no trace, so
+        // its wire frames stay byte-identical to the pre-trace shape.
+        let _ = harness.run(&specs[..1]);
+        let seen = backend.0.lock().expect("poisoned").clone();
+        assert_eq!(
+            seen,
+            vec![Some("abcd1234abcd1234".to_string()), None],
+            "explicit trace forwarded; untraced run stays untraced"
+        );
     }
 
     #[test]

@@ -59,9 +59,11 @@ struct Family {
 
 /// A deliberately strict hand-rolled parser for the subset of the
 /// Prometheus text format the renderer emits: `# HELP`/`# TYPE` headers
-/// followed by that family's samples. Panics (failing the test) on
-/// anything malformed — unknown line shapes, samples without a family,
-/// unparsable values.
+/// followed by that family's samples, buckets optionally carrying an
+/// OpenMetrics exemplar suffix (` # {trace_id="..."} value`). Panics
+/// (failing the test) on anything malformed — unknown line shapes,
+/// samples without a family, unparsable values, exemplars anywhere but
+/// on a `_bucket` series or with a non-hex trace id.
 fn parse_exposition(text: &str) -> BTreeMap<String, Family> {
     let mut families: BTreeMap<String, Family> = BTreeMap::new();
     for line in text.lines() {
@@ -80,7 +82,34 @@ fn parse_exposition(text: &str) -> BTreeMap<String, Family> {
             families.entry(name.to_owned()).or_default().kind = kind.to_owned();
         } else {
             assert!(!line.starts_with('#'), "unknown comment line: {line}");
-            let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+            // Strip and validate an exemplar suffix before the
+            // series/value split (its payload also ends in a number).
+            let series_and_value = match line.split_once(" # ") {
+                Some((head, exemplar)) => {
+                    let rest = exemplar
+                        .strip_prefix("{trace_id=\"")
+                        .unwrap_or_else(|| panic!("malformed exemplar in {line:?}"));
+                    let (trace, value) = rest
+                        .split_once("\"} ")
+                        .unwrap_or_else(|| panic!("unterminated exemplar in {line:?}"));
+                    assert!(
+                        !trace.is_empty() && trace.chars().all(|c| c.is_ascii_hexdigit()),
+                        "non-hex exemplar trace id in {line:?}"
+                    );
+                    let _: f64 = value.parse().unwrap_or_else(|e| {
+                        panic!("unparsable exemplar value in {line:?}: {e}");
+                    });
+                    assert!(
+                        head.contains("_bucket"),
+                        "exemplar on a non-bucket series: {line}"
+                    );
+                    head
+                }
+                None => line,
+            };
+            let (series, value) = series_and_value
+                .rsplit_once(' ')
+                .expect("sample has a value");
             let value: f64 = value.parse().unwrap_or_else(|e| {
                 panic!("unparsable sample value in {line:?}: {e}");
             });
@@ -250,6 +279,90 @@ fn span_collection_never_perturbs_deterministic_output() {
     // The traced run did collect a full timeline on the side.
     assert_eq!(book.len(), specs.len());
     assert!(book.spans().iter().all(horus_obs::JobSpan::is_complete));
+}
+
+/// The exemplar on/off golden: a run with no traced observations
+/// renders byte-for-byte in the pre-exemplar format (no ` # {`
+/// anywhere), and the first traced observation grows exactly one
+/// bucket suffix that the strict parser strips back out — so exemplar
+/// support cannot perturb any existing scrape consumer or recorded
+/// fixture.
+#[test]
+fn exemplars_are_strictly_additive_to_the_exposition() {
+    let registry = instrumented_sweep(2);
+    let plain = expo::render(&registry.snapshot());
+    assert!(!plain.contains(" # {"), "untraced scrape is exemplar-free");
+    let untraced = parse_exposition(&plain);
+
+    let hist = registry.time_histogram(
+        horus_obs::names::HTTP_REQUEST_SECONDS,
+        "Wall-clock request latency by route and status.",
+        &[("route", "/v1/jobs"), ("status", "202")],
+    );
+    hist.observe_seconds_traced(0.003, Some("feedfacecafef00d"));
+    let traced_text = expo::render(&registry.snapshot());
+    assert!(
+        traced_text.contains("# {trace_id=\"feedfacecafef00d\"}"),
+        "{traced_text}"
+    );
+    let traced = parse_exposition(&traced_text);
+    // Every pre-existing family parses to identical values: the
+    // exemplar is exposition decoration, never data.
+    for (name, family) in &untraced {
+        assert_eq!(&traced[name], family, "family {name} perturbed");
+    }
+    assert!(traced.contains_key(horus_obs::names::HTTP_REQUEST_SECONDS));
+}
+
+mod exemplar_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A microsecond-scale latency with an optional 16-hex trace id.
+    fn arb_obs() -> impl Strategy<Value = (u64, Option<String>)> {
+        (1u64..10_000_000, any::<bool>(), any::<u64>())
+            .prop_map(|(us, traced, bits)| (us, traced.then(|| format!("{bits:016x}"))))
+    }
+
+    proptest! {
+        /// Any mix of traced and untraced observations renders an
+        /// exposition the strict parser accepts; the count line tallies
+        /// every observation; exemplar suffixes appear iff something
+        /// was traced; and the deterministic golden subset never
+        /// carries an exemplar (trace ids are run-local by nature, and
+        /// the RED families that hold them are classified
+        /// non-deterministic by name).
+        #[test]
+        fn any_traced_mix_renders_a_parsable_exposition(
+            obs in prop::collection::vec(arb_obs(), 0..40),
+        ) {
+            let reg = Registry::new();
+            let hist = reg.time_histogram(
+                "horus_http_prop_seconds",
+                "Proptest latency.",
+                &[("route", "/v1/jobs")],
+            );
+            let traced = obs.iter().filter(|(_, t)| t.is_some()).count();
+            for (us, trace) in &obs {
+                #[allow(clippy::cast_precision_loss)]
+                hist.observe_seconds_traced(*us as f64 / 1e6, trace.as_deref());
+            }
+            let text = expo::render(&reg.snapshot());
+            let families = parse_exposition(&text);
+            let fam = &families["horus_http_prop_seconds"];
+            let count = fam
+                .samples
+                .iter()
+                .find(|(s, _)| s.starts_with("horus_http_prop_seconds_count"))
+                .expect("count line")
+                .1;
+            prop_assert_eq!(count as usize, obs.len());
+            prop_assert_eq!(text.contains(" # {trace_id="), traced > 0);
+            let subset = expo::render(&expo::deterministic_subset(&reg.snapshot()));
+            prop_assert!(!subset.contains("horus_http_prop_seconds"));
+            prop_assert!(!subset.contains(" # {"));
+        }
+    }
 }
 
 #[test]

@@ -25,13 +25,27 @@
 //! * starts with `horus_host_`, `horus_fleet_` (fleet scheduling —
 //!   who leased what, when, and how often leases expired — is
 //!   legitimately run-dependent even though the merged results are not),
-//!   or `horus_service_` (admission depends on client arrival order and
-//!   wall-clock bucket refill, even though the results served are not), or
+//!   `horus_service_` (admission depends on client arrival order and
+//!   wall-clock bucket refill, even though the results served are not),
+//!   or `horus_http_` (request traffic is inherently run-dependent), or
 //! * contains `_seconds`, `_bytes`, or `worker`, or
 //! * ends with `_per_second`.
 //!
 //! [`is_deterministic_metric`] implements the rule and
 //! [`deterministic_subset`] applies it to a snapshot.
+//!
+//! ## Exemplars
+//!
+//! Histogram buckets whose snapshot carries a trace-id exemplar render
+//! with the OpenMetrics exemplar suffix:
+//!
+//! ```text
+//! horus_http_request_seconds_bucket{route="/v1/jobs",le="0.004096"} 3 # {trace_id="9f8a6c2d01b4e37f"} 0.0031
+//! ```
+//!
+//! Exemplars only exist on buckets that saw a *traced* observation
+//! ([`crate::TimeHistogram::observe_seconds_traced`]), so untraced
+//! registries render byte-identically to the pre-exemplar format.
 
 use crate::registry::{HistogramSnapshot, Sample, SampleValue, Snapshot};
 
@@ -43,6 +57,7 @@ pub fn is_deterministic_metric(name: &str) -> bool {
     !(name.starts_with("horus_host_")
         || name.starts_with("horus_fleet_")
         || name.starts_with("horus_service_")
+        || name.starts_with("horus_http_")
         || name.contains("_seconds")
         || name.contains("_bytes")
         || name.contains("worker")
@@ -97,17 +112,51 @@ pub fn render(snap: &Snapshot) -> String {
 fn render_sample(out: &mut String, sample: &Sample) {
     match &sample.value {
         SampleValue::Uint(v) => {
-            render_series(out, &sample.name, &sample.labels, None, &v.to_string());
+            render_series(
+                out,
+                &sample.name,
+                &sample.labels,
+                None,
+                &v.to_string(),
+                None,
+            );
         }
         SampleValue::Int(v) => {
-            render_series(out, &sample.name, &sample.labels, None, &v.to_string());
+            render_series(
+                out,
+                &sample.name,
+                &sample.labels,
+                None,
+                &v.to_string(),
+                None,
+            );
         }
         SampleValue::Float(v) => {
-            render_series(out, &sample.name, &sample.labels, None, &fmt_float(*v));
+            render_series(
+                out,
+                &sample.name,
+                &sample.labels,
+                None,
+                &fmt_float(*v),
+                None,
+            );
         }
         SampleValue::Histogram(h) => render_histogram(out, sample, h),
         SampleValue::TimeHistogram(h) => render_time_histogram(out, sample, h),
     }
+}
+
+/// The exemplar attached to bucket `i` of `h`, with its raw value
+/// formatted by `fmt` — `(trace_id, formatted value)`.
+fn bucket_exemplar(
+    h: &HistogramSnapshot,
+    i: usize,
+    fmt: impl Fn(u64) -> String,
+) -> Option<(String, String)> {
+    h.exemplars
+        .get(i)
+        .and_then(Option::as_ref)
+        .map(|(trace, raw)| (trace.clone(), fmt(*raw)))
 }
 
 fn render_histogram(out: &mut String, sample: &Sample, h: &HistogramSnapshot) {
@@ -126,6 +175,7 @@ fn render_histogram(out: &mut String, sample: &Sample, h: &HistogramSnapshot) {
             &sample.labels,
             Some(("le", &le)),
             &cumulative.to_string(),
+            bucket_exemplar(h, i, |raw| raw.to_string()),
         );
     }
     render_series(
@@ -134,6 +184,7 @@ fn render_histogram(out: &mut String, sample: &Sample, h: &HistogramSnapshot) {
         &sample.labels,
         None,
         &h.sum.to_string(),
+        None,
     );
     render_series(
         out,
@@ -141,12 +192,13 @@ fn render_histogram(out: &mut String, sample: &Sample, h: &HistogramSnapshot) {
         &sample.labels,
         None,
         &h.count.to_string(),
+        None,
     );
 }
 
 /// Like [`render_histogram`], but the buckets hold microseconds and the
-/// family is named in seconds: `le` bounds and `_sum` convert to float
-/// seconds, `_count` stays an integer.
+/// family is named in seconds: `le` bounds, `_sum`, and exemplar values
+/// convert to float seconds, `_count` stays an integer.
 fn render_time_histogram(out: &mut String, sample: &Sample, h: &HistogramSnapshot) {
     let bucket_name = format!("{}_bucket", sample.name);
     let mut cumulative = 0u64;
@@ -163,6 +215,7 @@ fn render_time_histogram(out: &mut String, sample: &Sample, h: &HistogramSnapsho
             &sample.labels,
             Some(("le", &le)),
             &cumulative.to_string(),
+            bucket_exemplar(h, i, |raw| fmt_float(raw as f64 / 1e6)),
         );
     }
     render_series(
@@ -171,6 +224,7 @@ fn render_time_histogram(out: &mut String, sample: &Sample, h: &HistogramSnapsho
         &sample.labels,
         None,
         &fmt_float(h.seconds_sum()),
+        None,
     );
     render_series(
         out,
@@ -178,6 +232,7 @@ fn render_time_histogram(out: &mut String, sample: &Sample, h: &HistogramSnapsho
         &sample.labels,
         None,
         &h.count.to_string(),
+        None,
     );
 }
 
@@ -187,6 +242,7 @@ fn render_series(
     labels: &[(String, String)],
     extra: Option<(&str, &str)>,
     value: &str,
+    exemplar: Option<(String, String)>,
 ) {
     out.push_str(name);
     if !labels.is_empty() || extra.is_some() {
@@ -215,6 +271,15 @@ fn render_series(
     }
     out.push(' ');
     out.push_str(value);
+    if let Some((trace, exemplar_value)) = exemplar {
+        // OpenMetrics exemplar suffix. Trace ids are hex strings from
+        // our own minter, but escape anyway so a hostile id cannot
+        // corrupt the exposition.
+        out.push_str(" # {trace_id=\"");
+        out.push_str(&escape_label_value(&trace));
+        out.push_str("\"} ");
+        out.push_str(&exemplar_value);
+    }
     out.push('\n');
 }
 
@@ -327,6 +392,45 @@ mod tests {
         assert!(!is_deterministic_metric("horus_host_peak_rss_bytes"));
         assert!(!is_deterministic_metric("horus_fleet_requeues_total"));
         assert!(!is_deterministic_metric("horus_fleet_leases_in_flight"));
+        assert!(!is_deterministic_metric("horus_http_requests_total"));
+        assert!(!is_deterministic_metric("horus_service_queue_age_seconds"));
+    }
+
+    #[test]
+    fn exemplars_render_only_on_traced_buckets() {
+        let reg = Registry::new();
+        let h = reg.time_histogram("req_seconds", "Request latency.", &[("route", "/metrics")]);
+        h.observe_seconds(0.000_001);
+        let before = render(&reg.snapshot());
+        assert!(!before.contains(" # {"), "{before}");
+
+        h.observe_seconds_traced(0.000_002, Some("deadbeefcafe0123"));
+        let after = render(&reg.snapshot());
+        assert!(
+            after.contains(
+                "req_seconds_bucket{route=\"/metrics\",le=\"0.000002\"} 2 \
+                 # {trace_id=\"deadbeefcafe0123\"} 0.000002\n"
+            ),
+            "{after}"
+        );
+        // Buckets without a traced observation stay suffix-free, and
+        // the _sum/_count lines never carry exemplars.
+        assert!(
+            after.contains("req_seconds_bucket{route=\"/metrics\",le=\"0.000001\"} 1\n"),
+            "{after}"
+        );
+        assert!(
+            after.contains("req_seconds_sum{route=\"/metrics\"} 0.000003\n"),
+            "{after}"
+        );
+        // Integer histograms format the exemplar value raw.
+        let ih = reg.histogram("ops", "Ops.", &[]);
+        ih.observe_traced(3, Some("aabb"));
+        let text = render(&reg.snapshot());
+        assert!(
+            text.contains("ops_bucket{le=\"4\"} 1 # {trace_id=\"aabb\"} 3\n"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -14,7 +14,15 @@
 //! [`crate::expo::render`]), `GET /healthz` (200 while the listener is
 //! up), `GET /readyz` (200/503 from a caller-controlled flag, see
 //! [`MetricsServer::set_ready`]), and `GET /logs` (the structured-log
-//! ring as newline-delimited JSON, [`crate::log`]).
+//! ring as newline-delimited JSON, [`crate::log`], filterable with
+//! `?level=` and `?trace_id=`).
+//!
+//! Every answered request — routed, built-in, or error — is RED-
+//! metered into the server's own registry: a request counter labelled
+//! by pattern-normalized route ([`normalize_route`]) and status, and a
+//! latency histogram per route whose buckets carry the responding
+//! request's trace id as an OpenMetrics exemplar when the response
+//! bears an `x-horus-trace` header.
 //!
 //! Anything else is offered to an optional [`Router`] first
 //! ([`MetricsServer::set_router`]); `horus-service` mounts its
@@ -32,9 +40,10 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::expo;
+use crate::names;
 use crate::registry::Registry;
 
 /// Longest accepted request line (method + path + version), in bytes.
@@ -139,6 +148,43 @@ impl HttpResponse {
             extra,
             self.body
         )
+    }
+}
+
+/// Collapses a request path onto the closed set of route ids used as
+/// the `route` metric label (see the cardinality rules in
+/// [`crate::names`]).
+///
+/// Raw paths carry job ids, tenant names, and query strings — labelling
+/// by them would grow the registry with traffic. This instead maps
+/// every path the workspace serves onto a fixed pattern id
+/// (`/v1/jobs/{id}`, `/v1/tenants/{tenant}`, ...) and everything else,
+/// including malformed requests, onto `other`.
+#[must_use]
+pub fn normalize_route(path: &str) -> &'static str {
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/" | "/metrics" => "/metrics",
+        "/healthz" => "/healthz",
+        "/readyz" => "/readyz",
+        "/logs" => "/logs",
+        "/v1/jobs" => "/v1/jobs",
+        "/v1/shutdown" => "/v1/shutdown",
+        _ => {
+            if let Some(rest) = path.strip_prefix("/v1/jobs/") {
+                return match rest.split_once('/') {
+                    None if !rest.is_empty() => "/v1/jobs/{id}",
+                    Some((id, "result")) if !id.is_empty() => "/v1/jobs/{id}/result",
+                    _ => "other",
+                };
+            }
+            if let Some(rest) = path.strip_prefix("/v1/tenants/") {
+                if !rest.is_empty() && !rest.contains('/') {
+                    return "/v1/tenants/{tenant}";
+                }
+            }
+            "other"
+        }
     }
 }
 
@@ -395,17 +441,51 @@ fn handle_connection(
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(READ_DEADLINE))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let started = Instant::now();
     let mut reader = BufReader::new(stream);
-    let response = match read_request(&mut reader) {
-        Ok(req) => respond(&req, registry, ready, router),
+    let (route, response) = match read_request(&mut reader) {
+        Ok(req) => {
+            let resp = respond(&req, registry, ready, router);
+            (normalize_route(&req.path), resp)
+        }
+        // Unparseable requests have no trustworthy path: meter them
+        // under `other` so error storms still show up in the RED view.
         Err(err) => match err.response() {
-            Some(resp) => resp,
+            Some(resp) => ("other", resp),
             None => return Ok(()),
         },
     };
+    record_red(registry, route, &response, started.elapsed().as_secs_f64());
     let mut stream = reader.into_inner();
     stream.write_all(response.render().as_bytes())?;
     stream.flush()
+}
+
+/// Meters one answered request into the RED families: a counter by
+/// `(route, status)` and a latency histogram by `route`, the latter
+/// carrying the response's `x-horus-trace` header (if any) as the
+/// bucket's exemplar.
+fn record_red(registry: &Registry, route: &str, response: &HttpResponse, seconds: f64) {
+    let status = response.status.get(..3).unwrap_or("000");
+    registry
+        .counter(
+            names::HTTP_REQUESTS,
+            "HTTP requests answered by the shared listener.",
+            &[("route", route), ("status", status)],
+        )
+        .inc();
+    let trace = response
+        .headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("x-horus-trace"))
+        .map(|(_, v)| v.as_str());
+    registry
+        .time_histogram(
+            names::HTTP_REQUEST_SECONDS,
+            "Server-side HTTP request latency, accept to response.",
+            &[("route", route)],
+        )
+        .observe_seconds_traced(seconds, trace);
 }
 
 fn respond(
@@ -422,7 +502,11 @@ fn respond(
     if req.method != "GET" {
         return HttpResponse::text("405 Method Not Allowed", "method not allowed\n");
     }
-    match req.path.as_str() {
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (req.path.as_str(), None),
+    };
+    match path {
         "/metrics" | "/" => {
             let body = expo::render(&registry.snapshot());
             HttpResponse::new("200 OK", "text/plain; version=0.0.4; charset=utf-8", body)
@@ -436,12 +520,46 @@ fn respond(
                 HttpResponse::json("503 Service Unavailable", "{\"ready\":false}\n")
             }
         }
-        "/logs" => HttpResponse::new("200 OK", "application/x-ndjson", crate::log::ring_ndjson()),
+        "/logs" => logs_response(query),
         _ => HttpResponse::text(
             "404 Not Found",
             "try /metrics, /logs, /healthz, or /readyz\n",
         ),
     }
+}
+
+/// Answers `GET /logs[?level=...&trace_id=...]`. Unknown parameters and
+/// unknown level names are a 400 — silently ignoring a typo like
+/// `?lvl=warn` would serve the full ring and look like a match.
+fn logs_response(query: Option<&str>) -> HttpResponse {
+    let mut min_level = None;
+    let mut trace_id = None;
+    for pair in query.unwrap_or("").split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "level" => match crate::log::Level::parse(value) {
+                Some(l) => min_level = Some(l),
+                None => {
+                    return HttpResponse::text(
+                        "400 Bad Request",
+                        format!("unknown level {value:?}; try debug, info, warn, or error\n"),
+                    );
+                }
+            },
+            "trace_id" => trace_id = Some(value),
+            _ => {
+                return HttpResponse::text(
+                    "400 Bad Request",
+                    format!("unknown query parameter {key:?}; try level= or trace_id=\n"),
+                );
+            }
+        }
+    }
+    HttpResponse::new(
+        "200 OK",
+        "application/x-ndjson",
+        crate::log::ring_ndjson_filtered(min_level, trace_id),
+    )
 }
 
 /// Performs a plain HTTP `GET` against `addr` at `path` and returns
@@ -471,7 +589,49 @@ pub fn http_post(
     request(addr, "POST", path, headers, body)
 }
 
+/// Full HTTP response: `(status_line, lowercase-name response headers,
+/// body)` — what [`http_post_full`] returns.
+pub type FullResponse = (String, Vec<(String, String)>, String);
+
+/// Like [`http_post`], but also returns the response headers as
+/// lowercase-name `(name, value)` pairs — for clients that read
+/// correlation headers like `x-horus-trace` off the answer.
+///
+/// # Errors
+/// Returns the underlying I/O error if the connection or read fails.
+pub fn http_post_full(
+    addr: SocketAddr,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<FullResponse> {
+    let (head, body) = request_raw(addr, "POST", path, headers, body)?;
+    let mut lines = head.lines();
+    let status = lines.next().unwrap_or("").to_string();
+    let response_headers = lines
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect();
+    Ok((status, response_headers, body))
+}
+
 fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<(String, String)> {
+    let (head, body) = request_raw(addr, method, path, headers, body)?;
+    let status = head.lines().next().unwrap_or("").to_string();
+    Ok((status, body))
+}
+
+/// The shared client: one request, one `Connection: close` response,
+/// returned as `(raw head, body)`.
+fn request_raw(
     addr: SocketAddr,
     method: &str,
     path: &str,
@@ -498,8 +658,7 @@ fn request(
     let (head, body) = raw.split_once("\r\n\r\n").ok_or_else(|| {
         std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response")
     })?;
-    let status = head.lines().next().unwrap_or("").to_string();
-    Ok((status, body.to_string()))
+    Ok((head.to_string(), body.to_string()))
 }
 
 #[cfg(test)]
@@ -595,6 +754,122 @@ mod tests {
         // ... and unrouted POSTs to the 405.
         let (status, _) = http_post(addr, "/metrics", &[], "").expect("post");
         assert!(status.contains("405"), "status: {status}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn normalize_route_is_a_closed_set() {
+        for (path, want) in [
+            ("/", "/metrics"),
+            ("/metrics", "/metrics"),
+            ("/metrics?x=1", "/metrics"),
+            ("/healthz", "/healthz"),
+            ("/readyz", "/readyz"),
+            ("/logs", "/logs"),
+            ("/logs?level=warn&trace_id=ab", "/logs"),
+            ("/v1/jobs", "/v1/jobs"),
+            ("/v1/jobs/17", "/v1/jobs/{id}"),
+            ("/v1/jobs/17/result", "/v1/jobs/{id}/result"),
+            ("/v1/jobs/17/result/extra", "other"),
+            ("/v1/jobs/", "other"),
+            ("/v1/tenants/team-a", "/v1/tenants/{tenant}"),
+            ("/v1/tenants/team-a/x", "other"),
+            ("/v1/shutdown", "/v1/shutdown"),
+            ("/nope", "other"),
+            ("", "other"),
+        ] {
+            assert_eq!(normalize_route(path), want, "path {path:?}");
+        }
+    }
+
+    /// Satellite guard: the 404 body is the route list clients see, so
+    /// it must name every built-in route — exactly the routes `respond`
+    /// serves — or docs and server drift apart silently again.
+    #[test]
+    fn not_found_body_names_every_builtin_route() {
+        let server = MetricsServer::bind("127.0.0.1:0", Registry::shared()).expect("bind");
+        let (status, body) = http_get(server.local_addr(), "/definitely-not-a-route").expect("get");
+        assert!(status.contains("404"), "status: {status}");
+        for route in ["/metrics", "/logs", "/healthz", "/readyz"] {
+            assert!(body.contains(route), "404 body must list {route}: {body}");
+        }
+        assert!(
+            !body.contains("/logz"),
+            "the /logz spelling was a doc bug: {body}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn logs_filters_by_level_and_trace_id() {
+        let server = MetricsServer::bind("127.0.0.1:0", Registry::shared()).expect("bind");
+        let addr = server.local_addr();
+        crate::log::warn(
+            "http-filter-test",
+            "warn with trace",
+            &[("trace_id", "cafe1234")],
+        );
+        crate::log::info("http-filter-test", "plain info line", &[]);
+
+        let (status, body) = http_get(addr, "/logs?level=warn").expect("get");
+        assert!(status.contains("200"), "status: {status}");
+        assert!(body.contains("warn with trace"), "body: {body}");
+        assert!(!body.contains("plain info line"), "body: {body}");
+
+        let (status, body) = http_get(addr, "/logs?trace_id=cafe1234").expect("get");
+        assert!(status.contains("200"), "status: {status}");
+        assert!(body.contains("warn with trace"), "body: {body}");
+        assert!(!body.contains("plain info line"), "body: {body}");
+
+        // Empty result is a 200 with an empty NDJSON body, not an error.
+        let (status, body) = http_get(addr, "/logs?trace_id=no-such-trace").expect("get");
+        assert!(status.contains("200"), "status: {status}");
+        assert!(body.is_empty(), "body: {body:?}");
+
+        // Unknown parameter names and unknown levels are 400s.
+        let (status, body) = http_get(addr, "/logs?lvl=warn").expect("get");
+        assert!(status.contains("400"), "status: {status}");
+        assert!(body.contains("unknown query parameter"), "body: {body}");
+        let (status, body) = http_get(addr, "/logs?level=loud").expect("get");
+        assert!(status.contains("400"), "status: {status}");
+        assert!(body.contains("unknown level"), "body: {body}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn red_metrics_meter_every_answered_request() {
+        let reg = Registry::shared();
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&reg)).expect("bind");
+        let addr = server.local_addr();
+
+        http_get(addr, "/healthz").expect("get");
+        http_get(addr, "/healthz").expect("get");
+        http_get(addr, "/v1/jobs/17").expect("get");
+
+        // Metering happens just before the response is written, so poll
+        // briefly for the last request's sample to land.
+        let mut body = String::new();
+        for _ in 0..50 {
+            body = http_get(addr, "/metrics").expect("scrape").1;
+            if body.contains("route=\"/v1/jobs/{id}\"") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            body.contains("horus_http_requests_total{route=\"/healthz\",status=\"200\"} 2\n"),
+            "body: {body}"
+        );
+        assert!(
+            body.contains("horus_http_requests_total{route=\"/v1/jobs/{id}\",status=\"404\"} 1\n"),
+            "unrouted /v1/jobs/17 normalizes and falls through to the built-in 404: {body}"
+        );
+        assert!(
+            body.contains("horus_http_request_seconds_count{route=\"/healthz\"} 2\n"),
+            "body: {body}"
+        );
 
         server.shutdown();
     }

@@ -26,6 +26,9 @@
 //!   cross-host Chrome-trace timeline (`--span-out`, `fleet-trace`).
 //! * [`log`] — leveled structured line-delimited-JSON logging with an
 //!   in-memory ring served at `GET /logs` (`--log-level`, `--log-json`).
+//! * [`insight`] — the offline cross-signal analyzer behind
+//!   `horus-cli insight`: joins summary, span, and log artifacts by
+//!   trace id into one `insight.json` + human report.
 //!
 //! Everything is observe-only: with no `--metrics-addr`/`--dashboard` flag
 //! and `alloc-profile` off, instrumented binaries produce byte-identical
@@ -39,6 +42,7 @@ pub mod bridge;
 pub mod dashboard;
 pub mod expo;
 pub mod http;
+pub mod insight;
 pub mod log;
 pub mod names;
 pub mod profile;

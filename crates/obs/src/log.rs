@@ -197,6 +197,42 @@ pub fn ring_ndjson() -> String {
     out
 }
 
+/// [`ring_ndjson`] with server-side filters, the `GET /logs?level=`
+/// `&trace_id=` body. `min_level` keeps records at or above the given
+/// severity; `trace_id` keeps records whose `fields` carry exactly that
+/// `trace_id` value. Both filters are conjunctive; either alone is
+/// fine. Records are matched on their rendered JSON, so the filter
+/// never re-parses or re-orders anything — surviving lines are
+/// byte-identical to the unfiltered body.
+#[must_use]
+pub fn ring_ndjson_filtered(min_level: Option<Level>, trace_id: Option<&str>) -> String {
+    let level_needles: Vec<String> = min_level
+        .map(|min| {
+            Level::ALL
+                .iter()
+                .filter(|l| **l >= min)
+                .map(|l| format!("\"level\":{}", json_escape(l.as_str())))
+                .collect()
+        })
+        .unwrap_or_default();
+    let trace_needle = trace_id.map(|t| format!("\"trace_id\":{}", json_escape(t)));
+    let ring = global().ring.lock().expect("obs log ring poisoned");
+    let mut out = String::new();
+    for line in ring.iter() {
+        if !level_needles.is_empty() && !level_needles.iter().any(|n| line.contains(n.as_str())) {
+            continue;
+        }
+        if let Some(needle) = &trace_needle {
+            if !line.contains(needle.as_str()) {
+                continue;
+            }
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
 /// Number of records currently held in the ring.
 #[must_use]
 pub fn ring_len() -> usize {
@@ -265,6 +301,31 @@ mod tests {
         info("fleet", "below threshold", &[]);
         assert_eq!(ring_len(), before, "info dropped at error threshold");
         set_level(Level::Info);
+
+        // Server-side filters reuse the same ring (still one test: the
+        // logger is process-global).
+        info("service", "traced event", &[("trace_id", "feed0001")]);
+        let warns = ring_ndjson_filtered(Some(Level::Warn), None);
+        assert!(warns.contains("a \\\"quoted\\\" warning"), "{warns}");
+        assert!(!warns.contains("worker registered"), "info filtered out");
+        for line in warns.lines() {
+            assert!(
+                line.contains("\"level\":\"warn\"") || line.contains("\"level\":\"error\""),
+                "{line}"
+            );
+        }
+        let traced = ring_ndjson_filtered(None, Some("feed0001"));
+        assert!(traced.contains("traced event"), "{traced}");
+        assert!(!traced.contains("worker registered"), "{traced}");
+        let both = ring_ndjson_filtered(Some(Level::Warn), Some("feed0001"));
+        assert!(both.is_empty(), "traced event is info, not warn: {both}");
+        let none = ring_ndjson_filtered(None, Some("no-such-trace"));
+        assert!(none.is_empty(), "unknown trace id matches nothing");
+        assert_eq!(
+            ring_ndjson_filtered(None, None),
+            ring_ndjson(),
+            "no filters means the full body"
+        );
     }
 
     #[test]

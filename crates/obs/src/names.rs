@@ -16,9 +16,20 @@
 //!   `silent_corruption`).
 //! * `counter` / `sample` — interned `horus_sim::Stats` keys, a fixed
 //!   vocabulary defined by the simulator.
+//! * `route` — a pattern-normalized route id from the closed set in
+//!   [`crate::http::normalize_route`] (`/v1/jobs`, `/v1/jobs/{id}`,
+//!   `/metrics`, …, with `other` as the catch-all). Never the raw
+//!   request path: ids and query strings would make the label set grow
+//!   with traffic.
+//! * `status` — the three-digit HTTP status code of the response, a
+//!   closed set bounded by the statuses the server can emit.
 //!
-//! Never label by job key, crash cycle, or anything else that grows with
-//! the plan size — that turns a bounded registry into an unbounded one.
+//! Never label by job key, crash cycle, raw URL path, or anything else
+//! that grows with the plan size or traffic — that turns a bounded
+//! registry into an unbounded one. Trace ids never become labels
+//! either: they ride on histogram buckets as OpenMetrics *exemplars*
+//! (see [`crate::registry::HistogramSnapshot::exemplars`]), which hold
+//! one most-recent trace per bucket instead of one series per trace.
 
 /// Counter: jobs handed to the worker pool (includes cache hits).
 pub const JOBS_STARTED: &str = "horus_harness_jobs_started_total";
@@ -111,6 +122,25 @@ pub const SERVICE_ADMISSION_SECONDS: &str = "horus_service_admission_seconds";
 /// Duration histogram: client-observed request latency, recorded by the
 /// `horus-load` generator into its own registry (not the server's).
 pub const SERVICE_CLIENT_REQUEST_SECONDS: &str = "horus_service_client_request_seconds";
+/// Gauge: seconds the oldest plan in the service queue has been
+/// waiting. Zero when the queue is empty.
+pub const SERVICE_QUEUE_AGE_SECONDS: &str = "horus_service_queue_age_seconds";
+/// Gauge: seconds the oldest admitted-but-uncommitted plan (queued or
+/// executing) has been in flight. Zero when nothing is in flight.
+pub const SERVICE_OLDEST_IN_FLIGHT_SECONDS: &str = "horus_service_oldest_in_flight_seconds";
+/// Counter, labelled `route` and `status`: HTTP requests answered by
+/// the shared listener, RED-style. All `horus_http_` families are
+/// traffic-dependent and excluded from deterministic snapshots by the
+/// prefix rule in [`crate::expo`]. Both labels come from closed sets —
+/// see the cardinality rules above.
+pub const HTTP_REQUESTS: &str = "horus_http_requests_total";
+/// Duration histogram, labelled `route`: server-side request latency,
+/// accept-to-response. Buckets carry trace-id exemplars when the
+/// response was correlated.
+pub const HTTP_REQUEST_SECONDS: &str = "horus_http_request_seconds";
+/// Counter: jobs the fleet stall watchdog flagged as leased but not
+/// pushed within the configured multiple of the lease interval.
+pub const FLEET_STALLED_JOBS: &str = "horus_fleet_stalled_jobs_total";
 
 #[cfg(test)]
 mod tests {
@@ -159,6 +189,11 @@ mod tests {
             super::SERVICE_PLANS_COMPLETED,
             super::SERVICE_ADMISSION_SECONDS,
             super::SERVICE_CLIENT_REQUEST_SECONDS,
+            super::SERVICE_QUEUE_AGE_SECONDS,
+            super::SERVICE_OLDEST_IN_FLIGHT_SECONDS,
+            super::HTTP_REQUESTS,
+            super::HTTP_REQUEST_SECONDS,
+            super::FLEET_STALLED_JOBS,
         ] {
             assert!(
                 !is_deterministic_metric(name),

@@ -112,6 +112,9 @@ pub struct JobProfile {
     pub label: String,
     /// Drain scheme, when the job is a `JobSpec`.
     pub scheme: Option<String>,
+    /// Correlation trace id of the request or plan that enqueued the
+    /// job ([`crate::span::mint_trace_id`]); `None` for untraced runs.
+    pub trace: Option<String>,
     /// Whether the result came from the on-disk cache.
     pub cached: bool,
     /// Wall-clock duration of the job in seconds.
@@ -133,6 +136,7 @@ pub struct JobProfile {
 pub struct JobProfiler {
     label: String,
     scheme: Option<String>,
+    trace: Option<String>,
     started: Instant,
     cpu_start: Option<f64>,
     alloc_start: Option<(u64, u64)>,
@@ -145,10 +149,19 @@ impl JobProfiler {
         JobProfiler {
             label: label.into(),
             scheme,
+            trace: None,
             started: Instant::now(),
             cpu_start: thread_cpu_seconds(),
             alloc_start: alloc_counts(),
         }
+    }
+
+    /// Attaches the correlation trace id the finished profile will carry
+    /// (builder style; `None` leaves the profile untraced).
+    #[must_use]
+    pub fn with_trace(mut self, trace: Option<&str>) -> JobProfiler {
+        self.trace = trace.filter(|t| !t.is_empty()).map(str::to_string);
+        self
     }
 
     /// Finishes measuring and returns the profile. Must be called on the
@@ -169,6 +182,7 @@ impl JobProfiler {
         JobProfile {
             label: self.label,
             scheme: self.scheme,
+            trace: self.trace,
             cached,
             wall_seconds,
             cpu_seconds,
@@ -240,7 +254,16 @@ mod tests {
         let profile = p.finish(false);
         assert!(profile.wall_seconds >= 0.009, "{}", profile.wall_seconds);
         assert_eq!(profile.label, "job-1");
+        assert_eq!(profile.trace, None, "untraced by default");
         assert!(!profile.cached);
+    }
+
+    #[test]
+    fn job_profiler_carries_trace_id() {
+        let p = JobProfiler::start("job-2", None).with_trace(Some("abcd1234"));
+        assert_eq!(p.finish(true).trace.as_deref(), Some("abcd1234"));
+        let p = JobProfiler::start("job-3", None).with_trace(Some(""));
+        assert_eq!(p.finish(true).trace, None, "empty ids are untraced");
     }
 
     #[cfg(target_os = "linux")]

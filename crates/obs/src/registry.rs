@@ -164,6 +164,12 @@ pub struct HistogramCore {
     buckets: Vec<AtomicU64>,
     count: AtomicU64,
     sum: AtomicU64,
+    /// Last-written `(trace_id, raw value)` exemplar per bucket. The
+    /// vector stays empty until the first *traced* observation, so
+    /// untraced histograms never pay for (or expose) exemplars — their
+    /// snapshots compare equal to pre-exemplar ones. The mutex is off
+    /// the hot path: plain `record` never touches it.
+    exemplars: Mutex<Vec<Option<(String, u64)>>>,
 }
 
 /// Number of finite power-of-two buckets: upper bounds `2^0 ..= 2^31`.
@@ -175,19 +181,36 @@ impl HistogramCore {
             buckets: (0..=HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            exemplars: Mutex::new(Vec::new()),
         }
     }
 
-    fn record(&self, v: u64) {
-        let idx = if v <= 1 {
+    fn bucket_index(v: u64) -> usize {
+        if v <= 1 {
             0
         } else {
             let bits = 64 - (v - 1).leading_zeros() as usize;
             bits.min(HIST_BUCKETS)
-        };
+        }
+    }
+
+    fn record(&self, v: u64) {
+        let idx = Self::bucket_index(v);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    fn record_traced(&self, v: u64, trace: &str) {
+        self.record(v);
+        if trace.is_empty() {
+            return;
+        }
+        let mut exemplars = self.exemplars.lock().expect("histogram exemplars poisoned");
+        if exemplars.is_empty() {
+            exemplars.resize(HIST_BUCKETS + 1, None);
+        }
+        exemplars[Self::bucket_index(v)] = Some((trace.to_string(), v));
     }
 
     fn snapshot(&self) -> HistogramSnapshot {
@@ -199,6 +222,11 @@ impl HistogramCore {
                 .collect(),
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
+            exemplars: self
+                .exemplars
+                .lock()
+                .expect("histogram exemplars poisoned")
+                .clone(),
         }
     }
 }
@@ -211,6 +239,16 @@ impl ObsHistogram {
     /// Records one observation of `v`.
     pub fn observe(&self, v: u64) {
         self.0.record(v);
+    }
+
+    /// Records one observation of `v`, attaching `trace` as the bucket's
+    /// exemplar when present. `None` (and the empty string) behave
+    /// exactly like [`ObsHistogram::observe`].
+    pub fn observe_traced(&self, v: u64, trace: Option<&str>) {
+        match trace {
+            Some(t) => self.0.record_traced(v, t),
+            None => self.0.record(v),
+        }
     }
 
     /// Returns the number of observations.
@@ -246,6 +284,20 @@ impl TimeHistogram {
         self.0.record((secs * 1e6).round() as u64);
     }
 
+    /// Records one duration, attaching `trace` as the bucket's exemplar
+    /// when present. `None` (and the empty string) behave exactly like
+    /// [`TimeHistogram::observe_seconds`].
+    pub fn observe_seconds_traced(&self, secs: f64, trace: Option<&str>) {
+        if !secs.is_finite() || secs < 0.0 {
+            return;
+        }
+        let micros = (secs * 1e6).round() as u64;
+        match trace {
+            Some(t) => self.0.record_traced(micros, t),
+            None => self.0.record(micros),
+        }
+    }
+
     /// Returns the number of observations.
     #[must_use]
     pub fn count(&self) -> u64 {
@@ -267,6 +319,13 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all observed values.
     pub sum: u64,
+    /// Per-bucket `(trace_id, raw value)` exemplars — the most recent
+    /// traced observation that landed in each bucket. Empty (not
+    /// all-`None`) when the histogram never saw a traced observation,
+    /// so exemplar-free snapshots are indistinguishable from
+    /// pre-exemplar ones. Raw values are microseconds for snapshots
+    /// taken from a [`TimeHistogram`].
+    pub exemplars: Vec<Option<(String, u64)>>,
 }
 
 impl HistogramSnapshot {
@@ -676,6 +735,33 @@ mod tests {
             snap.families.get("stage_seconds").map(|f| f.1),
             Some(MetricKind::Histogram)
         );
+    }
+
+    #[test]
+    fn traced_observations_store_last_exemplar_per_bucket() {
+        let reg = Registry::new();
+        let h = reg.time_histogram("req_seconds", "h", &[("route", "/v1/jobs")]);
+        h.observe_seconds(0.001); // untraced: no exemplar vector yet
+        let untraced = match &reg.snapshot().samples[0].value {
+            SampleValue::TimeHistogram(hs) => hs.clone(),
+            other => panic!("expected time histogram, got {other:?}"),
+        };
+        assert!(untraced.exemplars.is_empty(), "{untraced:?}");
+
+        h.observe_seconds_traced(0.001, Some("aaaa"));
+        h.observe_seconds_traced(0.001, Some("bbbb")); // same bucket: last wins
+        h.observe_seconds_traced(2.0, Some("cccc"));
+        h.observe_seconds_traced(2.0, None); // keeps cccc
+        let snap = match &reg.snapshot().samples[0].value {
+            SampleValue::TimeHistogram(hs) => hs.clone(),
+            other => panic!("expected time histogram, got {other:?}"),
+        };
+        assert_eq!(snap.exemplars.len(), HIST_BUCKETS + 1);
+        let placed: Vec<&(String, u64)> = snap.exemplars.iter().flatten().collect();
+        assert_eq!(placed.len(), 2, "{placed:?}");
+        assert_eq!(placed[0], &("bbbb".to_string(), 1000));
+        assert_eq!(placed[1], &("cccc".to_string(), 2_000_000));
+        assert_eq!(snap.count, 5);
     }
 
     #[test]

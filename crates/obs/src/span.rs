@@ -25,8 +25,38 @@
 //! jobs are emitted, so two identical books render byte-identical JSON.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Mints a process-unique 16-hex-digit trace id.
+///
+/// FNV-1a over the pid, a process-global counter, and the wall clock —
+/// the same hashing idiom as the plan content key, so ids look uniform
+/// without pulling in a randomness dependency. Collisions across
+/// processes are possible in principle but irrelevant at fleet scale:
+/// an id only needs to be unique within the artifacts of one run.
+#[must_use]
+pub fn mint_trace_id() -> String {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| {
+            u64::try_from(d.as_nanos() & u128::from(u64::MAX)).unwrap_or(0)
+        });
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for chunk in [
+        u64::from(std::process::id()),
+        SEQ.fetch_add(1, Ordering::Relaxed),
+        nanos,
+    ] {
+        for byte in chunk.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{hash:016x}")
+}
 
 /// Number of lifecycle stages a job passes through.
 pub const STAGES: usize = 5;
@@ -88,6 +118,10 @@ pub struct JobSpan {
     /// Display name of the worker that executed the job; empty until
     /// the job is leased.
     pub worker: String,
+    /// Correlation id minted at admission ([`mint_trace_id`]); empty
+    /// for untraced jobs. Like `worker`, the first non-empty value
+    /// wins.
+    pub trace: String,
     /// Coordinator-relative milliseconds per stage, indexed by
     /// [`Stage::index`]; `None` until the stage is stamped.
     pub stamps: [Option<f64>; STAGES],
@@ -184,17 +218,40 @@ impl SpanBook {
         at_ms: f64,
         worker: Option<&str>,
     ) {
+        self.stamp_traced(plan, job, key, stage, at_ms, worker, None);
+    }
+
+    /// [`SpanBook::stamp`] with a correlation trace id. `trace` follows
+    /// the worker rule: the first non-empty value sticks, so a late or
+    /// duplicate stamp can never re-attribute a span.
+    #[allow(clippy::too_many_arguments)]
+    pub fn stamp_traced(
+        &self,
+        plan: u64,
+        job: u64,
+        key: &str,
+        stage: Stage,
+        at_ms: f64,
+        worker: Option<&str>,
+        trace: Option<&str>,
+    ) {
         let mut jobs = self.jobs.lock().expect("span book poisoned");
         let span = jobs.entry((plan, job)).or_insert_with(|| JobSpan {
             plan,
             job,
             key: key.to_string(),
             worker: String::new(),
+            trace: String::new(),
             stamps: [None; STAGES],
         });
         if let Some(w) = worker {
             if span.worker.is_empty() {
                 span.worker = w.to_string();
+            }
+        }
+        if let Some(t) = trace {
+            if span.trace.is_empty() {
+                span.trace = t.to_string();
             }
         }
         let slot = &mut span.stamps[stage.index()];
@@ -298,9 +355,16 @@ pub fn chrome_trace_json(spans: &[JobSpan]) -> String {
                 out.push(',');
             }
             first = false;
+            // Untraced spans keep the exact pre-correlation arg shape;
+            // the `trace` arg appears only when an id was attached.
+            let trace_arg = if span.trace.is_empty() {
+                String::new()
+            } else {
+                format!(",\"trace\":\"{}\"", escape_json(&span.trace))
+            };
             out.push_str(&format!(
                 "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"dur\":{dur},\
-                 \"name\":\"{}\",\"args\":{{\"plan\":{},\"job\":{},\"key\":\"{}\"}}}}",
+                 \"name\":\"{}\",\"args\":{{\"plan\":{},\"job\":{},\"key\":\"{}\"{trace_arg}}}}}",
                 stage.as_str(),
                 span.plan,
                 span.job,
@@ -374,6 +438,7 @@ mod tests {
             job: 0,
             key: "k".into(),
             worker: "w".into(),
+            trace: String::new(),
             // Executing "before" leased: cross-host clock skew.
             stamps: [Some(10.0), Some(20.0), Some(18.0), Some(30.0), Some(31.0)],
         };
@@ -424,6 +489,50 @@ mod tests {
         let ma = json.find("{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"thread_name\",\"args\":{\"name\":\"w-a\"}}");
         let mb = json.find("{\"ph\":\"M\",\"pid\":0,\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"w-b\"}}");
         assert!(ma.is_some() && mb.is_some() && ma < mb, "{json}");
+    }
+
+    #[test]
+    fn minted_trace_ids_are_well_formed_and_distinct() {
+        let a = mint_trace_id();
+        let b = mint_trace_id();
+        for id in [&a, &b] {
+            assert_eq!(id.len(), 16, "{id}");
+            assert!(
+                id.chars()
+                    .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()),
+                "{id}"
+            );
+        }
+        assert_ne!(a, b, "sequence counter keeps ids distinct");
+    }
+
+    #[test]
+    fn first_trace_wins_and_only_traced_spans_render_trace_args() {
+        let book = SpanBook::new();
+        stamp_all(&book, 0, 1, "w-a", 10.0);
+        let untraced = book.chrome_trace_json();
+        assert!(!untraced.contains("\"trace\""), "{untraced}");
+
+        book.stamp_traced(0, 2, "k-2", Stage::Queued, 20.0, None, Some("aa11"));
+        book.stamp_traced(0, 2, "k-2", Stage::Leased, 21.0, Some("w-a"), Some("bb22"));
+        book.stamp(0, 2, "k-2", Stage::Executing, 22.0, None);
+        book.stamp(0, 2, "k-2", Stage::Pushed, 23.0, None);
+        book.stamp(0, 2, "k-2", Stage::Committed, 24.0, None);
+        let span = book.get(0, 2).expect("span");
+        assert_eq!(span.trace, "aa11", "first non-empty trace wins");
+
+        let json = book.chrome_trace_json();
+        assert_eq!(
+            json.matches(",\"trace\":\"aa11\"").count(),
+            STAGES,
+            "every stage event of the traced job carries the id: {json}"
+        );
+        // The untraced job's events are byte-identical to the pre-trace
+        // render: the traced job only adds events, never rewrites them.
+        assert!(
+            json.contains("\"args\":{\"plan\":0,\"job\":1,\"key\":\"key-1\"}"),
+            "{json}"
+        );
     }
 
     #[test]

@@ -100,6 +100,10 @@ fn push_job(out: &mut String, job: &JobProfile) {
         ", \"scheme\": {}",
         job.scheme.as_deref().map_or("null".to_string(), json_str)
     ));
+    out.push_str(&format!(
+        ", \"trace\": {}",
+        job.trace.as_deref().map_or("null".to_string(), json_str)
+    ));
     out.push_str(&format!(", \"cached\": {}", job.cached));
     out.push_str(&format!(
         ", \"wall_seconds\": {}, \"cpu_seconds\": {}, \"allocations\": {}, \"allocated_bytes\": {}",
@@ -222,6 +226,7 @@ mod tests {
             jobs: vec![JobProfile {
                 label: "abc123".to_string(),
                 scheme: Some("Horus".to_string()),
+                trace: Some("9f8a6c2d01b4e37f".to_string()),
                 cached: true,
                 wall_seconds: 0.25,
                 cpu_seconds: None,
@@ -240,6 +245,7 @@ mod tests {
         assert!(json.contains("\"cpu_seconds\": 0.75"));
         assert!(json.contains("\"allocations\": null"));
         assert!(json.contains("\"label\": \"abc123\""));
+        assert!(json.contains("\"trace\": \"9f8a6c2d01b4e37f\""));
         assert!(json.contains("\"cached\": true"));
         assert!(json.contains("\"name\": \"jobs_total\""));
         assert!(json.contains("\"scheme\": \"Horus\""));

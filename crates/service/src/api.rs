@@ -12,6 +12,10 @@ use serde::{Deserialize, Serialize};
 /// The request header that names the submitting tenant.
 pub const TENANT_HEADER: &str = "x-horus-tenant";
 
+/// The response header carrying the correlation trace id the service
+/// minted (or reused, for deduplicated submissions) at admission.
+pub const TRACE_HEADER: &str = "x-horus-trace";
+
 /// Body of `POST /v1/jobs`.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SubmitRequest {
@@ -65,6 +69,14 @@ pub struct SubmitResponse {
     /// True when an identical plan was already queued, executing, or
     /// committed: this id aliases it and no new execution happens.
     pub deduped: bool,
+    /// Correlation trace id for this submission — minted at admission,
+    /// or the original plan's id when `deduped` (an alias never
+    /// executes, so a fresh id would join to nothing). Also returned in
+    /// the [`TRACE_HEADER`] response header. Absent from the wire when
+    /// the service predates correlation, so old clients and recorded
+    /// fixtures keep parsing.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace: Option<String>,
 }
 
 /// Millisecond stage stamps on the service clock, from the span book.
@@ -188,9 +200,25 @@ mod tests {
             key: "abc".to_string(),
             tenant: "team-a".to_string(),
             deduped: true,
+            trace: Some("9f8a6c2d01b4e37f".to_string()),
         };
-        let back: SubmitResponse =
-            serde_json::from_str(&serde_json::to_string(&resp).expect("ser")).expect("de");
+        let json = serde_json::to_string(&resp).expect("ser");
+        assert!(json.contains("\"trace\":\"9f8a6c2d01b4e37f\""));
+        let back: SubmitResponse = serde_json::from_str(&json).expect("de");
         assert_eq!(back, resp);
+
+        // An untraced response omits the key entirely, and a pre-trace
+        // response body still parses (the PR-7 strictly-optional rule).
+        let untraced = SubmitResponse {
+            trace: None,
+            ..resp.clone()
+        };
+        let json = serde_json::to_string(&untraced).expect("ser");
+        assert!(!json.contains("\"trace\""), "{json}");
+        let old: SubmitResponse = serde_json::from_str(
+            "{\"job\":7,\"key\":\"abc\",\"tenant\":\"team-a\",\"deduped\":true}",
+        )
+        .expect("pre-trace body parses");
+        assert_eq!(old, untraced);
     }
 }

@@ -15,6 +15,7 @@
 use crate::api::{self, SubmitRequest, SubmitResponse, TENANT_HEADER};
 use horus_harness::{JobOutcome, JobSpec, SweepBackend};
 use horus_obs::http::{http_get, http_post};
+use horus_obs::log;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
@@ -65,6 +66,14 @@ impl ServiceBackend {
 
 impl SweepBackend for ServiceBackend {
     fn run_specs(&self, specs: &[JobSpec]) -> Result<Vec<JobOutcome>, String> {
+        self.run_specs_traced(specs, None)
+    }
+
+    fn run_specs_traced(
+        &self,
+        specs: &[JobSpec],
+        trace: Option<&str>,
+    ) -> Result<Vec<JobOutcome>, String> {
         let addr = self.resolve()?;
         let body = serde_json::to_string(&SubmitRequest::plan(specs.to_vec()))
             .map_err(|e| format!("serialize plan: {e}"))?;
@@ -84,6 +93,20 @@ impl SweepBackend for ServiceBackend {
         }
         let accepted: SubmitResponse =
             serde_json::from_str(&resp).map_err(|e| format!("bad submit response: {e}"))?;
+        // The service mints (or reuses) its own trace at admission; one
+        // log line ties the caller's sweep trace to it so the offline
+        // analyzer can join batch-side and service-side signals.
+        {
+            let job = accepted.job.to_string();
+            let mut fields: Vec<(&str, &str)> = vec![("job", &job), ("key", &accepted.key)];
+            if let Some(t) = trace.filter(|t| !t.is_empty()) {
+                fields.push(("trace_id", t));
+            }
+            if let Some(service_trace) = accepted.trace.as_deref() {
+                fields.push(("service_trace_id", service_trace));
+            }
+            log::info("service-backend", "plan accepted by service", &fields);
+        }
 
         let deadline = Instant::now() + self.timeout;
         let path = format!("/v1/jobs/{}/result", accepted.job);

@@ -135,13 +135,14 @@ fn main() -> ExitCode {
         Ok(report) => {
             println!(
                 "submitted {} admitted {} shed {} deduped {} distinct {} verified {} \
-                 p50 {:.1}ms p99 {:.1}ms",
+                 traces {} p50 {:.1}ms p99 {:.1}ms",
                 report.submitted,
                 report.admitted,
                 report.shed,
                 report.deduped,
                 report.distinct_plans,
                 report.verified_plans,
+                report.traces.len(),
                 report.latency.p50_ms,
                 report.latency.p99_ms,
             );

@@ -18,7 +18,7 @@
 //!
 //! The HTTP layer is the std-only server from `horus-obs` — the
 //! service mounts itself as a [`horus_obs::Router`] in front of the
-//! built-in `/metrics`, `/healthz`, `/readyz`, and `/logz` routes, so
+//! built-in `/metrics`, `/healthz`, `/readyz`, and `/logs` routes, so
 //! one listener serves both the API and its own observability.
 //!
 //! Module map:

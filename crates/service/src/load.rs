@@ -139,6 +139,13 @@ pub struct LoadReport {
     /// Distinct plans whose results were fetched and, when enabled,
     /// verified byte-identical locally.
     pub verified_plans: usize,
+    /// Distinct correlation trace ids the service returned for
+    /// admitted submissions (sorted; aliases share their canonical
+    /// plan's trace, so this has one entry per executing plan). Empty
+    /// against a pre-correlation service, and omitted from the JSON so
+    /// old report consumers keep parsing.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub traces: Vec<String>,
     /// Per-tenant accounting.
     pub per_tenant: Vec<TenantLoad>,
     /// Submission latency percentiles.
@@ -160,6 +167,8 @@ struct Tally {
     per_tenant: BTreeMap<String, (u64, u64, u64)>,
     /// key → (job id, specs) for one admitted submission per plan.
     plans: BTreeMap<String, (u64, Vec<JobSpec>)>,
+    /// Distinct service-minted trace ids across admitted submissions.
+    traces: std::collections::BTreeSet<String>,
     failures: Vec<String>,
 }
 
@@ -263,6 +272,9 @@ pub fn run_load(opts: &LoadOptions) -> Result<LoadReport, String> {
                             Ok(resp) => {
                                 if resp.deduped {
                                     t.deduped += 1;
+                                }
+                                if let Some(trace) = &resp.trace {
+                                    t.traces.insert(trace.clone());
                                 }
                                 t.plans
                                     .entry(resp.key.clone())
@@ -388,6 +400,7 @@ pub fn run_load(opts: &LoadOptions) -> Result<LoadReport, String> {
         deduped: tally.deduped,
         distinct_plans: tally.plans.len(),
         verified_plans: verified,
+        traces: tally.traces.into_iter().collect(),
         per_tenant,
         latency: summarize_latency(&mut tally.latencies_ms),
         ok: tally.errors == 0 && tally.failures.is_empty() && verified == tally.plans.len(),

@@ -69,6 +69,13 @@ struct JobRecord {
     tenant: String,
     key: String,
     total: usize,
+    /// Correlation trace id minted at admission (aliases reuse the
+    /// canonical plan's id — an alias never executes, so a fresh id
+    /// would join to nothing downstream).
+    trace: String,
+    /// When the plan was admitted, for the queue-age gauges. `None`
+    /// for aliases, which never occupy the queue.
+    queued_at: Option<Instant>,
     /// `Some(canonical)` for deduplicated submissions; every query
     /// follows the alias.
     alias_of: Option<u64>,
@@ -128,10 +135,36 @@ impl ServiceMetrics {
             "Time from request arrival to admission verdict.",
             &[],
         );
-        ServiceMetrics {
+        let m = ServiceMetrics {
             registry,
             admission,
-        }
+        };
+        // Freshened on every routed request, so scrapes always see the
+        // current backlog shape even between submissions.
+        m.queue_age(0.0);
+        m.oldest_in_flight(0.0);
+        m
+    }
+
+    const QUEUE_AGE_HELP: &'static str =
+        "Age of the oldest plan still waiting in the service queue (0 when empty).";
+    const OLDEST_IN_FLIGHT_HELP: &'static str =
+        "Age of the oldest admitted plan not yet committed (0 when idle).";
+
+    fn queue_age(&self, seconds: f64) {
+        self.registry
+            .float_gauge(names::SERVICE_QUEUE_AGE_SECONDS, Self::QUEUE_AGE_HELP, &[])
+            .set(seconds);
+    }
+
+    fn oldest_in_flight(&self, seconds: f64) {
+        self.registry
+            .float_gauge(
+                names::SERVICE_OLDEST_IN_FLIGHT_SECONDS,
+                Self::OLDEST_IN_FLIGHT_HELP,
+                &[],
+            )
+            .set(seconds);
     }
 
     fn submitted(&self, tenant: &str) {
@@ -291,10 +324,35 @@ impl ExperimentService {
         }
     }
 
-    fn stamp(&self, id: u64, key: &str, stage: Stage, worker: Option<&str>) {
+    fn stamp(&self, id: u64, key: &str, stage: Stage, worker: Option<&str>, trace: &str) {
         if let Some(book) = &self.spans {
-            book.stamp(id, 0, key, stage, book.now_ms(), worker);
+            book.stamp_traced(id, 0, key, stage, book.now_ms(), worker, Some(trace));
         }
+    }
+
+    /// Recomputes the queue-age and oldest-in-flight gauges from the
+    /// current job table. Called on every routed request, so a plain
+    /// `/metrics` scrape is enough to keep them fresh.
+    fn refresh_age_gauges(&self) {
+        let Some(m) = &self.metrics else { return };
+        let state = self.state.lock().expect("service state poisoned");
+        let mut oldest_queued: Option<Instant> = None;
+        let mut oldest_open: Option<Instant> = None;
+        for record in state.jobs.values() {
+            let (Some(at), None) = (record.queued_at, record.alias_of) else {
+                continue;
+            };
+            if record.state == JobState::Queued {
+                oldest_queued = Some(oldest_queued.map_or(at, |o| o.min(at)));
+            }
+            if record.state != JobState::Committed {
+                oldest_open = Some(oldest_open.map_or(at, |o| o.min(at)));
+            }
+        }
+        drop(state);
+        let age = |at: Option<Instant>| at.map_or(0.0, |at| at.elapsed().as_secs_f64());
+        m.queue_age(age(oldest_queued));
+        m.oldest_in_flight(age(oldest_open));
     }
 
     // ---- request handlers -------------------------------------------------
@@ -376,18 +434,27 @@ impl ExperimentService {
         } else {
             Class::Bulk
         };
-        let (id, deduped) = {
+        let (id, deduped, trace) = {
             let mut state = self.state.lock().expect("service state poisoned");
             let id = state.next_id;
             state.next_id += 1;
             match state.by_key.get(&key).copied() {
                 Some(canonical) => {
+                    // Reuse the canonical plan's trace: the alias never
+                    // executes, so a fresh id would appear in no span,
+                    // profile, or log — an orphan by construction.
+                    let trace = state
+                        .jobs
+                        .get(&canonical)
+                        .map_or_else(horus_obs::span::mint_trace_id, |r| r.trace.clone());
                     state.jobs.insert(
                         id,
                         JobRecord {
                             tenant: tenant.clone(),
                             key: key.clone(),
                             total,
+                            trace: trace.clone(),
+                            queued_at: None,
                             alias_of: Some(canonical),
                             state: JobState::Queued,
                             specs: None,
@@ -395,9 +462,10 @@ impl ExperimentService {
                             outcomes_json: None,
                         },
                     );
-                    (id, true)
+                    (id, true, trace)
                 }
                 None => {
+                    let trace = horus_obs::span::mint_trace_id();
                     state.by_key.insert(key.clone(), id);
                     state.jobs.insert(
                         id,
@@ -405,6 +473,8 @@ impl ExperimentService {
                             tenant: tenant.clone(),
                             key: key.clone(),
                             total,
+                            trace: trace.clone(),
+                            queued_at: Some(Instant::now()),
                             alias_of: None,
                             state: JobState::Queued,
                             specs: Some(specs),
@@ -416,7 +486,7 @@ impl ExperimentService {
                     if let Some(m) = &self.metrics {
                         m.queue_depth(state.queue.len());
                     }
-                    (id, false)
+                    (id, false, trace)
                 }
             }
         };
@@ -430,17 +500,30 @@ impl ExperimentService {
                 m.in_flight(&tenant, now);
             }
         } else {
-            self.stamp(id, &key, Stage::Queued, None);
+            self.stamp(id, &key, Stage::Queued, None, &trace);
             self.wake.notify_one();
         }
+        let job_str = id.to_string();
+        horus_obs::log::info(
+            "service",
+            "submission admitted",
+            &[
+                ("job", job_str.as_str()),
+                ("tenant", tenant.as_str()),
+                ("key", key.as_str()),
+                ("deduped", if deduped { "true" } else { "false" }),
+                ("trace_id", trace.as_str()),
+            ],
+        );
         let body = serde_json::to_string(&SubmitResponse {
             job: id,
             key,
             tenant,
             deduped,
+            trace: Some(trace.clone()),
         })
         .expect("submit response serializes");
-        HttpResponse::json("202 Accepted", body)
+        HttpResponse::json("202 Accepted", body).with_header(api::TRACE_HEADER, &trace)
     }
 
     /// Resolves `id` through its alias and renders a [`JobStatus`].
@@ -540,7 +623,7 @@ impl ExperimentService {
     fn runner_loop(&self, idx: usize) {
         let worker = format!("service-runner-{idx}");
         loop {
-            let (id, tenant, key, specs) = {
+            let (id, tenant, key, trace, specs) = {
                 let mut state = self.state.lock().expect("service state poisoned");
                 loop {
                     if let Some(id) = state.queue.pop() {
@@ -551,7 +634,13 @@ impl ExperimentService {
                         let record = state.jobs.get_mut(&id).expect("queued job exists");
                         record.state = JobState::Executing;
                         let specs = record.specs.take().expect("queued job keeps its specs");
-                        break (id, record.tenant.clone(), record.key.clone(), specs);
+                        break (
+                            id,
+                            record.tenant.clone(),
+                            record.key.clone(),
+                            record.trace.clone(),
+                            specs,
+                        );
                     }
                     if self.draining() {
                         return;
@@ -559,17 +648,17 @@ impl ExperimentService {
                     state = self.wake.wait(state).expect("service state poisoned");
                 }
             };
-            self.stamp(id, &key, Stage::Leased, Some(&worker));
-            let submission = self.harness.submit(specs);
+            self.stamp(id, &key, Stage::Leased, Some(&worker), &trace);
+            let submission = self.harness.submit_traced(specs, Some(trace.clone()));
             {
                 let mut state = self.state.lock().expect("service state poisoned");
                 if let Some(record) = state.jobs.get_mut(&id) {
                     record.submission = Some(Arc::clone(&submission));
                 }
             }
-            self.stamp(id, &key, Stage::Executing, Some(&worker));
+            self.stamp(id, &key, Stage::Executing, Some(&worker), &trace);
             let report = submission.wait();
-            self.stamp(id, &key, Stage::Pushed, Some(&worker));
+            self.stamp(id, &key, Stage::Pushed, Some(&worker), &trace);
             let outcomes_json =
                 serde_json::to_string(&report.outcomes).expect("outcomes serialize");
             {
@@ -579,7 +668,7 @@ impl ExperimentService {
                 record.state = JobState::Committed;
                 state.executing -= 1;
             }
-            self.stamp(id, &key, Stage::Committed, Some(&worker));
+            self.stamp(id, &key, Stage::Committed, Some(&worker), &trace);
             {
                 let mut governor = self.governor.lock().expect("governor poisoned");
                 governor.release(&tenant);
@@ -604,6 +693,7 @@ impl ExperimentService {
                     ("tenant", tenant.as_str()),
                     ("executed", executed_str.as_str()),
                     ("cache_hits", hits_str.as_str()),
+                    ("trace_id", trace.as_str()),
                 ],
             );
             self.idle.notify_all();
@@ -613,6 +703,10 @@ impl ExperimentService {
 
 impl Router for ExperimentService {
     fn route(&self, req: &HttpRequest) -> Option<HttpResponse> {
+        // The router sees every request before the built-in routes do —
+        // including `/metrics` scrapes — so refreshing here keeps the
+        // backlog-age gauges live without a dedicated ticker thread.
+        self.refresh_age_gauges();
         let path = req.path.split('?').next().unwrap_or("");
         match (req.method.as_str(), path) {
             ("POST", "/v1/jobs") => Some(self.submit(req)),

@@ -145,9 +145,20 @@ fn concurrent_identical_submissions_execute_once() {
     let originals: Vec<&SubmitResponse> = responses.iter().filter(|r| !r.deduped).collect();
     assert_eq!(originals.len(), 1, "exactly one submission executes");
     let canonical = originals[0].job;
+    let canonical_trace = originals[0]
+        .trace
+        .as_deref()
+        .expect("admission mints a trace");
     for resp in &responses {
         assert_eq!(resp.key, originals[0].key, "same plan, same content key");
         assert_eq!(resp.tenant, "team-a");
+        // Aliases never execute, so a fresh trace would join to
+        // nothing: every response shares the canonical plan's id.
+        assert_eq!(
+            resp.trace.as_deref(),
+            Some(canonical_trace),
+            "deduped submissions reuse the canonical trace"
+        );
     }
 
     // Every alias serves the canonical result, byte-for-byte.
@@ -205,9 +216,34 @@ fn statuses_progress_and_unknown_ids_404() {
     let (status, _) = http_get(stack.addr, "/v1/nope").expect("unknown v1");
     assert!(status.contains("404"));
 
-    // A submitted plan answers its status immediately (queued or
+    // A submission answers with the correlation trace in both the body
+    // and the `x-horus-trace` response header, matching each other.
+    let body = serde_json::to_string(&SubmitRequest::plan(horus_service::plans::quick_plan(1)))
+        .expect("serialize");
+    let (status, headers, resp_body) = horus_obs::http::http_post_full(
+        stack.addr,
+        "/v1/jobs",
+        &[(TENANT_HEADER, "team-a")],
+        &body,
+    )
+    .expect("submit");
+    assert!(status.contains("202"), "submit answered {status}");
+    let resp: SubmitResponse = serde_json::from_str(&resp_body).expect("submit response parses");
+    let header_trace = headers
+        .iter()
+        .find(|(name, _)| name == horus_service::api::TRACE_HEADER)
+        .map(|(_, value)| value.as_str())
+        .expect("x-horus-trace header present");
+    assert_eq!(
+        resp.trace.as_deref(),
+        Some(header_trace),
+        "body and header carry the same trace"
+    );
+    assert_eq!(header_trace.len(), 16, "trace is 16 hex chars");
+    assert!(header_trace.chars().all(|c| c.is_ascii_hexdigit()));
+
+    // The submitted plan answers its status immediately (queued or
     // later), then progresses to committed.
-    let resp = submit(stack.addr, horus_service::plans::quick_plan(1));
     let (status, body) = http_get(stack.addr, &format!("/v1/jobs/{}", resp.job)).expect("status");
     assert!(status.contains("200"));
     let parsed: JobStatus = serde_json::from_str(&body).expect("status parses");

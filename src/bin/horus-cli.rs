@@ -12,6 +12,7 @@
 //! horus-cli fleet-worker --connect HOST:PORT [--jobs N] [--name NAME]
 //! horus-cli fleet-trace [--connect HOST:PORT] [--out FILE]
 //! horus-cli serve-metrics [--addr 127.0.0.1:9464] [--for-seconds S]
+//! horus-cli insight [--obs FILE] [--spans FILE] [--logs FILE] [--out FILE] [--top N] [--json]
 //! ```
 //!
 //! `sweep` runs on the `horus-harness` worker pool: points execute in
@@ -617,11 +618,23 @@ fn cmd_fleet_coordinator(args: &Args) -> Result<(), String> {
     if let Some(session) = &obs {
         session.set_ready(false);
     }
+    let stall_multiple = args
+        .get("stall-multiple")
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|e| format!("--stall-multiple: {e}"))
+        })
+        .transpose()?
+        .unwrap_or(3.0);
+    if stall_multiple.is_nan() || stall_multiple < 1.0 {
+        return Err("--stall-multiple must be at least 1".into());
+    }
     let options = CoordinatorOptions {
         addr: args.get("addr").unwrap_or("127.0.0.1:9470").to_owned(),
         cache_dir: args.get("cache-dir").map(std::path::PathBuf::from),
         no_cache: args.has("no-cache"),
         lease: Duration::from_secs_f64(lease_secs),
+        stall_multiple,
         metrics: obs.as_ref().map(ObsSession::registry),
         spans: Some(Arc::clone(&spans)),
         resume: args.has("resume"),
@@ -714,6 +727,46 @@ fn cmd_fleet_trace(args: &Args) -> Result<(), String> {
             eprintln!("wrote Chrome trace to {out} — open in Perfetto");
         }
         None => println!("{json}"),
+    }
+    Ok(())
+}
+
+/// `insight`: the offline cross-signal analyzer. Joins a run's obs
+/// summary (`--obs`), span timeline (`--spans`), and NDJSON structured
+/// logs (`--logs`) by correlation trace id, then writes `insight.json`
+/// (`--out`) and prints the human report: per-tenant and per-scheme
+/// stage breakdowns, the slowest end-to-end requests, shed/retry
+/// accounting reconciled against the governor counters, and an anomaly
+/// section (stage-time outliers, orphan spans/logs no other signal
+/// knows).
+fn cmd_insight(args: &Args) -> Result<(), String> {
+    let read_artifact = |flag: &str| -> Result<Option<String>, String> {
+        args.get(flag)
+            .map(|path| std::fs::read_to_string(path).map_err(|e| format!("--{flag} {path}: {e}")))
+            .transpose()
+    };
+    let inputs = horus::obs::insight::InsightInputs {
+        obs_summary: read_artifact("obs")?,
+        spans: read_artifact("spans")?,
+        logs: read_artifact("logs")?,
+    };
+    if inputs.obs_summary.is_none() && inputs.spans.is_none() && inputs.logs.is_none() {
+        return Err("insight needs at least one of --obs, --spans, --logs".into());
+    }
+    let top = args
+        .get("top")
+        .map(|v| v.parse::<usize>().map_err(|e| format!("--top: {e}")))
+        .transpose()?
+        .unwrap_or(5);
+    let insight = horus::obs::insight::analyze(&inputs)?;
+    if let Some(out) = args.get("out") {
+        std::fs::write(out, insight.to_json(top).as_bytes()).map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("insight: wrote {out}");
+    }
+    if args.has("json") {
+        println!("{}", insight.to_json(top));
+    } else {
+        println!("{}", insight.human_report(top));
     }
     Ok(())
 }
@@ -870,7 +923,7 @@ fn cmd_trace_drain(args: &Args) -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: horus-cli <config|drain|recover|attack|sweep|crash-sweep|serve|fleet-coordinator|fleet-worker|serve-metrics|trace> [options]
+    "usage: horus-cli <config|drain|recover|attack|sweep|crash-sweep|serve|fleet-coordinator|fleet-worker|serve-metrics|insight|trace> [options]
   config                          print the Table I configuration as JSON
   drain   --scheme S [--llc-mb N] [--stride B] [--json]
   recover --scheme S [--llc-mb N] [--write-through] [--json]
@@ -886,14 +939,18 @@ const USAGE: &str =
           POST /v1/jobs with admission control, dedup by content key, /metrics
           on the same listener; POST /v1/shutdown drains and exits
   fleet-coordinator [--addr 127.0.0.1:9470] [--lease-secs S] [--cache-dir DIR]
-          [--no-cache] [--for-plans N] [--resume]   serve the fleet job queue and
-          authoritative result cache; merge is plan-ordered and exactly-once
+          [--no-cache] [--for-plans N] [--resume] [--stall-multiple X]   serve the
+          fleet job queue and authoritative result cache; merge is plan-ordered and
+          exactly-once; jobs leased but unpushed past X leases log a stall warning
   fleet-worker --connect HOST:PORT [--jobs N] [--name NAME]   lease job batches
           and execute them on the local harness pool until the fleet drains
   fleet-trace [--connect HOST:PORT] [--out FILE]   pull the coordinator's per-job
           lifecycle spans as Chrome-trace JSON (Perfetto-loadable)
   serve-metrics [--addr 127.0.0.1:9464] [--for-seconds S]   standalone Prometheus
           scrape endpoint exposing this process's host profile
+  insight [--obs FILE] [--spans FILE] [--logs FILE] [--out FILE] [--top N] [--json]
+          join a run's obs summary, span timeline, and structured logs by trace id:
+          stage breakdowns, slowest requests, shed accounting, anomalies
   trace   <scheme> [--llc-mb N] [--stride B] [--out FILE]   probed drain: utilization,
           critical path, optional Chrome-trace JSON (Perfetto-loadable)
   trace   --file <path> [--domain epd|adr|bbb:<lines>]      workload replay
@@ -947,6 +1004,7 @@ fn main() -> ExitCode {
         "fleet-worker" => cmd_fleet_worker(&args),
         "fleet-trace" => cmd_fleet_trace(&args),
         "serve-metrics" => cmd_serve_metrics(&args),
+        "insight" => cmd_insight(&args),
         "trace" => cmd_trace(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
